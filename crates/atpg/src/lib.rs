@@ -1,0 +1,60 @@
+//! Combinational and sequential ATPG justification engines for the RFN
+//! verification tool.
+//!
+//! RFN leans on ATPG in three places (all Section 2 of the DAC 2001 paper):
+//!
+//! 1. the **hybrid engine** uses *combinational* ATPG to lift min-cut cubes
+//!    to no-cut cubes on the abstract model,
+//! 2. *sequential* ATPG — guided by the abstract error trace as per-cycle
+//!    constraint cubes — searches for a real error trace on the original
+//!    design (Step 3), and
+//! 3. the greedy refinement minimizer re-checks trace satisfiability on
+//!    candidate abstractions with sequential ATPG (Step 4, phase two).
+//!
+//! The engine implements the paper's three-outcome contract: given a design,
+//! a cycle count and a sequence of constraint cubes, it reports
+//! [`AtpgOutcome::Satisfiable`] with a witness trace, definite
+//! [`AtpgOutcome::Unsatisfiable`], or [`AtpgOutcome::Aborted`] when a
+//! resource limit is hit.
+//!
+//! Internally this is a PODEM-style branch-and-bound over time-frame-expanded
+//! circuits: decisions are made only on primary inputs (and free initial
+//! register values), implications are propagated with event-driven
+//! three-valued evaluation, and backtrace steers decisions with SCOAP-like
+//! controllability estimates.
+//!
+//! # Example
+//!
+//! Justify "the toggler's register is 1 after two cycles":
+//!
+//! ```
+//! use rfn_netlist::{Netlist, GateOp, Cube};
+//! use rfn_atpg::{SequentialAtpg, AtpgOptions, AtpgOutcome};
+//!
+//! # fn main() -> Result<(), rfn_netlist::NetlistError> {
+//! let mut n = Netlist::new("toggle");
+//! let en = n.add_input("en");
+//! let t = n.add_register("t", Some(false));
+//! let nt = n.add_gate("nt", GateOp::Xor, &[t, en]);
+//! n.set_register_next(t, nt)?;
+//! n.validate()?;
+//!
+//! let atpg = SequentialAtpg::new(&n, AtpgOptions::default())?;
+//! let target: Cube = [(t, true)].into_iter().collect();
+//! let outcome = atpg.find_trace(3, &target, &[]);
+//! assert!(matches!(outcome, AtpgOutcome::Satisfiable(_)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod scoap;
+mod scope;
+
+pub use engine::{AtpgEngine, AtpgOptions, AtpgOutcome, AtpgStats, CombinationalAtpg,
+    SequentialAtpg};
+pub use scoap::Scoap;
+pub use scope::Scope;

@@ -1,0 +1,235 @@
+//! SCOAP-style controllability estimates used by the PODEM backtrace.
+
+use rfn_netlist::{GateOp, NetKind, SignalId};
+
+use crate::scope::{Role, Scope};
+
+/// Controllability cost per signal: `cc0[s]` estimates how hard it is to set
+/// `s` to 0, `cc1[s]` to 1. Lower is easier. Registers are handled with a
+/// bounded fixpoint so sequential depth is reflected coarsely.
+///
+/// # Example
+///
+/// ```
+/// use rfn_netlist::{Netlist, GateOp};
+/// use rfn_atpg::{Scoap, Scope};
+///
+/// # fn main() -> Result<(), rfn_netlist::NetlistError> {
+/// let mut n = Netlist::new("d");
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let g = n.add_gate("g", GateOp::And, &[a, b]);
+/// n.add_output("g", g);
+/// let scope = Scope::whole_design(&n)?;
+/// let scoap = Scoap::compute(&scope);
+/// // Making an AND output 1 needs both inputs; 0 needs only one.
+/// assert!(scoap.cc1(g) > scoap.cc0(g));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Scoap {
+    cc0: Vec<u32>,
+    cc1: Vec<u32>,
+}
+
+const HARD: u32 = 1 << 24;
+/// Cost added when crossing a register boundary (one time frame).
+const FRAME_COST: u32 = 8;
+/// Fixpoint sweeps for sequential feedback.
+const SWEEPS: usize = 3;
+
+impl Scoap {
+    /// Computes controllability for every signal in the scope.
+    pub fn compute(scope: &Scope<'_>) -> Self {
+        let n = scope.netlist();
+        let len = n.num_signals();
+        let mut cc0 = vec![HARD; len];
+        let mut cc1 = vec![HARD; len];
+        for s in n.signals() {
+            match scope.role(s) {
+                Role::Input => {
+                    cc0[s.index()] = 1;
+                    cc1[s.index()] = 1;
+                }
+                Role::Const(v) => {
+                    if v {
+                        cc1[s.index()] = 0;
+                    } else {
+                        cc0[s.index()] = 0;
+                    }
+                }
+                Role::Register => {
+                    // Seeded from the reset value; refined by the sweeps.
+                    // The reset value is free; the opposite value starts as
+                    // unreachable and is refined through the next-state
+                    // logic by the sweeps below.
+                    match n.register_init(s) {
+                        Some(false) => cc0[s.index()] = 1,
+                        Some(true) => cc1[s.index()] = 1,
+                        None => {
+                            cc0[s.index()] = 1;
+                            cc1[s.index()] = 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        for _ in 0..SWEEPS {
+            for &g in scope.gates() {
+                let NetKind::Gate { op, fanins } = n.kind(g) else {
+                    continue;
+                };
+                let (c0, c1) = gate_cc(*op, fanins, &cc0, &cc1);
+                cc0[g.index()] = c0;
+                cc1[g.index()] = c1;
+            }
+            for &r in scope.registers() {
+                let next = n.register_next(r);
+                let through0 = cc0[next.index()].saturating_add(FRAME_COST);
+                let through1 = cc1[next.index()].saturating_add(FRAME_COST);
+                cc0[r.index()] = cc0[r.index()].min(through0);
+                cc1[r.index()] = cc1[r.index()].min(through1);
+            }
+        }
+        Scoap { cc0, cc1 }
+    }
+
+    /// Cost estimate of driving `s` to 0.
+    pub fn cc0(&self, s: SignalId) -> u32 {
+        self.cc0[s.index()]
+    }
+
+    /// Cost estimate of driving `s` to 1.
+    pub fn cc1(&self, s: SignalId) -> u32 {
+        self.cc1[s.index()]
+    }
+
+    /// Cost of driving `s` to the given value.
+    pub fn cost(&self, s: SignalId, value: bool) -> u32 {
+        if value {
+            self.cc1(s)
+        } else {
+            self.cc0(s)
+        }
+    }
+}
+
+fn gate_cc(op: GateOp, fanins: &[SignalId], cc0: &[u32], cc1: &[u32]) -> (u32, u32) {
+    let sum = |sel: &dyn Fn(SignalId) -> u32| -> u32 {
+        fanins
+            .iter()
+            .fold(0u32, |a, &f| a.saturating_add(sel(f)))
+            .saturating_add(1)
+    };
+    let min = |sel: &dyn Fn(SignalId) -> u32| -> u32 {
+        fanins
+            .iter()
+            .map(|&f| sel(f))
+            .min()
+            .unwrap_or(HARD)
+            .saturating_add(1)
+    };
+    let f0 = |f: SignalId| cc0[f.index()];
+    let f1 = |f: SignalId| cc1[f.index()];
+    match op {
+        GateOp::Buf => (f0(fanins[0]) + 1, f1(fanins[0]) + 1),
+        GateOp::Not => (f1(fanins[0]) + 1, f0(fanins[0]) + 1),
+        GateOp::And => (min(&f0), sum(&f1)),
+        GateOp::Nand => (sum(&f1), min(&f0)),
+        GateOp::Or => (sum(&f0), min(&f1)),
+        GateOp::Nor => (min(&f1), sum(&f0)),
+        // Parity: crude symmetric estimate (exact parity CC is exponential in
+        // care combinations; the min/sum mix is the usual approximation).
+        GateOp::Xor | GateOp::Xnor => {
+            let all0 = sum(&f0);
+            let all1 = sum(&f1);
+            let mixed = min(&f0).saturating_add(min(&f1));
+            let even = all0.min(if fanins.len() % 2 == 0 { all1 } else { HARD });
+            let c0 = even.min(mixed);
+            let c1 = all1.min(mixed);
+            if matches!(op, GateOp::Xor) {
+                (c0, c1)
+            } else {
+                (c1, c0)
+            }
+        }
+        GateOp::Mux => {
+            let (s, d0, d1) = (fanins[0], fanins[1], fanins[2]);
+            let via0 = |want0: bool| {
+                cc0[s.index()].saturating_add(if want0 { cc0[d0.index()] } else { cc1[d0.index()] })
+            };
+            let via1 = |want0: bool| {
+                cc1[s.index()].saturating_add(if want0 { cc0[d1.index()] } else { cc1[d1.index()] })
+            };
+            (
+                via0(true).min(via1(true)).saturating_add(1),
+                via0(false).min(via1(false)).saturating_add(1),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfn_netlist::Netlist;
+
+    #[test]
+    fn and_or_duality() {
+        let mut n = Netlist::new("d");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let and_g = n.add_gate("and", GateOp::And, &[a, b]);
+        let or_g = n.add_gate("or", GateOp::Or, &[a, b]);
+        let scope = Scope::whole_design(&n).unwrap();
+        let s = Scoap::compute(&scope);
+        assert!(s.cc1(and_g) > s.cc0(and_g));
+        assert!(s.cc0(or_g) > s.cc1(or_g));
+        assert_eq!(s.cc1(and_g), s.cc0(or_g));
+    }
+
+    #[test]
+    fn constants_are_one_sided() {
+        let mut n = Netlist::new("d");
+        let c1 = n.add_const("one", true);
+        let c0 = n.add_const("zero", false);
+        let scope = Scope::whole_design(&n).unwrap();
+        let s = Scoap::compute(&scope);
+        assert_eq!(s.cc1(c1), 0);
+        assert!(s.cc0(c1) >= HARD);
+        assert_eq!(s.cc0(c0), 0);
+        assert!(s.cc1(c0) >= HARD);
+    }
+
+    #[test]
+    fn register_chains_accumulate_frame_cost() {
+        // r2 <- r1 <- i : setting r2 is harder than setting r1.
+        let mut n = Netlist::new("d");
+        let i = n.add_input("i");
+        let r1 = n.add_register("r1", Some(false));
+        let r2 = n.add_register("r2", Some(false));
+        n.set_register_next(r1, i).unwrap();
+        n.set_register_next(r2, r1).unwrap();
+        let scope = Scope::whole_design(&n).unwrap();
+        let s = Scoap::compute(&scope);
+        assert!(s.cc1(r2) > s.cc1(r1));
+        // Reset values are cheap.
+        assert_eq!(s.cc0(r1), 1);
+    }
+
+    #[test]
+    fn deep_cones_cost_more() {
+        let mut n = Netlist::new("d");
+        let mut sig = n.add_input("i0");
+        for k in 0..6 {
+            let j = n.add_input(&format!("j{k}"));
+            sig = n.add_gate(&format!("g{k}"), GateOp::And, &[sig, j]);
+        }
+        let shallow = n.add_input("s");
+        let scope = Scope::whole_design(&n).unwrap();
+        let s = Scoap::compute(&scope);
+        assert!(s.cc1(sig) > s.cc1(shallow));
+    }
+}

@@ -1,0 +1,237 @@
+//! Search scope: which part of a design the ATPG engine operates on.
+
+use rfn_netlist::{AbstractView, NetKind, Netlist, NetlistError, SignalId};
+
+/// The role a signal plays inside an ATPG [`Scope`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Not part of the scope; never evaluated or assigned.
+    Outside,
+    /// A decision variable: a primary input of the scope (true primary input
+    /// or — on abstract models — a pseudo-input register of the original
+    /// design).
+    Input,
+    /// A state element of the scope.
+    Register,
+    /// A combinational gate of the scope.
+    Gate,
+    /// A constant driver.
+    Const(bool),
+}
+
+/// A *scope* restricts the ATPG engine to a subcircuit: either a whole
+/// design, or an abstract model where excluded registers become decision
+/// inputs. The scope pre-computes roles, topological order and fanout lists
+/// used by event-driven implication.
+///
+/// # Example
+///
+/// ```
+/// use rfn_netlist::{Netlist, GateOp, Abstraction};
+/// use rfn_atpg::Scope;
+///
+/// # fn main() -> Result<(), rfn_netlist::NetlistError> {
+/// let mut n = Netlist::new("d");
+/// let a = n.add_register("a", Some(false));
+/// let b = n.add_register("b", Some(false));
+/// let g = n.add_gate("g", GateOp::Or, &[a, b]);
+/// n.set_register_next(a, g)?;
+/// n.set_register_next(b, a)?;
+/// n.validate()?;
+///
+/// let whole = Scope::whole_design(&n)?;
+/// assert_eq!(whole.registers().len(), 2);
+///
+/// let view = Abstraction::from_registers([a]).view(&n, [])?;
+/// let sub = Scope::abstract_model(&n, &view)?;
+/// assert_eq!(sub.registers().len(), 1);
+/// assert_eq!(sub.inputs().len(), 1); // b became a decision input
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Scope<'n> {
+    netlist: &'n Netlist,
+    roles: Vec<Role>,
+    gates: Vec<SignalId>,
+    registers: Vec<SignalId>,
+    inputs: Vec<SignalId>,
+    /// Per signal: the scope gates that read it.
+    fanouts: Vec<Vec<SignalId>>,
+    /// Per signal: the scope registers whose next-state input it is.
+    reg_fanouts: Vec<Vec<SignalId>>,
+}
+
+impl<'n> Scope<'n> {
+    /// A scope covering the entire design: all primary inputs are decision
+    /// variables, all registers are state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation errors.
+    pub fn whole_design(netlist: &'n Netlist) -> Result<Self, NetlistError> {
+        netlist.validate()?;
+        let mut roles = vec![Role::Outside; netlist.num_signals()];
+        for s in netlist.signals() {
+            roles[s.index()] = match netlist.kind(s) {
+                NetKind::Input => Role::Input,
+                NetKind::Register { .. } => Role::Register,
+                NetKind::Gate { .. } => Role::Gate,
+                NetKind::Const(v) => Role::Const(*v),
+            };
+        }
+        let gates = netlist.topo_order()?;
+        Self::assemble(netlist, roles, gates)
+    }
+
+    /// A scope covering an abstract model: the view's pseudo-inputs join the
+    /// true primary inputs as decision variables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation errors.
+    pub fn abstract_model(
+        netlist: &'n Netlist,
+        view: &AbstractView,
+    ) -> Result<Self, NetlistError> {
+        netlist.validate()?;
+        let mut roles = vec![Role::Outside; netlist.num_signals()];
+        for &i in view.inputs() {
+            roles[i.index()] = Role::Input;
+        }
+        for &p in view.pseudo_inputs() {
+            roles[p.index()] = Role::Input;
+        }
+        for &r in view.registers() {
+            roles[r.index()] = Role::Register;
+        }
+        for &g in view.gates() {
+            roles[g.index()] = Role::Gate;
+        }
+        for &c in view.constants() {
+            if let NetKind::Const(v) = netlist.kind(c) {
+                roles[c.index()] = Role::Const(*v);
+            }
+        }
+        Self::assemble(netlist, roles, view.gates().to_vec())
+    }
+
+    fn assemble(
+        netlist: &'n Netlist,
+        roles: Vec<Role>,
+        gates: Vec<SignalId>,
+    ) -> Result<Self, NetlistError> {
+        let mut registers = Vec::new();
+        let mut inputs = Vec::new();
+        for s in netlist.signals() {
+            match roles[s.index()] {
+                Role::Register => registers.push(s),
+                Role::Input => inputs.push(s),
+                _ => {}
+            }
+        }
+        let mut fanouts: Vec<Vec<SignalId>> = vec![Vec::new(); netlist.num_signals()];
+        for &g in &gates {
+            for &f in netlist.fanins(g) {
+                fanouts[f.index()].push(g);
+            }
+        }
+        let mut reg_fanouts: Vec<Vec<SignalId>> = vec![Vec::new(); netlist.num_signals()];
+        for &r in &registers {
+            let next = netlist.register_next(r);
+            reg_fanouts[next.index()].push(r);
+        }
+        Ok(Scope {
+            netlist,
+            roles,
+            gates,
+            registers,
+            inputs,
+            fanouts,
+            reg_fanouts,
+        })
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &'n Netlist {
+        self.netlist
+    }
+
+    /// The role of a signal in this scope.
+    pub fn role(&self, s: SignalId) -> Role {
+        self.roles[s.index()]
+    }
+
+    /// Scope gates in topological order.
+    pub fn gates(&self) -> &[SignalId] {
+        &self.gates
+    }
+
+    /// Scope registers (state elements).
+    pub fn registers(&self) -> &[SignalId] {
+        &self.registers
+    }
+
+    /// Decision inputs (true primary inputs plus pseudo-inputs).
+    pub fn inputs(&self) -> &[SignalId] {
+        &self.inputs
+    }
+
+    /// Scope gates reading `s`.
+    pub fn fanouts(&self, s: SignalId) -> &[SignalId] {
+        &self.fanouts[s.index()]
+    }
+
+    /// Scope registers whose next-state input is `s`.
+    pub fn reg_fanouts(&self, s: SignalId) -> &[SignalId] {
+        &self.reg_fanouts[s.index()]
+    }
+
+    /// Whether the signal belongs to the scope.
+    pub fn contains(&self, s: SignalId) -> bool {
+        self.roles[s.index()] != Role::Outside
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfn_netlist::{Abstraction, GateOp};
+
+    fn design() -> (Netlist, [SignalId; 4]) {
+        let mut n = Netlist::new("d");
+        let i = n.add_input("i");
+        let a = n.add_register("a", Some(false));
+        let b = n.add_register("b", Some(false));
+        let g = n.add_gate("g", GateOp::And, &[a, i]);
+        n.set_register_next(a, g).unwrap();
+        n.set_register_next(b, a).unwrap();
+        n.validate().unwrap();
+        (n, [i, a, b, g])
+    }
+
+    #[test]
+    fn whole_design_roles() {
+        let (n, [i, a, b, g]) = design();
+        let sc = Scope::whole_design(&n).unwrap();
+        assert_eq!(sc.role(i), Role::Input);
+        assert_eq!(sc.role(a), Role::Register);
+        assert_eq!(sc.role(b), Role::Register);
+        assert_eq!(sc.role(g), Role::Gate);
+        assert_eq!(sc.fanouts(a), &[g]);
+        assert_eq!(sc.reg_fanouts(a), &[b]);
+        assert_eq!(sc.reg_fanouts(g), &[a]);
+    }
+
+    #[test]
+    fn abstract_scope_turns_pseudo_inputs_into_decisions() {
+        let (n, [i, a, b, g]) = design();
+        let view = Abstraction::from_registers([b]).view(&n, []).unwrap();
+        let sc = Scope::abstract_model(&n, &view).unwrap();
+        assert_eq!(sc.role(a), Role::Input); // pseudo-input
+        assert_eq!(sc.role(b), Role::Register);
+        assert_eq!(sc.role(g), Role::Outside); // not in b's cone
+        assert_eq!(sc.role(i), Role::Outside);
+        assert_eq!(sc.inputs(), &[a]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests: ATPG against exhaustive reachability on small designs.
+
+use proptest::prelude::*;
+use rfn_netlist::{Cube, GateOp, Netlist, SignalId};
+use rfn_atpg::{AtpgOptions, SequentialAtpg};
+use rfn_sim::Simulator;
+
+/// Random layered sequential netlist with few inputs/registers so exhaustive
+/// search stays cheap.
+fn arb_netlist(n_inputs: usize, n_regs: usize, n_gates: usize) -> impl Strategy<Value = Netlist> {
+    let ops = prop::sample::select(vec![
+        GateOp::And,
+        GateOp::Or,
+        GateOp::Xor,
+        GateOp::Nand,
+        GateOp::Nor,
+        GateOp::Not,
+    ]);
+    let gates = prop::collection::vec((ops, any::<u32>(), any::<u32>()), n_gates);
+    let nexts = prop::collection::vec(any::<u32>(), n_regs);
+    (gates, nexts).prop_map(move |(gates, nexts)| {
+        let mut n = Netlist::new("arb");
+        let mut pool: Vec<SignalId> = Vec::new();
+        for k in 0..n_inputs {
+            pool.push(n.add_input(&format!("i{k}")));
+        }
+        let mut regs = Vec::new();
+        for k in 0..n_regs {
+            let r = n.add_register(&format!("r{k}"), Some(k % 2 == 0));
+            pool.push(r);
+            regs.push(r);
+        }
+        for (k, (op, a, b)) in gates.into_iter().enumerate() {
+            let fa = pool[a as usize % pool.len()];
+            let fb = pool[b as usize % pool.len()];
+            let fanins: Vec<SignalId> = if matches!(op, GateOp::Not) {
+                vec![fa]
+            } else {
+                vec![fa, fb]
+            };
+            pool.push(n.add_gate(&format!("g{k}"), op, &fanins));
+        }
+        for (k, nx) in nexts.into_iter().enumerate() {
+            n.set_register_next(regs[k], pool[nx as usize % pool.len()])
+                .unwrap();
+        }
+        n
+    })
+}
+
+/// Exhaustively checks whether some input sequence of length `depth - 1`
+/// drives the design from reset into a state satisfying `target`.
+fn exhaustive_reachable(n: &Netlist, depth: usize, target: &Cube) -> bool {
+    let inputs = n.inputs().to_vec();
+    let ni = inputs.len();
+    let seqs = 1u64 << (ni * (depth - 1));
+    for seq in 0..seqs {
+        let mut sim = Simulator::new(n).unwrap();
+        sim.reset();
+        let mut ok = true;
+        for t in 0..depth {
+            if t + 1 == depth {
+                break;
+            }
+            let cube: Cube = inputs
+                .iter()
+                .enumerate()
+                .map(|(k, &i)| (i, (seq >> (t * ni + k)) & 1 == 1))
+                .collect();
+            sim.step(&cube);
+            let _ = &mut ok;
+        }
+        let hit = target
+            .iter()
+            .all(|(s, v)| sim.value(s).to_bool() == Some(v));
+        if hit && ok {
+            return true;
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ATPG agrees with exhaustive reachability, and SAT witnesses replay.
+    #[test]
+    fn atpg_matches_exhaustive(
+        n in arb_netlist(2, 3, 10),
+        reg_pick in any::<u8>(),
+        val in any::<bool>(),
+        depth in 1usize..4,
+    ) {
+        let regs = n.registers();
+        let r = regs[reg_pick as usize % regs.len()];
+        let target: Cube = [(r, val)].into_iter().collect();
+        let atpg = SequentialAtpg::new(&n, AtpgOptions::default()).unwrap();
+        let outcome = atpg.find_trace(depth, &target, &[]);
+        let expected = exhaustive_reachable(&n, depth, &target);
+        match outcome {
+            rfn_atpg::AtpgOutcome::Satisfiable(trace) => {
+                prop_assert!(expected, "ATPG found a trace where none exists");
+                prop_assert_eq!(trace.num_cycles(), depth);
+                let mut sim = Simulator::new(&n).unwrap();
+                prop_assert!(sim.replay(&trace), "witness does not replay");
+                prop_assert_eq!(sim.value(r).to_bool(), Some(val));
+            }
+            rfn_atpg::AtpgOutcome::Unsatisfiable => {
+                prop_assert!(!expected, "ATPG missed a reachable target");
+            }
+            rfn_atpg::AtpgOutcome::Aborted => {
+                // Limits are generous; abort would indicate pathology here.
+                prop_assert!(false, "unexpected abort on tiny design");
+            }
+        }
+    }
+
+    /// Two-literal targets: ATPG still agrees with exhaustive search.
+    #[test]
+    fn atpg_matches_exhaustive_two_literals(
+        n in arb_netlist(2, 3, 10),
+        vals in any::<u8>(),
+        depth in 1usize..4,
+    ) {
+        let regs = n.registers();
+        let r0 = regs[0];
+        let r1 = regs[1];
+        let target: Cube = [(r0, vals & 1 == 1), (r1, vals & 2 == 2)]
+            .into_iter()
+            .collect();
+        let atpg = SequentialAtpg::new(&n, AtpgOptions::default()).unwrap();
+        let outcome = atpg.find_trace(depth, &target, &[]);
+        let expected = exhaustive_reachable(&n, depth, &target);
+        prop_assert_eq!(outcome.is_sat(), expected);
+        prop_assert!(!matches!(outcome, rfn_atpg::AtpgOutcome::Aborted));
+    }
+
+    /// Guidance that matches a real witness never turns SAT into UNSAT.
+    #[test]
+    fn consistent_guidance_preserves_sat(
+        n in arb_netlist(2, 3, 10),
+        reg_pick in any::<u8>(),
+        depth in 2usize..4,
+    ) {
+        let regs = n.registers();
+        let r = regs[reg_pick as usize % regs.len()];
+        let target: Cube = [(r, true)].into_iter().collect();
+        let atpg = SequentialAtpg::new(&n, AtpgOptions::default()).unwrap();
+        if let rfn_atpg::AtpgOutcome::Satisfiable(trace) = atpg.find_trace(depth, &target, &[]) {
+            // Use the witness's own state cubes as guidance: still SAT.
+            let guidance: Vec<Cube> = trace.steps().iter().map(|s| s.state.clone()).collect();
+            let again = atpg.find_trace(depth, &target, &guidance);
+            prop_assert!(again.is_sat(), "witness-derived guidance broke SAT");
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Cube extraction, counting and evaluation.
+
+use std::collections::HashMap;
+
+use crate::manager::TERMINAL_VAR;
+use crate::{Bdd, BddManager, VarId};
+
+impl BddManager {
+    /// Evaluates `f` under a total assignment (indexed by variable id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` is shorter than the highest variable id in
+    /// `f`'s support.
+    pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
+        let mut n = f.0;
+        loop {
+            let node = self.node(n);
+            if node.var == TERMINAL_VAR {
+                return n == 1;
+            }
+            n = if assignment[node.var as usize] {
+                node.hi
+            } else {
+                node.lo
+            };
+        }
+    }
+
+    /// Returns one satisfying assignment of `f` as literals on the variables
+    /// along a path to the true terminal, or `None` if `f` is unsatisfiable.
+    ///
+    /// Variables skipped by the path are unconstrained and omitted.
+    pub fn pick_cube(&self, f: Bdd) -> Option<Vec<(VarId, bool)>> {
+        if f == self.zero() {
+            return None;
+        }
+        let mut lits = Vec::new();
+        let mut n = f.0;
+        while n > 1 {
+            let node = self.node(n);
+            // Prefer the branch that is not constant-false.
+            if node.lo != 0 {
+                lits.push((VarId::from_index(node.var as usize), false));
+                n = node.lo;
+            } else {
+                lits.push((VarId::from_index(node.var as usize), true));
+                n = node.hi;
+            }
+        }
+        Some(lits)
+    }
+
+    /// Returns the *fattest cube* of `f`: the satisfying cube with the fewest
+    /// assigned literals among all root-to-⊤ paths of the diagram (Section
+    /// 2.2 of the paper uses this as the pre-image seed). Returns `None` if
+    /// `f` is unsatisfiable.
+    ///
+    /// Minimality is over BDD paths (the same semantics as CUDD's
+    /// `Cudd_ShortestPath`, which the original prototype used): a shorter
+    /// *implicant* that does not correspond to a single path may exist.
+    pub fn shortest_cube(&self, f: Bdd) -> Option<Vec<(VarId, bool)>> {
+        if f == self.zero() {
+            return None;
+        }
+        // DP over nodes: minimal number of literals on a path to TRUE.
+        fn cost(m: &BddManager, n: u32, memo: &mut HashMap<u32, u32>) -> u32 {
+            if n == 0 {
+                return u32::MAX / 2;
+            }
+            if n == 1 {
+                return 0;
+            }
+            if let Some(&c) = memo.get(&n) {
+                return c;
+            }
+            let node = m.node(n);
+            let c = cost(m, node.lo, memo)
+                .saturating_add(1)
+                .min(cost(m, node.hi, memo).saturating_add(1));
+            memo.insert(n, c);
+            c
+        }
+        let mut memo = HashMap::new();
+        let mut lits = Vec::new();
+        let mut n = f.0;
+        while n > 1 {
+            let node = self.node(n);
+            let lo_c = cost(self, node.lo, &mut memo);
+            let hi_c = cost(self, node.hi, &mut memo);
+            if lo_c <= hi_c {
+                lits.push((VarId::from_index(node.var as usize), false));
+                n = node.lo;
+            } else {
+                lits.push((VarId::from_index(node.var as usize), true));
+                n = node.hi;
+            }
+        }
+        Some(lits)
+    }
+
+    /// Number of satisfying assignments of `f` over `num_vars` variables
+    /// (as `f64`, since counts are astronomically large for real designs).
+    pub fn sat_count(&self, f: Bdd, num_vars: usize) -> f64 {
+        fn walk(m: &BddManager, n: u32, memo: &mut HashMap<u32, f64>) -> f64 {
+            // Returns count over the variables strictly below n's level.
+            if n == 0 {
+                return 0.0;
+            }
+            if n == 1 {
+                return 1.0;
+            }
+            if let Some(&c) = memo.get(&n) {
+                return c;
+            }
+            let node = m.node(n);
+            let my_level = m.var2level[node.var as usize] as f64;
+            let weight = |m: &BddManager, child: u32, count: f64| {
+                let child_level = if child <= 1 {
+                    m.num_vars() as f64
+                } else {
+                    m.var2level[m.node(child).var as usize] as f64
+                };
+                count * 2f64.powf(child_level - my_level - 1.0)
+            };
+            let lo = walk(m, node.lo, memo);
+            let hi = walk(m, node.hi, memo);
+            let c = weight(m, node.lo, lo) + weight(m, node.hi, hi);
+            memo.insert(n, c);
+            c
+        }
+        assert!(
+            num_vars >= self.num_vars(),
+            "sat_count over fewer vars than the manager holds is ambiguous"
+        );
+        let mut memo = HashMap::new();
+        let root_level = if f.0 <= 1 {
+            self.num_vars() as f64
+        } else {
+            self.var2level[self.node(f.0).var as usize] as f64
+        };
+        let base = if f == self.one() {
+            1.0
+        } else {
+            walk(self, f.0, &mut memo)
+        };
+        base * 2f64.powf(root_level) * 2f64.powi((num_vars - self.num_vars()) as i32)
+    }
+
+    /// Enumerates up to `limit` disjoint satisfying cubes of `f` (paths to
+    /// the true terminal), each as a literal list.
+    pub fn cubes(&self, f: Bdd, limit: usize) -> Vec<Vec<(VarId, bool)>> {
+        let mut out = Vec::new();
+        let mut path: Vec<(VarId, bool)> = Vec::new();
+        self.cubes_rec(f.0, limit, &mut path, &mut out);
+        out
+    }
+
+    fn cubes_rec(
+        &self,
+        n: u32,
+        limit: usize,
+        path: &mut Vec<(VarId, bool)>,
+        out: &mut Vec<Vec<(VarId, bool)>>,
+    ) {
+        if out.len() >= limit || n == 0 {
+            return;
+        }
+        if n == 1 {
+            out.push(path.clone());
+            return;
+        }
+        let node = self.node(n);
+        let v = VarId::from_index(node.var as usize);
+        path.push((v, false));
+        self.cubes_rec(node.lo, limit, path, out);
+        path.pop();
+        if out.len() >= limit {
+            return;
+        }
+        path.push((v, true));
+        self.cubes_rec(node.hi, limit, path, out);
+        path.pop();
+    }
+
+    /// Whether the cube (literal list) is contained in `f`
+    /// (i.e. `cube → f`). Variables absent from the cube must be irrelevant
+    /// along the tested paths.
+    pub fn cube_implies(&mut self, lits: &[(VarId, bool)], f: Bdd) -> bool {
+        // cube → f  ⇔  restrict(f, lits) == 1 is too strong (f may still
+        // depend on other vars). Correct check: restrict and test for
+        // tautology over the remaining vars: restrict(f,lits) must be 1.
+        // But f restricted may legitimately depend on free vars; cube → f
+        // requires f true for *all* completions, so restrict must be 1.
+        match self.restrict(f, lits) {
+            Ok(r) => r == self.one(),
+            Err(_) => false,
+        }
+    }
+
+    /// Whether the cube intersects `f` (some completion of the cube
+    /// satisfies `f`).
+    pub fn cube_intersects(&mut self, lits: &[(VarId, bool)], f: Bdd) -> bool {
+        match self.restrict(f, lits) {
+            Ok(r) => r != self.zero(),
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr(n: usize) -> (BddManager, Vec<VarId>) {
+        let mut m = BddManager::new();
+        let vars: Vec<_> = (0..n).map(|_| m.new_var()).collect();
+        (m, vars)
+    }
+
+    #[test]
+    fn eval_follows_paths() {
+        let (mut m, v) = mgr(3);
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let f = m.xor(a, b).unwrap();
+        assert!(m.eval(f, &[true, false, false]));
+        assert!(!m.eval(f, &[true, true, false]));
+    }
+
+    #[test]
+    fn pick_cube_satisfies() {
+        let (mut m, v) = mgr(4);
+        let lits: Vec<Bdd> = v.iter().map(|&x| m.var(x)).collect();
+        let f = m.and_many(lits).unwrap();
+        let cube = m.pick_cube(f).unwrap();
+        assert_eq!(cube.len(), 4);
+        assert!(cube.iter().all(|&(_, val)| val));
+        assert!(m.pick_cube(m.zero()).is_none());
+    }
+
+    #[test]
+    fn shortest_cube_is_minimal() {
+        let (mut m, v) = mgr(4);
+        // f = (a ∧ b ∧ c ∧ d) ∨ d : shortest cube is just d=1.
+        let lits: Vec<Bdd> = v.iter().map(|&x| m.var(x)).collect();
+        let all = m.and_many(lits.clone()).unwrap();
+        let f = m.or(all, lits[3]).unwrap();
+        let cube = m.shortest_cube(f).unwrap();
+        assert_eq!(cube, vec![(v[3], true)]);
+    }
+
+    #[test]
+    fn shortest_cube_of_constants() {
+        let (m, _) = mgr(2);
+        assert_eq!(m.shortest_cube(m.one()), Some(vec![]));
+        assert_eq!(m.shortest_cube(m.zero()), None);
+    }
+
+    #[test]
+    fn sat_count_small_functions() {
+        let (mut m, v) = mgr(3);
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let f = m.and(a, b).unwrap();
+        assert_eq!(m.sat_count(f, 3), 2.0); // a=1,b=1,c free
+        let g = m.or(a, b).unwrap();
+        assert_eq!(m.sat_count(g, 3), 6.0);
+        assert_eq!(m.sat_count(m.one(), 3), 8.0);
+        assert_eq!(m.sat_count(m.zero(), 3), 0.0);
+    }
+
+    #[test]
+    fn sat_count_with_extra_vars() {
+        let (mut m, v) = mgr(2);
+        let a = m.var(v[0]);
+        assert_eq!(m.sat_count(a, 5), 16.0);
+    }
+
+    #[test]
+    fn cubes_enumerates_disjoint_paths() {
+        let (mut m, v) = mgr(2);
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let f = m.xor(a, b).unwrap();
+        let cubes = m.cubes(f, 10);
+        assert_eq!(cubes.len(), 2);
+        // Each cube must satisfy f.
+        for cube in &cubes {
+            let mut asg = vec![false; 2];
+            for &(var, val) in cube {
+                asg[var.index()] = val;
+            }
+            assert!(m.eval(f, &asg));
+        }
+        // Limit respected.
+        assert_eq!(m.cubes(f, 1).len(), 1);
+    }
+
+    #[test]
+    fn cube_implication_and_intersection() {
+        let (mut m, v) = mgr(3);
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let f = m.or(a, b).unwrap();
+        assert!(m.cube_implies(&[(v[0], true)], f));
+        assert!(!m.cube_implies(&[(v[2], true)], f));
+        assert!(m.cube_intersects(&[(v[0], false)], f)); // b can still be 1
+        let ab = m.and(a, b).unwrap();
+        assert!(!m.cube_intersects(&[(v[0], false)], ab));
+    }
+}
+
+impl BddManager {
+    /// Renders `f` as a Graphviz `dot` digraph: solid edges are `then`
+    /// branches, dashed edges are `else` branches.
+    ///
+    /// ```
+    /// use rfn_bdd::BddManager;
+    ///
+    /// # fn main() -> Result<(), rfn_bdd::BddError> {
+    /// let mut m = BddManager::new();
+    /// let x = m.new_var();
+    /// let f = m.var(x);
+    /// let dot = m.to_dot(f, |v| format!("x{}", v.index()));
+    /// assert!(dot.contains("digraph bdd"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_dot(&self, f: Bdd, mut label: impl FnMut(VarId) -> String) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+        let _ = writeln!(out, "  n0 [shape=box,label=\"0\"];");
+        let _ = writeln!(out, "  n1 [shape=box,label=\"1\"];");
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f.0];
+        while let Some(n) = stack.pop() {
+            if n <= 1 || !seen.insert(n) {
+                continue;
+            }
+            let node = self.node(n);
+            let name = label(VarId::from_index(node.var as usize));
+            let _ = writeln!(out, "  n{n} [label=\"{name}\"];");
+            let _ = writeln!(out, "  n{n} -> n{} [style=dashed];", node.lo);
+            let _ = writeln!(out, "  n{n} -> n{};", node.hi);
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_reachable_nodes() {
+        let mut m = BddManager::new();
+        let a = m.new_var();
+        let b = m.new_var();
+        let fa = m.var(a);
+        let fb = m.var(b);
+        let f = m.xor(fa, fb).unwrap();
+        let dot = m.to_dot(f, |v| format!("v{}", v.index()));
+        assert!(dot.starts_with("digraph bdd"));
+        // xor over 2 vars: 3 internal nodes + 2 terminals.
+        assert_eq!(dot.matches("label=\"v0\"").count(), 1);
+        assert_eq!(dot.matches("label=\"v1\"").count(), 2);
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn dot_of_terminal_is_minimal() {
+        let m = BddManager::new();
+        let dot = m.to_dot(m.one(), |_| unreachable!("no internal nodes"));
+        assert!(dot.contains("n1 [shape=box"));
+        assert!(!dot.contains("->"));
+    }
+}

@@ -1,0 +1,55 @@
+//! A reduced ordered binary decision diagram (ROBDD) package for the RFN
+//! verification tool.
+//!
+//! This crate plays the role CUDD played in the original DAC 2001 prototype:
+//! it supplies every symbolic operation the model-checking and hybrid engines
+//! need. It provides:
+//!
+//! * a hash-consed node store with per-variable unique tables
+//!   ([`BddManager`], [`Bdd`]),
+//! * the ITE core plus derived boolean connectives, all memoized,
+//! * existential/universal quantification and the fused
+//!   [`BddManager::and_exists`] relational product used by image computation,
+//! * variable renaming by arbitrary permutation ([`BddManager::permute`]),
+//! * cube analysis: [`BddManager::pick_cube`] (one satisfying assignment) and
+//!   [`BddManager::shortest_cube`] — the paper's *fattest cube*, the
+//!   satisfying cube with the fewest assignments,
+//! * satisfying-assignment counting and evaluation,
+//! * mark-and-sweep garbage collection with explicit roots, and
+//! * **dynamic variable reordering by group sifting**: in-place adjacent
+//!   level swaps that preserve node identity, so every externally held
+//!   [`Bdd`] handle stays valid across reordering. Current/next-state
+//!   variable pairs are kept adjacent by registering them as a group.
+//!
+//! Handles are plain indices: a [`Bdd`] is only meaningful together with the
+//! manager that created it, and survives both reordering (node identity is
+//! preserved) and garbage collection (as long as it was reachable from the
+//! roots passed to [`BddManager::gc`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rfn_bdd::BddManager;
+//!
+//! # fn main() -> Result<(), rfn_bdd::BddError> {
+//! let mut m = BddManager::new();
+//! let x = m.new_var();
+//! let y = m.new_var();
+//! let fx = m.var(x);
+//! let fy = m.var(y);
+//! let conj = m.and(fx, fy)?;
+//! let quantified = m.exists_one(conj, y)?; // ∃y. x ∧ y  =  x
+//! assert_eq!(quantified, fx);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod manager;
+mod reorder;
+
+pub use manager::{Bdd, BddError, BddManager, BddResult, VarId};
+pub use reorder::{SIFT_MAX_GROUPS, SIFT_MIN_GROUP_SIZE};

@@ -1,0 +1,959 @@
+//! The BDD manager: node store, unique tables, ITE core and quantification.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a BDD variable.
+///
+/// Variables are created with [`BddManager::new_var`] /
+/// [`BddManager::new_var_group`]; the identifier is stable for the lifetime
+/// of the manager even when dynamic reordering changes the variable's level.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// The raw index of the variable (dense, creation order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a variable id from a raw index. Callers must ensure the index
+    /// denotes a variable of the manager it is used with.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        VarId(index as u32)
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Handle to a BDD node.
+///
+/// A `Bdd` is an index into its manager's node store. Handles are `Copy` and
+/// compare by identity, which equals semantic equality thanks to
+/// hash-consing: two handles from the same manager denote the same boolean
+/// function if and only if they are equal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bdd(pub(crate) u32);
+
+impl fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            0 => f.write_str("⊥"),
+            1 => f.write_str("⊤"),
+            n => write!(f, "n{n}"),
+        }
+    }
+}
+
+/// Error raised by BDD operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BddError {
+    /// The manager's live-node limit was exceeded.
+    ///
+    /// This is how the plain symbolic model checker "fails" on designs beyond
+    /// its capacity, mirroring the memory limits of the paper's experiments.
+    NodeLimit,
+}
+
+impl fmt::Display for BddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddError::NodeLimit => f.write_str("BDD node limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for BddError {}
+
+/// Result type of fallible BDD operations.
+pub type BddResult = Result<Bdd, BddError>;
+
+pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
+const FALSE: u32 = 0;
+const TRUE: u32 = 1;
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Node {
+    pub(crate) var: u32,
+    pub(crate) lo: u32,
+    pub(crate) hi: u32,
+}
+
+/// The BDD manager: owns every node and provides all operations.
+///
+/// Operations that may allocate nodes return [`BddResult`] and fail with
+/// [`BddError::NodeLimit`] once the live-node count passes the configured
+/// limit (default: unlimited). See the [crate docs](crate) for an overview
+/// and an example.
+pub struct BddManager {
+    pub(crate) nodes: Vec<Node>,
+    free: Vec<u32>,
+    /// Per-variable unique tables: `(lo, hi) -> node index`.
+    pub(crate) unique: Vec<HashMap<(u32, u32), u32>>,
+    pub(crate) var2level: Vec<u32>,
+    pub(crate) level2var: Vec<u32>,
+    /// Group id per variable; members of a group occupy adjacent levels and
+    /// are sifted as a block.
+    pub(crate) group: Vec<u32>,
+    next_group: u32,
+    ite_cache: HashMap<(u32, u32, u32), u32>,
+    exists_cache: HashMap<(u32, u32), u32>,
+    and_exists_cache: HashMap<(u32, u32, u32), u32>,
+    node_limit: usize,
+    pub(crate) reorder_in_progress: bool,
+    /// Total unique-table entries, maintained incrementally so sifting can
+    /// read the size metric in O(1).
+    pub(crate) unique_entries: usize,
+}
+
+impl fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BddManager({} vars, {} live nodes)",
+            self.num_vars(),
+            self.num_nodes()
+        )
+    }
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// Creates a manager with no variables and no node limit.
+    pub fn new() -> Self {
+        BddManager {
+            nodes: vec![
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: FALSE,
+                    hi: FALSE,
+                },
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: TRUE,
+                    hi: TRUE,
+                },
+            ],
+            free: Vec::new(),
+            unique: Vec::new(),
+            var2level: Vec::new(),
+            level2var: Vec::new(),
+            group: Vec::new(),
+            next_group: 0,
+            ite_cache: HashMap::new(),
+            exists_cache: HashMap::new(),
+            and_exists_cache: HashMap::new(),
+            node_limit: usize::MAX,
+            reorder_in_progress: false,
+            unique_entries: 0,
+        }
+    }
+
+    /// Sets the live-node limit. Operations that would allocate past the
+    /// limit fail with [`BddError::NodeLimit`].
+    pub fn set_node_limit(&mut self, limit: usize) {
+        self.node_limit = limit;
+    }
+
+    /// The constant-false BDD.
+    #[inline]
+    pub fn zero(&self) -> Bdd {
+        Bdd(FALSE)
+    }
+
+    /// The constant-true BDD.
+    #[inline]
+    pub fn one(&self) -> Bdd {
+        Bdd(TRUE)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.var2level.len()
+    }
+
+    /// Number of live (allocated, non-freed) internal nodes, excluding the
+    /// two terminals.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len() - 2 - self.free.len()
+    }
+
+    /// Creates a fresh variable at the bottom of the current order, in its
+    /// own singleton sifting group.
+    pub fn new_var(&mut self) -> VarId {
+        let vars = self.new_var_group(1);
+        vars[0]
+    }
+
+    /// Creates `n` fresh variables at adjacent levels, registered as one
+    /// sifting group (they stay adjacent under dynamic reordering).
+    ///
+    /// The model checker uses groups of two for each register's
+    /// current/next-state variable pair so that renaming stays cheap and the
+    /// interleaved order survives sifting.
+    pub fn new_var_group(&mut self, n: usize) -> Vec<VarId> {
+        let gid = self.next_group;
+        self.next_group += 1;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let var = self.var2level.len() as u32;
+            let level = var; // appended at the bottom
+            self.var2level.push(level);
+            self.level2var.push(var);
+            self.group.push(gid);
+            self.unique.push(HashMap::new());
+            out.push(VarId(var));
+        }
+        out
+    }
+
+    /// The current level (root distance) of a variable.
+    pub fn level_of(&self, v: VarId) -> usize {
+        self.var2level[v.index()] as usize
+    }
+
+    /// The variable at a level.
+    pub fn var_at_level(&self, level: usize) -> VarId {
+        VarId(self.level2var[level])
+    }
+
+    #[inline]
+    pub(crate) fn level(&self, n: u32) -> u32 {
+        let var = self.nodes[n as usize].var;
+        if var == TERMINAL_VAR {
+            u32::MAX
+        } else {
+            self.var2level[var as usize]
+        }
+    }
+
+    #[inline]
+    fn lo(&self, n: u32) -> u32 {
+        self.nodes[n as usize].lo
+    }
+
+    #[inline]
+    fn hi(&self, n: u32) -> u32 {
+        self.nodes[n as usize].hi
+    }
+
+    /// Finds or creates the node `(var, lo, hi)`.
+    pub(crate) fn mk(&mut self, var: u32, lo: u32, hi: u32) -> Result<u32, BddError> {
+        if lo == hi {
+            return Ok(lo);
+        }
+        debug_assert!(
+            self.level(lo) > self.var2level[var as usize]
+                && self.level(hi) > self.var2level[var as usize],
+            "mk: children must be below the node's level"
+        );
+        if let Some(&n) = self.unique[var as usize].get(&(lo, hi)) {
+            return Ok(n);
+        }
+        if !self.reorder_in_progress && self.num_nodes() >= self.node_limit {
+            return Err(BddError::NodeLimit);
+        }
+        let idx = if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = Node { var, lo, hi };
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(Node { var, lo, hi });
+            idx
+        };
+        self.unique[var as usize].insert((lo, hi), idx);
+        self.unique_entries += 1;
+        Ok(idx)
+    }
+
+    /// The BDD of a single positive literal.
+    pub fn var(&mut self, v: VarId) -> Bdd {
+        Bdd(self
+            .mk(v.0, FALSE, TRUE)
+            .expect("single literal never exceeds the node limit meaningfully"))
+    }
+
+    /// The BDD of a single negative literal.
+    pub fn nvar(&mut self, v: VarId) -> Bdd {
+        Bdd(self
+            .mk(v.0, TRUE, FALSE)
+            .expect("single literal never exceeds the node limit meaningfully"))
+    }
+
+    /// The literal `v` with the given polarity.
+    pub fn literal(&mut self, v: VarId, positive: bool) -> Bdd {
+        if positive {
+            self.var(v)
+        } else {
+            self.nvar(v)
+        }
+    }
+
+    /// If-then-else: `f ? g : h`. The core operation everything else derives
+    /// from.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`BddError::NodeLimit`] if the result would exceed the
+    /// manager's node limit.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> BddResult {
+        self.ite_rec(f.0, g.0, h.0).map(Bdd)
+    }
+
+    fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> Result<u32, BddError> {
+        // Terminal and trivial cases.
+        if f == TRUE {
+            return Ok(g);
+        }
+        if f == FALSE {
+            return Ok(h);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g == TRUE && h == FALSE {
+            return Ok(f);
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return Ok(r);
+        }
+        let top = self.level(f).min(self.level(g)).min(self.level(h));
+        let v = self.level2var[top as usize];
+        let (f0, f1) = self.cofactor(f, top);
+        let (g0, g1) = self.cofactor(g, top);
+        let (h0, h1) = self.cofactor(h, top);
+        let lo = self.ite_rec(f0, g0, h0)?;
+        let hi = self.ite_rec(f1, g1, h1)?;
+        let r = self.mk(v, lo, hi)?;
+        self.ite_cache.insert((f, g, h), r);
+        Ok(r)
+    }
+
+    #[inline]
+    fn cofactor(&self, n: u32, level: u32) -> (u32, u32) {
+        if self.level(n) == level {
+            (self.lo(n), self.hi(n))
+        } else {
+            (n, n)
+        }
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: Bdd) -> BddResult {
+        self.ite(f, self.zero(), self.one())
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> BddResult {
+        self.ite(f, g, self.zero())
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> BddResult {
+        self.ite(f, self.one(), g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> BddResult {
+        let ng = self.not(g)?;
+        self.ite(f, ng, g)
+    }
+
+    /// Equivalence (exclusive nor).
+    pub fn xnor(&mut self, f: Bdd, g: Bdd) -> BddResult {
+        let ng = self.not(g)?;
+        self.ite(f, g, ng)
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> BddResult {
+        self.ite(f, g, self.one())
+    }
+
+    /// Conjunction of many operands (n-ary and).
+    pub fn and_many(&mut self, fs: impl IntoIterator<Item = Bdd>) -> BddResult {
+        let mut acc = self.one();
+        for f in fs {
+            acc = self.and(acc, f)?;
+            if acc == self.zero() {
+                break;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Disjunction of many operands (n-ary or).
+    pub fn or_many(&mut self, fs: impl IntoIterator<Item = Bdd>) -> BddResult {
+        let mut acc = self.zero();
+        for f in fs {
+            acc = self.or(acc, f)?;
+            if acc == self.one() {
+                break;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Builds the positive cube `v₁ ∧ v₂ ∧ …` used to denote a set of
+    /// variables for quantification.
+    pub fn var_cube(&mut self, vars: impl IntoIterator<Item = VarId>) -> Bdd {
+        let mut vs: Vec<VarId> = vars.into_iter().collect();
+        // Build bottom-up (deepest level first) so each mk is O(1).
+        vs.sort_by_key(|v| std::cmp::Reverse(self.var2level[v.index()]));
+        let mut acc = TRUE;
+        for v in vs {
+            acc = self
+                .mk(v.0, FALSE, acc)
+                .expect("cube construction allocates at most one node per var");
+        }
+        Bdd(acc)
+    }
+
+    /// Builds the cube (conjunction of literals) for an assignment.
+    pub fn cube(&mut self, lits: impl IntoIterator<Item = (VarId, bool)>) -> Bdd {
+        let mut ls: Vec<(VarId, bool)> = lits.into_iter().collect();
+        ls.sort_by_key(|(v, _)| std::cmp::Reverse(self.var2level[v.index()]));
+        let mut acc = TRUE;
+        for (v, pos) in ls {
+            acc = if pos {
+                self.mk(v.0, FALSE, acc)
+            } else {
+                self.mk(v.0, acc, FALSE)
+            }
+            .expect("cube construction allocates at most one node per literal");
+        }
+        Bdd(acc)
+    }
+
+    /// Existential quantification `∃ vars . f`, where `vars` is a positive
+    /// cube from [`BddManager::var_cube`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`BddError::NodeLimit`] like every allocating operation.
+    pub fn exists(&mut self, f: Bdd, vars: Bdd) -> BddResult {
+        self.exists_rec(f.0, vars.0).map(Bdd)
+    }
+
+    /// Existential quantification of a single variable.
+    pub fn exists_one(&mut self, f: Bdd, v: VarId) -> BddResult {
+        let cube = self.var_cube([v]);
+        self.exists(f, cube)
+    }
+
+    /// Universal quantification `∀ vars . f`.
+    pub fn forall(&mut self, f: Bdd, vars: Bdd) -> BddResult {
+        let nf = self.not(f)?;
+        let e = self.exists(nf, vars)?;
+        self.not(e)
+    }
+
+    fn exists_rec(&mut self, f: u32, mut cube: u32) -> Result<u32, BddError> {
+        // Skip cube variables above f's top level: they don't occur in f.
+        while cube != TRUE && self.level(cube) < self.level(f) {
+            cube = self.hi(cube);
+        }
+        if f <= TRUE || cube == TRUE {
+            return Ok(f);
+        }
+        if let Some(&r) = self.exists_cache.get(&(f, cube)) {
+            return Ok(r);
+        }
+        let flevel = self.level(f);
+        let r = if self.level(cube) == flevel {
+            let lo = self.exists_rec(self.lo(f), self.hi(cube))?;
+            if lo == TRUE {
+                TRUE
+            } else {
+                let hi = self.exists_rec(self.hi(f), self.hi(cube))?;
+                self.ite_rec(lo, TRUE, hi)? // or(lo, hi)
+            }
+        } else {
+            let v = self.level2var[flevel as usize];
+            let lo = self.exists_rec(self.lo(f), cube)?;
+            let hi = self.exists_rec(self.hi(f), cube)?;
+            self.mk(v, lo, hi)?
+        };
+        self.exists_cache.insert((f, cube), r);
+        Ok(r)
+    }
+
+    /// The relational product `∃ vars . f ∧ g`, fused so the conjunction is
+    /// never fully built. This is the workhorse of image computation.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`BddError::NodeLimit`] like every allocating operation.
+    pub fn and_exists(&mut self, f: Bdd, g: Bdd, vars: Bdd) -> BddResult {
+        self.and_exists_rec(f.0, g.0, vars.0).map(Bdd)
+    }
+
+    fn and_exists_rec(&mut self, f: u32, g: u32, mut cube: u32) -> Result<u32, BddError> {
+        if f == FALSE || g == FALSE {
+            return Ok(FALSE);
+        }
+        if f == TRUE && g == TRUE {
+            return Ok(TRUE);
+        }
+        let top = self.level(f).min(self.level(g));
+        while cube != TRUE && self.level(cube) < top {
+            cube = self.hi(cube);
+        }
+        if cube == TRUE {
+            return self.ite_rec(f, g, FALSE); // plain and
+        }
+        // Normalize operand order for better cache hits (and is commutative).
+        let (f, g) = if f <= g { (f, g) } else { (g, f) };
+        if let Some(&r) = self.and_exists_cache.get(&(f, g, cube)) {
+            return Ok(r);
+        }
+        let (f0, f1) = self.cofactor(f, top);
+        let (g0, g1) = self.cofactor(g, top);
+        let r = if self.level(cube) == top {
+            let lo = self.and_exists_rec(f0, g0, self.hi(cube))?;
+            if lo == TRUE {
+                TRUE
+            } else {
+                let hi = self.and_exists_rec(f1, g1, self.hi(cube))?;
+                self.ite_rec(lo, TRUE, hi)?
+            }
+        } else {
+            let v = self.level2var[top as usize];
+            let lo = self.and_exists_rec(f0, g0, cube)?;
+            let hi = self.and_exists_rec(f1, g1, cube)?;
+            self.mk(v, lo, hi)?
+        };
+        self.and_exists_cache.insert((f, g, cube), r);
+        Ok(r)
+    }
+
+    /// Renames variables according to `map` (pairs `from → to`). Variables
+    /// not mentioned are left alone. The mapping must be injective on the
+    /// support of `f`, but need not preserve the variable order.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`BddError::NodeLimit`] like every allocating operation.
+    pub fn permute(&mut self, f: Bdd, map: &[(VarId, VarId)]) -> BddResult {
+        let mut table = vec![u32::MAX; self.num_vars()];
+        for (from, to) in map {
+            table[from.index()] = to.0;
+        }
+        let mut cache: HashMap<u32, u32> = HashMap::new();
+        self.permute_rec(f.0, &table, &mut cache).map(Bdd)
+    }
+
+    fn permute_rec(
+        &mut self,
+        f: u32,
+        table: &[u32],
+        cache: &mut HashMap<u32, u32>,
+    ) -> Result<u32, BddError> {
+        if f <= TRUE {
+            return Ok(f);
+        }
+        if let Some(&r) = cache.get(&f) {
+            return Ok(r);
+        }
+        let node = self.nodes[f as usize];
+        let lo = self.permute_rec(node.lo, table, cache)?;
+        let hi = self.permute_rec(node.hi, table, cache)?;
+        let newvar = if table[node.var as usize] != u32::MAX {
+            table[node.var as usize]
+        } else {
+            node.var
+        };
+        // The new variable may sit below parts of lo/hi, so rebuild with ite
+        // instead of mk when the order is violated.
+        let vlevel = self.var2level[newvar as usize];
+        let r = if self.level(lo) > vlevel && self.level(hi) > vlevel {
+            self.mk(newvar, lo, hi)?
+        } else {
+            let vb = self.mk(newvar, FALSE, TRUE)?;
+            self.ite_rec(vb, hi, lo)?
+        };
+        cache.insert(f, r);
+        Ok(r)
+    }
+
+    /// Restricts `f` by the assignment `lits` (cofactoring each listed
+    /// variable to the given constant).
+    pub fn restrict(&mut self, f: Bdd, lits: &[(VarId, bool)]) -> BddResult {
+        let mut table = vec![u8::MAX; self.num_vars()];
+        for (v, b) in lits {
+            table[v.index()] = u8::from(*b);
+        }
+        let mut cache: HashMap<u32, u32> = HashMap::new();
+        self.restrict_rec(f.0, &table, &mut cache).map(Bdd)
+    }
+
+    fn restrict_rec(
+        &mut self,
+        f: u32,
+        table: &[u8],
+        cache: &mut HashMap<u32, u32>,
+    ) -> Result<u32, BddError> {
+        if f <= TRUE {
+            return Ok(f);
+        }
+        if let Some(&r) = cache.get(&f) {
+            return Ok(r);
+        }
+        let node = self.nodes[f as usize];
+        let r = match table[node.var as usize] {
+            0 => self.restrict_rec(node.lo, table, cache)?,
+            1 => self.restrict_rec(node.hi, table, cache)?,
+            _ => {
+                let lo = self.restrict_rec(node.lo, table, cache)?;
+                let hi = self.restrict_rec(node.hi, table, cache)?;
+                self.mk(node.var, lo, hi)?
+            }
+        };
+        cache.insert(f, r);
+        Ok(r)
+    }
+
+    /// Garbage-collects every node not reachable from `roots`. Returns the
+    /// number of freed nodes. All operation caches are cleared; handles to
+    /// collected nodes become invalid.
+    pub fn gc(&mut self, roots: &[Bdd]) -> usize {
+        let mut marked = vec![false; self.nodes.len()];
+        marked[FALSE as usize] = true;
+        marked[TRUE as usize] = true;
+        let mut stack: Vec<u32> = roots.iter().map(|b| b.0).collect();
+        while let Some(n) = stack.pop() {
+            if marked[n as usize] {
+                continue;
+            }
+            marked[n as usize] = true;
+            let node = self.nodes[n as usize];
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        // Nodes already freed must stay freed (and not be double-freed).
+        let mut already_free = vec![false; self.nodes.len()];
+        for &f in &self.free {
+            already_free[f as usize] = true;
+        }
+        let mut freed = 0;
+        for idx in 2..self.nodes.len() as u32 {
+            if marked[idx as usize] || already_free[idx as usize] {
+                continue;
+            }
+            let node = self.nodes[idx as usize];
+            self.unique[node.var as usize].remove(&(node.lo, node.hi));
+            self.unique_entries -= 1;
+            self.free.push(idx);
+            freed += 1;
+        }
+        self.clear_caches();
+        freed
+    }
+
+    /// Clears all memoization caches (needed after garbage collection; cheap
+    /// otherwise).
+    pub fn clear_caches(&mut self) {
+        self.ite_cache.clear();
+        self.exists_cache.clear();
+        self.and_exists_cache.clear();
+    }
+
+    /// Number of internal nodes reachable from `f` (the usual BDD size
+    /// metric).
+    pub fn size(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f.0];
+        let mut count = 0;
+        while let Some(n) = stack.pop() {
+            if n <= TRUE || !seen.insert(n) {
+                continue;
+            }
+            count += 1;
+            let node = self.nodes[n as usize];
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        count
+    }
+
+    /// The set of variables occurring in `f`, in ascending id order.
+    pub fn support(&self, f: Bdd) -> Vec<VarId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f.0];
+        while let Some(n) = stack.pop() {
+            if n <= TRUE || !seen.insert(n) {
+                continue;
+            }
+            let node = self.nodes[n as usize];
+            vars.insert(VarId(node.var));
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Low child accessor used by the analysis module.
+    pub(crate) fn node(&self, n: u32) -> Node {
+        self.nodes[n as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup3() -> (BddManager, Bdd, Bdd, Bdd) {
+        let mut m = BddManager::new();
+        let a = m.new_var();
+        let b = m.new_var();
+        let c = m.new_var();
+        let (fa, fb, fc) = (m.var(a), m.var(b), m.var(c));
+        (m, fa, fb, fc)
+    }
+
+    #[test]
+    fn hash_consing_gives_identity() {
+        let (mut m, a, b, _) = setup3();
+        let ab1 = m.and(a, b).unwrap();
+        let ab2 = m.and(b, a).unwrap();
+        assert_eq!(ab1, ab2);
+        let or1 = m.or(a, b).unwrap();
+        let nor = m.not(or1).unwrap();
+        let na = m.not(a).unwrap();
+        let nb = m.not(b).unwrap();
+        let and_n = m.and(na, nb).unwrap();
+        assert_eq!(nor, and_n); // De Morgan, structurally
+    }
+
+    #[test]
+    fn terminal_laws() {
+        let (mut m, a, _, _) = setup3();
+        let one = m.one();
+        let zero = m.zero();
+        assert_eq!(m.and(a, one).unwrap(), a);
+        assert_eq!(m.and(a, zero).unwrap(), zero);
+        assert_eq!(m.or(a, zero).unwrap(), a);
+        assert_eq!(m.or(a, one).unwrap(), one);
+        let na = m.not(a).unwrap();
+        assert_eq!(m.and(a, na).unwrap(), zero);
+        assert_eq!(m.or(a, na).unwrap(), one);
+        let nna = m.not(na).unwrap();
+        assert_eq!(nna, a);
+    }
+
+    #[test]
+    fn xor_and_xnor() {
+        let (mut m, a, b, _) = setup3();
+        let x = m.xor(a, b).unwrap();
+        let xn = m.xnor(a, b).unwrap();
+        let nx = m.not(x).unwrap();
+        assert_eq!(xn, nx);
+        let self_xor = m.xor(a, a).unwrap();
+        assert_eq!(self_xor, m.zero());
+    }
+
+    #[test]
+    fn exists_removes_variable() {
+        let (mut m, a, b, _) = setup3();
+        let ab = m.and(a, b).unwrap();
+        let vb = VarId(1);
+        let e = m.exists_one(ab, vb).unwrap();
+        assert_eq!(e, a);
+        // ∃a,b. a∧b = true
+        let cube = m.var_cube([VarId(0), VarId(1)]);
+        let e2 = m.exists(ab, cube).unwrap();
+        assert_eq!(e2, m.one());
+    }
+
+    #[test]
+    fn forall_is_dual() {
+        let (mut m, a, b, _) = setup3();
+        let ab = m.or(a, b).unwrap();
+        let cube_b = m.var_cube([VarId(1)]);
+        let f = m.forall(ab, cube_b).unwrap();
+        // ∀b. a∨b = a
+        assert_eq!(f, a);
+        let cube_ab = m.var_cube([VarId(0), VarId(1)]);
+        let g = m.forall(ab, cube_ab).unwrap();
+        assert_eq!(g, m.zero());
+    }
+
+    #[test]
+    fn and_exists_matches_two_step() {
+        let (mut m, a, b, c) = setup3();
+        let f = m.or(a, b).unwrap();
+        let g = m.or(b, c).unwrap();
+        let cube = m.var_cube([VarId(1)]);
+        let fused = m.and_exists(f, g, cube).unwrap();
+        let conj = m.and(f, g).unwrap();
+        let two_step = m.exists(conj, cube).unwrap();
+        assert_eq!(fused, two_step);
+    }
+
+    #[test]
+    fn permute_renames() {
+        let (mut m, a, b, c) = setup3();
+        let f = m.and(a, b).unwrap();
+        // rename b -> c
+        let g = m.permute(f, &[(VarId(1), VarId(2))]).unwrap();
+        let expected = m.and(a, c).unwrap();
+        assert_eq!(g, expected);
+    }
+
+    #[test]
+    fn permute_swap_violating_order() {
+        let (mut m, a, _, c) = setup3();
+        // f depends on a (level 0) and c (level 2); swap them.
+        let nc = m.not(c).unwrap();
+        let f = m.and(a, nc).unwrap();
+        let g = m
+            .permute(f, &[(VarId(0), VarId(2)), (VarId(2), VarId(0))])
+            .unwrap();
+        let na = m.not(a).unwrap();
+        let expected = m.and(c, na).unwrap();
+        assert_eq!(g, expected);
+    }
+
+    #[test]
+    fn restrict_cofactors() {
+        let (mut m, a, b, _) = setup3();
+        let f = m.xor(a, b).unwrap();
+        let r1 = m.restrict(f, &[(VarId(0), true)]).unwrap();
+        let nb = m.not(b).unwrap();
+        assert_eq!(r1, nb);
+        let r0 = m.restrict(f, &[(VarId(0), false)]).unwrap();
+        assert_eq!(r0, b);
+    }
+
+    #[test]
+    fn cube_builds_conjunction() {
+        let (mut m, a, b, _) = setup3();
+        let cube = m.cube([(VarId(0), true), (VarId(1), false)]);
+        let nb = m.not(b).unwrap();
+        let expected = m.and(a, nb).unwrap();
+        assert_eq!(cube, expected);
+    }
+
+    #[test]
+    fn node_limit_trips() {
+        let mut m = BddManager::new();
+        let vars: Vec<_> = (0..16).map(|_| m.new_var()).collect();
+        m.set_node_limit(8);
+        // Parity of 16 vars needs ~31 nodes: must exceed the limit.
+        let mut acc = m.zero();
+        let mut failed = false;
+        for v in vars {
+            let lit = m.var(v);
+            match m.xor(acc, lit) {
+                Ok(r) => acc = r,
+                Err(BddError::NodeLimit) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        assert!(failed);
+    }
+
+    #[test]
+    fn gc_frees_garbage_and_keeps_roots() {
+        let (mut m, a, b, c) = setup3();
+        let keep = m.and(a, b).unwrap();
+        let junk = m.xor(b, c).unwrap();
+        let _ = junk;
+        let before = m.num_nodes();
+        let freed = m.gc(&[keep]);
+        assert!(freed > 0);
+        assert_eq!(m.num_nodes(), before - freed);
+        // keep still works after gc
+        let again = m.and(a, b).unwrap();
+        assert_eq!(again, keep);
+    }
+
+    #[test]
+    fn size_and_support() {
+        let (mut m, a, b, c) = setup3();
+        let ab = m.and(a, b).unwrap();
+        let f = m.or(ab, c).unwrap();
+        assert_eq!(m.support(f), vec![VarId(0), VarId(1), VarId(2)]);
+        assert!(m.size(f) >= 3);
+        assert_eq!(m.size(m.one()), 0);
+    }
+
+    #[test]
+    fn var_cube_orders_any_input() {
+        let mut m = BddManager::new();
+        let vs: Vec<_> = (0..5).map(|_| m.new_var()).collect();
+        let c1 = m.var_cube([vs[3], vs[0], vs[4]]);
+        let c2 = m.var_cube([vs[4], vs[3], vs[0]]);
+        assert_eq!(c1, c2);
+    }
+}
+
+#[cfg(test)]
+mod gc_reuse_tests {
+    use super::*;
+
+    #[test]
+    fn freed_slots_are_reused() {
+        let mut m = BddManager::new();
+        let a = m.new_var();
+        let b = m.new_var();
+        let c = m.new_var();
+        let (fa, fb, fc) = (m.var(a), m.var(b), m.var(c));
+        let junk1 = m.and(fa, fb).unwrap();
+        let junk2 = m.xor(fb, fc).unwrap();
+        let _ = (junk1, junk2);
+        let before_len = m.nodes.len();
+        let freed = m.gc(&[fa, fb, fc]);
+        assert!(freed >= 2);
+        // New allocations fill the free list before growing the store.
+        let again = m.and(fa, fc).unwrap();
+        let _ = again;
+        assert_eq!(m.nodes.len(), before_len, "store grew despite free slots");
+    }
+
+    #[test]
+    fn gc_with_duplicate_roots_is_safe() {
+        let mut m = BddManager::new();
+        let a = m.new_var();
+        let fa = m.var(a);
+        let na = m.not(fa).unwrap();
+        let freed_first = m.gc(&[fa, fa, na, na]);
+        assert_eq!(freed_first, 0);
+        // Double gc must not double-free.
+        let freed_second = m.gc(&[fa]);
+        assert_eq!(freed_second, 1); // na is garbage now
+        let freed_third = m.gc(&[fa]);
+        assert_eq!(freed_third, 0);
+    }
+
+    #[test]
+    fn set_order_ignores_unknown_vars() {
+        let mut m = BddManager::new();
+        let a = m.new_var();
+        let b = m.new_var();
+        // An order listing a var the manager doesn't have is tolerated.
+        m.set_order(&[VarId::from_index(99), b, a]);
+        assert_eq!(m.current_order(), vec![b, a]);
+    }
+}

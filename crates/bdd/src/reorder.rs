@@ -1,0 +1,428 @@
+//! Dynamic variable reordering by group sifting.
+//!
+//! Reordering happens *in place*: an adjacent-level swap rewrites the nodes
+//! labeled with the upper variable and relabels them with the lower one,
+//! preserving the boolean function denoted by every node index. External
+//! [`Bdd`](crate::Bdd) handles therefore stay valid across reordering, and
+//! operation caches remain sound (they are keyed on node identities whose
+//! semantics do not change).
+//!
+//! Variables created together with
+//! [`BddManager::new_var_group`](crate::BddManager::new_var_group) always
+//! occupy adjacent levels and move as one block, which keeps current/next
+//! state variable pairs interleaved — the property the model checker's
+//! renaming step relies on.
+//!
+//! The size metric used while sifting is the total number of unique-table
+//! entries, which includes nodes that became unreachable during the sift
+//! itself. Call [`BddManager::gc`](crate::BddManager::gc) before
+//! [`BddManager::sift`](crate::BddManager::sift) so the metric starts exact.
+
+use crate::manager::BddManager;
+use crate::VarId;
+
+/// Groups whose unique tables hold at most this many nodes are not sifted.
+pub const SIFT_MIN_GROUP_SIZE: usize = 4;
+/// At most this many groups are sifted per pass (largest first).
+pub const SIFT_MAX_GROUPS: usize = 128;
+
+impl BddManager {
+    /// Swaps the variables at levels `l` and `l + 1`, preserving the function
+    /// of every node index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l + 1` is not a valid level.
+    pub(crate) fn swap_adjacent_levels(&mut self, l: usize) {
+        let x = self.level2var[l];
+        let y = self.level2var[l + 1];
+        // Collect the x-labeled nodes that depend on y. Everything else is
+        // untouched by the swap.
+        let affected: Vec<u32> = self.unique[x as usize]
+            .values()
+            .copied()
+            .filter(|&idx| {
+                let n = self.nodes[idx as usize];
+                self.nodes[n.lo as usize].var == y || self.nodes[n.hi as usize].var == y
+            })
+            .collect();
+        // Remove them from x's table first so rebuilt (x, …) nodes can never
+        // alias a node that is about to be relabeled.
+        for &idx in &affected {
+            let n = self.nodes[idx as usize];
+            self.unique[x as usize].remove(&(n.lo, n.hi));
+            self.unique_entries -= 1;
+        }
+        for &idx in &affected {
+            let n = self.nodes[idx as usize];
+            let (lo0, lo1) = if self.nodes[n.lo as usize].var == y {
+                (self.nodes[n.lo as usize].lo, self.nodes[n.lo as usize].hi)
+            } else {
+                (n.lo, n.lo)
+            };
+            let (hi0, hi1) = if self.nodes[n.hi as usize].var == y {
+                (self.nodes[n.hi as usize].lo, self.nodes[n.hi as usize].hi)
+            } else {
+                (n.hi, n.hi)
+            };
+            let new_lo = self
+                .mk(x, lo0, hi0)
+                .expect("reorder bypasses the node limit");
+            let new_hi = self
+                .mk(x, lo1, hi1)
+                .expect("reorder bypasses the node limit");
+            debug_assert_ne!(new_lo, new_hi, "swap produced a redundant node");
+            self.nodes[idx as usize].var = y;
+            self.nodes[idx as usize].lo = new_lo;
+            self.nodes[idx as usize].hi = new_hi;
+            let prev = self.unique[y as usize].insert((new_lo, new_hi), idx);
+            self.unique_entries += 1;
+            debug_assert!(prev.is_none(), "swap collided in the unique table");
+        }
+        self.level2var[l] = y;
+        self.level2var[l + 1] = x;
+        self.var2level[x as usize] = (l + 1) as u32;
+        self.var2level[y as usize] = l as u32;
+    }
+
+    /// Total unique-table entries: the size metric sifting minimizes.
+    /// Maintained incrementally, so this is O(1).
+    fn table_size(&self) -> usize {
+        debug_assert_eq!(
+            self.unique_entries,
+            self.unique.iter().map(|t| t.len()).sum::<usize>()
+        );
+        self.unique_entries
+    }
+
+    /// The maximal blocks of adjacent levels whose variables share a sifting
+    /// group, as `(group_id, start_level, len)`, top to bottom.
+    fn blocks(&self) -> Vec<(u32, usize, usize)> {
+        let mut out: Vec<(u32, usize, usize)> = Vec::new();
+        for l in 0..self.level2var.len() {
+            let gid = self.group[self.level2var[l] as usize];
+            match out.last_mut() {
+                Some((g, _, len)) if *g == gid => *len += 1,
+                _ => out.push((gid, l, 1)),
+            }
+        }
+        out
+    }
+
+    /// Moves the block starting at level `s` (length `a`) below the block
+    /// that follows it (length `b`).
+    fn swap_blocks_down(&mut self, s: usize, a: usize, b: usize) {
+        for i in (0..a).rev() {
+            let mut l = s + i;
+            for _ in 0..b {
+                self.swap_adjacent_levels(l);
+                l += 1;
+            }
+        }
+    }
+
+    /// Sifts variable groups to locally optimal positions, largest groups
+    /// first (Rudell's sifting, on groups). Groups whose unique tables hold
+    /// at most [`SIFT_MIN_GROUP_SIZE`] nodes are skipped — on models with
+    /// thousands of near-empty input variables they cannot shrink anything,
+    /// and visiting them would dominate the runtime.
+    ///
+    /// `max_growth` bounds the intermediate blow-up: a group's exploration is
+    /// cut short once the table grows past `max_growth` times its size at the
+    /// start of that group's sift (1.2 – 2.0 are typical values).
+    ///
+    /// Call [`BddManager::gc`](crate::BddManager::gc) first so dead nodes do
+    /// not distort the size metric.
+    pub fn sift(&mut self, max_growth: f64) {
+        let was = self.reorder_in_progress;
+        self.reorder_in_progress = true;
+        for gid in self.sift_candidates() {
+            self.sift_group(gid, max_growth);
+        }
+        self.reorder_in_progress = was;
+    }
+
+    /// Like [`BddManager::sift`], but garbage-collects with the given roots
+    /// before each group's sift so the size metric stays exact throughout.
+    /// This is what the model checker calls between image computations.
+    pub fn sift_with_roots(&mut self, roots: &[crate::Bdd], max_growth: f64) {
+        let was = self.reorder_in_progress;
+        self.reorder_in_progress = true;
+        for gid in self.sift_candidates() {
+            // Collect garbage before each group so the size metric stays
+            // exact; candidates are capped, so this stays affordable.
+            self.gc(roots);
+            self.sift_group(gid, max_growth);
+        }
+        self.gc(roots);
+        self.reorder_in_progress = was;
+    }
+
+    /// Groups worth sifting, largest first. On small managers every group
+    /// is considered; on managers with many variables (abstract models can
+    /// have thousands of near-empty input variables) only groups holding
+    /// more than [`SIFT_MIN_GROUP_SIZE`] nodes are visited, capped at
+    /// [`SIFT_MAX_GROUPS`].
+    fn sift_candidates(&self) -> Vec<u32> {
+        let blocks = self.blocks();
+        let threshold = if blocks.len() <= 64 {
+            0
+        } else {
+            SIFT_MIN_GROUP_SIZE
+        };
+        let mut group_sizes: Vec<(u32, usize)> = Vec::new();
+        for (gid, s, len) in blocks {
+            let size: usize = (s..s + len)
+                .map(|l| self.unique[self.level2var[l] as usize].len())
+                .sum();
+            if size > threshold {
+                group_sizes.push((gid, size));
+            }
+        }
+        group_sizes.sort_by_key(|&(_, size)| std::cmp::Reverse(size));
+        group_sizes.truncate(SIFT_MAX_GROUPS);
+        group_sizes.into_iter().map(|(gid, _)| gid).collect()
+    }
+
+    /// Moves one group down/up through the order and parks it at the best
+    /// position seen. The block layout is tracked incrementally: only the
+    /// sifted group moves, so a snapshot of `(group, len)` pairs plus the
+    /// group's index stays valid throughout — no per-move rescans.
+    fn sift_group(&mut self, gid: u32, max_growth: f64) {
+        let start_size = self.table_size().max(1);
+        let limit = ((start_size as f64) * max_growth) as usize + 64;
+        // Snapshot of the block order as (group, len); `pos` tracks the
+        // sifted group; `start_of` computes a block's start level on demand.
+        let mut order: Vec<(u32, usize)> = self
+            .blocks()
+            .into_iter()
+            .map(|(g, _, len)| (g, len))
+            .collect();
+        let start_pos = order
+            .iter()
+            .position(|&(g, _)| g == gid)
+            .expect("group exists");
+        let nblocks = order.len();
+        let mut pos = start_pos;
+        // Start level of the sifted block, maintained incrementally.
+        let mut cur_start: usize = order[..pos].iter().map(|&(_, len)| len).sum();
+        let mut best = (start_size, start_pos);
+
+        // Explore the shorter side first (plain Rudell heuristic).
+        let down_first = start_pos >= nblocks / 2;
+        for phase in 0..2 {
+            let go_down = down_first == (phase == 0);
+            loop {
+                if go_down {
+                    if pos + 1 >= nblocks {
+                        break;
+                    }
+                    let (_, a) = order[pos];
+                    let (_, b) = order[pos + 1];
+                    self.swap_blocks_down(cur_start, a, b);
+                    order.swap(pos, pos + 1);
+                    pos += 1;
+                    cur_start += b;
+                    let sz = self.table_size();
+                    if sz < best.0 {
+                        best = (sz, pos);
+                    }
+                    if sz > limit {
+                        break;
+                    }
+                } else {
+                    if pos == 0 {
+                        break;
+                    }
+                    let (_, b) = order[pos - 1];
+                    let (_, a) = order[pos];
+                    self.swap_blocks_down(cur_start - b, b, a);
+                    order.swap(pos - 1, pos);
+                    pos -= 1;
+                    cur_start -= b;
+                    let sz = self.table_size();
+                    if sz <= best.0 {
+                        best = (sz, pos);
+                    }
+                    if sz > limit {
+                        break;
+                    }
+                }
+            }
+        }
+        // Return to the best position seen.
+        while pos < best.1 {
+            let (_, a) = order[pos];
+            let (_, b) = order[pos + 1];
+            self.swap_blocks_down(cur_start, a, b);
+            order.swap(pos, pos + 1);
+            pos += 1;
+            cur_start += b;
+        }
+        while pos > best.1 {
+            let (_, b) = order[pos - 1];
+            let (_, a) = order[pos];
+            self.swap_blocks_down(cur_start - b, b, a);
+            order.swap(pos - 1, pos);
+            pos -= 1;
+            cur_start -= b;
+        }
+    }
+
+    /// The current variable order, top level first.
+    pub fn current_order(&self) -> Vec<VarId> {
+        self.level2var.iter().map(|&v| VarId(v)).collect()
+    }
+
+    /// Rearranges the variable order to match `order` (top level first) by
+    /// adjacent swaps. Variables missing from `order` keep their relative
+    /// order below the listed ones. Group adjacency is *not* enforced here;
+    /// pass orders that keep groups contiguous (e.g. one produced by
+    /// [`BddManager::current_order`] on a compatibly-grouped manager).
+    pub fn set_order(&mut self, order: &[VarId]) {
+        let was = self.reorder_in_progress;
+        self.reorder_in_progress = true;
+        let mut target = 0usize;
+        for &v in order {
+            if v.index() >= self.num_vars() {
+                continue;
+            }
+            let mut cur = self.var2level[v.index()] as usize;
+            while cur > target {
+                self.swap_adjacent_levels(cur - 1);
+                cur -= 1;
+            }
+            target += 1;
+        }
+        self.reorder_in_progress = was;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Bdd, BddManager, VarId};
+
+    /// Builds the classic order-sensitive function
+    /// f = (x0 ∧ x1) ∨ (x2 ∧ x3) ∨ (x4 ∧ x5) under a deliberately bad
+    /// interleaving x0 x2 x4 x1 x3 x5.
+    fn order_sensitive() -> (BddManager, Bdd, Vec<VarId>) {
+        let mut m = BddManager::new();
+        let v: Vec<VarId> = (0..6).map(|_| m.new_var()).collect();
+        // Creation order is the level order; pair (v[0],v[3]), (v[1],v[4]),
+        // (v[2],v[5]) so partners are far apart.
+        let mut f = m.zero();
+        for i in 0..3 {
+            let a = m.var(v[i]);
+            let b = m.var(v[i + 3]);
+            let ab = m.and(a, b).unwrap();
+            f = m.or(f, ab).unwrap();
+        }
+        (m, f, v)
+    }
+
+    fn eval_all(m: &BddManager, f: Bdd, nvars: usize) -> Vec<bool> {
+        (0..1u32 << nvars)
+            .map(|bits| {
+                let asg: Vec<bool> = (0..nvars).map(|i| bits & (1 << i) != 0).collect();
+                m.eval(f, &asg)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_swap_preserves_semantics() {
+        let (mut m, f, _) = order_sensitive();
+        let before = eval_all(&m, f, 6);
+        m.reorder_in_progress = true;
+        m.swap_adjacent_levels(2);
+        m.reorder_in_progress = false;
+        assert_eq!(eval_all(&m, f, 6), before);
+        m.reorder_in_progress = true;
+        m.swap_adjacent_levels(0);
+        m.swap_adjacent_levels(4);
+        m.reorder_in_progress = false;
+        assert_eq!(eval_all(&m, f, 6), before);
+    }
+
+    #[test]
+    fn sifting_shrinks_order_sensitive_function() {
+        let (mut m, f, _) = order_sensitive();
+        let before_size = m.size(f);
+        let before_sem = eval_all(&m, f, 6);
+        m.sift_with_roots(&[f], 2.0);
+        assert_eq!(eval_all(&m, f, 6), before_sem, "sift changed semantics");
+        let after_size = m.size(f);
+        assert!(
+            after_size < before_size,
+            "sift did not shrink: {before_size} -> {after_size}"
+        );
+        // Sifting is a local heuristic; a second pass converges to the
+        // optimum (6 internal nodes) for this function.
+        m.sift_with_roots(&[f], 2.0);
+        assert_eq!(eval_all(&m, f, 6), before_sem);
+        assert_eq!(m.size(f), 6);
+    }
+
+    #[test]
+    fn set_order_reaches_requested_order() {
+        let (mut m, f, v) = order_sensitive();
+        let before_sem = eval_all(&m, f, 6);
+        let want = vec![v[0], v[3], v[1], v[4], v[2], v[5]];
+        m.set_order(&want);
+        assert_eq!(m.current_order(), want);
+        assert_eq!(eval_all(&m, f, 6), before_sem);
+        assert_eq!(m.size(f), 6);
+    }
+
+    #[test]
+    fn groups_stay_adjacent_under_sifting() {
+        let mut m = BddManager::new();
+        let g1 = m.new_var_group(2);
+        let g2 = m.new_var_group(2);
+        let g3 = m.new_var_group(2);
+        let all = [g1.clone(), g2.clone(), g3.clone()];
+        // Build something order-sensitive across the groups.
+        let mut f = m.zero();
+        for (a, b) in [(g1[0], g3[1]), (g2[0], g3[0]), (g1[1], g2[1])] {
+            let ba = m.var(a);
+            let bb = m.var(b);
+            let ab = m.and(ba, bb).unwrap();
+            f = m.or(f, ab).unwrap();
+        }
+        let before = eval_all(&m, f, 6);
+        m.gc(&[f]);
+        m.sift(2.0);
+        assert_eq!(eval_all(&m, f, 6), before);
+        // Each group's two variables must sit on adjacent levels.
+        for g in &all {
+            let l0 = m.level_of(g[0]);
+            let l1 = m.level_of(g[1]);
+            assert_eq!(l0.abs_diff(l1), 1, "group split apart by sifting");
+        }
+    }
+
+    #[test]
+    fn handles_survive_reordering() {
+        let (mut m, f, v) = order_sensitive();
+        let a = m.var(v[0]);
+        let g = m.and(f, a).unwrap();
+        let before_f = eval_all(&m, f, 6);
+        let before_g = eval_all(&m, g, 6);
+        m.gc(&[f, g]);
+        m.sift(2.0);
+        assert_eq!(eval_all(&m, f, 6), before_f);
+        assert_eq!(eval_all(&m, g, 6), before_g);
+        // Operations keep working after the sift.
+        let h = m.or(f, g).unwrap();
+        assert_eq!(h, f); // g ⊆ f, so f ∨ g = f
+    }
+
+    #[test]
+    fn sift_on_empty_manager_is_a_noop() {
+        let mut m = BddManager::new();
+        m.sift(2.0);
+        let _ = m.new_var();
+        m.sift(2.0);
+        assert_eq!(m.num_vars(), 1);
+    }
+}

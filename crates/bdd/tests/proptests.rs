@@ -1,0 +1,236 @@
+//! Property tests: the BDD package against brute-force truth tables.
+
+use proptest::prelude::*;
+use rfn_bdd::{Bdd, BddManager, VarId};
+
+/// A small random boolean expression over `nvars` variables.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr(nvars: usize) -> impl Strategy<Value = Expr> {
+    let leaf = (0..nvars).prop_map(Expr::Var);
+    leaf.prop_recursive(5, 48, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+impl Expr {
+    fn eval(&self, asg: &[bool]) -> bool {
+        match self {
+            Expr::Var(i) => asg[*i],
+            Expr::Not(a) => !a.eval(asg),
+            Expr::And(a, b) => a.eval(asg) && b.eval(asg),
+            Expr::Or(a, b) => a.eval(asg) || b.eval(asg),
+            Expr::Xor(a, b) => a.eval(asg) ^ b.eval(asg),
+            Expr::Ite(a, b, c) => {
+                if a.eval(asg) {
+                    b.eval(asg)
+                } else {
+                    c.eval(asg)
+                }
+            }
+        }
+    }
+
+    fn build(&self, m: &mut BddManager, vars: &[VarId]) -> Bdd {
+        match self {
+            Expr::Var(i) => m.var(vars[*i]),
+            Expr::Not(a) => {
+                let fa = a.build(m, vars);
+                m.not(fa).unwrap()
+            }
+            Expr::And(a, b) => {
+                let fa = a.build(m, vars);
+                let fb = b.build(m, vars);
+                m.and(fa, fb).unwrap()
+            }
+            Expr::Or(a, b) => {
+                let fa = a.build(m, vars);
+                let fb = b.build(m, vars);
+                m.or(fa, fb).unwrap()
+            }
+            Expr::Xor(a, b) => {
+                let fa = a.build(m, vars);
+                let fb = b.build(m, vars);
+                m.xor(fa, fb).unwrap()
+            }
+            Expr::Ite(a, b, c) => {
+                let fa = a.build(m, vars);
+                let fb = b.build(m, vars);
+                let fc = c.build(m, vars);
+                m.ite(fa, fb, fc).unwrap()
+            }
+        }
+    }
+}
+
+const NVARS: usize = 5;
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0..1u32 << NVARS).map(|bits| (0..NVARS).map(|i| bits & (1 << i) != 0).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// BDD construction agrees with direct expression evaluation.
+    #[test]
+    fn bdd_matches_truth_table(e in arb_expr(NVARS)) {
+        let mut m = BddManager::new();
+        let vars: Vec<_> = (0..NVARS).map(|_| m.new_var()).collect();
+        let f = e.build(&mut m, &vars);
+        for asg in assignments() {
+            prop_assert_eq!(m.eval(f, &asg), e.eval(&asg));
+        }
+    }
+
+    /// Semantic equality implies handle equality (canonicity).
+    #[test]
+    fn canonical_forms(e in arb_expr(NVARS)) {
+        let mut m = BddManager::new();
+        let vars: Vec<_> = (0..NVARS).map(|_| m.new_var()).collect();
+        let f = e.build(&mut m, &vars);
+        // Rebuild through double negation; must be the identical node.
+        let nf = m.not(f).unwrap();
+        let nnf = m.not(nf).unwrap();
+        prop_assert_eq!(f, nnf);
+        // f xor f == 0, f xnor f == 1.
+        prop_assert_eq!(m.xor(f, f).unwrap(), m.zero());
+        prop_assert_eq!(m.xnor(f, f).unwrap(), m.one());
+    }
+
+    /// ∃x.f computed by the package equals f[x:=0] ∨ f[x:=1].
+    #[test]
+    fn exists_matches_shannon(e in arb_expr(NVARS), vi in 0..NVARS) {
+        let mut m = BddManager::new();
+        let vars: Vec<_> = (0..NVARS).map(|_| m.new_var()).collect();
+        let f = e.build(&mut m, &vars);
+        let quant = m.exists_one(f, vars[vi]).unwrap();
+        let f0 = m.restrict(f, &[(vars[vi], false)]).unwrap();
+        let f1 = m.restrict(f, &[(vars[vi], true)]).unwrap();
+        let shannon = m.or(f0, f1).unwrap();
+        prop_assert_eq!(quant, shannon);
+    }
+
+    /// and_exists(f, g, cube) == exists(and(f, g), cube) for random cubes.
+    #[test]
+    fn and_exists_is_fused_relational_product(
+        e1 in arb_expr(NVARS),
+        e2 in arb_expr(NVARS),
+        mask in 0u32..(1 << NVARS),
+    ) {
+        let mut m = BddManager::new();
+        let vars: Vec<_> = (0..NVARS).map(|_| m.new_var()).collect();
+        let f = e1.build(&mut m, &vars);
+        let g = e2.build(&mut m, &vars);
+        let qvars: Vec<_> = (0..NVARS).filter(|i| mask & (1 << i) != 0).map(|i| vars[i]).collect();
+        let cube = m.var_cube(qvars);
+        let fused = m.and_exists(f, g, cube).unwrap();
+        let conj = m.and(f, g).unwrap();
+        let two_step = m.exists(conj, cube).unwrap();
+        prop_assert_eq!(fused, two_step);
+    }
+
+    /// Sifting preserves semantics and the function survives gc + reorder.
+    #[test]
+    fn reordering_preserves_semantics(e in arb_expr(NVARS)) {
+        let mut m = BddManager::new();
+        let vars: Vec<_> = (0..NVARS).map(|_| m.new_var()).collect();
+        let f = e.build(&mut m, &vars);
+        let before: Vec<bool> = assignments().map(|a| m.eval(f, &a)).collect();
+        m.sift_with_roots(&[f], 2.0);
+        let after: Vec<bool> = assignments().map(|a| m.eval(f, &a)).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// set_order to an arbitrary permutation preserves semantics.
+    #[test]
+    fn arbitrary_order_preserves_semantics(e in arb_expr(NVARS), seed in any::<u64>()) {
+        let mut m = BddManager::new();
+        let vars: Vec<_> = (0..NVARS).map(|_| m.new_var()).collect();
+        let f = e.build(&mut m, &vars);
+        let before: Vec<bool> = assignments().map(|a| m.eval(f, &a)).collect();
+        // Deterministic pseudo-random permutation from the seed.
+        let mut perm: Vec<VarId> = vars.clone();
+        let mut s = seed | 1;
+        for i in (1..perm.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        m.set_order(&perm);
+        prop_assert_eq!(m.current_order(), perm);
+        let after: Vec<bool> = assignments().map(|a| m.eval(f, &a)).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// The shortest cube is an implicant of f and is minimal among all BDD
+    /// path cubes (the semantics of CUDD's Cudd_ShortestPath, which the
+    /// paper's prototype used for its "fattest cube" selection).
+    #[test]
+    fn shortest_cube_minimal_path_implicant(e in arb_expr(NVARS)) {
+        let mut m = BddManager::new();
+        let vars: Vec<_> = (0..NVARS).map(|_| m.new_var()).collect();
+        let f = e.build(&mut m, &vars);
+        match m.shortest_cube(f) {
+            None => {
+                prop_assert_eq!(f, m.zero());
+            }
+            Some(cube) => {
+                // Implicant: every completion satisfies f.
+                for asg in assignments() {
+                    let consistent = cube.iter().all(|&(v, val)| asg[v.index()] == val);
+                    if consistent {
+                        prop_assert!(m.eval(f, &asg));
+                    }
+                }
+                // Path minimality: no enumerated path cube is shorter.
+                let min_path = m.cubes(f, usize::MAX).into_iter()
+                    .map(|c| c.len())
+                    .min()
+                    .expect("f is satisfiable");
+                prop_assert_eq!(cube.len(), min_path);
+            }
+        }
+    }
+
+    /// sat_count equals brute-force model counting.
+    #[test]
+    fn sat_count_matches_enumeration(e in arb_expr(NVARS)) {
+        let mut m = BddManager::new();
+        let vars: Vec<_> = (0..NVARS).map(|_| m.new_var()).collect();
+        let f = e.build(&mut m, &vars);
+        let expected = assignments().filter(|a| m.eval(f, a)).count() as f64;
+        prop_assert_eq!(m.sat_count(f, NVARS), expected);
+    }
+
+    /// Every cube from `cubes` satisfies f, and together they cover f exactly.
+    #[test]
+    fn cube_enumeration_partitions_f(e in arb_expr(NVARS)) {
+        let mut m = BddManager::new();
+        let vars: Vec<_> = (0..NVARS).map(|_| m.new_var()).collect();
+        let f = e.build(&mut m, &vars);
+        let cubes = m.cubes(f, usize::MAX);
+        for asg in assignments() {
+            let covered = cubes.iter().any(|c| c.iter().all(|&(v, val)| asg[v.index()] == val));
+            prop_assert_eq!(covered, m.eval(f, &asg));
+        }
+    }
+}

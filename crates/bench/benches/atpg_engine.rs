@@ -1,0 +1,49 @@
+//! Benchmarks for the ATPG engines: combinational justification and
+//! sequential trace search on the benchmark designs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfn_atpg::{AtpgOptions, CombinationalAtpg, SequentialAtpg};
+use rfn_bench::Scale;
+use rfn_designs::{fifo_controller, small::wrapping_counter};
+use rfn_netlist::Cube;
+use std::hint::black_box;
+
+fn bench_combinational(c: &mut Criterion) {
+    let fifo = fifo_controller(&Scale::Quick.fifo());
+    let n = &fifo.netlist;
+    let full = n.find("full").unwrap();
+    c.bench_function("atpg/comb_justify_fifo_full", |b| {
+        let atpg = CombinationalAtpg::new(n, AtpgOptions::default()).unwrap();
+        let target: Cube = [(full, true)].into_iter().collect();
+        b.iter(|| black_box(atpg.justify_cube(&target).is_sat()))
+    });
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    // Reaching the counter threshold needs a deep sequential trace.
+    let d = wrapping_counter(6, 40);
+    let n = &d.netlist;
+    let w = d.properties[0].signal;
+    c.bench_function("atpg/seq_counter_depth_42", |b| {
+        let atpg = SequentialAtpg::new(n, AtpgOptions::default()).unwrap();
+        let target: Cube = [(w, true)].into_iter().collect();
+        b.iter(|| black_box(atpg.find_trace(42, &target, &[]).is_sat()))
+    });
+
+    let fifo = fifo_controller(&Scale::Quick.fifo());
+    let nf = &fifo.netlist;
+    let full = nf.find("full").unwrap();
+    let depth = 18; // quick FIFO depth 16 + margin
+    c.bench_function("atpg/seq_fifo_fill", |b| {
+        let atpg = SequentialAtpg::new(nf, AtpgOptions::default()).unwrap();
+        let target: Cube = [(full, true)].into_iter().collect();
+        b.iter(|| black_box(atpg.find_trace(depth, &target, &[]).is_sat()))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_combinational, bench_sequential
+);
+criterion_main!(benches);

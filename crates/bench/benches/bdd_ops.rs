@@ -1,0 +1,89 @@
+//! Micro-benchmarks for the BDD package: apply operations, relational
+//! products (the image-computation workhorse) and sifting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfn_bdd::{Bdd, BddManager, VarId};
+use std::hint::black_box;
+
+/// Builds an n-queens-like constraint: rows of pairwise-exclusive variables.
+fn exclusive_rows(m: &mut BddManager, vars: &[VarId], row: usize) -> Bdd {
+    let mut acc = m.one();
+    for chunk in vars.chunks(row) {
+        // At most one variable per chunk.
+        for i in 0..chunk.len() {
+            for j in i + 1..chunk.len() {
+                let a = m.var(chunk[i]);
+                let b = m.var(chunk[j]);
+                let both = m.and(a, b).unwrap();
+                let not_both = m.not(both).unwrap();
+                acc = m.and(acc, not_both).unwrap();
+            }
+        }
+        // At least one.
+        let lits: Vec<Bdd> = chunk.iter().map(|&v| m.var(v)).collect();
+        let any = m.or_many(lits).unwrap();
+        acc = m.and(acc, any).unwrap();
+    }
+    acc
+}
+
+fn bench_apply(c: &mut Criterion) {
+    c.bench_function("bdd/build_exclusive_rows_24", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new();
+            let vars: Vec<VarId> = (0..24).map(|_| m.new_var()).collect();
+            black_box(exclusive_rows(&mut m, &vars, 6))
+        })
+    });
+
+    c.bench_function("bdd/xor_chain_64", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new();
+            let mut acc = m.zero();
+            for _ in 0..64 {
+                let v = m.new_var();
+                let lit = m.var(v);
+                acc = m.xor(acc, lit).unwrap();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_relational_product(c: &mut Criterion) {
+    // ∃x. f ∧ g over a shared mid-sized function.
+    c.bench_function("bdd/and_exists_24vars", |b| {
+        let mut m = BddManager::new();
+        let vars: Vec<VarId> = (0..24).map(|_| m.new_var()).collect();
+        let f = exclusive_rows(&mut m, &vars, 6);
+        let g = exclusive_rows(&mut m, &vars[4..20], 4);
+        let cube = m.var_cube(vars[..12].iter().copied());
+        b.iter(|| black_box(m.and_exists(f, g, cube).unwrap()))
+    });
+}
+
+fn bench_sift(c: &mut Criterion) {
+    c.bench_function("bdd/sift_misordered_pairs", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new();
+            let vars: Vec<VarId> = (0..16).map(|_| m.new_var()).collect();
+            // f = OR of (v_i AND v_{i+8}): worst-case interleaving.
+            let mut f = m.zero();
+            for i in 0..8 {
+                let a = m.var(vars[i]);
+                let b2 = m.var(vars[i + 8]);
+                let ab = m.and(a, b2).unwrap();
+                f = m.or(f, ab).unwrap();
+            }
+            m.sift_with_roots(&[f], 2.0);
+            black_box(m.size(f))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_apply, bench_relational_product, bench_sift
+);
+criterion_main!(benches);

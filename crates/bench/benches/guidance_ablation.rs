@@ -1,0 +1,111 @@
+//! Ablation for the Section 2.3 claim: sequential ATPG guided by an abstract
+//! error trace searches much deeper than unguided ATPG.
+//!
+//! The workload is the processor's `error_flag` violation: a ≈30-cycle
+//! needle (28 consecutive stall cycles after activation). Guidance pins the
+//! stall counter cycle by cycle, exactly like the abstract error trace RFN
+//! produces for this property.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfn_atpg::{AtpgOptions, AtpgOutcome, SequentialAtpg};
+use rfn_bench::Scale;
+use rfn_designs::processor_module;
+use rfn_netlist::{Cube, SignalId};
+use std::hint::black_box;
+
+struct Workload {
+    design: rfn_designs::Design,
+    depth: usize,
+}
+
+fn workload() -> Workload {
+    let params = Scale::Quick.processor();
+    let depth = params.stall_threshold as usize + 4;
+    Workload {
+        design: processor_module(&params),
+        depth,
+    }
+}
+
+/// Guidance cubes equivalent to the abstract error trace: the stall counter
+/// increments every cycle once the pipeline is active.
+fn guidance(w: &Workload) -> Vec<Cube> {
+    let n = &w.design.netlist;
+    let sc: Vec<SignalId> = (0..5)
+        .map(|k| n.find(&format!("stall_cnt[{k}]")).unwrap())
+        .collect();
+    let active = n.find("active").unwrap();
+    let mut cubes = vec![Cube::new(); w.depth];
+    for (t, cube) in cubes.iter_mut().enumerate() {
+        if t < 2 {
+            continue; // boot sequence
+        }
+        let cnt = (t - 2) as u64;
+        if cnt > 27 {
+            continue;
+        }
+        for (k, &bit) in sc.iter().enumerate() {
+            cube.insert(bit, cnt & (1 << k) != 0).unwrap();
+        }
+        cube.insert(active, true).unwrap();
+    }
+    cubes
+}
+
+fn bench_guidance(c: &mut Criterion) {
+    let w = workload();
+    let n = &w.design.netlist;
+    let err = w.design.property("error_flag").unwrap().signal;
+    let target: Cube = [(err, true)].into_iter().collect();
+
+    let opts = AtpgOptions {
+        max_backtracks: 200_000,
+        max_decisions: 20_000_000,
+        ..AtpgOptions::default()
+    };
+
+    // Report the effort difference once.
+    {
+        let atpg = SequentialAtpg::new(n, opts.clone()).unwrap();
+        let g = guidance(&w);
+        let mut gc = vec![Cube::new(); w.depth];
+        gc[..g.len()].clone_from_slice(&g);
+        let mut with_target = gc.clone();
+        with_target[w.depth - 1].merge(&target).unwrap();
+        let (out, stats) = atpg.justify(&with_target);
+        eprintln!(
+            "guided:   sat={} decisions={} backtracks={}",
+            out.is_sat(),
+            stats.decisions,
+            stats.backtracks
+        );
+        let mut unguided = vec![Cube::new(); w.depth];
+        unguided[w.depth - 1] = target.clone();
+        let (out, stats) = atpg.justify(&unguided);
+        eprintln!(
+            "unguided: sat={} aborted={} decisions={} backtracks={}",
+            out.is_sat(),
+            matches!(out, AtpgOutcome::Aborted),
+            stats.decisions,
+            stats.backtracks
+        );
+    }
+
+    c.bench_function("guidance/guided_error_flag", |b| {
+        let atpg = SequentialAtpg::new(n, opts.clone()).unwrap();
+        let g = guidance(&w);
+        b.iter(|| black_box(atpg.find_trace(w.depth, &target, &g).is_sat()))
+    });
+
+    c.bench_function("guidance/unguided_error_flag", |b| {
+        let atpg = SequentialAtpg::new(n, opts.clone()).unwrap();
+        b.iter(|| black_box(atpg.find_trace(w.depth, &target, &[]).is_sat()))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_guidance
+);
+criterion_main!(benches);

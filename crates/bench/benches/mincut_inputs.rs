@@ -1,0 +1,62 @@
+//! Benchmarks the min-cut computation and reports the input reduction it
+//! achieves — the Section 2.2 claim that abstract models with thousands of
+//! primary inputs yield min-cut designs with far fewer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfn_bench::Scale;
+use rfn_designs::processor_module;
+use rfn_netlist::{compute_min_cut, Abstraction, Coi, SignalId};
+use std::hint::black_box;
+
+fn bench_mincut(c: &mut Criterion) {
+    let design = processor_module(&Scale::Paper.processor());
+    let n = &design.netlist;
+    let p = design.property("mutex").unwrap();
+    let coi = Coi::of(n, [p.signal]);
+
+    // Report the static input reduction once (the claim itself).
+    for take in [1usize, 8, 32] {
+        let mut regs: Vec<SignalId> = vec![p.signal];
+        regs.extend(
+            coi.registers()
+                .iter()
+                .copied()
+                .filter(|&r| r != p.signal)
+                .take(take - 1),
+        );
+        let view = Abstraction::from_registers(regs).view(n, [p.signal]).unwrap();
+        let mc = compute_min_cut(n, &view);
+        eprintln!(
+            "mincut_inputs: {take}-reg abstraction: {} inputs -> {} min-cut inputs",
+            mc.original_input_count,
+            mc.num_inputs()
+        );
+    }
+
+    c.bench_function("mincut/processor_1_reg", |b| {
+        let view = Abstraction::from_registers([p.signal])
+            .view(n, [p.signal])
+            .unwrap();
+        b.iter(|| black_box(compute_min_cut(n, &view).num_inputs()))
+    });
+
+    c.bench_function("mincut/processor_32_regs", |b| {
+        let mut regs: Vec<SignalId> = vec![p.signal];
+        regs.extend(
+            coi.registers()
+                .iter()
+                .copied()
+                .filter(|&r| r != p.signal)
+                .take(31),
+        );
+        let view = Abstraction::from_registers(regs).view(n, [p.signal]).unwrap();
+        b.iter(|| black_box(compute_min_cut(n, &view).num_inputs()))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mincut
+);
+criterion_main!(benches);

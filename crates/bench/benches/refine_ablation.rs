@@ -1,0 +1,65 @@
+//! Ablation for the Section 2.4 design choice: the greedy ATPG minimization
+//! (phase two of refinement) keeps abstractions small. With it disabled,
+//! every 3-valued-simulation candidate is added wholesale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfn_bench::Scale;
+use rfn_core::{Rfn, RfnOptions, RfnOutcome};
+use rfn_designs::{fifo_controller, processor_module};
+use std::hint::black_box;
+
+fn options(skip_minimization: bool) -> RfnOptions {
+    let mut o = RfnOptions::default();
+    o.refine.skip_minimization = skip_minimization;
+    o
+}
+
+fn run(design: &rfn_designs::Design, name: &str, skip: bool) -> usize {
+    let p = design.property(name).expect("property exists");
+    let outcome = Rfn::new(&design.netlist, p, options(skip))
+        .expect("valid")
+        .run()
+        .expect("runs");
+    match outcome {
+        RfnOutcome::Proved { stats } | RfnOutcome::Falsified { stats, .. } => {
+            stats.abstract_registers
+        }
+        other => panic!("expected a verdict, got {other:?}"),
+    }
+}
+
+fn bench_refine(c: &mut Criterion) {
+    let fifo = fifo_controller(&Scale::Quick.fifo());
+    let processor = processor_module(&Scale::Quick.processor());
+
+    // Report the final abstraction sizes once. The effect is mild on the
+    // FIFO (small candidate lists) and pronounced on the processor's
+    // error_flag, whose first refinement round sees dozens of candidates.
+    for (design, name) in [
+        (&fifo, "psh_hf"),
+        (&fifo, "psh_af"),
+        (&fifo, "psh_full"),
+        (&processor, "error_flag"),
+    ] {
+        let with_min = run(design, name, false);
+        let without = run(design, name, true);
+        eprintln!(
+            "refine_ablation {name}: abstraction {with_min} regs with minimization, \
+             {without} without"
+        );
+    }
+
+    c.bench_function("refine/error_flag_with_minimization", |b| {
+        b.iter(|| black_box(run(&processor, "error_flag", false)))
+    });
+    c.bench_function("refine/error_flag_without_minimization", |b| {
+        b.iter(|| black_box(run(&processor, "error_flag", true)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_refine
+);
+criterion_main!(benches);

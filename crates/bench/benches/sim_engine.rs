@@ -1,0 +1,58 @@
+//! Benchmarks for the simulation engine: cycles per second on the benchmark
+//! designs, in concrete and three-valued mode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfn_bench::Scale;
+use rfn_designs::{fifo_controller, processor_module};
+use rfn_netlist::Cube;
+use rfn_sim::Simulator;
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let fifo = fifo_controller(&Scale::Paper.fifo());
+    c.bench_function("sim/fifo_100_cycles_concrete", |b| {
+        let n = &fifo.netlist;
+        let inputs: Cube = n.inputs().iter().map(|&i| (i, true)).collect();
+        b.iter(|| {
+            let mut sim = Simulator::new(n).unwrap();
+            sim.reset();
+            for _ in 0..100 {
+                sim.step(&inputs);
+            }
+            black_box(sim.value(n.registers()[0]))
+        })
+    });
+
+    c.bench_function("sim/fifo_100_cycles_all_x", |b| {
+        let n = &fifo.netlist;
+        b.iter(|| {
+            let mut sim = Simulator::new(n).unwrap();
+            sim.reset();
+            for _ in 0..100 {
+                sim.step(&Cube::new());
+            }
+            black_box(sim.value(n.registers()[0]))
+        })
+    });
+
+    let proc = processor_module(&Scale::Quick.processor());
+    c.bench_function("sim/processor_quick_100_cycles", |b| {
+        let n = &proc.netlist;
+        let inputs: Cube = n.inputs().iter().map(|&i| (i, false)).collect();
+        b.iter(|| {
+            let mut sim = Simulator::new(n).unwrap();
+            sim.reset();
+            for _ in 0..100 {
+                sim.step(&inputs);
+            }
+            black_box(sim.value(n.registers()[0]))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim
+);
+criterion_main!(benches);

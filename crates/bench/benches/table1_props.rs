@@ -1,0 +1,45 @@
+//! Criterion companion to the `table1` binary: RFN end-to-end on the five
+//! Table 1 properties (quick-scale designs so iterations stay snappy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfn_bench::Scale;
+use rfn_core::{Rfn, RfnOptions};
+use rfn_designs::{fifo_controller, processor_module, Design};
+use std::hint::black_box;
+
+fn verify(design: &Design, name: &str) -> bool {
+    let p = design.property(name).expect("property exists");
+    let outcome = Rfn::new(&design.netlist, p, RfnOptions::default())
+        .expect("valid")
+        .run()
+        .expect("runs");
+    outcome.is_proved() || outcome.is_falsified()
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let processor = processor_module(&Scale::Quick.processor());
+    let fifo = fifo_controller(&Scale::Quick.fifo());
+
+    c.bench_function("table1/mutex", |b| {
+        b.iter(|| black_box(verify(&processor, "mutex")))
+    });
+    c.bench_function("table1/error_flag", |b| {
+        b.iter(|| black_box(verify(&processor, "error_flag")))
+    });
+    c.bench_function("table1/psh_hf", |b| {
+        b.iter(|| black_box(verify(&fifo, "psh_hf")))
+    });
+    c.bench_function("table1/psh_af", |b| {
+        b.iter(|| black_box(verify(&fifo, "psh_af")))
+    });
+    c.bench_function("table1/psh_full", |b| {
+        b.iter(|| black_box(verify(&fifo, "psh_full")))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion companion to the `table2` binary: coverage analysis (RFN and
+//! the BFS baseline) on quick-scale designs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfn_bench::Scale;
+use rfn_core::{analyze_coverage, bfs_coverage, CoverageOptions};
+use rfn_designs::{integer_unit, usb_controller};
+use rfn_mc::ReachOptions;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let iu = integer_unit(&Scale::Quick.integer_unit());
+    let usb = usb_controller(&Scale::Quick.usb());
+
+    c.bench_function("table2/rfn_iu1", |b| {
+        let set = iu.coverage_set("IU1").unwrap();
+        b.iter(|| {
+            let rep = analyze_coverage(&iu.netlist, set, &CoverageOptions::default()).unwrap();
+            black_box(rep.unreachable)
+        })
+    });
+
+    c.bench_function("table2/bfs_iu1", |b| {
+        let set = iu.coverage_set("IU1").unwrap();
+        b.iter(|| {
+            let rep =
+                bfs_coverage(&iu.netlist, set, 60, 4_000_000, &ReachOptions::default()).unwrap();
+            black_box(rep.unreachable)
+        })
+    });
+
+    c.bench_function("table2/rfn_usb1", |b| {
+        let set = usb.coverage_set("USB1").unwrap();
+        b.iter(|| {
+            let rep = analyze_coverage(&usb.netlist, set, &CoverageOptions::default()).unwrap();
+            black_box(rep.unreachable)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Regenerates Table 1 of the paper: property verification with RFN versus
+//! plain symbolic model checking with cone-of-influence reduction.
+//!
+//! ```text
+//! cargo run -p rfn-bench --bin table1 --release [-- --quick]
+//! ```
+
+use std::time::Duration;
+
+use rfn_bench::{row, rule, secs, Scale};
+use rfn_core::{Rfn, RfnOptions, RfnOutcome};
+use rfn_designs::{fifo_controller, processor_module, Design};
+use rfn_mc::{verify_plain, PlainOptions, PlainVerdict};
+use rfn_netlist::Property;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Table 1: Property Verification Results (scale: {scale:?})");
+    println!();
+    let widths = [10, 9, 9, 9, 7, 9, 16];
+    row(
+        &[
+            "property", "regs/COI", "gates", "time(s)", "result", "abs regs", "plain MC (COI)",
+        ],
+        &widths,
+    );
+    rule(&widths);
+
+    let processor = processor_module(&scale.processor());
+    let fifo = fifo_controller(&scale.fifo());
+    let cases: Vec<(&Design, &str)> = vec![
+        (&processor, "mutex"),
+        (&processor, "error_flag"),
+        (&fifo, "psh_hf"),
+        (&fifo, "psh_af"),
+        (&fifo, "psh_full"),
+    ];
+    for (design, name) in cases {
+        let property = design.property(name).expect("property exists");
+        run_case(design, property, scale, &widths);
+    }
+    println!();
+    println!("T = property proved, F = property falsified (trace length in parens).");
+    println!("Plain MC runs on the full cone of influence with a BDD node limit.");
+}
+
+fn run_case(design: &Design, property: &Property, scale: Scale, widths: &[usize]) {
+    let options = RfnOptions {
+        time_limit: Some(scale.time_limit()),
+        verbosity: 0,
+        ..RfnOptions::default()
+    };
+    let rfn = Rfn::new(&design.netlist, property, options).expect("valid property");
+    let outcome = rfn.run().expect("structural soundness");
+    let stats = outcome.stats().clone();
+    let (result, extra) = match &outcome {
+        RfnOutcome::Proved { .. } => ("T".to_owned(), String::new()),
+        RfnOutcome::Falsified { trace, .. } => ("F".to_owned(), format!(" ({}cyc)", trace.num_cycles())),
+        RfnOutcome::Inconclusive { reason, .. } => ("?".to_owned(), format!(" ({reason})")),
+    };
+
+    // Plain symbolic model checking baseline on the same property.
+    let plain_opts = PlainOptions {
+        node_limit: plain_node_limit(scale),
+        time_limit: Some(plain_time_limit(scale)),
+        ..PlainOptions::default()
+    };
+    let plain = verify_plain(&design.netlist, property, &plain_opts).expect("plain mc runs");
+    let plain_cell = match plain.verdict {
+        PlainVerdict::Proved => format!("T in {}s", secs(plain.elapsed)),
+        PlainVerdict::Falsified { depth } => format!("F@{depth} in {}s", secs(plain.elapsed)),
+        PlainVerdict::OutOfCapacity => format!("fails ({}s)", secs(plain.elapsed)),
+    };
+
+    row(
+        &[
+            &property.name,
+            &stats.coi_registers.to_string(),
+            &stats.coi_gates.to_string(),
+            &secs(stats.elapsed),
+            &format!("{result}{extra}"),
+            &stats.abstract_registers.to_string(),
+            &plain_cell,
+        ],
+        widths,
+    );
+}
+
+fn plain_node_limit(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 1_000_000,
+        Scale::Quick => 200_000,
+    }
+}
+
+fn plain_time_limit(scale: Scale) -> Duration {
+    match scale {
+        Scale::Paper => Duration::from_secs(120),
+        Scale::Quick => Duration::from_secs(20),
+    }
+}

@@ -1,0 +1,74 @@
+//! Regenerates Table 2 of the paper: unreachable-coverage-state analysis,
+//! RFN versus the BFS abstraction baseline.
+//!
+//! ```text
+//! cargo run -p rfn-bench --bin table2 --release [-- --quick]
+//! ```
+
+use rfn_bench::{row, rule, secs, Scale};
+use rfn_core::{analyze_coverage, bfs_coverage, CoverageOptions};
+use rfn_designs::{integer_unit, usb_controller};
+use rfn_mc::ReachOptions;
+use rfn_netlist::{CoverageSet, Netlist};
+
+/// The paper fixed the BFS abstraction at 60 registers.
+const BFS_K: usize = 60;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Table 2: Unreachable-coverage-state analysis results (scale: {scale:?})");
+    println!();
+    let widths = [6, 9, 9, 12, 9, 12, 11];
+    row(
+        &[
+            "signals",
+            "regs/COI",
+            "gates",
+            "RFN unreach",
+            "abs regs",
+            "BFS unreach",
+            "BFS time(s)",
+        ],
+        &widths,
+    );
+    rule(&widths);
+
+    let iu = integer_unit(&scale.integer_unit());
+    let usb = usb_controller(&scale.usb());
+    for set in &iu.coverage_sets {
+        run_case(&iu.netlist, set, scale, &widths);
+    }
+    for set in &usb.coverage_sets {
+        run_case(&usb.netlist, set, scale, &widths);
+    }
+    println!();
+    println!(
+        "BFS uses the {BFS_K} registers closest to the coverage signals (the paper's setting)."
+    );
+}
+
+fn run_case(netlist: &Netlist, set: &CoverageSet, scale: Scale, widths: &[usize]) {
+    let options = CoverageOptions {
+        time_limit: Some(scale.time_limit()),
+        ..CoverageOptions::default()
+    };
+    let rfn = analyze_coverage(netlist, set, &options).expect("coverage analysis runs");
+    let bfs_reach = ReachOptions {
+        time_limit: Some(scale.time_limit()),
+        ..ReachOptions::default()
+    };
+    let bfs = bfs_coverage(netlist, set, BFS_K, 4_000_000, &bfs_reach)
+        .expect("bfs baseline runs");
+    row(
+        &[
+            &set.name,
+            &rfn.coi_registers.to_string(),
+            &rfn.coi_gates.to_string(),
+            &format!("{} ({}s)", rfn.unreachable, secs(rfn.elapsed)),
+            &rfn.abstract_registers.to_string(),
+            &bfs.unreachable.to_string(),
+            &secs(bfs.elapsed),
+        ],
+        widths,
+    );
+}

@@ -1,0 +1,125 @@
+//! Shared infrastructure for the table/figure regeneration harnesses.
+//!
+//! Each binary in this crate regenerates one table or figure of the DAC 2001
+//! RFN paper (see `EXPERIMENTS.md` at the repository root):
+//!
+//! * `table1` — property verification: RFN vs. plain symbolic model checking
+//!   with COI reduction,
+//! * `table2` — unreachable-coverage-state analysis: RFN vs. the BFS
+//!   abstraction baseline,
+//! * `figure1` — min-cut anatomy: signal classes and no-cut/min-cut cube
+//!   statistics of the hybrid engine.
+//!
+//! All binaries accept `--quick` to run scaled-down workloads (used by CI
+//! and the Criterion benches); the default parameters match the paper's
+//! design sizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use rfn_designs::{FifoParams, IntegerUnitParams, ProcessorParams, UsbParams};
+
+/// Workload scale for a harness run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-sized designs (≈5,000-register processor, 32-deep FIFO).
+    Paper,
+    /// Scaled-down designs for fast iteration and benches.
+    Quick,
+}
+
+impl Scale {
+    /// Parses `--quick` from the command line (anything else = paper scale).
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Paper
+        }
+    }
+
+    /// Processor-module parameters at this scale.
+    pub fn processor(self) -> ProcessorParams {
+        match self {
+            Scale::Paper => ProcessorParams::default(),
+            Scale::Quick => ProcessorParams {
+                width: 16,
+                regfile_words: 8,
+                store_entries: 4,
+                cache_lines: 4,
+                pipe_stages: 2,
+                multipliers: 2,
+                stall_threshold: 27,
+            },
+        }
+    }
+
+    /// FIFO-controller parameters at this scale.
+    pub fn fifo(self) -> FifoParams {
+        match self {
+            Scale::Paper => FifoParams::default(),
+            Scale::Quick => FifoParams {
+                depth: 16,
+                data_width: 8,
+                data_stages: 3,
+                inject_half_flag_bug: false,
+            },
+        }
+    }
+
+    /// Integer-unit parameters at this scale.
+    pub fn integer_unit(self) -> IntegerUnitParams {
+        match self {
+            Scale::Paper => IntegerUnitParams::default(),
+            Scale::Quick => IntegerUnitParams {
+                stages: 5,
+                counters_per_stage: 1,
+                counter_width: 5,
+                data_width: 4,
+            },
+        }
+    }
+
+    /// USB-controller parameters at this scale.
+    pub fn usb(self) -> UsbParams {
+        match self {
+            Scale::Paper => UsbParams::default(),
+            Scale::Quick => UsbParams {
+                endpoints: 3,
+                nak_width: 6,
+            },
+        }
+    }
+
+    /// Per-experiment time limit at this scale (the paper used 1,800 s for
+    /// Table 2; we scale down since modern hardware is far faster).
+    pub fn time_limit(self) -> Duration {
+        match self {
+            Scale::Paper => Duration::from_secs(300),
+            Scale::Quick => Duration::from_secs(60),
+        }
+    }
+}
+
+/// Formats a duration as seconds with one decimal.
+pub fn secs(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64())
+}
+
+/// Prints an aligned table row.
+pub fn row(cells: &[&str], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// Prints a rule matching the given column widths.
+pub fn rule(widths: &[usize]) {
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    println!("{}", "-".repeat(total));
+}

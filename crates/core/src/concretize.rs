@@ -1,0 +1,254 @@
+//! Step 3: searching for an error trace on the original design with
+//! trace-guided sequential ATPG.
+
+use rfn_atpg::{AtpgOptions, AtpgOutcome, SequentialAtpg};
+use rfn_netlist::{Cube, Netlist, Property, Trace};
+use rfn_sim::Simulator;
+
+use crate::RfnError;
+
+/// Result of a concretization attempt.
+#[derive(Clone, Debug)]
+pub enum ConcretizeOutcome {
+    /// A real error trace was found and validated by concrete simulation.
+    Falsified(Trace),
+    /// The guided search proved no error trace exists *under the guidance
+    /// constraints at this depth* — the abstract trace is spurious.
+    Spurious,
+    /// The search aborted on a resource limit; the abstract trace's status is
+    /// unknown (treated like spurious by the RFN loop, which then refines).
+    Unknown,
+}
+
+/// Tries to turn an abstract error trace into a real error trace of the
+/// original design (the paper's Step 3).
+///
+/// The abstract trace provides both the search depth (the real shortest
+/// error trace can only be longer) and per-cycle constraint cubes that guide
+/// the sequential ATPG — including the trace's pseudo-input assignments,
+/// which become register constraints on the original design.
+///
+/// Every `Falsified` trace has been replayed with concrete simulation before
+/// being returned, so falsification is sound even though the search is
+/// heuristic.
+///
+/// # Errors
+///
+/// Propagates structural netlist errors.
+pub fn concretize(
+    netlist: &Netlist,
+    property: &Property,
+    abstract_trace: &Trace,
+    options: &AtpgOptions,
+) -> Result<ConcretizeOutcome, RfnError> {
+    let target: Cube = [(property.signal, property.value)].into_iter().collect();
+    concretize_cube(netlist, &target, abstract_trace, options)
+}
+
+/// Like [`concretize`], but with an arbitrary target cube checked at the
+/// final cycle (the coverage-analysis mode targets coverage-state cubes).
+///
+/// # Errors
+///
+/// Propagates structural netlist errors.
+pub fn concretize_cube(
+    netlist: &Netlist,
+    target: &Cube,
+    abstract_trace: &Trace,
+    options: &AtpgOptions,
+) -> Result<ConcretizeOutcome, RfnError> {
+    if abstract_trace.is_empty() {
+        return Ok(ConcretizeOutcome::Unknown);
+    }
+    let depth = abstract_trace.num_cycles();
+    let atpg = SequentialAtpg::new(netlist, options.clone())?;
+    // Guidance: each abstract step's state and input cubes merged. All
+    // abstract-model signals are signals of the original design (pseudo-input
+    // literals become register constraints).
+    let mut guidance: Vec<Cube> = Vec::with_capacity(depth);
+    for step in abstract_trace.steps() {
+        let mut cube = step.state.clone();
+        if cube.merge(&step.inputs).is_err() {
+            // State and input cubes of a well-formed trace are disjoint; a
+            // conflict means the trace is internally inconsistent.
+            return Ok(ConcretizeOutcome::Spurious);
+        }
+        guidance.push(cube);
+    }
+    match atpg.find_trace(depth, target, &guidance) {
+        AtpgOutcome::Satisfiable(trace) => {
+            if validate_trace_cube(netlist, target, &trace) {
+                Ok(ConcretizeOutcome::Falsified(trace))
+            } else {
+                // An invalid witness indicates an engine bug; refuse to
+                // report a false falsification.
+                debug_assert!(false, "ATPG witness failed concrete validation");
+                Ok(ConcretizeOutcome::Unknown)
+            }
+        }
+        AtpgOutcome::Unsatisfiable => Ok(ConcretizeOutcome::Spurious),
+        AtpgOutcome::Aborted => Ok(ConcretizeOutcome::Unknown),
+    }
+}
+
+/// Validates an error-trace cube by concrete simulation: unassigned inputs
+/// are driven low, the design starts from reset, and the property signal
+/// must assert at the final cycle.
+///
+/// Returns `true` if the trace is a genuine counterexample.
+pub fn validate_trace(netlist: &Netlist, property: &Property, trace: &Trace) -> bool {
+    let target: Cube = [(property.signal, property.value)].into_iter().collect();
+    validate_trace_cube(netlist, &target, trace)
+}
+
+/// Like [`validate_trace`] for an arbitrary target cube: every literal of
+/// `target` must hold at the trace's final cycle under concrete simulation.
+pub fn validate_trace_cube(netlist: &Netlist, target: &Cube, trace: &Trace) -> bool {
+    if trace.is_empty() {
+        return false;
+    }
+    let Ok(mut sim) = Simulator::new(netlist) else {
+        return false;
+    };
+    sim.reset();
+    // Registers with unknown reset values take the trace's word for their
+    // initial value (any concrete value is a legal reset).
+    for (s, v) in trace.steps()[0].state.iter() {
+        if netlist.is_register(s) && netlist.register_init(s).is_none() {
+            sim.set(s, rfn_sim::Tv::from(v));
+        }
+    }
+    for (i, step) in trace.steps().iter().enumerate() {
+        // Drive every input: trace value if present, low otherwise.
+        let mut inputs = Cube::new();
+        for &pi in netlist.inputs() {
+            let v = step.inputs.get(pi).unwrap_or(false);
+            if inputs.insert(pi, v).is_err() {
+                return false;
+            }
+        }
+        if i + 1 < trace.num_cycles() {
+            sim.step(&inputs);
+        } else {
+            sim.apply_cube(&inputs);
+            sim.step_comb();
+        }
+    }
+    target
+        .iter()
+        .all(|(s, v)| sim.value(s).to_bool() == Some(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfn_netlist::{GateOp, SignalId, TraceStep};
+
+    /// Design: watchdog fires 2 cycles after input `go` is held high while
+    /// `arm` register (set by input `a`) is 1.
+    fn design() -> (Netlist, Property, [SignalId; 4]) {
+        let mut n = Netlist::new("d");
+        let go = n.add_input("go");
+        let a = n.add_input("a");
+        let arm = n.add_register("arm", Some(false));
+        n.set_register_next(arm, a).unwrap();
+        let fire = n.add_gate("fire", GateOp::And, &[go, arm]);
+        let w = n.add_register("w", Some(false));
+        let wor = n.add_gate("wor", GateOp::Or, &[w, fire]);
+        n.set_register_next(w, wor).unwrap();
+        n.validate().unwrap();
+        let p = Property::never(&n, "w_low", w);
+        (n, p, [go, a, arm, w])
+    }
+
+    /// Abstract trace over N = {w} (arm is a pseudo-input): claims the
+    /// watchdog fires with go=1, arm=1 at cycle 1.
+    fn abstract_trace(go: SignalId, arm: SignalId, w: SignalId) -> Trace {
+        let mut t = Trace::new();
+        t.push(TraceStep {
+            state: [(w, false)].into_iter().collect(),
+            inputs: Cube::new(),
+        });
+        t.push(TraceStep {
+            state: [(w, false)].into_iter().collect(),
+            inputs: [(go, true), (arm, true)].into_iter().collect(),
+        });
+        t.push(TraceStep {
+            state: [(w, true)].into_iter().collect(),
+            inputs: Cube::new(),
+        });
+        t
+    }
+
+    #[test]
+    fn guided_search_finds_real_trace() {
+        let (n, p, [go, _, arm, w]) = design();
+        let t = abstract_trace(go, arm, w);
+        match concretize(&n, &p, &t, &AtpgOptions::default()).unwrap() {
+            ConcretizeOutcome::Falsified(trace) => {
+                assert_eq!(trace.num_cycles(), 3);
+                assert!(validate_trace(&n, &p, &trace));
+            }
+            other => panic!("expected falsification, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_guidance_is_spurious() {
+        let (n, p, [go, _, arm, w]) = design();
+        // Claim the watchdog fires at cycle 1 already (impossible: arm resets
+        // to 0, so fire=0 in cycle 0).
+        let mut t = Trace::new();
+        t.push(TraceStep {
+            state: [(w, false)].into_iter().collect(),
+            inputs: [(go, true), (arm, true)].into_iter().collect(),
+        });
+        t.push(TraceStep {
+            state: [(w, true)].into_iter().collect(),
+            inputs: Cube::new(),
+        });
+        let _ = arm;
+        match concretize(&n, &p, &t, &AtpgOptions::default()).unwrap() {
+            ConcretizeOutcome::Spurious => {}
+            other => panic!("expected spurious, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_unknown() {
+        let (n, p, _) = design();
+        assert!(matches!(
+            concretize(&n, &p, &Trace::new(), &AtpgOptions::default()).unwrap(),
+            ConcretizeOutcome::Unknown
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_traces() {
+        let (n, p, [_, _, _, w]) = design();
+        // A trace that never asserts the watchdog.
+        let mut t = Trace::new();
+        t.push(TraceStep {
+            state: [(w, false)].into_iter().collect(),
+            inputs: Cube::new(),
+        });
+        assert!(!validate_trace(&n, &p, &t));
+        assert!(!validate_trace(&n, &p, &Trace::new()));
+    }
+
+    #[test]
+    fn validate_uses_unknown_resets_from_trace() {
+        // Register with unknown reset: the trace may choose its value.
+        let mut n = Netlist::new("x");
+        let r = n.add_register("r", None);
+        n.set_register_next(r, r).unwrap();
+        n.validate().unwrap();
+        let p = Property::never(&n, "r1", r);
+        let mut t = Trace::new();
+        t.push(TraceStep {
+            state: [(r, true)].into_iter().collect(),
+            inputs: Cube::new(),
+        });
+        assert!(validate_trace(&n, &p, &t));
+    }
+}

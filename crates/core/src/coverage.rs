@@ -1,0 +1,576 @@
+//! Unreachable-coverage-state analysis (Section 3, Table 2 of the paper),
+//! plus the BFS abstraction baseline of Ho et al. (ICCAD 2000).
+//!
+//! A *coverage state* is one combination of values of a chosen set of
+//! coverage signals (registers). The analysis classifies as many of the
+//! `2^n` coverage states as possible:
+//!
+//! * states outside the projection of an abstract model's forward fixpoint
+//!   are **unreachable on the original design** (the abstraction
+//!   over-approximates, so the projection over-approximates the real
+//!   reachable coverage states);
+//! * states visited by a concrete trace (found through hybrid trace
+//!   reconstruction + guided ATPG) are **reachable**;
+//! * abstract traces that fail to concretize drive refinement, after which
+//!   the loop repeats.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use rfn_atpg::AtpgOptions;
+use rfn_mc::{
+    forward_reach, ModelSpec, ReachOptions, ReachResult, ReachVerdict, SymbolicModel,
+};
+use rfn_netlist::{
+    transitive_fanin, Abstraction, Coi, CoverageSet, Cube, Netlist, SignalId,
+};
+use rfn_sim::Simulator;
+
+use crate::{
+    concretize_cube, hybrid_trace, refine_with_roots, ConcretizeOutcome, HybridOutcome,
+    RefineOptions, RfnError,
+};
+
+/// Configuration for [`analyze_coverage`].
+#[derive(Clone, Debug)]
+pub struct CoverageOptions {
+    /// Wall-clock budget (the paper used 1,800 s per RFN experiment).
+    pub time_limit: Option<Duration>,
+    /// Maximum refinement iterations.
+    pub max_iterations: usize,
+    /// BDD node limit per iteration.
+    pub mc_node_limit: usize,
+    /// Reachability options.
+    pub reach: ReachOptions,
+    /// ATPG limits for concretization.
+    pub concretize_atpg: AtpgOptions,
+    /// ATPG limits for the hybrid engine.
+    pub hybrid_atpg: AtpgOptions,
+    /// Refinement configuration.
+    pub refine: RefineOptions,
+}
+
+impl Default for CoverageOptions {
+    fn default() -> Self {
+        CoverageOptions {
+            time_limit: None,
+            max_iterations: 32,
+            mc_node_limit: 4_000_000,
+            reach: ReachOptions::default(),
+            concretize_atpg: AtpgOptions {
+                max_backtracks: 5_000,
+                ..AtpgOptions::default()
+            },
+            hybrid_atpg: AtpgOptions::default(),
+            refine: RefineOptions::default(),
+        }
+    }
+}
+
+/// Result of a coverage analysis (one Table 2 row).
+#[derive(Clone, Debug)]
+pub struct CoverageReport {
+    /// Coverage-set name.
+    pub name: String,
+    /// Total coverage states (`2^n`).
+    pub total_states: u64,
+    /// States proven unreachable on the original design.
+    pub unreachable: u64,
+    /// States confirmed reachable by a concrete trace.
+    pub reachable: u64,
+    /// States left unclassified when the budget ran out.
+    pub unresolved: u64,
+    /// Registers in the final abstract model.
+    pub abstract_registers: usize,
+    /// Registers in the coverage signals' cone of influence.
+    pub coi_registers: usize,
+    /// Gates in the coverage signals' cone of influence.
+    pub coi_gates: usize,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Unknown,
+    Unreachable,
+    Reachable,
+}
+
+/// Runs RFN-style unreachable-coverage-state analysis.
+///
+/// # Errors
+///
+/// Fails if a coverage signal is not a register, if the set has more than 24
+/// signals (the explicit state classification would not fit in memory), or
+/// on structural netlist errors.
+pub fn analyze_coverage(
+    netlist: &Netlist,
+    set: &CoverageSet,
+    options: &CoverageOptions,
+) -> Result<CoverageReport, RfnError> {
+    let start = Instant::now();
+    let deadline = options.time_limit.map(|d| start + d);
+    validate_coverage_set(netlist, set)?;
+    let coi = Coi::of(netlist, set.signals.iter().copied());
+    let n_sig = set.signals.len();
+    let total = 1u64 << n_sig;
+    let mut classes = vec![Class::Unknown; total as usize];
+    let mut abstraction = Abstraction::from_registers(set.signals.iter().copied());
+    let mut iterations = 0;
+
+    // The initial (reset) coverage state is reachable by definition when all
+    // coverage registers have known resets.
+    if let Some(bits) = reset_coverage_state(netlist, set) {
+        classes[bits as usize] = Class::Reachable;
+    }
+
+    'outer: for _ in 0..options.max_iterations {
+        iterations += 1;
+        if deadline.is_some_and(|d| Instant::now() > d) {
+            break;
+        }
+        let view = abstraction.view(netlist, set.signals.iter().copied())?;
+        let mut mgr = rfn_bdd::BddManager::new();
+        mgr.set_node_limit(options.mc_node_limit);
+        let mut model =
+            match SymbolicModel::with_manager(netlist, ModelSpec::from_view(&view), mgr) {
+                Ok(m) => m,
+                Err(rfn_mc::McError::Bdd(_)) => break,
+                Err(e) => return Err(e.into()),
+            };
+        // Full fixpoint (no early target stop: the projection needs it all).
+        let mut reach_opts = options.reach.clone();
+        if let Some(d) = deadline {
+            reach_opts.time_limit = Some(d.saturating_duration_since(Instant::now()));
+        }
+        let zero = model.manager_ref().zero();
+        let reach = forward_reach(&mut model, zero, &reach_opts)?;
+        if reach.verdict != ReachVerdict::FixpointProved {
+            break; // out of capacity on this abstraction
+        }
+        // Project and classify.
+        let proj = model.project_to(reach.reached, &set.signals)?;
+        let mut assignment = vec![false; model.manager_ref().num_vars()];
+        let cov_vars: Vec<_> = set
+            .signals
+            .iter()
+            .map(|&s| model.current_var(s).expect("coverage signals are in the model"))
+            .collect();
+        let mut frontier_unknown: Vec<u64> = Vec::new();
+        for bits in 0..total {
+            for (k, &v) in cov_vars.iter().enumerate() {
+                assignment[v.index()] = bits & (1 << k) != 0;
+            }
+            let in_proj = model.manager_ref().eval(proj, &assignment);
+            match classes[bits as usize] {
+                Class::Unknown if !in_proj => classes[bits as usize] = Class::Unreachable,
+                Class::Unknown if in_proj => frontier_unknown.push(bits),
+                _ => {}
+            }
+        }
+        if frontier_unknown.is_empty() {
+            break; // fully classified
+        }
+
+        // Work through the frontier on this fixpoint: every state either
+        // gets concretized (and marked reachable, along with everything the
+        // concrete replay visits) or triggers a refinement, after which the
+        // fixpoint must be recomputed.
+        let exact = view.pseudo_inputs().is_empty();
+        let mut refined = false;
+        let mut stuck = false;
+        for &bits in &frontier_unknown {
+            if classes[bits as usize] != Class::Unknown {
+                continue; // an earlier replay covered it
+            }
+            if deadline.is_some_and(|d| Instant::now() > d) {
+                break 'outer;
+            }
+            let target_cube: Cube = set
+                .signals
+                .iter()
+                .enumerate()
+                .map(|(k, &s)| (s, bits & (1 << k) != 0))
+                .collect();
+            let target_bdd = model.cube_to_bdd(&target_cube)?;
+            // First ring containing the state.
+            let mut hit_step = None;
+            for (j, &ring) in reach.rings.iter().enumerate() {
+                let inter = match model.manager().and(ring, target_bdd) {
+                    Ok(b) => b,
+                    Err(_) => break 'outer,
+                };
+                if inter != model.manager_ref().zero() {
+                    hit_step = Some(j);
+                    break;
+                }
+            }
+            let Some(step) = hit_step else {
+                // In the projection but in no ring: cannot happen for a
+                // completed fixpoint; bail defensively.
+                stuck = true;
+                break;
+            };
+            let synth = ReachResult {
+                verdict: ReachVerdict::TargetHit { step },
+                rings: reach.rings.clone(),
+                reached: reach.reached,
+                steps: reach.steps,
+                peak_nodes: reach.peak_nodes,
+            };
+            let abstract_trace = match hybrid_trace(
+                netlist,
+                &view,
+                &mut model,
+                &synth,
+                target_bdd,
+                &options.hybrid_atpg,
+            )? {
+                HybridOutcome::Trace(t, _) => t,
+                HybridOutcome::Failed(_) => {
+                    stuck = true;
+                    break;
+                }
+            };
+
+            let concrete = if exact {
+                // The abstraction is the whole COI: abstract traces are real.
+                Some(abstract_trace.clone())
+            } else {
+                let mut conc_opts = options.concretize_atpg.clone();
+                if let Some(d) = deadline {
+                    conc_opts.time_limit =
+                        Some(d.saturating_duration_since(Instant::now()));
+                }
+                match concretize_cube(netlist, &target_cube, &abstract_trace, &conc_opts)? {
+                    ConcretizeOutcome::Falsified(t) => Some(t),
+                    _ => None,
+                }
+            };
+            match concrete {
+                Some(trace) => {
+                    // The trace was validated against `target_cube` (or the
+                    // abstraction is exact), so `bits` is reachable — as is
+                    // every coverage state the concrete replay visits.
+                    for visited in replay_coverage_states(netlist, set, &trace) {
+                        if classes[visited as usize] == Class::Unknown {
+                            classes[visited as usize] = Class::Reachable;
+                        }
+                    }
+                    if classes[bits as usize] == Class::Unknown {
+                        classes[bits as usize] = Class::Reachable;
+                    }
+                }
+                None => {
+                    // Spurious: refine against the coverage roots and restart
+                    // with a fixpoint on the refined abstraction.
+                    let report = refine_with_roots(
+                        netlist,
+                        &mut abstraction,
+                        &set.signals,
+                        &abstract_trace,
+                        &options.refine,
+                    )?;
+                    refined = !report.added.is_empty();
+                    stuck = !refined;
+                    break;
+                }
+            }
+        }
+        drop(model);
+        if stuck {
+            break;
+        }
+        if !refined {
+            // Every frontier state was classified; the next pass re-projects
+            // and terminates (or finds newly classifiable states).
+            continue;
+        }
+    }
+
+    let unreachable = classes.iter().filter(|&&c| c == Class::Unreachable).count() as u64;
+    let reachable = classes.iter().filter(|&&c| c == Class::Reachable).count() as u64;
+    Ok(CoverageReport {
+        name: set.name.clone(),
+        total_states: total,
+        unreachable,
+        reachable,
+        unresolved: total - unreachable - reachable,
+        abstract_registers: abstraction.len(),
+        coi_registers: coi.num_registers(),
+        coi_gates: coi.num_gates(),
+        iterations,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// The BFS abstraction baseline: take the `k` registers closest to the
+/// coverage signals (BFS over the register dependency graph, the method of
+/// the paper's reference \[8\]), run one forward fixpoint, and classify
+/// coverage states by projection.
+///
+/// # Errors
+///
+/// Same conditions as [`analyze_coverage`].
+pub fn bfs_coverage(
+    netlist: &Netlist,
+    set: &CoverageSet,
+    k: usize,
+    node_limit: usize,
+    reach: &ReachOptions,
+) -> Result<CoverageReport, RfnError> {
+    let start = Instant::now();
+    validate_coverage_set(netlist, set)?;
+    let coi = Coi::of(netlist, set.signals.iter().copied());
+    let regs = closest_registers(netlist, &set.signals, k);
+    let abstraction = Abstraction::from_registers(regs);
+    let view = abstraction.view(netlist, set.signals.iter().copied())?;
+    let total = 1u64 << set.signals.len();
+
+    let mut mgr = rfn_bdd::BddManager::new();
+    mgr.set_node_limit(node_limit);
+    let mut unreachable = 0;
+    let mut unresolved = total;
+    match SymbolicModel::with_manager(netlist, ModelSpec::from_view(&view), mgr) {
+        Ok(mut model) => {
+            let zero = model.manager_ref().zero();
+            let result = forward_reach(&mut model, zero, reach)?;
+            if result.verdict == ReachVerdict::FixpointProved {
+                let proj = model.project_to(result.reached, &set.signals)?;
+                let mut assignment = vec![false; model.manager_ref().num_vars()];
+                let cov_vars: Vec<_> = set
+                    .signals
+                    .iter()
+                    .map(|&s| model.current_var(s).expect("coverage regs in model"))
+                    .collect();
+                for bits in 0..total {
+                    for (j, &v) in cov_vars.iter().enumerate() {
+                        assignment[v.index()] = bits & (1 << j) != 0;
+                    }
+                    if !model.manager_ref().eval(proj, &assignment) {
+                        unreachable += 1;
+                    }
+                }
+                unresolved = 0;
+            }
+        }
+        Err(rfn_mc::McError::Bdd(_)) => {}
+        Err(e) => return Err(e.into()),
+    }
+    Ok(CoverageReport {
+        name: set.name.clone(),
+        total_states: total,
+        unreachable,
+        reachable: 0,
+        unresolved: unresolved.saturating_sub(unreachable),
+        abstract_registers: abstraction.len(),
+        coi_registers: coi.num_registers(),
+        coi_gates: coi.num_gates(),
+        iterations: 1,
+        elapsed: start.elapsed(),
+    })
+}
+
+fn validate_coverage_set(netlist: &Netlist, set: &CoverageSet) -> Result<(), RfnError> {
+    if set.signals.len() > 24 {
+        return Err(RfnError::BadProperty(format!(
+            "coverage set `{}` has {} signals; at most 24 are supported",
+            set.name,
+            set.signals.len()
+        )));
+    }
+    for &s in &set.signals {
+        if s.index() >= netlist.num_signals() || !netlist.is_register(s) {
+            return Err(RfnError::BadProperty(format!(
+                "coverage signal {s} is not a register of the design"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn reset_coverage_state(netlist: &Netlist, set: &CoverageSet) -> Option<u64> {
+    let mut bits = 0u64;
+    for (k, &s) in set.signals.iter().enumerate() {
+        match netlist.register_init(s) {
+            Some(true) => bits |= 1 << k,
+            Some(false) => {}
+            None => return None,
+        }
+    }
+    Some(bits)
+}
+
+/// BFS over the register dependency graph: distance 0 = the coverage
+/// signals; a register's next-state cone's register leaves are one hop away.
+/// Returns the closest `k` registers (including the coverage signals).
+fn closest_registers(netlist: &Netlist, seeds: &[SignalId], k: usize) -> Vec<SignalId> {
+    let mut dist = vec![usize::MAX; netlist.num_signals()];
+    let mut queue = VecDeque::new();
+    for &s in seeds {
+        dist[s.index()] = 0;
+        queue.push_back(s);
+    }
+    let mut picked: Vec<SignalId> = Vec::new();
+    while let Some(r) = queue.pop_front() {
+        if picked.len() >= k {
+            break;
+        }
+        picked.push(r);
+        let cone = transitive_fanin(netlist, [netlist.register_next(r)]);
+        for leaf in cone.register_leaves {
+            if dist[leaf.index()] == usize::MAX {
+                dist[leaf.index()] = dist[r.index()] + 1;
+                queue.push_back(leaf);
+            }
+        }
+    }
+    picked
+}
+
+/// Replays a trace concretely (unassigned inputs low) and collects the
+/// coverage states visited at every cycle.
+fn replay_coverage_states(netlist: &Netlist, set: &CoverageSet, trace: &Trace) -> Vec<u64> {
+    let Ok(mut sim) = Simulator::new(netlist) else {
+        return Vec::new();
+    };
+    sim.reset();
+    for (s, v) in trace.steps()[0].state.iter() {
+        if netlist.is_register(s) && netlist.register_init(s).is_none() {
+            sim.set(s, rfn_sim::Tv::from(v));
+        }
+    }
+    let mut out = Vec::new();
+    let mut record = |sim: &Simulator| {
+        let mut bits = 0u64;
+        for (k, &s) in set.signals.iter().enumerate() {
+            match sim.value(s).to_bool() {
+                Some(true) => bits |= 1 << k,
+                Some(false) => {}
+                None => return, // unknown coverage value: skip this cycle
+            }
+        }
+        out.push(bits);
+    };
+    record(&sim);
+    for step in trace.steps() {
+        let mut inputs = Cube::new();
+        for &pi in netlist.inputs() {
+            let v = step.inputs.get(pi).unwrap_or(false);
+            let _ = inputs.insert(pi, v);
+        }
+        sim.step(&inputs);
+        record(&sim);
+    }
+    out
+}
+
+use rfn_netlist::Trace;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfn_netlist::GateOp;
+
+    /// A 2-bit one-hot-ish machine: state (a,b) cycles 00 -> 01 -> 10 -> 00;
+    /// state 11 is unreachable. A distant mode register gates nothing.
+    fn rotator() -> (Netlist, CoverageSet) {
+        let mut n = Netlist::new("rot");
+        let a = n.add_register("a", Some(false));
+        let b = n.add_register("b", Some(false));
+        // next_a = b ; next_b = !(a | b)  -- cycles 00 -> 01 -> 10 -> 00
+        let nor_ab = n.add_gate("nor_ab", GateOp::Nor, &[a, b]);
+        n.set_register_next(a, b).unwrap();
+        n.set_register_next(b, nor_ab).unwrap();
+        n.validate().unwrap();
+        let set = CoverageSet::new("rot", [a, b]);
+        (n, set)
+    }
+
+    #[test]
+    fn classifies_the_rotator_exactly() {
+        let (n, set) = rotator();
+        let rep = analyze_coverage(&n, &set, &CoverageOptions::default()).unwrap();
+        assert_eq!(rep.total_states, 4);
+        assert_eq!(rep.unreachable, 1, "state 11 is unreachable");
+        assert_eq!(rep.reachable, 3);
+        assert_eq!(rep.unresolved, 0);
+    }
+
+    #[test]
+    fn bfs_matches_on_tiny_design() {
+        let (n, set) = rotator();
+        let rep = bfs_coverage(&n, &set, 60, 1 << 20, &ReachOptions::default()).unwrap();
+        assert_eq!(rep.unreachable, 1);
+        assert_eq!(rep.abstract_registers, 2);
+    }
+
+    /// The rotator plus a gating register far away: with the gate stuck low,
+    /// state 10 also becomes unreachable, but only an abstraction containing
+    /// the (distant) gate register can see that.
+    fn gated_rotator() -> (Netlist, CoverageSet, SignalId) {
+        let mut n = Netlist::new("grot");
+        let a = n.add_register("a", Some(false));
+        let b = n.add_register("b", Some(false));
+        // gate chain: g0 sticks at 0; g1 <- g0 (distance 2 from a).
+        let g0 = n.add_register("g0", Some(false));
+        n.set_register_next(g0, g0).unwrap();
+        let g1 = n.add_register("g1", Some(false));
+        n.set_register_next(g1, g0).unwrap();
+        // next_a = b & g1 (never 1 in reality); next_b = !(a|b).
+        let band = n.add_gate("band", GateOp::And, &[b, g1]);
+        let nor_ab = n.add_gate("nor_ab", GateOp::Nor, &[a, b]);
+        n.set_register_next(a, band).unwrap();
+        n.set_register_next(b, nor_ab).unwrap();
+        n.validate().unwrap();
+        let set = CoverageSet::new("grot", [a, b]);
+        (n, set, g1)
+    }
+
+    #[test]
+    fn refinement_finds_distant_gating_registers() {
+        let (n, set, g1) = gated_rotator();
+        let rep = analyze_coverage(&n, &set, &CoverageOptions::default()).unwrap();
+        // Real reachable states: 00 and 01 only (a can never rise).
+        assert_eq!(rep.unreachable, 2, "10 and 11 are unreachable");
+        assert_eq!(rep.reachable, 2);
+        assert!(rep.abstract_registers >= 3, "refinement must add {g1:?}");
+    }
+
+    #[test]
+    fn bfs_with_tiny_k_misses_the_gate() {
+        let (n, set, _) = gated_rotator();
+        // k=2: only the coverage registers themselves; the projection thinks
+        // 10 is reachable (g1 free), so only 11 is proven unreachable.
+        let rep = bfs_coverage(&n, &set, 2, 1 << 20, &ReachOptions::default()).unwrap();
+        assert_eq!(rep.unreachable, 1);
+        // With k large enough, BFS also finds both.
+        let rep2 = bfs_coverage(&n, &set, 4, 1 << 20, &ReachOptions::default()).unwrap();
+        assert_eq!(rep2.unreachable, 2);
+    }
+
+    #[test]
+    fn rejects_non_register_coverage_signals() {
+        let mut n = Netlist::new("bad");
+        let i = n.add_input("i");
+        let r = n.add_register("r", Some(false));
+        n.set_register_next(r, i).unwrap();
+        n.validate().unwrap();
+        let set = CoverageSet::new("bad", [i]);
+        assert!(analyze_coverage(&n, &set, &CoverageOptions::default()).is_err());
+    }
+
+    #[test]
+    fn closest_registers_orders_by_distance() {
+        let (n, set, g1) = gated_rotator();
+        let picked = closest_registers(&n, &set.signals, 3);
+        assert_eq!(picked.len(), 3);
+        assert!(picked.contains(&set.signals[0]));
+        assert!(picked.contains(&set.signals[1]));
+        // The third closest is g1 (distance 1 from a via band).
+        assert!(picked.contains(&g1));
+    }
+}

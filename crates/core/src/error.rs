@@ -1,0 +1,51 @@
+//! Error type for the RFN loop.
+
+use std::fmt;
+
+use rfn_mc::McError;
+use rfn_netlist::NetlistError;
+
+/// Error produced by the RFN verification loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RfnError {
+    /// The netlist or property is malformed.
+    Netlist(NetlistError),
+    /// The symbolic engine failed structurally (not a capacity abort, which
+    /// is reported through outcomes).
+    Mc(McError),
+    /// The property's target signal is not part of the design.
+    BadProperty(String),
+}
+
+impl fmt::Display for RfnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RfnError::Netlist(e) => write!(f, "netlist failure: {e}"),
+            RfnError::Mc(e) => write!(f, "model-checking failure: {e}"),
+            RfnError::BadProperty(m) => write!(f, "bad property: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RfnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RfnError::Netlist(e) => Some(e),
+            RfnError::Mc(e) => Some(e),
+            RfnError::BadProperty(_) => None,
+        }
+    }
+}
+
+impl From<NetlistError> for RfnError {
+    fn from(e: NetlistError) -> Self {
+        RfnError::Netlist(e)
+    }
+}
+
+impl From<McError> for RfnError {
+    fn from(e: McError) -> Self {
+        RfnError::Mc(e)
+    }
+}

@@ -1,0 +1,71 @@
+//! RFN: formal property verification by abstraction refinement with formal,
+//! simulation and hybrid engines.
+//!
+//! This crate implements the complete verification loop of the DAC 2001
+//! paper. Given a gate-level design and an unreachability property, [`Rfn`]
+//! iterates the paper's four steps:
+//!
+//! 1. **Generate the abstract model** — a subcircuit induced by a growing
+//!    register set; excluded registers are free pseudo-inputs
+//!    ([`rfn_netlist::Abstraction`]).
+//! 2. **Prove or find an abstract error trace** — BDD-based forward fixpoint
+//!    with onion rings; on a target hit, the **hybrid BDD–ATPG engine**
+//!    ([`hybrid_trace`]) reconstructs an error trace using pre-images on the
+//!    *min-cut design* and combinational ATPG to lift min-cut cubes to
+//!    no-cut cubes.
+//! 3. **Concretize** — sequential ATPG on the original design, guided by the
+//!    abstract trace (depth bound + per-cycle constraint cubes,
+//!    [`concretize`]).
+//! 4. **Refine** — two-phase crucial-register identification: 3-valued
+//!    simulation conflicts, then greedy ATPG minimization ([`refine`]).
+//!
+//! The loop is sound in both directions: `Proved` only ever comes from a
+//! fixpoint on an over-approximating abstraction, and `Falsified` traces are
+//! replayed concretely on the original design before being reported.
+//!
+//! The crate also implements the paper's second application,
+//! **unreachable-coverage-state analysis** ([`analyze_coverage`]), together
+//! with the BFS abstraction baseline it is compared against in Table 2
+//! ([`bfs_coverage`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rfn_core::{Rfn, RfnOptions, RfnOutcome};
+//! use rfn_netlist::{Netlist, GateOp, Property};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A flag that can never rise, plus an irrelevant counter.
+//! let mut n = Netlist::new("demo");
+//! let flag = n.add_register("flag", Some(false));
+//! n.set_register_next(flag, flag)?;
+//! let junk = n.add_register("junk", Some(false));
+//! let nj = n.add_gate("nj", GateOp::Not, &[junk]);
+//! n.set_register_next(junk, nj)?;
+//! n.validate()?;
+//!
+//! let property = Property::never(&n, "flag_low", flag);
+//! let outcome = Rfn::new(&n, &property, RfnOptions::default())?.run()?;
+//! assert!(matches!(outcome, RfnOutcome::Proved { .. }));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod concretize;
+mod coverage;
+mod error;
+mod hybrid;
+mod refine;
+mod rfn;
+
+pub use concretize::{
+    concretize, concretize_cube, validate_trace, validate_trace_cube, ConcretizeOutcome,
+};
+pub use coverage::{analyze_coverage, bfs_coverage, CoverageOptions, CoverageReport};
+pub use error::RfnError;
+pub use hybrid::{hybrid_trace, hybrid_traces, HybridOutcome, HybridStats};
+pub use refine::{refine, refine_with_roots, RefineOptions, RefineReport};
+pub use rfn::{Rfn, RfnOptions, RfnOutcome, RfnStats};

@@ -1,0 +1,537 @@
+//! The RFN abstraction-refinement loop.
+
+use std::time::{Duration, Instant};
+
+use rfn_atpg::AtpgOptions;
+use rfn_mc::{forward_reach, ModelSpec, ReachOptions, ReachVerdict, SymbolicModel, VarKind};
+use rfn_netlist::{Abstraction, Coi, Netlist, Property, SignalId, Trace};
+
+use crate::{
+    concretize, hybrid_traces, refine, ConcretizeOutcome, HybridStats, RefineOptions, RfnError,
+};
+
+/// Configuration of the RFN loop.
+#[derive(Clone, Debug)]
+pub struct RfnOptions {
+    /// Maximum refinement iterations.
+    pub max_iterations: usize,
+    /// Wall-clock budget for the whole run.
+    pub time_limit: Option<Duration>,
+    /// BDD node limit per iteration's symbolic model.
+    pub mc_node_limit: usize,
+    /// Reachability options (reordering, step limits).
+    pub reach: ReachOptions,
+    /// ATPG limits for Step 3 (guided search on the original design).
+    pub concretize_atpg: AtpgOptions,
+    /// ATPG limits for the hybrid engine's cube lifting.
+    pub hybrid_atpg: AtpgOptions,
+    /// Refinement (Step 4) configuration.
+    pub refine: RefineOptions,
+    /// How many distinct abstract error traces the hybrid engine produces
+    /// per iteration; each guides its own Step 3 search before refinement
+    /// falls back. 1 reproduces the paper's algorithm; larger values
+    /// implement its first future-work extension (Section 5).
+    pub max_abstract_traces: usize,
+    /// 0 = silent; 1 = one line per iteration on stderr.
+    pub verbosity: u8,
+}
+
+impl Default for RfnOptions {
+    fn default() -> Self {
+        RfnOptions {
+            max_iterations: 64,
+            time_limit: None,
+            mc_node_limit: 4_000_000,
+            reach: ReachOptions::default(),
+            concretize_atpg: AtpgOptions::default(),
+            hybrid_atpg: AtpgOptions {
+                max_backtracks: 10_000,
+                ..AtpgOptions::default()
+            },
+            refine: RefineOptions::default(),
+            max_abstract_traces: 1,
+            verbosity: 0,
+        }
+    }
+}
+
+/// Statistics of one RFN run (the data behind a Table 1 row).
+#[derive(Clone, Debug, Default)]
+pub struct RfnStats {
+    /// Refinement iterations executed.
+    pub iterations: usize,
+    /// Registers in the final abstract model (Table 1, last column).
+    pub abstract_registers: usize,
+    /// Registers in the property's cone of influence (Table 1, column 2).
+    pub coi_registers: usize,
+    /// Gates in the property's cone of influence (Table 1, column 3).
+    pub coi_gates: usize,
+    /// Total wall-clock time (Table 1, column 4).
+    pub elapsed: Duration,
+    /// Length of the reported error trace, if falsified.
+    pub trace_length: Option<usize>,
+    /// Registers added per refinement round.
+    pub refinement_sizes: Vec<usize>,
+    /// Hybrid-engine statistics accumulated over all iterations.
+    pub hybrid: HybridStats,
+}
+
+/// How an RFN run ended.
+#[derive(Clone, Debug)]
+pub enum RfnOutcome {
+    /// The property is true: a forward fixpoint on an over-approximating
+    /// abstract model avoided every target state.
+    Proved {
+        /// Run statistics.
+        stats: RfnStats,
+    },
+    /// The property is false; the trace is a validated counterexample on the
+    /// original design.
+    Falsified {
+        /// The error trace (cube-level; unassigned inputs are don't-cares).
+        trace: Trace,
+        /// Run statistics.
+        stats: RfnStats,
+    },
+    /// Limits were exhausted without a verdict.
+    Inconclusive {
+        /// Human-readable reason.
+        reason: String,
+        /// Run statistics.
+        stats: RfnStats,
+    },
+}
+
+impl RfnOutcome {
+    /// The run statistics regardless of verdict.
+    pub fn stats(&self) -> &RfnStats {
+        match self {
+            RfnOutcome::Proved { stats }
+            | RfnOutcome::Falsified { stats, .. }
+            | RfnOutcome::Inconclusive { stats, .. } => stats,
+        }
+    }
+
+    /// Whether the property was proved.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, RfnOutcome::Proved { .. })
+    }
+
+    /// Whether the property was falsified.
+    pub fn is_falsified(&self) -> bool {
+        matches!(self, RfnOutcome::Falsified { .. })
+    }
+}
+
+/// The RFN verification tool: ties the four steps of the paper's loop
+/// together. See the [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct Rfn<'n> {
+    netlist: &'n Netlist,
+    property: Property,
+    options: RfnOptions,
+}
+
+impl<'n> Rfn<'n> {
+    /// Creates a verifier for one property.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the netlist does not validate or the property signal is out
+    /// of range.
+    pub fn new(
+        netlist: &'n Netlist,
+        property: &Property,
+        options: RfnOptions,
+    ) -> Result<Self, RfnError> {
+        netlist.validate()?;
+        if property.signal.index() >= netlist.num_signals() {
+            return Err(RfnError::BadProperty(format!(
+                "target signal {} out of range",
+                property.signal
+            )));
+        }
+        Ok(Rfn {
+            netlist,
+            property: property.clone(),
+            options,
+        })
+    }
+
+    /// Runs the abstraction-refinement loop to a verdict or resource
+    /// exhaustion.
+    ///
+    /// # Errors
+    ///
+    /// Returns structural errors only; running out of capacity yields
+    /// [`RfnOutcome::Inconclusive`].
+    pub fn run(&self) -> Result<RfnOutcome, RfnError> {
+        let start = Instant::now();
+        let deadline = self.options.time_limit.map(|d| start + d);
+        let mut stats = RfnStats::default();
+        let coi = Coi::of(self.netlist, [self.property.signal]);
+        stats.coi_registers = coi.num_registers();
+        stats.coi_gates = coi.num_gates();
+
+        // Initial abstraction: the registers mentioned by the property (the
+        // watchdog register); its transitive fanin comes in through the view.
+        let mut abstraction = Abstraction::new();
+        if self.netlist.is_register(self.property.signal) {
+            abstraction.insert(self.property.signal);
+        }
+        // Saved BDD variable order across iterations (paper, end of §2.2).
+        let mut saved_order: Vec<(SignalId, VarKind)> = Vec::new();
+
+        for iteration in 0..self.options.max_iterations {
+            stats.iterations = iteration + 1;
+            stats.abstract_registers = abstraction.len();
+            if let Some(d) = deadline {
+                if Instant::now() > d {
+                    return Ok(self.inconclusive("time limit exceeded", stats, start));
+                }
+            }
+            let view = abstraction.view(self.netlist, [self.property.signal])?;
+            let exact = view.pseudo_inputs().is_empty();
+
+            // Step 2: prove or find an abstract error trace.
+            let mut mgr = rfn_bdd::BddManager::new();
+            mgr.set_node_limit(self.options.mc_node_limit);
+            let mut model = match SymbolicModel::with_manager(
+                self.netlist,
+                ModelSpec::from_view(&view),
+                mgr,
+            ) {
+                Ok(m) => m,
+                Err(rfn_mc::McError::Bdd(_)) => {
+                    return Ok(self.inconclusive(
+                        "BDD node limit while building the abstract model",
+                        stats,
+                        start,
+                    ))
+                }
+                Err(e) => return Err(e.into()),
+            };
+            self.restore_order(&mut model, &saved_order);
+            let targets = {
+                let sig = model.signal_bdd(self.property.signal)?;
+                if self.property.value {
+                    sig
+                } else {
+                    match model.manager().not(sig) {
+                        Ok(b) => b,
+                        Err(_) => {
+                            return Ok(self.inconclusive(
+                                "BDD node limit on target construction",
+                                stats,
+                                start,
+                            ))
+                        }
+                    }
+                }
+            };
+            let mut reach_opts = self.options.reach.clone();
+            if let Some(d) = deadline {
+                reach_opts.time_limit = Some(d.saturating_duration_since(Instant::now()));
+            }
+            let reach = forward_reach(&mut model, targets, &reach_opts)?;
+            let hit_step = match reach.verdict {
+                ReachVerdict::FixpointProved => {
+                    self.log(iteration, &format!(
+                        "proved with {} registers in the abstract model",
+                        abstraction.len()
+                    ));
+                    stats.elapsed = start.elapsed();
+                    return Ok(RfnOutcome::Proved { stats });
+                }
+                ReachVerdict::Aborted => {
+                    return Ok(self.inconclusive(
+                        "symbolic reachability out of capacity on the abstract model",
+                        stats,
+                        start,
+                    ));
+                }
+                ReachVerdict::TargetHit { step } => step,
+            };
+
+            // Hybrid engine: reconstruct one or more abstract error traces.
+            let reconstructed = hybrid_traces(
+                self.netlist,
+                &view,
+                &mut model,
+                &reach,
+                targets,
+                &self.options.hybrid_atpg,
+                self.options.max_abstract_traces.max(1),
+            )?;
+            if reconstructed.is_empty() {
+                return Ok(self.inconclusive(
+                    "hybrid engine failed to reconstruct an abstract error trace",
+                    stats,
+                    start,
+                ));
+            }
+            for (_, h) in &reconstructed {
+                stats.hybrid.no_cut_steps += h.no_cut_steps;
+                stats.hybrid.min_cut_steps += h.min_cut_steps;
+                stats.hybrid.fallback_steps += h.fallback_steps;
+                stats.hybrid.abstract_inputs = h.abstract_inputs;
+                stats.hybrid.min_cut_inputs = h.min_cut_inputs;
+            }
+            let traces: Vec<rfn_netlist::Trace> =
+                reconstructed.into_iter().map(|(t, _)| t).collect();
+            self.log(iteration, &format!(
+                "{} abstract error trace(s) of {} cycles (hit at step {}) on {} registers",
+                traces.len(),
+                traces[0].num_cycles(),
+                hit_step,
+                abstraction.len()
+            ));
+            // Save the variable order for the next iteration.
+            saved_order = self.save_order(&model);
+            drop(model);
+
+            // Exact abstraction: the abstract traces are real (their inputs
+            // are real primary inputs of the design).
+            if exact {
+                let trace = traces.into_iter().next().expect("non-empty");
+                if crate::validate_trace(self.netlist, &self.property, &trace) {
+                    stats.trace_length = Some(trace.num_cycles());
+                    stats.elapsed = start.elapsed();
+                    return Ok(RfnOutcome::Falsified { trace, stats });
+                }
+                return Ok(self.inconclusive(
+                    "exact abstraction produced a non-replayable trace (internal inconsistency)",
+                    stats,
+                    start,
+                ));
+            }
+
+            // Step 3: guided search on the original design, one corridor per
+            // abstract trace (the future-work multi-trace extension when
+            // `max_abstract_traces > 1`).
+            let mut conc_opts = self.options.concretize_atpg.clone();
+            if let Some(d) = deadline {
+                conc_opts.time_limit = Some(d.saturating_duration_since(Instant::now()));
+            }
+            for abstract_trace in &traces {
+                match concretize(self.netlist, &self.property, abstract_trace, &conc_opts)? {
+                    ConcretizeOutcome::Falsified(trace) => {
+                        self.log(iteration, &format!(
+                            "falsified: {}-cycle error trace on the original design",
+                            trace.num_cycles()
+                        ));
+                        stats.trace_length = Some(trace.num_cycles());
+                        stats.elapsed = start.elapsed();
+                        return Ok(RfnOutcome::Falsified { trace, stats });
+                    }
+                    ConcretizeOutcome::Spurious | ConcretizeOutcome::Unknown => {}
+                }
+            }
+
+            // Step 4: refine against the first (fattest-seed) trace.
+            let report = refine(
+                self.netlist,
+                &mut abstraction,
+                &self.property,
+                &traces[0],
+                &self.options.refine,
+            )?;
+            self.log(iteration, &format!(
+                "refined: +{} registers ({} candidates, {} conflicts)",
+                report.added.len(),
+                report.candidates,
+                report.conflicts_found
+            ));
+            if report.added.is_empty() {
+                return Ok(self.inconclusive(
+                    "refinement found no crucial registers to add",
+                    stats,
+                    start,
+                ));
+            }
+            stats.refinement_sizes.push(report.added.len());
+        }
+        Ok(self.inconclusive("iteration limit exceeded", stats, start))
+    }
+
+    fn inconclusive(&self, reason: &str, mut stats: RfnStats, start: Instant) -> RfnOutcome {
+        stats.elapsed = start.elapsed();
+        if self.options.verbosity > 0 {
+            eprintln!("[rfn {}] inconclusive: {reason}", self.property.name);
+        }
+        RfnOutcome::Inconclusive {
+            reason: reason.to_owned(),
+            stats,
+        }
+    }
+
+    fn log(&self, iteration: usize, message: &str) {
+        if self.options.verbosity > 0 {
+            eprintln!("[rfn {} #{iteration}] {message}", self.property.name);
+        }
+    }
+
+    fn save_order(&self, model: &SymbolicModel<'_>) -> Vec<(SignalId, VarKind)> {
+        model
+            .manager_ref()
+            .current_order()
+            .into_iter()
+            .map(|v| model.var_signal(v))
+            .collect()
+    }
+
+    /// Applies a variable order saved from the previous iteration: signals
+    /// present in the new model keep their relative order, with each
+    /// register's `(current, next)` pair kept together. New signals stay at
+    /// the bottom.
+    fn restore_order(&self, model: &mut SymbolicModel<'_>, saved: &[(SignalId, VarKind)]) {
+        if saved.is_empty() {
+            return;
+        }
+        let mut order = Vec::with_capacity(saved.len());
+        for &(s, kind) in saved {
+            let var = match kind {
+                VarKind::Current => model.current_var(s),
+                VarKind::Next => model.next_var(s),
+                VarKind::Input => model.try_input_var(s),
+            };
+            if let Some(v) = var {
+                order.push(v);
+            }
+        }
+        model.manager().set_order(&order);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfn_netlist::GateOp;
+
+    /// Big irrelevant periphery + small relevant core. The property needs
+    /// only `gate`, `mode` and the watchdog; dozens of junk registers inflate
+    /// the COI.
+    fn layered_design(junk: usize) -> (Netlist, Property) {
+        let mut n = Netlist::new("layered");
+        let i = n.add_input("i");
+        // Relevant core: mode sticks at 0; gate = mode & i; watchdog latches.
+        let mode = n.add_register("mode", Some(false));
+        n.set_register_next(mode, mode).unwrap();
+        let gate = n.add_gate("gate", GateOp::And, &[mode, i]);
+        let w = n.add_register("w", Some(false));
+        let wor = n.add_gate("wor", GateOp::Or, &[w, gate]);
+        n.set_register_next(w, wor).unwrap();
+        // Junk: a shift chain also feeding the watchdog's COI via an AND with
+        // constant 0 (inflates the COI without affecting behavior).
+        let zero = n.add_const("zero", false);
+        let mut prev = i;
+        let mut last_junk = None;
+        for k in 0..junk {
+            let r = n.add_register(&format!("junk{k}"), Some(false));
+            n.set_register_next(r, prev).unwrap();
+            prev = r;
+            last_junk = Some(r);
+        }
+        if let Some(lj) = last_junk {
+            let masked = n.add_gate("masked", GateOp::And, &[lj, zero]);
+            let wor2 = n.add_gate("wor2", GateOp::Or, &[wor, masked]);
+            // Rewire: watchdog takes wor2 instead. (Build order trick: create
+            // a second watchdog that is the actual property target.)
+            let w2 = n.add_register("w2", Some(false));
+            n.set_register_next(w2, wor2).unwrap();
+            n.validate().unwrap();
+            let p = Property::never(&n, "w2_low", w2);
+            return (n, p);
+        }
+        n.validate().unwrap();
+        let p = Property::never(&n, "w_low", w);
+        (n, p)
+    }
+
+    #[test]
+    fn proves_with_small_abstraction() {
+        let (n, p) = layered_design(30);
+        let outcome = Rfn::new(&n, &p, RfnOptions::default()).unwrap().run().unwrap();
+        let RfnOutcome::Proved { stats } = outcome else {
+            panic!("expected proof, got {outcome:?}");
+        };
+        // COI includes the junk chain, but the abstraction must stay small.
+        assert!(stats.coi_registers > 30);
+        assert!(
+            stats.abstract_registers <= 4,
+            "abstraction too big: {}",
+            stats.abstract_registers
+        );
+    }
+
+    /// Same design but the mode register can be armed by an input: the
+    /// property is falsifiable.
+    fn falsifiable_design() -> (Netlist, Property) {
+        let mut n = Netlist::new("fd");
+        let i = n.add_input("i");
+        let arm = n.add_input("arm");
+        let mode = n.add_register("mode", Some(false));
+        let marm = n.add_gate("marm", GateOp::Or, &[mode, arm]);
+        n.set_register_next(mode, marm).unwrap();
+        let gate = n.add_gate("gate", GateOp::And, &[mode, i]);
+        let w = n.add_register("w", Some(false));
+        let wor = n.add_gate("wor", GateOp::Or, &[w, gate]);
+        n.set_register_next(w, wor).unwrap();
+        // Junk chain in the COI.
+        let mut prev = i;
+        for k in 0..20 {
+            let r = n.add_register(&format!("junk{k}"), Some(false));
+            n.set_register_next(r, prev).unwrap();
+            prev = r;
+        }
+        n.validate().unwrap();
+        let p = Property::never(&n, "w_low", w);
+        (n, p)
+    }
+
+    #[test]
+    fn falsifies_with_validated_trace() {
+        let (n, p) = falsifiable_design();
+        let outcome = Rfn::new(&n, &p, RfnOptions::default()).unwrap().run().unwrap();
+        let RfnOutcome::Falsified { trace, stats } = outcome else {
+            panic!("expected falsification, got {outcome:?}");
+        };
+        assert!(crate::validate_trace(&n, &p, &trace));
+        assert!(stats.trace_length.unwrap() >= 2);
+    }
+
+    #[test]
+    fn iteration_limit_reports_inconclusive() {
+        let (n, p) = falsifiable_design();
+        let opts = RfnOptions {
+            max_iterations: 0,
+            ..RfnOptions::default()
+        };
+        let outcome = Rfn::new(&n, &p, opts).unwrap().run().unwrap();
+        assert!(matches!(outcome, RfnOutcome::Inconclusive { .. }));
+    }
+
+    #[test]
+    fn bad_property_is_rejected() {
+        let (n, _) = falsifiable_design();
+        let bad = Property::never_value("bad", SignalId::from_index(10_000), true);
+        assert!(matches!(
+            Rfn::new(&n, &bad, RfnOptions::default()),
+            Err(RfnError::BadProperty(_))
+        ));
+    }
+
+    #[test]
+    fn property_on_gate_signal_works() {
+        // Target a combinational signal directly.
+        let mut n = Netlist::new("g");
+        let mode = n.add_register("mode", Some(false));
+        n.set_register_next(mode, mode).unwrap();
+        let i = n.add_input("i");
+        let gate = n.add_gate("gate", GateOp::And, &[mode, i]);
+        n.validate().unwrap();
+        let p = Property::never(&n, "gate_low", gate);
+        let outcome = Rfn::new(&n, &p, RfnOptions::default()).unwrap().run().unwrap();
+        assert!(outcome.is_proved(), "got {outcome:?}");
+    }
+}

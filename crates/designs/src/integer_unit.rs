@@ -1,0 +1,379 @@
+//! The integer-unit design (Table 2, coverage sets IU1–IU5).
+//!
+//! A cluster of interacting control state machines modeled after a
+//! processor's integer pipeline (the paper used the Sun picoJava IU):
+//!
+//! * five 2-bit pipeline-stage FSMs (IDLE / BUSY / WAIT / FLUSH) chained in a
+//!   ring, so all control registers sit in one strongly connected component
+//!   — which is why every IU coverage set has the same cone of influence, as
+//!   the paper observed;
+//! * a one-hot token ring gating stage advancement;
+//! * a mode counter that *saturates* below the value that would load the
+//!   flush-enable configuration chain, so the chain is stuck at zero and the
+//!   FLUSH states are unreachable — but proving that requires pulling the
+//!   (topologically distant) chain and mode registers into the abstraction;
+//! * wide per-stage performance counters adjacent to the stage registers:
+//!   semantically inert, but they sit at BFS distance one and soak up the
+//!   BFS method's fixed register budget.
+//!
+//! Each coverage set has 10 signals (1,024 coverage states), matching the
+//! paper's IU experiments.
+
+use rfn_netlist::{CoverageSet, GateOp, Netlist, SignalId};
+
+use crate::words::{
+    coi_coupler, connect_word, eq_const, incrementer, mux_word, or_reduce, word_input,
+    word_register,
+};
+use crate::Design;
+
+/// Parameters of [`integer_unit`].
+#[derive(Clone, Debug)]
+pub struct IntegerUnitParams {
+    /// Pipeline stages (each contributes a 2-bit FSM). At least 5 for the
+    /// standard IU1–IU5 coverage sets.
+    pub stages: usize,
+    /// Performance counters per stage (BFS-ball pollution; more counters
+    /// starve the BFS register budget).
+    pub counters_per_stage: usize,
+    /// Width of each performance counter. Wider counters blow up the BFS
+    /// baseline's fixpoint diameter — the paper's "unpredictable BFS time".
+    pub counter_width: usize,
+    /// Width of the per-stage datapath latches (COI filler).
+    pub data_width: usize,
+}
+
+impl Default for IntegerUnitParams {
+    fn default() -> Self {
+        IntegerUnitParams {
+            stages: 5,
+            counters_per_stage: 2,
+            counter_width: 5,
+            data_width: 16,
+        }
+    }
+}
+
+/// Generates the integer unit with coverage sets IU1–IU5.
+///
+/// # Panics
+///
+/// Panics if `stages < 5`.
+pub fn integer_unit(params: &IntegerUnitParams) -> Design {
+    assert!(params.stages >= 5, "the IU needs at least 5 stages");
+    let mut n = Netlist::new("integer_unit");
+    let adv = n.add_input("adv");
+    let ack = n.add_input("ack");
+    let flush_req = n.add_input("flush_req");
+    let load_cfg = n.add_input("load_cfg");
+
+    // Junk performance counters FIRST so they get low signal ids and are
+    // discovered before anything else inside the BFS ball.
+    let counters: Vec<Vec<Vec<SignalId>>> = (0..params.stages)
+        .map(|k| {
+            (0..params.counters_per_stage)
+                .map(|c| {
+                    word_register(&mut n, &format!("perf{k}_{c}"), params.counter_width, 0)
+                })
+                .collect()
+        })
+        .collect();
+
+    // Stage FSM state registers (2 bits each: 00 IDLE, 01 BUSY, 10 WAIT,
+    // 11 FLUSH).
+    let stage_bits: Vec<[SignalId; 2]> = (0..params.stages)
+        .map(|k| {
+            [
+                n.add_register(&format!("st{k}_b0"), Some(false)),
+                n.add_register(&format!("st{k}_b1"), Some(false)),
+            ]
+        })
+        .collect();
+
+    // One-hot token ring, advanced when any stage is busy.
+    let token: Vec<SignalId> = (0..params.stages)
+        .map(|k| n.add_register(&format!("tok{k}"), Some(k == 0)))
+        .collect();
+
+    // Mode counter: saturates at 5, so 6 and 7 are unreachable and
+    // `mode == 7` (the cfg-chain load condition) never holds.
+    let mode = word_register(&mut n, "mode", 3, 0);
+    // Flush-enable configuration chain (stuck at zero in reality).
+    let cfg0 = n.add_register("cfg0", Some(false));
+    let cfg1 = n.add_register("cfg1", Some(false));
+    let cfg2 = n.add_register("cfg2", Some(false));
+
+    // --- combinational control ---
+    let busy_bits: Vec<SignalId> = stage_bits
+        .iter()
+        .map(|&[b0, b1]| {
+            let nb1 = n.add_gate("", GateOp::Not, &[b1]);
+            n.add_gate("", GateOp::And, &[b0, nb1]) // state == 01
+        })
+        .collect();
+    let wait_bits: Vec<SignalId> = stage_bits
+        .iter()
+        .map(|&[b0, b1]| {
+            let nb0 = n.add_gate("", GateOp::Not, &[b0]);
+            n.add_gate("", GateOp::And, &[nb0, b1]) // state == 10
+        })
+        .collect();
+    let any_busy = or_reduce(&mut n, &busy_bits);
+
+    let mode_is_7 = eq_const(&mut n, &mode, 7);
+    let cfg0_load = n.add_gate("cfg0_load", GateOp::And, &[load_cfg, mode_is_7]);
+    let cfg0_next = n.add_gate("cfg0_next", GateOp::Or, &[cfg0, cfg0_load]);
+    n.set_register_next(cfg0, cfg0_next).expect("cfg0 connects");
+    n.set_register_next(cfg1, cfg0).expect("cfg1 connects");
+    n.set_register_next(cfg2, cfg1).expect("cfg2 connects");
+    let flush_en = cfg2;
+
+    // Mode: increments when stage 0 goes busy, saturating at 5.
+    let mode_lt_5 = {
+        let is5 = eq_const(&mut n, &mode, 5);
+        n.add_gate("mode_lt5", GateOp::Not, &[is5])
+    };
+    let mode_tick = n.add_gate("mode_tick", GateOp::And, &[busy_bits[0], mode_lt_5]);
+    let mode_next = incrementer(&mut n, &mode, mode_tick);
+    connect_word(&mut n, &mode, &mode_next);
+
+    // Token ring: rotate when any stage is busy.
+    for k in 0..params.stages {
+        let prev = token[(k + params.stages - 1) % params.stages];
+        let rot = n.add_gate("", GateOp::Mux, &[any_busy, token[k], prev]);
+        n.set_register_next(token[k], rot).expect("token connects");
+    }
+
+    // Stage transitions.
+    for k in 0..params.stages {
+        let [b0, b1] = stage_bits[k];
+        let go = if k == 0 {
+            n.add_gate("", GateOp::And, &[adv, token[0]])
+        } else {
+            // Advance when the previous stage waits and we hold the token.
+            n.add_gate("", GateOp::And, &[wait_bits[k - 1], token[k]])
+        };
+        let flush = n.add_gate("", GateOp::And, &[flush_req, flush_en]);
+        // Next-state logic per bit (see the state encoding above):
+        //   IDLE --go--> BUSY ; BUSY --> WAIT ; WAIT --ack--> IDLE ;
+        //   any --flush--> FLUSH ; FLUSH --> IDLE.
+        let nb0 = n.add_gate("", GateOp::Not, &[b0]);
+        let nb1 = n.add_gate("", GateOp::Not, &[b1]);
+        let is_idle = n.add_gate("", GateOp::And, &[nb0, nb1]);
+        let is_busy = busy_bits[k];
+        let is_wait = wait_bits[k];
+        let stay_wait = {
+            let nack = n.add_gate("", GateOp::Not, &[ack]);
+            n.add_gate("", GateOp::And, &[is_wait, nack])
+        };
+        let b0_n = {
+            // BUSY next: from IDLE on go, or FLUSH bit 0 on flush.
+            let t = n.add_gate("", GateOp::And, &[is_idle, go]);
+            n.add_gate("", GateOp::Or, &[t, flush])
+        };
+        let b1_n = {
+            // WAIT next: from BUSY, or staying in WAIT, or FLUSH bit 1.
+            let t = n.add_gate("", GateOp::Or, &[is_busy, stay_wait]);
+            n.add_gate("", GateOp::Or, &[t, flush])
+        };
+        // Couple the junk counters into the stage's fanin (inert, but it
+        // puts them at BFS distance one from the coverage signals).
+        let mut b0_c = b0_n;
+        let mut b1_c = b1_n;
+        for ctr in &counters[k] {
+            let msb = ctr[params.counter_width - 1];
+            b0_c = coi_coupler(&mut n, b0_c, msb);
+            b1_c = coi_coupler(&mut n, b1_c, msb);
+        }
+        n.set_register_next(b0, b0_c).expect("stage bit connects");
+        n.set_register_next(b1, b1_c).expect("stage bit connects");
+        // The counters themselves count busy / wait cycles.
+        for (c, ctr) in counters[k].iter().enumerate() {
+            let tick = if c % 2 == 0 { is_busy } else { is_wait };
+            let cnt_next = incrementer(&mut n, ctr, tick);
+            connect_word(&mut n, ctr, &cnt_next);
+        }
+    }
+
+    // Datapath filler latches, shifting while stage 0 is busy.
+    let data_in = word_input(&mut n, "data_in", params.data_width);
+    let mut prev = data_in;
+    for k in 0..params.stages {
+        let lat = word_register(&mut n, &format!("dat{k}"), params.data_width, 0);
+        let upd = mux_word(&mut n, busy_bits[k], &lat, &prev);
+        connect_word(&mut n, &lat, &upd);
+        prev = lat;
+    }
+
+    n.add_output("any_busy", any_busy);
+    n.validate().expect("generated IU validates");
+
+    // Coverage sets: 10 signals each, drawn from the control registers.
+    let all_stage: Vec<SignalId> = stage_bits.iter().flat_map(|b| b.iter().copied()).collect();
+    let coverage_sets = vec![
+        CoverageSet::new("IU1", all_stage.clone()),
+        CoverageSet::new(
+            "IU2",
+            all_stage[..8]
+                .iter()
+                .copied()
+                .chain([mode[0], mode[1]])
+                .collect::<Vec<_>>(),
+        ),
+        CoverageSet::new(
+            "IU3",
+            all_stage[..6]
+                .iter()
+                .copied()
+                .chain(token.iter().copied().take(4))
+                .collect::<Vec<_>>(),
+        ),
+        CoverageSet::new(
+            "IU4",
+            all_stage[2..8]
+                .iter()
+                .copied()
+                .chain(token.iter().copied().take(2))
+                .chain([mode[0], mode[2]])
+                .collect::<Vec<_>>(),
+        ),
+        CoverageSet::new(
+            "IU5",
+            all_stage[4..]
+                .iter()
+                .copied()
+                .chain(token.iter().copied().skip(1).take(3))
+                .chain([cfg2])
+                .collect::<Vec<_>>(),
+        ),
+    ];
+    for set in &coverage_sets {
+        assert_eq!(set.signals.len(), 10, "{} must have 10 signals", set.name);
+    }
+
+    Design {
+        netlist: n,
+        properties: Vec::new(),
+        coverage_sets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfn_netlist::{Coi, Cube};
+    use rfn_sim::{Simulator, Tv};
+
+    #[test]
+    fn coverage_sets_have_1024_states_and_shared_coi() {
+        let d = integer_unit(&IntegerUnitParams::default());
+        assert_eq!(d.coverage_sets.len(), 5);
+        let cois: Vec<usize> = d
+            .coverage_sets
+            .iter()
+            .map(|set| Coi::of(&d.netlist, set.signals.iter().copied()).num_registers())
+            .collect();
+        for set in &d.coverage_sets {
+            assert_eq!(set.num_states(), 1024);
+        }
+        // All five sets live in one SCC, so the COIs coincide (the paper's
+        // "little bit surprised" observation).
+        assert!(
+            cois.windows(2).all(|w| w[0] == w[1]),
+            "COI sizes differ: {cois:?}"
+        );
+    }
+
+    #[test]
+    fn flush_states_never_occur_in_simulation() {
+        let d = integer_unit(&IntegerUnitParams {
+            stages: 5,
+            counters_per_stage: 1,
+            counter_width: 4,
+            data_width: 4,
+        });
+        let n = &d.netlist;
+        let mut sim = Simulator::new(n).unwrap();
+        sim.reset();
+        let mut state = 0xabcdefu64;
+        for _ in 0..500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let cube: Cube = n
+                .inputs()
+                .iter()
+                .enumerate()
+                .map(|(k, &i)| (i, (state >> (k % 59)) & 1 == 1))
+                .collect();
+            sim.step(&cube);
+            for k in 0..5 {
+                let b0 = n.find(&format!("st{k}_b0")).unwrap();
+                let b1 = n.find(&format!("st{k}_b1")).unwrap();
+                assert!(
+                    !(sim.value(b0) == Tv::One && sim.value(b1) == Tv::One),
+                    "stage {k} entered FLUSH"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stages_do_advance() {
+        let d = integer_unit(&IntegerUnitParams {
+            stages: 5,
+            counters_per_stage: 1,
+            counter_width: 4,
+            data_width: 4,
+        });
+        let n = &d.netlist;
+        let adv = n.find("adv").unwrap();
+        let b0 = n.find("st0_b0").unwrap();
+        let mut sim = Simulator::new(n).unwrap();
+        sim.reset();
+        let mut cube: Cube = n.inputs().iter().map(|&i| (i, false)).collect();
+        cube.remove(adv);
+        cube.insert(adv, true).unwrap();
+        sim.step(&cube);
+        assert_eq!(sim.value(b0), Tv::One, "stage 0 must go BUSY");
+    }
+
+    #[test]
+    fn mode_saturates_below_seven() {
+        let d = integer_unit(&IntegerUnitParams {
+            stages: 5,
+            counters_per_stage: 1,
+            counter_width: 4,
+            data_width: 4,
+        });
+        let n = &d.netlist;
+        let adv = n.find("adv").unwrap();
+        let ack = n.find("ack").unwrap();
+        let mut sim = Simulator::new(n).unwrap();
+        sim.reset();
+        for _ in 0..100 {
+            let mut cube: Cube = n.inputs().iter().map(|&i| (i, false)).collect();
+            cube.remove(adv);
+            cube.remove(ack);
+            cube.insert(adv, true).unwrap();
+            cube.insert(ack, true).unwrap();
+            sim.step(&cube);
+        }
+        let mode_val: u64 = (0..3)
+            .map(|k| {
+                let bit = n.find(&format!("mode[{k}]")).unwrap();
+                u64::from(sim.value(bit) == Tv::One) << k
+            })
+            .sum();
+        assert!(mode_val <= 5, "mode overflowed saturation: {mode_val}");
+        let cfg2 = n.find("cfg2").unwrap();
+        assert_eq!(sim.value(cfg2), Tv::Zero, "cfg chain must stay low");
+    }
+
+    #[test]
+    fn junk_counters_have_low_signal_ids() {
+        let d = integer_unit(&IntegerUnitParams::default());
+        let n = &d.netlist;
+        let perf = n.find("perf0_0[0]").unwrap();
+        let st = n.find("st0_b0").unwrap();
+        assert!(perf < st, "junk counters must be created before stage regs");
+    }
+}

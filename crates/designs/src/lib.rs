@@ -1,0 +1,75 @@
+//! Synthetic benchmark designs for the RFN reproduction.
+//!
+//! The paper evaluates RFN on proprietary real-world designs: a processor
+//! module (≈5,000 registers, ≈111,000 gates in the property COIs), a FIFO
+//! controller (135 registers), the Integer Unit of the Sun picoJava
+//! microprocessor and a USB bus controller. None of those netlists are
+//! available, so this crate generates *structurally equivalent* synthetic
+//! designs (see `DESIGN.md` at the repository root for the substitution
+//! argument):
+//!
+//! * [`processor_module`] — a small arbiter/pipeline control core carrying
+//!   the `mutex` (true) and `error_flag` (false, ≈30-cycle violation)
+//!   properties, surrounded by a large register-file/datapath periphery that
+//!   inflates the cone of influence to the paper's size,
+//! * [`fifo_controller`] — pointers, counter and status flags with the
+//!   `push_hf`, `push_af` and `push_full` consistency properties (all true),
+//! * [`integer_unit`] — a cluster of interacting control FSMs with the
+//!   IU1–IU5 coverage-signal sets (10 signals ⇒ 1,024 coverage states each),
+//! * [`usb_controller`] — endpoint/token FSMs with the USB1 (6 signals) and
+//!   USB2 (21 signals) coverage sets,
+//! * [`small`] — tiny pedagogical designs used in documentation and tests.
+//!
+//! All generators are deterministic: the same parameters always produce the
+//! same netlist.
+//!
+//! # Example
+//!
+//! ```
+//! use rfn_designs::fifo_controller;
+//!
+//! let design = fifo_controller(&Default::default());
+//! assert_eq!(design.properties.len(), 3);
+//! assert!(design.netlist.num_registers() > 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fifo;
+mod integer_unit;
+mod processor;
+pub mod small;
+mod usb;
+pub mod words;
+
+pub use fifo::{fifo_controller, FifoParams};
+pub use integer_unit::{integer_unit, IntegerUnitParams};
+pub use processor::{processor_module, ProcessorParams};
+pub use usb::{usb_controller, UsbParams};
+
+use rfn_netlist::{CoverageSet, Netlist, Property};
+
+/// A generated benchmark design: the netlist plus the properties and
+/// coverage sets the paper's experiments exercise on it.
+#[derive(Clone, Debug)]
+pub struct Design {
+    /// The gate-level design.
+    pub netlist: Netlist,
+    /// Unreachability properties (Table 1 experiments).
+    pub properties: Vec<Property>,
+    /// Coverage-signal sets (Table 2 experiments).
+    pub coverage_sets: Vec<CoverageSet>,
+}
+
+impl Design {
+    /// Looks a property up by name.
+    pub fn property(&self, name: &str) -> Option<&Property> {
+        self.properties.iter().find(|p| p.name == name)
+    }
+
+    /// Looks a coverage set up by name.
+    pub fn coverage_set(&self, name: &str) -> Option<&CoverageSet> {
+        self.coverage_sets.iter().find(|c| c.name == name)
+    }
+}

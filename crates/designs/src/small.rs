@@ -1,0 +1,204 @@
+//! Small pedagogical designs used in documentation, examples and tests.
+
+use rfn_netlist::{GateOp, Netlist, Property};
+
+use crate::words::{connect_word, eq_const, ge_const, incrementer, watchdog, word_register};
+use crate::Design;
+
+/// A saturating counter with a watchdog on overflow (true property
+/// `no_overflow`): the counter holds at its maximum, so it never wraps.
+pub fn saturating_counter(bits: usize) -> Design {
+    let mut n = Netlist::new("saturating_counter");
+    let en = n.add_input("en");
+    let c = word_register(&mut n, "c", bits, 0);
+    let max = (1u64 << bits) - 1;
+    let at_max = eq_const(&mut n, &c, max);
+    let not_max = n.add_gate("not_max", GateOp::Not, &[at_max]);
+    let tick = n.add_gate("tick", GateOp::And, &[en, not_max]);
+    let next = incrementer(&mut n, &c, tick);
+    connect_word(&mut n, &c, &next);
+    // Overflow would show as the counter reading zero after having been at
+    // max — impossible with saturation.
+    let wrapped = {
+        let at_zero = eq_const(&mut n, &c, 0);
+        let seen_max = n.add_register("seen_max", Some(false));
+        let seen_next = n.add_gate("seen_next", GateOp::Or, &[seen_max, at_max]);
+        n.set_register_next(seen_max, seen_next).expect("seen_max connects");
+        n.add_gate("wrapped", GateOp::And, &[at_zero, seen_max])
+    };
+    let w = watchdog(&mut n, "w_overflow", wrapped);
+    n.validate().expect("generated counter validates");
+    let p = Property::never(&n, "no_overflow", w);
+    Design {
+        netlist: n,
+        properties: vec![p],
+        coverage_sets: Vec::new(),
+    }
+}
+
+/// A wrapping counter with a watchdog that fires when the count reaches
+/// `threshold` (false property `never_reaches`, violated after exactly
+/// `threshold + 1` cycles).
+pub fn wrapping_counter(bits: usize, threshold: u64) -> Design {
+    let mut n = Netlist::new("wrapping_counter");
+    let en = n.add_input("en");
+    let c = word_register(&mut n, "c", bits, 0);
+    let next = incrementer(&mut n, &c, en);
+    connect_word(&mut n, &c, &next);
+    let hit = eq_const(&mut n, &c, threshold);
+    let w = watchdog(&mut n, "w_hit", hit);
+    n.validate().expect("generated counter validates");
+    let p = Property::never(&n, "never_reaches", w);
+    Design {
+        netlist: n,
+        properties: vec![p],
+        coverage_sets: Vec::new(),
+    }
+}
+
+/// A two-road traffic-light controller: both lights are never green at once
+/// (true property `no_crash`). The light FSMs share a phase counter.
+pub fn traffic_light() -> Design {
+    let mut n = Netlist::new("traffic_light");
+    let phase = word_register(&mut n, "phase", 3, 0);
+    let tick = n.add_input("tick");
+    let next = incrementer(&mut n, &phase, tick);
+    connect_word(&mut n, &phase, &next);
+    // North-south green during phases 0..2, east-west during 4..6;
+    // 3 and 7 are all-red clearance phases.
+    let ns_green_now = {
+        let ge0 = ge_const(&mut n, &phase, 0);
+        let lt3 = {
+            let ge3 = ge_const(&mut n, &phase, 3);
+            n.add_gate("", GateOp::Not, &[ge3])
+        };
+        n.add_gate("ns_now", GateOp::And, &[ge0, lt3])
+    };
+    let ew_green_now = {
+        let ge4 = ge_const(&mut n, &phase, 4);
+        let lt7 = {
+            let ge7 = ge_const(&mut n, &phase, 7);
+            n.add_gate("", GateOp::Not, &[ge7])
+        };
+        n.add_gate("ew_now", GateOp::And, &[ge4, lt7])
+    };
+    let ns = n.add_register("ns_green", Some(true));
+    let ew = n.add_register("ew_green", Some(false));
+    n.set_register_next(ns, ns_green_now).expect("ns connects");
+    n.set_register_next(ew, ew_green_now).expect("ew connects");
+    let crash = n.add_gate("crash", GateOp::And, &[ns, ew]);
+    let w = watchdog(&mut n, "w_crash", crash);
+    n.add_output("ns_green", ns);
+    n.add_output("ew_green", ew);
+    n.validate().expect("generated traffic light validates");
+    let p = Property::never(&n, "no_crash", w);
+    Design {
+        netlist: n,
+        properties: vec![p],
+        coverage_sets: Vec::new(),
+    }
+}
+
+/// A round-robin arbiter over `clients` requesters: at most one grant per
+/// cycle (true property `one_grant`).
+pub fn round_robin_arbiter(clients: usize) -> Design {
+    assert!(clients >= 2, "an arbiter needs at least two clients");
+    let mut n = Netlist::new("round_robin_arbiter");
+    let reqs: Vec<_> = (0..clients)
+        .map(|k| n.add_input(&format!("req{k}")))
+        .collect();
+    // One-hot pointer rotating every cycle.
+    let ptr: Vec<_> = (0..clients)
+        .map(|k| n.add_register(&format!("ptr{k}"), Some(k == 0)))
+        .collect();
+    for k in 0..clients {
+        let prev = ptr[(k + clients - 1) % clients];
+        n.set_register_next(ptr[k], prev).expect("ptr connects");
+    }
+    // Grant the pointed client if it requests.
+    let grants: Vec<_> = (0..clients)
+        .map(|k| {
+            let g = n.add_gate(&format!("g{k}"), GateOp::And, &[ptr[k], reqs[k]]);
+            let reg = n.add_register(&format!("grant{k}"), Some(false));
+            n.set_register_next(reg, g).expect("grant connects");
+            reg
+        })
+        .collect();
+    // Watchdog: two grants at once.
+    let mut pair_fires = Vec::new();
+    for i in 0..clients {
+        for j in i + 1..clients {
+            pair_fires.push(n.add_gate("", GateOp::And, &[grants[i], grants[j]]));
+        }
+    }
+    let fire = crate::words::or_reduce(&mut n, &pair_fires);
+    let w = watchdog(&mut n, "w_double_grant", fire);
+    n.validate().expect("generated arbiter validates");
+    let p = Property::never(&n, "one_grant", w);
+    Design {
+        netlist: n,
+        properties: vec![p],
+        coverage_sets: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfn_netlist::Cube;
+    use rfn_sim::{Simulator, Tv};
+
+    fn run_random(d: &Design, cycles: usize, seed: u64) {
+        let n = &d.netlist;
+        let mut sim = Simulator::new(n).unwrap();
+        sim.reset();
+        let mut state = seed;
+        for _ in 0..cycles {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let cube: Cube = n
+                .inputs()
+                .iter()
+                .enumerate()
+                .map(|(k, &i)| (i, (state >> (k % 61)) & 1 == 1))
+                .collect();
+            sim.step(&cube);
+            for p in &d.properties {
+                if p.name != "never_reaches" {
+                    assert_eq!(sim.value(p.signal), Tv::Zero, "{} fired", p.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn saturating_counter_never_overflows() {
+        run_random(&saturating_counter(4), 200, 7);
+    }
+
+    #[test]
+    fn traffic_light_never_crashes() {
+        run_random(&traffic_light(), 200, 11);
+    }
+
+    #[test]
+    fn arbiter_grants_are_exclusive() {
+        run_random(&round_robin_arbiter(4), 200, 13);
+    }
+
+    #[test]
+    fn wrapping_counter_violates_at_threshold() {
+        let d = wrapping_counter(4, 5);
+        let n = &d.netlist;
+        let en = n.find("en").unwrap();
+        let w = d.properties[0].signal;
+        let mut sim = Simulator::new(n).unwrap();
+        sim.reset();
+        for _ in 0..6 {
+            assert_eq!(sim.value(w), Tv::Zero);
+            sim.step(&[(en, true)].into_iter().collect());
+        }
+        // Counter reached 5 in cycle 5; watchdog latches one cycle later.
+        sim.step(&[(en, true)].into_iter().collect());
+        assert_eq!(sim.value(w), Tv::One);
+    }
+}

@@ -1,0 +1,316 @@
+//! The USB bus controller design (Table 2, coverage sets USB1 and USB2).
+//!
+//! A simplified USB device controller: a one-hot token-decoder FSM, three
+//! endpoint FSMs (3 bits each), a CRC shift register, a bit-stuffing counter
+//! and NAK counters. As in the integer unit, a stuck configuration bit
+//! (high-speed enable, never negotiated because the chirp counter saturates)
+//! makes a slice of the coverage space unreachable in a way only a refined
+//! abstraction can see.
+//!
+//! USB1 covers 6 signals (64 coverage states); USB2 covers 21 signals
+//! (2,097,152 coverage states), matching the paper's set sizes.
+
+use rfn_netlist::{CoverageSet, GateOp, Netlist, SignalId};
+
+use crate::words::{
+    coi_coupler, connect_word, eq_const, incrementer, or_reduce, word_register,
+};
+use crate::Design;
+
+/// Parameters of [`usb_controller`].
+#[derive(Clone, Debug)]
+pub struct UsbParams {
+    /// Number of endpoint FSMs (at least 3; USB2 needs `3*3 + 4 + 5 + 3 = 21`
+    /// signals from the first three).
+    pub endpoints: usize,
+    /// Width of the NAK counters (BFS-ball pollution).
+    pub nak_width: usize,
+}
+
+impl Default for UsbParams {
+    fn default() -> Self {
+        UsbParams {
+            endpoints: 3,
+            nak_width: 6,
+        }
+    }
+}
+
+/// Generates the USB controller with coverage sets USB1 and USB2.
+///
+/// # Panics
+///
+/// Panics if `endpoints < 3`.
+pub fn usb_controller(params: &UsbParams) -> Design {
+    assert!(params.endpoints >= 3, "need at least 3 endpoints");
+    let mut n = Netlist::new("usb_controller");
+    let rx_token = n.add_input("rx_token");
+    let rx_data = n.add_input("rx_data");
+    let rx_eop = n.add_input("rx_eop");
+    let host_ack = n.add_input("host_ack");
+    let chirp = n.add_input("chirp");
+
+    // Junk NAK counters first (low signal ids -> they fill the BFS ball).
+    let nak0 = word_register(&mut n, "nak0", params.nak_width, 0);
+    let nak1 = word_register(&mut n, "nak1", params.nak_width, 0);
+
+    // Token decoder: one-hot FSM (IDLE, TOKEN, DATA, HANDSHAKE).
+    let tok: Vec<SignalId> = ["tk_idle", "tk_token", "tk_data", "tk_hand"]
+        .iter()
+        .enumerate()
+        .map(|(k, name)| n.add_register(name, Some(k == 0)))
+        .collect();
+
+    // Endpoint FSMs: 3-bit binary (0 disabled .. 5 stall; 6,7 unused).
+    let eps: Vec<Vec<SignalId>> = (0..params.endpoints)
+        .map(|e| word_register(&mut n, &format!("ep{e}"), 3, 1))
+        .collect();
+
+    // CRC5 shift register and bit-stuff counter.
+    let crc = word_register(&mut n, "crc", 5, 0b11111);
+    let stuff = word_register(&mut n, "stuff", 3, 0);
+
+    // High-speed negotiation: the chirp counter saturates at 5, below the 7
+    // required to set `hs_en`, so `hs_en` is stuck low.
+    let chirp_cnt = word_register(&mut n, "chirp_cnt", 3, 0);
+    let hs_en = n.add_register("hs_en", Some(false));
+
+    // --- token decoder transitions ---
+    let in_data = tok[2];
+    let tk_next: Vec<SignalId> = {
+        let ntoken = n.add_gate("", GateOp::Not, &[rx_token]);
+        let neop = n.add_gate("", GateOp::Not, &[rx_eop]);
+        let idle_hold = n.add_gate("", GateOp::And, &[tok[0], ntoken]);
+        let hand_done = n.add_gate("", GateOp::And, &[tok[3], host_ack]);
+        let next_idle = n.add_gate("", GateOp::Or, &[idle_hold, hand_done]);
+        let next_token = n.add_gate("", GateOp::And, &[tok[0], rx_token]);
+        let data_hold = n.add_gate("", GateOp::And, &[tok[2], neop]);
+        let next_data_pre = n.add_gate("", GateOp::Or, &[tok[1], data_hold]);
+        let next_hand_pre = n.add_gate("", GateOp::And, &[tok[2], rx_eop]);
+        let nack = n.add_gate("", GateOp::Not, &[host_ack]);
+        let hand_hold = n.add_gate("", GateOp::And, &[tok[3], nack]);
+        let next_hand = n.add_gate("", GateOp::Or, &[next_hand_pre, hand_hold]);
+        vec![next_idle, next_token, next_data_pre, next_hand]
+    };
+    for (k, &t) in tok.iter().enumerate() {
+        // Couple the junk counters into the decoder's fanin (inert).
+        let c = coi_coupler(&mut n, tk_next[k], nak0[params.nak_width - 1]);
+        n.set_register_next(t, c).expect("token reg connects");
+    }
+
+    // --- endpoint transitions (binary micro-FSM) ---
+    // 1 idle -> 2 rx (on DATA phase) -> 3 tx -> 1 ; 4 = high-speed burst
+    // (requires hs_en, unreachable) ; 5 = stall (on stuff overflow).
+    let stuff_ovf = eq_const(&mut n, &stuff, 7);
+    for (e, ep) in eps.iter().enumerate() {
+        let sel = eq_const(&mut n, &ep.clone(), 1); // idle
+        let in_rx = eq_const(&mut n, &ep.clone(), 2);
+        let in_tx = eq_const(&mut n, &ep.clone(), 3);
+        let go_rx = n.add_gate("", GateOp::And, &[sel, in_data]);
+        let go_burst = n.add_gate("", GateOp::And, &[go_rx, hs_en]);
+        let go_tx = n.add_gate("", GateOp::And, &[in_rx, rx_eop]);
+        let go_stall = n.add_gate("", GateOp::And, &[in_rx, stuff_ovf]);
+        let back_idle = n.add_gate("", GateOp::And, &[in_tx, host_ack]);
+        // bit0 = idle(1) | tx(3) | stall(5)
+        let b0_t = n.add_gate("", GateOp::Or, &[back_idle, go_tx]);
+        let hold_idle = {
+            let ngo = n.add_gate("", GateOp::Not, &[go_rx]);
+            n.add_gate("", GateOp::And, &[sel, ngo])
+        };
+        let b0_h = n.add_gate("", GateOp::Or, &[b0_t, hold_idle]);
+        let b0_n = n.add_gate("", GateOp::Or, &[b0_h, go_stall]);
+        // bit1 = rx(2) | tx(3)
+        let hold_rx = {
+            let neop = n.add_gate("", GateOp::Not, &[rx_eop]);
+            let nov = n.add_gate("", GateOp::Not, &[stuff_ovf]);
+            let keep = n.add_gate("", GateOp::And, &[neop, nov]);
+            n.add_gate("", GateOp::And, &[in_rx, keep])
+        };
+        let rx_or_hold = n.add_gate("", GateOp::Or, &[go_rx, hold_rx]);
+        let nburst = n.add_gate("", GateOp::Not, &[go_burst]);
+        let rx_not_burst = n.add_gate("", GateOp::And, &[rx_or_hold, nburst]);
+        let b1_n = n.add_gate("", GateOp::Or, &[rx_not_burst, go_tx]);
+        // bit2 = burst(4) | stall(5)
+        let b2_n = n.add_gate("", GateOp::Or, &[go_burst, go_stall]);
+        let junk = if e == 0 {
+            nak0[0]
+        } else {
+            nak1[(e - 1) % params.nak_width]
+        };
+        let b0_c = coi_coupler(&mut n, b0_n, junk);
+        n.set_register_next(ep[0], b0_c).expect("ep bit connects");
+        n.set_register_next(ep[1], b1_n).expect("ep bit connects");
+        n.set_register_next(ep[2], b2_n).expect("ep bit connects");
+    }
+
+    // CRC shifts during DATA; stuff counter counts consecutive ones.
+    let crc_fb = n.add_gate("crc_fb", GateOp::Xor, &[crc[4], rx_data]);
+    for k in (1..5).rev() {
+        let shifted = n.add_gate("", GateOp::Mux, &[in_data, crc[k], crc[k - 1]]);
+        n.set_register_next(crc[k], shifted).expect("crc connects");
+    }
+    let crc0_next = n.add_gate("", GateOp::Mux, &[in_data, crc[0], crc_fb]);
+    n.set_register_next(crc[0], crc0_next).expect("crc connects");
+
+    let ones_run = n.add_gate("ones_run", GateOp::And, &[in_data, rx_data]);
+    let stuff_inc = incrementer(&mut n, &stuff, ones_run);
+    let nrun = n.add_gate("", GateOp::Not, &[ones_run]);
+    let zero_w: Vec<SignalId> = (0..3).map(|_| n.add_const("", false)).collect();
+    let stuff_next = crate::words::mux_word(&mut n, nrun, &stuff_inc, &zero_w);
+    connect_word(&mut n, &stuff, &stuff_next);
+
+    // Chirp counter saturates at 5; hs_en needs 7: stuck low.
+    let chirp_lt5 = {
+        let is5 = eq_const(&mut n, &chirp_cnt, 5);
+        n.add_gate("", GateOp::Not, &[is5])
+    };
+    let chirp_tick = n.add_gate("", GateOp::And, &[chirp, chirp_lt5]);
+    let chirp_next = incrementer(&mut n, &chirp_cnt, chirp_tick);
+    connect_word(&mut n, &chirp_cnt, &chirp_next);
+    let chirp_is7 = eq_const(&mut n, &chirp_cnt, 7);
+    let hs_next = n.add_gate("hs_next", GateOp::Or, &[hs_en, chirp_is7]);
+    n.set_register_next(hs_en, hs_next).expect("hs_en connects");
+
+    // NAK counters count handshake retries (junk, but in the COI).
+    let any_stall = {
+        let stalls: Vec<SignalId> = eps
+            .iter()
+            .map(|ep| eq_const(&mut n, &ep.clone(), 5))
+            .collect();
+        or_reduce(&mut n, &stalls)
+    };
+    let nak0_next = incrementer(&mut n, &nak0, any_stall);
+    connect_word(&mut n, &nak0, &nak0_next);
+    let nak1_next = incrementer(&mut n, &nak1, tok[3]);
+    connect_word(&mut n, &nak1, &nak1_next);
+
+    n.add_output("hs_en", hs_en);
+    n.validate().expect("generated USB controller validates");
+
+    let usb1 = CoverageSet::new(
+        "USB1",
+        tok.iter().copied().chain([eps[0][0], eps[0][1]]).collect::<Vec<_>>(),
+    );
+    let usb2_signals: Vec<SignalId> = eps
+        .iter()
+        .take(3)
+        .flat_map(|ep| ep.iter().copied())
+        .chain(tok.iter().copied())
+        .chain(crc.iter().copied())
+        .chain(stuff.iter().copied())
+        .collect();
+    let usb2 = CoverageSet::new("USB2", usb2_signals);
+    assert_eq!(usb1.signals.len(), 6);
+    assert_eq!(usb2.signals.len(), 21);
+
+    Design {
+        netlist: n,
+        properties: Vec::new(),
+        coverage_sets: vec![usb1, usb2],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfn_netlist::Cube;
+    use rfn_sim::{Simulator, Tv};
+
+    #[test]
+    fn coverage_set_sizes_match_the_paper() {
+        let d = usb_controller(&UsbParams::default());
+        assert_eq!(d.coverage_set("USB1").unwrap().num_states(), 64);
+        assert_eq!(d.coverage_set("USB2").unwrap().num_states(), 2_097_152);
+    }
+
+    #[test]
+    fn token_fsm_stays_one_hot() {
+        let d = usb_controller(&UsbParams::default());
+        let n = &d.netlist;
+        let toks: Vec<_> = ["tk_idle", "tk_token", "tk_data", "tk_hand"]
+            .iter()
+            .map(|t| n.find(t).unwrap())
+            .collect();
+        let mut sim = Simulator::new(n).unwrap();
+        sim.reset();
+        let mut state = 0x5a5a5au64;
+        for cycle in 0..500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let cube: Cube = n
+                .inputs()
+                .iter()
+                .enumerate()
+                .map(|(k, &i)| (i, (state >> (k % 57)) & 1 == 1))
+                .collect();
+            sim.step(&cube);
+            let hot: usize = toks
+                .iter()
+                .filter(|&&t| sim.value(t) == Tv::One)
+                .count();
+            assert_eq!(hot, 1, "token FSM not one-hot at cycle {cycle}");
+        }
+    }
+
+    #[test]
+    fn hs_en_and_burst_states_stay_unreachable() {
+        let d = usb_controller(&UsbParams::default());
+        let n = &d.netlist;
+        let hs = n.find("hs_en").unwrap();
+        let ep0_b2 = n.find("ep0[2]").unwrap();
+        let ep0_b0 = n.find("ep0[0]").unwrap();
+        let mut sim = Simulator::new(n).unwrap();
+        sim.reset();
+        let mut state = 0x777u64;
+        for _ in 0..800 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let cube: Cube = n
+                .inputs()
+                .iter()
+                .enumerate()
+                .map(|(k, &i)| (i, (state >> (k % 53)) & 1 == 1))
+                .collect();
+            sim.step(&cube);
+            assert_eq!(sim.value(hs), Tv::Zero, "hs_en must stay low");
+            // Burst state is 4 = (b2=1, b1=0, b0=0).
+            let b2 = sim.value(ep0_b2) == Tv::One;
+            let b0 = sim.value(ep0_b0) == Tv::One;
+            assert!(!(b2 && !b0), "endpoint entered the burst state");
+        }
+    }
+
+    #[test]
+    fn endpoints_cycle_through_rx_tx() {
+        let d = usb_controller(&UsbParams::default());
+        let n = &d.netlist;
+        let rx_token = n.find("rx_token").unwrap();
+        let rx_eop = n.find("rx_eop").unwrap();
+        let host_ack = n.find("host_ack").unwrap();
+        let mut sim = Simulator::new(n).unwrap();
+        sim.reset();
+        let drive = |sim: &mut Simulator, lits: &[(rfn_netlist::SignalId, bool)]| {
+            let mut cube: Cube = n.inputs().iter().map(|&i| (i, false)).collect();
+            for &(s, v) in lits {
+                cube.remove(s);
+                cube.insert(s, v).unwrap();
+            }
+            sim.step(&cube);
+        };
+        let ep_val = |sim: &Simulator| -> u64 {
+            (0..3)
+                .map(|k| {
+                    let b = n.find(&format!("ep0[{k}]")).unwrap();
+                    u64::from(sim.value(b) == Tv::One) << k
+                })
+                .sum()
+        };
+        assert_eq!(ep_val(&sim), 1, "starts idle");
+        drive(&mut sim, &[(rx_token, true)]); // -> TOKEN
+        drive(&mut sim, &[]); // -> DATA
+        drive(&mut sim, &[]); // endpoint sees DATA -> rx
+        assert_eq!(ep_val(&sim), 2, "endpoint in rx");
+        drive(&mut sim, &[(rx_eop, true)]); // -> tx
+        assert_eq!(ep_val(&sim), 3, "endpoint in tx");
+        drive(&mut sim, &[(host_ack, true)]); // -> idle
+        assert_eq!(ep_val(&sim), 1, "endpoint back to idle");
+    }
+}

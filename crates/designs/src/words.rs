@@ -1,0 +1,333 @@
+//! Word-level construction helpers: multi-bit registers, adders, comparators
+//! and muxes over a [`Netlist`].
+//!
+//! These are deliberately simple ripple-style structures — the goal is a
+//! realistic *gate-level* netlist of the kind logic synthesis produces, not
+//! an optimized datapath.
+
+use rfn_netlist::{GateOp, Netlist, SignalId};
+
+/// A little-endian word of signals (`bits[0]` is the LSB).
+pub type Word = Vec<SignalId>;
+
+/// Creates a register word with the given reset value.
+pub fn word_register(n: &mut Netlist, name: &str, width: usize, init: u64) -> Word {
+    (0..width)
+        .map(|k| n.add_register(&format!("{name}[{k}]"), Some(init & (1 << k) != 0)))
+        .collect()
+}
+
+/// Creates an input word.
+pub fn word_input(n: &mut Netlist, name: &str, width: usize) -> Word {
+    (0..width)
+        .map(|k| n.add_input(&format!("{name}[{k}]")))
+        .collect()
+}
+
+/// Connects each register of `regs` to the corresponding `next` signal.
+///
+/// # Panics
+///
+/// Panics if the words differ in width or a register is already connected.
+pub fn connect_word(n: &mut Netlist, regs: &[SignalId], next: &[SignalId]) {
+    assert_eq!(regs.len(), next.len(), "word width mismatch");
+    for (&r, &nx) in regs.iter().zip(next) {
+        n.set_register_next(r, nx).expect("word register connects once");
+    }
+}
+
+/// Ripple-carry increment-by-one of `word`, gated by `enable`: returns
+/// `enable ? word + 1 : word` (wrapping).
+pub fn incrementer(n: &mut Netlist, word: &[SignalId], enable: SignalId) -> Word {
+    let mut carry = enable;
+    let mut out = Vec::with_capacity(word.len());
+    for &b in word {
+        out.push(n.add_gate("", GateOp::Xor, &[b, carry]));
+        carry = n.add_gate("", GateOp::And, &[b, carry]);
+    }
+    out
+}
+
+/// Ripple-borrow decrement-by-one of `word`, gated by `enable`.
+pub fn decrementer(n: &mut Netlist, word: &[SignalId], enable: SignalId) -> Word {
+    let mut borrow = enable;
+    let mut out = Vec::with_capacity(word.len());
+    for &b in word {
+        out.push(n.add_gate("", GateOp::Xor, &[b, borrow]));
+        let nb = n.add_gate("", GateOp::Not, &[b]);
+        borrow = n.add_gate("", GateOp::And, &[nb, borrow]);
+    }
+    out
+}
+
+/// Ripple-carry adder `a + b` (same width, wrapping).
+pub fn adder(n: &mut Netlist, a: &[SignalId], b: &[SignalId]) -> Word {
+    assert_eq!(a.len(), b.len());
+    let mut carry = n.add_const("", false);
+    let mut out = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let xy = n.add_gate("", GateOp::Xor, &[x, y]);
+        out.push(n.add_gate("", GateOp::Xor, &[xy, carry]));
+        let and_xy = n.add_gate("", GateOp::And, &[x, y]);
+        let and_c = n.add_gate("", GateOp::And, &[xy, carry]);
+        carry = n.add_gate("", GateOp::Or, &[and_xy, and_c]);
+    }
+    out
+}
+
+/// Equality of a word with a constant: one AND over per-bit (in)equalities.
+pub fn eq_const(n: &mut Netlist, word: &[SignalId], value: u64) -> SignalId {
+    let bits: Vec<SignalId> = word
+        .iter()
+        .enumerate()
+        .map(|(k, &b)| {
+            if value & (1 << k) != 0 {
+                b
+            } else {
+                n.add_gate("", GateOp::Not, &[b])
+            }
+        })
+        .collect();
+    and_reduce(n, &bits)
+}
+
+/// Unsigned `word >= value` via a ripple comparison.
+pub fn ge_const(n: &mut Netlist, word: &[SignalId], value: u64) -> SignalId {
+    // LSB to MSB; `ge` always means "the suffix seen so far is >= the
+    // constant's suffix". A higher bit then dominates the lower result.
+    let mut ge = n.add_const("", true); // empty suffixes are equal
+    for (k, &b) in word.iter().enumerate() {
+        let cbit = value & (1 << k) != 0;
+        ge = if cbit {
+            // b == 0 here means strictly below regardless of lower bits;
+            // b == 1 means equal here, so the lower bits decide.
+            n.add_gate("", GateOp::And, &[b, ge])
+        } else {
+            // b == 1 means strictly above regardless of lower bits;
+            // b == 0 means equal here, so the lower bits decide.
+            n.add_gate("", GateOp::Or, &[b, ge])
+        };
+    }
+    ge
+}
+
+/// Per-bit two-way mux: `sel ? b : a`.
+pub fn mux_word(n: &mut Netlist, sel: SignalId, a: &[SignalId], b: &[SignalId]) -> Word {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| n.add_gate("", GateOp::Mux, &[sel, x, y]))
+        .collect()
+}
+
+/// Balanced tree of 2-input gates reducing a word with `op` (the shape logic
+/// synthesis produces; n-ary gates would deflate gate counts unrealistically).
+pub fn tree_reduce(n: &mut Netlist, op: GateOp, word: &[SignalId]) -> SignalId {
+    assert!(!word.is_empty(), "cannot reduce an empty word");
+    let mut layer = word.to_vec();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            next.push(match pair {
+                [a, b] => n.add_gate("", op, &[*a, *b]),
+                [a] => *a,
+                _ => unreachable!(),
+            });
+        }
+        layer = next;
+    }
+    layer[0]
+}
+
+/// XOR reduction of a word (balanced tree of 2-input gates).
+pub fn xor_reduce(n: &mut Netlist, word: &[SignalId]) -> SignalId {
+    tree_reduce(n, GateOp::Xor, word)
+}
+
+/// OR reduction of a word (balanced tree of 2-input gates).
+pub fn or_reduce(n: &mut Netlist, word: &[SignalId]) -> SignalId {
+    tree_reduce(n, GateOp::Or, word)
+}
+
+/// AND reduction of a word (balanced tree of 2-input gates).
+pub fn and_reduce(n: &mut Netlist, word: &[SignalId]) -> SignalId {
+    tree_reduce(n, GateOp::And, word)
+}
+
+/// A latched sticky watchdog: returns the watchdog register, which rises (and
+/// stays high) the cycle after `fire` is asserted.
+pub fn watchdog(n: &mut Netlist, name: &str, fire: SignalId) -> SignalId {
+    let w = n.add_register(name, Some(false));
+    let hold = n.add_gate("", GateOp::Or, &[w, fire]);
+    n.set_register_next(w, hold).expect("fresh watchdog register");
+    w
+}
+
+/// Structural COI coupler: returns a signal semantically equal to `value`
+/// whose fanin cone also contains `extra`. Logic synthesis routinely leaves
+/// such redundant muxes behind; the generators use this to give properties
+/// the paper's huge cones of influence without changing behavior. Because
+/// both data inputs agree, 3-valued simulation never produces `X` from the
+/// `extra` side.
+pub fn coi_coupler(n: &mut Netlist, value: SignalId, extra: SignalId) -> SignalId {
+    n.add_gate("", GateOp::Mux, &[extra, value, value])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfn_netlist::Cube;
+    use rfn_sim::{Simulator, Tv};
+
+    fn eval_word(sim: &Simulator, w: &[SignalId]) -> u64 {
+        w.iter()
+            .enumerate()
+            .fold(0, |acc, (k, &b)| {
+                acc | (u64::from(sim.value(b) == Tv::One) << k)
+            })
+    }
+
+    #[test]
+    fn incrementer_counts() {
+        let mut n = Netlist::new("t");
+        let en = n.add_input("en");
+        let w = word_register(&mut n, "c", 4, 0);
+        let next = incrementer(&mut n, &w.clone(), en);
+        connect_word(&mut n, &w, &next);
+        n.validate().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.reset();
+        for expect in 1..=17u64 {
+            sim.step(&[(en, true)].into_iter().collect());
+            assert_eq!(eval_word(&sim, &w), expect % 16);
+        }
+        // Disabled: holds.
+        let v = eval_word(&sim, &w);
+        sim.step(&[(en, false)].into_iter().collect());
+        assert_eq!(eval_word(&sim, &w), v);
+    }
+
+    #[test]
+    fn adder_adds() {
+        let mut n = Netlist::new("t");
+        let a = word_input(&mut n, "a", 5);
+        let b = word_input(&mut n, "b", 5);
+        let s = adder(&mut n, &a, &b);
+        n.validate().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        for (x, y) in [(0u64, 0u64), (3, 4), (15, 18), (31, 1), (21, 21)] {
+            let mut cube = Cube::new();
+            for (k, &bit) in a.iter().enumerate() {
+                cube.insert(bit, x & (1 << k) != 0).unwrap();
+            }
+            for (k, &bit) in b.iter().enumerate() {
+                cube.insert(bit, y & (1 << k) != 0).unwrap();
+            }
+            sim.reset();
+            sim.apply_cube(&cube);
+            sim.step_comb();
+            assert_eq!(eval_word(&sim, &s), (x + y) % 32, "{x}+{y}");
+        }
+    }
+
+    #[test]
+    fn comparators_match_arithmetic() {
+        let mut n = Netlist::new("t");
+        let a = word_input(&mut n, "a", 4);
+        let eq7 = eq_const(&mut n, &a, 7);
+        let ge5 = ge_const(&mut n, &a, 5);
+        let ge0 = ge_const(&mut n, &a, 0);
+        n.validate().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        for v in 0..16u64 {
+            let cube: Cube = a
+                .iter()
+                .enumerate()
+                .map(|(k, &bit)| (bit, v & (1 << k) != 0))
+                .collect();
+            sim.reset();
+            sim.apply_cube(&cube);
+            sim.step_comb();
+            assert_eq!(sim.value(eq7) == Tv::One, v == 7, "eq7({v})");
+            assert_eq!(sim.value(ge5) == Tv::One, v >= 5, "ge5({v})");
+            assert_eq!(sim.value(ge0), Tv::One, "ge0({v})");
+        }
+    }
+
+    #[test]
+    fn decrementer_decrements() {
+        let mut n = Netlist::new("t");
+        let en = n.add_input("en");
+        let w = word_register(&mut n, "c", 4, 9);
+        let next = decrementer(&mut n, &w.clone(), en);
+        connect_word(&mut n, &w, &next);
+        n.validate().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.reset();
+        for expect in (0..9u64).rev() {
+            sim.step(&[(en, true)].into_iter().collect());
+            assert_eq!(eval_word(&sim, &w), expect);
+        }
+        sim.step(&[(en, true)].into_iter().collect());
+        assert_eq!(eval_word(&sim, &w), 15, "wraps");
+    }
+
+    #[test]
+    fn mux_word_selects() {
+        let mut n = Netlist::new("t");
+        let sel = n.add_input("s");
+        let a = word_input(&mut n, "a", 3);
+        let b = word_input(&mut n, "b", 3);
+        let m = mux_word(&mut n, sel, &a, &b);
+        n.validate().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        let mut cube = Cube::new();
+        for (k, &bit) in a.iter().enumerate() {
+            cube.insert(bit, k == 0).unwrap(); // a = 001
+        }
+        for (k, &bit) in b.iter().enumerate() {
+            cube.insert(bit, k == 2).unwrap(); // b = 100
+        }
+        cube.insert(sel, false).unwrap();
+        sim.reset();
+        sim.apply_cube(&cube);
+        sim.step_comb();
+        assert_eq!(eval_word(&sim, &m), 0b001);
+        sim.set(sel, Tv::One);
+        sim.step_comb();
+        assert_eq!(eval_word(&sim, &m), 0b100);
+    }
+
+    #[test]
+    fn coupler_is_transparent_even_under_x() {
+        let mut n = Netlist::new("t");
+        let v = n.add_input("v");
+        let junk = n.add_input("junk");
+        let c = coi_coupler(&mut n, v, junk);
+        n.validate().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.reset();
+        sim.set(v, Tv::One); // junk left at X
+        sim.step_comb();
+        assert_eq!(sim.value(c), Tv::One);
+        sim.set(v, Tv::Zero);
+        sim.step_comb();
+        assert_eq!(sim.value(c), Tv::Zero);
+    }
+
+    #[test]
+    fn watchdog_latches() {
+        let mut n = Netlist::new("t");
+        let fire = n.add_input("f");
+        let w = watchdog(&mut n, "w", fire);
+        n.validate().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.reset();
+        sim.step(&[(fire, false)].into_iter().collect());
+        assert_eq!(sim.value(w), Tv::Zero);
+        sim.step(&[(fire, true)].into_iter().collect());
+        assert_eq!(sim.value(w), Tv::One);
+        sim.step(&[(fire, false)].into_iter().collect());
+        assert_eq!(sim.value(w), Tv::One, "sticky");
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type for the model-checking engine.
+
+use std::fmt;
+
+use rfn_bdd::BddError;
+use rfn_netlist::NetlistError;
+
+/// Error produced by symbolic model-checking operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum McError {
+    /// The BDD package reported a failure (typically the node limit).
+    Bdd(BddError),
+    /// The netlist or model specification is malformed.
+    Netlist(NetlistError),
+    /// The model specification references a signal it does not define.
+    UnboundSignal(rfn_netlist::SignalId),
+}
+
+impl fmt::Display for McError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McError::Bdd(e) => write!(f, "bdd failure: {e}"),
+            McError::Netlist(e) => write!(f, "netlist failure: {e}"),
+            McError::UnboundSignal(s) => {
+                write!(f, "signal {s} is not defined by the model specification")
+            }
+        }
+    }
+}
+
+impl std::error::Error for McError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            McError::Bdd(e) => Some(e),
+            McError::Netlist(e) => Some(e),
+            McError::UnboundSignal(_) => None,
+        }
+    }
+}
+
+impl From<BddError> for McError {
+    fn from(e: BddError) -> Self {
+        McError::Bdd(e)
+    }
+}
+
+impl From<NetlistError> for McError {
+    fn from(e: NetlistError) -> Self {
+        McError::Netlist(e)
+    }
+}

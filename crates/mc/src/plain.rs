@@ -1,0 +1,230 @@
+//! Plain symbolic model checking with cone-of-influence reduction: the
+//! baseline RFN is compared against in Table 1 of the paper.
+
+use std::time::{Duration, Instant};
+
+use rfn_netlist::{Abstraction, Coi, Netlist, Property};
+
+use crate::{forward_reach, McError, ModelSpec, ReachOptions, ReachVerdict, SymbolicModel};
+
+/// Configuration for the plain symbolic model checker.
+#[derive(Clone, Debug)]
+pub struct PlainOptions {
+    /// BDD node limit; exceeding it is the baseline's failure mode.
+    pub node_limit: usize,
+    /// Wall-clock budget.
+    pub time_limit: Option<Duration>,
+    /// Reachability options (reordering etc.).
+    pub reach: ReachOptions,
+}
+
+impl Default for PlainOptions {
+    fn default() -> Self {
+        PlainOptions {
+            node_limit: 2_000_000,
+            time_limit: None,
+            reach: ReachOptions::default(),
+        }
+    }
+}
+
+/// How the plain model checker ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlainVerdict {
+    /// The property holds (fixpoint without hitting targets).
+    Proved,
+    /// The property fails; a target state was reached at this depth.
+    Falsified {
+        /// BFS depth of the first target state.
+        depth: usize,
+    },
+    /// The node, time or step limit was exceeded: the design is beyond the
+    /// plain engine's capacity.
+    OutOfCapacity,
+}
+
+/// Report of a plain model-checking run (one Table 1 baseline row).
+#[derive(Clone, Debug)]
+pub struct PlainReport {
+    /// Final verdict.
+    pub verdict: PlainVerdict,
+    /// Registers in the property's cone of influence.
+    pub coi_registers: usize,
+    /// Gates in the property's cone of influence.
+    pub coi_gates: usize,
+    /// Image steps completed before the verdict.
+    pub steps: usize,
+    /// Peak live BDD nodes.
+    pub peak_nodes: usize,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+/// Runs BDD-based symbolic model checking on the *whole cone of influence*
+/// of the property — no abstraction. On large designs this is expected to
+/// exhaust its node limit; that expected failure is what Table 1's
+/// comparison demonstrates.
+///
+/// # Errors
+///
+/// Returns internal errors only; capacity exhaustion is reported in the
+/// verdict.
+pub fn verify_plain(
+    netlist: &Netlist,
+    property: &Property,
+    options: &PlainOptions,
+) -> Result<PlainReport, McError> {
+    let start = Instant::now();
+    let coi = Coi::of(netlist, [property.signal]);
+    let abstraction = Abstraction::from_registers(coi.registers().iter().copied());
+    let view = abstraction.view(netlist, [property.signal])?;
+    let mut mgr = rfn_bdd::BddManager::new();
+    mgr.set_node_limit(options.node_limit);
+    let mut reach_opts = options.reach.clone();
+    reach_opts.time_limit = options.time_limit;
+
+    let build = SymbolicModel::with_manager(netlist, ModelSpec::from_view(&view), mgr);
+    let mut model = match build {
+        Ok(m) => m,
+        Err(McError::Bdd(_)) => {
+            // Could not even build the transition relation.
+            return Ok(PlainReport {
+                verdict: PlainVerdict::OutOfCapacity,
+                coi_registers: coi.num_registers(),
+                coi_gates: coi.num_gates(),
+                steps: 0,
+                peak_nodes: options.node_limit,
+                elapsed: start.elapsed(),
+            });
+        }
+        Err(e) => return Err(e),
+    };
+    let target = (|| -> Result<rfn_bdd::Bdd, McError> {
+        let sig = model.signal_bdd(property.signal)?;
+        if property.value {
+            Ok(sig)
+        } else {
+            Ok(model.manager().not(sig)?)
+        }
+    })();
+    let target = match target {
+        Ok(t) => t,
+        Err(McError::Bdd(_)) => {
+            return Ok(PlainReport {
+                verdict: PlainVerdict::OutOfCapacity,
+                coi_registers: coi.num_registers(),
+                coi_gates: coi.num_gates(),
+                steps: 0,
+                peak_nodes: options.node_limit,
+                elapsed: start.elapsed(),
+            });
+        }
+        Err(e) => return Err(e),
+    };
+    let result = forward_reach(&mut model, target, &reach_opts)?;
+    let verdict = match result.verdict {
+        ReachVerdict::FixpointProved => PlainVerdict::Proved,
+        ReachVerdict::TargetHit { step } => PlainVerdict::Falsified { depth: step },
+        ReachVerdict::Aborted => PlainVerdict::OutOfCapacity,
+    };
+    Ok(PlainReport {
+        verdict,
+        coi_registers: coi.num_registers(),
+        coi_gates: coi.num_gates(),
+        steps: result.steps,
+        peak_nodes: result.peak_nodes,
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfn_netlist::GateOp;
+
+    /// Saturating 2-bit counter; watchdog fires on (never-reached) overflow.
+    fn safe_design() -> (Netlist, Property) {
+        let mut n = Netlist::new("safe");
+        let b0 = n.add_register("b0", Some(false));
+        let b1 = n.add_register("b1", Some(false));
+        let full = n.add_gate("full", GateOp::And, &[b0, b1]);
+        let nfull = n.add_gate("nfull", GateOp::Not, &[full]);
+        let t0 = n.add_gate("t0", GateOp::Xor, &[b0, nfull]);
+        let carry = n.add_gate("carry", GateOp::And, &[b0, nfull]);
+        let t1 = n.add_gate("t1", GateOp::Xor, &[b1, carry]);
+        n.set_register_next(b0, t0).unwrap();
+        n.set_register_next(b1, t1).unwrap();
+        // Watchdog: fires if the counter wraps to 00 after having been 11 —
+        // never happens because it saturates... it holds at 11.
+        let w = n.add_register("watchdog", Some(false));
+        let nb0 = n.add_gate("nb0", GateOp::Not, &[b0]);
+        let nb1 = n.add_gate("nb1", GateOp::Not, &[b1]);
+        let wrapped = n.add_gate("wrapped", GateOp::And, &[full, nb0, nb1]);
+        let hmm = n.add_gate("worwrap", GateOp::Or, &[w, wrapped]);
+        n.set_register_next(w, hmm).unwrap();
+        n.validate().unwrap();
+        let p = Property::never(&n, "no_wrap", w);
+        (n, p)
+    }
+
+    /// Counter without saturation: the watchdog eventually fires.
+    fn unsafe_design() -> (Netlist, Property) {
+        let mut n = Netlist::new("unsafe");
+        let b0 = n.add_register("b0", Some(false));
+        let b1 = n.add_register("b1", Some(false));
+        let t0 = n.add_gate("t0", GateOp::Not, &[b0]);
+        let t1 = n.add_gate("t1", GateOp::Xor, &[b0, b1]);
+        n.set_register_next(b0, t0).unwrap();
+        n.set_register_next(b1, t1).unwrap();
+        let w = n.add_register("watchdog", Some(false));
+        let full = n.add_gate("full", GateOp::And, &[b0, b1]);
+        let worfull = n.add_gate("worfull", GateOp::Or, &[w, full]);
+        n.set_register_next(w, worfull).unwrap();
+        n.validate().unwrap();
+        let p = Property::never(&n, "no_full", w);
+        (n, p)
+    }
+
+    #[test]
+    fn proves_safe_design() {
+        let (n, p) = safe_design();
+        let r = verify_plain(&n, &p, &PlainOptions::default()).unwrap();
+        assert_eq!(r.verdict, PlainVerdict::Proved);
+        assert_eq!(r.coi_registers, 3);
+        assert!(r.coi_gates > 0);
+    }
+
+    #[test]
+    fn falsifies_unsafe_design() {
+        let (n, p) = unsafe_design();
+        let r = verify_plain(&n, &p, &PlainOptions::default()).unwrap();
+        // Counter reaches 3 after 3 steps; watchdog latches 1 one step later.
+        assert_eq!(r.verdict, PlainVerdict::Falsified { depth: 4 });
+    }
+
+    #[test]
+    fn node_limit_reports_out_of_capacity() {
+        let (n, p) = safe_design();
+        let opts = PlainOptions {
+            node_limit: 4,
+            ..PlainOptions::default()
+        };
+        let r = verify_plain(&n, &p, &opts).unwrap();
+        assert_eq!(r.verdict, PlainVerdict::OutOfCapacity);
+    }
+
+    #[test]
+    fn coi_excludes_unrelated_logic() {
+        let (mut n, _) = safe_design();
+        // Unrelated register block.
+        let i = n.add_input("i");
+        let junk = n.add_register("junk", Some(false));
+        n.set_register_next(junk, i).unwrap();
+        n.validate().unwrap();
+        let w = n.find("watchdog").unwrap();
+        let p = Property::never(&n, "no_wrap", w);
+        let r = verify_plain(&n, &p, &PlainOptions::default()).unwrap();
+        assert_eq!(r.coi_registers, 3); // junk not in the COI
+        assert_eq!(r.verdict, PlainVerdict::Proved);
+    }
+}

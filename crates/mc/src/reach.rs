@@ -1,0 +1,395 @@
+//! Forward reachability with onion rings.
+
+use std::time::{Duration, Instant};
+
+use rfn_bdd::{Bdd, BddError};
+
+use crate::{McError, SymbolicModel};
+
+/// Configuration for [`forward_reach`].
+#[derive(Clone, Debug)]
+pub struct ReachOptions {
+    /// Maximum image steps before giving up.
+    pub max_steps: usize,
+    /// Enable dynamic variable reordering between images.
+    pub reorder: bool,
+    /// Node count that triggers the first reorder; doubles after each one.
+    pub reorder_threshold: usize,
+    /// Sifting growth bound.
+    pub max_growth: f64,
+    /// Wall-clock budget.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for ReachOptions {
+    fn default() -> Self {
+        ReachOptions {
+            max_steps: usize::MAX,
+            reorder: true,
+            reorder_threshold: 20_000,
+            max_growth: 1.5,
+            time_limit: None,
+        }
+    }
+}
+
+/// How a reachability run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReachVerdict {
+    /// The fixpoint was reached without touching a target state: the
+    /// unreachability property holds on this model.
+    FixpointProved,
+    /// A target state was reached; `step` is its BFS distance from the
+    /// initial states.
+    TargetHit {
+        /// Number of image steps to the first target intersection.
+        step: usize,
+    },
+    /// A resource limit (nodes, steps or time) was exceeded.
+    Aborted,
+}
+
+/// Result of [`forward_reach`].
+#[derive(Clone, Debug)]
+pub struct ReachResult {
+    /// How the run ended.
+    pub verdict: ReachVerdict,
+    /// Onion rings: `rings[k]` holds the states first reached after exactly
+    /// `k` steps (`rings[0]` is the initial set). On
+    /// [`ReachVerdict::TargetHit`] the last ring intersects the targets.
+    pub rings: Vec<Bdd>,
+    /// Union of all rings.
+    pub reached: Bdd,
+    /// Number of image computations performed.
+    pub steps: usize,
+    /// Peak live node count observed.
+    pub peak_nodes: usize,
+}
+
+/// Computes a forward fixpoint from the model's initial states, stopping
+/// early if `targets` is reached (the on-the-fly check of the paper's Step
+/// 2).
+///
+/// `targets` may involve input variables (combinational watchdog outputs): a
+/// ring "hits" if some state in it asserts the target under *some* input.
+///
+/// # Errors
+///
+/// Only internal errors are returned; resource exhaustion (including the BDD
+/// manager's node limit) is reported as [`ReachVerdict::Aborted`], not as an
+/// error, because the RFN loop treats it as an ordinary outcome.
+pub fn forward_reach(
+    model: &mut SymbolicModel<'_>,
+    targets: Bdd,
+    options: &ReachOptions,
+) -> Result<ReachResult, McError> {
+    let deadline = options.time_limit.map(|d| Instant::now() + d);
+    let mut threshold = options.reorder_threshold;
+    let init = match model.init_states() {
+        Ok(b) => b,
+        Err(_) => return Ok(aborted(model, vec![], 0)),
+    };
+    let mut rings = vec![init];
+    let mut reached = init;
+    let mut frontier = init;
+    let mut steps = 0;
+    let mut peak = model.manager_ref().num_nodes();
+
+    let hit = |model: &mut SymbolicModel<'_>, set: Bdd| -> Result<bool, BddError> {
+        Ok(model.manager().and(set, targets)? != model.manager_ref().zero())
+    };
+
+    match hit(model, init) {
+        Ok(true) => {
+            return Ok(ReachResult {
+                verdict: ReachVerdict::TargetHit { step: 0 },
+                rings,
+                reached,
+                steps,
+                peak_nodes: peak,
+            })
+        }
+        Ok(false) => {}
+        Err(_) => return Ok(aborted(model, rings, steps)),
+    }
+
+    loop {
+        if steps >= options.max_steps {
+            return Ok(aborted_with(model, rings, reached, steps, peak));
+        }
+        if let Some(d) = deadline {
+            if Instant::now() > d {
+                return Ok(aborted_with(model, rings, reached, steps, peak));
+            }
+        }
+        let step_result = (|| -> Result<Option<Bdd>, BddError> {
+            let img = model.post_image(frontier)?;
+            let nreached = model.manager().not(reached)?;
+            let new = model.manager().and(img, nreached)?;
+            Ok(Some(new))
+        })();
+        let new = match step_result {
+            Ok(Some(new)) => new,
+            Ok(None) => unreachable!(),
+            Err(_) => {
+                return Ok(aborted_with(model, rings, reached, steps, peak))
+            }
+        };
+        steps += 1;
+        if new == model.manager_ref().zero() {
+            return Ok(ReachResult {
+                verdict: ReachVerdict::FixpointProved,
+                rings,
+                reached,
+                steps,
+                peak_nodes: peak,
+            });
+        }
+        reached = match model.manager().or(reached, new) {
+            Ok(b) => b,
+            Err(_) => {
+                return Ok(aborted_with(model, rings, reached, steps, peak))
+            }
+        };
+        rings.push(new);
+        peak = peak.max(model.manager_ref().num_nodes());
+        match hit(model, new) {
+            Ok(true) => {
+                return Ok(ReachResult {
+                    verdict: ReachVerdict::TargetHit { step: steps },
+                    rings,
+                    reached,
+                    steps,
+                    peak_nodes: peak,
+                })
+            }
+            Ok(false) => {}
+            Err(_) => {
+                return Ok(aborted_with(model, rings, reached, steps, peak))
+            }
+        }
+        frontier = new;
+        if options.reorder && model.manager_ref().num_nodes() > threshold {
+            let mut roots = model.persistent_roots();
+            roots.extend(rings.iter().copied());
+            roots.push(reached);
+            roots.push(targets);
+            roots.push(frontier);
+            model.manager().sift_with_roots(&roots, options.max_growth);
+            threshold = (model.manager_ref().num_nodes() * 2).max(threshold);
+        }
+    }
+}
+
+fn aborted(model: &SymbolicModel<'_>, rings: Vec<Bdd>, steps: usize) -> ReachResult {
+    let zero = model.manager_ref().zero();
+    ReachResult {
+        verdict: ReachVerdict::Aborted,
+        reached: rings.first().copied().unwrap_or(zero),
+        rings,
+        steps,
+        peak_nodes: model.manager_ref().num_nodes(),
+    }
+}
+
+fn aborted_with(
+    model: &SymbolicModel<'_>,
+    rings: Vec<Bdd>,
+    reached: Bdd,
+    steps: usize,
+    peak: usize,
+) -> ReachResult {
+    ReachResult {
+        verdict: ReachVerdict::Aborted,
+        rings,
+        reached,
+        steps,
+        peak_nodes: peak.max(model.manager_ref().num_nodes()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelSpec;
+    use rfn_netlist::{Abstraction, Cube, GateOp, Netlist, SignalId};
+
+    fn counter3() -> (Netlist, Vec<SignalId>) {
+        // 3-bit counter that saturates at 5 (never reaches 6 or 7).
+        let mut n = Netlist::new("sat5");
+        let b: Vec<SignalId> = (0..3)
+            .map(|k| n.add_register(&format!("b{k}"), Some(false)))
+            .collect();
+        // value == 5 detector (101).
+        let nb1 = n.add_gate("nb1", GateOp::Not, &[b[1]]);
+        let at5 = n.add_gate("at5", GateOp::And, &[b[0], nb1, b[2]]);
+        let hold = n.add_gate("hold", GateOp::Not, &[at5]);
+        // increment logic
+        let i0 = n.add_gate("i0", GateOp::Xor, &[b[0], hold]);
+        let c0 = n.add_gate("c0", GateOp::And, &[b[0], hold]);
+        let i1 = n.add_gate("i1", GateOp::Xor, &[b[1], c0]);
+        let c1 = n.add_gate("c1", GateOp::And, &[b[1], c0]);
+        let i2 = n.add_gate("i2", GateOp::Xor, &[b[2], c1]);
+        n.set_register_next(b[0], i0).unwrap();
+        n.set_register_next(b[1], i1).unwrap();
+        n.set_register_next(b[2], i2).unwrap();
+        n.validate().unwrap();
+        (n, b)
+    }
+
+    fn model(n: &Netlist) -> crate::SymbolicModel<'_> {
+        let view = Abstraction::from_registers(n.registers().to_vec())
+            .view(n, [])
+            .unwrap();
+        crate::SymbolicModel::new(n, ModelSpec::from_view(&view)).unwrap()
+    }
+
+    #[test]
+    fn fixpoint_proves_unreachable_state() {
+        let (n, b) = counter3();
+        let mut m = model(&n);
+        // 7 (111) is unreachable: the counter saturates at 5.
+        let c: Cube = [(b[0], true), (b[1], true), (b[2], true)]
+            .into_iter()
+            .collect();
+        let target = m.cube_to_bdd(&c).unwrap();
+        let r = forward_reach(&mut m, target, &ReachOptions::default()).unwrap();
+        assert_eq!(r.verdict, ReachVerdict::FixpointProved);
+        // Reached = {0..5}: 6 states. The manager holds 6 vars (3 cur/nxt
+        // pairs); `reached` ranges over the 3 current-state vars only.
+        let nv = m.manager_ref().num_vars();
+        let total = m.manager().sat_count(r.reached, nv);
+        assert_eq!(total / 8.0, 6.0);
+    }
+
+    #[test]
+    fn target_hit_at_correct_depth() {
+        let (n, b) = counter3();
+        let mut m = model(&n);
+        // 3 (011) is reached after exactly 3 steps.
+        let c: Cube = [(b[0], true), (b[1], true), (b[2], false)]
+            .into_iter()
+            .collect();
+        let target = m.cube_to_bdd(&c).unwrap();
+        let r = forward_reach(&mut m, target, &ReachOptions::default()).unwrap();
+        assert_eq!(r.verdict, ReachVerdict::TargetHit { step: 3 });
+        assert_eq!(r.rings.len(), 4);
+        // The last ring contains the target.
+        let last = *r.rings.last().unwrap();
+        let conj = m.manager().and(last, target).unwrap();
+        assert_ne!(conj, m.manager_ref().zero());
+    }
+
+    #[test]
+    fn rings_are_disjoint_and_cover_reached() {
+        let (n, _) = counter3();
+        let mut m = model(&n);
+        let zero = m.manager_ref().zero();
+        let r = forward_reach(&mut m, zero, &ReachOptions::default()).unwrap();
+        assert_eq!(r.verdict, ReachVerdict::FixpointProved);
+        let mut union = m.manager_ref().zero();
+        for (i, &ring) in r.rings.iter().enumerate() {
+            for &other in &r.rings[i + 1..] {
+                let inter = m.manager().and(ring, other).unwrap();
+                assert_eq!(inter, m.manager_ref().zero(), "rings overlap");
+            }
+            union = m.manager().or(union, ring).unwrap();
+        }
+        assert_eq!(union, r.reached);
+    }
+
+    #[test]
+    fn node_limit_aborts_cleanly() {
+        let (n, b) = counter3();
+        let view = Abstraction::from_registers(n.registers().to_vec())
+            .view(&n, [])
+            .unwrap();
+        let mut mgr = rfn_bdd::BddManager::new();
+        mgr.set_node_limit(16); // absurdly small
+        let mut m = match crate::SymbolicModel::with_manager(&n, ModelSpec::from_view(&view), mgr) {
+            Ok(m) => m,
+            Err(McError::Bdd(_)) => return, // failed even earlier: fine
+            Err(e) => panic!("unexpected error {e}"),
+        };
+        let c: Cube = [(b[0], true)].into_iter().collect();
+        let target = match m.cube_to_bdd(&c) {
+            Ok(t) => t,
+            Err(_) => return,
+        };
+        let r = forward_reach(&mut m, target, &ReachOptions::default()).unwrap();
+        assert_eq!(r.verdict, ReachVerdict::Aborted);
+    }
+
+    #[test]
+    fn step_limit_aborts() {
+        let (n, b) = counter3();
+        let mut m = model(&n);
+        let c: Cube = [(b[0], true), (b[1], false), (b[2], true)]
+            .into_iter()
+            .collect();
+        let target = m.cube_to_bdd(&c).unwrap();
+        let opts = ReachOptions {
+            max_steps: 2,
+            ..ReachOptions::default()
+        };
+        let r = forward_reach(&mut m, target, &opts).unwrap();
+        assert_eq!(r.verdict, ReachVerdict::Aborted);
+        assert_eq!(r.steps, 2);
+    }
+
+    #[test]
+    fn initial_target_hits_at_step_zero() {
+        let (n, b) = counter3();
+        let mut m = model(&n);
+        let c: Cube = [(b[0], false), (b[1], false), (b[2], false)]
+            .into_iter()
+            .collect();
+        let target = m.cube_to_bdd(&c).unwrap();
+        let r = forward_reach(&mut m, target, &ReachOptions::default()).unwrap();
+        assert_eq!(r.verdict, ReachVerdict::TargetHit { step: 0 });
+    }
+}
+
+#[cfg(test)]
+mod comb_target_tests {
+    use super::*;
+    use crate::ModelSpec;
+    use rfn_netlist::{Abstraction, GateOp, Netlist};
+
+    /// Targets that depend on *input* variables: a state hits if some input
+    /// valuation asserts the watched gate.
+    #[test]
+    fn combinational_targets_hit_under_some_input() {
+        // r' = i ; watch = r AND j. State r=1 is target-hitting (choose j=1).
+        let mut n = Netlist::new("c");
+        let i = n.add_input("i");
+        let j = n.add_input("j");
+        let r = n.add_register("r", Some(false));
+        n.set_register_next(r, i).unwrap();
+        let watch = n.add_gate("watch", GateOp::And, &[r, j]);
+        n.validate().unwrap();
+        let view = Abstraction::from_registers([r]).view(&n, [watch]).unwrap();
+        let mut m = crate::SymbolicModel::new(&n, ModelSpec::from_view(&view)).unwrap();
+        let target = m.signal_bdd(watch).unwrap();
+        let res = forward_reach(&mut m, target, &ReachOptions::default()).unwrap();
+        // Reset state r=0 cannot assert watch; r=1 arrives after one step.
+        assert_eq!(res.verdict, ReachVerdict::TargetHit { step: 1 });
+    }
+
+    /// With the gating register stuck low, the same combinational target is
+    /// unreachable and the fixpoint proves it.
+    #[test]
+    fn combinational_targets_proved_unreachable() {
+        let mut n = Netlist::new("c2");
+        let j = n.add_input("j");
+        let r = n.add_register("r", Some(false));
+        n.set_register_next(r, r).unwrap(); // stuck at 0
+        let watch = n.add_gate("watch", GateOp::And, &[r, j]);
+        n.validate().unwrap();
+        let view = Abstraction::from_registers([r]).view(&n, [watch]).unwrap();
+        let mut m = crate::SymbolicModel::new(&n, ModelSpec::from_view(&view)).unwrap();
+        let target = m.signal_bdd(watch).unwrap();
+        let res = forward_reach(&mut m, target, &ReachOptions::default()).unwrap();
+        assert_eq!(res.verdict, ReachVerdict::FixpointProved);
+    }
+}

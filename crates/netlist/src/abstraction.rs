@@ -1,0 +1,345 @@
+//! Abstract models: subcircuits induced by a set of registers.
+//!
+//! RFN's abstract models are subcircuits of the original design (Section 2.1
+//! of the paper): a chosen set of registers keeps its update logic (the
+//! transitive fanin of each register's data input, up to register outputs),
+//! while every *excluded* register whose output the subcircuit reads becomes a
+//! free *pseudo-input*. Because pseudo-inputs are unconstrained, the abstract
+//! model over-approximates the original design, which is what makes proofs on
+//! the abstraction sound for the original.
+
+use std::collections::BTreeSet;
+
+use crate::{transitive_fanin, NetlistError, Netlist, SignalId};
+
+/// A set of registers selected to form an abstract model.
+///
+/// The set alone determines the subcircuit; call [`Abstraction::view`] to
+/// materialize the subcircuit relative to a netlist and a set of extra root
+/// signals (typically the property signals, which must be evaluable in the
+/// abstract model).
+///
+/// # Example
+///
+/// ```
+/// use rfn_netlist::{Netlist, GateOp, Abstraction};
+///
+/// # fn main() -> Result<(), rfn_netlist::NetlistError> {
+/// let mut n = Netlist::new("d");
+/// let a = n.add_register("a", Some(false));
+/// let b = n.add_register("b", Some(false));
+/// let g = n.add_gate("g", GateOp::And, &[a, b]);
+/// n.set_register_next(a, g)?;
+/// n.set_register_next(b, a)?;
+///
+/// let mut abs = Abstraction::from_registers([a]);
+/// assert!(abs.contains(a));
+/// abs.insert(b);
+/// assert_eq!(abs.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Abstraction {
+    regs: BTreeSet<SignalId>,
+}
+
+impl Abstraction {
+    /// Creates an empty abstraction (every register is a pseudo-input).
+    pub fn new() -> Self {
+        Abstraction::default()
+    }
+
+    /// Creates an abstraction containing the given registers.
+    pub fn from_registers(regs: impl IntoIterator<Item = SignalId>) -> Self {
+        Abstraction {
+            regs: regs.into_iter().collect(),
+        }
+    }
+
+    /// Whether the register is part of the abstract model.
+    pub fn contains(&self, reg: SignalId) -> bool {
+        self.regs.contains(&reg)
+    }
+
+    /// Adds a register; returns `true` if it was not already present.
+    pub fn insert(&mut self, reg: SignalId) -> bool {
+        self.regs.insert(reg)
+    }
+
+    /// Removes a register; returns `true` if it was present.
+    pub fn remove(&mut self, reg: SignalId) -> bool {
+        self.regs.remove(&reg)
+    }
+
+    /// Number of registers in the abstraction.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Whether the abstraction contains no registers.
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// Iterates over the registers in ascending signal order.
+    pub fn iter(&self) -> impl Iterator<Item = SignalId> + '_ {
+        self.regs.iter().copied()
+    }
+
+    /// Materializes the abstract model `N` as a subcircuit of `netlist`.
+    ///
+    /// `extra_roots` are signals that must be evaluable inside the abstract
+    /// model even if no abstraction register depends on them — in RFN these
+    /// are the property signals (the watchdog output and the signals the
+    /// property mentions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NotARegister`] if the abstraction contains a
+    /// signal that is not a register of `netlist`, or
+    /// [`NetlistError::UnknownSignal`] for out-of-range roots.
+    pub fn view(
+        &self,
+        netlist: &Netlist,
+        extra_roots: impl IntoIterator<Item = SignalId>,
+    ) -> Result<AbstractView, NetlistError> {
+        for &r in &self.regs {
+            if r.index() >= netlist.num_signals() {
+                return Err(NetlistError::UnknownSignal(r));
+            }
+            if !netlist.is_register(r) {
+                return Err(NetlistError::NotARegister(r));
+            }
+        }
+        let mut roots: Vec<SignalId> = Vec::new();
+        for &r in &self.regs {
+            roots.push(netlist.register_next(r));
+        }
+        for r in extra_roots {
+            if r.index() >= netlist.num_signals() {
+                return Err(NetlistError::UnknownSignal(r));
+            }
+            roots.push(r);
+        }
+        let cone = transitive_fanin(netlist, roots.iter().copied());
+        let mut pseudo_inputs = Vec::new();
+        for &leaf in &cone.register_leaves {
+            if !self.regs.contains(&leaf) {
+                pseudo_inputs.push(leaf);
+            }
+        }
+        // Topologically order the view's gates using the global order.
+        let mut in_view = vec![false; netlist.num_signals()];
+        for &g in &cone.gates {
+            in_view[g.index()] = true;
+        }
+        let gates: Vec<SignalId> = netlist
+            .topo_order()?
+            .into_iter()
+            .filter(|g| in_view[g.index()])
+            .collect();
+        for &r in &self.regs {
+            in_view[r.index()] = true;
+        }
+        for &i in &cone.inputs {
+            in_view[i.index()] = true;
+        }
+        for &p in &pseudo_inputs {
+            in_view[p.index()] = true;
+        }
+        for &c in &cone.constants {
+            in_view[c.index()] = true;
+        }
+        let mut roots_sorted = roots;
+        roots_sorted.sort_unstable();
+        roots_sorted.dedup();
+        Ok(AbstractView {
+            registers: self.regs.iter().copied().collect(),
+            pseudo_inputs,
+            inputs: cone.inputs,
+            constants: cone.constants,
+            gates,
+            in_view,
+            roots: roots_sorted,
+        })
+    }
+}
+
+impl FromIterator<SignalId> for Abstraction {
+    fn from_iter<I: IntoIterator<Item = SignalId>>(iter: I) -> Self {
+        Abstraction::from_registers(iter)
+    }
+}
+
+impl Extend<SignalId> for Abstraction {
+    fn extend<I: IntoIterator<Item = SignalId>>(&mut self, iter: I) {
+        self.regs.extend(iter);
+    }
+}
+
+/// The materialized subcircuit of an [`Abstraction`]: the abstract model `N`.
+///
+/// The *primary inputs of `N`* are the union of [`AbstractView::inputs`]
+/// (true primary inputs of the original design `M` that the cone reads) and
+/// [`AbstractView::pseudo_inputs`] (register outputs of `M − N`, free in `N`).
+#[derive(Clone, Debug)]
+pub struct AbstractView {
+    registers: Vec<SignalId>,
+    pseudo_inputs: Vec<SignalId>,
+    inputs: Vec<SignalId>,
+    constants: Vec<SignalId>,
+    gates: Vec<SignalId>,
+    in_view: Vec<bool>,
+    roots: Vec<SignalId>,
+}
+
+impl AbstractView {
+    /// Registers of the abstract model, ascending signal order.
+    pub fn registers(&self) -> &[SignalId] {
+        &self.registers
+    }
+
+    /// Register outputs of the original design that act as free inputs of the
+    /// abstract model.
+    pub fn pseudo_inputs(&self) -> &[SignalId] {
+        &self.pseudo_inputs
+    }
+
+    /// True primary inputs of the original design read by the abstract model.
+    pub fn inputs(&self) -> &[SignalId] {
+        &self.inputs
+    }
+
+    /// Constant drivers read by the abstract model.
+    pub fn constants(&self) -> &[SignalId] {
+        &self.constants
+    }
+
+    /// Gates of the abstract model in topological order (fanins first).
+    pub fn gates(&self) -> &[SignalId] {
+        &self.gates
+    }
+
+    /// The root signals the view was built from (register next-state inputs
+    /// plus property signals), deduplicated and sorted.
+    pub fn roots(&self) -> &[SignalId] {
+        &self.roots
+    }
+
+    /// All primary inputs of the abstract model `N`: true inputs followed by
+    /// pseudo-inputs.
+    pub fn free_inputs(&self) -> impl Iterator<Item = SignalId> + '_ {
+        self.inputs
+            .iter()
+            .chain(self.pseudo_inputs.iter())
+            .copied()
+    }
+
+    /// Whether the signal belongs to the abstract model (as gate, register,
+    /// input, pseudo-input or constant).
+    pub fn contains(&self, s: SignalId) -> bool {
+        self.in_view.get(s.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of gates in the abstract model.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of registers in the abstract model (Table 1, last column).
+    pub fn num_registers(&self) -> usize {
+        self.registers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateOp;
+
+    /// Two interacting registers plus an unrelated one.
+    ///   a' = a AND b ; b' = a ; c' = i
+    fn design() -> (Netlist, [SignalId; 5]) {
+        let mut n = Netlist::new("d");
+        let i = n.add_input("i");
+        let a = n.add_register("a", Some(true));
+        let b = n.add_register("b", Some(true));
+        let c = n.add_register("c", Some(false));
+        let g = n.add_gate("g", GateOp::And, &[a, b]);
+        n.set_register_next(a, g).unwrap();
+        n.set_register_next(b, a).unwrap();
+        n.set_register_next(c, i).unwrap();
+        n.validate().unwrap();
+        (n, [i, a, b, c, g])
+    }
+
+    #[test]
+    fn excluded_register_becomes_pseudo_input() {
+        let (n, [_, a, b, _, g]) = design();
+        let abs = Abstraction::from_registers([a]);
+        let view = abs.view(&n, []).unwrap();
+        assert_eq!(view.registers(), &[a]);
+        assert_eq!(view.pseudo_inputs(), &[b]);
+        assert_eq!(view.gates(), &[g]);
+        assert!(view.inputs().is_empty());
+    }
+
+    #[test]
+    fn full_abstraction_has_no_pseudo_inputs() {
+        let (n, [i, a, b, c, _]) = design();
+        let abs = Abstraction::from_registers([a, b, c]);
+        let view = abs.view(&n, []).unwrap();
+        assert!(view.pseudo_inputs().is_empty());
+        assert_eq!(view.inputs(), &[i]);
+        assert_eq!(view.num_registers(), 3);
+    }
+
+    #[test]
+    fn extra_roots_pull_in_logic() {
+        let (n, [_, a, b, _, g]) = design();
+        let abs = Abstraction::new();
+        let view = abs.view(&n, [g]).unwrap();
+        assert!(view.registers().is_empty());
+        // g reads a and b; both are pseudo-inputs now.
+        assert_eq!(view.pseudo_inputs(), &[a, b]);
+        assert_eq!(view.gates(), &[g]);
+    }
+
+    #[test]
+    fn non_register_in_abstraction_is_rejected() {
+        let (n, [i, ..]) = design();
+        let abs = Abstraction::from_registers([i]);
+        assert!(matches!(
+            abs.view(&n, []),
+            Err(NetlistError::NotARegister(s)) if s == i
+        ));
+    }
+
+    #[test]
+    fn contains_covers_all_members() {
+        let (n, [_, a, b, _, g]) = design();
+        let abs = Abstraction::from_registers([a]);
+        let view = abs.view(&n, []).unwrap();
+        assert!(view.contains(a));
+        assert!(view.contains(b)); // pseudo-input
+        assert!(view.contains(g));
+        let (_, [_, _, _, c, _]) = design();
+        assert!(!view.contains(c));
+    }
+
+    #[test]
+    fn set_operations() {
+        let (_, [_, a, b, c, _]) = design();
+        let mut abs = Abstraction::new();
+        assert!(abs.is_empty());
+        assert!(abs.insert(a));
+        assert!(!abs.insert(a));
+        abs.extend([b, c]);
+        assert_eq!(abs.len(), 3);
+        assert!(abs.remove(b));
+        assert!(!abs.remove(b));
+        let collected: Vec<_> = abs.iter().collect();
+        assert_eq!(collected, vec![a, c]);
+    }
+}

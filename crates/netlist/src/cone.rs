@@ -1,0 +1,289 @@
+//! Transitive fanin / fanout and cone-of-influence computations.
+
+use crate::{NetKind, Netlist, SignalId};
+
+/// Computes the *transitive fanin* of a set of root signals: the gates that
+/// transitively drive the roots through other gates, stopping at register
+/// outputs, primary inputs and constants (the paper's "transitive fanins up
+/// to register outputs").
+///
+/// The returned struct partitions everything the cone touches.
+///
+/// # Example
+///
+/// ```
+/// use rfn_netlist::{Netlist, GateOp, transitive_fanin};
+///
+/// # fn main() -> Result<(), rfn_netlist::NetlistError> {
+/// let mut n = Netlist::new("d");
+/// let i = n.add_input("i");
+/// let r = n.add_register("r", Some(false));
+/// let g = n.add_gate("g", GateOp::And, &[i, r]);
+/// n.set_register_next(r, g)?;
+/// let cone = transitive_fanin(&n, [g]);
+/// assert_eq!(cone.gates, vec![g]);
+/// assert_eq!(cone.inputs, vec![i]);
+/// assert_eq!(cone.register_leaves, vec![r]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn transitive_fanin(
+    netlist: &Netlist,
+    roots: impl IntoIterator<Item = SignalId>,
+) -> Cone {
+    let mut seen = vec![false; netlist.num_signals()];
+    let mut stack: Vec<SignalId> = Vec::new();
+    for r in roots {
+        if !seen[r.index()] {
+            seen[r.index()] = true;
+            stack.push(r);
+        }
+    }
+    let mut cone = Cone::default();
+    while let Some(s) = stack.pop() {
+        match netlist.kind(s) {
+            NetKind::Gate { fanins, .. } => {
+                cone.gates.push(s);
+                for &f in fanins {
+                    if !seen[f.index()] {
+                        seen[f.index()] = true;
+                        stack.push(f);
+                    }
+                }
+            }
+            NetKind::Input => cone.inputs.push(s),
+            NetKind::Register { .. } => cone.register_leaves.push(s),
+            NetKind::Const(_) => cone.constants.push(s),
+        }
+    }
+    cone.gates.sort_unstable();
+    cone.inputs.sort_unstable();
+    cone.register_leaves.sort_unstable();
+    cone.constants.sort_unstable();
+    cone
+}
+
+/// Result of [`transitive_fanin`]: the combinational cone above a set of
+/// roots, partitioned by what terminates each path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cone {
+    /// Gates inside the cone (including gate roots), ascending signal order.
+    pub gates: Vec<SignalId>,
+    /// Primary inputs the cone reads.
+    pub inputs: Vec<SignalId>,
+    /// Register outputs the cone reads (the cone stops here).
+    pub register_leaves: Vec<SignalId>,
+    /// Constant drivers the cone reads.
+    pub constants: Vec<SignalId>,
+}
+
+/// Computes the set of gates transitively *driven by* any of the given
+/// signals, through gates only (stopping at register data inputs).
+///
+/// Used by the free-cut computation of Section 2.2: the free-cut design
+/// contains the gates in the intersection of the registers' transitive fanin
+/// and transitive fanout.
+pub fn transitive_fanout_gates(
+    netlist: &Netlist,
+    sources: impl IntoIterator<Item = SignalId>,
+) -> Vec<SignalId> {
+    // Build a reverse mapping source -> driven gates once.
+    let mut driven = vec![false; netlist.num_signals()];
+    for s in sources {
+        driven[s.index()] = true;
+    }
+    // Propagate forward in topological order: a gate is driven if any fanin is.
+    let order = netlist
+        .topo_order()
+        .expect("transitive_fanout_gates requires an acyclic netlist");
+    let mut out = Vec::new();
+    for g in order {
+        if driven[g.index()] {
+            continue;
+        }
+        if netlist.fanins(g).iter().any(|f| driven[f.index()]) {
+            driven[g.index()] = true;
+            out.push(g);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Cone of influence of a set of signals: every register and gate that can
+/// affect them, crossing register boundaries transitively.
+///
+/// This is the paper's "COI" used both to size designs (Table 1 columns two
+/// and three) and as the baseline reduction for plain symbolic model checking.
+///
+/// # Example
+///
+/// ```
+/// use rfn_netlist::{Netlist, GateOp, Coi};
+///
+/// # fn main() -> Result<(), rfn_netlist::NetlistError> {
+/// let mut n = Netlist::new("d");
+/// let i = n.add_input("i");
+/// let r1 = n.add_register("r1", Some(false));
+/// let r2 = n.add_register("r2", Some(false)); // r2 never influences r1
+/// let g = n.add_gate("g", GateOp::And, &[i, r1]);
+/// n.set_register_next(r1, g)?;
+/// n.set_register_next(r2, r1)?;
+/// let coi = Coi::of(&n, [r1]);
+/// assert_eq!(coi.num_registers(), 1);
+/// assert!(coi.registers().contains(&r1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Coi {
+    registers: Vec<SignalId>,
+    gates: Vec<SignalId>,
+    inputs: Vec<SignalId>,
+}
+
+impl Coi {
+    /// Computes the cone of influence of the given root signals.
+    pub fn of(netlist: &Netlist, roots: impl IntoIterator<Item = SignalId>) -> Self {
+        let mut seen = vec![false; netlist.num_signals()];
+        let mut stack: Vec<SignalId> = Vec::new();
+        for r in roots {
+            if !seen[r.index()] {
+                seen[r.index()] = true;
+                stack.push(r);
+            }
+        }
+        let mut registers = Vec::new();
+        let mut gates = Vec::new();
+        let mut inputs = Vec::new();
+        while let Some(s) = stack.pop() {
+            let mut visit = |f: SignalId, stack: &mut Vec<SignalId>| {
+                if !seen[f.index()] {
+                    seen[f.index()] = true;
+                    stack.push(f);
+                }
+            };
+            match netlist.kind(s) {
+                NetKind::Gate { fanins, .. } => {
+                    gates.push(s);
+                    for &f in fanins {
+                        visit(f, &mut stack);
+                    }
+                }
+                NetKind::Register { next, .. } => {
+                    registers.push(s);
+                    // Cross the register boundary: its data input influences it.
+                    let n = next.expect("COI requires a validated netlist");
+                    visit(n, &mut stack);
+                }
+                NetKind::Input => inputs.push(s),
+                NetKind::Const(_) => {}
+            }
+        }
+        registers.sort_unstable();
+        gates.sort_unstable();
+        inputs.sort_unstable();
+        Coi {
+            registers,
+            gates,
+            inputs,
+        }
+    }
+
+    /// Registers in the cone of influence, ascending signal order.
+    pub fn registers(&self) -> &[SignalId] {
+        &self.registers
+    }
+
+    /// Gates in the cone of influence, ascending signal order.
+    pub fn gates(&self) -> &[SignalId] {
+        &self.gates
+    }
+
+    /// Primary inputs in the cone of influence, ascending signal order.
+    pub fn inputs(&self) -> &[SignalId] {
+        &self.inputs
+    }
+
+    /// Number of registers in the COI (Table 1, column two).
+    pub fn num_registers(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Number of gates in the COI (Table 1, column three).
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateOp;
+
+    /// Chain: i -> g1 -> r1 -> g2 -> r2, plus isolated r3.
+    fn chain() -> (Netlist, [SignalId; 5]) {
+        let mut n = Netlist::new("chain");
+        let i = n.add_input("i");
+        let r1 = n.add_register("r1", Some(false));
+        let r2 = n.add_register("r2", Some(false));
+        let r3 = n.add_register("r3", Some(false));
+        let g1 = n.add_gate("g1", GateOp::Not, &[i]);
+        let g2 = n.add_gate("g2", GateOp::Not, &[r1]);
+        n.set_register_next(r1, g1).unwrap();
+        n.set_register_next(r2, g2).unwrap();
+        n.set_register_next(r3, r3).unwrap();
+        n.validate().unwrap();
+        (n, [i, r1, r2, g1, g2])
+    }
+
+    #[test]
+    fn fanin_stops_at_registers() {
+        let (n, [_, r1, _, _, g2]) = chain();
+        let cone = transitive_fanin(&n, [g2]);
+        assert_eq!(cone.gates, vec![g2]);
+        assert_eq!(cone.register_leaves, vec![r1]);
+        assert!(cone.inputs.is_empty());
+    }
+
+    #[test]
+    fn fanin_of_register_output_is_just_the_leaf() {
+        let (n, [_, r1, ..]) = chain();
+        let cone = transitive_fanin(&n, [r1]);
+        assert!(cone.gates.is_empty());
+        assert_eq!(cone.register_leaves, vec![r1]);
+    }
+
+    #[test]
+    fn coi_crosses_register_boundaries() {
+        let (n, [i, r1, r2, g1, g2]) = chain();
+        let coi = Coi::of(&n, [r2]);
+        assert_eq!(coi.registers(), &[r1, r2]);
+        assert_eq!(coi.gates(), &[g1, g2]);
+        assert_eq!(coi.inputs(), &[i]);
+    }
+
+    #[test]
+    fn coi_excludes_unrelated_registers() {
+        let (n, [_, r1, ..]) = chain();
+        let coi = Coi::of(&n, [r1]);
+        assert_eq!(coi.num_registers(), 1);
+        assert_eq!(coi.num_gates(), 1);
+    }
+
+    #[test]
+    fn fanout_gates_follow_forward_paths() {
+        let (n, [i, _, _, g1, g2]) = chain();
+        let fo = transitive_fanout_gates(&n, [i]);
+        // i drives g1 directly; g2 is behind a register so not comb. fanout.
+        assert_eq!(fo, vec![g1]);
+        let _ = g2;
+    }
+
+    #[test]
+    fn fanout_of_register_output() {
+        let (n, [_, r1, _, _, g2]) = chain();
+        let fo = transitive_fanout_gates(&n, [r1]);
+        assert_eq!(fo, vec![g2]);
+    }
+}

@@ -1,0 +1,427 @@
+//! Cubes (partial signal valuations) and traces.
+//!
+//! A *cube* in the paper's sense is a valuation of *some* signals of a design;
+//! a *state* is a valuation of all registers; an *input vector* a valuation of
+//! all primary inputs. All engines exchange partial valuations, so [`Cube`] is
+//! the lingua franca of the tool: ATPG targets, error-trace steps, constraint
+//! cubes for guided search and refinement all use it.
+
+use std::fmt;
+
+use crate::{Netlist, SignalId};
+
+/// A partial valuation of signals: a set of `(signal, value)` literals.
+///
+/// Literals are kept sorted by signal and deduplicated, so equality is
+/// semantic. Inserting a conflicting literal is reported rather than silently
+/// overwriting, because a conflicting merge means a bug in an engine.
+///
+/// # Example
+///
+/// ```
+/// use rfn_netlist::{Cube, SignalId};
+///
+/// let a = SignalId::from_index(0);
+/// let b = SignalId::from_index(1);
+/// let mut c = Cube::new();
+/// c.insert(b, true).unwrap();
+/// c.insert(a, false).unwrap();
+/// assert_eq!(c.get(a), Some(false));
+/// assert_eq!(c.len(), 2);
+/// assert!(c.insert(a, true).is_err()); // conflicting literal
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Cube {
+    lits: Vec<(SignalId, bool)>,
+}
+
+/// Error returned when inserting or merging conflicting literals into a
+/// [`Cube`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CubeConflict {
+    /// The signal assigned both polarities.
+    pub signal: SignalId,
+}
+
+impl fmt::Display for CubeConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conflicting literals on signal {}", self.signal)
+    }
+}
+
+impl std::error::Error for CubeConflict {}
+
+impl Cube {
+    /// Creates an empty cube (the constant-true valuation).
+    pub fn new() -> Self {
+        Cube::default()
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Whether the cube has no literals.
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// The value assigned to `s`, if any.
+    pub fn get(&self, s: SignalId) -> Option<bool> {
+        self.lits
+            .binary_search_by_key(&s, |&(sig, _)| sig)
+            .ok()
+            .map(|i| self.lits[i].1)
+    }
+
+    /// Whether the cube assigns `s`.
+    pub fn contains(&self, s: SignalId) -> bool {
+        self.get(s).is_some()
+    }
+
+    /// Adds the literal `s = value`.
+    ///
+    /// Re-inserting an identical literal is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CubeConflict`] if `s` is already assigned the opposite value.
+    pub fn insert(&mut self, s: SignalId, value: bool) -> Result<(), CubeConflict> {
+        match self.lits.binary_search_by_key(&s, |&(sig, _)| sig) {
+            Ok(i) => {
+                if self.lits[i].1 != value {
+                    Err(CubeConflict { signal: s })
+                } else {
+                    Ok(())
+                }
+            }
+            Err(i) => {
+                self.lits.insert(i, (s, value));
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes the literal on `s`, returning its value if present.
+    pub fn remove(&mut self, s: SignalId) -> Option<bool> {
+        match self.lits.binary_search_by_key(&s, |&(sig, _)| sig) {
+            Ok(i) => Some(self.lits.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Merges all literals of `other` into `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CubeConflict`] encountered; `self` may then hold a
+    /// prefix of `other`'s literals.
+    pub fn merge(&mut self, other: &Cube) -> Result<(), CubeConflict> {
+        for &(s, v) in &other.lits {
+            self.insert(s, v)?;
+        }
+        Ok(())
+    }
+
+    /// Whether `self` and `other` assign some signal opposite values.
+    pub fn conflicts_with(&self, other: &Cube) -> bool {
+        // Merge-join over the two sorted literal lists.
+        let (mut i, mut j) = (0, 0);
+        while i < self.lits.len() && j < other.lits.len() {
+            let (sa, va) = self.lits[i];
+            let (sb, vb) = other.lits[j];
+            match sa.cmp(&sb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if va != vb {
+                        return true;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether every literal of `other` is also in `self` (i.e. `self ⇒
+    /// other` as a conjunction of literals).
+    pub fn implies(&self, other: &Cube) -> bool {
+        other.lits.iter().all(|&(s, v)| self.get(s) == Some(v))
+    }
+
+    /// Returns the sub-cube of literals whose signal satisfies `pred`.
+    pub fn filter(&self, mut pred: impl FnMut(SignalId) -> bool) -> Cube {
+        Cube {
+            lits: self
+                .lits
+                .iter()
+                .copied()
+                .filter(|&(s, _)| pred(s))
+                .collect(),
+        }
+    }
+
+    /// Iterates over the literals in ascending signal order.
+    pub fn iter(&self) -> impl Iterator<Item = (SignalId, bool)> + '_ {
+        self.lits.iter().copied()
+    }
+
+    /// Renders the cube with netlist signal names, e.g. `req=1 ack=0`.
+    pub fn display<'a>(&'a self, netlist: &'a Netlist) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Cube, &'a Netlist);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                for (i, (s, v)) in self.0.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    write!(f, "{}={}", self.1.label(s), u8::from(v))?;
+                }
+                Ok(())
+            }
+        }
+        D(self, netlist)
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Cube{")?;
+        for (i, (s, v)) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{s}={}", u8::from(v))?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl FromIterator<(SignalId, bool)> for Cube {
+    /// Collects literals into a cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the literals conflict; use [`Cube::insert`] for fallible
+    /// construction.
+    fn from_iter<I: IntoIterator<Item = (SignalId, bool)>>(iter: I) -> Self {
+        let mut c = Cube::new();
+        for (s, v) in iter {
+            c.insert(s, v).expect("conflicting literals in cube");
+        }
+        c
+    }
+}
+
+impl Extend<(SignalId, bool)> for Cube {
+    /// Extends the cube with literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal conflicts with an existing one.
+    fn extend<I: IntoIterator<Item = (SignalId, bool)>>(&mut self, iter: I) {
+        for (s, v) in iter {
+            self.insert(s, v).expect("conflicting literals in cube");
+        }
+    }
+}
+
+/// One step of a [`Trace`]: the state cube at a cycle plus the input cube
+/// applied during that cycle.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Partial valuation of register outputs at this cycle.
+    pub state: Cube,
+    /// Partial valuation of primary inputs applied during this cycle.
+    ///
+    /// Empty on the final step of a trace (no transition is taken from the
+    /// last state).
+    pub inputs: Cube,
+}
+
+/// A (partial) trace `a_1, v_1, a_2, v_2, …, a_k` of a design: a sequence of
+/// state cubes connected by input cubes.
+///
+/// Cubes may be partial: signals not mentioned are unconstrained. An *error
+/// trace* for an unreachability property starts in an initial state and ends
+/// in a target state.
+///
+/// # Example
+///
+/// ```
+/// use rfn_netlist::{Cube, Trace, TraceStep, SignalId};
+///
+/// let r = SignalId::from_index(0);
+/// let mut t = Trace::new();
+/// t.push(TraceStep { state: [(r, false)].into_iter().collect(), inputs: Cube::new() });
+/// t.push(TraceStep { state: [(r, true)].into_iter().collect(), inputs: Cube::new() });
+/// assert_eq!(t.num_cycles(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Number of states in the trace (`k` in the paper's notation).
+    pub fn num_cycles(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the trace has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The steps, first state first.
+    pub fn steps(&self) -> &[TraceStep] {
+        &self.steps
+    }
+
+    /// Mutable access to the steps.
+    pub fn steps_mut(&mut self) -> &mut [TraceStep] {
+        &mut self.steps
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, step: TraceStep) {
+        self.steps.push(step);
+    }
+
+    /// Prepends a step (the hybrid trace engine builds traces back to front).
+    pub fn push_front(&mut self, step: TraceStep) {
+        self.steps.insert(0, step);
+    }
+
+    /// The final state cube, if the trace is non-empty.
+    pub fn last_state(&self) -> Option<&Cube> {
+        self.steps.last().map(|s| &s.state)
+    }
+
+    /// Renders the trace with netlist signal names, one cycle per line.
+    pub fn display<'a>(&'a self, netlist: &'a Netlist) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Trace, &'a Netlist);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                for (i, step) in self.0.steps.iter().enumerate() {
+                    writeln!(f, "cycle {i}: state [{}]", step.state.display(self.1))?;
+                    if !step.inputs.is_empty() {
+                        writeln!(f, "         inputs [{}]", step.inputs.display(self.1))?;
+                    }
+                }
+                Ok(())
+            }
+        }
+        D(self, netlist)
+    }
+}
+
+impl FromIterator<TraceStep> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceStep>>(iter: I) -> Self {
+        Trace {
+            steps: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: usize) -> SignalId {
+        SignalId::from_index(i)
+    }
+
+    #[test]
+    fn insert_keeps_sorted_and_deduped() {
+        let mut c = Cube::new();
+        c.insert(s(5), true).unwrap();
+        c.insert(s(1), false).unwrap();
+        c.insert(s(3), true).unwrap();
+        c.insert(s(3), true).unwrap(); // duplicate ok
+        let lits: Vec<_> = c.iter().collect();
+        assert_eq!(lits, vec![(s(1), false), (s(3), true), (s(5), true)]);
+    }
+
+    #[test]
+    fn conflicting_insert_fails() {
+        let mut c = Cube::new();
+        c.insert(s(2), true).unwrap();
+        assert_eq!(c.insert(s(2), false), Err(CubeConflict { signal: s(2) }));
+    }
+
+    #[test]
+    fn conflicts_with_detects_opposite_literals() {
+        let a: Cube = [(s(0), true), (s(2), false)].into_iter().collect();
+        let b: Cube = [(s(1), true), (s(2), true)].into_iter().collect();
+        let c: Cube = [(s(1), true), (s(3), true)].into_iter().collect();
+        assert!(a.conflicts_with(&b));
+        assert!(!a.conflicts_with(&c));
+        assert!(!a.conflicts_with(&Cube::new()));
+    }
+
+    #[test]
+    fn implies_is_literal_containment() {
+        let big: Cube = [(s(0), true), (s(1), false), (s(2), true)]
+            .into_iter()
+            .collect();
+        let small: Cube = [(s(0), true), (s(2), true)].into_iter().collect();
+        assert!(big.implies(&small));
+        assert!(!small.implies(&big));
+        assert!(big.implies(&Cube::new()));
+    }
+
+    #[test]
+    fn merge_accumulates_or_conflicts() {
+        let mut a: Cube = [(s(0), true)].into_iter().collect();
+        let b: Cube = [(s(1), false)].into_iter().collect();
+        a.merge(&b).unwrap();
+        assert_eq!(a.len(), 2);
+        let c: Cube = [(s(0), false)].into_iter().collect();
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn filter_and_remove() {
+        let mut a: Cube = [(s(0), true), (s(1), false), (s(4), true)]
+            .into_iter()
+            .collect();
+        let even = a.filter(|sig| sig.index() % 2 == 0);
+        assert_eq!(even.len(), 2);
+        assert_eq!(a.remove(s(1)), Some(false));
+        assert_eq!(a.remove(s(1)), None);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn trace_front_and_back() {
+        let mut t = Trace::new();
+        t.push(TraceStep {
+            state: [(s(0), true)].into_iter().collect(),
+            inputs: Cube::new(),
+        });
+        t.push_front(TraceStep {
+            state: [(s(0), false)].into_iter().collect(),
+            inputs: Cube::new(),
+        });
+        assert_eq!(t.num_cycles(), 2);
+        assert_eq!(t.steps()[0].state.get(s(0)), Some(false));
+        assert_eq!(t.last_state().unwrap().get(s(0)), Some(true));
+    }
+
+    #[test]
+    fn cube_display_uses_names() {
+        let mut n = Netlist::new("d");
+        let a = n.add_input("req");
+        let c: Cube = [(a, true)].into_iter().collect();
+        assert_eq!(format!("{}", c.display(&n)), "req=1");
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type shared by netlist construction, validation and parsing.
+
+use std::fmt;
+
+use crate::SignalId;
+
+/// Error produced by netlist construction, validation or parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A signal name was defined twice.
+    DuplicateName(String),
+    /// A referenced signal name is not defined.
+    UnknownName(String),
+    /// A signal id does not exist in this netlist.
+    UnknownSignal(SignalId),
+    /// The signal is not a register but was used where one is required.
+    NotARegister(SignalId),
+    /// A register's next-state input was never assigned.
+    UnconnectedRegister(SignalId),
+    /// A register's next-state input was assigned twice.
+    NextAlreadySet(SignalId),
+    /// A gate has a fanin count outside its operator's arity.
+    BadArity {
+        /// The offending gate's output signal.
+        signal: SignalId,
+        /// Number of fanins supplied.
+        got: usize,
+    },
+    /// The combinational logic contains a cycle through the given signal.
+    CombinationalCycle(SignalId),
+    /// A line of the text format could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName(n) => write!(f, "signal name `{n}` defined twice"),
+            NetlistError::UnknownName(n) => write!(f, "unknown signal name `{n}`"),
+            NetlistError::UnknownSignal(s) => write!(f, "unknown signal {s}"),
+            NetlistError::NotARegister(s) => write!(f, "signal {s} is not a register"),
+            NetlistError::UnconnectedRegister(s) => {
+                write!(f, "register {s} has no next-state input")
+            }
+            NetlistError::NextAlreadySet(s) => {
+                write!(f, "register {s} next-state input assigned twice")
+            }
+            NetlistError::BadArity { signal, got } => {
+                write!(f, "gate {signal} has invalid fanin count {got}")
+            }
+            NetlistError::CombinationalCycle(s) => {
+                write!(f, "combinational cycle through signal {s}")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

@@ -1,0 +1,80 @@
+//! Gate-level netlist infrastructure for the RFN verification tool.
+//!
+//! This crate provides the *substrate* every RFN engine operates on: a
+//! gate-level design representation in the sense of the DAC 2001 paper
+//! ["Formal Property Verification by Abstraction Refinement with Formal,
+//! Simulation and Hybrid Engines"]. A gate-level design `M = (G, L)` is a set
+//! of gates `G` plus a set of registers `L`; every engine in the tool
+//! (3-valued simulation, ATPG, BDD-based model checking, the RFN loop itself)
+//! consumes the [`Netlist`] type defined here.
+//!
+//! The crate covers:
+//!
+//! * the netlist IR itself ([`Netlist`], [`SignalId`], [`GateOp`]) with a
+//!   builder-style construction API and structural validation,
+//! * sparse signal valuations and traces ([`Cube`], [`Trace`]) shared by all
+//!   engines,
+//! * cone-of-influence and transitive-fanin computations ([`Coi`],
+//!   [`transitive_fanin`]) used to size designs and seed abstractions,
+//! * *abstract models*: subcircuits induced by a set of registers
+//!   ([`Abstraction`], [`AbstractView`]) where excluded registers become free
+//!   pseudo-inputs,
+//! * the *free-cut* and *min-cut* designs of Section 2.2 of the paper
+//!   ([`FreeCut`], [`MinCut`], [`compute_min_cut`]), computed with a Dinic
+//!   max-flow on the node-split signal graph,
+//! * a small line-oriented text format for netlists ([`parse_netlist`],
+//!   [`write_netlist`]) so designs can be stored and diffed.
+//!
+//! # Example
+//!
+//! Build a 2-bit counter with a saturation flag and extract its abstraction:
+//!
+//! ```
+//! use rfn_netlist::{Netlist, GateOp, Abstraction};
+//!
+//! # fn main() -> Result<(), rfn_netlist::NetlistError> {
+//! let mut n = Netlist::new("counter");
+//! let b0 = n.add_register("b0", Some(false));
+//! let b1 = n.add_register("b1", Some(false));
+//! let n0 = n.add_gate("n0", GateOp::Not, &[b0]);
+//! let carry = n.add_gate("carry", GateOp::And, &[b0, b1]);
+//! let n1 = n.add_gate("n1", GateOp::Xor, &[b0, b1]);
+//! n.set_register_next(b0, n0)?;
+//! n.set_register_next(b1, n1)?;
+//! n.add_output("carry", carry);
+//! n.validate()?;
+//!
+//! // Abstract model containing only bit 0: bit 1 becomes a pseudo-input.
+//! let abs = Abstraction::from_registers([b0]);
+//! let view = abs.view(&n, [carry])?;
+//! assert_eq!(view.registers(), &[b0]);
+//! assert_eq!(view.pseudo_inputs(), &[b1]);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ["Formal Property Verification by Abstraction Refinement with Formal,
+//! Simulation and Hybrid Engines"]: https://doi.org/10.1145/378239.378490
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod abstraction;
+mod cone;
+mod cube;
+mod error;
+mod mincut;
+mod netlist;
+mod parse;
+mod property;
+mod signal;
+
+pub use abstraction::{Abstraction, AbstractView};
+pub use cone::{transitive_fanin, transitive_fanout_gates, Coi};
+pub use cube::{Cube, CubeConflict, Trace, TraceStep};
+pub use error::NetlistError;
+pub use mincut::{compute_free_cut, compute_min_cut, FreeCut, MinCut};
+pub use netlist::{Net, NetKind, Netlist};
+pub use parse::{parse_netlist, write_netlist};
+pub use property::{CoverageSet, Property};
+pub use signal::{GateOp, SignalId};

@@ -1,0 +1,531 @@
+//! Free-cut and min-cut designs (Section 2.2 of the paper).
+//!
+//! Pre-image computation on an abstract model with thousands of free inputs
+//! is hopeless, so RFN computes pre-images on a *min-cut design* `MC` instead:
+//! a subcircuit of the abstract model `N` that contains the *free-cut design*
+//! `FC` (the registers of `N` plus the gates in the intersection of the
+//! registers' transitive fanin and transitive fanout) and has the smallest
+//! possible number of primary inputs.
+//!
+//! The minimal input set is a minimum vertex cut between the free inputs of
+//! `N` and `FC` in the signal graph, computed here with Dinic's max-flow
+//! algorithm on the node-split graph (every candidate cut signal becomes an
+//! `in → out` edge of capacity one).
+
+use crate::{AbstractView, Netlist, SignalId};
+
+/// The free-cut design `FC` of an abstract model: the model's registers plus
+/// the gates lying in the intersection of the registers' transitive fanin and
+/// transitive fanout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FreeCut {
+    /// Gates of `FC`, in ascending signal order.
+    pub gates: Vec<SignalId>,
+}
+
+/// Computes the free-cut design of an abstract model.
+///
+/// # Example
+///
+/// ```
+/// use rfn_netlist::{Netlist, GateOp, Abstraction, compute_free_cut};
+///
+/// # fn main() -> Result<(), rfn_netlist::NetlistError> {
+/// let mut n = Netlist::new("d");
+/// let i = n.add_input("i");
+/// let r = n.add_register("r", Some(false));
+/// let pre = n.add_gate("pre", GateOp::Not, &[i]);     // input-only logic
+/// let loopg = n.add_gate("loop", GateOp::And, &[r, pre]); // state feedback
+/// n.set_register_next(r, loopg)?;
+/// n.validate()?;
+/// let view = Abstraction::from_registers([r]).view(&n, [])?;
+/// let fc = compute_free_cut(&n, &view);
+/// assert_eq!(fc.gates, vec![loopg]); // `pre` is outside the free cut
+/// # Ok(())
+/// # }
+/// ```
+pub fn compute_free_cut(netlist: &Netlist, view: &AbstractView) -> FreeCut {
+    let n = netlist.num_signals();
+    // Transitive fanout of register outputs, restricted to view gates.
+    let mut in_fanout = vec![false; n];
+    for &r in view.registers() {
+        in_fanout[r.index()] = true;
+    }
+    for &g in view.gates() {
+        // view gates are already topologically ordered
+        if netlist
+            .fanins(g)
+            .iter()
+            .any(|f| in_fanout[f.index()])
+        {
+            in_fanout[g.index()] = true;
+        }
+    }
+    // Transitive fanin of the registers' next-state inputs, restricted to the
+    // view. Walk view gates in reverse topological order.
+    let mut in_fanin = vec![false; n];
+    for &r in view.registers() {
+        in_fanin[netlist.register_next(r).index()] = true;
+    }
+    for &g in view.gates().iter().rev() {
+        if in_fanin[g.index()] {
+            for &f in netlist.fanins(g) {
+                in_fanin[f.index()] = true;
+            }
+        }
+    }
+    let gates: Vec<SignalId> = {
+        let mut gs: Vec<SignalId> = view
+            .gates()
+            .iter()
+            .copied()
+            .filter(|g| in_fanout[g.index()] && in_fanin[g.index()])
+            .collect();
+        gs.sort_unstable();
+        gs
+    };
+    FreeCut { gates }
+}
+
+/// The min-cut design `MC` of an abstract model: the free-cut design plus the
+/// logic between the cut and the free-cut, with [`MinCut::cut_signals`] as its
+/// primary inputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MinCut {
+    /// The primary inputs of `MC`: a minimum set of signals separating the
+    /// abstract model's free inputs from the free-cut design. A cut signal is
+    /// either a free input of `N` (then it appears in *no-cut* cubes) or an
+    /// internal gate output of `N` (then it appears in *min-cut* cubes,
+    /// Figure 1 of the paper).
+    pub cut_signals: Vec<SignalId>,
+    /// Gates of `MC` in topological order: every view gate on the free-cut
+    /// side of the cut.
+    pub gates: Vec<SignalId>,
+    /// Number of primary inputs the abstract model had before the cut
+    /// (`inputs + pseudo_inputs`), kept for reporting input reduction.
+    pub original_input_count: usize,
+}
+
+impl MinCut {
+    /// Whether a signal is one of the min-cut design's primary inputs.
+    pub fn is_cut_signal(&self, s: SignalId) -> bool {
+        self.cut_signals.binary_search(&s).is_ok()
+    }
+
+    /// Number of primary inputs of the min-cut design.
+    pub fn num_inputs(&self) -> usize {
+        self.cut_signals.len()
+    }
+}
+
+/// Computes the min-cut design of an abstract model.
+///
+/// The returned cut is minimal in cardinality; ties are broken arbitrarily by
+/// the max-flow search order. The cut never exceeds the number of free inputs
+/// of the view (the trivial cut).
+///
+/// # Example
+///
+/// ```
+/// use rfn_netlist::{Netlist, GateOp, Abstraction, compute_min_cut};
+///
+/// # fn main() -> Result<(), rfn_netlist::NetlistError> {
+/// let mut n = Netlist::new("d");
+/// // 4 inputs funnel through one AND before reaching the register.
+/// let inputs: Vec<_> = (0..4).map(|k| n.add_input(&format!("i{k}"))).collect();
+/// let funnel = n.add_gate("funnel", GateOp::And, &inputs);
+/// let r = n.add_register("r", Some(false));
+/// let upd = n.add_gate("upd", GateOp::Or, &[r, funnel]);
+/// n.set_register_next(r, upd)?;
+/// n.validate()?;
+/// let view = Abstraction::from_registers([r]).view(&n, [])?;
+/// let mc = compute_min_cut(&n, &view);
+/// assert_eq!(mc.cut_signals, vec![funnel]); // 4 inputs reduced to 1
+/// assert_eq!(mc.original_input_count, 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compute_min_cut(netlist: &Netlist, view: &AbstractView) -> MinCut {
+    let fc = compute_free_cut(netlist, view);
+    compute_min_cut_with_free_cut(netlist, view, &fc)
+}
+
+/// Like [`compute_min_cut`], reusing an already-computed free cut.
+pub fn compute_min_cut_with_free_cut(
+    netlist: &Netlist,
+    view: &AbstractView,
+    fc: &FreeCut,
+) -> MinCut {
+    let n = netlist.num_signals();
+    let mut in_fc = vec![false; n];
+    for &g in &fc.gates {
+        in_fc[g.index()] = true;
+    }
+    for &r in view.registers() {
+        in_fc[r.index()] = true;
+    }
+    // Consumers on the FC side: FC gates and register data inputs. Their
+    // non-FC, non-constant fanins are the "boundary signals" that the cut must
+    // feed.
+    let mut boundary: Vec<SignalId> = Vec::new();
+    let is_const =
+        |s: SignalId| matches!(netlist.kind(s), crate::NetKind::Const(_));
+    {
+        let mut seen = vec![false; n];
+        let add = |s: SignalId, boundary: &mut Vec<SignalId>, seen: &mut Vec<bool>| {
+            if !in_fc[s.index()] && !is_const(s) && !seen[s.index()] {
+                seen[s.index()] = true;
+                boundary.push(s);
+            }
+        };
+        for &g in &fc.gates {
+            for &f in netlist.fanins(g) {
+                add(f, &mut boundary, &mut seen);
+            }
+        }
+        for &r in view.registers() {
+            add(netlist.register_next(r), &mut boundary, &mut seen);
+        }
+    }
+    let original_input_count = view.inputs().len() + view.pseudo_inputs().len();
+    if boundary.is_empty() {
+        // Registers feed each other (or constants) directly; MC is FC itself.
+        // Filtering the view's gate list preserves topological order.
+        let gates: Vec<SignalId> = view
+            .gates()
+            .iter()
+            .copied()
+            .filter(|g| in_fc[g.index()])
+            .collect();
+        return MinCut {
+            cut_signals: Vec::new(),
+            gates,
+            original_input_count,
+        };
+    }
+
+    // Upstream region: transitive fanin of the boundary signals within the
+    // view, excluding FC members. These are the candidate cut signals.
+    let mut upstream = vec![false; n];
+    {
+        let mut stack: Vec<SignalId> = boundary.clone();
+        for &b in &boundary {
+            upstream[b.index()] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &f in netlist.fanins(s) {
+                if !in_fc[f.index()] && !is_const(f) && !upstream[f.index()] {
+                    upstream[f.index()] = true;
+                    stack.push(f);
+                }
+            }
+        }
+    }
+
+    // Build the node-split flow graph over the upstream region.
+    // Node ids: for upstream signal s -> in = 2*slot, out = 2*slot+1.
+    let mut slot = vec![usize::MAX; n];
+    let mut region: Vec<SignalId> = Vec::new();
+    for idx in 0..n {
+        if upstream[idx] {
+            slot[idx] = region.len();
+            region.push(SignalId::from_index(idx));
+        }
+    }
+    let source = 2 * region.len();
+    let sink = source + 1;
+    let mut flow = Dinic::new(sink + 1);
+    const INF: u32 = u32::MAX / 2;
+    for &s in &region {
+        let k = slot[s.index()];
+        flow.add_edge(2 * k, 2 * k + 1, 1);
+        // Sources: signals with no upstream fanins (free inputs of N, or
+        // gates whose fanins are all constants / outside the region).
+        let has_upstream_fanin = netlist.fanins(s).iter().any(|f| upstream[f.index()]);
+        if !has_upstream_fanin {
+            flow.add_edge(source, 2 * k, INF);
+        } else {
+            for &f in netlist.fanins(s) {
+                if upstream[f.index()] {
+                    flow.add_edge(2 * slot[f.index()] + 1, 2 * k, INF);
+                }
+            }
+        }
+    }
+    for &b in &boundary {
+        flow.add_edge(2 * slot[b.index()] + 1, sink, INF);
+    }
+    flow.max_flow(source, sink);
+    let reachable = flow.residual_reachable(source);
+
+    let mut cut_signals: Vec<SignalId> = region
+        .iter()
+        .copied()
+        .filter(|s| {
+            let k = slot[s.index()];
+            reachable[2 * k] && !reachable[2 * k + 1]
+        })
+        .collect();
+    cut_signals.sort_unstable();
+
+    // MC gates: FC gates plus upstream gates strictly downstream of the cut
+    // (their `in` node is unreachable from the source in the residual graph).
+    let gates: Vec<SignalId> = view
+        .gates()
+        .iter()
+        .copied()
+        .filter(|g| {
+            if in_fc[g.index()] {
+                return true;
+            }
+            if !upstream[g.index()] {
+                return false;
+            }
+            !reachable[2 * slot[g.index()]]
+        })
+        .collect();
+
+    MinCut {
+        cut_signals,
+        gates,
+        original_input_count,
+    }
+}
+
+/// Dinic max-flow on a small adjacency-list graph with u32 capacities.
+struct Dinic {
+    // edges stored flat; edge i and i^1 are a forward/backward pair
+    to: Vec<u32>,
+    cap: Vec<u32>,
+    adj: Vec<Vec<u32>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl Dinic {
+    fn new(n: usize) -> Self {
+        Dinic {
+            to: Vec::new(),
+            cap: Vec::new(),
+            adj: vec![Vec::new(); n],
+            level: vec![0; n],
+            iter: vec![0; n],
+        }
+    }
+
+    fn add_edge(&mut self, u: usize, v: usize, c: u32) {
+        let e = self.to.len() as u32;
+        self.to.push(v as u32);
+        self.cap.push(c);
+        self.adj[u].push(e);
+        self.to.push(u as u32);
+        self.cap.push(0);
+        self.adj[v].push(e + 1);
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &e in &self.adj[u] {
+                let v = self.to[e as usize] as usize;
+                if self.cap[e as usize] > 0 && self.level[v] < 0 {
+                    self.level[v] = self.level[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, u: usize, t: usize, f: u32) -> u32 {
+        if u == t {
+            return f;
+        }
+        while self.iter[u] < self.adj[u].len() {
+            let e = self.adj[u][self.iter[u]] as usize;
+            let v = self.to[e] as usize;
+            if self.cap[e] > 0 && self.level[v] == self.level[u] + 1 {
+                let d = self.dfs(v, t, f.min(self.cap[e]));
+                if d > 0 {
+                    self.cap[e] -= d;
+                    self.cap[e ^ 1] += d;
+                    return d;
+                }
+            }
+            self.iter[u] += 1;
+        }
+        0
+    }
+
+    fn max_flow(&mut self, s: usize, t: usize) -> u32 {
+        let mut total = 0;
+        while self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, u32::MAX / 2);
+                if f == 0 {
+                    break;
+                }
+                total += f;
+            }
+        }
+        total
+    }
+
+    /// Nodes reachable from `s` in the residual graph (call after max_flow).
+    fn residual_reachable(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.adj.len()];
+        let mut stack = vec![s];
+        seen[s] = true;
+        while let Some(u) = stack.pop() {
+            for &e in &self.adj[u] {
+                let v = self.to[e as usize] as usize;
+                if self.cap[e as usize] > 0 && !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Abstraction, GateOp};
+
+    /// Funnel: many inputs reduce through a tree to few signals before FC.
+    fn funnel_design(width: usize) -> (Netlist, SignalId, Vec<SignalId>) {
+        let mut n = Netlist::new("funnel");
+        let inputs: Vec<_> = (0..width)
+            .map(|k| n.add_input(&format!("i{k}")))
+            .collect();
+        let funnel = n.add_gate("funnel", GateOp::Xor, &inputs);
+        let r = n.add_register("r", Some(false));
+        let upd = n.add_gate("upd", GateOp::Xor, &[r, funnel]);
+        n.set_register_next(r, upd).unwrap();
+        n.validate().unwrap();
+        (n, r, inputs)
+    }
+
+    #[test]
+    fn funnel_cut_is_single_signal() {
+        let (n, r, _) = funnel_design(8);
+        let view = Abstraction::from_registers([r]).view(&n, []).unwrap();
+        let mc = compute_min_cut(&n, &view);
+        assert_eq!(mc.num_inputs(), 1);
+        assert_eq!(mc.original_input_count, 8);
+        let funnel = n.find("funnel").unwrap();
+        assert_eq!(mc.cut_signals, vec![funnel]);
+        // MC contains the update gate but not the funnel gate.
+        let upd = n.find("upd").unwrap();
+        assert!(mc.gates.contains(&upd));
+        assert!(!mc.gates.contains(&funnel));
+    }
+
+    #[test]
+    fn free_cut_excludes_input_only_logic() {
+        let (n, r, _) = funnel_design(4);
+        let view = Abstraction::from_registers([r]).view(&n, []).unwrap();
+        let fc = compute_free_cut(&n, &view);
+        let upd = n.find("upd").unwrap();
+        assert_eq!(fc.gates, vec![upd]);
+    }
+
+    #[test]
+    fn cut_never_exceeds_trivial_cut() {
+        // Wide but shallow: inputs feed the register logic directly.
+        let mut n = Netlist::new("wide");
+        let inputs: Vec<_> = (0..5).map(|k| n.add_input(&format!("i{k}"))).collect();
+        let r = n.add_register("r", Some(false));
+        let mut all = vec![r];
+        all.extend(&inputs);
+        let upd = n.add_gate("upd", GateOp::And, &all);
+        n.set_register_next(r, upd).unwrap();
+        n.validate().unwrap();
+        let view = Abstraction::from_registers([r]).view(&n, []).unwrap();
+        let mc = compute_min_cut(&n, &view);
+        assert!(mc.num_inputs() <= 5);
+        // Inputs feed FC directly, so the cut is exactly the inputs.
+        assert_eq!(mc.num_inputs(), 5);
+    }
+
+    #[test]
+    fn register_to_register_design_needs_no_cut() {
+        let mut n = Netlist::new("r2r");
+        let a = n.add_register("a", Some(false));
+        let b = n.add_register("b", Some(true));
+        n.set_register_next(a, b).unwrap();
+        n.set_register_next(b, a).unwrap();
+        n.validate().unwrap();
+        let view = Abstraction::from_registers([a, b]).view(&n, []).unwrap();
+        let mc = compute_min_cut(&n, &view);
+        assert!(mc.cut_signals.is_empty());
+    }
+
+    #[test]
+    fn cut_separates_inputs_from_free_cut() {
+        // Validity: removing the cut signals must disconnect every free input
+        // from the free-cut consumers.
+        let (n, r, inputs) = funnel_design(6);
+        let view = Abstraction::from_registers([r]).view(&n, []).unwrap();
+        let fc = compute_free_cut(&n, &view);
+        let mc = compute_min_cut(&n, &view);
+        // Forward reachability from inputs, blocked at cut signals.
+        let mut reach = vec![false; n.num_signals()];
+        for &i in &inputs {
+            if !mc.is_cut_signal(i) {
+                reach[i.index()] = true;
+            }
+        }
+        for &g in view.gates() {
+            if mc.is_cut_signal(g) {
+                continue;
+            }
+            if n.fanins(g).iter().any(|f| reach[f.index()]) {
+                reach[g.index()] = true;
+            }
+        }
+        for &g in &fc.gates {
+            assert!(!reach[g.index()], "free-cut gate reachable around the cut");
+        }
+        for &reg in view.registers() {
+            assert!(!reach[n.register_next(reg).index()]);
+        }
+    }
+
+    #[test]
+    fn diamond_cut_picks_the_narrow_waist() {
+        // i0,i1 -> a ; i2,i3 -> b ; a,b -> waist ; waist,r -> upd -> r
+        let mut n = Netlist::new("diamond");
+        let i0 = n.add_input("i0");
+        let i1 = n.add_input("i1");
+        let i2 = n.add_input("i2");
+        let i3 = n.add_input("i3");
+        let a = n.add_gate("a", GateOp::And, &[i0, i1]);
+        let b = n.add_gate("b", GateOp::Or, &[i2, i3]);
+        let waist = n.add_gate("waist", GateOp::Xor, &[a, b]);
+        let r = n.add_register("r", Some(false));
+        let upd = n.add_gate("upd", GateOp::Or, &[r, waist]);
+        n.set_register_next(r, upd).unwrap();
+        n.validate().unwrap();
+        let view = Abstraction::from_registers([r]).view(&n, []).unwrap();
+        let mc = compute_min_cut(&n, &view);
+        assert_eq!(mc.cut_signals, vec![waist]);
+    }
+
+    #[test]
+    fn dinic_computes_textbook_flow() {
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 3);
+        d.add_edge(0, 2, 2);
+        d.add_edge(1, 2, 1);
+        d.add_edge(1, 3, 2);
+        d.add_edge(2, 3, 3);
+        assert_eq!(d.max_flow(0, 3), 5);
+    }
+}

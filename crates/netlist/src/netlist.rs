@@ -1,0 +1,544 @@
+//! The gate-level netlist IR.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{GateOp, NetlistError, SignalId};
+
+/// What a net computes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetKind {
+    /// A primary input of the design.
+    Input,
+    /// A constant driver.
+    Const(bool),
+    /// A combinational gate over the given fanins.
+    Gate {
+        /// The boolean operator.
+        op: GateOp,
+        /// Fanin signals, in operator order.
+        fanins: Vec<SignalId>,
+    },
+    /// A register (sequential cell). Its signal is the register *output*.
+    Register {
+        /// Reset value; `None` means the initial value is unknown (free).
+        init: Option<bool>,
+        /// Next-state (data) input; `None` until connected.
+        next: Option<SignalId>,
+    },
+}
+
+/// A single net: its kind plus an optional name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Net {
+    pub(crate) kind: NetKind,
+    pub(crate) name: String,
+}
+
+impl Net {
+    /// The net's kind.
+    pub fn kind(&self) -> &NetKind {
+        &self.kind
+    }
+
+    /// The net's name; empty for anonymous nets.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A gate-level design `M = (G, L)`: gates `G` plus registers `L`.
+///
+/// Nets are created through the `add_*` methods, which hand back [`SignalId`]s
+/// referring to the net's output signal. Registers are created in two phases
+/// so that sequential feedback loops can be expressed: [`Netlist::add_register`]
+/// first, [`Netlist::set_register_next`] once the data logic exists.
+///
+/// Call [`Netlist::validate`] after construction; engines in the other crates
+/// assume a validated netlist (all registers connected, no combinational
+/// cycles, arities respected).
+///
+/// # Example
+///
+/// ```
+/// use rfn_netlist::{Netlist, GateOp};
+///
+/// # fn main() -> Result<(), rfn_netlist::NetlistError> {
+/// let mut n = Netlist::new("toggler");
+/// let en = n.add_input("en");
+/// let q = n.add_register("q", Some(false));
+/// let nq = n.add_gate("nq", GateOp::Xor, &[q, en]);
+/// n.set_register_next(q, nq)?;
+/// n.add_output("q", q);
+/// n.validate()?;
+/// assert_eq!(n.num_registers(), 1);
+/// assert_eq!(n.num_gates(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Netlist {
+    name: String,
+    nets: Vec<Net>,
+    names: HashMap<String, SignalId>,
+    inputs: Vec<SignalId>,
+    registers: Vec<SignalId>,
+    outputs: Vec<(String, SignalId)>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            ..Netlist::default()
+        }
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of nets (inputs + constants + gates + registers).
+    pub fn num_signals(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of combinational gates.
+    pub fn num_gates(&self) -> usize {
+        self.nets
+            .iter()
+            .filter(|n| matches!(n.kind, NetKind::Gate { .. }))
+            .count()
+    }
+
+    /// Number of registers.
+    pub fn num_registers(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Primary inputs, in creation order.
+    pub fn inputs(&self) -> &[SignalId] {
+        &self.inputs
+    }
+
+    /// Register output signals, in creation order.
+    pub fn registers(&self) -> &[SignalId] {
+        &self.registers
+    }
+
+    /// Named design outputs `(name, signal)`, in creation order.
+    pub fn outputs(&self) -> &[(String, SignalId)] {
+        &self.outputs
+    }
+
+    /// The net behind a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range for this netlist.
+    pub fn net(&self, s: SignalId) -> &Net {
+        &self.nets[s.index()]
+    }
+
+    /// The kind of the net behind a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range for this netlist.
+    pub fn kind(&self, s: SignalId) -> &NetKind {
+        &self.nets[s.index()].kind
+    }
+
+    /// Looks a signal up by name.
+    pub fn find(&self, name: &str) -> Option<SignalId> {
+        self.names.get(name).copied()
+    }
+
+    /// The name of a signal (empty for anonymous nets).
+    pub fn signal_name(&self, s: SignalId) -> &str {
+        &self.nets[s.index()].name
+    }
+
+    /// A human-readable label: the signal's name if present, else `s<idx>`.
+    pub fn label(&self, s: SignalId) -> String {
+        let n = self.signal_name(s);
+        if n.is_empty() {
+            format!("{s}")
+        } else {
+            n.to_owned()
+        }
+    }
+
+    /// Whether the signal is a register output.
+    pub fn is_register(&self, s: SignalId) -> bool {
+        matches!(self.kind(s), NetKind::Register { .. })
+    }
+
+    /// Whether the signal is a primary input.
+    pub fn is_input(&self, s: SignalId) -> bool {
+        matches!(self.kind(s), NetKind::Input)
+    }
+
+    /// Whether the signal is a gate output.
+    pub fn is_gate(&self, s: SignalId) -> bool {
+        matches!(self.kind(s), NetKind::Gate { .. })
+    }
+
+    /// The initial value of a register, or `None` if the register's reset
+    /// value is unknown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a register.
+    pub fn register_init(&self, s: SignalId) -> Option<bool> {
+        match self.kind(s) {
+            NetKind::Register { init, .. } => *init,
+            _ => panic!("{s} is not a register"),
+        }
+    }
+
+    /// The next-state input of a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a register or its next input is unconnected
+    /// (i.e. the netlist was not validated).
+    pub fn register_next(&self, s: SignalId) -> SignalId {
+        match self.kind(s) {
+            NetKind::Register { next: Some(n), .. } => *n,
+            NetKind::Register { next: None, .. } => panic!("register {s} unconnected"),
+            _ => panic!("{s} is not a register"),
+        }
+    }
+
+    /// Combinational fanins of a signal (empty for inputs, constants and
+    /// registers — a register's *data* input is its [`Netlist::register_next`],
+    /// which is sequential, not combinational, fanin).
+    pub fn fanins(&self, s: SignalId) -> &[SignalId] {
+        match self.kind(s) {
+            NetKind::Gate { fanins, .. } => fanins,
+            _ => &[],
+        }
+    }
+
+    fn push(&mut self, kind: NetKind, name: &str) -> SignalId {
+        let id = SignalId(self.nets.len() as u32);
+        if !name.is_empty() {
+            // Overwriting silently would corrupt lookups; detected in validate.
+            self.names.entry(name.to_owned()).or_insert(id);
+        }
+        self.nets.push(Net {
+            kind,
+            name: name.to_owned(),
+        });
+        id
+    }
+
+    /// Adds a primary input. Pass an empty name for an anonymous input.
+    pub fn add_input(&mut self, name: &str) -> SignalId {
+        let id = self.push(NetKind::Input, name);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a constant driver.
+    pub fn add_const(&mut self, name: &str, value: bool) -> SignalId {
+        self.push(NetKind::Const(value), name)
+    }
+
+    /// Adds a combinational gate. Pass an empty name for an anonymous gate.
+    ///
+    /// Arity violations are tolerated here and reported by
+    /// [`Netlist::validate`] so that builders can stay infallible.
+    pub fn add_gate(&mut self, name: &str, op: GateOp, fanins: &[SignalId]) -> SignalId {
+        self.push(
+            NetKind::Gate {
+                op,
+                fanins: fanins.to_vec(),
+            },
+            name,
+        )
+    }
+
+    /// Adds a register with the given reset value (`None` = unknown reset).
+    ///
+    /// The register's next-state input must be connected later with
+    /// [`Netlist::set_register_next`].
+    pub fn add_register(&mut self, name: &str, init: Option<bool>) -> SignalId {
+        let id = self.push(NetKind::Register { init, next: None }, name);
+        self.registers.push(id);
+        id
+    }
+
+    /// Connects the next-state input of register `reg` to `next`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NotARegister`] if `reg` is not a register,
+    /// [`NetlistError::UnknownSignal`] if either signal is out of range, and
+    /// [`NetlistError::NextAlreadySet`] if the register was already connected.
+    pub fn set_register_next(&mut self, reg: SignalId, next: SignalId) -> Result<(), NetlistError> {
+        if next.index() >= self.nets.len() {
+            return Err(NetlistError::UnknownSignal(next));
+        }
+        let Some(net) = self.nets.get_mut(reg.index()) else {
+            return Err(NetlistError::UnknownSignal(reg));
+        };
+        match &mut net.kind {
+            NetKind::Register { next: slot, .. } => {
+                if slot.is_some() {
+                    return Err(NetlistError::NextAlreadySet(reg));
+                }
+                *slot = Some(next);
+                Ok(())
+            }
+            _ => Err(NetlistError::NotARegister(reg)),
+        }
+    }
+
+    /// Declares a named design output.
+    pub fn add_output(&mut self, name: impl Into<String>, signal: SignalId) {
+        self.outputs.push((name.into(), signal));
+    }
+
+    /// Checks the structural invariants every engine relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found among: duplicate names, unconnected
+    /// registers, out-of-range fanins, arity violations and combinational
+    /// cycles.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        // Duplicate names: the name map keeps the first definition, so a
+        // duplicate shows up as a later net whose name maps elsewhere.
+        for (idx, net) in self.nets.iter().enumerate() {
+            if !net.name.is_empty() {
+                let mapped = self.names[&net.name];
+                if mapped.index() != idx {
+                    return Err(NetlistError::DuplicateName(net.name.clone()));
+                }
+            }
+        }
+        for (idx, net) in self.nets.iter().enumerate() {
+            let s = SignalId(idx as u32);
+            match &net.kind {
+                NetKind::Register { next, .. } => match next {
+                    None => return Err(NetlistError::UnconnectedRegister(s)),
+                    Some(n) if n.index() >= self.nets.len() => {
+                        return Err(NetlistError::UnknownSignal(*n))
+                    }
+                    Some(_) => {}
+                },
+                NetKind::Gate { op, fanins } => {
+                    let (lo, hi) = op.arity();
+                    if fanins.len() < lo || fanins.len() > hi {
+                        return Err(NetlistError::BadArity {
+                            signal: s,
+                            got: fanins.len(),
+                        });
+                    }
+                    for f in fanins {
+                        if f.index() >= self.nets.len() {
+                            return Err(NetlistError::UnknownSignal(*f));
+                        }
+                    }
+                }
+                NetKind::Input | NetKind::Const(_) => {}
+            }
+        }
+        self.topo_order().map(|_| ())
+    }
+
+    /// Computes a topological order of all *gate* signals (fanins before
+    /// fanouts). Inputs, constants and registers are sources and are not
+    /// included.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the combinational logic
+    /// is cyclic.
+    pub fn topo_order(&self) -> Result<Vec<SignalId>, NetlistError> {
+        // Iterative DFS with tri-state marks (0 = unseen, 1 = open, 2 = done).
+        let mut mark = vec![0u8; self.nets.len()];
+        let mut order = Vec::new();
+        let mut stack: Vec<(SignalId, usize)> = Vec::new();
+        for idx in 0..self.nets.len() {
+            let root = SignalId(idx as u32);
+            if !self.is_gate(root) || mark[idx] != 0 {
+                continue;
+            }
+            stack.push((root, 0));
+            mark[idx] = 1;
+            while let Some(&mut (s, ref mut fi)) = stack.last_mut() {
+                let fanins = self.fanins(s);
+                if *fi < fanins.len() {
+                    let f = fanins[*fi];
+                    *fi += 1;
+                    if self.is_gate(f) {
+                        match mark[f.index()] {
+                            0 => {
+                                mark[f.index()] = 1;
+                                stack.push((f, 0));
+                            }
+                            1 => return Err(NetlistError::CombinationalCycle(f)),
+                            _ => {}
+                        }
+                    }
+                } else {
+                    mark[s.index()] = 2;
+                    order.push(s);
+                    stack.pop();
+                }
+            }
+        }
+        Ok(order)
+    }
+
+    /// Iterates over every signal id in the netlist.
+    pub fn signals(&self) -> impl Iterator<Item = SignalId> + '_ {
+        (0..self.nets.len() as u32).map(SignalId)
+    }
+
+    /// Replaces a gate's operator and fanins. Parser internal use only: the
+    /// two-pass text parser creates gates with placeholder fanins first.
+    pub(crate) fn replace_gate_fanins(&mut self, gate: SignalId, op: GateOp, fanins: Vec<SignalId>) {
+        if let Some(net) = self.nets.get_mut(gate.index()) {
+            if matches!(net.kind, NetKind::Gate { .. }) {
+                net.kind = NetKind::Gate { op, fanins };
+            }
+        }
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "design `{}`: {} inputs, {} registers, {} gates",
+            self.name,
+            self.inputs.len(),
+            self.registers.len(),
+            self.num_gates()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter() -> (Netlist, SignalId, SignalId) {
+        let mut n = Netlist::new("c");
+        let b0 = n.add_register("b0", Some(false));
+        let b1 = n.add_register("b1", Some(false));
+        let n0 = n.add_gate("n0", GateOp::Not, &[b0]);
+        let n1 = n.add_gate("n1", GateOp::Xor, &[b0, b1]);
+        n.set_register_next(b0, n0).unwrap();
+        n.set_register_next(b1, n1).unwrap();
+        (n, b0, b1)
+    }
+
+    #[test]
+    fn build_and_validate_counter() {
+        let (n, b0, _) = counter();
+        n.validate().unwrap();
+        assert_eq!(n.num_registers(), 2);
+        assert_eq!(n.num_gates(), 2);
+        assert_eq!(n.find("b0"), Some(b0));
+        assert_eq!(n.register_init(b0), Some(false));
+    }
+
+    #[test]
+    fn unconnected_register_is_rejected() {
+        let mut n = Netlist::new("u");
+        let r = n.add_register("r", Some(true));
+        assert_eq!(n.validate(), Err(NetlistError::UnconnectedRegister(r)));
+    }
+
+    #[test]
+    fn duplicate_name_is_rejected() {
+        let mut n = Netlist::new("d");
+        n.add_input("x");
+        n.add_input("x");
+        assert_eq!(
+            n.validate(),
+            Err(NetlistError::DuplicateName("x".to_owned()))
+        );
+    }
+
+    #[test]
+    fn double_next_assignment_is_rejected() {
+        let mut n = Netlist::new("d");
+        let r = n.add_register("r", Some(false));
+        let i = n.add_input("i");
+        n.set_register_next(r, i).unwrap();
+        assert_eq!(
+            n.set_register_next(r, i),
+            Err(NetlistError::NextAlreadySet(r))
+        );
+    }
+
+    #[test]
+    fn next_on_non_register_is_rejected() {
+        let mut n = Netlist::new("d");
+        let i = n.add_input("i");
+        let j = n.add_input("j");
+        assert_eq!(n.set_register_next(i, j), Err(NetlistError::NotARegister(i)));
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut n = Netlist::new("cyc");
+        let a = n.add_gate("a", GateOp::Buf, &[SignalId(1)]);
+        let b = n.add_gate("b", GateOp::Buf, &[a]);
+        let _ = b;
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn sequential_loop_is_fine() {
+        // register -> gate -> register is not a combinational cycle
+        let (n, _, _) = counter();
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn topo_order_respects_fanins() {
+        let (n, _, _) = counter();
+        let order = n.topo_order().unwrap();
+        assert_eq!(order.len(), 2);
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, s)| (*s, i)).collect();
+        for g in &order {
+            for f in n.fanins(*g) {
+                if n.is_gate(*f) {
+                    assert!(pos[f] < pos[g]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_arity_detected() {
+        let mut n = Netlist::new("a");
+        let i = n.add_input("i");
+        let g = n.add_gate("g", GateOp::Mux, &[i, i]);
+        assert_eq!(
+            n.validate(),
+            Err(NetlistError::BadArity { signal: g, got: 2 })
+        );
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let (n, _, _) = counter();
+        let s = format!("{n}");
+        assert!(s.contains("2 registers"));
+        assert!(s.contains("2 gates"));
+    }
+}

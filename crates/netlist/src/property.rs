@@ -1,0 +1,110 @@
+//! Unreachability properties and coverage-signal sets.
+
+use crate::{Netlist, SignalId};
+
+/// An *unreachability property*: the states in which `signal == value` holds
+/// must not be reachable from the initial states.
+///
+/// Safety properties are modeled the paper's way: a watchdog circuit asserts
+/// an output when the property is violated, and the property says the
+/// watchdog never fires. The target signal is usually a watchdog register,
+/// but any signal of the design is accepted (for combinational targets the
+/// "bad states" are those from which some input valuation asserts the
+/// signal).
+///
+/// # Example
+///
+/// ```
+/// use rfn_netlist::{Netlist, Property};
+///
+/// let mut n = Netlist::new("d");
+/// let w = n.add_register("watchdog", Some(false));
+/// let p = Property::never(&n, "no_fire", w);
+/// assert_eq!(p.name, "no_fire");
+/// assert!(p.value);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Property {
+    /// Short name used in reports (e.g. `mutex`, `error_flag`).
+    pub name: String,
+    /// The watched signal.
+    pub signal: SignalId,
+    /// The asserted value that must be unreachable.
+    pub value: bool,
+}
+
+impl Property {
+    /// Property "`signal` is never 1" (the usual watchdog form).
+    ///
+    /// The netlist argument pins the signal to a design at the call site; it
+    /// is otherwise unused.
+    pub fn never(_netlist: &Netlist, name: impl Into<String>, signal: SignalId) -> Self {
+        Property {
+            name: name.into(),
+            signal,
+            value: true,
+        }
+    }
+
+    /// Property "`signal` never takes `value`".
+    pub fn never_value(name: impl Into<String>, signal: SignalId, value: bool) -> Self {
+        Property {
+            name: name.into(),
+            signal,
+            value,
+        }
+    }
+}
+
+/// A set of *coverage signals* for unreachable-coverage-state analysis
+/// (Table 2 of the paper). A coverage state is one combination of values of
+/// the coverage signals; the analysis classifies each of the `2^n`
+/// combinations as reachable or unreachable on the original design.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoverageSet {
+    /// Code name of the set (e.g. `IU1`, `USB2`).
+    pub name: String,
+    /// The coverage signals (register outputs, per the paper's selection).
+    pub signals: Vec<SignalId>,
+}
+
+impl CoverageSet {
+    /// Creates a coverage set.
+    pub fn new(name: impl Into<String>, signals: impl IntoIterator<Item = SignalId>) -> Self {
+        CoverageSet {
+            name: name.into(),
+            signals: signals.into_iter().collect(),
+        }
+    }
+
+    /// Number of coverage states (`2^n` for `n` signals).
+    pub fn num_states(&self) -> u64 {
+        1u64 << self.signals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn property_constructors() {
+        let mut n = Netlist::new("d");
+        let w = n.add_register("w", Some(false));
+        let p = Property::never(&n, "p", w);
+        assert_eq!(p.signal, w);
+        assert!(p.value);
+        let q = Property::never_value("q", w, false);
+        assert!(!q.value);
+    }
+
+    #[test]
+    fn coverage_state_counts() {
+        let mut n = Netlist::new("d");
+        let sigs: Vec<_> = (0..10)
+            .map(|k| n.add_register(&format!("c{k}"), Some(false)))
+            .collect();
+        let cs = CoverageSet::new("IU1", sigs);
+        assert_eq!(cs.num_states(), 1024);
+    }
+}

@@ -1,0 +1,234 @@
+//! Signal identifiers and gate operators.
+
+use std::fmt;
+
+/// Dense identifier of a *signal* in a [`Netlist`](crate::Netlist).
+///
+/// Every net (primary input, constant, gate output or register output) is a
+/// signal; `SignalId` indexes into the netlist's net table. Identifiers are
+/// only meaningful relative to the netlist that produced them.
+///
+/// # Example
+///
+/// ```
+/// use rfn_netlist::Netlist;
+///
+/// let mut n = Netlist::new("d");
+/// let a = n.add_input("a");
+/// assert_eq!(a.index(), 0);
+/// assert_eq!(format!("{a}"), "s0");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// Creates a signal identifier from a raw index.
+    ///
+    /// Intended for engines that maintain dense side tables keyed by signal
+    /// index; the caller is responsible for the index being in range for the
+    /// netlist it is used with.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        SignalId(index as u32)
+    }
+
+    /// Returns the dense index of this signal, usable as a `Vec` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Boolean operator computed by a gate.
+///
+/// `And`, `Nand`, `Or`, `Nor`, `Xor` and `Xnor` accept one or more fanins
+/// (`Xor`/`Xnor` fold left). `Not` and `Buf` are unary. [`GateOp::Mux`] takes
+/// exactly three fanins `[sel, d0, d1]` and computes `sel ? d1 : d0`.
+///
+/// # Example
+///
+/// ```
+/// use rfn_netlist::GateOp;
+///
+/// assert_eq!(GateOp::And.mnemonic(), "and");
+/// assert_eq!("nor".parse::<GateOp>(), Ok(GateOp::Nor));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GateOp {
+    /// Identity of a single fanin.
+    Buf,
+    /// Negation of a single fanin.
+    Not,
+    /// Conjunction of all fanins.
+    And,
+    /// Negated conjunction of all fanins.
+    Nand,
+    /// Disjunction of all fanins.
+    Or,
+    /// Negated disjunction of all fanins.
+    Nor,
+    /// Parity (left fold of exclusive-or) of all fanins.
+    Xor,
+    /// Negated parity of all fanins.
+    Xnor,
+    /// Two-way multiplexer over fanins `[sel, d0, d1]`: `sel ? d1 : d0`.
+    Mux,
+}
+
+impl GateOp {
+    /// Returns the lower-case mnemonic used by the text netlist format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            GateOp::Buf => "buf",
+            GateOp::Not => "not",
+            GateOp::And => "and",
+            GateOp::Nand => "nand",
+            GateOp::Or => "or",
+            GateOp::Nor => "nor",
+            GateOp::Xor => "xor",
+            GateOp::Xnor => "xnor",
+            GateOp::Mux => "mux",
+        }
+    }
+
+    /// Returns the valid fanin arity range `(min, max)` for this operator,
+    /// where `max == usize::MAX` means unbounded.
+    pub fn arity(self) -> (usize, usize) {
+        match self {
+            GateOp::Buf | GateOp::Not => (1, 1),
+            GateOp::Mux => (3, 3),
+            GateOp::And | GateOp::Nand | GateOp::Or | GateOp::Nor | GateOp::Xor | GateOp::Xnor => {
+                (1, usize::MAX)
+            }
+        }
+    }
+
+    /// Evaluates the operator over concrete boolean fanin values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` violates the operator's arity.
+    pub fn eval(self, vals: &[bool]) -> bool {
+        match self {
+            GateOp::Buf => vals[0],
+            GateOp::Not => !vals[0],
+            GateOp::And => vals.iter().all(|&v| v),
+            GateOp::Nand => !vals.iter().all(|&v| v),
+            GateOp::Or => vals.iter().any(|&v| v),
+            GateOp::Nor => !vals.iter().any(|&v| v),
+            GateOp::Xor => vals.iter().fold(false, |a, &v| a ^ v),
+            GateOp::Xnor => !vals.iter().fold(false, |a, &v| a ^ v),
+            GateOp::Mux => {
+                if vals[0] {
+                    vals[2]
+                } else {
+                    vals[1]
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for GateOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl std::str::FromStr for GateOp {
+    type Err = ParseGateOpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "buf" => GateOp::Buf,
+            "not" => GateOp::Not,
+            "and" => GateOp::And,
+            "nand" => GateOp::Nand,
+            "or" => GateOp::Or,
+            "nor" => GateOp::Nor,
+            "xor" => GateOp::Xor,
+            "xnor" => GateOp::Xnor,
+            "mux" => GateOp::Mux,
+            _ => return Err(ParseGateOpError(s.to_owned())),
+        })
+    }
+}
+
+/// Error returned when parsing an unknown gate operator mnemonic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseGateOpError(pub(crate) String);
+
+impl fmt::Display for ParseGateOpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown gate operator `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseGateOpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_id_round_trips_index() {
+        let s = SignalId::from_index(42);
+        assert_eq!(s.index(), 42);
+        assert_eq!(format!("{s}"), "s42");
+        assert_eq!(format!("{s:?}"), "s42");
+    }
+
+    #[test]
+    fn gate_op_mnemonics_parse_back() {
+        for op in [
+            GateOp::Buf,
+            GateOp::Not,
+            GateOp::And,
+            GateOp::Nand,
+            GateOp::Or,
+            GateOp::Nor,
+            GateOp::Xor,
+            GateOp::Xnor,
+            GateOp::Mux,
+        ] {
+            assert_eq!(op.mnemonic().parse::<GateOp>(), Ok(op));
+        }
+        assert!("frob".parse::<GateOp>().is_err());
+    }
+
+    #[test]
+    fn eval_matches_truth_tables() {
+        assert!(GateOp::And.eval(&[true, true]));
+        assert!(!GateOp::And.eval(&[true, false]));
+        assert!(GateOp::Nand.eval(&[true, false]));
+        assert!(GateOp::Or.eval(&[false, true]));
+        assert!(!GateOp::Nor.eval(&[false, true]));
+        assert!(GateOp::Xor.eval(&[true, false, false]));
+        assert!(!GateOp::Xor.eval(&[true, true, false, false]));
+        assert!(GateOp::Xnor.eval(&[true, true]));
+        assert!(!GateOp::Not.eval(&[true]));
+        assert!(GateOp::Buf.eval(&[true]));
+        // mux: [sel, d0, d1]
+        assert!(GateOp::Mux.eval(&[false, true, false]));
+        assert!(!GateOp::Mux.eval(&[true, true, false]));
+    }
+
+    #[test]
+    fn arity_bounds() {
+        assert_eq!(GateOp::Not.arity(), (1, 1));
+        assert_eq!(GateOp::Mux.arity(), (3, 3));
+        assert_eq!(GateOp::And.arity().0, 1);
+    }
+}

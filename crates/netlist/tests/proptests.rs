@@ -1,0 +1,192 @@
+//! Property-based tests for the netlist substrate.
+
+use proptest::prelude::*;
+use rfn_netlist::{
+    compute_free_cut, compute_min_cut, parse_netlist, transitive_fanin, write_netlist,
+    Abstraction, Coi, Cube, GateOp, Netlist, SignalId,
+};
+
+/// Generates a random layered sequential netlist: `n_inputs` inputs,
+/// `n_regs` registers, `n_gates` gates whose fanins point at earlier nets.
+fn arb_netlist(
+    n_inputs: usize,
+    n_regs: usize,
+    n_gates: usize,
+) -> impl Strategy<Value = Netlist> {
+    let ops = prop::sample::select(vec![
+        GateOp::And,
+        GateOp::Or,
+        GateOp::Xor,
+        GateOp::Nand,
+        GateOp::Nor,
+        GateOp::Not,
+    ]);
+    // For each gate: op + two fanin picks (indices reduced mod available nets).
+    let gates = prop::collection::vec((ops, any::<u32>(), any::<u32>()), n_gates);
+    // For each register: next picked among all nets.
+    let nexts = prop::collection::vec(any::<u32>(), n_regs);
+    (gates, nexts).prop_map(move |(gates, nexts)| {
+        let mut n = Netlist::new("arb");
+        let mut pool: Vec<SignalId> = Vec::new();
+        for k in 0..n_inputs {
+            pool.push(n.add_input(&format!("i{k}")));
+        }
+        let mut regs = Vec::new();
+        for k in 0..n_regs {
+            let r = n.add_register(&format!("r{k}"), Some(k % 2 == 0));
+            pool.push(r);
+            regs.push(r);
+        }
+        for (k, (op, a, b)) in gates.into_iter().enumerate() {
+            let fa = pool[a as usize % pool.len()];
+            let fb = pool[b as usize % pool.len()];
+            let fanins: Vec<SignalId> = if matches!(op, GateOp::Not) {
+                vec![fa]
+            } else {
+                vec![fa, fb]
+            };
+            let g = n.add_gate(&format!("g{k}"), op, &fanins);
+            pool.push(g);
+        }
+        for (k, nx) in nexts.into_iter().enumerate() {
+            let target = pool[nx as usize % pool.len()];
+            n.set_register_next(regs[k], target).unwrap();
+        }
+        n
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random layered netlists always validate (no comb cycles by construction).
+    #[test]
+    fn random_netlists_validate(n in arb_netlist(3, 4, 12)) {
+        prop_assert!(n.validate().is_ok());
+    }
+
+    /// The text format round-trips structurally.
+    #[test]
+    fn text_format_round_trips(n in arb_netlist(3, 4, 12)) {
+        let text = write_netlist(&n);
+        let n2 = parse_netlist(&text).unwrap();
+        prop_assert_eq!(n2.num_gates(), n.num_gates());
+        prop_assert_eq!(n2.num_registers(), n.num_registers());
+        prop_assert_eq!(n2.inputs().len(), n.inputs().len());
+        // And a second round trip is a fixpoint.
+        prop_assert_eq!(write_netlist(&n2), text);
+    }
+
+    /// The COI of a register set is monotone under union.
+    #[test]
+    fn coi_is_monotone(n in arb_netlist(3, 5, 15), pick in any::<u8>()) {
+        let regs = n.registers();
+        let a = regs[pick as usize % regs.len()];
+        let b = regs[(pick as usize + 1) % regs.len()];
+        let coi_a = Coi::of(&n, [a]);
+        let coi_ab = Coi::of(&n, [a, b]);
+        for r in coi_a.registers() {
+            prop_assert!(coi_ab.registers().contains(r));
+        }
+        for g in coi_a.gates() {
+            prop_assert!(coi_ab.gates().contains(g));
+        }
+    }
+
+    /// Transitive fanin gates of any signal lie inside its COI gate set.
+    #[test]
+    fn fanin_within_coi(n in arb_netlist(3, 4, 12), pick in any::<u8>()) {
+        let regs = n.registers();
+        let r = regs[pick as usize % regs.len()];
+        let cone = transitive_fanin(&n, [n.register_next(r)]);
+        let coi = Coi::of(&n, [r]);
+        for g in &cone.gates {
+            prop_assert!(coi.gates().contains(g));
+        }
+    }
+
+    /// Min-cut inputs never exceed the trivial cut (the view's free inputs),
+    /// and removing the cut disconnects free inputs from the free-cut design.
+    #[test]
+    fn mincut_is_valid_and_no_wider_than_trivial(
+        n in arb_netlist(4, 4, 16),
+        mask in 1u8..15,
+    ) {
+        let regs: Vec<SignalId> = n
+            .registers()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, r)| *r)
+            .collect();
+        let view = Abstraction::from_registers(regs).view(&n, []).unwrap();
+        let fc = compute_free_cut(&n, &view);
+        let mc = compute_min_cut(&n, &view);
+        prop_assert!(mc.num_inputs() <= mc.original_input_count);
+
+        // Validity: block at cut signals, propagate from free inputs, and
+        // check no free-cut consumer fanin is reached.
+        let mut reach = vec![false; n.num_signals()];
+        for i in view.free_inputs() {
+            if !mc.is_cut_signal(i) {
+                reach[i.index()] = true;
+            }
+        }
+        for &g in view.gates() {
+            if mc.is_cut_signal(g) {
+                continue;
+            }
+            if n.fanins(g).iter().any(|f| reach[f.index()]) {
+                reach[g.index()] = true;
+            }
+        }
+        for &g in &fc.gates {
+            for &f in n.fanins(g) {
+                prop_assert!(!reach[f.index()], "cut leaks into free-cut gate fanin");
+            }
+        }
+        for &r in view.registers() {
+            prop_assert!(!reach[n.register_next(r).index()], "cut leaks into register input");
+        }
+    }
+
+    /// Cube merge is commutative when conflict-free.
+    #[test]
+    fn cube_merge_commutes(
+        lits_a in prop::collection::vec((0u32..20, any::<bool>()), 0..8),
+        lits_b in prop::collection::vec((20u32..40, any::<bool>()), 0..8),
+    ) {
+        let mk = |lits: &[(u32, bool)]| {
+            let mut c = Cube::new();
+            for &(s, v) in lits {
+                let _ = c.insert(SignalId::from_index(s as usize), v);
+            }
+            c
+        };
+        let a = mk(&lits_a);
+        let b = mk(&lits_b);
+        let mut ab = a.clone();
+        ab.merge(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(&a).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// `implies` is reflexive and transitive over random cubes.
+    #[test]
+    fn cube_implies_preorder(
+        lits in prop::collection::vec((0u32..10, any::<bool>()), 0..10),
+        cut1 in 0usize..10,
+    ) {
+        let mut full = Cube::new();
+        for &(s, v) in &lits {
+            let _ = full.insert(SignalId::from_index(s as usize), v);
+        }
+        let part = full.filter(|s| s.index() >= cut1.min(9));
+        prop_assert!(full.implies(&full));
+        prop_assert!(full.implies(&part));
+        let smaller = part.filter(|s| s.index() % 2 == 0);
+        prop_assert!(part.implies(&smaller));
+        prop_assert!(full.implies(&smaller)); // transitivity witness
+    }
+}

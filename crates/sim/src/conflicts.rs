@@ -1,0 +1,250 @@
+//! Trace conflict analysis: phase one of RFN's crucial-register
+//! identification (Section 2.4 of the paper).
+
+use std::collections::HashMap;
+
+use rfn_netlist::{Netlist, NetlistError, SignalId, Trace};
+
+use crate::{Simulator, Tv};
+
+/// Result of [`simulate_trace_conflicts`].
+#[derive(Clone, Debug, Default)]
+pub struct TraceConflicts {
+    /// `(cycle, register)` pairs where the simulated register value was
+    /// binary and disagreed with the value the trace demanded.
+    pub conflicts: Vec<(usize, SignalId)>,
+    /// How many times each register *appears* (is assigned a value) in the
+    /// trace. Used as the fallback ranking when no conflicts are found.
+    pub appearance_counts: HashMap<SignalId, usize>,
+}
+
+impl TraceConflicts {
+    /// Registers with at least one conflict, ordered by first conflict cycle
+    /// (ties broken by total conflict count, most conflicts first).
+    pub fn conflicting_registers(&self) -> Vec<SignalId> {
+        let mut first: HashMap<SignalId, usize> = HashMap::new();
+        let mut count: HashMap<SignalId, usize> = HashMap::new();
+        for &(cycle, reg) in &self.conflicts {
+            first.entry(reg).and_modify(|c| *c = (*c).min(cycle)).or_insert(cycle);
+            *count.entry(reg).or_insert(0) += 1;
+        }
+        let mut regs: Vec<SignalId> = first.keys().copied().collect();
+        regs.sort_by_key(|r| (first[r], std::cmp::Reverse(count[r]), *r));
+        regs
+    }
+
+    /// Registers ranked by appearance frequency (most frequent first), the
+    /// paper's fallback when three-valued simulation finds no conflict.
+    pub fn most_frequent_registers(&self) -> Vec<SignalId> {
+        let mut regs: Vec<(SignalId, usize)> = self
+            .appearance_counts
+            .iter()
+            .map(|(&r, &c)| (r, c))
+            .collect();
+        regs.sort_by_key(|&(r, c)| (std::cmp::Reverse(c), r));
+        regs.into_iter().map(|(r, _)| r).collect()
+    }
+}
+
+/// Replays an abstract error trace on the original design with three-valued
+/// simulation and reports the registers whose simulated value conflicts with
+/// the trace.
+///
+/// Following the paper: the design starts in the trace's beginning state
+/// (registers and inputs the trace does not assign are `X`), each step drives
+/// the primary inputs from the trace's input cube, and after each step every
+/// register assigned by the trace is compared against its simulated value.
+/// `X` does not conflict with anything. On a conflict the *trace's* value is
+/// used for the subsequent simulation steps, so later cycles are analyzed
+/// under the trace's assumptions.
+///
+/// Registers assigned by the trace's *input* cubes (the abstract model's
+/// pseudo-inputs) participate in exactly the same compare-then-force
+/// protocol; these are the prime crucial-register candidates.
+///
+/// # Errors
+///
+/// Returns the underlying validation error if the netlist is malformed.
+pub fn simulate_trace_conflicts(
+    netlist: &Netlist,
+    trace: &Trace,
+) -> Result<TraceConflicts, NetlistError> {
+    let mut sim = Simulator::new(netlist)?;
+    let mut report = TraceConflicts::default();
+    if trace.is_empty() {
+        return Ok(report);
+    }
+    // Count register appearances across all cubes of the trace.
+    for step in trace.steps() {
+        for (s, _) in step.state.iter().chain(step.inputs.iter()) {
+            if netlist.is_register(s) {
+                *report.appearance_counts.entry(s).or_insert(0) += 1;
+            }
+        }
+    }
+
+    // Begin from the trace's starting state; everything else unknown.
+    for s in netlist.signals() {
+        if !matches!(netlist.kind(s), rfn_netlist::NetKind::Const(_)) {
+            sim.set(s, Tv::X);
+        }
+    }
+    sim.set_state(&trace.steps()[0].state);
+
+    for (cycle, step) in trace.steps().iter().enumerate() {
+        if cycle > 0 {
+            // Compare simulated register values against this cycle's state
+            // cube, then force the trace's values.
+            for (s, v) in step.state.iter() {
+                if netlist.is_register(s) {
+                    if sim.value(s).conflicts_with(v) {
+                        report.conflicts.push((cycle, s));
+                    }
+                    sim.set(s, Tv::from(v));
+                }
+            }
+        }
+        if cycle + 1 == trace.num_cycles() {
+            break;
+        }
+        // Drive inputs; compare-then-force pseudo-input registers.
+        for &i in netlist.inputs() {
+            sim.set(i, Tv::X);
+        }
+        for (s, v) in step.inputs.iter() {
+            if netlist.is_register(s) {
+                if sim.value(s).conflicts_with(v) {
+                    report.conflicts.push((cycle, s));
+                }
+                sim.set(s, Tv::from(v));
+            } else {
+                sim.set(s, Tv::from(v));
+            }
+        }
+        sim.step_comb();
+        sim.latch();
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfn_netlist::{Cube, GateOp, TraceStep};
+
+    /// Design where register `b` gates register `a`: a' = a | b, b' = i.
+    /// An abstract trace over {a} that pretends b=1 drives a conflicts when b
+    /// is actually forced low.
+    fn gated() -> (Netlist, SignalId, SignalId, SignalId) {
+        let mut n = Netlist::new("g");
+        let i = n.add_input("i");
+        let a = n.add_register("a", Some(false));
+        let b = n.add_register("b", Some(false));
+        let upd = n.add_gate("upd", GateOp::Or, &[a, b]);
+        n.set_register_next(a, upd).unwrap();
+        n.set_register_next(b, i).unwrap();
+        n.validate().unwrap();
+        (n, i, a, b)
+    }
+
+    #[test]
+    fn conflict_found_when_trace_contradicts_design() {
+        let (n, _, a, b) = gated();
+        // Abstract trace (over N = {a} with pseudo-input b):
+        // cycle0: a=0, inputs say b=1  -> cycle1: a=1.
+        // But in M, b resets to 0 and i is unconstrained... b=X at cycle 0?
+        // b starts at X (trace doesn't assign b in the state), so forcing b=1
+        // is consistent -> no conflict on this trace.
+        let mut t = Trace::new();
+        t.push(TraceStep {
+            state: [(a, false)].into_iter().collect(),
+            inputs: [(b, true)].into_iter().collect(),
+        });
+        t.push(TraceStep {
+            state: [(a, true)].into_iter().collect(),
+            inputs: Cube::new(),
+        });
+        let rep = simulate_trace_conflicts(&n, &t).unwrap();
+        assert!(rep.conflicts.is_empty());
+
+        // Now a trace that *also* constrains b=0 in the beginning state and
+        // still claims b=1 as pseudo-input in the same cycle: conflict on b.
+        let mut t2 = Trace::new();
+        t2.push(TraceStep {
+            state: [(a, false), (b, false)].into_iter().collect(),
+            inputs: [(b, true)].into_iter().collect(),
+        });
+        t2.push(TraceStep {
+            state: [(a, true)].into_iter().collect(),
+            inputs: Cube::new(),
+        });
+        let rep2 = simulate_trace_conflicts(&n, &t2).unwrap();
+        assert_eq!(rep2.conflicts, vec![(0, b)]);
+        assert_eq!(rep2.conflicting_registers(), vec![b]);
+    }
+
+    #[test]
+    fn forced_values_propagate_after_conflict() {
+        let (n, _, a, b) = gated();
+        // Trace: b=0 at start, pseudo-input b=1 (conflict at cycle 0), then
+        // claims a=1 at cycle 1. With b forced to 1, a' = a|b = 1: the state
+        // cube at cycle 1 must NOT conflict because the trace value was used.
+        let mut t = Trace::new();
+        t.push(TraceStep {
+            state: [(a, false), (b, false)].into_iter().collect(),
+            inputs: [(b, true)].into_iter().collect(),
+        });
+        t.push(TraceStep {
+            state: [(a, true)].into_iter().collect(),
+            inputs: Cube::new(),
+        });
+        let rep = simulate_trace_conflicts(&n, &t).unwrap();
+        // Only the b conflict, no a conflict.
+        assert_eq!(rep.conflicts.len(), 1);
+        assert_eq!(rep.conflicts[0].1, b);
+    }
+
+    #[test]
+    fn state_conflicts_detected_mid_trace() {
+        let (n, i, a, b) = gated();
+        // Force i=1 so b becomes 1 at cycle 1, but trace claims b=0 then.
+        let mut t = Trace::new();
+        t.push(TraceStep {
+            state: [(a, false), (b, false)].into_iter().collect(),
+            inputs: [(i, true)].into_iter().collect(),
+        });
+        t.push(TraceStep {
+            state: [(a, false), (b, false)].into_iter().collect(),
+            inputs: Cube::new(),
+        });
+        let rep = simulate_trace_conflicts(&n, &t).unwrap();
+        assert_eq!(rep.conflicts, vec![(1, b)]);
+    }
+
+    #[test]
+    fn appearance_counts_rank_fallback() {
+        let (n, _, a, b) = gated();
+        let mut t = Trace::new();
+        for _ in 0..3 {
+            t.push(TraceStep {
+                state: [(a, false)].into_iter().collect(),
+                inputs: [(b, false)].into_iter().collect(),
+            });
+        }
+        let rep = simulate_trace_conflicts(&n, &t).unwrap();
+        assert!(rep.conflicts.is_empty());
+        // b appears 3 times (inputs), a appears 3 times (state): both there.
+        let freq = rep.most_frequent_registers();
+        assert_eq!(freq.len(), 2);
+        assert_eq!(rep.appearance_counts[&a], 3);
+        assert_eq!(rep.appearance_counts[&b], 3);
+    }
+
+    #[test]
+    fn empty_trace_is_no_conflicts() {
+        let (n, ..) = gated();
+        let rep = simulate_trace_conflicts(&n, &Trace::new()).unwrap();
+        assert!(rep.conflicts.is_empty());
+        assert!(rep.appearance_counts.is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! Two- and three-valued gate-level simulation for the RFN verification tool.
+//!
+//! Three-valued (0/1/X) simulation is one of the paper's three engine
+//! families: RFN uses it in Step 4 to find *crucial registers* — it replays
+//! the abstract model's error trace on the original design with unknowns for
+//! everything the trace does not assign, and collects the registers whose
+//! simulated value *conflicts* with the value the trace demands
+//! ([`simulate_trace_conflicts`]).
+//!
+//! The same machinery doubles as a concrete (2-valued) simulator used to
+//! validate ATPG witnesses and falsification traces ([`Simulator::replay`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rfn_netlist::{Netlist, GateOp};
+//! use rfn_sim::{Simulator, Tv};
+//!
+//! # fn main() -> Result<(), rfn_netlist::NetlistError> {
+//! let mut n = Netlist::new("toggle");
+//! let t = n.add_register("t", Some(false));
+//! let nt = n.add_gate("nt", GateOp::Not, &[t]);
+//! n.set_register_next(t, nt)?;
+//! n.validate()?;
+//!
+//! let mut sim = Simulator::new(&n)?;
+//! sim.reset();
+//! assert_eq!(sim.value(t), Tv::Zero);
+//! sim.step_comb();
+//! sim.latch();
+//! assert_eq!(sim.value(t), Tv::One);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conflicts;
+mod simulator;
+mod tv;
+
+pub use conflicts::{simulate_trace_conflicts, TraceConflicts};
+pub use simulator::Simulator;
+pub use tv::Tv;

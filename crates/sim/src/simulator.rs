@@ -1,0 +1,366 @@
+//! The cycle-based gate-level simulator.
+
+use rfn_netlist::{Cube, NetKind, Netlist, NetlistError, SignalId, Trace};
+
+use crate::Tv;
+
+/// A cycle-based three-valued simulator over a netlist.
+///
+/// The usual cycle protocol is: set register state ([`Simulator::reset`] or
+/// [`Simulator::set_state`]), drive inputs ([`Simulator::set`] /
+/// [`Simulator::apply_cube`]), propagate combinational logic
+/// ([`Simulator::step_comb`]), then advance registers ([`Simulator::latch`]).
+/// [`Simulator::step`] bundles drive + propagate + latch.
+///
+/// Driving only some inputs leaves the rest at `X`, which makes the same
+/// engine usable for both concrete replay and the paper's three-valued
+/// refinement analysis.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Clone, Debug)]
+pub struct Simulator<'n> {
+    netlist: &'n Netlist,
+    order: Vec<SignalId>,
+    values: Vec<Tv>,
+}
+
+impl<'n> Simulator<'n> {
+    /// Creates a simulator for a validated netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the netlist fails validation (e.g. a
+    /// combinational cycle or an unconnected register).
+    pub fn new(netlist: &'n Netlist) -> Result<Self, NetlistError> {
+        netlist.validate()?;
+        let order = netlist.topo_order()?;
+        let mut sim = Simulator {
+            netlist,
+            order,
+            values: vec![Tv::X; netlist.num_signals()],
+        };
+        sim.load_constants();
+        Ok(sim)
+    }
+
+    fn load_constants(&mut self) {
+        for s in self.netlist.signals() {
+            if let NetKind::Const(v) = self.netlist.kind(s) {
+                self.values[s.index()] = Tv::from(*v);
+            }
+        }
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &'n Netlist {
+        self.netlist
+    }
+
+    /// Current value of a signal.
+    pub fn value(&self, s: SignalId) -> Tv {
+        self.values[s.index()]
+    }
+
+    /// Sets a signal value directly (inputs, pseudo-inputs or forced
+    /// registers).
+    pub fn set(&mut self, s: SignalId, v: Tv) {
+        self.values[s.index()] = v;
+    }
+
+    /// Sets every signal mentioned by the cube to its binary value.
+    pub fn apply_cube(&mut self, cube: &Cube) {
+        for (s, v) in cube.iter() {
+            self.values[s.index()] = Tv::from(v);
+        }
+    }
+
+    /// Resets registers to their initial values (`X` for unknown resets),
+    /// primary inputs to `X`, and re-evaluates nothing — call
+    /// [`Simulator::step_comb`] afterwards if gate values are needed.
+    pub fn reset(&mut self) {
+        for s in self.netlist.signals() {
+            match self.netlist.kind(s) {
+                NetKind::Register { init, .. } => self.values[s.index()] = Tv::from(*init),
+                NetKind::Input => self.values[s.index()] = Tv::X,
+                NetKind::Gate { .. } => self.values[s.index()] = Tv::X,
+                NetKind::Const(_) => {}
+            }
+        }
+    }
+
+    /// Propagates values through all combinational gates in topological
+    /// order.
+    pub fn step_comb(&mut self) {
+        let mut fanin_vals: Vec<Tv> = Vec::with_capacity(4);
+        for &g in &self.order {
+            let NetKind::Gate { op, fanins } = self.netlist.kind(g) else {
+                continue;
+            };
+            fanin_vals.clear();
+            fanin_vals.extend(fanins.iter().map(|f| self.values[f.index()]));
+            self.values[g.index()] = Tv::eval_gate(*op, &fanin_vals);
+        }
+    }
+
+    /// Latches every register: its value becomes the current value of its
+    /// next-state input. Call after [`Simulator::step_comb`].
+    pub fn latch(&mut self) {
+        // Two phases so registers feeding registers latch simultaneously.
+        let next_vals: Vec<(SignalId, Tv)> = self
+            .netlist
+            .registers()
+            .iter()
+            .map(|&r| (r, self.values[self.netlist.register_next(r).index()]))
+            .collect();
+        for (r, v) in next_vals {
+            self.values[r.index()] = v;
+        }
+    }
+
+    /// One full cycle: drive `inputs` (all other primary inputs become `X`),
+    /// propagate, latch.
+    pub fn step(&mut self, inputs: &Cube) {
+        for &i in self.netlist.inputs() {
+            self.values[i.index()] = Tv::X;
+        }
+        self.apply_cube(inputs);
+        self.step_comb();
+        self.latch();
+    }
+
+    /// Sets the register state from a cube (registers not mentioned keep
+    /// their current value).
+    pub fn set_state(&mut self, state: &Cube) {
+        self.apply_cube(state);
+    }
+
+    /// Replays a trace from the design's initial state, checking at each
+    /// cycle that no simulated binary value conflicts with the trace.
+    ///
+    /// Returns `true` if the whole trace is consistent with the design (every
+    /// state cube is compatible with the simulated values and the input
+    /// cubes drive the design through it). This is the validation used on
+    /// falsification witnesses.
+    pub fn replay(&mut self, trace: &Trace) -> bool {
+        if trace.is_empty() {
+            return true;
+        }
+        self.reset();
+        for (i, step) in trace.steps().iter().enumerate() {
+            // Check the state cube against current register values.
+            for (s, v) in step.state.iter() {
+                if self.values[s.index()].conflicts_with(v) {
+                    return false;
+                }
+                // Trace values refine unknowns.
+                self.values[s.index()] = Tv::from(v);
+            }
+            if i + 1 < trace.num_cycles() {
+                self.step(&step.inputs);
+            } else {
+                // Final state: evaluate combinational logic for output checks.
+                for &inp in self.netlist.inputs() {
+                    self.values[inp.index()] = Tv::X;
+                }
+                self.apply_cube(&step.inputs);
+                self.step_comb();
+            }
+        }
+        true
+    }
+
+    /// Runs `cycles` cycles from the current state with all inputs unknown,
+    /// returning the value of `watch` after each cycle.
+    pub fn free_run(&mut self, cycles: usize, watch: SignalId) -> Vec<Tv> {
+        let mut out = Vec::with_capacity(cycles);
+        for _ in 0..cycles {
+            self.step(&Cube::new());
+            // step() latches before we sample the watched signal, so compute
+            // combinational values of the new state for the sample.
+            self.step_comb();
+            out.push(self.values[watch.index()]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfn_netlist::{GateOp, TraceStep};
+
+    /// A 2-bit counter with carry output.
+    fn counter() -> (Netlist, SignalId, SignalId, SignalId) {
+        let mut n = Netlist::new("c");
+        let b0 = n.add_register("b0", Some(false));
+        let b1 = n.add_register("b1", Some(false));
+        let n0 = n.add_gate("n0", GateOp::Not, &[b0]);
+        let n1 = n.add_gate("n1", GateOp::Xor, &[b0, b1]);
+        let carry = n.add_gate("carry", GateOp::And, &[b0, b1]);
+        n.set_register_next(b0, n0).unwrap();
+        n.set_register_next(b1, n1).unwrap();
+        n.validate().unwrap();
+        (n, b0, b1, carry)
+    }
+
+    #[test]
+    fn counter_counts() {
+        let (n, b0, b1, _) = counter();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.reset();
+        let mut seen = Vec::new();
+        for _ in 0..5 {
+            seen.push((sim.value(b1), sim.value(b0)));
+            sim.step(&Cube::new());
+        }
+        use Tv::{One, Zero};
+        assert_eq!(
+            seen,
+            vec![
+                (Zero, Zero),
+                (Zero, One),
+                (One, Zero),
+                (One, One),
+                (Zero, Zero)
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_inputs_propagate_x() {
+        let mut n = Netlist::new("x");
+        let i = n.add_input("i");
+        let g = n.add_gate("g", GateOp::Not, &[i]);
+        let r = n.add_register("r", Some(true));
+        n.set_register_next(r, g).unwrap();
+        n.validate().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.reset();
+        sim.step(&Cube::new());
+        assert_eq!(sim.value(r), Tv::X);
+        // Driving the input resolves it.
+        sim.reset();
+        sim.step(&[(i, true)].into_iter().collect());
+        assert_eq!(sim.value(r), Tv::Zero);
+    }
+
+    #[test]
+    fn controlling_values_mask_x() {
+        let mut n = Netlist::new("m");
+        let i = n.add_input("i");
+        let zero = n.add_const("zero", false);
+        let g = n.add_gate("g", GateOp::And, &[i, zero]);
+        let r = n.add_register("r", None);
+        n.set_register_next(r, g).unwrap();
+        n.validate().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.reset();
+        assert_eq!(sim.value(r), Tv::X); // unknown reset
+        sim.step(&Cube::new());
+        assert_eq!(sim.value(r), Tv::Zero); // and with constant 0
+    }
+
+    #[test]
+    fn replay_accepts_real_trace_and_rejects_fake() {
+        let (n, b0, b1, _) = counter();
+        let mut sim = Simulator::new(&n).unwrap();
+        // Real: 00 -> 01 -> 10
+        let mut t = Trace::new();
+        for (v1, v0) in [(false, false), (false, true), (true, false)] {
+            t.push(TraceStep {
+                state: [(b0, v0), (b1, v1)].into_iter().collect(),
+                inputs: Cube::new(),
+            });
+        }
+        assert!(sim.replay(&t));
+        // Fake: 00 -> 11 is not a counter transition.
+        let mut bad = Trace::new();
+        bad.push(TraceStep {
+            state: [(b0, false), (b1, false)].into_iter().collect(),
+            inputs: Cube::new(),
+        });
+        bad.push(TraceStep {
+            state: [(b0, true), (b1, true)].into_iter().collect(),
+            inputs: Cube::new(),
+        });
+        assert!(!sim.replay(&bad));
+    }
+
+    #[test]
+    fn partial_trace_cubes_are_tolerated() {
+        let (n, b0, _, _) = counter();
+        let mut sim = Simulator::new(&n).unwrap();
+        // Only constrain b0; b1 is left unknown by the trace.
+        let mut t = Trace::new();
+        for v0 in [false, true, false] {
+            t.push(TraceStep {
+                state: [(b0, v0)].into_iter().collect(),
+                inputs: Cube::new(),
+            });
+        }
+        assert!(sim.replay(&t));
+    }
+
+    #[test]
+    fn set_state_overrides_registers() {
+        let (n, b0, b1, carry) = counter();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.reset();
+        sim.set_state(&[(b0, true), (b1, true)].into_iter().collect());
+        sim.step_comb();
+        assert_eq!(sim.value(carry), Tv::One);
+    }
+
+    #[test]
+    fn latch_is_simultaneous() {
+        // Shift register: r2 <- r1 <- r0; all latch from pre-step values.
+        let mut n = Netlist::new("s");
+        let i = n.add_input("i");
+        let r0 = n.add_register("r0", Some(true));
+        let r1 = n.add_register("r1", Some(false));
+        let r2 = n.add_register("r2", Some(false));
+        n.set_register_next(r0, i).unwrap();
+        n.set_register_next(r1, r0).unwrap();
+        n.set_register_next(r2, r1).unwrap();
+        n.validate().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.reset();
+        sim.step(&[(i, false)].into_iter().collect());
+        assert_eq!(sim.value(r1), Tv::One); // got r0's old value
+        assert_eq!(sim.value(r2), Tv::Zero); // got r1's old value, not r0's
+    }
+}
+
+#[cfg(test)]
+mod free_run_tests {
+    use super::*;
+    use rfn_netlist::GateOp;
+
+    #[test]
+    fn free_run_reports_watch_values() {
+        // Deterministic toggler: no inputs, so a free run is fully binary.
+        let mut n = Netlist::new("t");
+        let t = n.add_register("t", Some(false));
+        let nt = n.add_gate("nt", GateOp::Not, &[t]);
+        n.set_register_next(t, nt).unwrap();
+        n.validate().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.reset();
+        let vals = sim.free_run(4, t);
+        assert_eq!(vals, vec![Tv::One, Tv::Zero, Tv::One, Tv::Zero]);
+    }
+
+    #[test]
+    fn free_run_goes_x_with_undriven_inputs() {
+        let mut n = Netlist::new("t");
+        let i = n.add_input("i");
+        let r = n.add_register("r", Some(false));
+        n.set_register_next(r, i).unwrap();
+        n.validate().unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.reset();
+        let vals = sim.free_run(2, r);
+        assert_eq!(vals, vec![Tv::X, Tv::X]);
+        assert_eq!(sim.netlist().name(), "t");
+    }
+}

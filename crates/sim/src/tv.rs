@@ -1,0 +1,251 @@
+//! The three-valued logic type.
+
+use std::fmt;
+
+use rfn_netlist::GateOp;
+
+/// A three-valued logic value: `0`, `1` or unknown `X`.
+///
+/// `X` behaves as "could be either": an operation returns a binary value only
+/// when every completion of the unknowns agrees (Kleene's strong logic).
+///
+/// # Example
+///
+/// ```
+/// use rfn_sim::Tv;
+///
+/// assert_eq!(Tv::Zero.and(Tv::X), Tv::Zero); // controlling value wins
+/// assert_eq!(Tv::One.and(Tv::X), Tv::X);
+/// assert_eq!(Tv::X.not(), Tv::X);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Tv {
+    /// Logic zero.
+    Zero,
+    /// Logic one.
+    One,
+    /// Unknown.
+    #[default]
+    X,
+}
+
+impl Tv {
+    /// Three-valued negation.
+    #[inline]
+    pub fn not(self) -> Tv {
+        match self {
+            Tv::Zero => Tv::One,
+            Tv::One => Tv::Zero,
+            Tv::X => Tv::X,
+        }
+    }
+
+    /// Three-valued conjunction.
+    #[inline]
+    pub fn and(self, other: Tv) -> Tv {
+        match (self, other) {
+            (Tv::Zero, _) | (_, Tv::Zero) => Tv::Zero,
+            (Tv::One, Tv::One) => Tv::One,
+            _ => Tv::X,
+        }
+    }
+
+    /// Three-valued disjunction.
+    #[inline]
+    pub fn or(self, other: Tv) -> Tv {
+        match (self, other) {
+            (Tv::One, _) | (_, Tv::One) => Tv::One,
+            (Tv::Zero, Tv::Zero) => Tv::Zero,
+            _ => Tv::X,
+        }
+    }
+
+    /// Three-valued exclusive or.
+    #[inline]
+    pub fn xor(self, other: Tv) -> Tv {
+        match (self, other) {
+            (Tv::X, _) | (_, Tv::X) => Tv::X,
+            (a, b) if a == b => Tv::Zero,
+            _ => Tv::One,
+        }
+    }
+
+    /// Whether the value is binary (not `X`).
+    #[inline]
+    pub fn is_known(self) -> bool {
+        self != Tv::X
+    }
+
+    /// Converts to `bool` if binary.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Tv::Zero => Some(false),
+            Tv::One => Some(true),
+            Tv::X => None,
+        }
+    }
+
+    /// Whether this value *conflicts* with a required binary value: the value
+    /// is binary and differs. `X` never conflicts (paper, Section 2.4).
+    #[inline]
+    pub fn conflicts_with(self, required: bool) -> bool {
+        matches!(self.to_bool(), Some(v) if v != required)
+    }
+
+    /// Evaluates a gate operator over three-valued fanins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` violates the operator's arity.
+    pub fn eval_gate(op: GateOp, vals: &[Tv]) -> Tv {
+        match op {
+            GateOp::Buf => vals[0],
+            GateOp::Not => vals[0].not(),
+            GateOp::And => vals.iter().fold(Tv::One, |a, &v| a.and(v)),
+            GateOp::Nand => vals.iter().fold(Tv::One, |a, &v| a.and(v)).not(),
+            GateOp::Or => vals.iter().fold(Tv::Zero, |a, &v| a.or(v)),
+            GateOp::Nor => vals.iter().fold(Tv::Zero, |a, &v| a.or(v)).not(),
+            GateOp::Xor => vals.iter().fold(Tv::Zero, |a, &v| a.xor(v)),
+            GateOp::Xnor => vals.iter().fold(Tv::Zero, |a, &v| a.xor(v)).not(),
+            GateOp::Mux => match vals[0] {
+                Tv::Zero => vals[1],
+                Tv::One => vals[2],
+                // Unknown select: known only if both data inputs agree.
+                Tv::X => {
+                    if vals[1] == vals[2] {
+                        vals[1]
+                    } else {
+                        Tv::X
+                    }
+                }
+            },
+        }
+    }
+}
+
+impl From<bool> for Tv {
+    fn from(b: bool) -> Tv {
+        if b {
+            Tv::One
+        } else {
+            Tv::Zero
+        }
+    }
+}
+
+impl From<Option<bool>> for Tv {
+    fn from(b: Option<bool>) -> Tv {
+        match b {
+            Some(true) => Tv::One,
+            Some(false) => Tv::Zero,
+            None => Tv::X,
+        }
+    }
+}
+
+impl fmt::Display for Tv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Tv::Zero => "0",
+            Tv::One => "1",
+            Tv::X => "x",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Tv; 3] = [Tv::Zero, Tv::One, Tv::X];
+
+    /// X-completions of a value.
+    fn completions(v: Tv) -> Vec<bool> {
+        match v {
+            Tv::Zero => vec![false],
+            Tv::One => vec![true],
+            Tv::X => vec![false, true],
+        }
+    }
+
+    /// Kleene soundness: the 3-valued result is binary only if all
+    /// completions agree, and then it agrees with them.
+    #[test]
+    fn binary_ops_are_sound_abstractions() {
+        for a in ALL {
+            for b in ALL {
+                let ops: [(&str, fn(Tv, Tv) -> Tv, fn(bool, bool) -> bool); 3] = [
+                    ("and", Tv::and, |x, y| x && y),
+                    ("or", Tv::or, |x, y| x || y),
+                    ("xor", Tv::xor, |x, y| x ^ y),
+                ];
+                for (name, tvf, bf) in ops {
+                    let r = tvf(a, b);
+                    for ca in completions(a) {
+                        for cb in completions(b) {
+                            let concrete = bf(ca, cb);
+                            if let Some(rb) = r.to_bool() {
+                                assert_eq!(rb, concrete, "{name}({a},{b})");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controlling_values_dominate_x() {
+        assert_eq!(Tv::Zero.and(Tv::X), Tv::Zero);
+        assert_eq!(Tv::X.and(Tv::Zero), Tv::Zero);
+        assert_eq!(Tv::One.or(Tv::X), Tv::One);
+        assert_eq!(Tv::X.or(Tv::One), Tv::One);
+        assert_eq!(Tv::One.and(Tv::X), Tv::X);
+        assert_eq!(Tv::Zero.or(Tv::X), Tv::X);
+        assert_eq!(Tv::X.xor(Tv::One), Tv::X);
+    }
+
+    #[test]
+    fn mux_with_unknown_select() {
+        // Agreeing data inputs resolve even with X select.
+        assert_eq!(Tv::eval_gate(GateOp::Mux, &[Tv::X, Tv::One, Tv::One]), Tv::One);
+        assert_eq!(Tv::eval_gate(GateOp::Mux, &[Tv::X, Tv::Zero, Tv::One]), Tv::X);
+        assert_eq!(Tv::eval_gate(GateOp::Mux, &[Tv::Zero, Tv::One, Tv::Zero]), Tv::One);
+        assert_eq!(Tv::eval_gate(GateOp::Mux, &[Tv::One, Tv::One, Tv::Zero]), Tv::Zero);
+    }
+
+    #[test]
+    fn gate_eval_matches_boolean_on_binary_inputs() {
+        use rfn_netlist::GateOp::*;
+        for op in [Buf, Not, And, Nand, Or, Nor, Xor, Xnor] {
+            let arity = if matches!(op, Buf | Not) { 1 } else { 3 };
+            for bits in 0..1u32 << arity {
+                let bvals: Vec<bool> = (0..arity).map(|i| bits & (1 << i) != 0).collect();
+                let tvals: Vec<Tv> = bvals.iter().map(|&b| Tv::from(b)).collect();
+                assert_eq!(
+                    Tv::eval_gate(op, &tvals).to_bool(),
+                    Some(op.eval(&bvals)),
+                    "{op:?} {bvals:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_semantics() {
+        assert!(Tv::Zero.conflicts_with(true));
+        assert!(Tv::One.conflicts_with(false));
+        assert!(!Tv::X.conflicts_with(true));
+        assert!(!Tv::X.conflicts_with(false));
+        assert!(!Tv::One.conflicts_with(true));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Tv::from(true), Tv::One);
+        assert_eq!(Tv::from(Some(false)), Tv::Zero);
+        assert_eq!(Tv::from(None), Tv::X);
+        assert_eq!(format!("{} {} {}", Tv::Zero, Tv::One, Tv::X), "0 1 x");
+    }
+}

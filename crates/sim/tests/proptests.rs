@@ -1,0 +1,155 @@
+//! Property tests: three-valued simulation is a sound abstraction of
+//! concrete simulation.
+
+use proptest::prelude::*;
+use rfn_netlist::{Cube, GateOp, Netlist, SignalId};
+use rfn_sim::Simulator;
+
+/// Random layered sequential netlist (same shape as the netlist crate's).
+fn arb_netlist(
+    n_inputs: usize,
+    n_regs: usize,
+    n_gates: usize,
+) -> impl Strategy<Value = Netlist> {
+    let ops = prop::sample::select(vec![
+        GateOp::And,
+        GateOp::Or,
+        GateOp::Xor,
+        GateOp::Nand,
+        GateOp::Nor,
+        GateOp::Not,
+        GateOp::Xnor,
+    ]);
+    let gates = prop::collection::vec((ops, any::<u32>(), any::<u32>()), n_gates);
+    let nexts = prop::collection::vec(any::<u32>(), n_regs);
+    (gates, nexts).prop_map(move |(gates, nexts)| {
+        let mut n = Netlist::new("arb");
+        let mut pool: Vec<SignalId> = Vec::new();
+        for k in 0..n_inputs {
+            pool.push(n.add_input(&format!("i{k}")));
+        }
+        let mut regs = Vec::new();
+        for k in 0..n_regs {
+            let r = n.add_register(&format!("r{k}"), Some(k % 2 == 0));
+            pool.push(r);
+            regs.push(r);
+        }
+        for (k, (op, a, b)) in gates.into_iter().enumerate() {
+            let fa = pool[a as usize % pool.len()];
+            let fb = pool[b as usize % pool.len()];
+            let fanins: Vec<SignalId> = if matches!(op, GateOp::Not) {
+                vec![fa]
+            } else {
+                vec![fa, fb]
+            };
+            pool.push(n.add_gate(&format!("g{k}"), op, &fanins));
+        }
+        for (k, nx) in nexts.into_iter().enumerate() {
+            n.set_register_next(regs[k], pool[nx as usize % pool.len()])
+                .unwrap();
+        }
+        n
+    })
+}
+
+const NI: usize = 4;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// X-monotonicity: masking any subset of inputs with X never produces a
+    /// *wrong* binary value — wherever the 3-valued run is binary, it matches
+    /// the concrete run, at every signal and across multiple cycles.
+    #[test]
+    fn three_valued_is_sound_abstraction(
+        n in arb_netlist(NI, 3, 14),
+        input_bits in prop::collection::vec(0u8..2, NI * 4),
+        mask_bits in prop::collection::vec(any::<bool>(), NI * 4),
+    ) {
+        let inputs = n.inputs().to_vec();
+        let mut concrete = Simulator::new(&n).unwrap();
+        let mut abstracted = Simulator::new(&n).unwrap();
+        concrete.reset();
+        abstracted.reset();
+        for cycle in 0..4 {
+            let mut full = Cube::new();
+            let mut masked = Cube::new();
+            for (k, &i) in inputs.iter().enumerate() {
+                let bit = input_bits[cycle * NI + k] == 1;
+                full.insert(i, bit).unwrap();
+                if !mask_bits[cycle * NI + k] {
+                    masked.insert(i, bit).unwrap();
+                }
+            }
+            concrete.step(&full);
+            abstracted.step(&masked);
+            for s in n.signals() {
+                let av = abstracted.value(s);
+                if av.is_known() {
+                    prop_assert_eq!(
+                        av, concrete.value(s),
+                        "cycle {} signal {}", cycle, n.label(s)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fully-driven 3-valued simulation never produces X on gates or
+    /// registers with known resets.
+    #[test]
+    fn fully_driven_simulation_is_binary(
+        n in arb_netlist(NI, 3, 14),
+        input_bits in prop::collection::vec(0u8..2, NI * 3),
+    ) {
+        let inputs = n.inputs().to_vec();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.reset();
+        for cycle in 0..3 {
+            let cube: Cube = inputs
+                .iter()
+                .enumerate()
+                .map(|(k, &i)| (i, input_bits[cycle * NI + k] == 1))
+                .collect();
+            sim.step(&cube);
+            for &r in n.registers() {
+                prop_assert!(sim.value(r).is_known());
+            }
+        }
+    }
+
+    /// Replaying a trace recorded from concrete simulation always succeeds.
+    #[test]
+    fn recorded_traces_replay(
+        n in arb_netlist(NI, 3, 14),
+        input_bits in prop::collection::vec(0u8..2, NI * 4),
+    ) {
+        use rfn_netlist::{Trace, TraceStep};
+        let inputs = n.inputs().to_vec();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.reset();
+        let mut trace = Trace::new();
+        for cycle in 0..4 {
+            let state: Cube = n
+                .registers()
+                .iter()
+                .filter_map(|&r| sim.value(r).to_bool().map(|v| (r, v)))
+                .collect();
+            let cube: Cube = inputs
+                .iter()
+                .enumerate()
+                .map(|(k, &i)| (i, input_bits[cycle * NI + k] == 1))
+                .collect();
+            let is_last = cycle == 3;
+            trace.push(TraceStep {
+                state,
+                inputs: if is_last { Cube::new() } else { cube.clone() },
+            });
+            if !is_last {
+                sim.step(&cube);
+            }
+        }
+        let mut replayer = Simulator::new(&n).unwrap();
+        prop_assert!(replayer.replay(&trace));
+    }
+}

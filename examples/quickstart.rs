@@ -1,0 +1,74 @@
+//! Quickstart: build a tiny gate-level design by hand and verify a safety
+//! property with the RFN abstraction-refinement loop.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use rfn::core::{Rfn, RfnOptions, RfnOutcome};
+use rfn::netlist::{GateOp, Netlist, Property};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A two-requester handshake: `busy` rises with a request and falls with
+    // `done`; the watchdog checks that `ack` is never given while idle.
+    let mut n = Netlist::new("handshake");
+    let req = n.add_input("req");
+    let done = n.add_input("done");
+
+    let busy = n.add_register("busy", Some(false));
+    let not_done = n.add_gate("not_done", GateOp::Not, &[done]);
+    let hold = n.add_gate("hold", GateOp::And, &[busy, not_done]);
+    let busy_next = n.add_gate("busy_next", GateOp::Or, &[hold, req]);
+    n.set_register_next(busy, busy_next)?;
+
+    // ack is granted one cycle into a busy period.
+    let ack = n.add_register("ack", Some(false));
+    n.set_register_next(ack, busy)?;
+
+    // Watchdog: ack while the engine was never busy in the previous cycle.
+    let busy_d = n.add_register("busy_d", Some(false));
+    n.set_register_next(busy_d, busy)?;
+    let not_busy_d = n.add_gate("not_busy_d", GateOp::Not, &[busy_d]);
+    let orphan_ack = n.add_gate("orphan_ack", GateOp::And, &[ack, not_busy_d]);
+    let w = n.add_register("watchdog", Some(false));
+    let w_next = n.add_gate("w_next", GateOp::Or, &[w, orphan_ack]);
+    n.set_register_next(w, w_next)?;
+
+    // A pile of irrelevant state to give RFN something to abstract away.
+    let mut prev = req;
+    for k in 0..40 {
+        let r = n.add_register(&format!("shadow{k}"), Some(false));
+        n.set_register_next(r, prev)?;
+        prev = r;
+    }
+    n.validate()?;
+
+    let property = Property::never(&n, "no_orphan_ack", w);
+    println!("design: {n}");
+
+    let options = RfnOptions {
+        verbosity: 1, // one line per refinement iteration on stderr
+        ..RfnOptions::default()
+    };
+    match Rfn::new(&n, &property, options)?.run()? {
+        RfnOutcome::Proved { stats } => {
+            println!(
+                "PROVED `{}` with {} of {} COI registers in the abstract model \
+                 ({} iterations, {:.2?})",
+                property.name,
+                stats.abstract_registers,
+                stats.coi_registers,
+                stats.iterations,
+                stats.elapsed
+            );
+        }
+        RfnOutcome::Falsified { trace, .. } => {
+            println!("FALSIFIED `{}`:", property.name);
+            print!("{}", trace.display(&n));
+        }
+        RfnOutcome::Inconclusive { reason, .. } => {
+            println!("INCONCLUSIVE: {reason}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,177 @@
+//! The `rfn` command-line tool: verify properties and analyze coverage on
+//! netlists in the text format.
+//!
+//! ```text
+//! rfn info <netlist>
+//! rfn verify <netlist> --watch <signal>[=0|1] [--name <p>] [--time-limit <s>] [-v]
+//! rfn coverage <netlist> --signals <a,b,c> [--bfs <k>] [--time-limit <s>]
+//! ```
+//!
+//! Netlists use the line-oriented format of
+//! [`rfn_netlist::parse_netlist`](rfn::netlist::parse_netlist); see
+//! `examples/custom_design.rs` for a complete design.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use rfn::core::{
+    analyze_coverage, bfs_coverage, CoverageOptions, Rfn, RfnOptions, RfnOutcome,
+};
+use rfn::mc::ReachOptions;
+use rfn::netlist::{parse_netlist, Coi, CoverageSet, Netlist, Property, SignalId};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("rfn: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  rfn info <netlist>
+  rfn verify <netlist> --watch <signal>[=0|1] [--name <p>] [--time-limit <s>] [-v]
+  rfn coverage <netlist> --signals <a,b,c> [--bfs <k>] [--time-limit <s>]
+
+exit codes: 0 property proved / analysis done, 1 property falsified,
+            3 inconclusive";
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or("missing subcommand")?;
+    let path = it.next().ok_or("missing netlist path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let netlist = parse_netlist(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let rest: Vec<&String> = it.collect();
+    match cmd.as_str() {
+        "info" => {
+            info(&netlist);
+            Ok(ExitCode::SUCCESS)
+        }
+        "verify" => verify(&netlist, &rest),
+        "coverage" => coverage(&netlist, &rest),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn info(n: &Netlist) {
+    println!("{n}");
+    for (name, sig) in n.outputs() {
+        let coi = Coi::of(n, [*sig]);
+        println!(
+            "  output {name}: COI {} registers, {} gates",
+            coi.num_registers(),
+            coi.num_gates()
+        );
+    }
+}
+
+fn lookup(n: &Netlist, name: &str) -> Result<SignalId, String> {
+    n.find(name)
+        .ok_or_else(|| format!("no signal named `{name}` in the design"))
+}
+
+fn flag_value<'a>(rest: &'a [&String], flag: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a.as_str() == flag)
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn time_limit(rest: &[&String]) -> Result<Option<Duration>, String> {
+    match flag_value(rest, "--time-limit") {
+        None => Ok(None),
+        Some(s) => s
+            .parse::<u64>()
+            .map(|v| Some(Duration::from_secs(v)))
+            .map_err(|_| format!("bad --time-limit `{s}`")),
+    }
+}
+
+fn verify(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
+    let watch = flag_value(rest, "--watch").ok_or("verify needs --watch <signal>[=0|1]")?;
+    let (sig_name, value) = match watch.split_once('=') {
+        Some((s, "0")) => (s, false),
+        Some((s, "1")) => (s, true),
+        Some((_, v)) => return Err(format!("bad watch value `{v}` (use 0 or 1)")),
+        None => (watch, true),
+    };
+    let signal = lookup(n, sig_name)?;
+    let name = flag_value(rest, "--name").unwrap_or(sig_name).to_owned();
+    let property = Property::never_value(name, signal, value);
+    let options = RfnOptions {
+        time_limit: time_limit(rest)?,
+        verbosity: u8::from(rest.iter().any(|a| a.as_str() == "-v")),
+        ..RfnOptions::default()
+    };
+    let outcome = Rfn::new(n, &property, options)
+        .map_err(|e| e.to_string())?
+        .run()
+        .map_err(|e| e.to_string())?;
+    match outcome {
+        RfnOutcome::Proved { stats } => {
+            println!(
+                "PROVED `{}`: abstraction {} of {} COI registers, {} iterations, {:.2?}",
+                property.name,
+                stats.abstract_registers,
+                stats.coi_registers,
+                stats.iterations,
+                stats.elapsed
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        RfnOutcome::Falsified { trace, stats } => {
+            println!(
+                "FALSIFIED `{}`: {}-cycle error trace ({} iterations, {:.2?})",
+                property.name,
+                trace.num_cycles(),
+                stats.iterations,
+                stats.elapsed
+            );
+            print!("{}", trace.display(n));
+            Ok(ExitCode::from(1))
+        }
+        RfnOutcome::Inconclusive { reason, .. } => {
+            println!("INCONCLUSIVE: {reason}");
+            Ok(ExitCode::from(3))
+        }
+    }
+}
+
+fn coverage(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
+    let signals = flag_value(rest, "--signals").ok_or("coverage needs --signals <a,b,c>")?;
+    let sigs: Result<Vec<SignalId>, String> =
+        signals.split(',').map(|s| lookup(n, s.trim())).collect();
+    let set = CoverageSet::new("cli", sigs?);
+    let options = CoverageOptions {
+        time_limit: time_limit(rest)?,
+        ..CoverageOptions::default()
+    };
+    let report = analyze_coverage(n, &set, &options).map_err(|e| e.to_string())?;
+    println!(
+        "coverage: {} states | {} unreachable, {} reachable, {} unresolved \
+         | abstraction {} regs | {:.2?}",
+        report.total_states,
+        report.unreachable,
+        report.reachable,
+        report.unresolved,
+        report.abstract_registers,
+        report.elapsed
+    );
+    if let Some(k) = flag_value(rest, "--bfs") {
+        let k: usize = k.parse().map_err(|_| format!("bad --bfs `{k}`"))?;
+        let bfs = bfs_coverage(n, &set, k, 4_000_000, &ReachOptions::default())
+            .map_err(|e| e.to_string())?;
+        println!(
+            "BFS({k}):  {} unreachable | abstraction {} regs | {:.2?}",
+            bfs.unreachable, bfs.abstract_registers, bfs.elapsed
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}

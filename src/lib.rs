@@ -1,0 +1,45 @@
+//! RFN: formal property verification by abstraction refinement with formal,
+//! simulation and hybrid engines — a Rust reproduction of the DAC 2001 paper
+//! by Wang, Ho, Long, Kukula, Zhu, Ma and Damiano.
+//!
+//! This facade crate re-exports the whole tool:
+//!
+//! * [`netlist`] — the gate-level design IR, cubes/traces, abstractions,
+//!   cone-of-influence and min-cut computations,
+//! * [`bdd`] — the ROBDD package with group sifting,
+//! * [`sim`] — two- and three-valued simulation,
+//! * [`atpg`] — combinational and sequential ATPG justification,
+//! * [`mc`] — BDD-based symbolic model checking,
+//! * [`core`] — the RFN loop itself plus coverage analysis,
+//! * [`designs`] — the synthetic benchmark designs behind Tables 1 and 2.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rfn::core::{Rfn, RfnOptions, RfnOutcome};
+//! use rfn::designs::small::traffic_light;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = traffic_light();
+//! let property = &design.properties[0]; // "no_crash"
+//! let outcome = Rfn::new(&design.netlist, property, RfnOptions::default())?.run()?;
+//! assert!(matches!(outcome, RfnOutcome::Proved { .. }));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the paper-vs-measured record. The
+//! runnable entry points live in `examples/` and in the `rfn-bench` crate's
+//! `table1`, `table2` and `figure1` binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rfn_atpg as atpg;
+pub use rfn_bdd as bdd;
+pub use rfn_core as core;
+pub use rfn_designs as designs;
+pub use rfn_mc as mc;
+pub use rfn_netlist as netlist;
+pub use rfn_sim as sim;

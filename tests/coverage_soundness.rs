@@ -1,0 +1,128 @@
+//! Property-based soundness tests for unreachable-coverage-state analysis:
+//! RFN's classifications against explicit-state enumeration on random
+//! designs.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use rfn::core::{analyze_coverage, CoverageOptions};
+use rfn::netlist::{CoverageSet, Cube, GateOp, Netlist, SignalId};
+use rfn::sim::Simulator;
+
+fn arb_netlist(n_inputs: usize, n_regs: usize, n_gates: usize) -> impl Strategy<Value = Netlist> {
+    let ops = prop::sample::select(vec![
+        GateOp::And,
+        GateOp::Or,
+        GateOp::Xor,
+        GateOp::Nand,
+        GateOp::Nor,
+        GateOp::Not,
+    ]);
+    let gates = prop::collection::vec((ops, any::<u32>(), any::<u32>()), n_gates);
+    let nexts = prop::collection::vec(any::<u32>(), n_regs);
+    (gates, nexts).prop_map(move |(gates, nexts)| {
+        let mut n = Netlist::new("arb");
+        let mut pool: Vec<SignalId> = Vec::new();
+        for k in 0..n_inputs {
+            pool.push(n.add_input(&format!("i{k}")));
+        }
+        let mut regs = Vec::new();
+        for k in 0..n_regs {
+            let r = n.add_register(&format!("r{k}"), Some(k % 2 == 0));
+            pool.push(r);
+            regs.push(r);
+        }
+        for (k, (op, a, b)) in gates.into_iter().enumerate() {
+            let fa = pool[a as usize % pool.len()];
+            let fb = pool[b as usize % pool.len()];
+            let fanins: Vec<SignalId> = if matches!(op, GateOp::Not) {
+                vec![fa]
+            } else {
+                vec![fa, fb]
+            };
+            pool.push(n.add_gate(&format!("g{k}"), op, &fanins));
+        }
+        for (k, nx) in nexts.into_iter().enumerate() {
+            n.set_register_next(regs[k], pool[nx as usize % pool.len()])
+                .unwrap();
+        }
+        n
+    })
+}
+
+/// Explicit-state BFS; returns the set of reachable coverage states over the
+/// given signals.
+fn explicit_coverage(n: &Netlist, cov: &[SignalId]) -> HashSet<u64> {
+    let regs = n.registers().to_vec();
+    let inputs = n.inputs().to_vec();
+    let encode = |sim: &Simulator| -> u32 {
+        regs.iter().enumerate().fold(0u32, |acc, (k, &r)| {
+            acc | (u32::from(sim.value(r).to_bool().expect("binary")) << k)
+        })
+    };
+    let cov_of = |sim: &Simulator| -> u64 {
+        cov.iter().enumerate().fold(0u64, |acc, (k, &s)| {
+            acc | (u64::from(sim.value(s).to_bool().expect("binary")) << k)
+        })
+    };
+    let mut sim = Simulator::new(n).unwrap();
+    sim.reset();
+    let start = encode(&sim);
+    let mut seen: HashSet<u32> = [start].into_iter().collect();
+    let mut cov_seen: HashSet<u64> = [cov_of(&sim)].into_iter().collect();
+    let mut frontier = vec![start];
+    while let Some(state) = frontier.pop() {
+        for ibits in 0..1u32 << inputs.len() {
+            for (k, &r) in regs.iter().enumerate() {
+                sim.set(r, rfn::sim::Tv::from(state & (1 << k) != 0));
+            }
+            let cube: Cube = inputs
+                .iter()
+                .enumerate()
+                .map(|(k, &i)| (i, ibits & (1 << k) != 0))
+                .collect();
+            sim.step(&cube);
+            let next = encode(&sim);
+            cov_seen.insert(cov_of(&sim));
+            if seen.insert(next) {
+                frontier.push(next);
+            }
+        }
+    }
+    cov_seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every state RFN declares unreachable is truly unreachable, every
+    /// state it declares reachable is truly reachable, and when nothing is
+    /// left unresolved the classification is exact.
+    #[test]
+    fn coverage_classification_is_sound(
+        n in arb_netlist(2, 4, 12),
+        picks in any::<u8>(),
+    ) {
+        let regs = n.registers();
+        let a = regs[picks as usize % regs.len()];
+        let b = regs[(picks as usize + 1) % regs.len()];
+        let set = CoverageSet::new("t", [a, b]);
+        let report = analyze_coverage(&n, &set, &CoverageOptions::default())
+            .expect("analysis runs");
+        let truth = explicit_coverage(&n, &set.signals);
+        // Aggregate soundness: RFN's unreachable count can never exceed the
+        // true count, and reachable can never exceed the true reachable.
+        let true_unreachable = set.num_states() - truth.len() as u64;
+        prop_assert!(report.unreachable <= true_unreachable,
+            "claimed more unreachable ({}) than the truth ({})",
+            report.unreachable, true_unreachable);
+        prop_assert!(report.reachable <= truth.len() as u64,
+            "claimed more reachable ({}) than the truth ({})",
+            report.reachable, truth.len());
+        // Completeness: everything classified means exact agreement.
+        if report.unresolved == 0 {
+            prop_assert_eq!(report.unreachable, true_unreachable);
+            prop_assert_eq!(report.reachable, truth.len() as u64);
+        }
+    }
+}
