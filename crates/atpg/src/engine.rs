@@ -450,7 +450,7 @@ impl<'a, 'n> Search<'a, 'n> {
                 return AtpgOutcome::Aborted;
             }
             if let Some(deadline) = self.deadline {
-                if self.stats.decisions % 64 == 0 && Instant::now() > deadline {
+                if self.stats.decisions.is_multiple_of(64) && Instant::now() > deadline {
                     return AtpgOutcome::Aborted;
                 }
             }
@@ -661,17 +661,13 @@ impl<'a, 'n> Search<'a, 'n> {
             let mut state = Cube::new();
             for &r in scope.registers() {
                 if let Some(v) = self.values[self.fs(t, r) as usize].to_bool() {
-                    state
-                        .insert(r, v)
-                        .expect("fresh cube cannot conflict");
+                    state.insert(r, v).expect("fresh cube cannot conflict");
                 }
             }
             let mut inputs = Cube::new();
             for &i in scope.inputs() {
                 if let Some(v) = self.values[self.fs(t, i) as usize].to_bool() {
-                    inputs
-                        .insert(i, v)
-                        .expect("fresh cube cannot conflict");
+                    inputs.insert(i, v).expect("fresh cube cannot conflict");
                 }
             }
             trace.push(TraceStep { state, inputs });
@@ -819,7 +815,10 @@ mod tests {
         let atpg = CombinationalAtpg::new(&n, opts).unwrap();
         let out = atpg.justify_cube(&[(all, true)].into_iter().collect());
         // With 3 backtracks allowed, the definite UNSAT can't be proven.
-        assert!(matches!(out, AtpgOutcome::Aborted | AtpgOutcome::Unsatisfiable));
+        assert!(matches!(
+            out,
+            AtpgOutcome::Aborted | AtpgOutcome::Unsatisfiable
+        ));
     }
 
     #[test]

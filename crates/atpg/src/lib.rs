@@ -54,7 +54,8 @@ mod engine;
 mod scoap;
 mod scope;
 
-pub use engine::{AtpgEngine, AtpgOptions, AtpgOutcome, AtpgStats, CombinationalAtpg,
-    SequentialAtpg};
+pub use engine::{
+    AtpgEngine, AtpgOptions, AtpgOutcome, AtpgStats, CombinationalAtpg, SequentialAtpg,
+};
 pub use scoap::Scoap;
 pub use scope::Scope;

@@ -146,7 +146,11 @@ fn gate_cc(op: GateOp, fanins: &[SignalId], cc0: &[u32], cc1: &[u32]) -> (u32, u
             let all0 = sum(&f0);
             let all1 = sum(&f1);
             let mixed = min(&f0).saturating_add(min(&f1));
-            let even = all0.min(if fanins.len() % 2 == 0 { all1 } else { HARD });
+            let even = all0.min(if fanins.len().is_multiple_of(2) {
+                all1
+            } else {
+                HARD
+            });
             let c0 = even.min(mixed);
             let c1 = all1.min(mixed);
             if matches!(op, GateOp::Xor) {
@@ -158,10 +162,18 @@ fn gate_cc(op: GateOp, fanins: &[SignalId], cc0: &[u32], cc1: &[u32]) -> (u32, u
         GateOp::Mux => {
             let (s, d0, d1) = (fanins[0], fanins[1], fanins[2]);
             let via0 = |want0: bool| {
-                cc0[s.index()].saturating_add(if want0 { cc0[d0.index()] } else { cc1[d0.index()] })
+                cc0[s.index()].saturating_add(if want0 {
+                    cc0[d0.index()]
+                } else {
+                    cc1[d0.index()]
+                })
             };
             let via1 = |want0: bool| {
-                cc1[s.index()].saturating_add(if want0 { cc0[d1.index()] } else { cc1[d1.index()] })
+                cc1[s.index()].saturating_add(if want0 {
+                    cc0[d1.index()]
+                } else {
+                    cc1[d1.index()]
+                })
             };
             (
                 via0(true).min(via1(true)).saturating_add(1),

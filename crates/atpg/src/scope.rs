@@ -90,10 +90,7 @@ impl<'n> Scope<'n> {
     /// # Errors
     ///
     /// Propagates netlist validation errors.
-    pub fn abstract_model(
-        netlist: &'n Netlist,
-        view: &AbstractView,
-    ) -> Result<Self, NetlistError> {
+    pub fn abstract_model(netlist: &'n Netlist, view: &AbstractView) -> Result<Self, NetlistError> {
         netlist.validate()?;
         let mut roles = vec![Role::Outside; netlist.num_signals()];
         for &i in view.inputs() {

@@ -1,8 +1,8 @@
 //! Property tests: ATPG against exhaustive reachability on small designs.
 
 use proptest::prelude::*;
-use rfn_netlist::{Cube, GateOp, Netlist, SignalId};
 use rfn_atpg::{AtpgOptions, SequentialAtpg};
+use rfn_netlist::{Cube, GateOp, Netlist, SignalId};
 use rfn_sim::Simulator;
 
 /// Random layered sequential netlist with few inputs/registers so exhaustive

@@ -1,0 +1,273 @@
+//! Fixed-size direct-mapped operation caches (CUDD-style).
+//!
+//! Unlike the unique table, operation caches are pure memos: an entry maps an
+//! operation's operand tuple to its (canonical, deterministic) result, so
+//! *losing* an entry can never change any result — recomputation returns the
+//! same node. That makes a direct-mapped slot array that simply overwrites on
+//! collision sound, and it bounds memory where the seed's `HashMap` caches
+//! grew without limit.
+//!
+//! Caches start small and double (rehashing the survivors) each time the
+//! number of insertions since the last resize exceeds twice the current slot
+//! count, up to a configurable maximum. A maximum of 0 disables the cache
+//! entirely, which the proptest suite uses to check lossy-cache results
+//! against memo-free evaluation.
+
+/// Sentinel marking a vacant slot. Node indices are bounded far below
+/// `u32::MAX` (the store is a `Vec` of 12-byte nodes), so the sentinel can
+/// never collide with a real first operand.
+const VACANT: u32 = u32::MAX;
+
+/// Initial slot count for an enabled cache (must be a power of two).
+const INITIAL_SLOTS: usize = 1 << 10;
+
+#[inline]
+fn mix(a: u32, b: u32, c: u32) -> u64 {
+    // Multiplicative mixing of the packed operands; the high bits of a
+    // Fibonacci-style product are well distributed, so the index is taken
+    // from the top (see `slot_index`).
+    let k = (u64::from(a) | (u64::from(b) << 32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    k ^ u64::from(c).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+}
+
+#[inline]
+fn slot_index(hash: u64, slots: usize) -> usize {
+    // `slots` is a power of two; use the highest log2(slots) bits.
+    (hash >> (64 - slots.trailing_zeros())) as usize
+}
+
+#[derive(Clone, Copy)]
+struct Entry3 {
+    a: u32,
+    b: u32,
+    c: u32,
+    r: u32,
+}
+
+/// Direct-mapped cache for three-operand operations (ITE, and-exists).
+pub(crate) struct Cache3 {
+    slots: Vec<Entry3>,
+    max_slots: usize,
+    inserts: u64,
+}
+
+impl Cache3 {
+    pub(crate) fn new(max_slots: usize) -> Self {
+        Cache3 {
+            slots: Vec::new(),
+            max_slots,
+            inserts: 0,
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        for e in &mut self.slots {
+            e.a = VACANT;
+        }
+        self.inserts = 0;
+    }
+
+    /// Resets the cache with a new maximum capacity (0 disables it).
+    pub(crate) fn set_max_slots(&mut self, max_slots: usize) {
+        self.max_slots = max_slots;
+        self.slots = Vec::new();
+        self.inserts = 0;
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, a: u32, b: u32, c: u32) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let e = &self.slots[slot_index(mix(a, b, c), self.slots.len())];
+        (e.a == a && e.b == b && e.c == c).then_some(e.r)
+    }
+
+    #[inline]
+    pub(crate) fn put(&mut self, a: u32, b: u32, c: u32, r: u32) {
+        if self.max_slots == 0 {
+            return;
+        }
+        if self.slots.is_empty() {
+            let n = INITIAL_SLOTS.min(self.max_slots.next_power_of_two());
+            self.slots = vec![
+                Entry3 {
+                    a: VACANT,
+                    b: 0,
+                    c: 0,
+                    r: 0
+                };
+                n
+            ];
+        } else if self.inserts >= 2 * self.slots.len() as u64
+            && self.slots.len() * 2 <= self.max_slots
+        {
+            self.grow();
+        }
+        let i = slot_index(mix(a, b, c), self.slots.len());
+        self.slots[i] = Entry3 { a, b, c, r };
+        self.inserts += 1;
+    }
+
+    fn grow(&mut self) {
+        let doubled = self.slots.len() * 2;
+        let old = std::mem::replace(
+            &mut self.slots,
+            vec![
+                Entry3 {
+                    a: VACANT,
+                    b: 0,
+                    c: 0,
+                    r: 0
+                };
+                doubled
+            ],
+        );
+        for e in old {
+            if e.a != VACANT {
+                let i = slot_index(mix(e.a, e.b, e.c), self.slots.len());
+                self.slots[i] = e;
+            }
+        }
+        self.inserts = 0;
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Entry2 {
+    a: u32,
+    b: u32,
+    r: u32,
+}
+
+/// Direct-mapped cache for two-operand operations (exists).
+pub(crate) struct Cache2 {
+    slots: Vec<Entry2>,
+    max_slots: usize,
+    inserts: u64,
+}
+
+impl Cache2 {
+    pub(crate) fn new(max_slots: usize) -> Self {
+        Cache2 {
+            slots: Vec::new(),
+            max_slots,
+            inserts: 0,
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        for e in &mut self.slots {
+            e.a = VACANT;
+        }
+        self.inserts = 0;
+    }
+
+    pub(crate) fn set_max_slots(&mut self, max_slots: usize) {
+        self.max_slots = max_slots;
+        self.slots = Vec::new();
+        self.inserts = 0;
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, a: u32, b: u32) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let e = &self.slots[slot_index(mix(a, b, 0), self.slots.len())];
+        (e.a == a && e.b == b).then_some(e.r)
+    }
+
+    #[inline]
+    pub(crate) fn put(&mut self, a: u32, b: u32, r: u32) {
+        if self.max_slots == 0 {
+            return;
+        }
+        if self.slots.is_empty() {
+            let n = INITIAL_SLOTS.min(self.max_slots.next_power_of_two());
+            self.slots = vec![
+                Entry2 {
+                    a: VACANT,
+                    b: 0,
+                    r: 0
+                };
+                n
+            ];
+        } else if self.inserts >= 2 * self.slots.len() as u64
+            && self.slots.len() * 2 <= self.max_slots
+        {
+            self.grow();
+        }
+        let i = slot_index(mix(a, b, 0), self.slots.len());
+        self.slots[i] = Entry2 { a, b, r };
+        self.inserts += 1;
+    }
+
+    fn grow(&mut self) {
+        let doubled = self.slots.len() * 2;
+        let old = std::mem::replace(
+            &mut self.slots,
+            vec![
+                Entry2 {
+                    a: VACANT,
+                    b: 0,
+                    r: 0
+                };
+                doubled
+            ],
+        );
+        for e in old {
+            if e.a != VACANT {
+                let i = slot_index(mix(e.a, e.b, 0), self.slots.len());
+                self.slots[i] = e;
+            }
+        }
+        self.inserts = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache3_roundtrip_and_overwrite() {
+        let mut c = Cache3::new(1 << 12);
+        assert_eq!(c.get(1, 2, 3), None);
+        c.put(1, 2, 3, 42);
+        assert_eq!(c.get(1, 2, 3), Some(42));
+        // Overwriting the same key replaces the entry.
+        c.put(1, 2, 3, 43);
+        assert_eq!(c.get(1, 2, 3), Some(43));
+        c.clear();
+        assert_eq!(c.get(1, 2, 3), None);
+    }
+
+    #[test]
+    fn cache3_disabled_stores_nothing() {
+        let mut c = Cache3::new(0);
+        c.put(1, 2, 3, 42);
+        assert_eq!(c.get(1, 2, 3), None);
+    }
+
+    #[test]
+    fn cache3_grows_up_to_max_and_keeps_survivors() {
+        let mut c = Cache3::new(1 << 12);
+        for i in 0..(INITIAL_SLOTS as u32 * 8) {
+            c.put(i, i, i, i);
+        }
+        assert!(c.slots.len() > INITIAL_SLOTS);
+        assert!(c.slots.len() <= 1 << 12);
+        // Direct-mapped: at least the most recent insert survives.
+        let last = INITIAL_SLOTS as u32 * 8 - 1;
+        assert_eq!(c.get(last, last, last), Some(last));
+    }
+
+    #[test]
+    fn cache2_roundtrip() {
+        let mut c = Cache2::new(1 << 10);
+        assert_eq!(c.get(7, 9), None);
+        c.put(7, 9, 11);
+        assert_eq!(c.get(7, 9), Some(11));
+    }
+}

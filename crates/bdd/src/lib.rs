@@ -5,9 +5,10 @@
 //! it supplies every symbolic operation the model-checking and hybrid engines
 //! need. It provides:
 //!
-//! * a hash-consed node store with per-variable unique tables
-//!   ([`BddManager`], [`Bdd`]),
-//! * the ITE core plus derived boolean connectives, all memoized,
+//! * a hash-consed node store behind a single open-addressing unique table
+//!   with multiplicative hashing ([`BddManager`], [`Bdd`]),
+//! * the ITE core plus derived boolean connectives, memoized in fixed-size
+//!   direct-mapped lossy caches (CUDD-style; see [`BddManager::set_cache_capacity`]),
 //! * existential/universal quantification and the fused
 //!   [`BddManager::and_exists`] relational product used by image computation,
 //! * variable renaming by arbitrary permutation ([`BddManager::permute`]),
@@ -15,7 +16,10 @@
 //!   [`BddManager::shortest_cube`] — the paper's *fattest cube*, the
 //!   satisfying cube with the fewest assignments,
 //! * satisfying-assignment counting and evaluation,
-//! * mark-and-sweep garbage collection with explicit roots, and
+//! * mark-and-sweep garbage collection with explicit roots, a protected
+//!   root set ([`BddManager::protect`]) and an opt-in automatic collector
+//!   ([`BddManager::set_auto_gc`]),
+//! * kernel performance counters ([`BddStats`]), and
 //! * **dynamic variable reordering by group sifting**: in-place adjacent
 //!   level swaps that preserve node identity, so every externally held
 //!   [`Bdd`] handle stays valid across reordering. Current/next-state
@@ -48,8 +52,12 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod cache;
 mod manager;
 mod reorder;
+mod stats;
+mod unique;
 
 pub use manager::{Bdd, BddError, BddManager, BddResult, VarId};
 pub use reorder::{SIFT_MAX_GROUPS, SIFT_MIN_GROUP_SIZE};
+pub use stats::BddStats;

@@ -1,7 +1,31 @@
-//! The BDD manager: node store, unique tables, ITE core and quantification.
+//! The BDD manager: node store, unique table, ITE core and quantification.
+//!
+//! # Memory subsystem
+//!
+//! Hash-consing goes through a single open-addressing [`UniqueTable`]
+//! (see [`crate::unique`]); per-variable node iteration — which reordering
+//! needs — is served by intrusive doubly-linked lists threaded through the
+//! node store (`var_head`/`link_prev`/`link_next`). Operation memos live in
+//! fixed-size direct-mapped lossy caches (see [`crate::cache`]).
+//!
+//! # Automatic garbage collection
+//!
+//! Callers may [`protect`](BddManager::protect) long-lived roots and enable
+//! [`set_auto_gc`](BddManager::set_auto_gc). Allocation then flags a pending
+//! collection once the live-node count passes an adaptive threshold, and the
+//! *next top-level operation* collects before it starts, using the protected
+//! set plus that operation's own operands as roots. Collection never runs
+//! inside a recursion, so intermediate results of an in-flight operation are
+//! never reclaimed — but any unprotected handle that is neither an operand
+//! of the current call may be invalidated, exactly as with an explicit
+//! [`gc`](BddManager::gc).
 
 use std::collections::HashMap;
 use std::fmt;
+
+use crate::cache::{Cache2, Cache3};
+use crate::stats::BddStats;
+use crate::unique::{Probe, UniqueTable};
 
 /// Identifier of a BDD variable.
 ///
@@ -85,6 +109,18 @@ pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
 const FALSE: u32 = 0;
 const TRUE: u32 = 1;
 
+/// Null link in the per-variable node lists.
+const NIL: u32 = u32::MAX;
+
+/// Default live-node threshold arming the first automatic collection.
+const AUTO_GC_DEFAULT_THRESHOLD: usize = 1 << 16;
+
+/// Default maximum slots per operation cache (entries, not bytes).
+const DEFAULT_CACHE_SLOTS: usize = 1 << 20;
+
+/// Smallest permitted non-zero cache capacity.
+const MIN_CACHE_SLOTS: usize = 16;
+
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct Node {
     pub(crate) var: u32,
@@ -101,22 +137,40 @@ pub(crate) struct Node {
 pub struct BddManager {
     pub(crate) nodes: Vec<Node>,
     free: Vec<u32>,
-    /// Per-variable unique tables: `(lo, hi) -> node index`.
-    pub(crate) unique: Vec<HashMap<(u32, u32), u32>>,
+    /// Hash-consing table over all variables.
+    unique: UniqueTable,
+    /// Intrusive per-variable node lists: `var_head[v]` starts the chain of
+    /// live nodes labeled `v`, linked by `link_prev`/`link_next` (NIL-ended).
+    var_head: Vec<u32>,
+    link_prev: Vec<u32>,
+    link_next: Vec<u32>,
+    /// Live-node count per variable (the sifting candidate metric).
+    var_count: Vec<usize>,
     pub(crate) var2level: Vec<u32>,
     pub(crate) level2var: Vec<u32>,
     /// Group id per variable; members of a group occupy adjacent levels and
     /// are sifted as a block.
     pub(crate) group: Vec<u32>,
     next_group: u32,
-    ite_cache: HashMap<(u32, u32, u32), u32>,
-    exists_cache: HashMap<(u32, u32), u32>,
-    and_exists_cache: HashMap<(u32, u32, u32), u32>,
+    ite_cache: Cache3,
+    exists_cache: Cache2,
+    and_exists_cache: Cache3,
+    /// Reusable memo for `permute`/`restrict`, cleared per call (avoids a
+    /// fresh allocation on every traversal).
+    scratch_cache: HashMap<u32, u32>,
     node_limit: usize,
     pub(crate) reorder_in_progress: bool,
-    /// Total unique-table entries, maintained incrementally so sifting can
-    /// read the size metric in O(1).
-    pub(crate) unique_entries: usize,
+    /// Protected root set: node index → protection count.
+    protected: HashMap<u32, u32>,
+    auto_gc_enabled: bool,
+    /// Set by `mk` when the live count passes `gc_threshold`; consumed at
+    /// the next top-level operation entry.
+    gc_pending: bool,
+    /// Current (adaptive) live-node threshold arming a collection.
+    gc_threshold: usize,
+    /// Configured lower bound for `gc_threshold`.
+    gc_threshold_floor: usize,
+    stats: BddStats,
 }
 
 impl fmt::Debug for BddManager {
@@ -153,17 +207,27 @@ impl BddManager {
                 },
             ],
             free: Vec::new(),
-            unique: Vec::new(),
+            unique: UniqueTable::new(),
+            var_head: Vec::new(),
+            link_prev: vec![NIL; 2],
+            link_next: vec![NIL; 2],
+            var_count: Vec::new(),
             var2level: Vec::new(),
             level2var: Vec::new(),
             group: Vec::new(),
             next_group: 0,
-            ite_cache: HashMap::new(),
-            exists_cache: HashMap::new(),
-            and_exists_cache: HashMap::new(),
+            ite_cache: Cache3::new(DEFAULT_CACHE_SLOTS),
+            exists_cache: Cache2::new(DEFAULT_CACHE_SLOTS),
+            and_exists_cache: Cache3::new(DEFAULT_CACHE_SLOTS),
+            scratch_cache: HashMap::new(),
             node_limit: usize::MAX,
             reorder_in_progress: false,
-            unique_entries: 0,
+            protected: HashMap::new(),
+            auto_gc_enabled: false,
+            gc_pending: false,
+            gc_threshold: AUTO_GC_DEFAULT_THRESHOLD,
+            gc_threshold_floor: AUTO_GC_DEFAULT_THRESHOLD,
+            stats: BddStats::default(),
         }
     }
 
@@ -171,6 +235,32 @@ impl BddManager {
     /// limit fail with [`BddError::NodeLimit`].
     pub fn set_node_limit(&mut self, limit: usize) {
         self.node_limit = limit;
+    }
+
+    /// Sets the maximum slot count of each operation cache (ITE, exists,
+    /// and-exists). `0` disables memoization entirely — every operation is
+    /// recomputed, which is only useful for testing; small non-zero values
+    /// are rounded up to at least a small power of two. Resizing clears the
+    /// caches, which is always sound (entries are memos).
+    pub fn set_cache_capacity(&mut self, slots: usize) {
+        let slots = if slots == 0 {
+            0
+        } else {
+            slots.max(MIN_CACHE_SLOTS).next_power_of_two()
+        };
+        self.ite_cache.set_max_slots(slots);
+        self.exists_cache.set_max_slots(slots);
+        self.and_exists_cache.set_max_slots(slots);
+    }
+
+    /// Snapshot of the kernel performance counters.
+    pub fn stats(&self) -> BddStats {
+        self.stats
+    }
+
+    /// Resets all performance counters (including the peak) to zero.
+    pub fn reset_stats(&mut self) {
+        self.stats = BddStats::default();
     }
 
     /// The constant-false BDD.
@@ -219,7 +309,8 @@ impl BddManager {
             self.var2level.push(level);
             self.level2var.push(var);
             self.group.push(gid);
-            self.unique.push(HashMap::new());
+            self.var_head.push(NIL);
+            self.var_count.push(0);
             out.push(VarId(var));
         }
         out
@@ -255,6 +346,34 @@ impl BddManager {
         self.nodes[n as usize].hi
     }
 
+    /// Links a live node into its variable's list.
+    fn link_node(&mut self, idx: u32, var: u32) {
+        let head = self.var_head[var as usize];
+        self.link_prev[idx as usize] = NIL;
+        self.link_next[idx as usize] = head;
+        if head != NIL {
+            self.link_prev[head as usize] = idx;
+        }
+        self.var_head[var as usize] = idx;
+        self.var_count[var as usize] += 1;
+    }
+
+    /// Unlinks a node from its variable's list (`var` must be the node's
+    /// current label).
+    fn unlink_node(&mut self, idx: u32, var: u32) {
+        let p = self.link_prev[idx as usize];
+        let n = self.link_next[idx as usize];
+        if p != NIL {
+            self.link_next[p as usize] = n;
+        } else {
+            self.var_head[var as usize] = n;
+        }
+        if n != NIL {
+            self.link_prev[n as usize] = p;
+        }
+        self.var_count[var as usize] -= 1;
+    }
+
     /// Finds or creates the node `(var, lo, hi)`.
     pub(crate) fn mk(&mut self, var: u32, lo: u32, hi: u32) -> Result<u32, BddError> {
         if lo == hi {
@@ -265,9 +384,15 @@ impl BddManager {
                 && self.level(hi) > self.var2level[var as usize],
             "mk: children must be below the node's level"
         );
-        if let Some(&n) = self.unique[var as usize].get(&(lo, hi)) {
-            return Ok(n);
-        }
+        self.stats.unique_probes += 1;
+        let slot =
+            match self
+                .unique
+                .probe(var, lo, hi, &self.nodes, &mut self.stats.unique_collisions)
+            {
+                Probe::Found(n) => return Ok(n),
+                Probe::Vacant(slot) => slot,
+            };
         if !self.reorder_in_progress && self.num_nodes() >= self.node_limit {
             return Err(BddError::NodeLimit);
         }
@@ -277,10 +402,19 @@ impl BddManager {
         } else {
             let idx = self.nodes.len() as u32;
             self.nodes.push(Node { var, lo, hi });
+            self.link_prev.push(NIL);
+            self.link_next.push(NIL);
             idx
         };
-        self.unique[var as usize].insert((lo, hi), idx);
-        self.unique_entries += 1;
+        self.unique.insert(slot, idx);
+        self.link_node(idx, var);
+        let live = self.num_nodes();
+        if live > self.stats.peak_nodes {
+            self.stats.peak_nodes = live;
+        }
+        if self.auto_gc_enabled && live >= self.gc_threshold {
+            self.gc_pending = true;
+        }
         Ok(idx)
     }
 
@@ -315,6 +449,7 @@ impl BddManager {
     /// Fails with [`BddError::NodeLimit`] if the result would exceed the
     /// manager's node limit.
     pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> BddResult {
+        self.maybe_auto_gc(&[f.0, g.0, h.0]);
         self.ite_rec(f.0, g.0, h.0).map(Bdd)
     }
 
@@ -332,9 +467,11 @@ impl BddManager {
         if g == TRUE && h == FALSE {
             return Ok(f);
         }
-        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+        if let Some(r) = self.ite_cache.get(f, g, h) {
+            self.stats.ite_hits += 1;
             return Ok(r);
         }
+        self.stats.ite_misses += 1;
         let top = self.level(f).min(self.level(g)).min(self.level(h));
         let v = self.level2var[top as usize];
         let (f0, f1) = self.cofactor(f, top);
@@ -343,7 +480,7 @@ impl BddManager {
         let lo = self.ite_rec(f0, g0, h0)?;
         let hi = self.ite_rec(f1, g1, h1)?;
         let r = self.mk(v, lo, hi)?;
-        self.ite_cache.insert((f, g, h), r);
+        self.ite_cache.put(f, g, h, r);
         Ok(r)
     }
 
@@ -373,14 +510,18 @@ impl BddManager {
 
     /// Exclusive or.
     pub fn xor(&mut self, f: Bdd, g: Bdd) -> BddResult {
-        let ng = self.not(g)?;
-        self.ite(f, ng, g)
+        // One auto-GC decision for the whole derived operation, so `f` stays
+        // alive across the internal negation.
+        self.maybe_auto_gc(&[f.0, g.0]);
+        let ng = self.ite_rec(g.0, FALSE, TRUE)?;
+        self.ite_rec(f.0, ng, g.0).map(Bdd)
     }
 
     /// Equivalence (exclusive nor).
     pub fn xnor(&mut self, f: Bdd, g: Bdd) -> BddResult {
-        let ng = self.not(g)?;
-        self.ite(f, g, ng)
+        self.maybe_auto_gc(&[f.0, g.0]);
+        let ng = self.ite_rec(g.0, FALSE, TRUE)?;
+        self.ite_rec(f.0, g.0, ng).map(Bdd)
     }
 
     /// Implication `f → g`.
@@ -390,26 +531,50 @@ impl BddManager {
 
     /// Conjunction of many operands (n-ary and).
     pub fn and_many(&mut self, fs: impl IntoIterator<Item = Bdd>) -> BddResult {
-        let mut acc = self.one();
-        for f in fs {
-            acc = self.and(acc, f)?;
-            if acc == self.zero() {
+        let fs: Vec<Bdd> = fs.into_iter().collect();
+        // Operands not yet consumed must survive any auto-GC triggered by an
+        // earlier step of the fold.
+        for &f in &fs {
+            self.protect(f);
+        }
+        let mut result = Ok(self.one());
+        for &f in &fs {
+            let acc = match result {
+                Ok(acc) => acc,
+                Err(_) => break,
+            };
+            result = self.and(acc, f);
+            if result == Ok(self.zero()) {
                 break;
             }
         }
-        Ok(acc)
+        for &f in &fs {
+            self.unprotect(f);
+        }
+        result
     }
 
     /// Disjunction of many operands (n-ary or).
     pub fn or_many(&mut self, fs: impl IntoIterator<Item = Bdd>) -> BddResult {
-        let mut acc = self.zero();
-        for f in fs {
-            acc = self.or(acc, f)?;
-            if acc == self.one() {
+        let fs: Vec<Bdd> = fs.into_iter().collect();
+        for &f in &fs {
+            self.protect(f);
+        }
+        let mut result = Ok(self.zero());
+        for &f in &fs {
+            let acc = match result {
+                Ok(acc) => acc,
+                Err(_) => break,
+            };
+            result = self.or(acc, f);
+            if result == Ok(self.one()) {
                 break;
             }
         }
-        Ok(acc)
+        for &f in &fs {
+            self.unprotect(f);
+        }
+        result
     }
 
     /// Builds the positive cube `v₁ ∧ v₂ ∧ …` used to denote a set of
@@ -450,6 +615,7 @@ impl BddManager {
     ///
     /// Fails with [`BddError::NodeLimit`] like every allocating operation.
     pub fn exists(&mut self, f: Bdd, vars: Bdd) -> BddResult {
+        self.maybe_auto_gc(&[f.0, vars.0]);
         self.exists_rec(f.0, vars.0).map(Bdd)
     }
 
@@ -461,9 +627,10 @@ impl BddManager {
 
     /// Universal quantification `∀ vars . f`.
     pub fn forall(&mut self, f: Bdd, vars: Bdd) -> BddResult {
-        let nf = self.not(f)?;
-        let e = self.exists(nf, vars)?;
-        self.not(e)
+        self.maybe_auto_gc(&[f.0, vars.0]);
+        let nf = self.ite_rec(f.0, FALSE, TRUE)?;
+        let e = self.exists_rec(nf, vars.0)?;
+        self.ite_rec(e, FALSE, TRUE).map(Bdd)
     }
 
     fn exists_rec(&mut self, f: u32, mut cube: u32) -> Result<u32, BddError> {
@@ -474,9 +641,11 @@ impl BddManager {
         if f <= TRUE || cube == TRUE {
             return Ok(f);
         }
-        if let Some(&r) = self.exists_cache.get(&(f, cube)) {
+        if let Some(r) = self.exists_cache.get(f, cube) {
+            self.stats.exists_hits += 1;
             return Ok(r);
         }
+        self.stats.exists_misses += 1;
         let flevel = self.level(f);
         let r = if self.level(cube) == flevel {
             let lo = self.exists_rec(self.lo(f), self.hi(cube))?;
@@ -492,7 +661,7 @@ impl BddManager {
             let hi = self.exists_rec(self.hi(f), cube)?;
             self.mk(v, lo, hi)?
         };
-        self.exists_cache.insert((f, cube), r);
+        self.exists_cache.put(f, cube, r);
         Ok(r)
     }
 
@@ -503,6 +672,7 @@ impl BddManager {
     ///
     /// Fails with [`BddError::NodeLimit`] like every allocating operation.
     pub fn and_exists(&mut self, f: Bdd, g: Bdd, vars: Bdd) -> BddResult {
+        self.maybe_auto_gc(&[f.0, g.0, vars.0]);
         self.and_exists_rec(f.0, g.0, vars.0).map(Bdd)
     }
 
@@ -522,9 +692,11 @@ impl BddManager {
         }
         // Normalize operand order for better cache hits (and is commutative).
         let (f, g) = if f <= g { (f, g) } else { (g, f) };
-        if let Some(&r) = self.and_exists_cache.get(&(f, g, cube)) {
+        if let Some(r) = self.and_exists_cache.get(f, g, cube) {
+            self.stats.and_exists_hits += 1;
             return Ok(r);
         }
+        self.stats.and_exists_misses += 1;
         let (f0, f1) = self.cofactor(f, top);
         let (g0, g1) = self.cofactor(g, top);
         let r = if self.level(cube) == top {
@@ -541,7 +713,7 @@ impl BddManager {
             let hi = self.and_exists_rec(f1, g1, cube)?;
             self.mk(v, lo, hi)?
         };
-        self.and_exists_cache.insert((f, g, cube), r);
+        self.and_exists_cache.put(f, g, cube, r);
         Ok(r)
     }
 
@@ -553,12 +725,16 @@ impl BddManager {
     ///
     /// Fails with [`BddError::NodeLimit`] like every allocating operation.
     pub fn permute(&mut self, f: Bdd, map: &[(VarId, VarId)]) -> BddResult {
+        self.maybe_auto_gc(&[f.0]);
         let mut table = vec![u32::MAX; self.num_vars()];
         for (from, to) in map {
             table[from.index()] = to.0;
         }
-        let mut cache: HashMap<u32, u32> = HashMap::new();
-        self.permute_rec(f.0, &table, &mut cache).map(Bdd)
+        let mut cache = std::mem::take(&mut self.scratch_cache);
+        cache.clear();
+        let r = self.permute_rec(f.0, &table, &mut cache);
+        self.scratch_cache = cache;
+        r.map(Bdd)
     }
 
     fn permute_rec(
@@ -597,12 +773,16 @@ impl BddManager {
     /// Restricts `f` by the assignment `lits` (cofactoring each listed
     /// variable to the given constant).
     pub fn restrict(&mut self, f: Bdd, lits: &[(VarId, bool)]) -> BddResult {
+        self.maybe_auto_gc(&[f.0]);
         let mut table = vec![u8::MAX; self.num_vars()];
         for (v, b) in lits {
             table[v.index()] = u8::from(*b);
         }
-        let mut cache: HashMap<u32, u32> = HashMap::new();
-        self.restrict_rec(f.0, &table, &mut cache).map(Bdd)
+        let mut cache = std::mem::take(&mut self.scratch_cache);
+        cache.clear();
+        let r = self.restrict_rec(f.0, &table, &mut cache);
+        self.scratch_cache = cache;
+        r.map(Bdd)
     }
 
     fn restrict_rec(
@@ -631,14 +811,79 @@ impl BddManager {
         Ok(r)
     }
 
-    /// Garbage-collects every node not reachable from `roots`. Returns the
-    /// number of freed nodes. All operation caches are cleared; handles to
-    /// collected nodes become invalid.
+    /// Marks `f` as a garbage-collection root. Protection is counted: a node
+    /// protected twice needs two [`unprotect`](BddManager::unprotect) calls.
+    /// Protected nodes (and everything below them) survive both explicit
+    /// [`gc`](BddManager::gc) and automatic collection.
+    pub fn protect(&mut self, f: Bdd) {
+        *self.protected.entry(f.0).or_insert(0) += 1;
+    }
+
+    /// Removes one protection count from `f` (no-op if unprotected).
+    pub fn unprotect(&mut self, f: Bdd) {
+        if let Some(c) = self.protected.get_mut(&f.0) {
+            *c -= 1;
+            if *c == 0 {
+                self.protected.remove(&f.0);
+            }
+        }
+    }
+
+    /// Enables or disables automatic garbage collection.
+    ///
+    /// While enabled, any handle that is neither protected nor an operand of
+    /// the current top-level operation may be invalidated whenever an
+    /// operation runs — callers opt in per phase and must protect what they
+    /// hold across operations.
+    pub fn set_auto_gc(&mut self, enabled: bool) {
+        self.auto_gc_enabled = enabled;
+        if !enabled {
+            self.gc_pending = false;
+        }
+    }
+
+    /// Sets the live-node count that arms the first automatic collection.
+    /// The effective threshold adapts upward when collections reclaim less
+    /// than a quarter of the store, and re-anchors at twice the live size
+    /// after a productive collection (never below this floor).
+    pub fn set_auto_gc_threshold(&mut self, nodes: usize) {
+        self.gc_threshold_floor = nodes.max(1);
+        self.gc_threshold = self.gc_threshold_floor;
+    }
+
+    /// Runs a pending automatic collection at a top-level operation entry.
+    /// `operands` are the live inputs of that operation; together with the
+    /// protected set they form the root set. Never called from recursion, so
+    /// in-flight intermediate results cannot be reclaimed.
+    fn maybe_auto_gc(&mut self, operands: &[u32]) {
+        if !self.auto_gc_enabled || !self.gc_pending || self.reorder_in_progress {
+            return;
+        }
+        self.gc_pending = false;
+        let live_before = self.num_nodes();
+        let roots: Vec<Bdd> = operands.iter().map(|&n| Bdd(n)).collect();
+        let freed = self.gc(&roots); // gc() adds the protected set itself
+        self.stats.auto_gc_runs += 1;
+        if freed * 4 < live_before {
+            // Mostly-live store: re-marking this often does not pay off.
+            self.gc_threshold = self.gc_threshold.saturating_mul(2);
+        } else {
+            self.gc_threshold = (self.num_nodes() * 2).max(self.gc_threshold_floor);
+        }
+    }
+
+    /// Garbage-collects every node not reachable from `roots` or the
+    /// protected set. Returns the number of freed nodes. All operation
+    /// caches are cleared; handles to collected nodes become invalid.
     pub fn gc(&mut self, roots: &[Bdd]) -> usize {
         let mut marked = vec![false; self.nodes.len()];
         marked[FALSE as usize] = true;
         marked[TRUE as usize] = true;
-        let mut stack: Vec<u32> = roots.iter().map(|b| b.0).collect();
+        let mut stack: Vec<u32> = roots
+            .iter()
+            .map(|b| b.0)
+            .chain(self.protected.keys().copied())
+            .collect();
         while let Some(n) = stack.pop() {
             if marked[n as usize] {
                 continue;
@@ -658,13 +903,22 @@ impl BddManager {
             if marked[idx as usize] || already_free[idx as usize] {
                 continue;
             }
-            let node = self.nodes[idx as usize];
-            self.unique[node.var as usize].remove(&(node.lo, node.hi));
-            self.unique_entries -= 1;
+            let var = self.nodes[idx as usize].var;
+            self.unlink_node(idx, var);
             self.free.push(idx);
             freed += 1;
         }
+        if freed > 0 {
+            // One rebuild pass beats shifting clusters once per dead entry.
+            let end = self.nodes.len() as u32;
+            self.unique.rebuild(
+                (2..end).filter(|&i| marked[i as usize] && !already_free[i as usize]),
+                &self.nodes,
+            );
+        }
         self.clear_caches();
+        self.stats.gc_runs += 1;
+        self.stats.gc_nodes_freed += freed as u64;
         freed
     }
 
@@ -714,6 +968,58 @@ impl BddManager {
     /// Low child accessor used by the analysis module.
     pub(crate) fn node(&self, n: u32) -> Node {
         self.nodes[n as usize]
+    }
+
+    // ----- reorder support (see crate::reorder) ---------------------------
+
+    /// Total unique-table entries: the sifting size metric, O(1).
+    pub(crate) fn unique_len(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Live nodes currently labeled `var`, O(1).
+    pub(crate) fn var_len(&self, var: u32) -> usize {
+        self.var_count[var as usize]
+    }
+
+    /// The nodes labeled `x` with at least one child labeled `y` — exactly
+    /// the nodes an adjacent-level swap of `x` above `y` must rewrite.
+    pub(crate) fn var_nodes_depending_on(&self, x: u32, y: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut cur = self.var_head[x as usize];
+        while cur != NIL {
+            let n = self.nodes[cur as usize];
+            if self.nodes[n.lo as usize].var == y || self.nodes[n.hi as usize].var == y {
+                out.push(cur);
+            }
+            cur = self.link_next[cur as usize];
+        }
+        out
+    }
+
+    /// Removes a node's unique-table entry (the node stays allocated).
+    pub(crate) fn unique_remove_node(&mut self, idx: u32) {
+        let n = self.nodes[idx as usize];
+        let removed = self.unique.remove(n.var, n.lo, n.hi, &self.nodes);
+        debug_assert!(removed, "node missing from the unique table");
+    }
+
+    /// Relabels a node in place (reordering) and re-registers it under the
+    /// new key. The old key must already be removed via
+    /// [`Self::unique_remove_node`].
+    pub(crate) fn relabel_node(&mut self, idx: u32, var: u32, lo: u32, hi: u32) {
+        let old_var = self.nodes[idx as usize].var;
+        self.unlink_node(idx, old_var);
+        self.nodes[idx as usize] = Node { var, lo, hi };
+        self.link_node(idx, var);
+        self.stats.unique_probes += 1;
+        match self
+            .unique
+            .probe(var, lo, hi, &self.nodes, &mut self.stats.unique_collisions)
+        {
+            Probe::Vacant(slot) => self.unique.insert(slot, idx),
+            Probe::Found(_) => unreachable!("swap collided in the unique table"),
+        }
     }
 }
 
@@ -907,6 +1213,40 @@ mod tests {
         let c2 = m.var_cube([vs[4], vs[3], vs[0]]);
         assert_eq!(c1, c2);
     }
+
+    #[test]
+    fn stats_count_probes_and_cache_traffic() {
+        let (mut m, a, b, _) = setup3();
+        let base = m.stats();
+        assert!(base.unique_probes > 0, "literal creation probes the table");
+        let x = m.xor(a, b).unwrap();
+        let s1 = m.stats();
+        assert!(s1.ite_misses > base.ite_misses);
+        // Repeating the identical operation is answered from the cache.
+        let x2 = m.xor(a, b).unwrap();
+        assert_eq!(x, x2);
+        let s2 = m.stats();
+        assert!(s2.ite_hits > s1.ite_hits);
+        assert_eq!(s2.ite_misses, s1.ite_misses);
+        assert!(s2.peak_nodes >= m.num_nodes());
+        m.reset_stats();
+        assert_eq!(m.stats(), BddStats::default());
+    }
+
+    #[test]
+    fn disabled_cache_still_computes_correctly() {
+        let mut m = BddManager::new();
+        m.set_cache_capacity(0);
+        let a = m.new_var();
+        let b = m.new_var();
+        let (fa, fb) = (m.var(a), m.var(b));
+        let x1 = m.xor(fa, fb).unwrap();
+        let x2 = m.xor(fa, fb).unwrap();
+        assert_eq!(x1, x2);
+        let s = m.stats();
+        assert_eq!(s.ite_hits, 0, "disabled cache can never hit");
+        assert!(s.ite_misses > 0);
+    }
 }
 
 #[cfg(test)]
@@ -955,5 +1295,139 @@ mod gc_reuse_tests {
         // An order listing a var the manager doesn't have is tolerated.
         m.set_order(&[VarId::from_index(99), b, a]);
         assert_eq!(m.current_order(), vec![b, a]);
+    }
+}
+
+#[cfg(test)]
+mod auto_gc_tests {
+    use super::*;
+
+    /// Evaluates `f` under an assignment indexed by variable id.
+    fn eval(m: &BddManager, f: Bdd, asg: &[bool]) -> bool {
+        let mut n = f.0;
+        loop {
+            if n == FALSE {
+                return false;
+            }
+            if n == TRUE {
+                return true;
+            }
+            let node = m.nodes[n as usize];
+            n = if asg[node.var as usize] {
+                node.hi
+            } else {
+                node.lo
+            };
+        }
+    }
+
+    #[test]
+    fn protected_roots_survive_auto_gc() {
+        let mut m = BddManager::new();
+        let vars: Vec<_> = (0..8).map(|_| m.new_var()).collect();
+        let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+        let keep = m.and(lits[0], lits[1]).unwrap();
+        m.protect(keep);
+        // The literals are held across operations too, so they are part of
+        // the caller's live set and must be protected like any other root.
+        for &l in &lits {
+            m.protect(l);
+        }
+        m.set_auto_gc_threshold(16);
+        m.set_auto_gc(true);
+        // Churn out garbage until automatic collections must have run. Each
+        // round's conjunction chain dies at the next round; only the final
+        // `junk` value is an operand (and thus a root) of the next op.
+        for round in 0..64 {
+            let mut junk = m.zero();
+            for (i, &l) in lits.iter().enumerate() {
+                let shifted = lits[(i + round) % lits.len()];
+                // `junk` is held across the `and` without being one of its
+                // operands, so it needs transient protection.
+                m.protect(junk);
+                let t = m.and(l, shifted).unwrap();
+                m.unprotect(junk);
+                junk = m.or(junk, t).unwrap();
+            }
+            let _ = junk;
+        }
+        let s = m.stats();
+        assert!(s.auto_gc_runs > 0, "auto-GC never triggered");
+        assert!(s.gc_nodes_freed > 0, "auto-GC reclaimed nothing");
+        // The protected root still denotes l0 ∧ l1.
+        let mut asg = vec![false; 8];
+        assert!(!eval(&m, keep, &asg));
+        asg[0] = true;
+        asg[1] = true;
+        assert!(eval(&m, keep, &asg));
+        asg[1] = false;
+        assert!(!eval(&m, keep, &asg));
+        // And hash-consing still finds it (handles stayed valid).
+        let again = m.and(lits[0], lits[1]).unwrap();
+        assert_eq!(again, keep);
+    }
+
+    #[test]
+    fn dead_nodes_are_reclaimed_by_the_trigger() {
+        let mut m = BddManager::new();
+        let vars: Vec<_> = (0..10).map(|_| m.new_var()).collect();
+        m.set_auto_gc_threshold(32);
+        m.set_auto_gc(true);
+        for _ in 0..200 {
+            // Every iteration's parity chain becomes garbage immediately.
+            let mut acc = m.zero();
+            for &v in &vars {
+                let l = m.var(v);
+                acc = m.xor(acc, l).unwrap();
+            }
+            let _ = acc;
+        }
+        let s = m.stats();
+        assert!(s.auto_gc_runs > 0);
+        // The store stayed bounded instead of accumulating 200 chains.
+        assert!(
+            m.num_nodes() < 200 * 10,
+            "auto-GC failed to bound the store: {} nodes",
+            m.num_nodes()
+        );
+    }
+
+    #[test]
+    fn unprotect_makes_roots_collectible_again() {
+        let mut m = BddManager::new();
+        let a = m.new_var();
+        let b = m.new_var();
+        let (fa, fb) = (m.var(a), m.var(b));
+        let f = m.and(fa, fb).unwrap();
+        m.protect(f);
+        m.protect(f); // counted twice
+        assert_eq!(m.gc(&[fa, fb]), 0);
+        m.unprotect(f);
+        assert_eq!(m.gc(&[fa, fb]), 0, "still protected once");
+        m.unprotect(f);
+        assert_eq!(m.gc(&[fa, fb]), 1, "f is garbage after full unprotect");
+    }
+
+    #[test]
+    fn operands_survive_auto_gc_in_derived_ops() {
+        let mut m = BddManager::new();
+        let vars: Vec<_> = (0..6).map(|_| m.new_var()).collect();
+        let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+        m.set_auto_gc_threshold(4); // collect as aggressively as possible
+        m.set_auto_gc(true);
+        // and_many / or_many internally protect pending operands; the result
+        // must match the auto-GC-free computation. `all` is held across the
+        // or_many call, so the caller protects it.
+        let all = m.and_many(lits.iter().copied()).unwrap();
+        m.protect(all);
+        let any = m.or_many(lits.iter().copied()).unwrap();
+        m.protect(any);
+        let mut m2 = BddManager::new();
+        let vars2: Vec<_> = (0..6).map(|_| m2.new_var()).collect();
+        let lits2: Vec<Bdd> = vars2.iter().map(|&v| m2.var(v)).collect();
+        let all2 = m2.and_many(lits2.iter().copied()).unwrap();
+        let any2 = m2.or_many(lits2.iter().copied()).unwrap();
+        assert_eq!(m.size(all), m2.size(all2));
+        assert_eq!(m.size(any), m2.size(any2));
     }
 }

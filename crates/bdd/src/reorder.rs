@@ -36,22 +36,13 @@ impl BddManager {
     pub(crate) fn swap_adjacent_levels(&mut self, l: usize) {
         let x = self.level2var[l];
         let y = self.level2var[l + 1];
-        // Collect the x-labeled nodes that depend on y. Everything else is
-        // untouched by the swap.
-        let affected: Vec<u32> = self.unique[x as usize]
-            .values()
-            .copied()
-            .filter(|&idx| {
-                let n = self.nodes[idx as usize];
-                self.nodes[n.lo as usize].var == y || self.nodes[n.hi as usize].var == y
-            })
-            .collect();
-        // Remove them from x's table first so rebuilt (x, …) nodes can never
-        // alias a node that is about to be relabeled.
+        // Collect the x-labeled nodes that depend on y (via x's node list).
+        // Everything else is untouched by the swap.
+        let affected = self.var_nodes_depending_on(x, y);
+        // Remove them from the unique table first so rebuilt (x, …) nodes can
+        // never alias a node that is about to be relabeled.
         for &idx in &affected {
-            let n = self.nodes[idx as usize];
-            self.unique[x as usize].remove(&(n.lo, n.hi));
-            self.unique_entries -= 1;
+            self.unique_remove_node(idx);
         }
         for &idx in &affected {
             let n = self.nodes[idx as usize];
@@ -72,12 +63,7 @@ impl BddManager {
                 .mk(x, lo1, hi1)
                 .expect("reorder bypasses the node limit");
             debug_assert_ne!(new_lo, new_hi, "swap produced a redundant node");
-            self.nodes[idx as usize].var = y;
-            self.nodes[idx as usize].lo = new_lo;
-            self.nodes[idx as usize].hi = new_hi;
-            let prev = self.unique[y as usize].insert((new_lo, new_hi), idx);
-            self.unique_entries += 1;
-            debug_assert!(prev.is_none(), "swap collided in the unique table");
+            self.relabel_node(idx, y, new_lo, new_hi);
         }
         self.level2var[l] = y;
         self.level2var[l + 1] = x;
@@ -85,14 +71,9 @@ impl BddManager {
         self.var2level[y as usize] = l as u32;
     }
 
-    /// Total unique-table entries: the size metric sifting minimizes.
-    /// Maintained incrementally, so this is O(1).
+    /// Total unique-table entries: the size metric sifting minimizes. O(1).
     fn table_size(&self) -> usize {
-        debug_assert_eq!(
-            self.unique_entries,
-            self.unique.iter().map(|t| t.len()).sum::<usize>()
-        );
-        self.unique_entries
+        self.unique_len()
     }
 
     /// The maximal blocks of adjacent levels whose variables share a sifting
@@ -113,10 +94,8 @@ impl BddManager {
     /// that follows it (length `b`).
     fn swap_blocks_down(&mut self, s: usize, a: usize, b: usize) {
         for i in (0..a).rev() {
-            let mut l = s + i;
-            for _ in 0..b {
+            for l in s + i..s + i + b {
                 self.swap_adjacent_levels(l);
-                l += 1;
             }
         }
     }
@@ -172,9 +151,7 @@ impl BddManager {
         };
         let mut group_sizes: Vec<(u32, usize)> = Vec::new();
         for (gid, s, len) in blocks {
-            let size: usize = (s..s + len)
-                .map(|l| self.unique[self.level2var[l] as usize].len())
-                .sum();
+            let size: usize = (s..s + len).map(|l| self.var_len(self.level2var[l])).sum();
             if size > threshold {
                 group_sizes.push((gid, size));
             }

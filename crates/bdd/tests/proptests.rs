@@ -19,14 +19,14 @@ fn arb_expr(nvars: usize) -> impl Strategy<Value = Expr> {
     leaf.prop_recursive(5, 48, 3, |inner| {
         prop_oneof![
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Expr::Ite(
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
         ]
     })
 }
@@ -209,6 +209,57 @@ proptest! {
                 prop_assert_eq!(cube.len(), min_path);
             }
         }
+    }
+
+    /// Losing operation-cache entries can never change results: the same
+    /// expression built under the default cache, a tiny (maximally
+    /// colliding) 64-slot cache and a fully disabled cache produces
+    /// identical truth tables.
+    #[test]
+    fn lossy_caches_do_not_change_results(e in arb_expr(NVARS)) {
+        let mut tables: Vec<Vec<bool>> = Vec::new();
+        for capacity in [usize::MAX, 64, 0] {
+            let mut m = BddManager::new();
+            if capacity != usize::MAX {
+                m.set_cache_capacity(capacity);
+            }
+            let vars: Vec<_> = (0..NVARS).map(|_| m.new_var()).collect();
+            let f = e.build(&mut m, &vars);
+            tables.push(assignments().map(|a| m.eval(f, &a)).collect());
+        }
+        prop_assert_eq!(&tables[0], &tables[1]);
+        prop_assert_eq!(&tables[0], &tables[2]);
+    }
+
+    /// Quantification (plain and fused) under a tiny lossy cache agrees with
+    /// the memo-free evaluation of the same operations.
+    #[test]
+    fn lossy_caches_do_not_change_quantification(
+        e1 in arb_expr(NVARS),
+        e2 in arb_expr(NVARS),
+        mask in 0u32..(1 << NVARS),
+    ) {
+        let mut tables: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();
+        for capacity in [64usize, 0] {
+            let mut m = BddManager::new();
+            m.set_cache_capacity(capacity);
+            let vars: Vec<_> = (0..NVARS).map(|_| m.new_var()).collect();
+            let f = e1.build(&mut m, &vars);
+            let g = e2.build(&mut m, &vars);
+            let qvars: Vec<_> = (0..NVARS)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| vars[i])
+                .collect();
+            let cube = m.var_cube(qvars);
+            let ex = m.exists(f, cube).unwrap();
+            let andex = m.and_exists(f, g, cube).unwrap();
+            tables.push((
+                assignments().map(|a| m.eval(ex, &a)).collect(),
+                assignments().map(|a| m.eval(andex, &a)).collect(),
+            ));
+        }
+        prop_assert_eq!(&tables[0].0, &tables[1].0);
+        prop_assert_eq!(&tables[0].1, &tables[1].1);
     }
 
     /// sat_count equals brute-force model counting.

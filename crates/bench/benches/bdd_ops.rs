@@ -81,9 +81,52 @@ fn bench_sift(c: &mut Criterion) {
     });
 }
 
+fn bench_kernel(c: &mut Criterion) {
+    // Unique-table probe path in isolation: every node of the function
+    // already exists, and clearing the op caches each iteration forces the
+    // full ITE recursion to re-run, so `make_node` dedup lookups dominate.
+    c.bench_function("bdd/unique_table_dedup", |b| {
+        let mut m = BddManager::new();
+        let vars: Vec<VarId> = (0..24).map(|_| m.new_var()).collect();
+        let f = exclusive_rows(&mut m, &vars, 6);
+        m.protect(f);
+        b.iter(|| {
+            m.clear_caches();
+            black_box(exclusive_rows(&mut m, &vars, 6))
+        })
+    });
+
+    // Warm ITE cache: after the first call the result is a single
+    // direct-mapped cache probe — the hit-latency floor of the memo table.
+    c.bench_function("bdd/ite_cache_warm", |b| {
+        let mut m = BddManager::new();
+        let vars: Vec<VarId> = (0..24).map(|_| m.new_var()).collect();
+        let f = exclusive_rows(&mut m, &vars, 6);
+        let g = exclusive_rows(&mut m, &vars[4..20], 4);
+        let h = m.not(f).unwrap();
+        b.iter(|| black_box(m.ite(f, g, h).unwrap()))
+    });
+
+    // Allocation churn + collection cycle: each iteration rebuilds a large
+    // dead function (fresh unique-table inserts, since the previous sweep
+    // removed it) and then mark-and-sweeps it away again — the steady-state
+    // workload automatic GC sees inside a reachability fixpoint.
+    c.bench_function("bdd/gc_churn_cycle", |b| {
+        let mut m = BddManager::new();
+        let vars: Vec<VarId> = (0..24).map(|_| m.new_var()).collect();
+        let f = exclusive_rows(&mut m, &vars, 6);
+        m.protect(f);
+        b.iter(|| {
+            let dead = exclusive_rows(&mut m, &vars[2..22], 5);
+            black_box(dead);
+            black_box(m.gc(&[f]))
+        })
+    });
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_apply, bench_relational_product, bench_sift
+    targets = bench_apply, bench_relational_product, bench_sift, bench_kernel
 );
 criterion_main!(benches);

@@ -24,7 +24,9 @@ fn bench_mincut(c: &mut Criterion) {
                 .filter(|&r| r != p.signal)
                 .take(take - 1),
         );
-        let view = Abstraction::from_registers(regs).view(n, [p.signal]).unwrap();
+        let view = Abstraction::from_registers(regs)
+            .view(n, [p.signal])
+            .unwrap();
         let mc = compute_min_cut(n, &view);
         eprintln!(
             "mincut_inputs: {take}-reg abstraction: {} inputs -> {} min-cut inputs",
@@ -49,7 +51,9 @@ fn bench_mincut(c: &mut Criterion) {
                 .filter(|&r| r != p.signal)
                 .take(31),
         );
-        let view = Abstraction::from_registers(regs).view(n, [p.signal]).unwrap();
+        let view = Abstraction::from_registers(regs)
+            .view(n, [p.signal])
+            .unwrap();
         b.iter(|| black_box(compute_min_cut(n, &view).num_inputs()))
     });
 }

@@ -101,12 +101,12 @@ fn demo_hybrid_classification(netlist: &Netlist, property: &Property) {
         .view(netlist, [full])
         .expect("view builds");
     let _ = property;
-    let mut model =
-        SymbolicModel::new(netlist, ModelSpec::from_view(&view)).expect("model builds");
+    let mut model = SymbolicModel::new(netlist, ModelSpec::from_view(&view)).expect("model builds");
     // Target an interesting deep state: the FIFO's full flag.
     let full = netlist.find("full").expect("fifo has a full flag");
     let targets = model.signal_bdd(full).expect("flag in model");
     let reach = forward_reach(&mut model, targets, &ReachOptions::default()).expect("reach runs");
+    println!("kernel stats (fifo reachability): {}", reach.stats);
     let rfn_mc::ReachVerdict::TargetHit { step } = reach.verdict else {
         println!("hybrid demo: full flag unreachable in this configuration");
         return;

@@ -1,26 +1,45 @@
 //! Regenerates Table 1 of the paper: property verification with RFN versus
 //! plain symbolic model checking with cone-of-influence reduction.
 //!
+//! The five property rows are independent verification jobs (each owns its
+//! BDD managers), so they run as a parallel portfolio; `--threads <n>`
+//! controls the worker count and the output is identical at any setting.
+//!
 //! ```text
-//! cargo run -p rfn-bench --bin table1 --release [-- --quick]
+//! cargo run -p rfn-bench --bin table1 --release [-- --quick] [--threads <n>]
 //! ```
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use rfn_bench::{row, rule, secs, Scale};
-use rfn_core::{Rfn, RfnOptions, RfnOutcome};
+use rfn_bdd::BddStats;
+use rfn_bench::{row, rule, secs, threads_from_args, Scale};
+use rfn_core::{parallel_map, Rfn, RfnOptions, RfnOutcome};
 use rfn_designs::{fifo_controller, processor_module, Design};
 use rfn_mc::{verify_plain, PlainOptions, PlainVerdict};
 use rfn_netlist::Property;
 
+struct CaseResult {
+    name: String,
+    cells: Vec<String>,
+    rfn_stats: BddStats,
+    plain_stats: BddStats,
+}
+
 fn main() {
     let scale = Scale::from_args();
-    println!("Table 1: Property Verification Results (scale: {scale:?})");
+    let threads = threads_from_args();
+    println!("Table 1: Property Verification Results (scale: {scale:?}, threads: {threads})");
     println!();
     let widths = [10, 9, 9, 9, 7, 9, 16];
     row(
         &[
-            "property", "regs/COI", "gates", "time(s)", "result", "abs regs", "plain MC (COI)",
+            "property",
+            "regs/COI",
+            "gates",
+            "time(s)",
+            "result",
+            "abs regs",
+            "plain MC (COI)",
         ],
         &widths,
     );
@@ -35,16 +54,41 @@ fn main() {
         (&fifo, "psh_af"),
         (&fifo, "psh_full"),
     ];
-    for (design, name) in cases {
+    let start = Instant::now();
+    let results = parallel_map(cases.len(), threads, |i| {
+        let (design, name) = cases[i];
         let property = design.property(name).expect("property exists");
-        run_case(design, property, scale, &widths);
+        run_case(design, property, scale)
+    });
+    let wall = start.elapsed();
+    for r in &results {
+        let cells: Vec<&str> = r.cells.iter().map(String::as_str).collect();
+        row(&cells, &widths);
     }
     println!();
     println!("T = property proved, F = property falsified (trace length in parens).");
     println!("Plain MC runs on the full cone of influence with a BDD node limit.");
+    println!(
+        "Portfolio wall-clock: {}s across {} properties on {} thread(s).",
+        secs(wall),
+        results.len(),
+        threads
+    );
+    println!();
+    println!("BDD kernel stats (RFN runs, merged over all iterations):");
+    let mut merged = BddStats::default();
+    for r in &results {
+        println!("  {:>10}: {}", r.name, r.rfn_stats);
+        merged.merge(&r.rfn_stats);
+    }
+    println!("  {:>10}: {}", "all", merged);
+    println!("BDD kernel stats (plain-MC baseline):");
+    for r in &results {
+        println!("  {:>10}: {}", r.name, r.plain_stats);
+    }
 }
 
-fn run_case(design: &Design, property: &Property, scale: Scale, widths: &[usize]) {
+fn run_case(design: &Design, property: &Property, scale: Scale) -> CaseResult {
     let options = RfnOptions {
         time_limit: Some(scale.time_limit()),
         verbosity: 0,
@@ -55,7 +99,9 @@ fn run_case(design: &Design, property: &Property, scale: Scale, widths: &[usize]
     let stats = outcome.stats().clone();
     let (result, extra) = match &outcome {
         RfnOutcome::Proved { .. } => ("T".to_owned(), String::new()),
-        RfnOutcome::Falsified { trace, .. } => ("F".to_owned(), format!(" ({}cyc)", trace.num_cycles())),
+        RfnOutcome::Falsified { trace, .. } => {
+            ("F".to_owned(), format!(" ({}cyc)", trace.num_cycles()))
+        }
         RfnOutcome::Inconclusive { reason, .. } => ("?".to_owned(), format!(" ({reason})")),
     };
 
@@ -72,18 +118,20 @@ fn run_case(design: &Design, property: &Property, scale: Scale, widths: &[usize]
         PlainVerdict::OutOfCapacity => format!("fails ({}s)", secs(plain.elapsed)),
     };
 
-    row(
-        &[
-            &property.name,
-            &stats.coi_registers.to_string(),
-            &stats.coi_gates.to_string(),
-            &secs(stats.elapsed),
-            &format!("{result}{extra}"),
-            &stats.abstract_registers.to_string(),
-            &plain_cell,
+    CaseResult {
+        name: property.name.clone(),
+        cells: vec![
+            property.name.clone(),
+            stats.coi_registers.to_string(),
+            stats.coi_gates.to_string(),
+            secs(stats.elapsed),
+            format!("{result}{extra}"),
+            stats.abstract_registers.to_string(),
+            plain_cell,
         ],
-        widths,
-    );
+        rfn_stats: stats.bdd,
+        plain_stats: plain.stats,
+    }
 }
 
 fn plain_node_limit(scale: Scale) -> usize {

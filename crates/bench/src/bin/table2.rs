@@ -1,22 +1,38 @@
 //! Regenerates Table 2 of the paper: unreachable-coverage-state analysis,
 //! RFN versus the BFS abstraction baseline.
 //!
+//! Coverage sets are independent analysis jobs (each owns its BDD managers),
+//! so they run as a parallel portfolio; `--threads <n>` controls the worker
+//! count and the output is identical at any setting.
+//!
 //! ```text
-//! cargo run -p rfn-bench --bin table2 --release [-- --quick]
+//! cargo run -p rfn-bench --bin table2 --release [-- --quick] [--threads <n>]
 //! ```
 
-use rfn_bench::{row, rule, secs, Scale};
-use rfn_core::{analyze_coverage, bfs_coverage, CoverageOptions};
-use rfn_designs::{integer_unit, usb_controller};
+use std::time::Instant;
+
+use rfn_bdd::BddStats;
+use rfn_bench::{row, rule, secs, threads_from_args, Scale};
+use rfn_core::{analyze_coverage, bfs_coverage, parallel_map, CoverageOptions};
 use rfn_mc::ReachOptions;
 use rfn_netlist::{CoverageSet, Netlist};
 
 /// The paper fixed the BFS abstraction at 60 registers.
 const BFS_K: usize = 60;
 
+struct CaseResult {
+    name: String,
+    cells: Vec<String>,
+    rfn_stats: BddStats,
+}
+
 fn main() {
     let scale = Scale::from_args();
-    println!("Table 2: Unreachable-coverage-state analysis results (scale: {scale:?})");
+    let threads = threads_from_args();
+    println!(
+        "Table 2: Unreachable-coverage-state analysis results \
+         (scale: {scale:?}, threads: {threads})"
+    );
     println!();
     let widths = [6, 9, 9, 12, 9, 12, 11];
     row(
@@ -33,21 +49,51 @@ fn main() {
     );
     rule(&widths);
 
-    let iu = integer_unit(&scale.integer_unit());
-    let usb = usb_controller(&scale.usb());
+    let iu = integer_unit_design(scale);
+    let usb = usb_design(scale);
+    let mut cases: Vec<(&Netlist, &CoverageSet)> = Vec::new();
     for set in &iu.coverage_sets {
-        run_case(&iu.netlist, set, scale, &widths);
+        cases.push((&iu.netlist, set));
     }
     for set in &usb.coverage_sets {
-        run_case(&usb.netlist, set, scale, &widths);
+        cases.push((&usb.netlist, set));
+    }
+    let start = Instant::now();
+    let results = parallel_map(cases.len(), threads, |i| {
+        let (netlist, set) = cases[i];
+        run_case(netlist, set, scale)
+    });
+    let wall = start.elapsed();
+    for r in &results {
+        let cells: Vec<&str> = r.cells.iter().map(String::as_str).collect();
+        row(&cells, &widths);
     }
     println!();
     println!(
         "BFS uses the {BFS_K} registers closest to the coverage signals (the paper's setting)."
     );
+    println!(
+        "Portfolio wall-clock: {}s across {} coverage sets on {} thread(s).",
+        secs(wall),
+        results.len(),
+        threads
+    );
+    println!();
+    println!("BDD kernel stats (RFN coverage runs, merged over all iterations):");
+    for r in &results {
+        println!("  {:>6}: {}", r.name, r.rfn_stats);
+    }
 }
 
-fn run_case(netlist: &Netlist, set: &CoverageSet, scale: Scale, widths: &[usize]) {
+fn integer_unit_design(scale: Scale) -> rfn_designs::Design {
+    rfn_designs::integer_unit(&scale.integer_unit())
+}
+
+fn usb_design(scale: Scale) -> rfn_designs::Design {
+    rfn_designs::usb_controller(&scale.usb())
+}
+
+fn run_case(netlist: &Netlist, set: &CoverageSet, scale: Scale) -> CaseResult {
     let options = CoverageOptions {
         time_limit: Some(scale.time_limit()),
         ..CoverageOptions::default()
@@ -57,18 +103,18 @@ fn run_case(netlist: &Netlist, set: &CoverageSet, scale: Scale, widths: &[usize]
         time_limit: Some(scale.time_limit()),
         ..ReachOptions::default()
     };
-    let bfs = bfs_coverage(netlist, set, BFS_K, 4_000_000, &bfs_reach)
-        .expect("bfs baseline runs");
-    row(
-        &[
-            &set.name,
-            &rfn.coi_registers.to_string(),
-            &rfn.coi_gates.to_string(),
-            &format!("{} ({}s)", rfn.unreachable, secs(rfn.elapsed)),
-            &rfn.abstract_registers.to_string(),
-            &bfs.unreachable.to_string(),
-            &secs(bfs.elapsed),
+    let bfs = bfs_coverage(netlist, set, BFS_K, 4_000_000, &bfs_reach).expect("bfs baseline runs");
+    CaseResult {
+        name: set.name.clone(),
+        cells: vec![
+            set.name.clone(),
+            rfn.coi_registers.to_string(),
+            rfn.coi_gates.to_string(),
+            format!("{} ({}s)", rfn.unreachable, secs(rfn.elapsed)),
+            rfn.abstract_registers.to_string(),
+            bfs.unreachable.to_string(),
+            secs(bfs.elapsed),
         ],
-        widths,
-    );
+        rfn_stats: rfn.stats,
+    }
 }

@@ -103,6 +103,20 @@ impl Scale {
     }
 }
 
+/// Parses `--threads <n>` from the command line; defaults to the machine's
+/// available parallelism. The table harnesses run their independent
+/// property/coverage jobs on this many workers (one BDD manager per job);
+/// output order is deterministic at any thread count.
+pub fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or_else(rfn_core::default_threads)
+}
+
 /// Formats a duration as seconds with one decimal.
 pub fn secs(d: Duration) -> String {
     format!("{:.1}", d.as_secs_f64())

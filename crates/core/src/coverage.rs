@@ -18,12 +18,8 @@ use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use rfn_atpg::AtpgOptions;
-use rfn_mc::{
-    forward_reach, ModelSpec, ReachOptions, ReachResult, ReachVerdict, SymbolicModel,
-};
-use rfn_netlist::{
-    transitive_fanin, Abstraction, Coi, CoverageSet, Cube, Netlist, SignalId,
-};
+use rfn_mc::{forward_reach, ModelSpec, ReachOptions, ReachResult, ReachVerdict, SymbolicModel};
+use rfn_netlist::{transitive_fanin, Abstraction, Coi, CoverageSet, Cube, Netlist, SignalId};
 use rfn_sim::Simulator;
 
 use crate::{
@@ -90,6 +86,8 @@ pub struct CoverageReport {
     pub iterations: usize,
     /// Wall-clock time.
     pub elapsed: Duration,
+    /// BDD kernel counters merged over every iteration's manager.
+    pub stats: rfn_bdd::BddStats,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -120,6 +118,7 @@ pub fn analyze_coverage(
     let mut classes = vec![Class::Unknown; total as usize];
     let mut abstraction = Abstraction::from_registers(set.signals.iter().copied());
     let mut iterations = 0;
+    let mut bdd_stats = rfn_bdd::BddStats::default();
 
     // The initial (reset) coverage state is reachable by definition when all
     // coverage registers have known resets.
@@ -135,12 +134,12 @@ pub fn analyze_coverage(
         let view = abstraction.view(netlist, set.signals.iter().copied())?;
         let mut mgr = rfn_bdd::BddManager::new();
         mgr.set_node_limit(options.mc_node_limit);
-        let mut model =
-            match SymbolicModel::with_manager(netlist, ModelSpec::from_view(&view), mgr) {
-                Ok(m) => m,
-                Err(rfn_mc::McError::Bdd(_)) => break,
-                Err(e) => return Err(e.into()),
-            };
+        let mut model = match SymbolicModel::with_manager(netlist, ModelSpec::from_view(&view), mgr)
+        {
+            Ok(m) => m,
+            Err(rfn_mc::McError::Bdd(_)) => break,
+            Err(e) => return Err(e.into()),
+        };
         // Full fixpoint (no early target stop: the projection needs it all).
         let mut reach_opts = options.reach.clone();
         if let Some(d) = deadline {
@@ -148,6 +147,7 @@ pub fn analyze_coverage(
         }
         let zero = model.manager_ref().zero();
         let reach = forward_reach(&mut model, zero, &reach_opts)?;
+        bdd_stats.merge(&reach.stats);
         if reach.verdict != ReachVerdict::FixpointProved {
             break; // out of capacity on this abstraction
         }
@@ -157,7 +157,11 @@ pub fn analyze_coverage(
         let cov_vars: Vec<_> = set
             .signals
             .iter()
-            .map(|&s| model.current_var(s).expect("coverage signals are in the model"))
+            .map(|&s| {
+                model
+                    .current_var(s)
+                    .expect("coverage signals are in the model")
+            })
             .collect();
         let mut frontier_unknown: Vec<u64> = Vec::new();
         for bits in 0..total {
@@ -220,6 +224,7 @@ pub fn analyze_coverage(
                 reached: reach.reached,
                 steps: reach.steps,
                 peak_nodes: reach.peak_nodes,
+                stats: reach.stats,
             };
             let abstract_trace = match hybrid_trace(
                 netlist,
@@ -242,8 +247,7 @@ pub fn analyze_coverage(
             } else {
                 let mut conc_opts = options.concretize_atpg.clone();
                 if let Some(d) = deadline {
-                    conc_opts.time_limit =
-                        Some(d.saturating_duration_since(Instant::now()));
+                    conc_opts.time_limit = Some(d.saturating_duration_since(Instant::now()));
                 }
                 match concretize_cube(netlist, &target_cube, &abstract_trace, &conc_opts)? {
                     ConcretizeOutcome::Falsified(t) => Some(t),
@@ -304,6 +308,7 @@ pub fn analyze_coverage(
         coi_gates: coi.num_gates(),
         iterations,
         elapsed: start.elapsed(),
+        stats: bdd_stats,
     })
 }
 
@@ -334,10 +339,12 @@ pub fn bfs_coverage(
     mgr.set_node_limit(node_limit);
     let mut unreachable = 0;
     let mut unresolved = total;
+    let mut bdd_stats = rfn_bdd::BddStats::default();
     match SymbolicModel::with_manager(netlist, ModelSpec::from_view(&view), mgr) {
         Ok(mut model) => {
             let zero = model.manager_ref().zero();
             let result = forward_reach(&mut model, zero, reach)?;
+            bdd_stats = result.stats;
             if result.verdict == ReachVerdict::FixpointProved {
                 let proj = model.project_to(result.reached, &set.signals)?;
                 let mut assignment = vec![false; model.manager_ref().num_vars()];
@@ -371,6 +378,7 @@ pub fn bfs_coverage(
         coi_gates: coi.num_gates(),
         iterations: 1,
         elapsed: start.elapsed(),
+        stats: bdd_stats,
     })
 }
 

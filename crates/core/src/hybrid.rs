@@ -234,9 +234,7 @@ fn hybrid_step(
         candidates.extend(model.manager_ref().cubes(r, 8));
         for lits in candidates {
             let sc = model.cube_to_signals(&lits);
-            let min_cut_lits = sc
-                .inputs
-                .filter(|s| !is_free_input[s.index()]);
+            let min_cut_lits = sc.inputs.filter(|s| !is_free_input[s.index()]);
             if min_cut_lits.is_empty() {
                 stats.no_cut_steps += 1;
                 return Ok(Some(TraceStep {
@@ -328,18 +326,17 @@ mod tests {
         (n, r0, r1, inputs)
     }
 
-    fn reconstruct(
-        n: &Netlist,
-        target_reg: SignalId,
-    ) -> (Trace, HybridStats) {
+    fn reconstruct(n: &Netlist, target_reg: SignalId) -> (Trace, HybridStats) {
         let property = Property::never(n, "t", target_reg);
         let abstraction = Abstraction::from_registers(n.registers().to_vec());
         let view = abstraction.view(n, [property.signal]).unwrap();
-        let mut model =
-            SymbolicModel::new(n, ModelSpec::from_view(&view)).unwrap();
+        let mut model = SymbolicModel::new(n, ModelSpec::from_view(&view)).unwrap();
         let targets = model.signal_bdd(property.signal).unwrap();
         let reach = forward_reach(&mut model, targets, &ReachOptions::default()).unwrap();
-        assert!(matches!(reach.verdict, rfn_mc::ReachVerdict::TargetHit { .. }));
+        assert!(matches!(
+            reach.verdict,
+            rfn_mc::ReachVerdict::TargetHit { .. }
+        ));
         match hybrid_trace(
             n,
             &view,
@@ -411,6 +408,10 @@ mod tests {
         // 2 cycles: pseudo-input r0=1 then r1=1.
         assert_eq!(trace.num_cycles(), 2);
         let first = &trace.steps()[0];
-        assert_eq!(first.inputs.get(r0), Some(true), "pseudo-input drives the step");
+        assert_eq!(
+            first.inputs.get(r0),
+            Some(true),
+            "pseudo-input drives the step"
+        );
     }
 }

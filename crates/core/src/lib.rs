@@ -58,6 +58,7 @@ mod concretize;
 mod coverage;
 mod error;
 mod hybrid;
+mod portfolio;
 mod refine;
 mod rfn;
 
@@ -67,5 +68,6 @@ pub use concretize::{
 pub use coverage::{analyze_coverage, bfs_coverage, CoverageOptions, CoverageReport};
 pub use error::RfnError;
 pub use hybrid::{hybrid_trace, hybrid_traces, HybridOutcome, HybridStats};
+pub use portfolio::{default_threads, parallel_map};
 pub use refine::{refine, refine_with_roots, RefineOptions, RefineReport};
 pub use rfn::{Rfn, RfnOptions, RfnOutcome, RfnStats};

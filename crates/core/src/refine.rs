@@ -72,13 +72,7 @@ pub fn refine(
     trace: &Trace,
     options: &RefineOptions,
 ) -> Result<RefineReport, RfnError> {
-    refine_with_roots(
-        netlist,
-        abstraction,
-        &[property.signal],
-        trace,
-        options,
-    )
+    refine_with_roots(netlist, abstraction, &[property.signal], trace, options)
 }
 
 /// Like [`refine`], but with explicit view roots instead of a property (the
@@ -254,8 +248,15 @@ mod tests {
         assert!(abs.contains(a), "the stuck register a must be added");
         assert!(!report.added.is_empty());
         // The trace must now be invalidated on the refined abstraction.
-        let sat =
-            trace_satisfiable(&n, &abs, &[], &[p.signal], &trace, &RefineOptions::default()).unwrap();
+        let sat = trace_satisfiable(
+            &n,
+            &abs,
+            &[],
+            &[p.signal],
+            &trace,
+            &RefineOptions::default(),
+        )
+        .unwrap();
         assert_eq!(sat, Some(false));
     }
 

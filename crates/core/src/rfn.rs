@@ -74,6 +74,8 @@ pub struct RfnStats {
     pub refinement_sizes: Vec<usize>,
     /// Hybrid-engine statistics accumulated over all iterations.
     pub hybrid: HybridStats,
+    /// BDD kernel counters merged over every iteration's manager.
+    pub bdd: rfn_bdd::BddStats,
 }
 
 /// How an RFN run ended.
@@ -196,21 +198,18 @@ impl<'n> Rfn<'n> {
             // Step 2: prove or find an abstract error trace.
             let mut mgr = rfn_bdd::BddManager::new();
             mgr.set_node_limit(self.options.mc_node_limit);
-            let mut model = match SymbolicModel::with_manager(
-                self.netlist,
-                ModelSpec::from_view(&view),
-                mgr,
-            ) {
-                Ok(m) => m,
-                Err(rfn_mc::McError::Bdd(_)) => {
-                    return Ok(self.inconclusive(
-                        "BDD node limit while building the abstract model",
-                        stats,
-                        start,
-                    ))
-                }
-                Err(e) => return Err(e.into()),
-            };
+            let mut model =
+                match SymbolicModel::with_manager(self.netlist, ModelSpec::from_view(&view), mgr) {
+                    Ok(m) => m,
+                    Err(rfn_mc::McError::Bdd(_)) => {
+                        return Ok(self.inconclusive(
+                            "BDD node limit while building the abstract model",
+                            stats,
+                            start,
+                        ))
+                    }
+                    Err(e) => return Err(e.into()),
+                };
             self.restore_order(&mut model, &saved_order);
             let targets = {
                 let sig = model.signal_bdd(self.property.signal)?;
@@ -234,12 +233,16 @@ impl<'n> Rfn<'n> {
                 reach_opts.time_limit = Some(d.saturating_duration_since(Instant::now()));
             }
             let reach = forward_reach(&mut model, targets, &reach_opts)?;
+            stats.bdd.merge(&reach.stats);
             let hit_step = match reach.verdict {
                 ReachVerdict::FixpointProved => {
-                    self.log(iteration, &format!(
-                        "proved with {} registers in the abstract model",
-                        abstraction.len()
-                    ));
+                    self.log(
+                        iteration,
+                        &format!(
+                            "proved with {} registers in the abstract model",
+                            abstraction.len()
+                        ),
+                    );
                     stats.elapsed = start.elapsed();
                     return Ok(RfnOutcome::Proved { stats });
                 }
@@ -279,13 +282,16 @@ impl<'n> Rfn<'n> {
             }
             let traces: Vec<rfn_netlist::Trace> =
                 reconstructed.into_iter().map(|(t, _)| t).collect();
-            self.log(iteration, &format!(
-                "{} abstract error trace(s) of {} cycles (hit at step {}) on {} registers",
-                traces.len(),
-                traces[0].num_cycles(),
-                hit_step,
-                abstraction.len()
-            ));
+            self.log(
+                iteration,
+                &format!(
+                    "{} abstract error trace(s) of {} cycles (hit at step {}) on {} registers",
+                    traces.len(),
+                    traces[0].num_cycles(),
+                    hit_step,
+                    abstraction.len()
+                ),
+            );
             // Save the variable order for the next iteration.
             saved_order = self.save_order(&model);
             drop(model);
@@ -316,10 +322,13 @@ impl<'n> Rfn<'n> {
             for abstract_trace in &traces {
                 match concretize(self.netlist, &self.property, abstract_trace, &conc_opts)? {
                     ConcretizeOutcome::Falsified(trace) => {
-                        self.log(iteration, &format!(
-                            "falsified: {}-cycle error trace on the original design",
-                            trace.num_cycles()
-                        ));
+                        self.log(
+                            iteration,
+                            &format!(
+                                "falsified: {}-cycle error trace on the original design",
+                                trace.num_cycles()
+                            ),
+                        );
                         stats.trace_length = Some(trace.num_cycles());
                         stats.elapsed = start.elapsed();
                         return Ok(RfnOutcome::Falsified { trace, stats });
@@ -336,12 +345,15 @@ impl<'n> Rfn<'n> {
                 &traces[0],
                 &self.options.refine,
             )?;
-            self.log(iteration, &format!(
-                "refined: +{} registers ({} candidates, {} conflicts)",
-                report.added.len(),
-                report.candidates,
-                report.conflicts_found
-            ));
+            self.log(
+                iteration,
+                &format!(
+                    "refined: +{} registers ({} candidates, {} conflicts)",
+                    report.added.len(),
+                    report.candidates,
+                    report.conflicts_found
+                ),
+            );
             if report.added.is_empty() {
                 return Ok(self.inconclusive(
                     "refinement found no crucial registers to add",
@@ -451,7 +463,10 @@ mod tests {
     #[test]
     fn proves_with_small_abstraction() {
         let (n, p) = layered_design(30);
-        let outcome = Rfn::new(&n, &p, RfnOptions::default()).unwrap().run().unwrap();
+        let outcome = Rfn::new(&n, &p, RfnOptions::default())
+            .unwrap()
+            .run()
+            .unwrap();
         let RfnOutcome::Proved { stats } = outcome else {
             panic!("expected proof, got {outcome:?}");
         };
@@ -492,7 +507,10 @@ mod tests {
     #[test]
     fn falsifies_with_validated_trace() {
         let (n, p) = falsifiable_design();
-        let outcome = Rfn::new(&n, &p, RfnOptions::default()).unwrap().run().unwrap();
+        let outcome = Rfn::new(&n, &p, RfnOptions::default())
+            .unwrap()
+            .run()
+            .unwrap();
         let RfnOutcome::Falsified { trace, stats } = outcome else {
             panic!("expected falsification, got {outcome:?}");
         };
@@ -531,7 +549,10 @@ mod tests {
         let gate = n.add_gate("gate", GateOp::And, &[mode, i]);
         n.validate().unwrap();
         let p = Property::never(&n, "gate_low", gate);
-        let outcome = Rfn::new(&n, &p, RfnOptions::default()).unwrap().run().unwrap();
+        let outcome = Rfn::new(&n, &p, RfnOptions::default())
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(outcome.is_proved(), "got {outcome:?}");
     }
 }

@@ -12,8 +12,8 @@
 use rfn_netlist::{GateOp, Netlist, Property};
 
 use crate::words::{
-    coi_coupler, connect_word, decrementer, eq_const, ge_const, incrementer, mux_word,
-    watchdog, word_input, word_register, xor_reduce,
+    coi_coupler, connect_word, decrementer, eq_const, ge_const, incrementer, mux_word, watchdog,
+    word_input, word_register, xor_reduce,
 };
 use crate::Design;
 
@@ -104,9 +104,12 @@ pub fn fifo_controller(params: &FifoParams) -> Design {
     let next_half = ge_const(&mut n, &next_count, half_threshold);
     let next_almost = ge_const(&mut n, &next_count, depth - 2);
     n.set_register_next(full, next_full).expect("full connects");
-    n.set_register_next(empty, next_empty).expect("empty connects");
-    n.set_register_next(half_full, next_half).expect("half connects");
-    n.set_register_next(almost_full, next_almost).expect("almost connects");
+    n.set_register_next(empty, next_empty)
+        .expect("empty connects");
+    n.set_register_next(half_full, next_half)
+        .expect("half connects");
+    n.set_register_next(almost_full, next_almost)
+        .expect("almost connects");
 
     // Data pipeline: stage0 captures on push, later stages shift — this is
     // the periphery that inflates the COI, as in the synthesized original.
@@ -122,7 +125,8 @@ pub fn fifo_controller(params: &FifoParams) -> Design {
     let parity = n.add_register("parity", Some(false));
     let last_parity = xor_reduce(&mut n, &stages[params.data_stages - 1]);
     let parity_next = n.add_gate("parity_next", GateOp::Xor, &[parity, last_parity]);
-    n.set_register_next(parity, parity_next).expect("parity connects");
+    n.set_register_next(parity, parity_next)
+        .expect("parity connects");
 
     // Billing checksum: accumulates the product of the oldest stage and the
     // incoming word. Irrelevant to the control properties, but the
@@ -368,9 +372,8 @@ mod format_tests {
         let half = n.find("half_full").unwrap();
         let mut sim = rfn_sim::Simulator::new(n).unwrap();
         sim.reset();
-        let mut drive = |sim: &mut rfn_sim::Simulator| {
-            let mut cube: rfn_netlist::Cube =
-                n.inputs().iter().map(|&i| (i, false)).collect();
+        let drive = |sim: &mut rfn_sim::Simulator| {
+            let mut cube: rfn_netlist::Cube = n.inputs().iter().map(|&i| (i, false)).collect();
             cube.remove(push);
             cube.insert(push, true).unwrap();
             sim.step(&cube);

@@ -72,9 +72,7 @@ pub fn integer_unit(params: &IntegerUnitParams) -> Design {
     let counters: Vec<Vec<Vec<SignalId>>> = (0..params.stages)
         .map(|k| {
             (0..params.counters_per_stage)
-                .map(|c| {
-                    word_register(&mut n, &format!("perf{k}_{c}"), params.counter_width, 0)
-                })
+                .map(|c| word_register(&mut n, &format!("perf{k}_{c}"), params.counter_width, 0))
                 .collect()
         })
         .collect();
@@ -198,9 +196,9 @@ pub fn integer_unit(params: &IntegerUnitParams) -> Design {
     // Datapath filler latches, shifting while stage 0 is busy.
     let data_in = word_input(&mut n, "data_in", params.data_width);
     let mut prev = data_in;
-    for k in 0..params.stages {
+    for (k, &busy) in busy_bits.iter().enumerate() {
         let lat = word_register(&mut n, &format!("dat{k}"), params.data_width, 0);
-        let upd = mux_word(&mut n, busy_bits[k], &lat, &prev);
+        let upd = mux_word(&mut n, busy, &lat, &prev);
         connect_word(&mut n, &lat, &upd);
         prev = lat;
     }

@@ -110,8 +110,10 @@ pub fn processor_module(params: &ProcessorParams) -> Design {
     let g1_next_pre = n.add_gate("g1_next_pre", GateOp::And, &[vld1, g1_sel_strict]);
     let grant0 = n.add_register("grant0", Some(false));
     let grant1 = n.add_register("grant1", Some(false));
-    n.set_register_next(grant0, g0_next).expect("grant0 connects");
-    n.set_register_next(grant1, g1_next_pre).expect("grant1 connects");
+    n.set_register_next(grant0, g0_next)
+        .expect("grant0 connects");
+    n.set_register_next(grant1, g1_next_pre)
+        .expect("grant1 connects");
     // Delayed valid shadows: a grant must follow a valid request.
     let vld0_d = n.add_register("vld0_d", Some(false));
     let vld1_d = n.add_register("vld1_d", Some(false));
@@ -365,16 +367,15 @@ mod tests {
         let in_stall = n.find("in_stall").unwrap();
         let mut sim = Simulator::new(n).unwrap();
         sim.reset();
-        let all_low = |n: &rfn_netlist::Netlist| -> Cube {
-            n.inputs().iter().map(|&i| (i, false)).collect()
-        };
+        let all_low =
+            |n: &rfn_netlist::Netlist| -> Cube { n.inputs().iter().map(|&i| (i, false)).collect() };
         // Boot sequence.
         let mut cube = all_low(n);
         cube.remove(start);
         cube.insert(start, true).unwrap();
         sim.step(&cube);
         sim.step(&all_low(n)); // boot -> active
-        // Hold the stall for threshold + 1 cycles.
+                               // Hold the stall for threshold + 1 cycles.
         for _ in 0..small().stall_threshold + 1 {
             assert_eq!(sim.value(err), Tv::Zero, "fired too early");
             let mut c = all_low(n);
@@ -396,9 +397,8 @@ mod tests {
         let in_stall = n.find("in_stall").unwrap();
         let mut sim = Simulator::new(n).unwrap();
         sim.reset();
-        let all_low = |n: &rfn_netlist::Netlist| -> Cube {
-            n.inputs().iter().map(|&i| (i, false)).collect()
-        };
+        let all_low =
+            |n: &rfn_netlist::Netlist| -> Cube { n.inputs().iter().map(|&i| (i, false)).collect() };
         let mut c = all_low(n);
         c.remove(start);
         c.insert(start, true).unwrap();
@@ -426,9 +426,8 @@ mod tests {
         let grant0 = n.find("grant0").unwrap();
         let mut sim = Simulator::new(n).unwrap();
         sim.reset();
-        let all_low = |n: &rfn_netlist::Netlist| -> Cube {
-            n.inputs().iter().map(|&i| (i, false)).collect()
-        };
+        let all_low =
+            |n: &rfn_netlist::Netlist| -> Cube { n.inputs().iter().map(|&i| (i, false)).collect() };
         let mut c = all_low(n);
         c.remove(req0);
         c.insert(req0, true).unwrap();

@@ -23,7 +23,8 @@ pub fn saturating_counter(bits: usize) -> Design {
         let at_zero = eq_const(&mut n, &c, 0);
         let seen_max = n.add_register("seen_max", Some(false));
         let seen_next = n.add_gate("seen_next", GateOp::Or, &[seen_max, at_max]);
-        n.set_register_next(seen_max, seen_next).expect("seen_max connects");
+        n.set_register_next(seen_max, seen_next)
+            .expect("seen_max connects");
         n.add_gate("wrapped", GateOp::And, &[at_zero, seen_max])
     };
     let w = watchdog(&mut n, "w_overflow", wrapped);

@@ -32,7 +32,8 @@ pub fn word_input(n: &mut Netlist, name: &str, width: usize) -> Word {
 pub fn connect_word(n: &mut Netlist, regs: &[SignalId], next: &[SignalId]) {
     assert_eq!(regs.len(), next.len(), "word width mismatch");
     for (&r, &nx) in regs.iter().zip(next) {
-        n.set_register_next(r, nx).expect("word register connects once");
+        n.set_register_next(r, nx)
+            .expect("word register connects once");
     }
 }
 
@@ -159,7 +160,8 @@ pub fn and_reduce(n: &mut Netlist, word: &[SignalId]) -> SignalId {
 pub fn watchdog(n: &mut Netlist, name: &str, fire: SignalId) -> SignalId {
     let w = n.add_register(name, Some(false));
     let hold = n.add_gate("", GateOp::Or, &[w, fire]);
-    n.set_register_next(w, hold).expect("fresh watchdog register");
+    n.set_register_next(w, hold)
+        .expect("fresh watchdog register");
     w
 }
 
@@ -180,11 +182,9 @@ mod tests {
     use rfn_sim::{Simulator, Tv};
 
     fn eval_word(sim: &Simulator, w: &[SignalId]) -> u64 {
-        w.iter()
-            .enumerate()
-            .fold(0, |acc, (k, &b)| {
-                acc | (u64::from(sim.value(b) == Tv::One) << k)
-            })
+        w.iter().enumerate().fold(0, |acc, (k, &b)| {
+            acc | (u64::from(sim.value(b) == Tv::One) << k)
+        })
     }
 
     #[test]

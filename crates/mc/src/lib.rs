@@ -48,3 +48,4 @@ pub use error::McError;
 pub use model::{ModelSpec, StateCube, SymbolicModel, TransitionRelation, VarKind};
 pub use plain::{verify_plain, PlainOptions, PlainReport, PlainVerdict};
 pub use reach::{forward_reach, ReachOptions, ReachResult, ReachVerdict};
+pub use rfn_bdd::BddStats;

@@ -356,11 +356,7 @@ impl<'n> SymbolicModel<'n> {
             .spec
             .registers
             .iter()
-            .filter_map(|&r| {
-                self.netlist
-                    .register_init(r)
-                    .map(|v| (self.cur[&r], v))
-            })
+            .filter_map(|&r| self.netlist.register_init(r).map(|v| (self.cur[&r], v)))
             .collect();
         Ok(self.mgr.cube(lits))
     }
@@ -454,11 +450,7 @@ impl<'n> SymbolicModel<'n> {
     /// hybrid engine uses this on the min-cut design — the cut-signal
     /// literals of the result's cubes are exactly the paper's min-cut-cube
     /// content (Figure 1).
-    pub fn pre_image_with_inputs(
-        &mut self,
-        trans: &TransitionRelation,
-        q: Bdd,
-    ) -> BddResult {
+    pub fn pre_image_with_inputs(&mut self, trans: &TransitionRelation, q: Bdd) -> BddResult {
         let q_next = self.cur_to_nxt(q)?;
         let quant: BTreeSet<VarId> = self.nxt.values().copied().collect();
         self.relational_product(&trans.parts, q_next, &quant)
@@ -467,42 +459,50 @@ impl<'n> SymbolicModel<'n> {
     /// Early-quantified linear relational product: conjoin partitions one at
     /// a time, quantifying each variable as soon as no later partition
     /// mentions it.
-    fn relational_product(
-        &mut self,
-        parts: &[Bdd],
-        q: Bdd,
-        quant: &BTreeSet<VarId>,
-    ) -> BddResult {
+    fn relational_product(&mut self, parts: &[Bdd], q: Bdd, quant: &BTreeSet<VarId>) -> BddResult {
         if parts.is_empty() {
             let cube = self.mgr.var_cube(quant.iter().copied());
             return self.mgr.exists(q, cube);
         }
-        // Suffix supports: vars mentioned by parts[i+1..].
-        let mut suffix: Vec<BTreeSet<VarId>> = vec![BTreeSet::new(); parts.len() + 1];
-        for i in (0..parts.len()).rev() {
-            let mut s = suffix[i + 1].clone();
-            s.extend(self.mgr.support(parts[i]));
-            suffix[i] = s;
+        // Pending partitions are held across earlier `and_exists` calls where
+        // they are not operands; protect them from the automatic collector.
+        // (The accumulator and each quantification cube are always operands
+        // of the very next call, so they need no protection.)
+        for &p in parts {
+            self.mgr.protect(p);
         }
-        let mut acc = q;
-        let mut remaining: BTreeSet<VarId> = quant.clone();
-        for (i, &part) in parts.iter().enumerate() {
-            let now: Vec<VarId> = remaining
-                .iter()
-                .copied()
-                .filter(|v| !suffix[i + 1].contains(v))
-                .collect();
-            for v in &now {
-                remaining.remove(v);
+        let result = (|| -> BddResult {
+            // Suffix supports: vars mentioned by parts[i+1..].
+            let mut suffix: Vec<BTreeSet<VarId>> = vec![BTreeSet::new(); parts.len() + 1];
+            for i in (0..parts.len()).rev() {
+                let mut s = suffix[i + 1].clone();
+                s.extend(self.mgr.support(parts[i]));
+                suffix[i] = s;
             }
-            let cube = self.mgr.var_cube(now);
-            acc = self.mgr.and_exists(acc, part, cube)?;
+            let mut acc = q;
+            let mut remaining: BTreeSet<VarId> = quant.clone();
+            for (i, &part) in parts.iter().enumerate() {
+                let now: Vec<VarId> = remaining
+                    .iter()
+                    .copied()
+                    .filter(|v| !suffix[i + 1].contains(v))
+                    .collect();
+                for v in &now {
+                    remaining.remove(v);
+                }
+                let cube = self.mgr.var_cube(now);
+                acc = self.mgr.and_exists(acc, part, cube)?;
+            }
+            if !remaining.is_empty() {
+                let cube = self.mgr.var_cube(remaining);
+                acc = self.mgr.exists(acc, cube)?;
+            }
+            Ok(acc)
+        })();
+        for &p in parts {
+            self.mgr.unprotect(p);
         }
-        if !remaining.is_empty() {
-            let cube = self.mgr.var_cube(remaining);
-            acc = self.mgr.exists(acc, cube)?;
-        }
-        Ok(acc)
+        result
     }
 
     /// Projects a state set onto the given register signals: every other
@@ -515,11 +515,7 @@ impl<'n> SymbolicModel<'n> {
     pub fn project_to(&mut self, f: Bdd, signals: &[SignalId]) -> Result<Bdd, McError> {
         let mut keep = BTreeSet::new();
         for &s in signals {
-            let v = self
-                .cur
-                .get(&s)
-                .copied()
-                .ok_or(McError::UnboundSignal(s))?;
+            let v = self.cur.get(&s).copied().ok_or(McError::UnboundSignal(s))?;
             keep.insert(v);
         }
         let drop: Vec<VarId> = self

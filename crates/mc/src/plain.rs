@@ -3,6 +3,7 @@
 
 use std::time::{Duration, Instant};
 
+use rfn_bdd::BddStats;
 use rfn_netlist::{Abstraction, Coi, Netlist, Property};
 
 use crate::{forward_reach, McError, ModelSpec, ReachOptions, ReachVerdict, SymbolicModel};
@@ -58,6 +59,8 @@ pub struct PlainReport {
     pub peak_nodes: usize,
     /// Wall-clock time spent.
     pub elapsed: Duration,
+    /// BDD kernel performance counters of the run.
+    pub stats: BddStats,
 }
 
 /// Runs BDD-based symbolic model checking on the *whole cone of influence*
@@ -95,6 +98,7 @@ pub fn verify_plain(
                 steps: 0,
                 peak_nodes: options.node_limit,
                 elapsed: start.elapsed(),
+                stats: BddStats::default(),
             });
         }
         Err(e) => return Err(e),
@@ -117,6 +121,7 @@ pub fn verify_plain(
                 steps: 0,
                 peak_nodes: options.node_limit,
                 elapsed: start.elapsed(),
+                stats: model.manager_ref().stats(),
             });
         }
         Err(e) => return Err(e),
@@ -134,6 +139,7 @@ pub fn verify_plain(
         steps: result.steps,
         peak_nodes: result.peak_nodes,
         elapsed: start.elapsed(),
+        stats: result.stats,
     })
 }
 

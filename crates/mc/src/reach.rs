@@ -2,7 +2,7 @@
 
 use std::time::{Duration, Instant};
 
-use rfn_bdd::{Bdd, BddError};
+use rfn_bdd::{Bdd, BddError, BddStats};
 
 use crate::{McError, SymbolicModel};
 
@@ -19,6 +19,11 @@ pub struct ReachOptions {
     pub max_growth: f64,
     /// Wall-clock budget.
     pub time_limit: Option<Duration>,
+    /// Enable the kernel's automatic garbage collector for the duration of
+    /// the fixpoint. Rings, the reached set, the targets and the model's
+    /// persistent roots are protected; image intermediates become
+    /// collectible as soon as each step completes.
+    pub auto_gc: bool,
 }
 
 impl Default for ReachOptions {
@@ -29,6 +34,7 @@ impl Default for ReachOptions {
             reorder_threshold: 20_000,
             max_growth: 1.5,
             time_limit: None,
+            auto_gc: true,
         }
     }
 }
@@ -64,6 +70,9 @@ pub struct ReachResult {
     pub steps: usize,
     /// Peak live node count observed.
     pub peak_nodes: usize,
+    /// Kernel performance counters of the manager at the end of the run
+    /// (cumulative since the manager was created or its stats were reset).
+    pub stats: BddStats,
 }
 
 /// Computes a forward fixpoint from the model's initial states, stopping
@@ -83,12 +92,45 @@ pub fn forward_reach(
     targets: Bdd,
     options: &ReachOptions,
 ) -> Result<ReachResult, McError> {
+    // Everything held across kernel calls inside the loop — targets, the
+    // model's transition partitions and signal cache, rings, the reached
+    // set — is registered in the manager's protected root set so the
+    // automatic collector cannot reclaim it. The log makes the protection
+    // exactly reversible on every exit path, and the collector is switched
+    // off again on return so callers may hold unprotected handles as before.
+    let mut protect_log: Vec<Bdd> = model.persistent_roots();
+    protect_log.push(targets);
+    for &b in &protect_log {
+        model.manager().protect(b);
+    }
+    if options.auto_gc {
+        model.manager().set_auto_gc(true);
+    }
+    let result = reach_loop(model, targets, options, &mut protect_log);
+    model.manager().set_auto_gc(false);
+    for &b in &protect_log {
+        model.manager().unprotect(b);
+    }
+    result.map(|mut r| {
+        r.stats = model.manager_ref().stats();
+        r
+    })
+}
+
+fn reach_loop(
+    model: &mut SymbolicModel<'_>,
+    targets: Bdd,
+    options: &ReachOptions,
+    protect_log: &mut Vec<Bdd>,
+) -> Result<ReachResult, McError> {
     let deadline = options.time_limit.map(|d| Instant::now() + d);
     let mut threshold = options.reorder_threshold;
     let init = match model.init_states() {
         Ok(b) => b,
         Err(_) => return Ok(aborted(model, vec![], 0)),
     };
+    model.manager().protect(init);
+    protect_log.push(init);
     let mut rings = vec![init];
     let mut reached = init;
     let mut frontier = init;
@@ -107,6 +149,7 @@ pub fn forward_reach(
                 reached,
                 steps,
                 peak_nodes: peak,
+                stats: BddStats::default(),
             })
         }
         Ok(false) => {}
@@ -122,18 +165,25 @@ pub fn forward_reach(
                 return Ok(aborted_with(model, rings, reached, steps, peak));
             }
         }
-        let step_result = (|| -> Result<Option<Bdd>, BddError> {
-            let img = model.post_image(frontier)?;
-            let nreached = model.manager().not(reached)?;
-            let new = model.manager().and(img, nreached)?;
-            Ok(Some(new))
-        })();
-        let new = match step_result {
-            Ok(Some(new)) => new,
-            Ok(None) => unreachable!(),
-            Err(_) => {
-                return Ok(aborted_with(model, rings, reached, steps, peak))
+        // `img` is held across the `not`, where it is not an operand, so it
+        // needs transient protection from the collector.
+        let step_result = {
+            match model.post_image(frontier) {
+                Ok(img) => {
+                    model.manager().protect(img);
+                    let new = model
+                        .manager()
+                        .not(reached)
+                        .and_then(|nr| model.manager().and(img, nr));
+                    model.manager().unprotect(img);
+                    new
+                }
+                Err(e) => Err(e),
             }
+        };
+        let new = match step_result {
+            Ok(new) => new,
+            Err(_) => return Ok(aborted_with(model, rings, reached, steps, peak)),
         };
         steps += 1;
         if new == model.manager_ref().zero() {
@@ -143,14 +193,17 @@ pub fn forward_reach(
                 reached,
                 steps,
                 peak_nodes: peak,
+                stats: BddStats::default(),
             });
         }
+        model.manager().protect(new);
+        protect_log.push(new);
         reached = match model.manager().or(reached, new) {
             Ok(b) => b,
-            Err(_) => {
-                return Ok(aborted_with(model, rings, reached, steps, peak))
-            }
+            Err(_) => return Ok(aborted_with(model, rings, reached, steps, peak)),
         };
+        model.manager().protect(reached);
+        protect_log.push(reached);
         rings.push(new);
         peak = peak.max(model.manager_ref().num_nodes());
         match hit(model, new) {
@@ -161,12 +214,11 @@ pub fn forward_reach(
                     reached,
                     steps,
                     peak_nodes: peak,
+                    stats: BddStats::default(),
                 })
             }
             Ok(false) => {}
-            Err(_) => {
-                return Ok(aborted_with(model, rings, reached, steps, peak))
-            }
+            Err(_) => return Ok(aborted_with(model, rings, reached, steps, peak)),
         }
         frontier = new;
         if options.reorder && model.manager_ref().num_nodes() > threshold {
@@ -189,6 +241,7 @@ fn aborted(model: &SymbolicModel<'_>, rings: Vec<Bdd>, steps: usize) -> ReachRes
         rings,
         steps,
         peak_nodes: model.manager_ref().num_nodes(),
+        stats: BddStats::default(),
     }
 }
 
@@ -205,6 +258,7 @@ fn aborted_with(
         reached,
         steps,
         peak_nodes: peak.max(model.manager_ref().num_nodes()),
+        stats: BddStats::default(),
     }
 }
 
@@ -335,6 +389,53 @@ mod tests {
         let r = forward_reach(&mut m, target, &opts).unwrap();
         assert_eq!(r.verdict, ReachVerdict::Aborted);
         assert_eq!(r.steps, 2);
+    }
+
+    /// With a threshold of one node the collector fires at every public
+    /// kernel operation; any handle the reach loop or the relational product
+    /// fails to protect would be reclaimed and corrupt the result.
+    #[test]
+    fn aggressive_auto_gc_during_reach_is_sound() {
+        let (n, b) = counter3();
+        let view = Abstraction::from_registers(n.registers().to_vec())
+            .view(&n, [])
+            .unwrap();
+        let mut mgr = rfn_bdd::BddManager::new();
+        mgr.set_auto_gc_threshold(1);
+        let mut m =
+            crate::SymbolicModel::with_manager(&n, ModelSpec::from_view(&view), mgr).unwrap();
+        let c: Cube = [(b[0], true), (b[1], true), (b[2], true)]
+            .into_iter()
+            .collect();
+        let target = m.cube_to_bdd(&c).unwrap();
+        let r = forward_reach(&mut m, target, &ReachOptions::default()).unwrap();
+        assert_eq!(r.verdict, ReachVerdict::FixpointProved);
+        assert!(r.stats.auto_gc_runs > 0, "collector never fired");
+        let nv = m.manager_ref().num_vars();
+        let total = m.manager().sat_count(r.reached, nv);
+        assert_eq!(total / 8.0, 6.0);
+    }
+
+    /// Disabling the knob must keep the collector off even with an eager
+    /// threshold.
+    #[test]
+    fn auto_gc_knob_disables_collection() {
+        let (n, _) = counter3();
+        let view = Abstraction::from_registers(n.registers().to_vec())
+            .view(&n, [])
+            .unwrap();
+        let mut mgr = rfn_bdd::BddManager::new();
+        mgr.set_auto_gc_threshold(1);
+        let mut m =
+            crate::SymbolicModel::with_manager(&n, ModelSpec::from_view(&view), mgr).unwrap();
+        let zero = m.manager_ref().zero();
+        let opts = ReachOptions {
+            auto_gc: false,
+            ..ReachOptions::default()
+        };
+        let r = forward_reach(&mut m, zero, &opts).unwrap();
+        assert_eq!(r.verdict, ReachVerdict::FixpointProved);
+        assert_eq!(r.stats.auto_gc_runs, 0);
     }
 
     #[test]

@@ -53,11 +53,9 @@ fn explicit_reachable(n: &Netlist) -> HashSet<u32> {
     let regs = n.registers().to_vec();
     let inputs = n.inputs().to_vec();
     let encode = |sim: &Simulator| -> u32 {
-        regs.iter()
-            .enumerate()
-            .fold(0u32, |acc, (k, &r)| {
-                acc | (u32::from(sim.value(r).to_bool().expect("binary")) << k)
-            })
+        regs.iter().enumerate().fold(0u32, |acc, (k, &r)| {
+            acc | (u32::from(sim.value(r).to_bool().expect("binary")) << k)
+        })
     };
     let decode_into = |sim: &mut Simulator, bits: u32| {
         for (k, &r) in regs.iter().enumerate() {

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeSet;
 
-use crate::{transitive_fanin, NetlistError, Netlist, SignalId};
+use crate::{transitive_fanin, Netlist, NetlistError, SignalId};
 
 /// A set of registers selected to form an abstract model.
 ///
@@ -230,10 +230,7 @@ impl AbstractView {
     /// All primary inputs of the abstract model `N`: true inputs followed by
     /// pseudo-inputs.
     pub fn free_inputs(&self) -> impl Iterator<Item = SignalId> + '_ {
-        self.inputs
-            .iter()
-            .chain(self.pseudo_inputs.iter())
-            .copied()
+        self.inputs.iter().chain(self.pseudo_inputs.iter()).copied()
     }
 
     /// Whether the signal belongs to the abstract model (as gate, register,

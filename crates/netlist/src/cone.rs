@@ -27,10 +27,7 @@ use crate::{NetKind, Netlist, SignalId};
 /// # Ok(())
 /// # }
 /// ```
-pub fn transitive_fanin(
-    netlist: &Netlist,
-    roots: impl IntoIterator<Item = SignalId>,
-) -> Cone {
+pub fn transitive_fanin(netlist: &Netlist, roots: impl IntoIterator<Item = SignalId>) -> Cone {
     let mut seen = vec![false; netlist.num_signals()];
     let mut stack: Vec<SignalId> = Vec::new();
     for r in roots {

@@ -69,7 +69,7 @@ mod parse;
 mod property;
 mod signal;
 
-pub use abstraction::{Abstraction, AbstractView};
+pub use abstraction::{AbstractView, Abstraction};
 pub use cone::{transitive_fanin, transitive_fanout_gates, Coi};
 pub use cube::{Cube, CubeConflict, Trace, TraceStep};
 pub use error::NetlistError;

@@ -53,11 +53,7 @@ pub fn compute_free_cut(netlist: &Netlist, view: &AbstractView) -> FreeCut {
     }
     for &g in view.gates() {
         // view gates are already topologically ordered
-        if netlist
-            .fanins(g)
-            .iter()
-            .any(|f| in_fanout[f.index()])
-        {
+        if netlist.fanins(g).iter().any(|f| in_fanout[f.index()]) {
             in_fanout[g.index()] = true;
         }
     }
@@ -168,8 +164,7 @@ pub fn compute_min_cut_with_free_cut(
     // non-FC, non-constant fanins are the "boundary signals" that the cut must
     // feed.
     let mut boundary: Vec<SignalId> = Vec::new();
-    let is_const =
-        |s: SignalId| matches!(netlist.kind(s), crate::NetKind::Const(_));
+    let is_const = |s: SignalId| matches!(netlist.kind(s), crate::NetKind::Const(_));
     {
         let mut seen = vec![false; n];
         let add = |s: SignalId, boundary: &mut Vec<SignalId>, seen: &mut Vec<bool>| {
@@ -401,9 +396,7 @@ mod tests {
     /// Funnel: many inputs reduce through a tree to few signals before FC.
     fn funnel_design(width: usize) -> (Netlist, SignalId, Vec<SignalId>) {
         let mut n = Netlist::new("funnel");
-        let inputs: Vec<_> = (0..width)
-            .map(|k| n.add_input(&format!("i{k}")))
-            .collect();
+        let inputs: Vec<_> = (0..width).map(|k| n.add_input(&format!("i{k}"))).collect();
         let funnel = n.add_gate("funnel", GateOp::Xor, &inputs);
         let r = n.add_register("r", Some(false));
         let upd = n.add_gate("upd", GateOp::Xor, &[r, funnel]);

@@ -403,7 +403,12 @@ impl Netlist {
 
     /// Replaces a gate's operator and fanins. Parser internal use only: the
     /// two-pass text parser creates gates with placeholder fanins first.
-    pub(crate) fn replace_gate_fanins(&mut self, gate: SignalId, op: GateOp, fanins: Vec<SignalId>) {
+    pub(crate) fn replace_gate_fanins(
+        &mut self,
+        gate: SignalId,
+        op: GateOp,
+        fanins: Vec<SignalId>,
+    ) {
         if let Some(net) = self.nets.get_mut(gate.index()) {
             if matches!(net.kind, NetKind::Gate { .. }) {
                 net.kind = NetKind::Gate { op, fanins };
@@ -485,7 +490,10 @@ mod tests {
         let mut n = Netlist::new("d");
         let i = n.add_input("i");
         let j = n.add_input("j");
-        assert_eq!(n.set_register_next(i, j), Err(NetlistError::NotARegister(i)));
+        assert_eq!(
+            n.set_register_next(i, j),
+            Err(NetlistError::NotARegister(i))
+        );
     }
 
     #[test]

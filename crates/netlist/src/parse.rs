@@ -74,11 +74,15 @@ pub fn parse_netlist(text: &str) -> Result<Netlist, NetlistError> {
                     .to_owned();
             }
             "input" => {
-                let name = toks.next().ok_or_else(|| err(lineno, "input needs a name"))?;
+                let name = toks
+                    .next()
+                    .ok_or_else(|| err(lineno, "input needs a name"))?;
                 decls.push((lineno, Decl::Input(name)));
             }
             "const" => {
-                let name = toks.next().ok_or_else(|| err(lineno, "const needs a name"))?;
+                let name = toks
+                    .next()
+                    .ok_or_else(|| err(lineno, "const needs a name"))?;
                 let v = match toks.next() {
                     Some("0") => false,
                     Some("1") => true,
@@ -87,7 +91,9 @@ pub fn parse_netlist(text: &str) -> Result<Netlist, NetlistError> {
                 decls.push((lineno, Decl::Const(name, v)));
             }
             "gate" => {
-                let name = toks.next().ok_or_else(|| err(lineno, "gate needs a name"))?;
+                let name = toks
+                    .next()
+                    .ok_or_else(|| err(lineno, "gate needs a name"))?;
                 let op: GateOp = toks
                     .next()
                     .ok_or_else(|| err(lineno, "gate needs an operator"))?

@@ -2,17 +2,13 @@
 
 use proptest::prelude::*;
 use rfn_netlist::{
-    compute_free_cut, compute_min_cut, parse_netlist, transitive_fanin, write_netlist,
-    Abstraction, Coi, Cube, GateOp, Netlist, SignalId,
+    compute_free_cut, compute_min_cut, parse_netlist, transitive_fanin, write_netlist, Abstraction,
+    Coi, Cube, GateOp, Netlist, SignalId,
 };
 
 /// Generates a random layered sequential netlist: `n_inputs` inputs,
 /// `n_regs` registers, `n_gates` gates whose fanins point at earlier nets.
-fn arb_netlist(
-    n_inputs: usize,
-    n_regs: usize,
-    n_gates: usize,
-) -> impl Strategy<Value = Netlist> {
+fn arb_netlist(n_inputs: usize, n_regs: usize, n_gates: usize) -> impl Strategy<Value = Netlist> {
     let ops = prop::sample::select(vec![
         GateOp::And,
         GateOp::Or,

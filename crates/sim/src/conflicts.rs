@@ -25,7 +25,10 @@ impl TraceConflicts {
         let mut first: HashMap<SignalId, usize> = HashMap::new();
         let mut count: HashMap<SignalId, usize> = HashMap::new();
         for &(cycle, reg) in &self.conflicts {
-            first.entry(reg).and_modify(|c| *c = (*c).min(cycle)).or_insert(cycle);
+            first
+                .entry(reg)
+                .and_modify(|c| *c = (*c).min(cycle))
+                .or_insert(cycle);
             *count.entry(reg).or_insert(0) += 1;
         }
         let mut regs: Vec<SignalId> = first.keys().copied().collect();

@@ -31,7 +31,11 @@ pub enum Tv {
 
 impl Tv {
     /// Three-valued negation.
+    ///
+    /// Deliberately an inherent method, not `std::ops::Not`: gate evaluation
+    /// calls it alongside `and`/`or`/`xor` by function pointer.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Tv {
         match self {
             Tv::Zero => Tv::One,
@@ -175,7 +179,8 @@ mod tests {
     fn binary_ops_are_sound_abstractions() {
         for a in ALL {
             for b in ALL {
-                let ops: [(&str, fn(Tv, Tv) -> Tv, fn(bool, bool) -> bool); 3] = [
+                type OpRow = (&'static str, fn(Tv, Tv) -> Tv, fn(bool, bool) -> bool);
+                let ops: [OpRow; 3] = [
                     ("and", Tv::and, |x, y| x && y),
                     ("or", Tv::or, |x, y| x || y),
                     ("xor", Tv::xor, |x, y| x ^ y),
@@ -209,10 +214,22 @@ mod tests {
     #[test]
     fn mux_with_unknown_select() {
         // Agreeing data inputs resolve even with X select.
-        assert_eq!(Tv::eval_gate(GateOp::Mux, &[Tv::X, Tv::One, Tv::One]), Tv::One);
-        assert_eq!(Tv::eval_gate(GateOp::Mux, &[Tv::X, Tv::Zero, Tv::One]), Tv::X);
-        assert_eq!(Tv::eval_gate(GateOp::Mux, &[Tv::Zero, Tv::One, Tv::Zero]), Tv::One);
-        assert_eq!(Tv::eval_gate(GateOp::Mux, &[Tv::One, Tv::One, Tv::Zero]), Tv::Zero);
+        assert_eq!(
+            Tv::eval_gate(GateOp::Mux, &[Tv::X, Tv::One, Tv::One]),
+            Tv::One
+        );
+        assert_eq!(
+            Tv::eval_gate(GateOp::Mux, &[Tv::X, Tv::Zero, Tv::One]),
+            Tv::X
+        );
+        assert_eq!(
+            Tv::eval_gate(GateOp::Mux, &[Tv::Zero, Tv::One, Tv::Zero]),
+            Tv::One
+        );
+        assert_eq!(
+            Tv::eval_gate(GateOp::Mux, &[Tv::One, Tv::One, Tv::Zero]),
+            Tv::Zero
+        );
     }
 
     #[test]

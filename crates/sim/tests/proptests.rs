@@ -6,11 +6,7 @@ use rfn_netlist::{Cube, GateOp, Netlist, SignalId};
 use rfn_sim::Simulator;
 
 /// Random layered sequential netlist (same shape as the netlist crate's).
-fn arb_netlist(
-    n_inputs: usize,
-    n_regs: usize,
-    n_gates: usize,
-) -> impl Strategy<Value = Netlist> {
+fn arb_netlist(n_inputs: usize, n_regs: usize, n_gates: usize) -> impl Strategy<Value = Netlist> {
     let ops = prop::sample::select(vec![
         GateOp::And,
         GateOp::Or,

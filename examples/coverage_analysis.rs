@@ -27,7 +27,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for set in &design.coverage_sets {
         let rfn = analyze_coverage(&design.netlist, set, &CoverageOptions::default())?;
-        let bfs = bfs_coverage(&design.netlist, set, 60, 4_000_000, &ReachOptions::default())?;
+        let bfs = bfs_coverage(
+            &design.netlist,
+            set,
+            60,
+            4_000_000,
+            &ReachOptions::default(),
+        )?;
         println!(
             "{}: {} coverage states | RFN: {} unreachable, {} reachable, {} unresolved \
              (abstraction {} regs, {:.2?}) | BFS(60): {} unreachable ({:.2?})",

@@ -59,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nerror trace (cube form; unlisted inputs are don't-cares):");
     let shown = trace.steps().len().min(6);
     for (i, step) in trace.steps().iter().take(shown).enumerate() {
-        println!("  cycle {i}: inputs [{}]", step.inputs.display(&design.netlist));
+        println!(
+            "  cycle {i}: inputs [{}]",
+            step.inputs.display(&design.netlist)
+        );
     }
     if trace.steps().len() > shown {
         println!(

@@ -3,9 +3,15 @@
 //!
 //! ```text
 //! rfn info <netlist>
-//! rfn verify <netlist> --watch <signal>[=0|1] [--name <p>] [--time-limit <s>] [-v]
+//! rfn verify <netlist> --watch <signal>[=0|1] [--watch ...] [--name <p>]
+//!            [--time-limit <s>] [--threads <n>] [-v]
 //! rfn coverage <netlist> --signals <a,b,c> [--bfs <k>] [--time-limit <s>]
 //! ```
+//!
+//! `--watch` may be repeated: the properties form a portfolio verified in
+//! parallel (one BDD manager per property, `--threads` workers) with results
+//! printed in command-line order. The exit code is the worst verdict: any
+//! falsification wins over any inconclusive result.
 //!
 //! Netlists use the line-oriented format of
 //! [`rfn_netlist::parse_netlist`](rfn::netlist::parse_netlist); see
@@ -15,7 +21,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use rfn::core::{
-    analyze_coverage, bfs_coverage, CoverageOptions, Rfn, RfnOptions, RfnOutcome,
+    analyze_coverage, bfs_coverage, default_threads, parallel_map, CoverageOptions, Rfn,
+    RfnOptions, RfnOutcome,
 };
 use rfn::mc::ReachOptions;
 use rfn::netlist::{parse_netlist, Coi, CoverageSet, Netlist, Property, SignalId};
@@ -36,11 +43,13 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   rfn info <netlist>
-  rfn verify <netlist> --watch <signal>[=0|1] [--name <p>] [--time-limit <s>] [-v]
+  rfn verify <netlist> --watch <signal>[=0|1] [--watch ...] [--name <p>]
+             [--time-limit <s>] [--threads <n>] [-v]
   rfn coverage <netlist> --signals <a,b,c> [--bfs <k>] [--time-limit <s>]
 
-exit codes: 0 property proved / analysis done, 1 property falsified,
-            3 inconclusive";
+`--watch` may repeat; the portfolio runs in parallel on --threads workers.
+exit codes: 0 all properties proved / analysis done, 1 some property
+            falsified, 3 some property inconclusive (falsified wins)";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut it = args.iter();
@@ -84,6 +93,33 @@ fn flag_value<'a>(rest: &'a [&String], flag: &str) -> Option<&'a str> {
         .map(|s| s.as_str())
 }
 
+/// All values of a repeatable flag, in command-line order.
+fn flag_values<'a>(rest: &'a [&String], flag: &str) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        if rest[i].as_str() == flag {
+            if let Some(v) = rest.get(i + 1) {
+                out.push(v.as_str());
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn thread_count(rest: &[&String]) -> Result<usize, String> {
+    match flag_value(rest, "--threads") {
+        None => Ok(default_threads()),
+        Some(s) => s
+            .parse::<usize>()
+            .map(|n| n.max(1))
+            .map_err(|_| format!("bad --threads `{s}`")),
+    }
+}
+
 fn time_limit(rest: &[&String]) -> Result<Option<Duration>, String> {
     match flag_value(rest, "--time-limit") {
         None => Ok(None),
@@ -95,25 +131,56 @@ fn time_limit(rest: &[&String]) -> Result<Option<Duration>, String> {
 }
 
 fn verify(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
-    let watch = flag_value(rest, "--watch").ok_or("verify needs --watch <signal>[=0|1]")?;
-    let (sig_name, value) = match watch.split_once('=') {
-        Some((s, "0")) => (s, false),
-        Some((s, "1")) => (s, true),
-        Some((_, v)) => return Err(format!("bad watch value `{v}` (use 0 or 1)")),
-        None => (watch, true),
-    };
-    let signal = lookup(n, sig_name)?;
-    let name = flag_value(rest, "--name").unwrap_or(sig_name).to_owned();
-    let property = Property::never_value(name, signal, value);
+    let watches = flag_values(rest, "--watch");
+    if watches.is_empty() {
+        return Err("verify needs --watch <signal>[=0|1]".to_owned());
+    }
+    let mut properties = Vec::with_capacity(watches.len());
+    for watch in &watches {
+        let (sig_name, value) = match watch.split_once('=') {
+            Some((s, "0")) => (s, false),
+            Some((s, "1")) => (s, true),
+            Some((_, v)) => return Err(format!("bad watch value `{v}` (use 0 or 1)")),
+            None => (*watch, true),
+        };
+        let signal = lookup(n, sig_name)?;
+        // `--name` renames a single property; portfolios use signal names.
+        let name = if watches.len() == 1 {
+            flag_value(rest, "--name").unwrap_or(sig_name).to_owned()
+        } else {
+            sig_name.to_owned()
+        };
+        properties.push(Property::never_value(name, signal, value));
+    }
     let options = RfnOptions {
         time_limit: time_limit(rest)?,
         verbosity: u8::from(rest.iter().any(|a| a.as_str() == "-v")),
         ..RfnOptions::default()
     };
-    let outcome = Rfn::new(n, &property, options)
-        .map_err(|e| e.to_string())?
-        .run()
-        .map_err(|e| e.to_string())?;
+    let threads = thread_count(rest)?;
+    // Each property is an independent job with its own BDD managers; run the
+    // portfolio in parallel and report in command-line order.
+    let outcomes: Vec<Result<RfnOutcome, String>> = parallel_map(properties.len(), threads, |i| {
+        Rfn::new(n, &properties[i], options.clone())
+            .map_err(|e| e.to_string())?
+            .run()
+            .map_err(|e| e.to_string())
+    });
+    let mut worst = 0u8;
+    for (property, outcome) in properties.iter().zip(outcomes) {
+        let code = report_outcome(n, property, outcome?);
+        // Any falsification outranks any inconclusive result.
+        worst = match (worst, code) {
+            (1, _) | (_, 1) => 1,
+            (3, _) | (_, 3) => 3,
+            _ => code,
+        };
+    }
+    Ok(ExitCode::from(worst))
+}
+
+/// Prints one property's verdict and returns its exit code.
+fn report_outcome(n: &Netlist, property: &Property, outcome: RfnOutcome) -> u8 {
     match outcome {
         RfnOutcome::Proved { stats } => {
             println!(
@@ -124,7 +191,7 @@ fn verify(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
                 stats.iterations,
                 stats.elapsed
             );
-            Ok(ExitCode::SUCCESS)
+            0
         }
         RfnOutcome::Falsified { trace, stats } => {
             println!(
@@ -135,11 +202,11 @@ fn verify(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
                 stats.elapsed
             );
             print!("{}", trace.display(n));
-            Ok(ExitCode::from(1))
+            1
         }
         RfnOutcome::Inconclusive { reason, .. } => {
-            println!("INCONCLUSIVE: {reason}");
-            Ok(ExitCode::from(3))
+            println!("INCONCLUSIVE `{}`: {reason}", property.name);
+            3
         }
     }
 }

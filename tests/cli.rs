@@ -66,7 +66,12 @@ fn verify_proves_and_exits_zero() {
         .args(["--watch", "w"])
         .output()
         .expect("runs");
-    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("PROVED"));
     let _ = std::fs::remove_file(path);
 }

@@ -3,7 +3,9 @@
 //! checker (which is exact on these sizes).
 
 use rfn::core::{validate_trace, Rfn, RfnOptions, RfnOutcome};
-use rfn::designs::small::{round_robin_arbiter, saturating_counter, traffic_light, wrapping_counter};
+use rfn::designs::small::{
+    round_robin_arbiter, saturating_counter, traffic_light, wrapping_counter,
+};
 use rfn::mc::{verify_plain, PlainOptions, PlainVerdict};
 
 fn check_agreement(design: &rfn::designs::Design) {
@@ -26,7 +28,7 @@ fn check_agreement(design: &rfn::designs::Design) {
                 // shorter than the true BFS depth (states are 0-indexed, so
                 // depth d means d + 1 trace cycles).
                 assert!(
-                    trace.num_cycles() >= depth + 1,
+                    trace.num_cycles() > depth,
                     "{}: trace shorter than the shortest counterexample",
                     property.name
                 );

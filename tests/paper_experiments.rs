@@ -8,8 +8,8 @@ use rfn::core::{
     analyze_coverage, bfs_coverage, validate_trace, CoverageOptions, Rfn, RfnOptions, RfnOutcome,
 };
 use rfn::designs::{
-    fifo_controller, integer_unit, processor_module, usb_controller, FifoParams,
-    IntegerUnitParams, ProcessorParams, UsbParams,
+    fifo_controller, integer_unit, processor_module, usb_controller, FifoParams, IntegerUnitParams,
+    ProcessorParams, UsbParams,
 };
 use rfn::mc::{verify_plain, PlainOptions, PlainVerdict, ReachOptions};
 
@@ -55,7 +55,11 @@ fn table1_processor_rows() {
     let RfnOutcome::Proved { stats } = outcome else {
         panic!("mutex must be proved, got {outcome:?}");
     };
-    assert!(stats.coi_registers > 400, "COI too small: {}", stats.coi_registers);
+    assert!(
+        stats.coi_registers > 400,
+        "COI too small: {}",
+        stats.coi_registers
+    );
     assert!(
         stats.abstract_registers * 10 < stats.coi_registers,
         "abstraction ({}) not an order of magnitude below the COI ({})",
@@ -92,7 +96,10 @@ fn table1_fifo_rows() {
             .unwrap()
             .run()
             .unwrap();
-        assert!(outcome.is_proved(), "{name} must be proved, got {outcome:?}");
+        assert!(
+            outcome.is_proved(),
+            "{name} must be proved, got {outcome:?}"
+        );
         let stats = outcome.stats();
         assert!(
             stats.abstract_registers < stats.coi_registers / 2,
@@ -159,9 +166,14 @@ fn table2_rfn_beats_or_matches_bfs() {
                 continue; // keep the debug-mode test suite affordable
             }
             let rfn = analyze_coverage(&design.netlist, set, &options).unwrap();
-            let bfs =
-                bfs_coverage(&design.netlist, set, 60, 4_000_000, &ReachOptions::default())
-                    .unwrap();
+            let bfs = bfs_coverage(
+                &design.netlist,
+                set,
+                60,
+                4_000_000,
+                &ReachOptions::default(),
+            )
+            .unwrap();
             assert!(
                 rfn.unreachable >= bfs.unreachable,
                 "{}: RFN {} < BFS {}",
@@ -169,7 +181,11 @@ fn table2_rfn_beats_or_matches_bfs() {
                 rfn.unreachable,
                 bfs.unreachable
             );
-            assert!(rfn.unreachable > 0, "{}: nothing proven unreachable", set.name);
+            assert!(
+                rfn.unreachable > 0,
+                "{}: nothing proven unreachable",
+                set.name
+            );
             // Everything classified or the budget was hit; never misclassified.
             assert_eq!(
                 rfn.unreachable + rfn.reachable + rfn.unresolved,
@@ -227,7 +243,11 @@ fn fifo_injected_bug_is_found() {
     assert!(validate_trace(&design.netlist, psh_hf, &trace));
     // The bug shows at occupancy depth/2 - 1 = 7: seven pushes, a flag
     // latch and a watchdog latch — at least 9 trace states.
-    assert!(trace.num_cycles() >= 9, "trace too short: {}", trace.num_cycles());
+    assert!(
+        trace.num_cycles() >= 9,
+        "trace too short: {}",
+        trace.num_cycles()
+    );
 
     for name in ["psh_af", "psh_full"] {
         let p = design.property(name).unwrap();
@@ -235,6 +255,9 @@ fn fifo_injected_bug_is_found() {
             .unwrap()
             .run()
             .unwrap();
-        assert!(outcome.is_proved(), "{name} must still hold, got {outcome:?}");
+        assert!(
+            outcome.is_proved(),
+            "{name} must still hold, got {outcome:?}"
+        );
     }
 }

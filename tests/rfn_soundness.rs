@@ -83,7 +83,7 @@ proptest! {
             (RfnOutcome::Proved { .. }, PlainVerdict::Proved) => {}
             (RfnOutcome::Falsified { trace, .. }, PlainVerdict::Falsified { depth }) => {
                 prop_assert!(validate_trace(&n, &p, trace), "trace does not replay");
-                prop_assert!(trace.num_cycles() >= depth + 1);
+                prop_assert!(trace.num_cycles() > depth);
             }
             (rfn_outcome, plain) => {
                 prop_assert!(

@@ -1,0 +1,204 @@
+//! A minimal, dependency-free benchmark harness exposing the subset of the
+//! `criterion` API this workspace uses (`Criterion`, `bench_function`,
+//! `Bencher::iter`, `criterion_group!`, `criterion_main!`).
+//!
+//! The build environment has no crates.io access, so the real `criterion`
+//! cannot be fetched. This shim keeps the bench files unchanged and reports
+//! wall-clock statistics in a criterion-like format:
+//!
+//! ```text
+//! bdd/ite_chain           time: [1.2031 ms 1.2218 ms 1.2542 ms]
+//! ```
+//!
+//! Methodology: a short warm-up estimates the per-iteration cost, iterations
+//! are then batched so each sample lasts ≈`measurement_time / sample_size`,
+//! and min/mean/max over the samples are printed. Environment knobs:
+//! `RFN_BENCH_SAMPLE_MS` (per-sample budget, ms) for quicker or slower runs.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export for compatibility; benches may use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(1200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and calls `iter`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let budget_ms = std::env::var("RFN_BENCH_SAMPLE_MS")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok());
+        let per_sample = match budget_ms {
+            Some(ms) => Duration::from_millis(ms),
+            None => self.measurement_time / self.sample_size as u32,
+        };
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            per_sample,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Measures one routine; handed to the closure of `bench_function`.
+pub struct Bencher {
+    sample_size: usize,
+    per_sample: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `sample_size` samples of batched
+    /// iterations. The routine's output is passed through `black_box` so the
+    /// optimizer cannot discard the computation.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run until ~1/4 of a sample budget has elapsed to estimate
+        // the per-iteration cost (and to fault in caches / allocator state).
+        let warmup_budget = self.per_sample / 4;
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= warmup_budget {
+                break;
+            }
+        }
+        let est_per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let per_sample_s = self.per_sample.as_secs_f64().max(1e-4);
+        let iters_per_sample = ((per_sample_s / est_per_iter.max(1e-9)) as u64).max(1);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples_ns
+                .push(elapsed * 1e9 / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let min = self
+            .samples_ns
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let max = self
+            .samples_ns
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
+        println!(
+            "{name:<40} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.4} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.4} ms", ns / 1e6)
+    } else {
+        format!("{:.4} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group. Supports both the positional form
+/// `criterion_group!(benches, f1, f2)` and the configured form
+/// `criterion_group!(name = benches; config = ...; targets = f1, f2)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        std::env::set_var("RFN_BENCH_SAMPLE_MS", "1");
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+}
