@@ -5,6 +5,7 @@ use std::time::{Duration, Instant};
 
 use rfn_netlist::{AbstractView, Cube, NetKind, Netlist, NetlistError, SignalId, Trace, TraceStep};
 use rfn_sim::Tv;
+use rfn_trace::TraceCtx;
 
 use crate::scoap::Scoap;
 use crate::scope::{Role, Scope};
@@ -22,6 +23,10 @@ pub struct AtpgOptions {
     /// being anchored to the reset state (used by combinational justification
     /// on abstract models).
     pub free_initial_state: bool,
+    /// Structured-event context; every `justify` call emits one
+    /// `atpg.justify` point event with its effort counters. Disabled by
+    /// default (a single pointer check per call).
+    pub trace: TraceCtx,
 }
 
 impl Default for AtpgOptions {
@@ -31,6 +36,7 @@ impl Default for AtpgOptions {
             max_decisions: 2_000_000,
             time_limit: None,
             free_initial_state: false,
+            trace: TraceCtx::disabled(),
         }
     }
 }
@@ -122,12 +128,28 @@ impl<'n> AtpgEngine<'n> {
             return (AtpgOutcome::Satisfiable(Trace::new()), AtpgStats::default());
         }
         let mut search = Search::new(self, frames);
-        match search.setup(constraints) {
-            Ok(()) => {}
-            Err(Conflict) => return (AtpgOutcome::Unsatisfiable, search.stats),
+        let (outcome, stats) = match search.setup(constraints) {
+            Ok(()) => (search.run(), search.stats),
+            Err(Conflict) => (AtpgOutcome::Unsatisfiable, search.stats),
+        };
+        if self.options.trace.is_enabled() {
+            let label = match &outcome {
+                AtpgOutcome::Satisfiable(_) => "sat",
+                AtpgOutcome::Unsatisfiable => "unsat",
+                AtpgOutcome::Aborted => "aborted",
+            };
+            self.options.trace.point(
+                "atpg.justify",
+                vec![
+                    ("frames".to_owned(), frames.into()),
+                    ("outcome".to_owned(), label.into()),
+                    ("decisions".to_owned(), stats.decisions.into()),
+                    ("backtracks".to_owned(), stats.backtracks.into()),
+                    ("implications".to_owned(), stats.implications.into()),
+                ],
+            );
         }
-        let outcome = search.run();
-        (outcome, search.stats)
+        (outcome, stats)
     }
 }
 

@@ -6,16 +6,23 @@
 //!
 //! ```text
 //! cargo run -p rfn-bench --bin figure1 --release [-- --quick]
+//!           [--trace-out <file>]
 //! ```
+//!
+//! `--trace-out <file>` writes the hybrid demo's structured event stream as
+//! JSONL and appends a per-phase time-breakdown table.
+
+use std::sync::Arc;
 
 use rfn_atpg::AtpgOptions;
-use rfn_bench::{row, rule, Scale};
+use rfn_bench::{row, rule, BenchTrace, Scale};
 use rfn_core::{hybrid_trace, HybridOutcome};
 use rfn_designs::{fifo_controller, processor_module};
 use rfn_mc::{forward_reach, ModelSpec, ReachOptions, SymbolicModel};
 use rfn_netlist::{
     compute_free_cut, compute_min_cut, Abstraction, Coi, Netlist, Property, SignalId,
 };
+use rfn_trace::{MemorySink, TraceCtx};
 
 fn main() {
     let scale = Scale::from_args();
@@ -60,7 +67,11 @@ fn main() {
     }
 
     println!();
-    demo_hybrid_classification(&fifo.netlist, &fifo.properties[0]);
+    let trace = BenchTrace::from_args();
+    let buffer = Arc::new(MemorySink::new());
+    demo_hybrid_classification(&fifo.netlist, &fifo.properties[0], trace.job_ctx(&buffer));
+    trace.emit_merged(vec![buffer.take()]);
+    trace.finish();
 }
 
 fn report_cut(
@@ -92,7 +103,7 @@ fn report_cut(
 
 /// Runs the hybrid engine once on the FIFO's control-cone abstraction and
 /// prints the cube-class statistics — the dynamic counterpart of Figure 1.
-fn demo_hybrid_classification(netlist: &Netlist, property: &Property) {
+fn demo_hybrid_classification(netlist: &Netlist, property: &Property, ctx: TraceCtx) {
     // The control cone of the `full` flag (count, flags, pointers); the
     // datapath checksum stays outside, exactly as in an RFN abstraction.
     let full = netlist.find("full").expect("fifo has a full flag");
@@ -105,21 +116,19 @@ fn demo_hybrid_classification(netlist: &Netlist, property: &Property) {
     // Target an interesting deep state: the FIFO's full flag.
     let full = netlist.find("full").expect("fifo has a full flag");
     let targets = model.signal_bdd(full).expect("flag in model");
-    let reach = forward_reach(&mut model, targets, &ReachOptions::default()).expect("reach runs");
+    let reach_opts = ReachOptions::default().with_trace(ctx.clone());
+    let reach = forward_reach(&mut model, targets, &reach_opts).expect("reach runs");
     println!("kernel stats (fifo reachability): {}", reach.stats);
     let rfn_mc::ReachVerdict::TargetHit { step } = reach.verdict else {
         println!("hybrid demo: full flag unreachable in this configuration");
         return;
     };
-    match hybrid_trace(
-        netlist,
-        &view,
-        &mut model,
-        &reach,
-        targets,
-        &AtpgOptions::default(),
-    )
-    .expect("hybrid runs")
+    let atpg_opts = AtpgOptions {
+        trace: ctx,
+        ..AtpgOptions::default()
+    };
+    match hybrid_trace(netlist, &view, &mut model, &reach, targets, &atpg_opts)
+        .expect("hybrid runs")
     {
         HybridOutcome::Trace(trace, stats) => {
             println!(

@@ -7,16 +7,20 @@
 //!
 //! ```text
 //! cargo run -p rfn-bench --bin table1 --release [-- --quick] [--threads <n>]
+//!           [--trace-out <file>]
 //! ```
+//!
+//! `--trace-out <file>` writes the structured event stream of every job as
+//! JSONL and appends a per-phase time-breakdown table to the report; the
+//! file is identical at any thread count (modulo timestamps).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rfn_bdd::BddStats;
-use rfn_bench::{row, rule, secs, threads_from_args, Scale};
-use rfn_core::{parallel_map, Rfn, RfnOptions, RfnOutcome};
+use rfn_bench::{row, rule, secs, threads_from_args, BenchTrace, Scale};
+use rfn_core::prelude::*;
 use rfn_designs::{fifo_controller, processor_module, Design};
-use rfn_mc::{verify_plain, PlainOptions, PlainVerdict};
-use rfn_netlist::Property;
 
 struct CaseResult {
     name: String,
@@ -54,13 +58,23 @@ fn main() {
         (&fifo, "psh_af"),
         (&fifo, "psh_full"),
     ];
+    let trace = BenchTrace::from_args();
     let start = Instant::now();
-    let results = parallel_map(cases.len(), threads, |i| {
+    let jobs = parallel_map(cases.len(), threads, |i| {
         let (design, name) = cases[i];
         let property = design.property(name).expect("property exists");
-        run_case(design, property, scale)
+        let buffer = Arc::new(MemorySink::new());
+        let result = run_case(design, property, scale, trace.job_ctx(&buffer));
+        (result, buffer.take())
     });
     let wall = start.elapsed();
+    let mut results = Vec::with_capacity(jobs.len());
+    let mut buffers = Vec::with_capacity(jobs.len());
+    for (result, events) in jobs {
+        results.push(result);
+        buffers.push(events);
+    }
+    trace.emit_merged(buffers);
     for r in &results {
         let cells: Vec<&str> = r.cells.iter().map(String::as_str).collect();
         row(&cells, &widths);
@@ -86,14 +100,13 @@ fn main() {
     for r in &results {
         println!("  {:>10}: {}", r.name, r.plain_stats);
     }
+    trace.finish();
 }
 
-fn run_case(design: &Design, property: &Property, scale: Scale) -> CaseResult {
-    let options = RfnOptions {
-        time_limit: Some(scale.time_limit()),
-        verbosity: 0,
-        ..RfnOptions::default()
-    };
+fn run_case(design: &Design, property: &Property, scale: Scale, ctx: TraceCtx) -> CaseResult {
+    let options = RfnOptions::default()
+        .with_time_limit(scale.time_limit())
+        .with_trace(ctx.clone());
     let rfn = Rfn::new(&design.netlist, property, options).expect("valid property");
     let outcome = rfn.run().expect("structural soundness");
     let stats = outcome.stats().clone();
@@ -109,6 +122,7 @@ fn run_case(design: &Design, property: &Property, scale: Scale) -> CaseResult {
     let plain_opts = PlainOptions {
         node_limit: plain_node_limit(scale),
         time_limit: Some(plain_time_limit(scale)),
+        trace: ctx,
         ..PlainOptions::default()
     };
     let plain = verify_plain(&design.netlist, property, &plain_opts).expect("plain mc runs");

@@ -7,15 +7,19 @@
 //!
 //! ```text
 //! cargo run -p rfn-bench --bin table2 --release [-- --quick] [--threads <n>]
+//!           [--trace-out <file>]
 //! ```
+//!
+//! `--trace-out <file>` writes the structured event stream of every job as
+//! JSONL and appends a per-phase time-breakdown table to the report.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rfn_bdd::BddStats;
-use rfn_bench::{row, rule, secs, threads_from_args, Scale};
-use rfn_core::{analyze_coverage, bfs_coverage, parallel_map, CoverageOptions};
+use rfn_bench::{row, rule, secs, threads_from_args, BenchTrace, Scale};
+use rfn_core::prelude::*;
 use rfn_mc::ReachOptions;
-use rfn_netlist::{CoverageSet, Netlist};
 
 /// The paper fixed the BFS abstraction at 60 registers.
 const BFS_K: usize = 60;
@@ -58,12 +62,22 @@ fn main() {
     for set in &usb.coverage_sets {
         cases.push((&usb.netlist, set));
     }
+    let trace = BenchTrace::from_args();
     let start = Instant::now();
-    let results = parallel_map(cases.len(), threads, |i| {
+    let jobs = parallel_map(cases.len(), threads, |i| {
         let (netlist, set) = cases[i];
-        run_case(netlist, set, scale)
+        let buffer = Arc::new(MemorySink::new());
+        let result = run_case(netlist, set, scale, trace.job_ctx(&buffer));
+        (result, buffer.take())
     });
     let wall = start.elapsed();
+    let mut results = Vec::with_capacity(jobs.len());
+    let mut buffers = Vec::with_capacity(jobs.len());
+    for (result, events) in jobs {
+        results.push(result);
+        buffers.push(events);
+    }
+    trace.emit_merged(buffers);
     for r in &results {
         let cells: Vec<&str> = r.cells.iter().map(String::as_str).collect();
         row(&cells, &widths);
@@ -83,6 +97,7 @@ fn main() {
     for r in &results {
         println!("  {:>6}: {}", r.name, r.rfn_stats);
     }
+    trace.finish();
 }
 
 fn integer_unit_design(scale: Scale) -> rfn_designs::Design {
@@ -93,11 +108,10 @@ fn usb_design(scale: Scale) -> rfn_designs::Design {
     rfn_designs::usb_controller(&scale.usb())
 }
 
-fn run_case(netlist: &Netlist, set: &CoverageSet, scale: Scale) -> CaseResult {
-    let options = CoverageOptions {
-        time_limit: Some(scale.time_limit()),
-        ..CoverageOptions::default()
-    };
+fn run_case(netlist: &Netlist, set: &CoverageSet, scale: Scale, ctx: TraceCtx) -> CaseResult {
+    let options = CoverageOptions::default()
+        .with_time_limit(scale.time_limit())
+        .with_trace(ctx);
     let rfn = analyze_coverage(netlist, set, &options).expect("coverage analysis runs");
     let bfs_reach = ReachOptions {
         time_limit: Some(scale.time_limit()),

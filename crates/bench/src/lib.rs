@@ -17,9 +17,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use rfn_designs::{FifoParams, IntegerUnitParams, ProcessorParams, UsbParams};
+use rfn_trace::{
+    merge_streams, Event, FanoutSink, JsonlSink, MemorySink, TimeBreakdown, TraceCtx, TraceSink,
+};
 
 /// Workload scale for a harness run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -99,6 +103,89 @@ impl Scale {
         match self {
             Scale::Paper => Duration::from_secs(300),
             Scale::Quick => Duration::from_secs(60),
+        }
+    }
+}
+
+/// Structured-event output for a harness run, parsed from
+/// `--trace-out <file>`.
+///
+/// When the flag is present, every job's events are written to the file as
+/// JSONL (schema: `rfn_trace` crate docs) *and* buffered so [`finish`]
+/// can print the per-phase time-breakdown table. Per-job buffers handed to
+/// [`emit_merged`] are renumbered into one deterministic stream, so the
+/// file is identical at any `--threads` setting (modulo timestamps).
+///
+/// [`finish`]: BenchTrace::finish
+/// [`emit_merged`]: BenchTrace::emit_merged
+#[derive(Default)]
+pub struct BenchTrace {
+    sink: Option<Arc<dyn TraceSink>>,
+    memory: Option<Arc<MemorySink>>,
+    jsonl: Option<Arc<JsonlSink>>,
+}
+
+impl BenchTrace {
+    /// Parses `--trace-out <file>`; tracing stays off without it.
+    pub fn from_args() -> BenchTrace {
+        let args: Vec<String> = std::env::args().collect();
+        let path = args
+            .iter()
+            .position(|a| a == "--trace-out")
+            .and_then(|i| args.get(i + 1));
+        let Some(path) = path else {
+            return BenchTrace::default();
+        };
+        let file = std::fs::File::create(path).unwrap_or_else(|e| panic!("creating {path}: {e}"));
+        let jsonl = Arc::new(JsonlSink::new(Box::new(std::io::BufWriter::new(file))));
+        let memory = Arc::new(MemorySink::new());
+        let sink = Arc::new(FanoutSink::new(vec![
+            jsonl.clone() as Arc<dyn TraceSink>,
+            memory.clone() as Arc<dyn TraceSink>,
+        ]));
+        BenchTrace {
+            sink: Some(sink),
+            memory: Some(memory),
+            jsonl: Some(jsonl),
+        }
+    }
+
+    /// Whether `--trace-out` was given.
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// A per-job context writing into the given buffer (disabled when
+    /// tracing is off, so jobs skip event construction entirely).
+    pub fn job_ctx(&self, buffer: &Arc<MemorySink>) -> TraceCtx {
+        if self.enabled() {
+            TraceCtx::new(buffer.clone() as Arc<dyn TraceSink>)
+        } else {
+            TraceCtx::disabled()
+        }
+    }
+
+    /// Merges per-job event buffers (in job order) into the output sink.
+    pub fn emit_merged(&self, buffers: Vec<Vec<Event>>) {
+        if let Some(sink) = &self.sink {
+            for event in merge_streams(buffers) {
+                sink.emit(&event);
+            }
+        }
+    }
+
+    /// Flushes the JSONL file and prints the per-phase breakdown table.
+    pub fn finish(&self) {
+        if let Some(jsonl) = &self.jsonl {
+            jsonl.flush();
+        }
+        if let Some(memory) = &self.memory {
+            let table = TimeBreakdown::from_events(&memory.take()).render();
+            if !table.is_empty() {
+                println!();
+                println!("Per-phase time breakdown:");
+                print!("{table}");
+            }
         }
     }
 }

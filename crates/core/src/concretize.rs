@@ -61,7 +61,8 @@ pub fn concretize_cube(
         return Ok(ConcretizeOutcome::Unknown);
     }
     let depth = abstract_trace.num_cycles();
-    let atpg = SequentialAtpg::new(netlist, options.clone())?;
+    let atpg = SequentialAtpg::new(netlist, options.clone())
+        .map_err(|e| RfnError::at(crate::Phase::Concretize, e))?;
     // Guidance: each abstract step's state and input cubes merged. All
     // abstract-model signals are signals of the original design (pseudo-input
     // literals become register constraints).

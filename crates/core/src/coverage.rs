@@ -21,9 +21,10 @@ use rfn_atpg::AtpgOptions;
 use rfn_mc::{forward_reach, ModelSpec, ReachOptions, ReachResult, ReachVerdict, SymbolicModel};
 use rfn_netlist::{transitive_fanin, Abstraction, Coi, CoverageSet, Cube, Netlist, SignalId};
 use rfn_sim::Simulator;
+use rfn_trace::TraceCtx;
 
 use crate::{
-    concretize_cube, hybrid_trace, refine_with_roots, ConcretizeOutcome, HybridOutcome,
+    concretize_cube, hybrid_trace, refine_with_roots, ConcretizeOutcome, HybridOutcome, Phase,
     RefineOptions, RfnError,
 };
 
@@ -44,6 +45,10 @@ pub struct CoverageOptions {
     pub hybrid_atpg: AtpgOptions,
     /// Refinement configuration.
     pub refine: RefineOptions,
+    /// Structured-event context; each `analyze_coverage` call wraps itself
+    /// in a `coverage` span with per-iteration child spans. Disabled by
+    /// default.
+    pub trace: TraceCtx,
 }
 
 impl Default for CoverageOptions {
@@ -59,7 +64,38 @@ impl Default for CoverageOptions {
             },
             hybrid_atpg: AtpgOptions::default(),
             refine: RefineOptions::default(),
+            trace: TraceCtx::disabled(),
         }
+    }
+}
+
+impl CoverageOptions {
+    /// Sets the wall-clock budget for the analysis.
+    #[must_use]
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Sets the maximum number of refinement iterations.
+    #[must_use]
+    pub fn with_max_iterations(mut self, iterations: usize) -> Self {
+        self.max_iterations = iterations;
+        self
+    }
+
+    /// Sets the BDD node limit per iteration.
+    #[must_use]
+    pub fn with_mc_node_limit(mut self, nodes: usize) -> Self {
+        self.mc_node_limit = nodes;
+        self
+    }
+
+    /// Attaches a structured-event context.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceCtx) -> Self {
+        self.trace = trace;
+        self
     }
 }
 
@@ -109,6 +145,35 @@ pub fn analyze_coverage(
     set: &CoverageSet,
     options: &CoverageOptions,
 ) -> Result<CoverageReport, RfnError> {
+    let ctx = options.trace.clone();
+    let mut span = ctx.span_with(
+        "coverage",
+        vec![
+            ("set".to_owned(), set.name.as_str().into()),
+            ("signals".to_owned(), set.signals.len().into()),
+        ],
+    );
+    let result = analyze_coverage_inner(netlist, set, options, &ctx)
+        .map_err(|e| e.with_phase(Phase::Coverage));
+    if let Ok(report) = &result {
+        span.record("total_states", report.total_states);
+        span.record("unreachable", report.unreachable);
+        span.record("reachable", report.reachable);
+        span.record("unresolved", report.unresolved);
+        span.record("abstract_registers", report.abstract_registers);
+        span.record("coi_registers", report.coi_registers);
+        span.record("coi_gates", report.coi_gates);
+        span.record("iterations", report.iterations);
+    }
+    result
+}
+
+fn analyze_coverage_inner(
+    netlist: &Netlist,
+    set: &CoverageSet,
+    options: &CoverageOptions,
+    ctx: &TraceCtx,
+) -> Result<CoverageReport, RfnError> {
     let start = Instant::now();
     let deadline = options.time_limit.map(|d| start + d);
     validate_coverage_set(netlist, set)?;
@@ -128,6 +193,13 @@ pub fn analyze_coverage(
 
     'outer: for _ in 0..options.max_iterations {
         iterations += 1;
+        let _it_span = ctx.span_with(
+            "iteration",
+            vec![
+                ("n".to_owned(), (iterations - 1).into()),
+                ("abstract_registers".to_owned(), abstraction.len().into()),
+            ],
+        );
         if deadline.is_some_and(|d| Instant::now() > d) {
             break;
         }
@@ -142,6 +214,7 @@ pub fn analyze_coverage(
         };
         // Full fixpoint (no early target stop: the projection needs it all).
         let mut reach_opts = options.reach.clone();
+        reach_opts.trace = ctx.clone();
         if let Some(d) = deadline {
             reach_opts.time_limit = Some(d.saturating_duration_since(Instant::now()));
         }
@@ -226,18 +299,16 @@ pub fn analyze_coverage(
                 peak_nodes: reach.peak_nodes,
                 stats: reach.stats,
             };
-            let abstract_trace = match hybrid_trace(
-                netlist,
-                &view,
-                &mut model,
-                &synth,
-                target_bdd,
-                &options.hybrid_atpg,
-            )? {
-                HybridOutcome::Trace(t, _) => t,
-                HybridOutcome::Failed(_) => {
-                    stuck = true;
-                    break;
+            let mut hybrid_atpg = options.hybrid_atpg.clone();
+            hybrid_atpg.trace = ctx.clone();
+            let abstract_trace = {
+                let _hspan = ctx.span("hybrid");
+                match hybrid_trace(netlist, &view, &mut model, &synth, target_bdd, &hybrid_atpg)? {
+                    HybridOutcome::Trace(t, _) => t,
+                    HybridOutcome::Failed(_) => {
+                        stuck = true;
+                        break;
+                    }
                 }
             };
 
@@ -246,9 +317,11 @@ pub fn analyze_coverage(
                 Some(abstract_trace.clone())
             } else {
                 let mut conc_opts = options.concretize_atpg.clone();
+                conc_opts.trace = ctx.clone();
                 if let Some(d) = deadline {
                     conc_opts.time_limit = Some(d.saturating_duration_since(Instant::now()));
                 }
+                let _cspan = ctx.span("concretize");
                 match concretize_cube(netlist, &target_cube, &abstract_trace, &conc_opts)? {
                     ConcretizeOutcome::Falsified(t) => Some(t),
                     _ => None,
@@ -271,13 +344,22 @@ pub fn analyze_coverage(
                 None => {
                     // Spurious: refine against the coverage roots and restart
                     // with a fixpoint on the refined abstraction.
-                    let report = refine_with_roots(
-                        netlist,
-                        &mut abstraction,
-                        &set.signals,
-                        &abstract_trace,
-                        &options.refine,
-                    )?;
+                    let mut refine_opts = options.refine.clone();
+                    refine_opts.atpg.trace = ctx.clone();
+                    let report = {
+                        let mut rspan = ctx.span("refine");
+                        let report = refine_with_roots(
+                            netlist,
+                            &mut abstraction,
+                            &set.signals,
+                            &abstract_trace,
+                            &refine_opts,
+                        )?;
+                        rspan.record("added", report.added.len());
+                        rspan.record("candidates", report.candidates);
+                        rspan.record("conflicts", report.conflicts_found);
+                        report
+                    };
                     refined = !report.added.is_empty();
                     stuck = !refined;
                     break;

@@ -1,51 +1,168 @@
-//! Error type for the RFN loop.
+//! The unified error type of the verification tool.
+//!
+//! Every fallible entry point of `rfn-core` returns [`Error`] (re-exported
+//! under its historical name [`RfnError`]). The netlist, model-checking and
+//! ATPG layers keep their own error types, but they all funnel into the two
+//! source-carrying variants here, each stamped with the [`Phase`] of the
+//! verification loop that failed — so a `Display` message always names the
+//! failing phase and `std::error::Error::source` walks the underlying chain.
 
 use std::fmt;
 
 use rfn_mc::McError;
 use rfn_netlist::NetlistError;
 
-/// Error produced by the RFN verification loop.
+/// The verification-loop phase an error originated from.
+///
+/// Phases mirror the paper's four steps plus the surrounding machinery; the
+/// same names appear as span names in the structured event stream (see
+/// [`rfn_trace`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Phase {
+    /// Input validation and abstract-model construction.
+    Setup,
+    /// BDD forward reachability (Step 2).
+    Reach,
+    /// Hybrid BDD–ATPG trace reconstruction (Step 2).
+    Hybrid,
+    /// Trace-guided sequential ATPG on the original design (Step 3).
+    Concretize,
+    /// Crucial-register identification (Step 4).
+    Refine,
+    /// Unreachable-coverage-state analysis (Section 3).
+    Coverage,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Phase::Setup => "setup",
+            Phase::Reach => "reachability",
+            Phase::Hybrid => "hybrid trace reconstruction",
+            Phase::Concretize => "concretization",
+            Phase::Refine => "refinement",
+            Phase::Coverage => "coverage analysis",
+        })
+    }
+}
+
+/// Error produced by the verification tool.
+///
+/// The historical alias [`RfnError`] remains the name used throughout the
+/// crate's signatures; both refer to this enum.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
-pub enum RfnError {
-    /// The netlist or property is malformed.
-    Netlist(NetlistError),
+pub enum Error {
+    /// The netlist (or an abstract view / ATPG scope built from it) is
+    /// malformed.
+    Netlist {
+        /// The phase that tripped over the problem.
+        phase: Phase,
+        /// The underlying netlist error.
+        source: NetlistError,
+    },
     /// The symbolic engine failed structurally (not a capacity abort, which
     /// is reported through outcomes).
-    Mc(McError),
+    Mc {
+        /// The phase that tripped over the problem.
+        phase: Phase,
+        /// The underlying model-checking error.
+        source: McError,
+    },
     /// The property's target signal is not part of the design.
     BadProperty(String),
 }
 
-impl fmt::Display for RfnError {
+/// Historical name of [`Error`], kept so `RfnError::BadProperty(_)` patterns
+/// and signatures continue to work.
+pub type RfnError = Error;
+
+impl Error {
+    /// Re-stamps the originating phase (no-op for variants without one).
+    #[must_use]
+    pub fn with_phase(mut self, phase: Phase) -> Self {
+        match &mut self {
+            Error::Netlist { phase: p, .. } | Error::Mc { phase: p, .. } => *p = phase,
+            Error::BadProperty(_) => {}
+        }
+        self
+    }
+
+    /// Converts and stamps in one step: `e.map_err(|e| Error::at(Phase::X, e))`.
+    pub fn at(phase: Phase, e: impl Into<Error>) -> Self {
+        e.into().with_phase(phase)
+    }
+
+    /// The phase the error originated from, if it carries one.
+    pub fn phase(&self) -> Option<Phase> {
+        match self {
+            Error::Netlist { phase, .. } | Error::Mc { phase, .. } => Some(*phase),
+            Error::BadProperty(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RfnError::Netlist(e) => write!(f, "netlist failure: {e}"),
-            RfnError::Mc(e) => write!(f, "model-checking failure: {e}"),
-            RfnError::BadProperty(m) => write!(f, "bad property: {m}"),
+            Error::Netlist { phase, source } => {
+                write!(f, "netlist failure during {phase}: {source}")
+            }
+            Error::Mc { phase, source } => {
+                write!(f, "model-checking failure during {phase}: {source}")
+            }
+            Error::BadProperty(m) => write!(f, "bad property: {m}"),
         }
     }
 }
 
-impl std::error::Error for RfnError {
+impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            RfnError::Netlist(e) => Some(e),
-            RfnError::Mc(e) => Some(e),
-            RfnError::BadProperty(_) => None,
+            Error::Netlist { source, .. } => Some(source),
+            Error::Mc { source, .. } => Some(source),
+            Error::BadProperty(_) => None,
         }
     }
 }
 
-impl From<NetlistError> for RfnError {
-    fn from(e: NetlistError) -> Self {
-        RfnError::Netlist(e)
+impl From<NetlistError> for Error {
+    fn from(source: NetlistError) -> Self {
+        Error::Netlist {
+            phase: Phase::Setup,
+            source,
+        }
     }
 }
 
-impl From<McError> for RfnError {
-    fn from(e: McError) -> Self {
-        RfnError::Mc(e)
+impl From<McError> for Error {
+    fn from(source: McError) -> Self {
+        Error::Mc {
+            phase: Phase::Setup,
+            source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_names_the_phase() {
+        let e = Error::at(Phase::Refine, NetlistError::DuplicateName("x".into()));
+        let msg = e.to_string();
+        assert!(msg.contains("refinement"), "got: {msg}");
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn with_phase_restamps() {
+        let e = Error::from(NetlistError::DuplicateName("x".into()));
+        assert_eq!(e.phase(), Some(Phase::Setup));
+        assert_eq!(e.with_phase(Phase::Hybrid).phase(), Some(Phase::Hybrid));
+        assert_eq!(Error::BadProperty("p".into()).phase(), None);
     }
 }

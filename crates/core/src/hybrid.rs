@@ -102,6 +102,28 @@ pub fn hybrid_traces(
     atpg_options: &AtpgOptions,
     max_traces: usize,
 ) -> Result<Vec<(Trace, HybridStats)>, RfnError> {
+    hybrid_traces_inner(
+        netlist,
+        view,
+        model,
+        reach,
+        targets,
+        atpg_options,
+        max_traces,
+    )
+    .map_err(|e| e.with_phase(crate::Phase::Hybrid))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hybrid_traces_inner(
+    netlist: &Netlist,
+    view: &AbstractView,
+    model: &mut SymbolicModel<'_>,
+    reach: &ReachResult,
+    targets: Bdd,
+    atpg_options: &AtpgOptions,
+    max_traces: usize,
+) -> Result<Vec<(Trace, HybridStats)>, RfnError> {
     let rfn_mc::ReachVerdict::TargetHit { step: k } = reach.verdict else {
         return Err(RfnError::BadProperty(
             "hybrid_trace requires a target-hitting reachability result".into(),
@@ -158,7 +180,7 @@ fn hybrid_trace_from_seed(
     let main_trans = model.transition().clone();
 
     let comb_atpg = CombinationalAtpg::over_view(netlist, view, atpg_options.clone())
-        .map_err(RfnError::Netlist)?;
+        .map_err(|e| RfnError::at(crate::Phase::Hybrid, e))?;
 
     // Free inputs of N, for cube classification.
     let mut is_free_input = vec![false; netlist.num_signals()];

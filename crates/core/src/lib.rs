@@ -61,13 +61,37 @@ mod hybrid;
 mod portfolio;
 mod refine;
 mod rfn;
+mod session;
 
 pub use concretize::{
     concretize, concretize_cube, validate_trace, validate_trace_cube, ConcretizeOutcome,
 };
 pub use coverage::{analyze_coverage, bfs_coverage, CoverageOptions, CoverageReport};
-pub use error::RfnError;
+pub use error::{Error, Phase, RfnError};
 pub use hybrid::{hybrid_trace, hybrid_traces, HybridOutcome, HybridStats};
 pub use portfolio::{default_threads, parallel_map};
 pub use refine::{refine, refine_with_roots, RefineOptions, RefineReport};
 pub use rfn::{Rfn, RfnOptions, RfnOutcome, RfnStats};
+pub use session::{Engine, PropertyResult, SessionReport, Verdict, VerifySession};
+
+pub mod prelude {
+    //! One-stop imports for driving the verifier.
+    //!
+    //! `use rfn_core::prelude::*;` brings in the session API, the engine
+    //! entry points and option structs, the error type, and the trace and
+    //! netlist types every driver needs. Binaries and benches should prefer
+    //! this over enumerating a dozen paths.
+
+    pub use crate::{
+        analyze_coverage, bfs_coverage, default_threads, parallel_map, verify_plain,
+        CoverageOptions, CoverageReport, Engine, Error, Phase, PlainOptions, PlainReport,
+        PlainVerdict, PropertyResult, Rfn, RfnError, RfnOptions, RfnOutcome, RfnStats,
+        SessionReport, Verdict, VerifySession,
+    };
+    pub use rfn_netlist::{CoverageSet, Netlist, NetlistError, Property, Trace};
+    pub use rfn_trace::{
+        FanoutSink, JsonlSink, MemorySink, StderrSink, TimeBreakdown, TraceCtx, TraceSink,
+    };
+}
+
+pub use rfn_mc::{verify_plain, McError, PlainOptions, PlainReport, PlainVerdict};

@@ -9,9 +9,9 @@
 
 use rfn_atpg::{AtpgOptions, SequentialAtpg};
 use rfn_netlist::{Abstraction, Cube, Netlist, Property, SignalId, Trace};
-use rfn_sim::simulate_trace_conflicts;
+use rfn_sim::simulate_trace_conflicts_traced;
 
-use crate::RfnError;
+use crate::{Phase, RfnError};
 
 /// Configuration for [`refine`].
 #[derive(Clone, Debug)]
@@ -90,8 +90,11 @@ pub fn refine_with_roots(
 ) -> Result<RefineReport, RfnError> {
     let mut report = RefineReport::default();
 
-    // Phase one: 3-valued simulation conflict analysis.
-    let conflicts = simulate_trace_conflicts(netlist, trace)?;
+    // Phase one: 3-valued simulation conflict analysis. The ATPG options'
+    // trace context is the refinement round's context, so the `sim.conflicts`
+    // point event lands inside the caller's `refine` span.
+    let conflicts = simulate_trace_conflicts_traced(netlist, trace, &options.atpg.trace)
+        .map_err(|e| RfnError::at(Phase::Refine, e))?;
     report.conflicts_found = conflicts.conflicts.len();
     let mut candidates: Vec<SignalId> = conflicts
         .conflicting_registers()
@@ -178,8 +181,11 @@ fn trace_satisfiable(
 ) -> Result<Option<bool>, RfnError> {
     let mut trial = abstraction.clone();
     trial.extend(extra.iter().copied());
-    let view = trial.view(netlist, roots.iter().copied())?;
-    let atpg = SequentialAtpg::over_view(netlist, &view, options.atpg.clone())?;
+    let view = trial
+        .view(netlist, roots.iter().copied())
+        .map_err(|e| RfnError::at(Phase::Refine, e))?;
+    let atpg = SequentialAtpg::over_view(netlist, &view, options.atpg.clone())
+        .map_err(|e| RfnError::at(Phase::Refine, e))?;
     let constraints: Vec<Cube> = trace
         .steps()
         .iter()

@@ -1,13 +1,16 @@
 //! The RFN abstraction-refinement loop.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rfn_atpg::AtpgOptions;
 use rfn_mc::{forward_reach, ModelSpec, ReachOptions, ReachVerdict, SymbolicModel, VarKind};
 use rfn_netlist::{Abstraction, Coi, Netlist, Property, SignalId, Trace};
+use rfn_trace::{Span, StderrSink, TraceCtx};
 
 use crate::{
-    concretize, hybrid_traces, refine, ConcretizeOutcome, HybridStats, RefineOptions, RfnError,
+    concretize, hybrid_traces, refine, ConcretizeOutcome, HybridStats, Phase, RefineOptions,
+    RfnError,
 };
 
 /// Configuration of the RFN loop.
@@ -32,8 +35,16 @@ pub struct RfnOptions {
     /// falls back. 1 reproduces the paper's algorithm; larger values
     /// implement its first future-work extension (Section 5).
     pub max_abstract_traces: usize,
-    /// 0 = silent; 1 = one line per iteration on stderr.
+    /// 0 = silent; 1 = progress on stderr. When [`RfnOptions::trace`] is
+    /// disabled, a nonzero verbosity routes the run's event stream through a
+    /// [`StderrSink`] — the human log and the structured events are the same
+    /// stream, so they can never disagree. When `trace` is enabled it wins;
+    /// compose a [`rfn_trace::FanoutSink`] to get both.
     pub verbosity: u8,
+    /// Structured-event context for the run (span hierarchy
+    /// `rfn` → `iteration` → `reach`/`hybrid`/`concretize`/`refine`).
+    /// Disabled by default.
+    pub trace: TraceCtx,
 }
 
 impl Default for RfnOptions {
@@ -51,7 +62,54 @@ impl Default for RfnOptions {
             refine: RefineOptions::default(),
             max_abstract_traces: 1,
             verbosity: 0,
+            trace: TraceCtx::disabled(),
         }
+    }
+}
+
+impl RfnOptions {
+    /// Sets the wall-clock budget for the whole run.
+    #[must_use]
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Sets the maximum number of refinement iterations.
+    #[must_use]
+    pub fn with_max_iterations(mut self, iterations: usize) -> Self {
+        self.max_iterations = iterations;
+        self
+    }
+
+    /// Sets the BDD node limit per iteration's symbolic model.
+    #[must_use]
+    pub fn with_mc_node_limit(mut self, nodes: usize) -> Self {
+        self.mc_node_limit = nodes;
+        self
+    }
+
+    /// Sets how many abstract error traces the hybrid engine produces per
+    /// iteration (1 = the paper's algorithm).
+    #[must_use]
+    pub fn with_max_abstract_traces(mut self, traces: usize) -> Self {
+        self.max_abstract_traces = traces.max(1);
+        self
+    }
+
+    /// Sets the stderr verbosity (see the field docs for how this interacts
+    /// with [`RfnOptions::trace`]).
+    #[must_use]
+    pub fn with_verbosity(mut self, verbosity: u8) -> Self {
+        self.verbosity = verbosity;
+        self
+    }
+
+    /// Attaches a structured-event context.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceCtx) -> Self {
+        self.trace = trace;
+        self
     }
 }
 
@@ -168,6 +226,32 @@ impl<'n> Rfn<'n> {
     /// Returns structural errors only; running out of capacity yields
     /// [`RfnOutcome::Inconclusive`].
     pub fn run(&self) -> Result<RfnOutcome, RfnError> {
+        let ctx = self.effective_ctx();
+        let mut root = ctx.span_with(
+            "rfn",
+            vec![("property".to_owned(), self.property.name.as_str().into())],
+        );
+        let result = self.run_inner(&ctx);
+        if let Ok(outcome) = &result {
+            record_outcome(&mut root, outcome);
+        }
+        result
+    }
+
+    /// The run's event context: an explicit [`RfnOptions::trace`] wins;
+    /// otherwise a nonzero verbosity gets a stderr-rendering context, and a
+    /// silent run gets the free disabled context.
+    fn effective_ctx(&self) -> TraceCtx {
+        if self.options.trace.is_enabled() {
+            self.options.trace.clone()
+        } else if self.options.verbosity > 0 {
+            TraceCtx::new(Arc::new(StderrSink::new()))
+        } else {
+            TraceCtx::disabled()
+        }
+    }
+
+    fn run_inner(&self, ctx: &TraceCtx) -> Result<RfnOutcome, RfnError> {
         let start = Instant::now();
         let deadline = self.options.time_limit.map(|d| start + d);
         let mut stats = RfnStats::default();
@@ -187,9 +271,16 @@ impl<'n> Rfn<'n> {
         for iteration in 0..self.options.max_iterations {
             stats.iterations = iteration + 1;
             stats.abstract_registers = abstraction.len();
+            let _it_span = ctx.span_with(
+                "iteration",
+                vec![
+                    ("n".to_owned(), iteration.into()),
+                    ("abstract_registers".to_owned(), abstraction.len().into()),
+                ],
+            );
             if let Some(d) = deadline {
                 if Instant::now() > d {
-                    return Ok(self.inconclusive("time limit exceeded", stats, start));
+                    return Ok(self.inconclusive(ctx, "time limit exceeded", stats, start));
                 }
             }
             let view = abstraction.view(self.netlist, [self.property.signal])?;
@@ -203,6 +294,7 @@ impl<'n> Rfn<'n> {
                     Ok(m) => m,
                     Err(rfn_mc::McError::Bdd(_)) => {
                         return Ok(self.inconclusive(
+                            ctx,
                             "BDD node limit while building the abstract model",
                             stats,
                             start,
@@ -220,6 +312,7 @@ impl<'n> Rfn<'n> {
                         Ok(b) => b,
                         Err(_) => {
                             return Ok(self.inconclusive(
+                                ctx,
                                 "BDD node limit on target construction",
                                 stats,
                                 start,
@@ -229,15 +322,17 @@ impl<'n> Rfn<'n> {
                 }
             };
             let mut reach_opts = self.options.reach.clone();
+            reach_opts.trace = ctx.clone();
             if let Some(d) = deadline {
                 reach_opts.time_limit = Some(d.saturating_duration_since(Instant::now()));
             }
-            let reach = forward_reach(&mut model, targets, &reach_opts)?;
+            let reach = forward_reach(&mut model, targets, &reach_opts)
+                .map_err(|e| RfnError::at(Phase::Reach, e))?;
             stats.bdd.merge(&reach.stats);
             let hit_step = match reach.verdict {
                 ReachVerdict::FixpointProved => {
                     self.log(
-                        iteration,
+                        ctx,
                         &format!(
                             "proved with {} registers in the abstract model",
                             abstraction.len()
@@ -248,6 +343,7 @@ impl<'n> Rfn<'n> {
                 }
                 ReachVerdict::Aborted => {
                     return Ok(self.inconclusive(
+                        ctx,
                         "symbolic reachability out of capacity on the abstract model",
                         stats,
                         start,
@@ -257,33 +353,52 @@ impl<'n> Rfn<'n> {
             };
 
             // Hybrid engine: reconstruct one or more abstract error traces.
-            let reconstructed = hybrid_traces(
-                self.netlist,
-                &view,
-                &mut model,
-                &reach,
-                targets,
-                &self.options.hybrid_atpg,
-                self.options.max_abstract_traces.max(1),
-            )?;
-            if reconstructed.is_empty() {
-                return Ok(self.inconclusive(
-                    "hybrid engine failed to reconstruct an abstract error trace",
-                    stats,
-                    start,
-                ));
-            }
-            for (_, h) in &reconstructed {
-                stats.hybrid.no_cut_steps += h.no_cut_steps;
-                stats.hybrid.min_cut_steps += h.min_cut_steps;
-                stats.hybrid.fallback_steps += h.fallback_steps;
-                stats.hybrid.abstract_inputs = h.abstract_inputs;
-                stats.hybrid.min_cut_inputs = h.min_cut_inputs;
-            }
-            let traces: Vec<rfn_netlist::Trace> =
-                reconstructed.into_iter().map(|(t, _)| t).collect();
+            let mut hybrid_atpg = self.options.hybrid_atpg.clone();
+            hybrid_atpg.trace = ctx.clone();
+            let traces: Vec<rfn_netlist::Trace> = {
+                let mut hspan = ctx.span("hybrid");
+                let reconstructed = hybrid_traces(
+                    self.netlist,
+                    &view,
+                    &mut model,
+                    &reach,
+                    targets,
+                    &hybrid_atpg,
+                    self.options.max_abstract_traces.max(1),
+                )?;
+                if reconstructed.is_empty() {
+                    return Ok(self.inconclusive(
+                        ctx,
+                        "hybrid engine failed to reconstruct an abstract error trace",
+                        stats,
+                        start,
+                    ));
+                }
+                let mut round = HybridStats::default();
+                for (_, h) in &reconstructed {
+                    round.no_cut_steps += h.no_cut_steps;
+                    round.min_cut_steps += h.min_cut_steps;
+                    round.fallback_steps += h.fallback_steps;
+                    round.abstract_inputs = h.abstract_inputs;
+                    round.min_cut_inputs = h.min_cut_inputs;
+                }
+                stats.hybrid.no_cut_steps += round.no_cut_steps;
+                stats.hybrid.min_cut_steps += round.min_cut_steps;
+                stats.hybrid.fallback_steps += round.fallback_steps;
+                stats.hybrid.abstract_inputs = round.abstract_inputs;
+                stats.hybrid.min_cut_inputs = round.min_cut_inputs;
+                hspan.record("traces", reconstructed.len());
+                hspan.record("cycles", reconstructed[0].0.num_cycles());
+                hspan.record("hit_step", hit_step);
+                hspan.record("no_cut_steps", round.no_cut_steps);
+                hspan.record("min_cut_steps", round.min_cut_steps);
+                hspan.record("fallback_steps", round.fallback_steps);
+                hspan.record("abstract_inputs", round.abstract_inputs);
+                hspan.record("min_cut_inputs", round.min_cut_inputs);
+                reconstructed.into_iter().map(|(t, _)| t).collect()
+            };
             self.log(
-                iteration,
+                ctx,
                 &format!(
                     "{} abstract error trace(s) of {} cycles (hit at step {}) on {} registers",
                     traces.len(),
@@ -306,6 +421,7 @@ impl<'n> Rfn<'n> {
                     return Ok(RfnOutcome::Falsified { trace, stats });
                 }
                 return Ok(self.inconclusive(
+                    ctx,
                     "exact abstraction produced a non-replayable trace (internal inconsistency)",
                     stats,
                     start,
@@ -316,37 +432,66 @@ impl<'n> Rfn<'n> {
             // abstract trace (the future-work multi-trace extension when
             // `max_abstract_traces > 1`).
             let mut conc_opts = self.options.concretize_atpg.clone();
+            conc_opts.trace = ctx.clone();
             if let Some(d) = deadline {
                 conc_opts.time_limit = Some(d.saturating_duration_since(Instant::now()));
             }
             for abstract_trace in &traces {
-                match concretize(self.netlist, &self.property, abstract_trace, &conc_opts)? {
-                    ConcretizeOutcome::Falsified(trace) => {
-                        self.log(
-                            iteration,
-                            &format!(
-                                "falsified: {}-cycle error trace on the original design",
-                                trace.num_cycles()
-                            ),
-                        );
-                        stats.trace_length = Some(trace.num_cycles());
-                        stats.elapsed = start.elapsed();
-                        return Ok(RfnOutcome::Falsified { trace, stats });
+                let found = {
+                    let mut cspan = ctx.span_with(
+                        "concretize",
+                        vec![("depth".to_owned(), abstract_trace.num_cycles().into())],
+                    );
+                    let outcome =
+                        concretize(self.netlist, &self.property, abstract_trace, &conc_opts)?;
+                    cspan.record(
+                        "outcome",
+                        match &outcome {
+                            ConcretizeOutcome::Falsified(_) => "falsified",
+                            ConcretizeOutcome::Spurious => "spurious",
+                            ConcretizeOutcome::Unknown => "unknown",
+                        },
+                    );
+                    match outcome {
+                        ConcretizeOutcome::Falsified(t) => Some(t),
+                        ConcretizeOutcome::Spurious | ConcretizeOutcome::Unknown => None,
                     }
-                    ConcretizeOutcome::Spurious | ConcretizeOutcome::Unknown => {}
+                };
+                if let Some(trace) = found {
+                    self.log(
+                        ctx,
+                        &format!(
+                            "falsified: {}-cycle error trace on the original design",
+                            trace.num_cycles()
+                        ),
+                    );
+                    stats.trace_length = Some(trace.num_cycles());
+                    stats.elapsed = start.elapsed();
+                    return Ok(RfnOutcome::Falsified { trace, stats });
                 }
             }
 
             // Step 4: refine against the first (fattest-seed) trace.
-            let report = refine(
-                self.netlist,
-                &mut abstraction,
-                &self.property,
-                &traces[0],
-                &self.options.refine,
-            )?;
+            let mut refine_opts = self.options.refine.clone();
+            refine_opts.atpg.trace = ctx.clone();
+            let report = {
+                let mut rspan = ctx.span("refine");
+                let report = refine(
+                    self.netlist,
+                    &mut abstraction,
+                    &self.property,
+                    &traces[0],
+                    &refine_opts,
+                )?;
+                rspan.record("added", report.added.len());
+                rspan.record("candidates", report.candidates);
+                rspan.record("conflicts", report.conflicts_found);
+                rspan.record("checks", report.minimization_checks);
+                rspan.record("frequency_fallback", report.used_frequency_fallback);
+                report
+            };
             self.log(
-                iteration,
+                ctx,
                 &format!(
                     "refined: +{} registers ({} candidates, {} conflicts)",
                     report.added.len(),
@@ -356,6 +501,7 @@ impl<'n> Rfn<'n> {
             );
             if report.added.is_empty() {
                 return Ok(self.inconclusive(
+                    ctx,
                     "refinement found no crucial registers to add",
                     stats,
                     start,
@@ -363,23 +509,37 @@ impl<'n> Rfn<'n> {
             }
             stats.refinement_sizes.push(report.added.len());
         }
-        Ok(self.inconclusive("iteration limit exceeded", stats, start))
+        Ok(self.inconclusive(ctx, "iteration limit exceeded", stats, start))
     }
 
-    fn inconclusive(&self, reason: &str, mut stats: RfnStats, start: Instant) -> RfnOutcome {
+    fn inconclusive(
+        &self,
+        ctx: &TraceCtx,
+        reason: &str,
+        mut stats: RfnStats,
+        start: Instant,
+    ) -> RfnOutcome {
         stats.elapsed = start.elapsed();
-        if self.options.verbosity > 0 {
-            eprintln!("[rfn {}] inconclusive: {reason}", self.property.name);
-        }
+        self.log(ctx, &format!("inconclusive: {reason}"));
         RfnOutcome::Inconclusive {
             reason: reason.to_owned(),
             stats,
         }
     }
 
-    fn log(&self, iteration: usize, message: &str) {
-        if self.options.verbosity > 0 {
-            eprintln!("[rfn {} #{iteration}] {message}", self.property.name);
+    /// Emits a human-readable progress message as a `log` point event. With
+    /// `verbosity > 0` and no explicit trace context, these render on stderr
+    /// through the [`StderrSink`]; in a JSONL trace they appear as `log`
+    /// points inside the current span.
+    fn log(&self, ctx: &TraceCtx, message: &str) {
+        if ctx.is_enabled() {
+            ctx.point(
+                "log",
+                vec![
+                    ("property".to_owned(), self.property.name.as_str().into()),
+                    ("msg".to_owned(), message.into()),
+                ],
+            );
         }
     }
 
@@ -413,6 +573,46 @@ impl<'n> Rfn<'n> {
         }
         model.manager().set_order(&order);
     }
+}
+
+/// Records the verdict and the full [`RfnStats`] on the `rfn` root span's
+/// exit event, so a JSONL event file alone reconstructs the stats exactly
+/// (`elapsed` is the span's own `elapsed_us`; `refinement_sizes` is the
+/// sequence of `added` fields on the per-iteration `refine` spans).
+fn record_outcome(span: &mut Span, outcome: &RfnOutcome) {
+    let (verdict, stats) = match outcome {
+        RfnOutcome::Proved { stats } => ("proved", stats),
+        RfnOutcome::Falsified { stats, .. } => ("falsified", stats),
+        RfnOutcome::Inconclusive { stats, .. } => ("inconclusive", stats),
+    };
+    span.record("verdict", verdict);
+    if let RfnOutcome::Inconclusive { reason, .. } = outcome {
+        span.record("reason", reason.as_str());
+    }
+    span.record("iterations", stats.iterations);
+    span.record("abstract_registers", stats.abstract_registers);
+    span.record("coi_registers", stats.coi_registers);
+    span.record("coi_gates", stats.coi_gates);
+    if let Some(len) = stats.trace_length {
+        span.record("trace_length", len);
+    }
+    span.record("hybrid.no_cut_steps", stats.hybrid.no_cut_steps);
+    span.record("hybrid.min_cut_steps", stats.hybrid.min_cut_steps);
+    span.record("hybrid.fallback_steps", stats.hybrid.fallback_steps);
+    span.record("hybrid.abstract_inputs", stats.hybrid.abstract_inputs);
+    span.record("hybrid.min_cut_inputs", stats.hybrid.min_cut_inputs);
+    span.record("bdd.unique_probes", stats.bdd.unique_probes);
+    span.record("bdd.unique_collisions", stats.bdd.unique_collisions);
+    span.record("bdd.ite_hits", stats.bdd.ite_hits);
+    span.record("bdd.ite_misses", stats.bdd.ite_misses);
+    span.record("bdd.exists_hits", stats.bdd.exists_hits);
+    span.record("bdd.exists_misses", stats.bdd.exists_misses);
+    span.record("bdd.and_exists_hits", stats.bdd.and_exists_hits);
+    span.record("bdd.and_exists_misses", stats.bdd.and_exists_misses);
+    span.record("bdd.gc_runs", stats.bdd.gc_runs);
+    span.record("bdd.gc_nodes_freed", stats.bdd.gc_nodes_freed);
+    span.record("bdd.auto_gc_runs", stats.bdd.auto_gc_runs);
+    span.record("bdd.peak_nodes", stats.bdd.peak_nodes);
 }
 
 #[cfg(test)]

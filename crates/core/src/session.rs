@@ -1,0 +1,481 @@
+//! The session API: one fluent entry point for RFN, plain-MC and coverage
+//! runs.
+//!
+//! [`VerifySession`] unifies the three ways the tool is driven — the RFN
+//! abstraction-refinement loop, the plain symbolic model checker (the Table 1
+//! baseline) and unreachable-coverage-state analysis (Table 2) — behind one
+//! builder:
+//!
+//! ```
+//! use rfn_core::prelude::*;
+//! use rfn_netlist::{Netlist, Property};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let mut n = Netlist::new("demo");
+//! # let flag = n.add_register("flag", Some(false));
+//! # n.set_register_next(flag, flag)?;
+//! # n.validate()?;
+//! # let p = Property::never(&n, "flag_low", flag);
+//! let report = VerifySession::new(&n)
+//!     .property(&p)
+//!     .threads(2)
+//!     .run()?;
+//! assert!(report.all_proved());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Every property (and coverage set) is an independent job with its own BDD
+//! managers; jobs run on a work-stealing pool of [`VerifySession::threads`]
+//! workers. When a trace sink is attached ([`VerifySession::trace`]), each
+//! job buffers its events into a private [`MemorySink`] and the session
+//! flushes the buffers **in job order** after all jobs finish — the merged
+//! stream (modulo timestamps) is byte-identical at any thread count.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rfn_mc::{verify_plain, PlainOptions, PlainReport, PlainVerdict};
+use rfn_netlist::{CoverageSet, Netlist, Property, Trace};
+use rfn_trace::{merge_streams, Event, FanoutSink, MemorySink, StderrSink, TraceCtx, TraceSink};
+
+use crate::{
+    analyze_coverage, parallel_map, CoverageOptions, CoverageReport, Rfn, RfnError, RfnOptions,
+    RfnOutcome, RfnStats,
+};
+
+/// Which engine verifies the session's properties.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// The RFN abstraction-refinement loop (the paper's tool).
+    #[default]
+    Rfn,
+    /// Plain symbolic model checking on the whole cone of influence (the
+    /// Table 1 baseline).
+    PlainMc,
+}
+
+/// An engine-independent verdict for one property.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// The property holds.
+    Proved,
+    /// The property fails at the given depth. RFN provides a validated
+    /// counterexample trace; the plain engine reports the depth only.
+    Falsified {
+        /// The error trace, when the engine produces one.
+        trace: Option<Trace>,
+        /// Length of the shortest found error path, in cycles.
+        depth: usize,
+    },
+    /// Limits were exhausted without a verdict.
+    Inconclusive {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// The outcome of one property job.
+#[derive(Clone, Debug)]
+pub struct PropertyResult {
+    /// The property that was verified.
+    pub property: Property,
+    /// The engine-independent verdict.
+    pub verdict: Verdict,
+    /// RFN run statistics ([`Engine::Rfn`] only).
+    pub stats: Option<RfnStats>,
+    /// The baseline report ([`Engine::PlainMc`] only).
+    pub plain: Option<PlainReport>,
+}
+
+/// Everything a session run produced, in submission order.
+#[derive(Clone, Debug, Default)]
+pub struct SessionReport {
+    /// One result per property, in the order they were added.
+    pub results: Vec<PropertyResult>,
+    /// One report per coverage set, in the order they were added.
+    pub coverage: Vec<CoverageReport>,
+}
+
+impl SessionReport {
+    /// Whether every property was proved (vacuously true with none).
+    pub fn all_proved(&self) -> bool {
+        self.results
+            .iter()
+            .all(|r| matches!(r.verdict, Verdict::Proved))
+    }
+
+    /// The CLI's exit-code convention: `0` all proved, `1` some property
+    /// falsified (outranks everything), `3` some property inconclusive.
+    pub fn worst_exit_code(&self) -> u8 {
+        let mut worst = 0u8;
+        for r in &self.results {
+            let code = match r.verdict {
+                Verdict::Proved => 0,
+                Verdict::Falsified { .. } => 1,
+                Verdict::Inconclusive { .. } => 3,
+            };
+            worst = match (worst, code) {
+                (1, _) | (_, 1) => 1,
+                (3, _) | (_, 3) => 3,
+                _ => code,
+            };
+        }
+        worst
+    }
+}
+
+/// Builder for a verification session over one netlist.
+///
+/// See the module-level docs above for an example and the event-determinism
+/// contract.
+#[derive(Clone)]
+pub struct VerifySession<'n> {
+    netlist: &'n Netlist,
+    engine: Engine,
+    properties: Vec<Property>,
+    coverage_sets: Vec<CoverageSet>,
+    options: RfnOptions,
+    plain_options: PlainOptions,
+    coverage_options: CoverageOptions,
+    threads: usize,
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for VerifySession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerifySession")
+            .field("netlist", &self.netlist.name())
+            .field("engine", &self.engine)
+            .field("properties", &self.properties.len())
+            .field("coverage_sets", &self.coverage_sets.len())
+            .field("threads", &self.threads)
+            .field("traced", &self.sink.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'n> VerifySession<'n> {
+    /// Starts a session on the given design with default options: the RFN
+    /// engine, one worker thread, no properties, no tracing.
+    pub fn new(netlist: &'n Netlist) -> Self {
+        VerifySession {
+            netlist,
+            engine: Engine::Rfn,
+            properties: Vec::new(),
+            coverage_sets: Vec::new(),
+            options: RfnOptions::default(),
+            plain_options: PlainOptions::default(),
+            coverage_options: CoverageOptions::default(),
+            threads: 1,
+            sink: None,
+        }
+    }
+
+    /// Adds one property to the portfolio.
+    #[must_use]
+    pub fn property(mut self, property: &Property) -> Self {
+        self.properties.push(property.clone());
+        self
+    }
+
+    /// Adds several properties to the portfolio.
+    #[must_use]
+    pub fn properties(mut self, properties: impl IntoIterator<Item = Property>) -> Self {
+        self.properties.extend(properties);
+        self
+    }
+
+    /// Adds a coverage set; its analysis runs as one more portfolio job.
+    #[must_use]
+    pub fn coverage_set(mut self, set: &CoverageSet) -> Self {
+        self.coverage_sets.push(set.clone());
+        self
+    }
+
+    /// Selects the engine for the property jobs (coverage jobs always use
+    /// the RFN-style analysis).
+    #[must_use]
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the wall-clock budget of every job (RFN, plain and coverage).
+    #[must_use]
+    pub fn time_limit(mut self, limit: Duration) -> Self {
+        self.options.time_limit = Some(limit);
+        self.plain_options.time_limit = Some(limit);
+        self.coverage_options.time_limit = Some(limit);
+        self
+    }
+
+    /// Sets the worker-thread count for the portfolio (default 1; results
+    /// and the merged event stream do not depend on this).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the stderr verbosity (routed through a [`StderrSink`], so the
+    /// human log is the same event stream as the structured trace).
+    #[must_use]
+    pub fn verbosity(mut self, verbosity: u8) -> Self {
+        self.options.verbosity = verbosity;
+        self
+    }
+
+    /// Attaches a structured-event sink (e.g. a
+    /// [`JsonlSink`](rfn_trace::JsonlSink) behind `--trace-out`). Events are
+    /// buffered per job and flushed in job order after the run.
+    #[must_use]
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Replaces the RFN options wholesale (the builder's `time_limit` /
+    /// `verbosity` apply on top if called afterwards).
+    #[must_use]
+    pub fn rfn_options(mut self, options: RfnOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Replaces the plain-MC options wholesale.
+    #[must_use]
+    pub fn plain_options(mut self, options: PlainOptions) -> Self {
+        self.plain_options = options;
+        self
+    }
+
+    /// Replaces the coverage options wholesale.
+    #[must_use]
+    pub fn coverage_options(mut self, options: CoverageOptions) -> Self {
+        self.coverage_options = options;
+        self
+    }
+
+    /// Runs every job and returns the collected report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural error in job order; capacity exhaustion
+    /// is reported through verdicts, never as an `Err`.
+    pub fn run(self) -> Result<SessionReport, RfnError> {
+        let n_props = self.properties.len();
+        let n_jobs = n_props + self.coverage_sets.len();
+        let buffering = self.sink.is_some();
+
+        enum JobOut {
+            Prop(Box<PropertyResult>),
+            Cov(Box<CoverageReport>),
+        }
+
+        let jobs: Vec<(Result<JobOut, RfnError>, Vec<Event>)> =
+            parallel_map(n_jobs, self.threads, |i| {
+                let mem = Arc::new(MemorySink::new());
+                let ctx = self.job_ctx(&mem, buffering);
+                let out = if i < n_props {
+                    self.run_property(&self.properties[i], ctx)
+                        .map(|r| JobOut::Prop(Box::new(r)))
+                } else {
+                    let mut opts = self.coverage_options.clone();
+                    opts.trace = ctx;
+                    analyze_coverage(self.netlist, &self.coverage_sets[i - n_props], &opts)
+                        .map(|r| JobOut::Cov(Box::new(r)))
+                };
+                let events = if buffering { mem.take() } else { Vec::new() };
+                (out, events)
+            });
+
+        // Flush buffered events in job order, so the merged stream is
+        // independent of the thread count. Then surface the first error.
+        let mut outs = Vec::with_capacity(n_jobs);
+        let mut buffers = Vec::with_capacity(n_jobs);
+        for (out, events) in jobs {
+            outs.push(out);
+            buffers.push(events);
+        }
+        if let Some(sink) = &self.sink {
+            for event in merge_streams(buffers) {
+                sink.emit(&event);
+            }
+        }
+
+        let mut report = SessionReport::default();
+        for out in outs {
+            match out? {
+                JobOut::Prop(r) => report.results.push(*r),
+                JobOut::Cov(r) => report.coverage.push(*r),
+            }
+        }
+        Ok(report)
+    }
+
+    /// The event context for one job: a private memory buffer when a session
+    /// sink is attached (fanned out to stderr when verbose), otherwise
+    /// disabled — the engines then handle `verbosity` themselves.
+    fn job_ctx(&self, mem: &Arc<MemorySink>, buffering: bool) -> TraceCtx {
+        if !buffering {
+            return TraceCtx::disabled();
+        }
+        if self.options.verbosity > 0 {
+            TraceCtx::new(Arc::new(FanoutSink::new(vec![
+                mem.clone() as Arc<dyn TraceSink>,
+                Arc::new(StderrSink::new()),
+            ])))
+        } else {
+            TraceCtx::new(mem.clone() as Arc<dyn TraceSink>)
+        }
+    }
+
+    fn run_property(&self, property: &Property, ctx: TraceCtx) -> Result<PropertyResult, RfnError> {
+        match self.engine {
+            Engine::Rfn => {
+                let mut opts = self.options.clone();
+                opts.trace = ctx;
+                let outcome = Rfn::new(self.netlist, property, opts)?.run()?;
+                let (verdict, stats) = match outcome {
+                    RfnOutcome::Proved { stats } => (Verdict::Proved, stats),
+                    RfnOutcome::Falsified { trace, stats } => {
+                        let depth = trace.num_cycles();
+                        (
+                            Verdict::Falsified {
+                                trace: Some(trace),
+                                depth,
+                            },
+                            stats,
+                        )
+                    }
+                    RfnOutcome::Inconclusive { reason, stats } => {
+                        (Verdict::Inconclusive { reason }, stats)
+                    }
+                };
+                Ok(PropertyResult {
+                    property: property.clone(),
+                    verdict,
+                    stats: Some(stats),
+                    plain: None,
+                })
+            }
+            Engine::PlainMc => {
+                let mut opts = self.plain_options.clone();
+                opts.trace = ctx;
+                let report = verify_plain(self.netlist, property, &opts)?;
+                let verdict = match report.verdict {
+                    PlainVerdict::Proved => Verdict::Proved,
+                    PlainVerdict::Falsified { depth } => Verdict::Falsified { trace: None, depth },
+                    PlainVerdict::OutOfCapacity => Verdict::Inconclusive {
+                        reason: "plain model checking out of capacity".to_owned(),
+                    },
+                };
+                Ok(PropertyResult {
+                    property: property.clone(),
+                    verdict,
+                    stats: None,
+                    plain: Some(report),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfn_netlist::GateOp;
+    use rfn_trace::to_jsonl;
+
+    fn two_property_design() -> (Netlist, Property, Property) {
+        let mut n = Netlist::new("sess");
+        // `safe` can never rise; `unsafe` latches once the counter fills.
+        let safe = n.add_register("safe", Some(false));
+        n.set_register_next(safe, safe).unwrap();
+        let b = n.add_register("b", Some(false));
+        let nb = n.add_gate("nb", GateOp::Not, &[b]);
+        n.set_register_next(b, nb).unwrap();
+        let w = n.add_register("w", Some(false));
+        let wor = n.add_gate("wor", GateOp::Or, &[w, b]);
+        n.set_register_next(w, wor).unwrap();
+        n.validate().unwrap();
+        let p_safe = Property::never(&n, "safe_low", safe);
+        let p_unsafe = Property::never(&n, "w_low", w);
+        (n, p_safe, p_unsafe)
+    }
+
+    #[test]
+    fn session_runs_a_mixed_portfolio() {
+        let (n, p_safe, p_unsafe) = two_property_design();
+        let report = VerifySession::new(&n)
+            .property(&p_safe)
+            .property(&p_unsafe)
+            .threads(2)
+            .run()
+            .unwrap();
+        assert_eq!(report.results.len(), 2);
+        assert!(matches!(report.results[0].verdict, Verdict::Proved));
+        assert!(matches!(
+            report.results[1].verdict,
+            Verdict::Falsified { trace: Some(_), .. }
+        ));
+        assert_eq!(report.worst_exit_code(), 1);
+        assert!(!report.all_proved());
+    }
+
+    #[test]
+    fn plain_engine_reports_depths() {
+        let (n, p_safe, p_unsafe) = two_property_design();
+        let report = VerifySession::new(&n)
+            .properties([p_safe, p_unsafe])
+            .engine(Engine::PlainMc)
+            .run()
+            .unwrap();
+        assert!(matches!(report.results[0].verdict, Verdict::Proved));
+        assert!(matches!(
+            report.results[1].verdict,
+            Verdict::Falsified {
+                trace: None,
+                depth: 2
+            }
+        ));
+        assert!(report.results[1].plain.is_some());
+    }
+
+    #[test]
+    fn event_stream_is_identical_across_thread_counts() {
+        let (n, p_safe, p_unsafe) = two_property_design();
+        let run = |threads: usize| {
+            let sink = Arc::new(MemorySink::new());
+            VerifySession::new(&n)
+                .property(&p_safe)
+                .property(&p_unsafe)
+                .threads(threads)
+                .trace(sink.clone())
+                .run()
+                .unwrap();
+            to_jsonl(&sink.take(), true)
+        };
+        let serial = run(1);
+        assert!(serial.contains("\"name\":\"rfn\""));
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(4));
+    }
+
+    #[test]
+    fn coverage_jobs_ride_in_the_same_session() {
+        let (n, p_safe, _) = two_property_design();
+        let b = n.find("b").unwrap();
+        let w = n.find("w").unwrap();
+        let set = CoverageSet::new("bw", [b, w]);
+        let report = VerifySession::new(&n)
+            .property(&p_safe)
+            .coverage_set(&set)
+            .run()
+            .unwrap();
+        assert_eq!(report.results.len(), 1);
+        assert_eq!(report.coverage.len(), 1);
+        assert_eq!(report.coverage[0].total_states, 4);
+    }
+}

@@ -5,6 +5,7 @@ use std::time::{Duration, Instant};
 
 use rfn_bdd::BddStats;
 use rfn_netlist::{Abstraction, Coi, Netlist, Property};
+use rfn_trace::TraceCtx;
 
 use crate::{forward_reach, McError, ModelSpec, ReachOptions, ReachVerdict, SymbolicModel};
 
@@ -17,6 +18,10 @@ pub struct PlainOptions {
     pub time_limit: Option<Duration>,
     /// Reachability options (reordering etc.).
     pub reach: ReachOptions,
+    /// Structured-event context; each `verify_plain` call wraps itself in a
+    /// `plain_mc` span and forwards the context to the inner reachability
+    /// fixpoint. Disabled by default.
+    pub trace: TraceCtx,
 }
 
 impl Default for PlainOptions {
@@ -25,6 +30,7 @@ impl Default for PlainOptions {
             node_limit: 2_000_000,
             time_limit: None,
             reach: ReachOptions::default(),
+            trace: TraceCtx::disabled(),
         }
     }
 }
@@ -77,6 +83,34 @@ pub fn verify_plain(
     property: &Property,
     options: &PlainOptions,
 ) -> Result<PlainReport, McError> {
+    let mut span = options.trace.span_with(
+        "plain_mc",
+        vec![("property".to_owned(), property.name.as_str().into())],
+    );
+    let result = verify_plain_inner(netlist, property, options);
+    if let Ok(report) = &result {
+        let verdict = match report.verdict {
+            PlainVerdict::Proved => "proved",
+            PlainVerdict::Falsified { .. } => "falsified",
+            PlainVerdict::OutOfCapacity => "out_of_capacity",
+        };
+        span.record("verdict", verdict);
+        if let PlainVerdict::Falsified { depth } = report.verdict {
+            span.record("depth", depth);
+        }
+        span.record("coi_registers", report.coi_registers);
+        span.record("coi_gates", report.coi_gates);
+        span.record("steps", report.steps);
+        span.record("peak_nodes", report.peak_nodes);
+    }
+    result
+}
+
+fn verify_plain_inner(
+    netlist: &Netlist,
+    property: &Property,
+    options: &PlainOptions,
+) -> Result<PlainReport, McError> {
     let start = Instant::now();
     let coi = Coi::of(netlist, [property.signal]);
     let abstraction = Abstraction::from_registers(coi.registers().iter().copied());
@@ -85,6 +119,7 @@ pub fn verify_plain(
     mgr.set_node_limit(options.node_limit);
     let mut reach_opts = options.reach.clone();
     reach_opts.time_limit = options.time_limit;
+    reach_opts.trace = options.trace.clone();
 
     let build = SymbolicModel::with_manager(netlist, ModelSpec::from_view(&view), mgr);
     let mut model = match build {

@@ -3,6 +3,7 @@
 use std::time::{Duration, Instant};
 
 use rfn_bdd::{Bdd, BddError, BddStats};
+use rfn_trace::TraceCtx;
 
 use crate::{McError, SymbolicModel};
 
@@ -24,6 +25,10 @@ pub struct ReachOptions {
     /// persistent roots are protected; image intermediates become
     /// collectible as soon as each step completes.
     pub auto_gc: bool,
+    /// Structured-event context; each `forward_reach` call wraps itself in a
+    /// `reach` span carrying the verdict, step count and BDD peak-node
+    /// counter. Disabled by default.
+    pub trace: TraceCtx,
 }
 
 impl Default for ReachOptions {
@@ -35,7 +40,45 @@ impl Default for ReachOptions {
             max_growth: 1.5,
             time_limit: None,
             auto_gc: true,
+            trace: TraceCtx::disabled(),
         }
+    }
+}
+
+impl ReachOptions {
+    /// Sets the maximum number of image steps.
+    #[must_use]
+    pub fn with_max_steps(mut self, steps: usize) -> Self {
+        self.max_steps = steps;
+        self
+    }
+
+    /// Enables or disables dynamic variable reordering.
+    #[must_use]
+    pub fn with_reorder(mut self, reorder: bool) -> Self {
+        self.reorder = reorder;
+        self
+    }
+
+    /// Sets the wall-clock budget for the fixpoint.
+    #[must_use]
+    pub fn with_time_limit(mut self, limit: std::time::Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Enables or disables the automatic garbage collector.
+    #[must_use]
+    pub fn with_auto_gc(mut self, auto_gc: bool) -> Self {
+        self.auto_gc = auto_gc;
+        self
+    }
+
+    /// Attaches a structured-event context.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceCtx) -> Self {
+        self.trace = trace;
+        self
     }
 }
 
@@ -98,6 +141,7 @@ pub fn forward_reach(
     // automatic collector cannot reclaim it. The log makes the protection
     // exactly reversible on every exit path, and the collector is switched
     // off again on return so callers may hold unprotected handles as before.
+    let mut span = options.trace.span("reach");
     let mut protect_log: Vec<Bdd> = model.persistent_roots();
     protect_log.push(targets);
     for &b in &protect_log {
@@ -111,10 +155,28 @@ pub fn forward_reach(
     for &b in &protect_log {
         model.manager().unprotect(b);
     }
-    result.map(|mut r| {
+    let result = result.map(|mut r| {
         r.stats = model.manager_ref().stats();
         r
-    })
+    });
+    if let Ok(r) = &result {
+        let verdict = match r.verdict {
+            ReachVerdict::FixpointProved => "fixpoint",
+            ReachVerdict::TargetHit { .. } => "target_hit",
+            ReachVerdict::Aborted => "aborted",
+        };
+        span.record("verdict", verdict);
+        if let ReachVerdict::TargetHit { step } = r.verdict {
+            span.record("hit_step", step);
+        }
+        span.record("steps", r.steps);
+        span.record("rings", r.rings.len());
+        span.record("peak_nodes", r.peak_nodes);
+        options
+            .trace
+            .counter("bdd.peak_nodes", r.stats.peak_nodes as u64);
+    }
+    result
 }
 
 fn reach_loop(

@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use rfn_netlist::{Netlist, NetlistError, SignalId, Trace};
+use rfn_trace::TraceCtx;
 
 use crate::{Simulator, Tv};
 
@@ -69,6 +70,42 @@ impl TraceConflicts {
 ///
 /// Returns the underlying validation error if the netlist is malformed.
 pub fn simulate_trace_conflicts(
+    netlist: &Netlist,
+    trace: &Trace,
+) -> Result<TraceConflicts, NetlistError> {
+    simulate_trace_conflicts_traced(netlist, trace, &TraceCtx::disabled())
+}
+
+/// Like [`simulate_trace_conflicts`], emitting one `sim.conflicts` point
+/// event (trace cycles, conflicts found, distinct registers involved) into
+/// the given trace context.
+///
+/// # Errors
+///
+/// Returns the underlying validation error if the netlist is malformed.
+pub fn simulate_trace_conflicts_traced(
+    netlist: &Netlist,
+    trace: &Trace,
+    ctx: &TraceCtx,
+) -> Result<TraceConflicts, NetlistError> {
+    let report = simulate_conflicts_inner(netlist, trace)?;
+    if ctx.is_enabled() {
+        ctx.point(
+            "sim.conflicts",
+            vec![
+                ("cycles".to_owned(), trace.num_cycles().into()),
+                ("conflicts".to_owned(), report.conflicts.len().into()),
+                (
+                    "registers".to_owned(),
+                    report.conflicting_registers().len().into(),
+                ),
+            ],
+        );
+    }
+    Ok(report)
+}
+
+fn simulate_conflicts_inner(
     netlist: &Netlist,
     trace: &Trace,
 ) -> Result<TraceConflicts, NetlistError> {

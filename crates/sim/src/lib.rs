@@ -40,6 +40,6 @@ mod conflicts;
 mod simulator;
 mod tv;
 
-pub use conflicts::{simulate_trace_conflicts, TraceConflicts};
+pub use conflicts::{simulate_trace_conflicts, simulate_trace_conflicts_traced, TraceConflicts};
 pub use simulator::Simulator;
 pub use tv::Tv;

@@ -1,0 +1,148 @@
+//! Per-phase time aggregation over an event stream.
+
+use std::collections::HashMap;
+
+use crate::event::{Event, EventKind};
+
+/// One aggregated row: all exits of spans with the same name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BreakdownRow {
+    /// Span name.
+    pub name: String,
+    /// Number of span exits observed.
+    pub count: u64,
+    /// Total (inclusive) wall-clock microseconds across those spans.
+    pub total_us: u64,
+}
+
+/// A per-phase time breakdown computed from span-exit events — the data
+/// behind the `--trace-out` breakdown table printed by the CLI and the bench
+/// binaries.
+#[derive(Clone, Debug, Default)]
+pub struct TimeBreakdown {
+    rows: Vec<BreakdownRow>,
+}
+
+impl TimeBreakdown {
+    /// Aggregates the exit events of `events` by span name. Rows are sorted
+    /// by total time, largest first (ties broken by name, so the output is
+    /// deterministic).
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut acc: HashMap<&str, (u64, u64)> = HashMap::new();
+        for event in events {
+            if let EventKind::Exit {
+                name, elapsed_us, ..
+            } = &event.kind
+            {
+                let entry = acc.entry(name).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += elapsed_us;
+            }
+        }
+        let mut rows: Vec<BreakdownRow> = acc
+            .into_iter()
+            .map(|(name, (count, total_us))| BreakdownRow {
+                name: name.to_owned(),
+                count,
+                total_us,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
+        TimeBreakdown { rows }
+    }
+
+    /// The aggregated rows, largest total first.
+    pub fn rows(&self) -> &[BreakdownRow] {
+        &self.rows
+    }
+
+    /// Renders an aligned text table (phase, calls, total time, share).
+    /// Returns an empty string when no spans were observed.
+    pub fn render(&self) -> String {
+        if self.rows.is_empty() {
+            return String::new();
+        }
+        let grand: u64 = self
+            .rows
+            .iter()
+            .filter(|r| is_top_level(&r.name))
+            .map(|r| r.total_us)
+            .sum();
+        let grand = if grand == 0 {
+            self.rows.iter().map(|r| r.total_us).max().unwrap_or(1)
+        } else {
+            grand
+        };
+        let name_w = self
+            .rows
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<name_w$}  {:>6}  {:>10}  {:>6}\n",
+            "phase", "calls", "total", "share"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<name_w$}  {:>6}  {:>9.3}s  {:>5.1}%\n",
+                r.name,
+                r.count,
+                r.total_us as f64 / 1e6,
+                100.0 * r.total_us as f64 / grand as f64,
+            ));
+        }
+        out
+    }
+}
+
+/// Top-level spans (whole verification jobs) define 100% for the share
+/// column; nested phases are fractions of them.
+fn is_top_level(name: &str) -> bool {
+    matches!(name, "rfn" | "plain_mc" | "coverage")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind};
+
+    fn exit(name: &str, us: u64) -> Event {
+        Event {
+            seq: 0,
+            t_us: 0,
+            kind: EventKind::Exit {
+                id: 1,
+                name: name.to_owned(),
+                elapsed_us: us,
+                fields: Vec::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn aggregates_and_sorts() {
+        let events = vec![exit("reach", 10), exit("refine", 5), exit("reach", 20)];
+        let b = TimeBreakdown::from_events(&events);
+        assert_eq!(b.rows().len(), 2);
+        assert_eq!(b.rows()[0].name, "reach");
+        assert_eq!(b.rows()[0].count, 2);
+        assert_eq!(b.rows()[0].total_us, 30);
+        assert_eq!(b.rows()[1].name, "refine");
+    }
+
+    #[test]
+    fn render_is_nonempty_and_mentions_phases() {
+        let events = vec![exit("rfn", 100), exit("reach", 60)];
+        let text = TimeBreakdown::from_events(&events).render();
+        assert!(text.contains("reach"));
+        assert!(text.contains("60.0%"));
+    }
+
+    #[test]
+    fn empty_events_render_empty() {
+        assert!(TimeBreakdown::from_events(&[]).render().is_empty());
+    }
+}

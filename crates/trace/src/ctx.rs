@@ -1,0 +1,278 @@
+//! The trace context threaded through the verification engines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::event::{Event, EventKind, Fields, Value};
+use crate::sink::TraceSink;
+
+struct Inner {
+    sink: Arc<dyn TraceSink>,
+    epoch: Instant,
+    seq: AtomicU64,
+    next_span: AtomicU64,
+    /// Stack of open span ids; the top is the parent of new events. The
+    /// engines use one context per verification job (single-threaded), so
+    /// this mutex is uncontended.
+    stack: Mutex<Vec<u64>>,
+}
+
+/// A handle for emitting structured events, cheap to clone and pass around.
+///
+/// A disabled context ([`TraceCtx::disabled`], also the `Default`) makes
+/// every emission a no-op behind a single `Option` check — engines can thread
+/// a `&TraceCtx` unconditionally without measurable cost when tracing is off.
+///
+/// Spans nest: [`TraceCtx::span`] returns a guard; events emitted while the
+/// guard lives are attributed to that span, and dropping the guard emits the
+/// exit event with the elapsed wall-clock time.
+#[derive(Clone, Default)]
+pub struct TraceCtx {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for TraceCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceCtx")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl TraceCtx {
+    /// A context that drops every event without constructing it.
+    pub fn disabled() -> Self {
+        TraceCtx { inner: None }
+    }
+
+    /// A context emitting into `sink`. Sequence numbers and span ids start
+    /// at 0 and 1 respectively; timestamps are relative to this call.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        TraceCtx {
+            inner: Some(Arc::new(Inner {
+                sink,
+                epoch: Instant::now(),
+                seq: AtomicU64::new(0),
+                next_span: AtomicU64::new(1),
+                stack: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn emit(&self, kind: EventKind) {
+        if let Some(inner) = &self.inner {
+            let event = Event {
+                seq: inner.seq.fetch_add(1, Ordering::Relaxed),
+                t_us: inner.epoch.elapsed().as_micros() as u64,
+                kind,
+            };
+            inner.sink.emit(&event);
+        }
+    }
+
+    fn current_span(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => *inner
+                .stack
+                .lock()
+                .expect("trace stack poisoned")
+                .last()
+                .unwrap_or(&0),
+            None => 0,
+        }
+    }
+
+    /// Opens a span. Drop the returned guard to emit the exit event.
+    pub fn span(&self, name: &str) -> Span {
+        self.span_with(name, Vec::new())
+    }
+
+    /// Opens a span with entry fields (e.g. the iteration number).
+    pub fn span_with(&self, name: &str, fields: Fields) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span {
+                ctx: TraceCtx::disabled(),
+                id: 0,
+                name: String::new(),
+                start: Instant::now(),
+                exit_fields: Vec::new(),
+            };
+        };
+        let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+        let parent = self.current_span();
+        self.emit(EventKind::Enter {
+            id,
+            parent,
+            name: name.to_owned(),
+            fields,
+        });
+        inner.stack.lock().expect("trace stack poisoned").push(id);
+        Span {
+            ctx: self.clone(),
+            id,
+            name: name.to_owned(),
+            start: Instant::now(),
+            exit_fields: Vec::new(),
+        }
+    }
+
+    /// Emits an instantaneous event in the current span.
+    pub fn point(&self, name: &str, fields: Fields) {
+        if self.inner.is_some() {
+            let span = self.current_span();
+            self.emit(EventKind::Point {
+                span,
+                name: name.to_owned(),
+                fields,
+            });
+        }
+    }
+
+    /// Emits a counter observation in the current span.
+    pub fn counter(&self, name: &str, value: u64) {
+        if self.inner.is_some() {
+            let span = self.current_span();
+            self.emit(EventKind::Counter {
+                span,
+                name: name.to_owned(),
+                value,
+            });
+        }
+    }
+}
+
+/// An open span; dropping it emits the exit event with elapsed time and any
+/// fields recorded along the way.
+#[derive(Debug)]
+pub struct Span {
+    ctx: TraceCtx,
+    id: u64,
+    name: String,
+    start: Instant,
+    exit_fields: Fields,
+}
+
+impl Span {
+    /// The span's id (0 when tracing is disabled).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Records a field to be emitted with the exit event.
+    pub fn record(&mut self, key: &str, value: impl Into<Value>) {
+        if self.ctx.is_enabled() {
+            self.exit_fields.push((key.to_owned(), value.into()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = &self.ctx.inner else {
+            return;
+        };
+        // Pop this span (and anything leaked above it) off the stack.
+        {
+            let mut stack = inner.stack.lock().expect("trace stack poisoned");
+            if let Some(pos) = stack.iter().rposition(|&s| s == self.id) {
+                stack.truncate(pos);
+            }
+        }
+        let elapsed_us = self.start.elapsed().as_micros() as u64;
+        self.ctx.emit(EventKind::Exit {
+            id: self.id,
+            name: std::mem::take(&mut self.name),
+            elapsed_us,
+            fields: std::mem::take(&mut self.exit_fields),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn disabled_ctx_is_inert() {
+        let ctx = TraceCtx::disabled();
+        assert!(!ctx.is_enabled());
+        let mut span = ctx.span("x");
+        span.record("k", 1u64);
+        ctx.counter("c", 2);
+        ctx.point("p", vec![]);
+        drop(span);
+        // Nothing to assert beyond "does not panic / allocate events".
+    }
+
+    #[test]
+    fn spans_nest_and_attribute_children() {
+        let sink = Arc::new(MemorySink::new());
+        let ctx = TraceCtx::new(sink.clone());
+        {
+            let _outer = ctx.span("outer");
+            ctx.counter("c1", 1);
+            {
+                let mut inner = ctx.span("inner");
+                inner.record("steps", 4u64);
+                ctx.counter("c2", 2);
+            }
+            ctx.counter("c3", 3);
+        }
+        let events = sink.take();
+        assert_eq!(events.len(), 7);
+        // outer enter
+        let EventKind::Enter {
+            id: outer_id,
+            parent,
+            ..
+        } = &events[0].kind
+        else {
+            panic!("expected enter, got {:?}", events[0]);
+        };
+        assert_eq!(*parent, 0);
+        // c1 belongs to outer
+        let EventKind::Counter { span, .. } = &events[1].kind else {
+            panic!("expected counter");
+        };
+        assert_eq!(span, outer_id);
+        // inner enter: parent is outer
+        let EventKind::Enter {
+            id: inner_id,
+            parent,
+            ..
+        } = &events[2].kind
+        else {
+            panic!("expected enter");
+        };
+        assert_eq!(parent, outer_id);
+        // c2 belongs to inner
+        let EventKind::Counter { span, .. } = &events[3].kind else {
+            panic!("expected counter");
+        };
+        assert_eq!(span, inner_id);
+        // inner exit carries the recorded field
+        let EventKind::Exit { id, fields, .. } = &events[4].kind else {
+            panic!("expected exit");
+        };
+        assert_eq!(id, inner_id);
+        assert_eq!(fields[0], ("steps".to_owned(), Value::U64(4)));
+        // c3 back on outer
+        let EventKind::Counter { span, .. } = &events[5].kind else {
+            panic!("expected counter");
+        };
+        assert_eq!(span, outer_id);
+        // outer exit last
+        assert!(matches!(events[6].kind, EventKind::Exit { .. }));
+        // Sequence numbers are dense.
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! The structured event model and its JSONL serialization.
+
+use std::fmt::Write as _;
+
+/// A field value attached to an event.
+///
+/// The variants cover everything the verification engines report: integer
+/// counters, durations (as integer microseconds), rates, flags and names.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counters, sizes).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point (rates, ratios).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Short string (names, verdicts, reasons).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Named fields carried by an event, in emission order.
+pub type Fields = Vec<(String, Value)>;
+
+/// What kind of event happened.
+///
+/// Span ids are unique within one [`TraceCtx`](crate::TraceCtx); id `0` means
+/// "no span" (a root span's `parent`, or a point/counter emitted outside any
+/// span).
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A span was entered.
+    Enter {
+        /// Id of the new span (> 0).
+        id: u64,
+        /// Id of the enclosing span, or 0 for a root span.
+        parent: u64,
+        /// Span name (e.g. `iteration`, `reach`).
+        name: String,
+        /// Fields known at entry (e.g. the iteration number).
+        fields: Fields,
+    },
+    /// A span was exited.
+    Exit {
+        /// Id of the span being exited.
+        id: u64,
+        /// Span name (repeated so a single line is self-describing).
+        name: String,
+        /// Wall-clock time spent inside the span, in microseconds.
+        elapsed_us: u64,
+        /// Fields recorded during the span (statistics, outcomes).
+        fields: Fields,
+    },
+    /// An instantaneous event inside the current span.
+    Point {
+        /// Id of the enclosing span, or 0.
+        span: u64,
+        /// Event name (e.g. `atpg.justify`).
+        name: String,
+        /// Event payload.
+        fields: Fields,
+    },
+    /// A monotonic counter observation inside the current span.
+    Counter {
+        /// Id of the enclosing span, or 0.
+        span: u64,
+        /// Counter name (e.g. `bdd.peak_nodes`).
+        name: String,
+        /// Observed value.
+        value: u64,
+    },
+}
+
+/// One structured event: a sequence number, a timestamp relative to the
+/// context's creation, and the payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Per-context sequence number, starting at 0.
+    pub seq: u64,
+    /// Microseconds since the owning [`TraceCtx`](crate::TraceCtx) was
+    /// created.
+    pub t_us: u64,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// The event's name (span name for enter/exit).
+    pub fn name(&self) -> &str {
+        match &self.kind {
+            EventKind::Enter { name, .. }
+            | EventKind::Exit { name, .. }
+            | EventKind::Point { name, .. }
+            | EventKind::Counter { name, .. } => name,
+        }
+    }
+
+    /// Serializes the event as one JSONL line (no trailing newline).
+    ///
+    /// The schema is documented at the [crate root](crate#jsonl-schema) and
+    /// pinned by a golden test.
+    pub fn to_jsonl(&self) -> String {
+        self.render(false)
+    }
+
+    /// Like [`to_jsonl`](Self::to_jsonl) but with both timestamps (`t_us`,
+    /// `elapsed_us`) forced to 0, so streams from different runs can be
+    /// compared byte-for-byte.
+    pub fn to_jsonl_normalized(&self) -> String {
+        self.render(true)
+    }
+
+    fn render(&self, strip_time: bool) -> String {
+        let mut s = String::with_capacity(96);
+        let t = if strip_time { 0 } else { self.t_us };
+        let _ = write!(s, "{{\"seq\":{},\"t_us\":{}", self.seq, t);
+        match &self.kind {
+            EventKind::Enter {
+                id,
+                parent,
+                name,
+                fields,
+            } => {
+                let _ = write!(s, ",\"ev\":\"enter\",\"id\":{id},\"parent\":{parent}");
+                push_name_fields(&mut s, name, fields);
+            }
+            EventKind::Exit {
+                id,
+                name,
+                elapsed_us,
+                fields,
+            } => {
+                let e = if strip_time { 0 } else { *elapsed_us };
+                let _ = write!(s, ",\"ev\":\"exit\",\"id\":{id},\"elapsed_us\":{e}");
+                push_name_fields(&mut s, name, fields);
+            }
+            EventKind::Point { span, name, fields } => {
+                let _ = write!(s, ",\"ev\":\"point\",\"span\":{span}");
+                push_name_fields(&mut s, name, fields);
+            }
+            EventKind::Counter { span, name, value } => {
+                let _ = write!(s, ",\"ev\":\"counter\",\"span\":{span}");
+                s.push_str(",\"name\":");
+                push_json_str(&mut s, name);
+                let _ = write!(s, ",\"value\":{value}");
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn push_name_fields(s: &mut String, name: &str, fields: &Fields) {
+    s.push_str(",\"name\":");
+    push_json_str(s, name);
+    s.push_str(",\"fields\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        push_json_str(s, k);
+        s.push(':');
+        push_json_value(s, v);
+    }
+    s.push('}');
+}
+
+fn push_json_value(s: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => {
+            let _ = write!(s, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(s, "{n}");
+        }
+        Value::F64(x) => {
+            // JSON has no NaN/Inf; clamp to null like serde_json does.
+            if x.is_finite() {
+                let _ = write!(s, "{x}");
+            } else {
+                s.push_str("null");
+            }
+        }
+        Value::Bool(b) => s.push_str(if *b { "true" } else { "false" }),
+        Value::Str(t) => push_json_str(s, t),
+    }
+}
+
+/// Escapes a string per RFC 8259 (control characters, quotes, backslash).
+fn push_json_str(s: &mut String, t: &str) {
+    s.push('"');
+    for c in t.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+/// Serializes a slice of events as a JSONL document (one event per line,
+/// trailing newline). With `normalized`, timestamps are zeroed — the form
+/// used by the determinism and golden tests.
+pub fn to_jsonl(events: &[Event], normalized: bool) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&if normalized {
+            e.to_jsonl_normalized()
+        } else {
+            e.to_jsonl()
+        });
+        out.push('\n');
+    }
+    out
+}
+
+/// Merges per-job event buffers into one stream.
+///
+/// Sequence numbers are reassigned densely in merge order and each buffer's
+/// span ids are offset past the previous buffers' ids, so the merged stream
+/// is indistinguishable from a single context's output. Buffers are
+/// concatenated in the given (job) order with their internal order intact —
+/// this is what makes a parallel portfolio's event file deterministic at any
+/// thread count. Timestamps are left untouched (each buffer keeps its own
+/// job-relative clock), so only the normalized form is comparable across
+/// runs.
+pub fn merge_streams(buffers: Vec<Vec<Event>>) -> Vec<Event> {
+    let mut out = Vec::new();
+    let mut seq = 0u64;
+    let mut span_offset = 0u64;
+    for buf in buffers {
+        let mut max_id = span_offset;
+        for mut e in buf {
+            e.seq = seq;
+            seq += 1;
+            match &mut e.kind {
+                EventKind::Enter { id, parent, .. } => {
+                    *id += span_offset;
+                    if *parent != 0 {
+                        *parent += span_offset;
+                    }
+                    max_id = max_id.max(*id);
+                }
+                EventKind::Exit { id, .. } => {
+                    *id += span_offset;
+                    max_id = max_id.max(*id);
+                }
+                EventKind::Point { span, .. } | EventKind::Counter { span, .. } => {
+                    if *span != 0 {
+                        *span += span_offset;
+                    }
+                }
+            }
+            out.push(e);
+        }
+        span_offset = max_id;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_renumbers_seq_and_span_ids() {
+        let buf = |id: u64| {
+            vec![
+                Event {
+                    seq: 0,
+                    t_us: 0,
+                    kind: EventKind::Enter {
+                        id,
+                        parent: 0,
+                        name: "rfn".into(),
+                        fields: vec![],
+                    },
+                },
+                Event {
+                    seq: 1,
+                    t_us: 0,
+                    kind: EventKind::Counter {
+                        span: id,
+                        name: "c".into(),
+                        value: 9,
+                    },
+                },
+                Event {
+                    seq: 2,
+                    t_us: 0,
+                    kind: EventKind::Exit {
+                        id,
+                        name: "rfn".into(),
+                        elapsed_us: 0,
+                        fields: vec![],
+                    },
+                },
+            ]
+        };
+        let merged = merge_streams(vec![buf(1), buf(1)]);
+        assert_eq!(merged.len(), 6);
+        for (i, e) in merged.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+        let EventKind::Enter { id, .. } = &merged[3].kind else {
+            panic!("expected enter");
+        };
+        assert_eq!(*id, 2, "second job's span id offset past the first's");
+        let EventKind::Counter { span, .. } = &merged[4].kind else {
+            panic!("expected counter");
+        };
+        assert_eq!(*span, 2);
+    }
+
+    #[test]
+    fn escapes_json_strings() {
+        let e = Event {
+            seq: 0,
+            t_us: 7,
+            kind: EventKind::Point {
+                span: 0,
+                name: "x\"y\\z\n".to_owned(),
+                fields: vec![("k".to_owned(), Value::Str("\u{1}".to_owned()))],
+            },
+        };
+        assert_eq!(
+            e.to_jsonl(),
+            "{\"seq\":0,\"t_us\":7,\"ev\":\"point\",\"span\":0,\
+             \"name\":\"x\\\"y\\\\z\\n\",\"fields\":{\"k\":\"\\u0001\"}}"
+        );
+    }
+
+    #[test]
+    fn normalization_zeroes_timestamps() {
+        let e = Event {
+            seq: 3,
+            t_us: 1234,
+            kind: EventKind::Exit {
+                id: 1,
+                name: "reach".to_owned(),
+                elapsed_us: 999,
+                fields: vec![("steps".to_owned(), Value::U64(4))],
+            },
+        };
+        assert!(e.to_jsonl().contains("\"t_us\":1234"));
+        assert!(e.to_jsonl().contains("\"elapsed_us\":999"));
+        let n = e.to_jsonl_normalized();
+        assert!(n.contains("\"t_us\":0"));
+        assert!(n.contains("\"elapsed_us\":0"));
+        assert!(n.contains("\"steps\":4"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let e = Event {
+            seq: 0,
+            t_us: 0,
+            kind: EventKind::Point {
+                span: 0,
+                name: "p".to_owned(),
+                fields: vec![("r".to_owned(), Value::F64(f64::NAN))],
+            },
+        };
+        assert!(e.to_jsonl().contains("\"r\":null"));
+    }
+}

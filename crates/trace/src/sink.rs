@@ -1,0 +1,312 @@
+//! Pluggable event sinks.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use crate::event::{Event, EventKind, Fields, Value};
+
+/// Where structured events go.
+///
+/// Implementations must be cheap and non-blocking where possible: the
+/// engines emit events from hot verification loops. A sink is shared across
+/// the threads of a parallel portfolio, so it must be `Send + Sync`.
+pub trait TraceSink: Send + Sync {
+    /// Consumes one event.
+    fn emit(&self, event: &Event);
+}
+
+/// A sink that drops every event. A [`TraceCtx`](crate::TraceCtx) built on
+/// the null sink still pays for event construction — prefer
+/// [`TraceCtx::disabled`](crate::TraceCtx::disabled), which skips
+/// construction entirely.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Buffers every event in memory, preserving emission order.
+///
+/// This is the sink behind the golden/determinism tests and behind the
+/// portfolio runners: each parallel job buffers into its own memory sink and
+/// the session flushes the buffers in job order, so the merged stream is
+/// identical at any thread count.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clones the buffered events.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Removes and returns the buffered events.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("memory sink poisoned"))
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Renders events as human-readable lines on stderr, indented by span depth.
+///
+/// This sink replaces the ad-hoc `verbosity`-gated `eprintln!` logging of
+/// earlier versions: the same event stream drives both the machine-readable
+/// JSONL output and the human diagnostics, so the two can never disagree.
+#[derive(Debug, Default)]
+pub struct StderrSink {
+    depths: Mutex<HashMap<u64, usize>>,
+}
+
+impl StderrSink {
+    /// Creates a stderr sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn depth_of(&self, span: u64) -> usize {
+        if span == 0 {
+            return 0;
+        }
+        *self
+            .depths
+            .lock()
+            .expect("stderr sink poisoned")
+            .get(&span)
+            .unwrap_or(&0)
+    }
+}
+
+fn render_fields(fields: &Fields) -> String {
+    if fields.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| match v {
+            Value::U64(n) => format!("{k}={n}"),
+            Value::I64(n) => format!("{k}={n}"),
+            Value::F64(x) => format!("{k}={x:.3}"),
+            Value::Bool(b) => format!("{k}={b}"),
+            Value::Str(s) => format!("{k}={s}"),
+        })
+        .collect();
+    format!(" {}", parts.join(" "))
+}
+
+impl TraceSink for StderrSink {
+    fn emit(&self, event: &Event) {
+        match &event.kind {
+            EventKind::Enter {
+                id,
+                parent,
+                name,
+                fields,
+            } => {
+                let depth = self.depth_of(*parent) + usize::from(*parent != 0);
+                self.depths
+                    .lock()
+                    .expect("stderr sink poisoned")
+                    .insert(*id, depth);
+                eprintln!(
+                    "[trace] {:indent$}> {name}{}",
+                    "",
+                    render_fields(fields),
+                    indent = 2 * depth
+                );
+            }
+            EventKind::Exit {
+                id,
+                name,
+                elapsed_us,
+                fields,
+            } => {
+                let depth = self.depth_of(*id);
+                self.depths.lock().expect("stderr sink poisoned").remove(id);
+                eprintln!(
+                    "[trace] {:indent$}< {name} ({:.3}ms){}",
+                    "",
+                    *elapsed_us as f64 / 1000.0,
+                    render_fields(fields),
+                    indent = 2 * depth
+                );
+            }
+            EventKind::Point { span, name, fields } => {
+                let depth = self.depth_of(*span) + usize::from(*span != 0);
+                eprintln!(
+                    "[trace] {:indent$}. {name}{}",
+                    "",
+                    render_fields(fields),
+                    indent = 2 * depth
+                );
+            }
+            EventKind::Counter { span, name, value } => {
+                let depth = self.depth_of(*span) + usize::from(*span != 0);
+                eprintln!(
+                    "[trace] {:indent$}. {name} = {value}",
+                    "",
+                    indent = 2 * depth
+                );
+            }
+        }
+    }
+}
+
+/// Streams events as JSONL to any writer (typically a file opened for
+/// `--trace-out`). Lines follow the schema documented at the
+/// [crate root](crate#jsonl-schema).
+pub struct JsonlSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// Wraps a writer. Each event becomes one line; IO errors are swallowed
+    /// (tracing must never fail a verification run).
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut line = event.to_jsonl();
+        line.push('\n');
+        let _ = self
+            .writer
+            .lock()
+            .expect("jsonl sink poisoned")
+            .write_all(line.as_bytes());
+    }
+}
+
+/// Fans each event out to several sinks (e.g. a JSONL file plus stderr).
+#[derive(Clone)]
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for FanoutSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanoutSink")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl FanoutSink {
+    /// Combines the given sinks; events are delivered in vector order.
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn emit(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.emit(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_preserves_order_and_takes() {
+        let sink = MemorySink::new();
+        for seq in 0..3 {
+            sink.emit(&Event {
+                seq,
+                t_us: 0,
+                kind: EventKind::Counter {
+                    span: 0,
+                    name: "c".into(),
+                    value: seq,
+                },
+            });
+        }
+        let events = sink.take();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[2].seq, 2);
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn fanout_delivers_to_all() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let fan = FanoutSink::new(vec![a.clone(), b.clone()]);
+        fan.emit(&Event {
+            seq: 0,
+            t_us: 0,
+            kind: EventKind::Counter {
+                span: 0,
+                name: "c".into(),
+                value: 1,
+            },
+        });
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(Box::new(Shared(buf.clone())));
+        sink.emit(&Event {
+            seq: 0,
+            t_us: 0,
+            kind: EventKind::Counter {
+                span: 0,
+                name: "c".into(),
+                value: 1,
+            },
+        });
+        sink.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(
+            text,
+            "{\"seq\":0,\"t_us\":0,\"ev\":\"counter\",\"span\":0,\"name\":\"c\",\"value\":1}\n"
+        );
+    }
+}

@@ -4,8 +4,10 @@
 //! ```text
 //! rfn info <netlist>
 //! rfn verify <netlist> --watch <signal>[=0|1] [--watch ...] [--name <p>]
-//!            [--time-limit <s>] [--threads <n>] [-v]
+//!            [--time-limit <s>] [--threads <n>] [--trace-out <file>]
+//!            [--breakdown] [-v]
 //! rfn coverage <netlist> --signals <a,b,c> [--bfs <k>] [--time-limit <s>]
+//!              [--trace-out <file>] [--breakdown]
 //! ```
 //!
 //! `--watch` may be repeated: the properties form a portfolio verified in
@@ -13,19 +15,23 @@
 //! printed in command-line order. The exit code is the worst verdict: any
 //! falsification wins over any inconclusive result.
 //!
+//! `--trace-out <file>` streams the run's structured events as JSONL (schema:
+//! `rfn_trace` crate docs); `--breakdown` prints a per-phase time table after
+//! the results. Both observe the *same* event stream the engines emit — the
+//! table is computed from the events, so it can never disagree with the file.
+//!
 //! Netlists use the line-oriented format of
 //! [`rfn_netlist::parse_netlist`](rfn::netlist::parse_netlist); see
 //! `examples/custom_design.rs` for a complete design.
 
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
-use rfn::core::{
-    analyze_coverage, bfs_coverage, default_threads, parallel_map, CoverageOptions, Rfn,
-    RfnOptions, RfnOutcome,
-};
+use rfn::core::prelude::*;
 use rfn::mc::ReachOptions;
-use rfn::netlist::{parse_netlist, Coi, CoverageSet, Netlist, Property, SignalId};
+use rfn::netlist::{parse_netlist, Coi, SignalId};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,10 +50,14 @@ const USAGE: &str = "\
 usage:
   rfn info <netlist>
   rfn verify <netlist> --watch <signal>[=0|1] [--watch ...] [--name <p>]
-             [--time-limit <s>] [--threads <n>] [-v]
+             [--time-limit <s>] [--threads <n>] [--trace-out <file>]
+             [--breakdown] [-v]
   rfn coverage <netlist> --signals <a,b,c> [--bfs <k>] [--time-limit <s>]
+               [--trace-out <file>] [--breakdown]
 
 `--watch` may repeat; the portfolio runs in parallel on --threads workers.
+`--trace-out` writes the structured event stream as JSONL; `--breakdown`
+prints a per-phase time table.
 exit codes: 0 all properties proved / analysis done, 1 some property
             falsified, 3 some property inconclusive (falsified wins)";
 
@@ -130,6 +140,63 @@ fn time_limit(rest: &[&String]) -> Result<Option<Duration>, String> {
     }
 }
 
+/// The CLI's observability trio: the sink to hand to the session (JSONL file
+/// and/or an in-memory buffer for the breakdown table), the buffer itself,
+/// and the JSONL sink so it can be flushed after the run.
+struct Observers {
+    sink: Option<Arc<dyn TraceSink>>,
+    memory: Option<Arc<MemorySink>>,
+    jsonl: Option<Arc<JsonlSink>>,
+}
+
+/// Builds the session sink from `--trace-out` / `--breakdown`.
+fn observers(rest: &[&String]) -> Result<Observers, String> {
+    let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::new();
+    let jsonl = match flag_value(rest, "--trace-out") {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+            let sink = Arc::new(JsonlSink::new(Box::new(std::io::BufWriter::new(file))));
+            sinks.push(sink.clone());
+            Some(sink)
+        }
+        None => None,
+    };
+    let memory = if rest.iter().any(|a| a.as_str() == "--breakdown") {
+        let sink = Arc::new(MemorySink::new());
+        sinks.push(sink.clone());
+        Some(sink)
+    } else {
+        None
+    };
+    let sink = match sinks.len() {
+        0 => None,
+        1 => sinks.pop(),
+        _ => Some(Arc::new(FanoutSink::new(sinks)) as Arc<dyn TraceSink>),
+    };
+    Ok(Observers {
+        sink,
+        memory,
+        jsonl,
+    })
+}
+
+/// Flushes the JSONL file and prints the breakdown table, if requested.
+fn finish_observers(obs: &Observers) -> Result<(), String> {
+    if let Some(jsonl) = &obs.jsonl {
+        jsonl.flush();
+    }
+    if let Some(memory) = &obs.memory {
+        let table = TimeBreakdown::from_events(&memory.take()).render();
+        if table.is_empty() {
+            println!("\nno spans recorded");
+        } else {
+            let mut stdout = std::io::stdout().lock();
+            let _ = write!(stdout, "\n{table}");
+        }
+    }
+    Ok(())
+}
+
 fn verify(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
     let watches = flag_values(rest, "--watch");
     if watches.is_empty() {
@@ -152,61 +219,53 @@ fn verify(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
         };
         properties.push(Property::never_value(name, signal, value));
     }
-    let options = RfnOptions {
-        time_limit: time_limit(rest)?,
-        verbosity: u8::from(rest.iter().any(|a| a.as_str() == "-v")),
-        ..RfnOptions::default()
-    };
-    let threads = thread_count(rest)?;
-    // Each property is an independent job with its own BDD managers; run the
-    // portfolio in parallel and report in command-line order.
-    let outcomes: Vec<Result<RfnOutcome, String>> = parallel_map(properties.len(), threads, |i| {
-        Rfn::new(n, &properties[i], options.clone())
-            .map_err(|e| e.to_string())?
-            .run()
-            .map_err(|e| e.to_string())
-    });
-    let mut worst = 0u8;
-    for (property, outcome) in properties.iter().zip(outcomes) {
-        let code = report_outcome(n, property, outcome?);
-        // Any falsification outranks any inconclusive result.
-        worst = match (worst, code) {
-            (1, _) | (_, 1) => 1,
-            (3, _) | (_, 3) => 3,
-            _ => code,
-        };
+    let obs = observers(rest)?;
+    // Each property is an independent job with its own BDD managers; the
+    // session runs the portfolio in parallel and reports in command-line
+    // order, with the event streams merged deterministically.
+    let mut session = VerifySession::new(n)
+        .properties(properties)
+        .threads(thread_count(rest)?)
+        .verbosity(u8::from(rest.iter().any(|a| a.as_str() == "-v")));
+    if let Some(limit) = time_limit(rest)? {
+        session = session.time_limit(limit);
     }
-    Ok(ExitCode::from(worst))
+    if let Some(sink) = obs.sink.clone() {
+        session = session.trace(sink);
+    }
+    let report = session.run().map_err(|e| e.to_string())?;
+    for result in &report.results {
+        report_result(n, result);
+    }
+    finish_observers(&obs)?;
+    Ok(ExitCode::from(report.worst_exit_code()))
 }
 
-/// Prints one property's verdict and returns its exit code.
-fn report_outcome(n: &Netlist, property: &Property, outcome: RfnOutcome) -> u8 {
-    match outcome {
-        RfnOutcome::Proved { stats } => {
+/// Prints one property's verdict.
+fn report_result(n: &Netlist, result: &PropertyResult) {
+    let stats = result.stats.clone().unwrap_or_default();
+    match &result.verdict {
+        Verdict::Proved => {
             println!(
                 "PROVED `{}`: abstraction {} of {} COI registers, {} iterations, {:.2?}",
-                property.name,
+                result.property.name,
                 stats.abstract_registers,
                 stats.coi_registers,
                 stats.iterations,
                 stats.elapsed
             );
-            0
         }
-        RfnOutcome::Falsified { trace, stats } => {
+        Verdict::Falsified { trace, depth } => {
             println!(
-                "FALSIFIED `{}`: {}-cycle error trace ({} iterations, {:.2?})",
-                property.name,
-                trace.num_cycles(),
-                stats.iterations,
-                stats.elapsed
+                "FALSIFIED `{}`: {depth}-cycle error trace ({} iterations, {:.2?})",
+                result.property.name, stats.iterations, stats.elapsed
             );
-            print!("{}", trace.display(n));
-            1
+            if let Some(trace) = trace {
+                print!("{}", trace.display(n));
+            }
         }
-        RfnOutcome::Inconclusive { reason, .. } => {
-            println!("INCONCLUSIVE `{}`: {reason}", property.name);
-            3
+        Verdict::Inconclusive { reason } => {
+            println!("INCONCLUSIVE `{}`: {reason}", result.property.name);
         }
     }
 }
@@ -216,20 +275,25 @@ fn coverage(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
     let sigs: Result<Vec<SignalId>, String> =
         signals.split(',').map(|s| lookup(n, s.trim())).collect();
     let set = CoverageSet::new("cli", sigs?);
-    let options = CoverageOptions {
-        time_limit: time_limit(rest)?,
-        ..CoverageOptions::default()
-    };
-    let report = analyze_coverage(n, &set, &options).map_err(|e| e.to_string())?;
+    let obs = observers(rest)?;
+    let mut session = VerifySession::new(n).coverage_set(&set);
+    if let Some(limit) = time_limit(rest)? {
+        session = session.time_limit(limit);
+    }
+    if let Some(sink) = obs.sink.clone() {
+        session = session.trace(sink);
+    }
+    let report = session.run().map_err(|e| e.to_string())?;
+    let cov = &report.coverage[0];
     println!(
         "coverage: {} states | {} unreachable, {} reachable, {} unresolved \
          | abstraction {} regs | {:.2?}",
-        report.total_states,
-        report.unreachable,
-        report.reachable,
-        report.unresolved,
-        report.abstract_registers,
-        report.elapsed
+        cov.total_states,
+        cov.unreachable,
+        cov.reachable,
+        cov.unresolved,
+        cov.abstract_registers,
+        cov.elapsed
     );
     if let Some(k) = flag_value(rest, "--bfs") {
         let k: usize = k.parse().map_err(|_| format!("bad --bfs `{k}`"))?;
@@ -240,5 +304,6 @@ fn coverage(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
             bfs.unreachable, bfs.abstract_registers, bfs.elapsed
         );
     }
+    finish_observers(&obs)?;
     Ok(ExitCode::SUCCESS)
 }
