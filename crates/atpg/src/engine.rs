@@ -23,6 +23,13 @@ pub struct AtpgOptions {
     /// being anchored to the reset state (used by combinational justification
     /// on abstract models).
     pub free_initial_state: bool,
+    /// Optional per-time-frame objective priority (lower value = attacked
+    /// first); frames beyond the vector's length rank last. Empty (the
+    /// default) keeps the plain chronological objective order. The RFN loop
+    /// feeds the random-simulation engine's per-cycle survivor counts here,
+    /// so the frames where random patterns fell off the guidance corridor —
+    /// the hard frames — are justified fail-first.
+    pub frame_priority: Vec<u64>,
     /// Structured-event context; every `justify` call emits one
     /// `atpg.justify` point event with its effort counters. Disabled by
     /// default (a single pointer check per call).
@@ -36,6 +43,7 @@ impl Default for AtpgOptions {
             max_decisions: 2_000_000,
             time_limit: None,
             free_initial_state: false,
+            frame_priority: Vec::new(),
             trace: TraceCtx::disabled(),
         }
     }
@@ -199,6 +207,18 @@ impl<'n> SequentialAtpg<'n> {
     /// This is the paper's trace-guided search: the abstract error trace's
     /// cubes become guidance, its length becomes `depth`.
     pub fn find_trace(&self, depth: usize, target: &Cube, guidance: &[Cube]) -> AtpgOutcome {
+        self.find_trace_with_stats(depth, target, guidance).0
+    }
+
+    /// Like [`SequentialAtpg::find_trace`], additionally returning the
+    /// search's effort counters (used by the RFN loop's concretization
+    /// statistics).
+    pub fn find_trace_with_stats(
+        &self,
+        depth: usize,
+        target: &Cube,
+        guidance: &[Cube],
+    ) -> (AtpgOutcome, AtpgStats) {
         assert!(depth > 0, "find_trace needs at least one cycle");
         let mut constraints = vec![Cube::new(); depth];
         for (t, g) in guidance.iter().enumerate() {
@@ -207,9 +227,9 @@ impl<'n> SequentialAtpg<'n> {
             }
         }
         if constraints[depth - 1].merge(target).is_err() {
-            return AtpgOutcome::Unsatisfiable;
+            return (AtpgOutcome::Unsatisfiable, AtpgStats::default());
         }
-        self.engine.justify(&constraints).0
+        self.engine.justify(&constraints)
     }
 
     /// Justifies arbitrary per-cycle constraints; see [`AtpgEngine::justify`].
@@ -348,6 +368,17 @@ impl<'a, 'n> Search<'a, 'n> {
             }
         }
         self.objective_list.sort_unstable();
+        // Fail-first frame ordering: when the caller supplies per-frame
+        // priorities, attack the lowest-priority-value (hardest) frames
+        // first; within a frame the chronological signal order is kept.
+        let priority = &self.eng.options.frame_priority;
+        if !priority.is_empty() {
+            let width = self.width;
+            self.objective_list.sort_by_key(|&(fs, _)| {
+                let frame = fs as usize / width;
+                (priority.get(frame).copied().unwrap_or(u64::MAX), fs)
+            });
+        }
         // Constants hold at every frame.
         let mut queue: Vec<u32> = Vec::new();
         for s in netlist.signals() {

@@ -1,11 +1,72 @@
-//! Step 3: searching for an error trace on the original design with
-//! trace-guided sequential ATPG.
+//! Step 3: searching for an error trace on the original design, staging
+//! engines cheap-to-expensive: guided random simulation first, trace-guided
+//! sequential ATPG second.
 
-use rfn_atpg::{AtpgOptions, AtpgOutcome, SequentialAtpg};
+use rfn_atpg::{AtpgOutcome, SequentialAtpg};
 use rfn_netlist::{Cube, Netlist, Property, Trace};
-use rfn_sim::Simulator;
+use rfn_sim::{random_concretize, PackedSim, RandomSimOptions, Tv};
 
 use crate::RfnError;
+
+/// Options for the staged concretization of Step 3.
+#[derive(Clone, Debug)]
+pub struct ConcretizeOptions {
+    /// Limits for the trace-guided sequential ATPG (the expensive stage).
+    pub atpg: rfn_atpg::AtpgOptions,
+    /// The random-simulation engine (the cheap stage, tried first);
+    /// `sim.batches = 0` disables it.
+    pub sim: RandomSimOptions,
+    /// When the random stage misses, bias the ATPG's objective order
+    /// fail-first by the stage's per-cycle survivor counts (frames where
+    /// random patterns fell off the guidance corridor are attacked first).
+    /// Ignored if `atpg.frame_priority` is already set by the caller.
+    pub bias_frame_order: bool,
+}
+
+impl Default for ConcretizeOptions {
+    fn default() -> Self {
+        ConcretizeOptions {
+            atpg: rfn_atpg::AtpgOptions::default(),
+            sim: RandomSimOptions::default(),
+            bias_frame_order: true,
+        }
+    }
+}
+
+/// Effort statistics of concretization attempts; accumulable across
+/// attempts and iterations with [`ConcretizeStats::merge`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConcretizeStats {
+    /// 64-pattern batches the random engine simulated.
+    pub random_batches: u64,
+    /// Random patterns simulated (64 per batch).
+    pub random_patterns: u64,
+    /// Random patterns that landed in the target cube.
+    pub random_hits: u64,
+    /// Packed gate evaluations the random engine spent (64 lanes each).
+    pub random_gate_evals: u64,
+    /// Whether a falsification came from the random engine — the sequential
+    /// ATPG was never entered for that abstract trace, i.e. the witness cost
+    /// zero ATPG backtracks.
+    pub random_falsified: bool,
+    /// Sequential-ATPG backtracks spent.
+    pub atpg_backtracks: u64,
+    /// Sequential-ATPG decisions spent.
+    pub atpg_decisions: u64,
+}
+
+impl ConcretizeStats {
+    /// Accumulates another attempt's counters into this one.
+    pub fn merge(&mut self, other: &ConcretizeStats) {
+        self.random_batches += other.random_batches;
+        self.random_patterns += other.random_patterns;
+        self.random_hits += other.random_hits;
+        self.random_gate_evals += other.random_gate_evals;
+        self.random_falsified |= other.random_falsified;
+        self.atpg_backtracks += other.atpg_backtracks;
+        self.atpg_decisions += other.atpg_decisions;
+    }
+}
 
 /// Result of a concretization attempt.
 #[derive(Clone, Debug)]
@@ -25,8 +86,13 @@ pub enum ConcretizeOutcome {
 ///
 /// The abstract trace provides both the search depth (the real shortest
 /// error trace can only be longer) and per-cycle constraint cubes that guide
-/// the sequential ATPG — including the trace's pseudo-input assignments,
-/// which become register constraints on the original design.
+/// the engines — including the trace's pseudo-input assignments, which
+/// become register constraints on the original design.
+///
+/// Engines run cheap to expensive: guided random simulation
+/// ([`rfn_sim::random_concretize`]) first; if it misses, trace-guided
+/// sequential ATPG with its objective order biased by the random stage's
+/// per-cycle survivor counts.
 ///
 /// Every `Falsified` trace has been replayed with concrete simulation before
 /// being returned, so falsification is sound even though the search is
@@ -39,10 +105,25 @@ pub fn concretize(
     netlist: &Netlist,
     property: &Property,
     abstract_trace: &Trace,
-    options: &AtpgOptions,
+    options: &ConcretizeOptions,
 ) -> Result<ConcretizeOutcome, RfnError> {
+    concretize_with_stats(netlist, property, abstract_trace, options).map(|(o, _)| o)
+}
+
+/// Like [`concretize`], additionally returning the per-engine effort
+/// statistics of the attempt.
+///
+/// # Errors
+///
+/// Propagates structural netlist errors.
+pub fn concretize_with_stats(
+    netlist: &Netlist,
+    property: &Property,
+    abstract_trace: &Trace,
+    options: &ConcretizeOptions,
+) -> Result<(ConcretizeOutcome, ConcretizeStats), RfnError> {
     let target: Cube = [(property.signal, property.value)].into_iter().collect();
-    concretize_cube(netlist, &target, abstract_trace, options)
+    concretize_cube_with_stats(netlist, &target, abstract_trace, options)
 }
 
 /// Like [`concretize`], but with an arbitrary target cube checked at the
@@ -55,14 +136,28 @@ pub fn concretize_cube(
     netlist: &Netlist,
     target: &Cube,
     abstract_trace: &Trace,
-    options: &AtpgOptions,
+    options: &ConcretizeOptions,
 ) -> Result<ConcretizeOutcome, RfnError> {
+    concretize_cube_with_stats(netlist, target, abstract_trace, options).map(|(o, _)| o)
+}
+
+/// Like [`concretize_cube`], additionally returning the per-engine effort
+/// statistics of the attempt.
+///
+/// # Errors
+///
+/// Propagates structural netlist errors.
+pub fn concretize_cube_with_stats(
+    netlist: &Netlist,
+    target: &Cube,
+    abstract_trace: &Trace,
+    options: &ConcretizeOptions,
+) -> Result<(ConcretizeOutcome, ConcretizeStats), RfnError> {
+    let mut stats = ConcretizeStats::default();
     if abstract_trace.is_empty() {
-        return Ok(ConcretizeOutcome::Unknown);
+        return Ok((ConcretizeOutcome::Unknown, stats));
     }
     let depth = abstract_trace.num_cycles();
-    let atpg = SequentialAtpg::new(netlist, options.clone())
-        .map_err(|e| RfnError::at(crate::Phase::Concretize, e))?;
     // Guidance: each abstract step's state and input cubes merged. All
     // abstract-model signals are signals of the original design (pseudo-input
     // literals become register constraints).
@@ -72,51 +167,103 @@ pub fn concretize_cube(
         if cube.merge(&step.inputs).is_err() {
             // State and input cubes of a well-formed trace are disjoint; a
             // conflict means the trace is internally inconsistent.
-            return Ok(ConcretizeOutcome::Spurious);
+            return Ok((ConcretizeOutcome::Spurious, stats));
         }
         guidance.push(cube);
     }
-    match atpg.find_trace(depth, target, &guidance) {
+
+    // Stage 1: guided random simulation — a few thousand packed patterns
+    // along the corridor cost a fraction of one ATPG search.
+    let mut survivors = Vec::new();
+    if options.sim.batches > 0 {
+        let (found, rstats) = random_concretize(netlist, target, &guidance, &options.sim)
+            .map_err(|e| RfnError::at(crate::Phase::Concretize, e))?;
+        stats.random_batches = rstats.batches;
+        stats.random_patterns = rstats.patterns;
+        stats.random_hits = rstats.hits;
+        stats.random_gate_evals = rstats.gate_evals;
+        survivors = rstats.survivors;
+        if let Some(trace) = found {
+            // The hitting lane was already replayed (and thereby validated)
+            // on the scalar reference simulator during trace reconstruction.
+            stats.random_falsified = true;
+            return Ok((ConcretizeOutcome::Falsified(trace), stats));
+        }
+    }
+
+    // Stage 2: trace-guided sequential ATPG, attacking the frames with the
+    // fewest random survivors — the hard frames — first.
+    let mut atpg_options = options.atpg.clone();
+    if options.bias_frame_order && atpg_options.frame_priority.is_empty() {
+        atpg_options.frame_priority = survivors;
+    }
+    let atpg = SequentialAtpg::new(netlist, atpg_options)
+        .map_err(|e| RfnError::at(crate::Phase::Concretize, e))?;
+    let (outcome, astats) = atpg.find_trace_with_stats(depth, target, &guidance);
+    stats.atpg_backtracks = astats.backtracks;
+    stats.atpg_decisions = astats.decisions;
+    let outcome = match outcome {
         AtpgOutcome::Satisfiable(trace) => {
-            if validate_trace_cube(netlist, target, &trace) {
-                Ok(ConcretizeOutcome::Falsified(trace))
+            if validate_trace_cube(netlist, target, &trace)? {
+                ConcretizeOutcome::Falsified(trace)
             } else {
                 // An invalid witness indicates an engine bug; refuse to
                 // report a false falsification.
                 debug_assert!(false, "ATPG witness failed concrete validation");
-                Ok(ConcretizeOutcome::Unknown)
+                ConcretizeOutcome::Unknown
             }
         }
-        AtpgOutcome::Unsatisfiable => Ok(ConcretizeOutcome::Spurious),
-        AtpgOutcome::Aborted => Ok(ConcretizeOutcome::Unknown),
-    }
+        AtpgOutcome::Unsatisfiable => ConcretizeOutcome::Spurious,
+        AtpgOutcome::Aborted => ConcretizeOutcome::Unknown,
+    };
+    Ok((outcome, stats))
 }
 
 /// Validates an error-trace cube by concrete simulation: unassigned inputs
 /// are driven low, the design starts from reset, and the property signal
 /// must assert at the final cycle.
 ///
-/// Returns `true` if the trace is a genuine counterexample.
-pub fn validate_trace(netlist: &Netlist, property: &Property, trace: &Trace) -> bool {
+/// Runs on the packed kernel (values broadcast to all lanes, lane 0 read
+/// back).
+///
+/// Returns `Ok(true)` if the trace is a genuine counterexample.
+///
+/// # Errors
+///
+/// Returns a [`crate::Phase::Concretize`]-stamped error if the netlist
+/// fails validation — a malformed design must surface, not silently skip
+/// the replay check.
+pub fn validate_trace(
+    netlist: &Netlist,
+    property: &Property,
+    trace: &Trace,
+) -> Result<bool, RfnError> {
     let target: Cube = [(property.signal, property.value)].into_iter().collect();
     validate_trace_cube(netlist, &target, trace)
 }
 
 /// Like [`validate_trace`] for an arbitrary target cube: every literal of
 /// `target` must hold at the trace's final cycle under concrete simulation.
-pub fn validate_trace_cube(netlist: &Netlist, target: &Cube, trace: &Trace) -> bool {
+///
+/// # Errors
+///
+/// Returns a [`crate::Phase::Concretize`]-stamped error if the netlist
+/// fails validation.
+pub fn validate_trace_cube(
+    netlist: &Netlist,
+    target: &Cube,
+    trace: &Trace,
+) -> Result<bool, RfnError> {
     if trace.is_empty() {
-        return false;
+        return Ok(false);
     }
-    let Ok(mut sim) = Simulator::new(netlist) else {
-        return false;
-    };
+    let mut sim = PackedSim::new(netlist).map_err(|e| RfnError::at(crate::Phase::Concretize, e))?;
     sim.reset();
     // Registers with unknown reset values take the trace's word for their
     // initial value (any concrete value is a legal reset).
     for (s, v) in trace.steps()[0].state.iter() {
         if netlist.is_register(s) && netlist.register_init(s).is_none() {
-            sim.set(s, rfn_sim::Tv::from(v));
+            sim.set_all(s, Tv::from(v));
         }
     }
     for (i, step) in trace.steps().iter().enumerate() {
@@ -125,7 +272,7 @@ pub fn validate_trace_cube(netlist: &Netlist, target: &Cube, trace: &Trace) -> b
         for &pi in netlist.inputs() {
             let v = step.inputs.get(pi).unwrap_or(false);
             if inputs.insert(pi, v).is_err() {
-                return false;
+                return Ok(false);
             }
         }
         if i + 1 < trace.num_cycles() {
@@ -135,9 +282,9 @@ pub fn validate_trace_cube(netlist: &Netlist, target: &Cube, trace: &Trace) -> b
             sim.step_comb();
         }
     }
-    target
+    Ok(target
         .iter()
-        .all(|(s, v)| sim.value(s).to_bool() == Some(v))
+        .all(|(s, v)| sim.lane(s, 0).to_bool() == Some(v)))
 }
 
 #[cfg(test)]
@@ -185,13 +332,43 @@ mod tests {
     fn guided_search_finds_real_trace() {
         let (n, p, [go, _, arm, w]) = design();
         let t = abstract_trace(go, arm, w);
-        match concretize(&n, &p, &t, &AtpgOptions::default()).unwrap() {
+        match concretize(&n, &p, &t, &ConcretizeOptions::default()).unwrap() {
             ConcretizeOutcome::Falsified(trace) => {
                 assert_eq!(trace.num_cycles(), 3);
-                assert!(validate_trace(&n, &p, &trace));
+                assert!(validate_trace(&n, &p, &trace).unwrap());
             }
             other => panic!("expected falsification, got {other:?}"),
         }
+    }
+
+    /// The same corridor is cheap enough for the random engine alone: with
+    /// the ATPG stage disabled down to zero backtracks it still falsifies,
+    /// and the stats prove the witness cost no ATPG work.
+    #[test]
+    fn random_engine_falsifies_without_atpg() {
+        let (n, p, [go, _, arm, w]) = design();
+        let t = abstract_trace(go, arm, w);
+        let options = ConcretizeOptions::default();
+        let (outcome, stats) = concretize_with_stats(&n, &p, &t, &options).unwrap();
+        assert!(matches!(outcome, ConcretizeOutcome::Falsified(_)));
+        assert!(stats.random_falsified, "random stage should win here");
+        assert_eq!(stats.atpg_backtracks, 0);
+        assert_eq!(stats.atpg_decisions, 0);
+        assert!(stats.random_hits > 0);
+        assert!(stats.random_patterns > 0);
+    }
+
+    /// With the random stage disabled the ATPG stage still does the job.
+    #[test]
+    fn atpg_stage_works_with_random_disabled() {
+        let (n, p, [go, _, arm, w]) = design();
+        let t = abstract_trace(go, arm, w);
+        let mut options = ConcretizeOptions::default();
+        options.sim.batches = 0;
+        let (outcome, stats) = concretize_with_stats(&n, &p, &t, &options).unwrap();
+        assert!(matches!(outcome, ConcretizeOutcome::Falsified(_)));
+        assert!(!stats.random_falsified);
+        assert_eq!(stats.random_patterns, 0);
     }
 
     #[test]
@@ -209,7 +386,7 @@ mod tests {
             inputs: Cube::new(),
         });
         let _ = arm;
-        match concretize(&n, &p, &t, &AtpgOptions::default()).unwrap() {
+        match concretize(&n, &p, &t, &ConcretizeOptions::default()).unwrap() {
             ConcretizeOutcome::Spurious => {}
             other => panic!("expected spurious, got {other:?}"),
         }
@@ -219,7 +396,7 @@ mod tests {
     fn empty_trace_is_unknown() {
         let (n, p, _) = design();
         assert!(matches!(
-            concretize(&n, &p, &Trace::new(), &AtpgOptions::default()).unwrap(),
+            concretize(&n, &p, &Trace::new(), &ConcretizeOptions::default()).unwrap(),
             ConcretizeOutcome::Unknown
         ));
     }
@@ -233,8 +410,8 @@ mod tests {
             state: [(w, false)].into_iter().collect(),
             inputs: Cube::new(),
         });
-        assert!(!validate_trace(&n, &p, &t));
-        assert!(!validate_trace(&n, &p, &Trace::new()));
+        assert!(!validate_trace(&n, &p, &t).unwrap());
+        assert!(!validate_trace(&n, &p, &Trace::new()).unwrap());
     }
 
     #[test]
@@ -250,6 +427,29 @@ mod tests {
             state: [(r, true)].into_iter().collect(),
             inputs: Cube::new(),
         });
-        assert!(validate_trace(&n, &p, &t));
+        assert!(validate_trace(&n, &p, &t).unwrap());
+    }
+
+    /// Satellite fix: a malformed netlist must surface as a
+    /// `Phase::Concretize`-stamped error instead of silently reporting the
+    /// trace as invalid.
+    #[test]
+    fn validate_propagates_netlist_errors() {
+        // Register with no next-state function: fails validation.
+        let mut n = Netlist::new("bad");
+        let r = n.add_register("r", Some(false));
+        let p = Property::never(&n, "p", r);
+        let mut t = Trace::new();
+        t.push(TraceStep {
+            state: [(r, true)].into_iter().collect(),
+            inputs: Cube::new(),
+        });
+        match validate_trace(&n, &p, &t) {
+            Err(crate::Error::Netlist {
+                phase: crate::Phase::Concretize,
+                ..
+            }) => {}
+            other => panic!("expected Concretize-phase netlist error, got {other:?}"),
+        }
     }
 }

@@ -20,12 +20,12 @@ use std::time::{Duration, Instant};
 use rfn_atpg::AtpgOptions;
 use rfn_mc::{forward_reach, ModelSpec, ReachOptions, ReachResult, ReachVerdict, SymbolicModel};
 use rfn_netlist::{transitive_fanin, Abstraction, Coi, CoverageSet, Cube, Netlist, SignalId};
-use rfn_sim::Simulator;
+use rfn_sim::{RandomSimOptions, Simulator};
 use rfn_trace::TraceCtx;
 
 use crate::{
-    concretize_cube, hybrid_trace, refine_with_roots, ConcretizeOutcome, HybridOutcome, Phase,
-    RefineOptions, RfnError,
+    concretize_cube, hybrid_trace, refine_with_roots, ConcretizeOptions, ConcretizeOutcome,
+    HybridOutcome, Phase, RefineOptions, RfnError,
 };
 
 /// Configuration for [`analyze_coverage`].
@@ -41,6 +41,10 @@ pub struct CoverageOptions {
     pub reach: ReachOptions,
     /// ATPG limits for concretization.
     pub concretize_atpg: AtpgOptions,
+    /// Random-simulation engine tried before the concretization ATPG
+    /// (`batches = 0` disables it). Random-found traces are sound here too:
+    /// every hit is replayed concretely before being reported.
+    pub concretize_sim: RandomSimOptions,
     /// ATPG limits for the hybrid engine.
     pub hybrid_atpg: AtpgOptions,
     /// Refinement configuration.
@@ -62,6 +66,7 @@ impl Default for CoverageOptions {
                 max_backtracks: 5_000,
                 ..AtpgOptions::default()
             },
+            concretize_sim: RandomSimOptions::default(),
             hybrid_atpg: AtpgOptions::default(),
             refine: RefineOptions::default(),
             trace: TraceCtx::disabled(),
@@ -316,10 +321,15 @@ fn analyze_coverage_inner(
                 // The abstraction is the whole COI: abstract traces are real.
                 Some(abstract_trace.clone())
             } else {
-                let mut conc_opts = options.concretize_atpg.clone();
-                conc_opts.trace = ctx.clone();
+                let mut conc_opts = ConcretizeOptions {
+                    atpg: options.concretize_atpg.clone(),
+                    sim: options.concretize_sim.clone(),
+                    ..ConcretizeOptions::default()
+                };
+                conc_opts.atpg.trace = ctx.clone();
+                conc_opts.sim.trace = ctx.clone();
                 if let Some(d) = deadline {
-                    conc_opts.time_limit = Some(d.saturating_duration_since(Instant::now()));
+                    conc_opts.atpg.time_limit = Some(d.saturating_duration_since(Instant::now()));
                 }
                 let _cspan = ctx.span("concretize");
                 match concretize_cube(netlist, &target_cube, &abstract_trace, &conc_opts)? {

@@ -13,9 +13,12 @@
 //!    ([`hybrid_trace`]) reconstructs an error trace using pre-images on the
 //!    *min-cut design* and combinational ATPG to lift min-cut cubes to
 //!    no-cut cubes.
-//! 3. **Concretize** — sequential ATPG on the original design, guided by the
-//!    abstract trace (depth bound + per-cycle constraint cubes,
-//!    [`concretize`]).
+//! 3. **Concretize** — a staged cheap-to-expensive search of the original
+//!    design, guided by the abstract trace (depth bound + per-cycle
+//!    constraint cubes, [`concretize`]): bit-parallel guided random
+//!    simulation first ([`rfn_sim::random_concretize`]), then sequential
+//!    ATPG with its time-frame decision order biased by the random stage's
+//!    per-cycle survivor counts.
 //! 4. **Refine** — two-phase crucial-register identification: 3-valued
 //!    simulation conflicts, then greedy ATPG minimization ([`refine`]).
 //!
@@ -64,7 +67,8 @@ mod rfn;
 mod session;
 
 pub use concretize::{
-    concretize, concretize_cube, validate_trace, validate_trace_cube, ConcretizeOutcome,
+    concretize, concretize_cube, concretize_cube_with_stats, concretize_with_stats, validate_trace,
+    validate_trace_cube, ConcretizeOptions, ConcretizeOutcome, ConcretizeStats,
 };
 pub use coverage::{analyze_coverage, bfs_coverage, CoverageOptions, CoverageReport};
 pub use error::{Error, Phase, RfnError};

@@ -8,9 +8,11 @@ use rfn_mc::{forward_reach, ModelSpec, ReachOptions, ReachVerdict, SymbolicModel
 use rfn_netlist::{Abstraction, Coi, Netlist, Property, SignalId, Trace};
 use rfn_trace::{Span, StderrSink, TraceCtx};
 
+use rfn_sim::RandomSimOptions;
+
 use crate::{
-    concretize, hybrid_traces, refine, ConcretizeOutcome, HybridStats, Phase, RefineOptions,
-    RfnError,
+    concretize_with_stats, hybrid_traces, refine, ConcretizeOptions, ConcretizeOutcome,
+    ConcretizeStats, HybridStats, Phase, RefineOptions, RfnError,
 };
 
 /// Configuration of the RFN loop.
@@ -26,6 +28,9 @@ pub struct RfnOptions {
     pub reach: ReachOptions,
     /// ATPG limits for Step 3 (guided search on the original design).
     pub concretize_atpg: AtpgOptions,
+    /// Random-simulation engine for Step 3 — the cheap stage tried before
+    /// the ATPG. `concretize_sim.batches = 0` disables it.
+    pub concretize_sim: RandomSimOptions,
     /// ATPG limits for the hybrid engine's cube lifting.
     pub hybrid_atpg: AtpgOptions,
     /// Refinement (Step 4) configuration.
@@ -55,6 +60,7 @@ impl Default for RfnOptions {
             mc_node_limit: 4_000_000,
             reach: ReachOptions::default(),
             concretize_atpg: AtpgOptions::default(),
+            concretize_sim: RandomSimOptions::default(),
             hybrid_atpg: AtpgOptions {
                 max_backtracks: 10_000,
                 ..AtpgOptions::default()
@@ -97,6 +103,22 @@ impl RfnOptions {
         self
     }
 
+    /// Sets how many 64-pattern batches the random-simulation concretization
+    /// engine tries per abstract trace (0 disables the engine).
+    #[must_use]
+    pub fn with_sim_batches(mut self, batches: usize) -> Self {
+        self.concretize_sim.batches = batches;
+        self
+    }
+
+    /// Seeds the random-simulation concretization engine. Runs are
+    /// deterministic for a fixed seed regardless of thread count.
+    #[must_use]
+    pub fn with_sim_seed(mut self, seed: u64) -> Self {
+        self.concretize_sim.seed = seed;
+        self
+    }
+
     /// Sets the stderr verbosity (see the field docs for how this interacts
     /// with [`RfnOptions::trace`]).
     #[must_use]
@@ -132,6 +154,9 @@ pub struct RfnStats {
     pub refinement_sizes: Vec<usize>,
     /// Hybrid-engine statistics accumulated over all iterations.
     pub hybrid: HybridStats,
+    /// Step-3 engine effort (random simulation and sequential ATPG)
+    /// accumulated over all concretization attempts.
+    pub concretize: ConcretizeStats,
     /// BDD kernel counters merged over every iteration's manager.
     pub bdd: rfn_bdd::BddStats,
 }
@@ -415,7 +440,7 @@ impl<'n> Rfn<'n> {
             // are real primary inputs of the design).
             if exact {
                 let trace = traces.into_iter().next().expect("non-empty");
-                if crate::validate_trace(self.netlist, &self.property, &trace) {
+                if crate::validate_trace(self.netlist, &self.property, &trace)? {
                     stats.trace_length = Some(trace.num_cycles());
                     stats.elapsed = start.elapsed();
                     return Ok(RfnOutcome::Falsified { trace, stats });
@@ -431,10 +456,15 @@ impl<'n> Rfn<'n> {
             // Step 3: guided search on the original design, one corridor per
             // abstract trace (the future-work multi-trace extension when
             // `max_abstract_traces > 1`).
-            let mut conc_opts = self.options.concretize_atpg.clone();
-            conc_opts.trace = ctx.clone();
+            let mut conc_opts = ConcretizeOptions {
+                atpg: self.options.concretize_atpg.clone(),
+                sim: self.options.concretize_sim.clone(),
+                ..ConcretizeOptions::default()
+            };
+            conc_opts.atpg.trace = ctx.clone();
+            conc_opts.sim.trace = ctx.clone();
             if let Some(d) = deadline {
-                conc_opts.time_limit = Some(d.saturating_duration_since(Instant::now()));
+                conc_opts.atpg.time_limit = Some(d.saturating_duration_since(Instant::now()));
             }
             for abstract_trace in &traces {
                 let found = {
@@ -442,8 +472,13 @@ impl<'n> Rfn<'n> {
                         "concretize",
                         vec![("depth".to_owned(), abstract_trace.num_cycles().into())],
                     );
-                    let outcome =
-                        concretize(self.netlist, &self.property, abstract_trace, &conc_opts)?;
+                    let (outcome, cstats) = concretize_with_stats(
+                        self.netlist,
+                        &self.property,
+                        abstract_trace,
+                        &conc_opts,
+                    )?;
+                    stats.concretize.merge(&cstats);
                     cspan.record(
                         "outcome",
                         match &outcome {
@@ -452,6 +487,20 @@ impl<'n> Rfn<'n> {
                             ConcretizeOutcome::Unknown => "unknown",
                         },
                     );
+                    if matches!(outcome, ConcretizeOutcome::Falsified(_)) {
+                        cspan.record(
+                            "engine",
+                            if cstats.random_falsified {
+                                "random"
+                            } else {
+                                "atpg"
+                            },
+                        );
+                    }
+                    cspan.record("random_patterns", cstats.random_patterns);
+                    cspan.record("random_hits", cstats.random_hits);
+                    cspan.record("atpg_backtracks", cstats.atpg_backtracks);
+                    cspan.record("atpg_decisions", cstats.atpg_decisions);
                     match outcome {
                         ConcretizeOutcome::Falsified(t) => Some(t),
                         ConcretizeOutcome::Spurious | ConcretizeOutcome::Unknown => None,
@@ -601,6 +650,25 @@ fn record_outcome(span: &mut Span, outcome: &RfnOutcome) {
     span.record("hybrid.fallback_steps", stats.hybrid.fallback_steps);
     span.record("hybrid.abstract_inputs", stats.hybrid.abstract_inputs);
     span.record("hybrid.min_cut_inputs", stats.hybrid.min_cut_inputs);
+    span.record("concretize.random_batches", stats.concretize.random_batches);
+    span.record(
+        "concretize.random_patterns",
+        stats.concretize.random_patterns,
+    );
+    span.record("concretize.random_hits", stats.concretize.random_hits);
+    span.record(
+        "concretize.random_gate_evals",
+        stats.concretize.random_gate_evals,
+    );
+    span.record(
+        "concretize.random_falsified",
+        stats.concretize.random_falsified,
+    );
+    span.record(
+        "concretize.atpg_backtracks",
+        stats.concretize.atpg_backtracks,
+    );
+    span.record("concretize.atpg_decisions", stats.concretize.atpg_decisions);
     span.record("bdd.unique_probes", stats.bdd.unique_probes);
     span.record("bdd.unique_collisions", stats.bdd.unique_collisions);
     span.record("bdd.ite_hits", stats.bdd.ite_hits);
@@ -714,8 +782,59 @@ mod tests {
         let RfnOutcome::Falsified { trace, stats } = outcome else {
             panic!("expected falsification, got {outcome:?}");
         };
-        assert!(crate::validate_trace(&n, &p, &trace));
+        assert!(crate::validate_trace(&n, &p, &trace).unwrap());
         assert!(stats.trace_length.unwrap() >= 2);
+    }
+
+    /// A design whose first-iteration abstract trace has a *feasible*
+    /// corridor: the pseudo-input register `d0` has an unknown reset, so the
+    /// corridor's demand `d0 = 1` at cycle 0 is realizable and the random
+    /// engine falsifies before the sequential ATPG ever runs — zero ATPG
+    /// backtracks on the winning attempt.
+    #[test]
+    fn random_engine_concretizes_without_atpg_backtracks() {
+        let mut n = Netlist::new("rnd");
+        let i = n.add_input("i");
+        let d0 = n.add_register("d0", None);
+        n.set_register_next(d0, d0).unwrap();
+        let gate = n.add_gate("gate", GateOp::And, &[d0, i]);
+        let w = n.add_register("w", Some(false));
+        let wor = n.add_gate("wor", GateOp::Or, &[w, gate]);
+        n.set_register_next(w, wor).unwrap();
+        // Junk chain to keep the COI big enough that the loop abstracts.
+        let mut prev = i;
+        for k in 0..20 {
+            let r = n.add_register(&format!("junk{k}"), Some(false));
+            n.set_register_next(r, prev).unwrap();
+            prev = r;
+        }
+        n.validate().unwrap();
+        let p = Property::never(&n, "w_low", w);
+        let outcome = Rfn::new(&n, &p, RfnOptions::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        let RfnOutcome::Falsified { trace, stats } = outcome else {
+            panic!("expected falsification, got {outcome:?}");
+        };
+        assert!(crate::validate_trace(&n, &p, &trace).unwrap());
+        assert!(stats.concretize.random_falsified);
+        assert!(stats.concretize.random_hits > 0);
+        assert_eq!(stats.concretize.atpg_backtracks, 0);
+    }
+
+    /// Disabling the random engine must not change the verdict — the ATPG
+    /// stage picks up the slack.
+    #[test]
+    fn falsifies_with_random_engine_disabled() {
+        let (n, p) = falsifiable_design();
+        let opts = RfnOptions::default().with_sim_batches(0);
+        let outcome = Rfn::new(&n, &p, opts).unwrap().run().unwrap();
+        let RfnOutcome::Falsified { stats, .. } = outcome else {
+            panic!("expected falsification, got {outcome:?}");
+        };
+        assert!(!stats.concretize.random_falsified);
+        assert_eq!(stats.concretize.random_patterns, 0);
     }
 
     #[test]

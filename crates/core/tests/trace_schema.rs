@@ -20,8 +20,11 @@ use rfn_netlist::GateOp;
 use rfn_trace::{to_jsonl, Event, EventKind, Value};
 
 /// The fixed demo design: `safe` can never rise (proved in one iteration);
-/// `w` latches once the toggle register `b` rises (falsified at depth 2).
-fn demo_design() -> (Netlist, Property, Property) {
+/// `w` latches once the toggle register `b` rises (falsified at depth 2,
+/// ATPG-concretized); `wr` latches the unknown-reset register `d`
+/// (falsified via the random-simulation engine — `d = 1` at cycle 0 is a
+/// legal reset, so the corridor is hittable by the cheap stage).
+fn demo_design() -> (Netlist, [Property; 3]) {
     let mut n = Netlist::new("demo");
     let safe = n.add_register("safe", Some(false));
     n.set_register_next(safe, safe).unwrap();
@@ -31,18 +34,25 @@ fn demo_design() -> (Netlist, Property, Property) {
     let w = n.add_register("w", Some(false));
     let wor = n.add_gate("wor", GateOp::Or, &[w, b]);
     n.set_register_next(w, wor).unwrap();
+    let d = n.add_register("d", None);
+    n.set_register_next(d, d).unwrap();
+    let wr = n.add_register("wr", Some(false));
+    let wror = n.add_gate("wror", GateOp::Or, &[wr, d]);
+    n.set_register_next(wr, wror).unwrap();
     n.validate().unwrap();
     let p_safe = Property::never(&n, "safe_low", safe);
     let p_unsafe = Property::never(&n, "w_low", w);
-    (n, p_safe, p_unsafe)
+    let p_random = Property::never(&n, "wr_low", wr);
+    (n, [p_safe, p_unsafe, p_random])
 }
 
 fn run_traced(threads: usize) -> (SessionReport, Vec<Event>) {
-    let (n, p_safe, p_unsafe) = demo_design();
+    let (n, props) = demo_design();
     let sink = Arc::new(MemorySink::new());
     let report = VerifySession::new(&n)
-        .property(&p_safe)
-        .property(&p_unsafe)
+        .property(&props[0])
+        .property(&props[1])
+        .property(&props[2])
         .threads(threads)
         .trace(sink.clone())
         .run()
@@ -176,5 +186,109 @@ fn verdicts_are_recorded_on_the_roots() {
             _ => None,
         })
         .collect();
-    assert_eq!(verdicts, ["proved", "falsified"]);
+    assert_eq!(verdicts, ["proved", "falsified", "falsified"]);
+}
+
+/// Finds the `nth` exit event of the named span and returns its fields.
+fn exit_fields<'e>(
+    events: &'e [Event],
+    span_name: &str,
+    nth: usize,
+) -> Option<&'e Vec<(String, Value)>> {
+    events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::Exit { name, fields, .. } if name == span_name => Some(fields),
+            _ => None,
+        })
+        .nth(nth)
+}
+
+/// The `sim.random` span carries the engine's effort counters, and a
+/// random-engine falsification is visible end-to-end: the `concretize` span
+/// names the winning engine, and the `rfn` root carries the accumulated
+/// `concretize.*` stats including the zero-ATPG-backtrack witness.
+#[test]
+fn random_engine_spans_carry_counters() {
+    let (report, events) = run_traced(1);
+
+    // Every concretize attempt opens one sim.random child (batches > 0).
+    let sim_exits: Vec<&Vec<(String, Value)>> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::Exit { name, fields, .. } if name == "sim.random" => Some(fields),
+            _ => None,
+        })
+        .collect();
+    assert!(!sim_exits.is_empty(), "no sim.random span in the stream");
+    for fields in &sim_exits {
+        for key in ["batches", "patterns", "hits", "gate_evals", "outcome"] {
+            assert!(
+                fields.iter().any(|(k, _)| k == key),
+                "sim.random exit misses field {key}"
+            );
+        }
+    }
+    // The wr job's engine hit: outcome "hit" with hits >= 1.
+    let hit = sim_exits
+        .iter()
+        .find(|f| {
+            f.iter()
+                .any(|(k, v)| k == "outcome" && matches!(v, Value::Str(s) if s == "hit"))
+        })
+        .expect("the wr property must be falsified by the random engine");
+    let hits = hit
+        .iter()
+        .find(|(k, _)| k == "hits")
+        .map(|(_, v)| match v {
+            Value::U64(n) => *n,
+            other => panic!("hits is not a u64: {other:?}"),
+        })
+        .unwrap();
+    assert!(hits >= 1);
+
+    // Its concretize parent names the winning engine.
+    let conc = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::Exit { name, fields, .. } if name == "concretize" => Some(fields),
+            _ => None,
+        })
+        .find(|f| {
+            f.iter()
+                .any(|(k, v)| k == "engine" && matches!(v, Value::Str(s) if s == "random"))
+        })
+        .expect("no concretize span won by the random engine");
+    assert!(conc
+        .iter()
+        .any(|(k, v)| k == "atpg_backtracks" && matches!(v, Value::U64(0))));
+
+    // The wr job's rfn root reconstructs its ConcretizeStats exactly,
+    // showing the zero-backtrack falsification.
+    let stats = report.results[2].stats.as_ref().unwrap();
+    assert!(stats.concretize.random_falsified);
+    assert_eq!(stats.concretize.atpg_backtracks, 0);
+    let root = exit_fields(&events, "rfn", 2).unwrap();
+    let root_u64 = |key: &str| {
+        root.iter().find(|(k, _)| k == key).map(|(_, v)| match v {
+            Value::U64(n) => *n,
+            other => panic!("field {key} is not a u64: {other:?}"),
+        })
+    };
+    assert_eq!(
+        root_u64("concretize.random_batches"),
+        Some(stats.concretize.random_batches)
+    );
+    assert_eq!(
+        root_u64("concretize.random_patterns"),
+        Some(stats.concretize.random_patterns)
+    );
+    assert_eq!(
+        root_u64("concretize.random_hits"),
+        Some(stats.concretize.random_hits)
+    );
+    assert_eq!(root_u64("concretize.atpg_backtracks"), Some(0));
+    assert!(root
+        .iter()
+        .any(|(k, v)| k == "concretize.random_falsified" && matches!(v, Value::Bool(true))));
 }

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use rfn_netlist::{Netlist, NetlistError, SignalId, Trace};
 use rfn_trace::TraceCtx;
 
-use crate::{Simulator, Tv};
+use crate::{PackedSim, Tv};
 
 /// Result of [`simulate_trace_conflicts`].
 #[derive(Clone, Debug, Default)]
@@ -88,7 +88,7 @@ pub fn simulate_trace_conflicts_traced(
     trace: &Trace,
     ctx: &TraceCtx,
 ) -> Result<TraceConflicts, NetlistError> {
-    let report = simulate_conflicts_inner(netlist, trace)?;
+    let (report, counters) = simulate_conflicts_inner(netlist, trace)?;
     if ctx.is_enabled() {
         ctx.point(
             "sim.conflicts",
@@ -99,20 +99,25 @@ pub fn simulate_trace_conflicts_traced(
                     "registers".to_owned(),
                     report.conflicting_registers().len().into(),
                 ),
+                ("gate_evals".to_owned(), counters.gate_evals.into()),
+                ("gates_skipped".to_owned(), counters.gates_skipped.into()),
             ],
         );
     }
     Ok(report)
 }
 
+/// Runs the compare-then-force protocol on the packed kernel (values are
+/// broadcast, lane 0 is read back) and returns the conflict report together
+/// with the kernel's work counters.
 fn simulate_conflicts_inner(
     netlist: &Netlist,
     trace: &Trace,
-) -> Result<TraceConflicts, NetlistError> {
-    let mut sim = Simulator::new(netlist)?;
+) -> Result<(TraceConflicts, crate::PackedSimCounters), NetlistError> {
+    let mut sim = PackedSim::new(netlist)?;
     let mut report = TraceConflicts::default();
     if trace.is_empty() {
-        return Ok(report);
+        return Ok((report, sim.counters()));
     }
     // Count register appearances across all cubes of the trace.
     for step in trace.steps() {
@@ -126,7 +131,7 @@ fn simulate_conflicts_inner(
     // Begin from the trace's starting state; everything else unknown.
     for s in netlist.signals() {
         if !matches!(netlist.kind(s), rfn_netlist::NetKind::Const(_)) {
-            sim.set(s, Tv::X);
+            sim.set_all(s, Tv::X);
         }
     }
     sim.set_state(&trace.steps()[0].state);
@@ -137,10 +142,10 @@ fn simulate_conflicts_inner(
             // cube, then force the trace's values.
             for (s, v) in step.state.iter() {
                 if netlist.is_register(s) {
-                    if sim.value(s).conflicts_with(v) {
+                    if sim.lane(s, 0).conflicts_with(v) {
                         report.conflicts.push((cycle, s));
                     }
-                    sim.set(s, Tv::from(v));
+                    sim.set_all(s, Tv::from(v));
                 }
             }
         }
@@ -149,22 +154,22 @@ fn simulate_conflicts_inner(
         }
         // Drive inputs; compare-then-force pseudo-input registers.
         for &i in netlist.inputs() {
-            sim.set(i, Tv::X);
+            sim.set_all(i, Tv::X);
         }
         for (s, v) in step.inputs.iter() {
             if netlist.is_register(s) {
-                if sim.value(s).conflicts_with(v) {
+                if sim.lane(s, 0).conflicts_with(v) {
                     report.conflicts.push((cycle, s));
                 }
-                sim.set(s, Tv::from(v));
+                sim.set_all(s, Tv::from(v));
             } else {
-                sim.set(s, Tv::from(v));
+                sim.set_all(s, Tv::from(v));
             }
         }
         sim.step_comb();
         sim.latch();
     }
-    Ok(report)
+    Ok((report, sim.counters()))
 }
 
 #[cfg(test)]

@@ -10,6 +10,22 @@
 //! The same machinery doubles as a concrete (2-valued) simulator used to
 //! validate ATPG witnesses and falsification traces ([`Simulator::replay`]).
 //!
+//! Two engines implement the semantics:
+//!
+//! * [`Simulator`] — the scalar reference: one [`Tv`] per signal, evaluated
+//!   in topological order. Simple and obviously correct.
+//! * [`PackedSim`] — the bit-parallel kernel: 64 independent patterns per
+//!   step in two bit-planes per signal, evaluated over a precomputed level
+//!   order with an event-driven dirty-level skip. The conflict analysis and
+//!   the concretization engines run on this one.
+//!
+//! On top of the packed kernel, [`random_concretize`] implements the
+//! random-simulation concretization engine: it replays an abstract error
+//! trace's cubes as constraints, fills unconstrained inputs with
+//! deterministic (xorshift-seeded) random vectors, and recovers a concrete
+//! error trace from any lane that lands in the target cube — the cheap
+//! first stage before sequential ATPG.
+//!
 //! # Example
 //!
 //! ```
@@ -37,9 +53,13 @@
 #![warn(missing_docs)]
 
 mod conflicts;
+mod packed;
+mod random;
 mod simulator;
 mod tv;
 
 pub use conflicts::{simulate_trace_conflicts, simulate_trace_conflicts_traced, TraceConflicts};
+pub use packed::{PackedSim, PackedSimCounters, PackedTv};
+pub use random::{random_concretize, RandomSimOptions, RandomSimStats, XorShift64};
 pub use simulator::Simulator;
 pub use tv::Tv;

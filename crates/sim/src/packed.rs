@@ -1,0 +1,512 @@
+//! Bit-parallel three-valued simulation: 64 independent patterns per step.
+//!
+//! [`PackedSim`] evaluates the same Kleene semantics as the scalar
+//! [`Simulator`](crate::Simulator), but over 64 lanes at once. Each signal
+//! holds a [`PackedTv`]: two 64-bit planes where bit `i` of `can0`/`can1`
+//! says whether lane `i` can be 0/1. Exactly one plane set is a binary
+//! value; both set is `X`. Gate evaluation is then a handful of word-wide
+//! boolean operations per gate for all 64 patterns together.
+//!
+//! Evaluation runs over the precomputed level order of the netlist (flat
+//! arrays, no per-step hashing), with an event-driven *dirty-level* cutoff:
+//! driving a signal records the lowest logic level it feeds, and
+//! [`PackedSim::step_comb`] starts there, skipping every level below.
+//!
+//! # Example
+//!
+//! ```
+//! use rfn_netlist::{GateOp, Netlist};
+//! use rfn_sim::{PackedSim, PackedTv, Tv};
+//!
+//! # fn main() -> Result<(), rfn_netlist::NetlistError> {
+//! let mut n = Netlist::new("and2");
+//! let a = n.add_input("a");
+//! let b = n.add_input("b");
+//! let g = n.add_gate("g", GateOp::And, &[a, b]);
+//! n.validate()?;
+//!
+//! let mut sim = PackedSim::new(&n)?;
+//! sim.reset();
+//! sim.set(a, PackedTv::from_bits(0b01)); // lane 0 = 1, lane 1 = 0
+//! sim.set(b, PackedTv::splat(Tv::One));
+//! sim.step_comb();
+//! assert_eq!(sim.lane(g, 0), Tv::One);
+//! assert_eq!(sim.lane(g, 1), Tv::Zero);
+//! # Ok(())
+//! # }
+//! ```
+
+use rfn_netlist::{Cube, GateOp, NetKind, Netlist, NetlistError, SignalId};
+
+use crate::simulator::Levels;
+use crate::Tv;
+
+/// 64 three-valued lanes packed into two bit-planes.
+///
+/// Bit `i` of `can0` (`can1`) says lane `i` may be logic 0 (1). Exactly one
+/// plane set encodes a binary lane; both set encodes `X`. The simulator
+/// never produces the empty encoding (both planes clear).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PackedTv {
+    /// Lanes that may be logic 0.
+    pub can0: u64,
+    /// Lanes that may be logic 1.
+    pub can1: u64,
+}
+
+impl PackedTv {
+    /// All 64 lanes unknown.
+    pub const X: PackedTv = PackedTv { can0: !0, can1: !0 };
+    /// All 64 lanes logic 0.
+    pub const ZERO: PackedTv = PackedTv { can0: !0, can1: 0 };
+    /// All 64 lanes logic 1.
+    pub const ONE: PackedTv = PackedTv { can0: 0, can1: !0 };
+
+    /// Broadcasts one scalar value to all 64 lanes.
+    #[inline]
+    pub fn splat(v: Tv) -> PackedTv {
+        match v {
+            Tv::Zero => PackedTv::ZERO,
+            Tv::One => PackedTv::ONE,
+            Tv::X => PackedTv::X,
+        }
+    }
+
+    /// Binary lanes from a word: a set bit is a 1 lane, a clear bit a 0 lane.
+    #[inline]
+    pub fn from_bits(bits: u64) -> PackedTv {
+        PackedTv {
+            can0: !bits,
+            can1: bits,
+        }
+    }
+
+    /// The value of one lane (0–63).
+    #[inline]
+    pub fn lane(self, lane: usize) -> Tv {
+        let b = 1u64 << lane;
+        match (self.can0 & b != 0, self.can1 & b != 0) {
+            (true, false) => Tv::Zero,
+            (false, true) => Tv::One,
+            _ => Tv::X,
+        }
+    }
+
+    /// Mask of lanes whose value is definitely the given binary value.
+    #[inline]
+    pub fn mask_of(self, v: bool) -> u64 {
+        if v {
+            self.can1 & !self.can0
+        } else {
+            self.can0 & !self.can1
+        }
+    }
+
+    /// Mask of lanes holding a binary (non-`X`) value.
+    #[inline]
+    pub fn known_mask(self) -> u64 {
+        self.can0 ^ self.can1
+    }
+
+    /// Lanewise three-valued negation: the planes swap. Named to mirror
+    /// [`Tv::not`](crate::Tv::not) and the other gate-algebra methods.
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> PackedTv {
+        PackedTv {
+            can0: self.can1,
+            can1: self.can0,
+        }
+    }
+
+    /// Lanewise three-valued conjunction.
+    #[inline]
+    pub fn and(self, o: PackedTv) -> PackedTv {
+        PackedTv {
+            can0: self.can0 | o.can0,
+            can1: self.can1 & o.can1,
+        }
+    }
+
+    /// Lanewise three-valued disjunction.
+    #[inline]
+    pub fn or(self, o: PackedTv) -> PackedTv {
+        PackedTv {
+            can0: self.can0 & o.can0,
+            can1: self.can1 | o.can1,
+        }
+    }
+
+    /// Lanewise three-valued exclusive or.
+    #[inline]
+    pub fn xor(self, o: PackedTv) -> PackedTv {
+        PackedTv {
+            can0: (self.can0 & o.can0) | (self.can1 & o.can1),
+            can1: (self.can0 & o.can1) | (self.can1 & o.can0),
+        }
+    }
+
+    /// Evaluates a gate operator lanewise over packed fanins, matching
+    /// [`Tv::eval_gate`] on every lane (including the Mux agreeing-data rule
+    /// under an unknown select).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` violates the operator's arity.
+    pub fn eval_gate(op: GateOp, vals: &[PackedTv]) -> PackedTv {
+        match op {
+            GateOp::Buf => vals[0],
+            GateOp::Not => vals[0].not(),
+            GateOp::And => vals.iter().fold(PackedTv::ONE, |a, &v| a.and(v)),
+            GateOp::Nand => vals.iter().fold(PackedTv::ONE, |a, &v| a.and(v)).not(),
+            GateOp::Or => vals.iter().fold(PackedTv::ZERO, |a, &v| a.or(v)),
+            GateOp::Nor => vals.iter().fold(PackedTv::ZERO, |a, &v| a.or(v)).not(),
+            GateOp::Xor => vals.iter().fold(PackedTv::ZERO, |a, &v| a.xor(v)),
+            GateOp::Xnor => vals.iter().fold(PackedTv::ZERO, |a, &v| a.xor(v)).not(),
+            GateOp::Mux => {
+                let (s, d0, d1) = (vals[0], vals[1], vals[2]);
+                // A lane can be v if the select can pick a data input that
+                // can be v — exactly Kleene's "agreeing data" rule.
+                PackedTv {
+                    can0: (s.can0 & d0.can0) | (s.can1 & d1.can0),
+                    can1: (s.can0 & d0.can1) | (s.can1 & d1.can1),
+                }
+            }
+        }
+    }
+}
+
+/// Work counters accumulated by a [`PackedSim`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PackedSimCounters {
+    /// Gate evaluations performed; each evaluates all 64 lanes at once.
+    pub gate_evals: u64,
+    /// Gate evaluations skipped by the dirty-level cutoff.
+    pub gates_skipped: u64,
+}
+
+/// The bit-parallel levelized simulator: 64 patterns per step.
+///
+/// The cycle protocol mirrors the scalar [`Simulator`](crate::Simulator):
+/// set state ([`PackedSim::reset`]), drive inputs ([`PackedSim::set`] /
+/// [`PackedSim::apply_cube`]), propagate ([`PackedSim::step_comb`]), latch
+/// ([`PackedSim::latch`]); [`PackedSim::step`] bundles the last three.
+/// Broadcasting scalar values with [`PackedTv::splat`] makes every lane
+/// compute the scalar semantics, so packed simulation with lane 0 read back
+/// is a drop-in replacement for the scalar engine.
+#[derive(Clone, Debug)]
+pub struct PackedSim<'n> {
+    netlist: &'n Netlist,
+    levels: Levels,
+    can0: Vec<u64>,
+    can1: Vec<u64>,
+    /// Lowest logic level whose gates may be stale; `u32::MAX` = all clean.
+    dirty_from: u32,
+    counters: PackedSimCounters,
+}
+
+impl<'n> PackedSim<'n> {
+    /// Creates a packed simulator for a validated netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the netlist fails validation (e.g. a
+    /// combinational cycle or an unconnected register).
+    pub fn new(netlist: &'n Netlist) -> Result<Self, NetlistError> {
+        let levels = Levels::new(netlist)?;
+        let n = netlist.num_signals();
+        let mut sim = PackedSim {
+            netlist,
+            levels,
+            can0: vec![!0; n],
+            can1: vec![!0; n],
+            dirty_from: 0,
+            counters: PackedSimCounters::default(),
+        };
+        for s in netlist.signals() {
+            if let NetKind::Const(v) = netlist.kind(s) {
+                let w = PackedTv::splat(Tv::from(*v));
+                sim.can0[s.index()] = w.can0;
+                sim.can1[s.index()] = w.can1;
+            }
+        }
+        Ok(sim)
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &'n Netlist {
+        self.netlist
+    }
+
+    /// Number of combinational gates evaluated per full step.
+    pub fn num_gates(&self) -> usize {
+        self.levels.num_gates()
+    }
+
+    /// Number of logic levels in the evaluation order.
+    pub fn num_levels(&self) -> usize {
+        self.levels.num_levels()
+    }
+
+    /// Accumulated work counters.
+    pub fn counters(&self) -> PackedSimCounters {
+        self.counters
+    }
+
+    /// Current packed value of a signal.
+    pub fn value(&self, s: SignalId) -> PackedTv {
+        PackedTv {
+            can0: self.can0[s.index()],
+            can1: self.can1[s.index()],
+        }
+    }
+
+    /// Current value of one lane of a signal.
+    pub fn lane(&self, s: SignalId, lane: usize) -> Tv {
+        self.value(s).lane(lane)
+    }
+
+    /// Sets a signal's packed value directly (inputs, pseudo-inputs or
+    /// forced registers), marking the affected levels dirty only when the
+    /// value actually changes.
+    pub fn set(&mut self, s: SignalId, v: PackedTv) {
+        let i = s.index();
+        if self.can0[i] == v.can0 && self.can1[i] == v.can1 {
+            return;
+        }
+        self.can0[i] = v.can0;
+        self.can1[i] = v.can1;
+        let d = self.levels.gate_level[i].min(self.levels.min_fanout_level[i]);
+        self.dirty_from = self.dirty_from.min(d);
+    }
+
+    /// Broadcasts one scalar value to all 64 lanes of a signal.
+    pub fn set_all(&mut self, s: SignalId, v: Tv) {
+        self.set(s, PackedTv::splat(v));
+    }
+
+    /// Broadcasts every literal of the cube to all lanes of its signal.
+    pub fn apply_cube(&mut self, cube: &Cube) {
+        for (s, v) in cube.iter() {
+            self.set(s, PackedTv::splat(Tv::from(v)));
+        }
+    }
+
+    /// Resets registers to their initial values (`X` for unknown resets) and
+    /// primary inputs and gates to `X`, on every lane. Call
+    /// [`PackedSim::step_comb`] afterwards if gate values are needed.
+    pub fn reset(&mut self) {
+        for s in self.netlist.signals() {
+            let v = match self.netlist.kind(s) {
+                NetKind::Register { init, .. } => PackedTv::splat(Tv::from(*init)),
+                NetKind::Input | NetKind::Gate { .. } => PackedTv::X,
+                NetKind::Const(_) => continue,
+            };
+            self.can0[s.index()] = v.can0;
+            self.can1[s.index()] = v.can1;
+        }
+        self.dirty_from = 0;
+    }
+
+    /// Propagates values through the combinational gates in level order,
+    /// starting at the lowest dirty level and skipping everything below.
+    pub fn step_comb(&mut self) {
+        let total = self.levels.order.len();
+        let start_level = std::mem::replace(&mut self.dirty_from, u32::MAX);
+        if start_level == u32::MAX {
+            self.counters.gates_skipped += total as u64;
+            return;
+        }
+        let first = self.levels.starts[start_level as usize] as usize;
+        self.counters.gates_skipped += first as u64;
+        self.counters.gate_evals += (total - first) as u64;
+        let mut vals: Vec<PackedTv> = Vec::with_capacity(4);
+        for k in first..total {
+            let gi = self.levels.order[k] as usize;
+            let lo = self.levels.fanin_starts[k] as usize;
+            let hi = self.levels.fanin_starts[k + 1] as usize;
+            vals.clear();
+            for &f in &self.levels.fanins[lo..hi] {
+                vals.push(PackedTv {
+                    can0: self.can0[f as usize],
+                    can1: self.can1[f as usize],
+                });
+            }
+            let v = PackedTv::eval_gate(self.levels.ops[k], &vals);
+            self.can0[gi] = v.can0;
+            self.can1[gi] = v.can1;
+        }
+    }
+
+    /// Latches every register: its value becomes the current value of its
+    /// next-state input, simultaneously across registers. Call after
+    /// [`PackedSim::step_comb`].
+    pub fn latch(&mut self) {
+        // Two phases so registers feeding registers latch simultaneously.
+        let next: Vec<(SignalId, PackedTv)> = self
+            .netlist
+            .registers()
+            .iter()
+            .map(|&r| (r, self.value(self.netlist.register_next(r))))
+            .collect();
+        for (r, v) in next {
+            self.set(r, v);
+        }
+    }
+
+    /// One full cycle: broadcast `inputs` (all other primary inputs become
+    /// `X` on every lane), propagate, latch.
+    pub fn step(&mut self, inputs: &Cube) {
+        for &i in self.netlist.inputs() {
+            self.set_all(i, Tv::X);
+        }
+        self.apply_cube(inputs);
+        self.step_comb();
+        self.latch();
+    }
+
+    /// Broadcasts the register state from a cube (registers not mentioned
+    /// keep their current value).
+    pub fn set_state(&mut self, state: &Cube) {
+        self.apply_cube(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Tv; 3] = [Tv::Zero, Tv::One, Tv::X];
+
+    /// Every binary op matches the scalar `Tv` table on every lane pattern.
+    #[test]
+    fn lanewise_ops_match_scalar() {
+        for a in ALL {
+            for b in ALL {
+                let (pa, pb) = (PackedTv::splat(a), PackedTv::splat(b));
+                assert_eq!(pa.and(pb).lane(17), a.and(b), "and({a},{b})");
+                assert_eq!(pa.or(pb).lane(17), a.or(b), "or({a},{b})");
+                assert_eq!(pa.xor(pb).lane(17), a.xor(b), "xor({a},{b})");
+                assert_eq!(pa.not().lane(17), a.not(), "not({a})");
+            }
+        }
+    }
+
+    /// Exhaustive broadcast check of every gate op against `Tv::eval_gate`,
+    /// including the Mux unknown-select cases.
+    #[test]
+    fn eval_gate_matches_scalar_broadcast() {
+        use rfn_netlist::GateOp::*;
+        for op in [And, Nand, Or, Nor, Xor, Xnor, Mux] {
+            for a in ALL {
+                for b in ALL {
+                    for c in ALL {
+                        let scalar = Tv::eval_gate(op, &[a, b, c]);
+                        let packed = PackedTv::eval_gate(
+                            op,
+                            &[PackedTv::splat(a), PackedTv::splat(b), PackedTv::splat(c)],
+                        );
+                        for lane in [0, 31, 63] {
+                            assert_eq!(packed.lane(lane), scalar, "{op:?}({a},{b},{c})");
+                        }
+                    }
+                }
+            }
+        }
+        for op in [Buf, Not] {
+            for a in ALL {
+                let scalar = Tv::eval_gate(op, &[a]);
+                let packed = PackedTv::eval_gate(op, &[PackedTv::splat(a)]);
+                assert_eq!(packed.lane(5), scalar, "{op:?}({a})");
+            }
+        }
+    }
+
+    #[test]
+    fn masks_and_bits_roundtrip() {
+        let v = PackedTv::from_bits(0b1010);
+        assert_eq!(v.mask_of(true), 0b1010);
+        assert_eq!(v.mask_of(false), !0b1010u64);
+        assert_eq!(v.known_mask(), !0);
+        assert_eq!(v.lane(1), Tv::One);
+        assert_eq!(v.lane(0), Tv::Zero);
+        assert_eq!(PackedTv::X.known_mask(), 0);
+        assert_eq!(PackedTv::X.mask_of(true), 0);
+    }
+
+    /// The dirty-level skip: a second `step_comb` with unchanged inputs does
+    /// no gate work, and re-driving the same value keeps the skip.
+    #[test]
+    fn dirty_level_skip_counts_work() {
+        let mut n = Netlist::new("chain");
+        let a = n.add_input("a");
+        let g0 = n.add_gate("g0", GateOp::Not, &[a]);
+        let g1 = n.add_gate("g1", GateOp::Not, &[g0]);
+        let _g2 = n.add_gate("g2", GateOp::Not, &[g1]);
+        n.validate().unwrap();
+        let mut sim = PackedSim::new(&n).unwrap();
+        sim.reset();
+        sim.set_all(a, Tv::One);
+        sim.step_comb();
+        assert_eq!(sim.counters().gate_evals, 3);
+        sim.step_comb(); // clean: everything skipped
+        assert_eq!(sim.counters().gate_evals, 3);
+        assert_eq!(sim.counters().gates_skipped, 3);
+        sim.set_all(a, Tv::One); // unchanged value: still clean
+        sim.step_comb();
+        assert_eq!(sim.counters().gate_evals, 3);
+        sim.set_all(a, Tv::Zero); // change: full re-evaluation from level 0
+        sim.step_comb();
+        assert_eq!(sim.counters().gate_evals, 6);
+    }
+
+    /// Dirtying a mid-cone signal only re-evaluates levels at or above it.
+    #[test]
+    fn dirty_level_skip_starts_mid_cone() {
+        let mut n = Netlist::new("two_cones");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g0 = n.add_gate("g0", GateOp::Not, &[a]); // level 0
+        let g1 = n.add_gate("g1", GateOp::And, &[g0, b]); // level 1
+        let _g2 = n.add_gate("g2", GateOp::Not, &[g1]); // level 2
+        n.validate().unwrap();
+        let mut sim = PackedSim::new(&n).unwrap();
+        sim.reset();
+        sim.set_all(a, Tv::One);
+        sim.set_all(b, Tv::One);
+        sim.step_comb();
+        assert_eq!(sim.counters().gate_evals, 3);
+        // `b` feeds level 1 only: level 0 is skipped.
+        sim.set_all(b, Tv::Zero);
+        sim.step_comb();
+        assert_eq!(sim.counters().gate_evals, 5);
+        assert_eq!(sim.counters().gates_skipped, 1);
+        assert_eq!(sim.lane(g1, 0), Tv::Zero);
+    }
+
+    /// Packed broadcast replays the scalar counter bit-exactly.
+    #[test]
+    fn broadcast_matches_scalar_counter() {
+        let mut n = Netlist::new("c");
+        let b0 = n.add_register("b0", Some(false));
+        let b1 = n.add_register("b1", Some(false));
+        let n0 = n.add_gate("n0", GateOp::Not, &[b0]);
+        let n1 = n.add_gate("n1", GateOp::Xor, &[b0, b1]);
+        n.set_register_next(b0, n0).unwrap();
+        n.set_register_next(b1, n1).unwrap();
+        n.validate().unwrap();
+        let mut scalar = crate::Simulator::new(&n).unwrap();
+        let mut packed = PackedSim::new(&n).unwrap();
+        scalar.reset();
+        packed.reset();
+        for _ in 0..6 {
+            for s in n.signals() {
+                for lane in [0, 63] {
+                    assert_eq!(packed.lane(s, lane), scalar.value(s));
+                }
+            }
+            scalar.step(&Cube::new());
+            packed.step(&Cube::new());
+        }
+    }
+}

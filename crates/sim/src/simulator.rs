@@ -1,8 +1,121 @@
-//! The cycle-based gate-level simulator.
+//! The cycle-based gate-level simulator and the shared levelization tables.
 
-use rfn_netlist::{Cube, NetKind, Netlist, NetlistError, SignalId, Trace};
+use rfn_netlist::{Cube, GateOp, NetKind, Netlist, NetlistError, SignalId, Trace};
 
 use crate::Tv;
+
+/// Precomputed levelized evaluation order over a netlist's gates.
+///
+/// A gate's *level* is one more than the highest level among its gate fanins;
+/// gates fed only by inputs, registers and constants sit at level 0. The
+/// gates are stored grouped by level in flat arrays (indices, operators and
+/// flattened fanins side by side), so one simulation step is a linear scan
+/// with no hashing or per-gate enum walks.
+///
+/// The per-signal `min_fanout_level` table supports event-driven evaluation:
+/// when a source value changes, only the levels at or above the lowest level
+/// it feeds can change, so everything below may be skipped.
+#[derive(Clone, Debug)]
+pub(crate) struct Levels {
+    /// Gate signal indices grouped by ascending level (topological within).
+    pub order: Vec<u32>,
+    /// Fencepost offsets of each level within `order`
+    /// (`starts.len() == num_levels + 1`).
+    pub starts: Vec<u32>,
+    /// Gate operators, parallel to `order`.
+    pub ops: Vec<GateOp>,
+    /// Flattened fanin signal indices of every gate in `order`.
+    pub fanins: Vec<u32>,
+    /// Fencepost offsets into `fanins`, parallel to `order` plus a sentinel.
+    pub fanin_starts: Vec<u32>,
+    /// Per signal: the gate's own level; `u32::MAX` for non-gates.
+    pub gate_level: Vec<u32>,
+    /// Per signal: lowest level among the gates this signal feeds;
+    /// `u32::MAX` when it feeds no gate.
+    pub min_fanout_level: Vec<u32>,
+}
+
+impl Levels {
+    /// Builds the level tables for a validated netlist.
+    pub fn new(netlist: &Netlist) -> Result<Self, NetlistError> {
+        netlist.validate()?;
+        let topo: Vec<SignalId> = netlist
+            .topo_order()?
+            .into_iter()
+            .filter(|&s| netlist.is_gate(s))
+            .collect();
+        let n = netlist.num_signals();
+        let mut gate_level = vec![u32::MAX; n];
+        let mut num_levels = 0usize;
+        for &g in &topo {
+            let lvl = netlist
+                .fanins(g)
+                .iter()
+                .map(|f| match gate_level[f.index()] {
+                    u32::MAX => 0, // input / register / constant fanin
+                    l => l + 1,
+                })
+                .max()
+                .unwrap_or(0);
+            gate_level[g.index()] = lvl;
+            num_levels = num_levels.max(lvl as usize + 1);
+        }
+        // Stable counting sort of the (already topological) gate list by
+        // level; same-level gates keep their topological relative order.
+        let mut starts = vec![0u32; num_levels + 1];
+        for &g in &topo {
+            starts[gate_level[g.index()] as usize + 1] += 1;
+        }
+        for l in 0..num_levels {
+            starts[l + 1] += starts[l];
+        }
+        let mut cursor = starts.clone();
+        let mut order = vec![0u32; topo.len()];
+        for &g in &topo {
+            let l = gate_level[g.index()] as usize;
+            order[cursor[l] as usize] = g.index() as u32;
+            cursor[l] += 1;
+        }
+        let mut ops = Vec::with_capacity(order.len());
+        let mut fanins = Vec::new();
+        let mut fanin_starts = Vec::with_capacity(order.len() + 1);
+        fanin_starts.push(0u32);
+        let mut min_fanout_level = vec![u32::MAX; n];
+        for &gi in &order {
+            let g = SignalId::from_index(gi as usize);
+            let NetKind::Gate { op, fanins: fs } = netlist.kind(g) else {
+                continue; // unreachable: `order` holds gates only
+            };
+            ops.push(*op);
+            let lg = gate_level[gi as usize];
+            for f in fs {
+                fanins.push(f.index() as u32);
+                let m = &mut min_fanout_level[f.index()];
+                *m = (*m).min(lg);
+            }
+            fanin_starts.push(fanins.len() as u32);
+        }
+        Ok(Levels {
+            order,
+            starts,
+            ops,
+            fanins,
+            fanin_starts,
+            gate_level,
+            min_fanout_level,
+        })
+    }
+
+    /// Number of combinational gates in the order.
+    pub fn num_gates(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Number of logic levels.
+    pub fn num_levels(&self) -> usize {
+        self.starts.len() - 1
+    }
+}
 
 /// A cycle-based three-valued simulator over a netlist.
 ///

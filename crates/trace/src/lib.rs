@@ -29,11 +29,21 @@
 //! └─ iteration             one abstraction-refinement round
 //!    ├─ reach              BDD forward fixpoint (Step 2)
 //!    ├─ hybrid             hybrid BDD–ATPG trace reconstruction (Step 2)
-//!    ├─ concretize         guided sequential ATPG on the original design (Step 3)
+//!    ├─ concretize         staged search on the original design (Step 3)
+//!    │  └─ sim.random      guided random simulation (the cheap first stage)
 //!    └─ refine             crucial-register identification (Step 4)
 //! coverage                 one coverage-analysis job (same children per iteration)
 //! plain_mc                 the Table 1 baseline (reach only)
 //! ```
+//!
+//! The `sim.random` exit carries the random concretization engine's effort
+//! counters (`batches`, `patterns`, `hits`, `gate_evals`) and its
+//! `outcome` (`"hit"` / `"miss"`); the enclosing `concretize` exit adds the
+//! attempt's `random_patterns`, `random_hits`, `atpg_backtracks`,
+//! `atpg_decisions`, and — when falsified — the winning `engine`
+//! (`"random"` / `"atpg"`). The `sim.conflicts` point event reports the
+//! packed kernel's work counters (`gate_evals`, `gates_skipped`) alongside
+//! the conflict counts.
 //!
 //! # JSONL schema
 //!

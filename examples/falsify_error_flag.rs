@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Double-check by concrete simulation, then show the violating inputs.
-    assert!(validate_trace(&design.netlist, property, &trace));
+    assert!(validate_trace(&design.netlist, property, &trace)?);
     let mut sim = Simulator::new(&design.netlist)?;
     assert!(sim.replay(&trace));
     println!("\nerror trace (cube form; unlisted inputs are don't-cares):");

@@ -4,11 +4,18 @@
 //! ```text
 //! rfn info <netlist>
 //! rfn verify <netlist> --watch <signal>[=0|1] [--watch ...] [--name <p>]
-//!            [--time-limit <s>] [--threads <n>] [--trace-out <file>]
-//!            [--breakdown] [-v]
+//!            [--time-limit <s>] [--threads <n>] [--sim-batches <n>]
+//!            [--sim-seed <n>] [--trace-out <file>] [--breakdown] [-v]
 //! rfn coverage <netlist> --signals <a,b,c> [--bfs <k>] [--time-limit <s>]
-//!              [--trace-out <file>] [--breakdown]
+//!              [--sim-batches <n>] [--sim-seed <n>] [--trace-out <file>]
+//!              [--breakdown]
 //! ```
+//!
+//! `--sim-batches` sets how many 64-pattern batches the random-simulation
+//! concretization engine tries before falling back to sequential ATPG (0
+//! disables the engine); `--sim-seed` makes its pseudo-random patterns
+//! reproducible (results are deterministic per seed regardless of
+//! `--threads`).
 //!
 //! `--watch` may be repeated: the properties form a portfolio verified in
 //! parallel (one BDD manager per property, `--threads` workers) with results
@@ -50,12 +57,15 @@ const USAGE: &str = "\
 usage:
   rfn info <netlist>
   rfn verify <netlist> --watch <signal>[=0|1] [--watch ...] [--name <p>]
-             [--time-limit <s>] [--threads <n>] [--trace-out <file>]
-             [--breakdown] [-v]
+             [--time-limit <s>] [--threads <n>] [--sim-batches <n>]
+             [--sim-seed <n>] [--trace-out <file>] [--breakdown] [-v]
   rfn coverage <netlist> --signals <a,b,c> [--bfs <k>] [--time-limit <s>]
-               [--trace-out <file>] [--breakdown]
+               [--sim-batches <n>] [--sim-seed <n>] [--trace-out <file>]
+               [--breakdown]
 
 `--watch` may repeat; the portfolio runs in parallel on --threads workers.
+`--sim-batches`/`--sim-seed` configure the random-simulation concretization
+engine (64 patterns per batch; 0 batches disables it).
 `--trace-out` writes the structured event stream as JSONL; `--breakdown`
 prints a per-phase time table.
 exit codes: 0 all properties proved / analysis done, 1 some property
@@ -128,6 +138,25 @@ fn thread_count(rest: &[&String]) -> Result<usize, String> {
             .map(|n| n.max(1))
             .map_err(|_| format!("bad --threads `{s}`")),
     }
+}
+
+/// Parses `--sim-batches` / `--sim-seed` into `(batches, seed)` overrides.
+fn sim_flags(rest: &[&String]) -> Result<(Option<usize>, Option<u64>), String> {
+    let batches = match flag_value(rest, "--sim-batches") {
+        None => None,
+        Some(s) => Some(
+            s.parse::<usize>()
+                .map_err(|_| format!("bad --sim-batches `{s}`"))?,
+        ),
+    };
+    let seed = match flag_value(rest, "--sim-seed") {
+        None => None,
+        Some(s) => Some(
+            s.parse::<u64>()
+                .map_err(|_| format!("bad --sim-seed `{s}`"))?,
+        ),
+    };
+    Ok((batches, seed))
 }
 
 fn time_limit(rest: &[&String]) -> Result<Option<Duration>, String> {
@@ -223,7 +252,16 @@ fn verify(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
     // Each property is an independent job with its own BDD managers; the
     // session runs the portfolio in parallel and reports in command-line
     // order, with the event streams merged deterministically.
+    let (sim_batches, sim_seed) = sim_flags(rest)?;
+    let mut rfn_opts = RfnOptions::default();
+    if let Some(batches) = sim_batches {
+        rfn_opts = rfn_opts.with_sim_batches(batches);
+    }
+    if let Some(seed) = sim_seed {
+        rfn_opts = rfn_opts.with_sim_seed(seed);
+    }
     let mut session = VerifySession::new(n)
+        .rfn_options(rfn_opts)
         .properties(properties)
         .threads(thread_count(rest)?)
         .verbosity(u8::from(rest.iter().any(|a| a.as_str() == "-v")));
@@ -276,7 +314,17 @@ fn coverage(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
         signals.split(',').map(|s| lookup(n, s.trim())).collect();
     let set = CoverageSet::new("cli", sigs?);
     let obs = observers(rest)?;
-    let mut session = VerifySession::new(n).coverage_set(&set);
+    let (sim_batches, sim_seed) = sim_flags(rest)?;
+    let mut cov_opts = CoverageOptions::default();
+    if let Some(batches) = sim_batches {
+        cov_opts.concretize_sim.batches = batches;
+    }
+    if let Some(seed) = sim_seed {
+        cov_opts.concretize_sim.seed = seed;
+    }
+    let mut session = VerifySession::new(n)
+        .coverage_options(cov_opts)
+        .coverage_set(&set);
     if let Some(limit) = time_limit(rest)? {
         session = session.time_limit(limit);
     }

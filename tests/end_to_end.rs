@@ -20,7 +20,7 @@ fn check_agreement(design: &rfn::designs::Design) {
             (RfnOutcome::Proved { .. }, PlainVerdict::Proved) => {}
             (RfnOutcome::Falsified { trace, .. }, PlainVerdict::Falsified { depth }) => {
                 assert!(
-                    validate_trace(&design.netlist, property, trace),
+                    validate_trace(&design.netlist, property, trace).unwrap(),
                     "{}: falsification trace does not replay",
                     property.name
                 );

@@ -75,7 +75,7 @@ fn table1_processor_rows() {
     let RfnOutcome::Falsified { trace, stats } = outcome else {
         panic!("error_flag must be falsified, got {outcome:?}");
     };
-    assert!(validate_trace(&design.netlist, error_flag, &trace));
+    assert!(validate_trace(&design.netlist, error_flag, &trace).unwrap());
     // The paper reports a 30-cycle violation; ours is 31 (boot + 28 stalls +
     // latch). Accept the 28..40 band so parameter tweaks don't break CI.
     assert!(
@@ -240,7 +240,7 @@ fn fifo_injected_bug_is_found() {
     let RfnOutcome::Falsified { trace, .. } = outcome else {
         panic!("the injected bug must be found, got {outcome:?}");
     };
-    assert!(validate_trace(&design.netlist, psh_hf, &trace));
+    assert!(validate_trace(&design.netlist, psh_hf, &trace).unwrap());
     // The bug shows at occupancy depth/2 - 1 = 7: seven pushes, a flag
     // latch and a watchdog latch — at least 9 trace states.
     assert!(

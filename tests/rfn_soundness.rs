@@ -82,7 +82,7 @@ proptest! {
         match (&rfn_outcome, plain.verdict) {
             (RfnOutcome::Proved { .. }, PlainVerdict::Proved) => {}
             (RfnOutcome::Falsified { trace, .. }, PlainVerdict::Falsified { depth }) => {
-                prop_assert!(validate_trace(&n, &p, trace), "trace does not replay");
+                prop_assert!(validate_trace(&n, &p, trace).unwrap(), "trace does not replay");
                 prop_assert!(trace.num_cycles() > depth);
             }
             (rfn_outcome, plain) => {
@@ -130,7 +130,7 @@ proptest! {
         match (&outcome, plain.verdict) {
             (RfnOutcome::Proved { .. }, PlainVerdict::Proved) => {}
             (RfnOutcome::Falsified { trace, .. }, PlainVerdict::Falsified { .. }) => {
-                prop_assert!(validate_trace(&n, &p, trace));
+                prop_assert!(validate_trace(&n, &p, trace).unwrap());
             }
             (o, v) => {
                 prop_assert!(false, "multi-trace verdict mismatch: {o:?} vs {v:?}");
