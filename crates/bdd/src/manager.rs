@@ -121,6 +121,12 @@ const DEFAULT_CACHE_SLOTS: usize = 1 << 20;
 /// Smallest permitted non-zero cache capacity.
 const MIN_CACHE_SLOTS: usize = 16;
 
+/// Care-cache operator tag of [`BddManager::constrain`].
+const CARE_OP_CONSTRAIN: u32 = 0;
+
+/// Care-cache operator tag of [`BddManager::gc_restrict`].
+const CARE_OP_RESTRICT: u32 = 1;
+
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct Node {
     pub(crate) var: u32,
@@ -155,6 +161,9 @@ pub struct BddManager {
     ite_cache: Cache3,
     exists_cache: Cache2,
     and_exists_cache: Cache3,
+    /// Shared memo of the care-set operators; the third key slot carries the
+    /// operator tag ([`CARE_OP_CONSTRAIN`] / [`CARE_OP_RESTRICT`]).
+    care_cache: Cache3,
     /// Reusable memo for `permute`/`restrict`, cleared per call (avoids a
     /// fresh allocation on every traversal).
     scratch_cache: HashMap<u32, u32>,
@@ -219,6 +228,7 @@ impl BddManager {
             ite_cache: Cache3::new(DEFAULT_CACHE_SLOTS),
             exists_cache: Cache2::new(DEFAULT_CACHE_SLOTS),
             and_exists_cache: Cache3::new(DEFAULT_CACHE_SLOTS),
+            care_cache: Cache3::new(DEFAULT_CACHE_SLOTS),
             scratch_cache: HashMap::new(),
             node_limit: usize::MAX,
             reorder_in_progress: false,
@@ -251,6 +261,7 @@ impl BddManager {
         self.ite_cache.set_max_slots(slots);
         self.exists_cache.set_max_slots(slots);
         self.and_exists_cache.set_max_slots(slots);
+        self.care_cache.set_max_slots(slots);
     }
 
     /// Snapshot of the kernel performance counters.
@@ -811,6 +822,113 @@ impl BddManager {
         Ok(r)
     }
 
+    /// Coudert–Madre generalized cofactor `f ⇓ c`: a function that agrees
+    /// with `f` everywhere `c` holds, chosen so that BDD paths leaving `c`
+    /// are redirected to their nearest sibling inside it. The defining law
+    /// is `f ∧ c == constrain(f, c) ∧ c`; outside the care set the result is
+    /// arbitrary (and its support may even grow beyond `f`'s — use
+    /// [`BddManager::gc_restrict`] when support containment matters).
+    /// `constrain(f, 0)` is defined as `0`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`BddError::NodeLimit`] like every allocating operation.
+    pub fn constrain(&mut self, f: Bdd, c: Bdd) -> BddResult {
+        self.maybe_auto_gc(&[f.0, c.0]);
+        self.constrain_rec(f.0, c.0).map(Bdd)
+    }
+
+    fn constrain_rec(&mut self, f: u32, c: u32) -> Result<u32, BddError> {
+        if c == FALSE {
+            return Ok(FALSE);
+        }
+        if c == TRUE || f <= TRUE {
+            return Ok(f);
+        }
+        if f == c {
+            return Ok(TRUE);
+        }
+        if let Some(r) = self.care_cache.get(f, c, CARE_OP_CONSTRAIN) {
+            self.stats.constrain_hits += 1;
+            return Ok(r);
+        }
+        self.stats.constrain_misses += 1;
+        let top = self.level(f).min(self.level(c));
+        let (f0, f1) = self.cofactor(f, top);
+        let (c0, c1) = self.cofactor(c, top);
+        let r = if c0 == FALSE {
+            // The care set forces the variable to 1: descend both sides.
+            self.constrain_rec(f1, c1)?
+        } else if c1 == FALSE {
+            self.constrain_rec(f0, c0)?
+        } else {
+            let v = self.level2var[top as usize];
+            let lo = self.constrain_rec(f0, c0)?;
+            let hi = self.constrain_rec(f1, c1)?;
+            self.mk(v, lo, hi)?
+        };
+        self.care_cache.put(f, c, CARE_OP_CONSTRAIN, r);
+        Ok(r)
+    }
+
+    /// Coudert–Madre sibling-substitution restrict: like
+    /// [`BddManager::constrain`] it satisfies `f ∧ c == gc_restrict(f, c) ∧
+    /// c`, but care-set variables that do not occur in `f` are quantified
+    /// out of `c` first, so the result's support is always a subset of
+    /// `f`'s. This is the don't-care minimization operator the reachability
+    /// loop uses to shrink frontiers against the reached set.
+    /// `gc_restrict(f, 0)` is defined as `0`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`BddError::NodeLimit`] like every allocating operation.
+    pub fn gc_restrict(&mut self, f: Bdd, c: Bdd) -> BddResult {
+        self.maybe_auto_gc(&[f.0, c.0]);
+        self.gc_restrict_rec(f.0, c.0).map(Bdd)
+    }
+
+    fn gc_restrict_rec(&mut self, f: u32, c: u32) -> Result<u32, BddError> {
+        if c == FALSE {
+            return Ok(FALSE);
+        }
+        if c == TRUE || f <= TRUE {
+            return Ok(f);
+        }
+        if f == c {
+            return Ok(TRUE);
+        }
+        if let Some(r) = self.care_cache.get(f, c, CARE_OP_RESTRICT) {
+            self.stats.restrict_hits += 1;
+            return Ok(r);
+        }
+        self.stats.restrict_misses += 1;
+        let flevel = self.level(f);
+        let clevel = self.level(c);
+        let r = if clevel < flevel {
+            // The care set's top variable does not occur in f: existentially
+            // quantify it out of c instead of letting it into the result.
+            let c0 = self.lo(c);
+            let c1 = self.hi(c);
+            let c2 = self.ite_rec(c0, TRUE, c1)?; // or(c0, c1)
+            self.gc_restrict_rec(f, c2)?
+        } else {
+            let (f0, f1) = (self.lo(f), self.hi(f));
+            let (c0, c1) = self.cofactor(c, flevel);
+            if c0 == FALSE {
+                self.gc_restrict_rec(f1, c1)?
+            } else if c1 == FALSE {
+                self.gc_restrict_rec(f0, c0)?
+            } else {
+                let v = self.level2var[flevel as usize];
+                let lo = self.gc_restrict_rec(f0, c0)?;
+                let hi = self.gc_restrict_rec(f1, c1)?;
+                self.mk(v, lo, hi)?
+            }
+        };
+        self.care_cache.put(f, c, CARE_OP_RESTRICT, r);
+        Ok(r)
+    }
+
     /// Marks `f` as a garbage-collection root. Protection is counted: a node
     /// protected twice needs two [`unprotect`](BddManager::unprotect) calls.
     /// Protected nodes (and everything below them) survive both explicit
@@ -928,6 +1046,7 @@ impl BddManager {
         self.ite_cache.clear();
         self.exists_cache.clear();
         self.and_exists_cache.clear();
+        self.care_cache.clear();
     }
 
     /// Number of internal nodes reachable from `f` (the usual BDD size
@@ -1157,6 +1276,62 @@ mod tests {
         let nb = m.not(b).unwrap();
         let expected = m.and(a, nb).unwrap();
         assert_eq!(cube, expected);
+    }
+
+    #[test]
+    fn constrain_agrees_on_the_care_set() {
+        let (mut m, a, b, c) = setup3();
+        let f = m.xor(a, b).unwrap();
+        let care = m.and(b, c).unwrap();
+        let g = m.constrain(f, care).unwrap();
+        // f ∧ care == g ∧ care.
+        let lhs = m.and(f, care).unwrap();
+        let rhs = m.and(g, care).unwrap();
+        assert_eq!(lhs, rhs);
+        // Identity on the full care set, zero on the empty one.
+        assert_eq!(m.constrain(f, m.one()).unwrap(), f);
+        assert_eq!(m.constrain(f, m.zero()).unwrap(), m.zero());
+        // Constraining f by itself collapses to true.
+        assert_eq!(m.constrain(f, f).unwrap(), m.one());
+    }
+
+    #[test]
+    fn gc_restrict_keeps_support_within_f() {
+        let (mut m, a, b, c) = setup3();
+        let f = m.or(a, b).unwrap();
+        // The care set mentions c, which f does not.
+        let nc = m.not(c).unwrap();
+        let care = m.and(b, nc).unwrap();
+        let g = m.gc_restrict(f, care).unwrap();
+        let lhs = m.and(f, care).unwrap();
+        let rhs = m.and(g, care).unwrap();
+        assert_eq!(lhs, rhs);
+        let fsup = m.support(f);
+        for v in m.support(g) {
+            assert!(fsup.contains(&v), "support gained {v}");
+        }
+        assert_eq!(m.gc_restrict(f, m.one()).unwrap(), f);
+    }
+
+    #[test]
+    fn care_ops_populate_their_cache_counters() {
+        let (mut m, a, b, c) = setup3();
+        let ab = m.and(a, b).unwrap();
+        let f = m.xor(ab, c).unwrap();
+        let care = m.or(a, b).unwrap();
+        let before = m.stats();
+        let g1 = m.constrain(f, care).unwrap();
+        let mid = m.stats();
+        assert!(mid.constrain_misses > before.constrain_misses);
+        let g2 = m.constrain(f, care).unwrap();
+        assert_eq!(g1, g2);
+        let after = m.stats();
+        assert!(after.constrain_hits > mid.constrain_hits);
+        let r1 = m.gc_restrict(f, care).unwrap();
+        let r2 = m.gc_restrict(f, care).unwrap();
+        assert_eq!(r1, r2);
+        assert!(m.stats().restrict_hits > 0);
+        assert!(m.stats().restrict_misses > 0);
     }
 
     #[test]

@@ -28,6 +28,14 @@ pub struct BddStats {
     pub and_exists_hits: u64,
     /// And-exists (relational product) cache misses.
     pub and_exists_misses: u64,
+    /// Generalized-cofactor (`constrain`) cache hits.
+    pub constrain_hits: u64,
+    /// Generalized-cofactor (`constrain`) cache misses.
+    pub constrain_misses: u64,
+    /// Care-set restrict (`gc_restrict`) cache hits.
+    pub restrict_hits: u64,
+    /// Care-set restrict (`gc_restrict`) cache misses.
+    pub restrict_misses: u64,
     /// Garbage collections run (manual and automatic).
     pub gc_runs: u64,
     /// Total nodes reclaimed across all collections.
@@ -51,17 +59,42 @@ impl BddStats {
         self.exists_misses += other.exists_misses;
         self.and_exists_hits += other.and_exists_hits;
         self.and_exists_misses += other.and_exists_misses;
+        self.constrain_hits += other.constrain_hits;
+        self.constrain_misses += other.constrain_misses;
+        self.restrict_hits += other.restrict_hits;
+        self.restrict_misses += other.restrict_misses;
         self.gc_runs += other.gc_runs;
         self.gc_nodes_freed += other.gc_nodes_freed;
         self.auto_gc_runs += other.auto_gc_runs;
         self.peak_nodes = self.peak_nodes.max(other.peak_nodes);
     }
 
-    /// Combined hit rate over all three operation caches, in `[0, 1]`.
+    /// Combined hit rate over all operation caches, in `[0, 1]`.
     /// Returns 0 when no lookups happened.
     pub fn cache_hit_rate(&self) -> f64 {
-        let hits = self.ite_hits + self.exists_hits + self.and_exists_hits;
-        let total = hits + self.ite_misses + self.exists_misses + self.and_exists_misses;
+        let hits = self.ite_hits
+            + self.exists_hits
+            + self.and_exists_hits
+            + self.constrain_hits
+            + self.restrict_hits;
+        let total = hits
+            + self.ite_misses
+            + self.exists_misses
+            + self.and_exists_misses
+            + self.constrain_misses
+            + self.restrict_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Hit rate of the care-set operator cache (`constrain` +
+    /// `gc_restrict`), in `[0, 1]`. Returns 0 when no lookups happened.
+    pub fn restrict_hit_rate(&self) -> f64 {
+        let hits = self.constrain_hits + self.restrict_hits;
+        let total = hits + self.constrain_misses + self.restrict_misses;
         if total == 0 {
             0.0
         } else {
@@ -74,7 +107,7 @@ impl fmt::Display for BddStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "probes {} (coll {:.2}/probe), cache hit {:.1}% (ite {}/{}, ex {}/{}, andex {}/{}), gc {} ({} auto, {} freed), peak {}",
+            "probes {} (coll {:.2}/probe), cache hit {:.1}% (ite {}/{}, ex {}/{}, andex {}/{}, care {}/{}), gc {} ({} auto, {} freed), peak {}",
             self.unique_probes,
             if self.unique_probes == 0 {
                 0.0
@@ -88,6 +121,8 @@ impl fmt::Display for BddStats {
             self.exists_misses,
             self.and_exists_hits,
             self.and_exists_misses,
+            self.constrain_hits + self.restrict_hits,
+            self.constrain_misses + self.restrict_misses,
             self.gc_runs,
             self.auto_gc_runs,
             self.gc_nodes_freed,

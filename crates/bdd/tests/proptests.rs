@@ -262,6 +262,59 @@ proptest! {
         prop_assert_eq!(&tables[0].1, &tables[1].1);
     }
 
+    /// Coudert–Madre laws: both care-set operators agree with `f` on the
+    /// care set (`f∧c == op(f,c)∧c`), are the identity on `c = 1`, and the
+    /// sibling-substitution restrict never grows the support beyond `f`'s.
+    #[test]
+    fn constrain_and_restrict_laws(e1 in arb_expr(NVARS), e2 in arb_expr(NVARS)) {
+        let mut m = BddManager::new();
+        let vars: Vec<_> = (0..NVARS).map(|_| m.new_var()).collect();
+        let f = e1.build(&mut m, &vars);
+        let c = e2.build(&mut m, &vars);
+        let fc = m.and(f, c).unwrap();
+
+        let con = m.constrain(f, c).unwrap();
+        let con_c = m.and(con, c).unwrap();
+        prop_assert_eq!(con_c, fc, "f∧c != constrain(f,c)∧c");
+
+        let res = m.gc_restrict(f, c).unwrap();
+        let res_c = m.and(res, c).unwrap();
+        prop_assert_eq!(res_c, fc, "f∧c != gc_restrict(f,c)∧c");
+
+        // Support containment: restrict never mentions variables f doesn't.
+        let fsup = m.support(f);
+        for v in m.support(res) {
+            prop_assert!(fsup.contains(&v), "gc_restrict gained variable {}", v);
+        }
+
+        // Identity on the trivial care set.
+        let one = m.one();
+        prop_assert_eq!(m.constrain(f, one).unwrap(), f);
+        prop_assert_eq!(m.gc_restrict(f, one).unwrap(), f);
+    }
+
+    /// The care-set operators survive a tiny lossy cache unchanged: results
+    /// are canonical nodes, so cache evictions can only cost time.
+    #[test]
+    fn care_ops_survive_lossy_caches(e1 in arb_expr(NVARS), e2 in arb_expr(NVARS)) {
+        let mut tables: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();
+        for capacity in [64usize, 0] {
+            let mut m = BddManager::new();
+            m.set_cache_capacity(capacity);
+            let vars: Vec<_> = (0..NVARS).map(|_| m.new_var()).collect();
+            let f = e1.build(&mut m, &vars);
+            let c = e2.build(&mut m, &vars);
+            let con = m.constrain(f, c).unwrap();
+            let res = m.gc_restrict(f, c).unwrap();
+            tables.push((
+                assignments().map(|a| m.eval(con, &a)).collect(),
+                assignments().map(|a| m.eval(res, &a)).collect(),
+            ));
+        }
+        prop_assert_eq!(&tables[0].0, &tables[1].0);
+        prop_assert_eq!(&tables[0].1, &tables[1].1);
+    }
+
     /// sat_count equals brute-force model counting.
     #[test]
     fn sat_count_matches_enumeration(e in arb_expr(NVARS)) {

@@ -112,11 +112,25 @@ fn demo_hybrid_classification(netlist: &Netlist, property: &Property, ctx: Trace
         .view(netlist, [full])
         .expect("view builds");
     let _ = property;
-    let mut model = SymbolicModel::new(netlist, ModelSpec::from_view(&view)).expect("model builds");
+    let mut reach_opts = ReachOptions::default()
+        .with_frontier_simplify(rfn_bench::frontier_simplify_from_args())
+        .with_trace(ctx.clone());
+    if let Some(limit) = rfn_bench::cluster_limit_from_args() {
+        reach_opts = reach_opts.with_cluster_limit(limit);
+    }
+    let model_opts = rfn_mc::ModelOptions {
+        cluster_limit: reach_opts.cluster_limit,
+    };
+    let mut model = SymbolicModel::with_options(
+        netlist,
+        ModelSpec::from_view(&view),
+        rfn_bdd::BddManager::new(),
+        model_opts,
+    )
+    .expect("model builds");
     // Target an interesting deep state: the FIFO's full flag.
     let full = netlist.find("full").expect("fifo has a full flag");
     let targets = model.signal_bdd(full).expect("flag in model");
-    let reach_opts = ReachOptions::default().with_trace(ctx.clone());
     let reach = forward_reach(&mut model, targets, &reach_opts).expect("reach runs");
     println!("kernel stats (fifo reachability): {}", reach.stats);
     let rfn_mc::ReachVerdict::TargetHit { step } = reach.verdict else {

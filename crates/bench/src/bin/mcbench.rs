@@ -1,0 +1,648 @@
+//! Image-computation benchmark: clustered transition relations plus
+//! don't-care frontier minimization vs. the seed's linear per-register
+//! relational product, on the bundled benchmark designs.
+//!
+//! ```text
+//! cargo run -p rfn-bench --bin mcbench --release [-- --quick] [--smoke]
+//! ```
+//!
+//! Three sections:
+//!
+//! 1. **Lockstep equivalence** — on one shared BDD manager per design, each
+//!    BFS step computes the new states twice: through a seed-style linear
+//!    relational product replayed over the per-register partitions, and
+//!    through the precomputed clustered schedule applied to the
+//!    restrict-minimized frontier. Canonicity makes functional equality a
+//!    handle comparison; any mismatch exits nonzero. This is the CI smoke
+//!    gate for both clustering and frontier minimization.
+//! 2. **Reachability throughput** — step-capped forward fixpoints under the
+//!    seed configuration (linear schedule, no minimization) and the
+//!    overhauled one (clustered, minimized), on separate managers with
+//!    reordering disabled. Reached-set cardinalities and verdicts must
+//!    agree; wall time and unique-table probes quantify the speedup.
+//! 3. **Property verdicts** — the same two configurations must return
+//!    identical verdicts (and hit depths) for the bundled property and
+//!    coverage targets.
+//!
+//! The models are bounded abstractions — the BFS-nearest registers of each
+//! target, as the coverage engine's initial abstraction would pick — since
+//! full-COI reachability on the paper-sized processor is exactly the
+//! capacity wall the RFN loop exists to avoid. Results are written to
+//! `BENCH_mc.json` (hand-rolled JSON, no dependencies). `--smoke` shrinks
+//! the register and step caps for CI; `--quick` selects the scaled-down
+//! designs (paper-sized otherwise).
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rfn_bdd::{Bdd, BddManager, VarId};
+use rfn_bench::Scale;
+use rfn_designs::{fifo_controller, integer_unit, processor_module, usb_controller};
+use rfn_mc::{
+    forward_reach, ModelOptions, ModelSpec, ReachOptions, ReachResult, ReachVerdict, SymbolicModel,
+};
+use rfn_netlist::{transitive_fanin, Abstraction, Netlist, SignalId};
+
+/// One benchmark workload: a design, a target signal, and the bounded
+/// abstraction the models are built from.
+struct Case {
+    name: &'static str,
+    target_name: String,
+    netlist: Netlist,
+    target: SignalId,
+    value: bool,
+    spec: ModelSpec,
+    steps: usize,
+}
+
+/// One configuration's measurements for a reachability run.
+struct Run {
+    build_ms: f64,
+    reach_ms: f64,
+    steps: usize,
+    unique_probes: u64,
+    peak_nodes: usize,
+    clusters: usize,
+    restrict_hits: u64,
+    restrict_misses: u64,
+    verdict: ReachVerdict,
+    reached_nodes: usize,
+    ring_nodes: Vec<usize>,
+}
+
+/// A throughput-comparison row (section 2).
+struct ReachRow {
+    design: &'static str,
+    target: String,
+    registers: usize,
+    linear: Run,
+    clustered: Run,
+}
+
+impl ReachRow {
+    fn time_speedup(&self) -> f64 {
+        self.linear.reach_ms / self.clustered.reach_ms.max(1e-9)
+    }
+
+    fn ops_ratio(&self) -> f64 {
+        self.linear.unique_probes as f64 / (self.clustered.unique_probes as f64).max(1.0)
+    }
+}
+
+/// A verdict-comparison row (section 3).
+struct VerdictRow {
+    design: &'static str,
+    target: String,
+    verdict: ReachVerdict,
+    linear_ms: f64,
+    clustered_ms: f64,
+}
+
+fn main() -> ExitCode {
+    let scale = Scale::from_args();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let step_cap = usize_flag("--steps").unwrap_or(if smoke { 10 } else { 24 });
+    let reg_override = usize_flag("--regs").or(if smoke { Some(20) } else { None });
+    let only = string_flag("--only");
+    println!("mcbench: image computation (scale: {scale:?}, smoke: {smoke})");
+    println!();
+
+    let mut cases = build_cases(scale, reg_override, step_cap);
+    if let Some(only) = &only {
+        cases.retain(|c| c.name == only);
+    }
+
+    // Section 1: lockstep equivalence on a shared manager.
+    for case in &cases {
+        match lockstep_equivalence(case) {
+            Ok((steps, clusters)) => println!(
+                "lockstep ok: {}/{} ({} steps, {} partitions -> {} clusters)",
+                case.name,
+                case.target_name,
+                steps,
+                case.spec.registers.len(),
+                clusters
+            ),
+            Err(msg) => {
+                eprintln!(
+                    "mcbench: clustered/linear image MISMATCH on {}/{}: {msg}",
+                    case.name, case.target_name
+                );
+                return ExitCode::from(1);
+            }
+        }
+    }
+    println!();
+
+    // Section 2: step-capped reachability throughput, seed vs. overhauled.
+    let mut reach_rows = Vec::new();
+    for case in &cases {
+        let linear = run_seed_reach(case, None);
+        let clustered = run_reach(case, None);
+        if let Err(msg) = check_agreement(&linear, &clustered) {
+            eprintln!(
+                "mcbench: reachability DISAGREEMENT on {}/{}: {msg}",
+                case.name, case.target_name
+            );
+            return ExitCode::from(1);
+        }
+        let row = ReachRow {
+            design: case.name,
+            target: case.target_name.clone(),
+            registers: case.spec.registers.len(),
+            linear,
+            clustered,
+        };
+        println!(
+            "{:<14} {:>3} regs  linear {:>9.1} ms  clustered {:>9.1} ms  {:>5.1}x time  {:>5.1}x ops",
+            row.design,
+            row.registers,
+            row.linear.reach_ms,
+            row.clustered.reach_ms,
+            row.time_speedup(),
+            row.ops_ratio()
+        );
+        reach_rows.push(row);
+    }
+    println!();
+
+    // Section 3: property/coverage verdict equivalence.
+    let mut verdict_rows = Vec::new();
+    for case in &cases {
+        let linear = run_seed_reach(case, Some((case.target, case.value)));
+        let clustered = run_reach(case, Some((case.target, case.value)));
+        if let Err(msg) = check_agreement(&linear, &clustered) {
+            eprintln!(
+                "mcbench: verdict DISAGREEMENT on {}/{}: {msg}",
+                case.name, case.target_name
+            );
+            return ExitCode::from(1);
+        }
+        println!(
+            "verdict ok: {}/{} -> {:?} (linear {:.1} ms, clustered {:.1} ms)",
+            case.name, case.target_name, clustered.verdict, linear.reach_ms, clustered.reach_ms
+        );
+        verdict_rows.push(VerdictRow {
+            design: case.name,
+            target: case.target_name.clone(),
+            verdict: clustered.verdict,
+            linear_ms: linear.reach_ms,
+            clustered_ms: clustered.reach_ms,
+        });
+    }
+
+    let json = render_json(&reach_rows, &verdict_rows, smoke);
+    if let Err(e) = std::fs::write("BENCH_mc.json", &json) {
+        eprintln!("mcbench: writing BENCH_mc.json: {e}");
+        return ExitCode::from(1);
+    }
+    println!();
+    println!("wrote BENCH_mc.json");
+    ExitCode::SUCCESS
+}
+
+/// Parses a `--flag <n>` override from the command line.
+fn usize_flag(flag: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+}
+
+/// Parses a `--flag <value>` string override from the command line.
+fn string_flag(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Assembles the benchmark cases: the Table 1 property designs plus the
+/// Table 2 coverage designs, each bounded to the BFS-nearest registers of
+/// its target. The per-design register caps are tuned so a reorder-free
+/// fixpoint stays in the seconds range while the state space is still large
+/// enough to exercise the image pipeline (`--regs` overrides all of them).
+fn build_cases(scale: Scale, reg_override: Option<usize>, steps: usize) -> Vec<Case> {
+    let cap = |default: usize| reg_override.unwrap_or(default);
+    let mut cases = Vec::new();
+    let fifo = fifo_controller(&scale.fifo());
+    let p = fifo.property("psh_full").expect("bundled property");
+    cases.push(make_case(
+        "fifo",
+        fifo.netlist.clone(),
+        p.name.clone(),
+        p.signal,
+        p.value,
+        cap(24),
+        steps,
+    ));
+
+    let iu = integer_unit(&scale.integer_unit());
+    let set = &iu.coverage_sets[0];
+    let target = set.signals[0];
+    cases.push(make_case(
+        "integer_unit",
+        iu.netlist.clone(),
+        set.name.clone(),
+        target,
+        true,
+        cap(40),
+        steps,
+    ));
+
+    let usb = usb_controller(&scale.usb());
+    let set = &usb.coverage_sets[0];
+    let target = set.signals[0];
+    cases.push(make_case(
+        "usb",
+        usb.netlist.clone(),
+        set.name.clone(),
+        target,
+        true,
+        cap(32),
+        steps,
+    ));
+
+    let proc = processor_module(&scale.processor());
+    let p = proc.property("error_flag").expect("bundled property");
+    cases.push(make_case(
+        "processor",
+        proc.netlist.clone(),
+        p.name.clone(),
+        p.signal,
+        p.value,
+        cap(96),
+        steps,
+    ));
+    cases
+}
+
+fn make_case(
+    name: &'static str,
+    netlist: Netlist,
+    target_name: String,
+    target: SignalId,
+    value: bool,
+    cap: usize,
+    steps: usize,
+) -> Case {
+    eprintln!("mcbench: building {name}/{target_name} (cap {cap})");
+    let regs = closest_registers(&netlist, target, cap);
+    let view = Abstraction::from_registers(regs)
+        .view(&netlist, [target])
+        .expect("bundled designs validate");
+    let spec = ModelSpec::from_view(&view);
+    Case {
+        name,
+        target_name,
+        netlist,
+        target,
+        value,
+        spec,
+        steps,
+    }
+}
+
+/// The `k` registers closest to `target` by register-to-register BFS
+/// distance through next-state cones — the same shape of bounded
+/// abstraction the coverage engine seeds its refinement loop with.
+fn closest_registers(netlist: &Netlist, target: SignalId, k: usize) -> Vec<SignalId> {
+    let mut seen: HashSet<SignalId> = HashSet::new();
+    let mut queue: VecDeque<SignalId> = VecDeque::new();
+    for leaf in transitive_fanin(netlist, [target]).register_leaves {
+        if seen.insert(leaf) {
+            queue.push_back(leaf);
+        }
+    }
+    let mut picked = Vec::new();
+    while let Some(r) = queue.pop_front() {
+        if picked.len() >= k {
+            break;
+        }
+        picked.push(r);
+        for leaf in transitive_fanin(netlist, [netlist.register_next(r)]).register_leaves {
+            if seen.insert(leaf) {
+                queue.push_back(leaf);
+            }
+        }
+    }
+    picked
+}
+
+/// Runs a BFS where every step's new states are computed both by a
+/// seed-style linear relational product over the raw partitions and by the
+/// model's clustered schedule on a restrict-minimized frontier, on the SAME
+/// manager. Canonicity reduces functional equality to handle equality.
+fn lockstep_equivalence(case: &Case) -> Result<(usize, usize), String> {
+    let mut model =
+        SymbolicModel::new(&case.netlist, case.spec.clone()).map_err(|e| format!("model: {e}"))?;
+    let clusters = model.transition().num_clusters();
+    let quant = post_quant_vars(&model, &case.spec);
+    let zero = model.manager_ref().zero();
+    let init = model.init_states().map_err(|e| format!("init: {e}"))?;
+    let mut reached = init;
+    let mut frontier = init;
+    for step in 0..case.steps {
+        let img_lin = linear_post_image(&mut model, frontier, &quant)
+            .map_err(|e| format!("linear image, step {step}: {e}"))?;
+        let (min, not_reached) = {
+            let mgr = model.manager();
+            let not_reached = mgr.not(reached).map_err(|e| e.to_string())?;
+            let care = mgr.or(frontier, not_reached).map_err(|e| e.to_string())?;
+            let min = mgr.gc_restrict(frontier, care).map_err(|e| e.to_string())?;
+            (min, not_reached)
+        };
+        let img_clu = model
+            .post_image(min)
+            .map_err(|e| format!("clustered image, step {step}: {e}"))?;
+        let mgr = model.manager();
+        let new_lin = mgr.and(img_lin, not_reached).map_err(|e| e.to_string())?;
+        let new_clu = mgr.and(img_clu, not_reached).map_err(|e| e.to_string())?;
+        if new_lin != new_clu {
+            return Err(format!(
+                "step {step}: linear new-states differ from clustered+minimized"
+            ));
+        }
+        if new_lin == zero {
+            return Ok((step, clusters));
+        }
+        reached = mgr.or(reached, new_lin).map_err(|e| e.to_string())?;
+        frontier = new_lin;
+    }
+    Ok((case.steps, clusters))
+}
+
+/// The seed's post-image: one `and_exists` per register partition in index
+/// order, quantifying each variable at the last partition that mentions it
+/// (per-call suffix-support scan, exactly as the pre-overhaul code did).
+fn linear_post_image(
+    model: &mut SymbolicModel,
+    q: Bdd,
+    quant: &BTreeSet<VarId>,
+) -> Result<Bdd, rfn_bdd::BddError> {
+    let parts: Vec<Bdd> = model.transition().parts().to_vec();
+    let n = parts.len();
+    let mut suffix: Vec<BTreeSet<VarId>> = vec![BTreeSet::new(); n + 1];
+    for i in (0..n).rev() {
+        let mut s = suffix[i + 1].clone();
+        s.extend(model.manager_ref().support(parts[i]));
+        suffix[i] = s;
+    }
+    let mut remaining = quant.clone();
+    let mut acc = q;
+    for (i, part) in parts.iter().enumerate() {
+        let now: Vec<VarId> = remaining
+            .iter()
+            .copied()
+            .filter(|v| !suffix[i + 1].contains(v))
+            .collect();
+        for v in &now {
+            remaining.remove(v);
+        }
+        let mgr = model.manager();
+        let cube = mgr.var_cube(now);
+        acc = mgr.and_exists(acc, *part, cube)?;
+    }
+    if !remaining.is_empty() {
+        let mgr = model.manager();
+        let cube = mgr.var_cube(remaining.iter().copied());
+        acc = mgr.exists(acc, cube)?;
+    }
+    model.nxt_to_cur(acc)
+}
+
+/// Builds the model for one configuration and the target BDD, timing the
+/// build (which includes partition clustering and schedule precomputation).
+fn build_model<'n>(
+    case: &'n Case,
+    target: Option<(SignalId, bool)>,
+    cluster_limit: usize,
+) -> (SymbolicModel<'n>, Bdd, f64) {
+    let build_start = Instant::now();
+    let mut model = SymbolicModel::with_options(
+        &case.netlist,
+        case.spec.clone(),
+        BddManager::new(),
+        ModelOptions { cluster_limit },
+    )
+    .expect("bundled designs validate");
+    let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+    let target_bdd = match target {
+        None => model.manager_ref().zero(),
+        Some((s, v)) => {
+            let sig = model.signal_bdd(s).expect("target is in the bounded cone");
+            if v {
+                sig
+            } else {
+                model.manager().not(sig).expect("no node limit set")
+            }
+        }
+    };
+    (model, target_bdd, build_ms)
+}
+
+/// The variables a post-image quantifies: current-state and input.
+fn post_quant_vars(model: &SymbolicModel, spec: &ModelSpec) -> BTreeSet<VarId> {
+    spec.registers
+        .iter()
+        .map(|&r| model.current_var(r).expect("register has a variable"))
+        .chain(model.transition().input_vars().iter().copied())
+        .collect()
+}
+
+/// A step-capped BFS through the seed's image pipeline: per-call
+/// suffix-support scan, per-call quantification-cube rebuild, one
+/// `and_exists` per register partition, no frontier minimization. The loop
+/// mirrors `forward_reach`'s verdict semantics exactly. The collector stays
+/// off (it only costs time at these model sizes), which favors this
+/// baseline and keeps the reported speedups conservative.
+fn run_seed_reach(case: &Case, target: Option<(SignalId, bool)>) -> Run {
+    let (mut model, target_bdd, build_ms) = build_model(case, target, 0);
+    let quant = post_quant_vars(&model, &case.spec);
+    let zero = model.manager_ref().zero();
+    let before = model.manager_ref().stats();
+    let reach_start = Instant::now();
+    let init = model.init_states().expect("no node limit set");
+    let mut rings = vec![init];
+    let mut reached = init;
+    let mut frontier = init;
+    let mut steps = 0usize;
+    let mut peak = model.manager_ref().num_nodes();
+    let mut verdict = ReachVerdict::Aborted;
+    let mgr_and = |model: &mut SymbolicModel, a: Bdd, b: Bdd| -> Bdd {
+        model.manager().and(a, b).expect("no node limit set")
+    };
+    if mgr_and(&mut model, init, target_bdd) != zero {
+        verdict = ReachVerdict::TargetHit { step: 0 };
+    } else {
+        loop {
+            if steps >= case.steps {
+                break;
+            }
+            let img = linear_post_image(&mut model, frontier, &quant).expect("no node limit set");
+            let nr = model.manager().not(reached).expect("no node limit set");
+            let new = mgr_and(&mut model, img, nr);
+            steps += 1;
+            peak = peak.max(model.manager_ref().num_nodes());
+            if new == zero {
+                verdict = ReachVerdict::FixpointProved;
+                break;
+            }
+            reached = model.manager().or(reached, new).expect("no node limit set");
+            rings.push(new);
+            frontier = new;
+            if mgr_and(&mut model, new, target_bdd) != zero {
+                verdict = ReachVerdict::TargetHit { step: steps };
+                break;
+            }
+        }
+    }
+    let reach_ms = reach_start.elapsed().as_secs_f64() * 1e3;
+    let stats = model.manager_ref().stats();
+    Run {
+        build_ms,
+        reach_ms,
+        steps,
+        unique_probes: stats.unique_probes - before.unique_probes,
+        peak_nodes: peak,
+        clusters: model.transition().num_clusters(),
+        restrict_hits: stats.restrict_hits,
+        restrict_misses: stats.restrict_misses,
+        verdict,
+        reached_nodes: model.manager_ref().size(reached),
+        ring_nodes: rings.iter().map(|&r| model.manager_ref().size(r)).collect(),
+    }
+}
+
+/// One step-capped `forward_reach` under the overhauled configuration
+/// (clustered schedule, frontier minimization; `--cluster-limit` and
+/// `--no-frontier-simplify` override). `target` of `None` runs a pure
+/// reachability sweep (target never hit).
+fn run_reach(case: &Case, target: Option<(SignalId, bool)>) -> Run {
+    let cluster_limit =
+        rfn_bench::cluster_limit_from_args().unwrap_or(rfn_mc::DEFAULT_CLUSTER_LIMIT);
+    let frontier_simplify = rfn_bench::frontier_simplify_from_args();
+    let (mut model, target_bdd, build_ms) = build_model(case, target, cluster_limit);
+    let opts = ReachOptions::default()
+        .with_max_steps(case.steps)
+        .with_reorder(false)
+        .with_cluster_limit(cluster_limit)
+        .with_frontier_simplify(frontier_simplify);
+    // Snapshot the counters so the probe delta covers the fixpoint only,
+    // not the transition-relation build (whose cost `build_ms` reports).
+    let before = model.manager_ref().stats();
+    let reach_start = Instant::now();
+    let result: ReachResult =
+        forward_reach(&mut model, target_bdd, &opts).expect("no node limit set");
+    let reach_ms = reach_start.elapsed().as_secs_f64() * 1e3;
+    let stats = result.stats;
+    let probes = stats.unique_probes - before.unique_probes;
+    Run {
+        build_ms,
+        reach_ms,
+        steps: result.steps,
+        unique_probes: probes,
+        peak_nodes: result.peak_nodes,
+        clusters: model.transition().num_clusters(),
+        restrict_hits: stats.restrict_hits,
+        restrict_misses: stats.restrict_misses,
+        verdict: result.verdict,
+        reached_nodes: model.manager_ref().size(result.reached),
+        ring_nodes: result
+            .rings
+            .iter()
+            .map(|&r| model.manager_ref().size(r))
+            .collect(),
+    }
+}
+
+/// Both configurations must agree on the verdict, the step count and the
+/// reached set. The managers differ so handles cannot be compared, but both
+/// models build the identical variable order (clustering happens after the
+/// partitions fix it) and reordering is off, so ROBDD canonicity makes the
+/// node counts of the reached set and every ring an exact functional check.
+fn check_agreement(linear: &Run, clustered: &Run) -> Result<(), String> {
+    if linear.verdict != clustered.verdict {
+        return Err(format!(
+            "verdicts differ: linear {:?} vs clustered {:?}",
+            linear.verdict, clustered.verdict
+        ));
+    }
+    if linear.steps != clustered.steps {
+        return Err(format!(
+            "step counts differ: linear {} vs clustered {}",
+            linear.steps, clustered.steps
+        ));
+    }
+    if linear.reached_nodes != clustered.reached_nodes {
+        return Err(format!(
+            "reached-set node counts differ: linear {} vs clustered {}",
+            linear.reached_nodes, clustered.reached_nodes
+        ));
+    }
+    if linear.ring_nodes != clustered.ring_nodes {
+        return Err(format!(
+            "ring node counts differ: linear {:?} vs clustered {:?}",
+            linear.ring_nodes, clustered.ring_nodes
+        ));
+    }
+    Ok(())
+}
+
+fn render_run(run: &Run) -> String {
+    format!(
+        "{{\"build_ms\": {:.1}, \"reach_ms\": {:.1}, \"steps\": {}, \"clusters\": {}, \
+         \"unique_probes\": {}, \"peak_nodes\": {}, \"restrict_hits\": {}, \
+         \"restrict_misses\": {}}}",
+        run.build_ms,
+        run.reach_ms,
+        run.steps,
+        run.clusters,
+        run.unique_probes,
+        run.peak_nodes,
+        run.restrict_hits,
+        run.restrict_misses
+    )
+}
+
+fn render_json(reach: &[ReachRow], verdicts: &[VerdictRow], smoke: bool) -> String {
+    let mut s = String::from("{\n  \"bench\": \"mc\",\n");
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    s.push_str("  \"reach\": [\n");
+    for (k, r) in reach.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"design\": \"{}\", \"target\": \"{}\", \"registers\": {}, \
+             \"linear\": {}, \"clustered\": {}, \"time_speedup\": {:.2}, \"ops_ratio\": {:.2}}}",
+            r.design,
+            r.target,
+            r.registers,
+            render_run(&r.linear),
+            render_run(&r.clustered),
+            r.time_speedup(),
+            r.ops_ratio()
+        );
+        s.push_str(if k + 1 < reach.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"verdicts\": [\n");
+    for (k, v) in verdicts.iter().enumerate() {
+        let verdict = match v.verdict {
+            ReachVerdict::FixpointProved => "proved".to_owned(),
+            ReachVerdict::TargetHit { step } => format!("hit@{step}"),
+            ReachVerdict::Aborted => "step_capped".to_owned(),
+        };
+        let _ = write!(
+            s,
+            "    {{\"design\": \"{}\", \"target\": \"{}\", \"verdict\": \"{verdict}\", \
+             \"linear_ms\": {:.1}, \"clustered_ms\": {:.1}, \"agree\": true}}",
+            v.design, v.target, v.linear_ms, v.clustered_ms
+        );
+        s.push_str(if k + 1 < verdicts.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

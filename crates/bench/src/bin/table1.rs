@@ -104,9 +104,14 @@ fn main() {
 }
 
 fn run_case(design: &Design, property: &Property, scale: Scale, ctx: TraceCtx) -> CaseResult {
-    let options = RfnOptions::default()
+    let mut options = RfnOptions::default()
         .with_time_limit(scale.time_limit())
+        .with_frontier_simplify(rfn_bench::frontier_simplify_from_args())
         .with_trace(ctx.clone());
+    if let Some(limit) = rfn_bench::cluster_limit_from_args() {
+        options = options.with_cluster_limit(limit);
+    }
+    let reach_for_plain = options.reach.clone();
     let rfn = Rfn::new(&design.netlist, property, options).expect("valid property");
     let outcome = rfn.run().expect("structural soundness");
     let stats = outcome.stats().clone();
@@ -123,7 +128,7 @@ fn run_case(design: &Design, property: &Property, scale: Scale, ctx: TraceCtx) -
         node_limit: plain_node_limit(scale),
         time_limit: Some(plain_time_limit(scale)),
         trace: ctx,
-        ..PlainOptions::default()
+        reach: reach_for_plain,
     };
     let plain = verify_plain(&design.netlist, property, &plain_opts).expect("plain mc runs");
     let plain_cell = match plain.verdict {

@@ -109,13 +109,17 @@ fn usb_design(scale: Scale) -> rfn_designs::Design {
 }
 
 fn run_case(netlist: &Netlist, set: &CoverageSet, scale: Scale, ctx: TraceCtx) -> CaseResult {
-    let options = CoverageOptions::default()
+    let mut options = CoverageOptions::default()
         .with_time_limit(scale.time_limit())
+        .with_frontier_simplify(rfn_bench::frontier_simplify_from_args())
         .with_trace(ctx);
+    if let Some(limit) = rfn_bench::cluster_limit_from_args() {
+        options = options.with_cluster_limit(limit);
+    }
     let rfn = analyze_coverage(netlist, set, &options).expect("coverage analysis runs");
     let bfs_reach = ReachOptions {
         time_limit: Some(scale.time_limit()),
-        ..ReachOptions::default()
+        ..options.reach.clone()
     };
     let bfs = bfs_coverage(netlist, set, BFS_K, 4_000_000, &bfs_reach).expect("bfs baseline runs");
     CaseResult {

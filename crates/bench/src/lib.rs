@@ -204,6 +204,23 @@ pub fn threads_from_args() -> usize {
         .unwrap_or_else(rfn_core::default_threads)
 }
 
+/// Parses `--cluster-limit <nodes>` from the command line (`None` keeps the
+/// engine default; `0` disables clustering for the seed-style linear
+/// schedule).
+pub fn cluster_limit_from_args() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--cluster-limit")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+}
+
+/// Parses `--no-frontier-simplify` from the command line; returns whether
+/// don't-care frontier minimization stays enabled.
+pub fn frontier_simplify_from_args() -> bool {
+    !std::env::args().any(|a| a == "--no-frontier-simplify")
+}
+
 /// Formats a duration as seconds with one decimal.
 pub fn secs(d: Duration) -> String {
     format!("{:.1}", d.as_secs_f64())

@@ -96,6 +96,22 @@ impl CoverageOptions {
         self
     }
 
+    /// Sets the transition-cluster node threshold for image computation
+    /// (`0` keeps one partition per register).
+    #[must_use]
+    pub fn with_cluster_limit(mut self, limit: usize) -> Self {
+        self.reach.cluster_limit = limit;
+        self
+    }
+
+    /// Enables or disables don't-care frontier minimization in the forward
+    /// fixpoints.
+    #[must_use]
+    pub fn with_frontier_simplify(mut self, simplify: bool) -> Self {
+        self.reach.frontier_simplify = simplify;
+        self
+    }
+
     /// Attaches a structured-event context.
     #[must_use]
     pub fn with_trace(mut self, trace: TraceCtx) -> Self {
@@ -211,8 +227,15 @@ fn analyze_coverage_inner(
         let view = abstraction.view(netlist, set.signals.iter().copied())?;
         let mut mgr = rfn_bdd::BddManager::new();
         mgr.set_node_limit(options.mc_node_limit);
-        let mut model = match SymbolicModel::with_manager(netlist, ModelSpec::from_view(&view), mgr)
-        {
+        let model_opts = rfn_mc::ModelOptions {
+            cluster_limit: options.reach.cluster_limit,
+        };
+        let mut model = match SymbolicModel::with_options(
+            netlist,
+            ModelSpec::from_view(&view),
+            mgr,
+            model_opts,
+        ) {
             Ok(m) => m,
             Err(rfn_mc::McError::Bdd(_)) => break,
             Err(e) => return Err(e.into()),
@@ -298,6 +321,7 @@ fn analyze_coverage_inner(
             };
             let synth = ReachResult {
                 verdict: ReachVerdict::TargetHit { step },
+                abort: None,
                 rings: reach.rings.clone(),
                 reached: reach.reached,
                 steps: reach.steps,
@@ -432,7 +456,10 @@ pub fn bfs_coverage(
     let mut unreachable = 0;
     let mut unresolved = total;
     let mut bdd_stats = rfn_bdd::BddStats::default();
-    match SymbolicModel::with_manager(netlist, ModelSpec::from_view(&view), mgr) {
+    let model_opts = rfn_mc::ModelOptions {
+        cluster_limit: reach.cluster_limit,
+    };
+    match SymbolicModel::with_options(netlist, ModelSpec::from_view(&view), mgr, model_opts) {
         Ok(mut model) => {
             let zero = model.manager_ref().zero();
             let result = forward_reach(&mut model, zero, reach)?;

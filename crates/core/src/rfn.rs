@@ -95,6 +95,22 @@ impl RfnOptions {
         self
     }
 
+    /// Sets the transition-cluster node threshold for image computation
+    /// (`0` keeps one partition per register).
+    #[must_use]
+    pub fn with_cluster_limit(mut self, limit: usize) -> Self {
+        self.reach.cluster_limit = limit;
+        self
+    }
+
+    /// Enables or disables don't-care frontier minimization in the forward
+    /// fixpoint.
+    #[must_use]
+    pub fn with_frontier_simplify(mut self, simplify: bool) -> Self {
+        self.reach.frontier_simplify = simplify;
+        self
+    }
+
     /// Sets how many abstract error traces the hybrid engine produces per
     /// iteration (1 = the paper's algorithm).
     #[must_use]
@@ -314,19 +330,26 @@ impl<'n> Rfn<'n> {
             // Step 2: prove or find an abstract error trace.
             let mut mgr = rfn_bdd::BddManager::new();
             mgr.set_node_limit(self.options.mc_node_limit);
-            let mut model =
-                match SymbolicModel::with_manager(self.netlist, ModelSpec::from_view(&view), mgr) {
-                    Ok(m) => m,
-                    Err(rfn_mc::McError::Bdd(_)) => {
-                        return Ok(self.inconclusive(
-                            ctx,
-                            "BDD node limit while building the abstract model",
-                            stats,
-                            start,
-                        ))
-                    }
-                    Err(e) => return Err(e.into()),
-                };
+            let model_opts = rfn_mc::ModelOptions {
+                cluster_limit: self.options.reach.cluster_limit,
+            };
+            let mut model = match SymbolicModel::with_options(
+                self.netlist,
+                ModelSpec::from_view(&view),
+                mgr,
+                model_opts,
+            ) {
+                Ok(m) => m,
+                Err(rfn_mc::McError::Bdd(_)) => {
+                    return Ok(self.inconclusive(
+                        ctx,
+                        "BDD node limit while building the abstract model",
+                        stats,
+                        start,
+                    ))
+                }
+                Err(e) => return Err(e.into()),
+            };
             self.restore_order(&mut model, &saved_order);
             let targets = {
                 let sig = model.signal_bdd(self.property.signal)?;
@@ -367,9 +390,12 @@ impl<'n> Rfn<'n> {
                     return Ok(RfnOutcome::Proved { stats });
                 }
                 ReachVerdict::Aborted => {
+                    let reason = reach
+                        .abort
+                        .map_or_else(|| "unknown".to_string(), |r| r.to_string());
                     return Ok(self.inconclusive(
                         ctx,
-                        "symbolic reachability out of capacity on the abstract model",
+                        &format!("symbolic reachability out of capacity on the abstract model ({reason})"),
                         stats,
                         start,
                     ));
@@ -677,6 +703,10 @@ fn record_outcome(span: &mut Span, outcome: &RfnOutcome) {
     span.record("bdd.exists_misses", stats.bdd.exists_misses);
     span.record("bdd.and_exists_hits", stats.bdd.and_exists_hits);
     span.record("bdd.and_exists_misses", stats.bdd.and_exists_misses);
+    span.record("bdd.constrain_hits", stats.bdd.constrain_hits);
+    span.record("bdd.constrain_misses", stats.bdd.constrain_misses);
+    span.record("bdd.restrict_hits", stats.bdd.restrict_hits);
+    span.record("bdd.restrict_misses", stats.bdd.restrict_misses);
     span.record("bdd.gc_runs", stats.bdd.gc_runs);
     span.record("bdd.gc_nodes_freed", stats.bdd.gc_nodes_freed);
     span.record("bdd.auto_gc_runs", stats.bdd.auto_gc_runs);

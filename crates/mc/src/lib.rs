@@ -45,7 +45,10 @@ mod plain;
 mod reach;
 
 pub use error::McError;
-pub use model::{ModelSpec, StateCube, SymbolicModel, TransitionRelation, VarKind};
+pub use model::{
+    ModelOptions, ModelSpec, StateCube, SymbolicModel, TransitionRelation, VarKind,
+    DEFAULT_CLUSTER_LIMIT,
+};
 pub use plain::{verify_plain, PlainOptions, PlainReport, PlainVerdict};
-pub use reach::{forward_reach, ReachOptions, ReachResult, ReachVerdict};
+pub use reach::{forward_reach, AbortReason, ReachOptions, ReachResult, ReachVerdict};
 pub use rfn_bdd::BddStats;

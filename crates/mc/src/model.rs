@@ -55,14 +55,78 @@ impl ModelSpec {
     }
 }
 
+/// Default node-count threshold for clustering transition partitions
+/// (IWLS95-style partitioned transition relations).
+pub const DEFAULT_CLUSTER_LIMIT: usize = 2500;
+
+/// Construction-time tuning of a [`SymbolicModel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelOptions {
+    /// Node-count threshold for clustering transition partitions: adjacent
+    /// per-register partitions are conjoined while the conjunction stays at
+    /// or below this many nodes. `0` keeps one partition per register (the
+    /// linear schedule of the seed implementation).
+    pub cluster_limit: usize,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        ModelOptions {
+            cluster_limit: DEFAULT_CLUSTER_LIMIT,
+        }
+    }
+}
+
+/// One step of a precomputed image schedule: conjoin `rel` into the
+/// accumulated product (fused `and_exists`), quantifying `cube` — the
+/// variables no later step mentions — immediately.
+#[derive(Clone, Copy, Debug)]
+struct ImageStep {
+    rel: Bdd,
+    cube: Bdd,
+}
+
+/// A precomputed early-quantification schedule over the clusters of a
+/// [`TransitionRelation`], specific to one quantification set (post-images
+/// quantify current-state and input variables, pre-images next-state
+/// variables).
+#[derive(Clone, Debug, Default)]
+struct ImageSchedule {
+    /// Clusters in IWLS95 benefit order with their quantification cubes.
+    steps: Vec<ImageStep>,
+    /// Cube of quantified variables mentioned by no cluster at all,
+    /// quantified after the last conjunction; `None` when empty.
+    residual: Option<Bdd>,
+}
+
+impl ImageSchedule {
+    fn roots(&self) -> impl Iterator<Item = Bdd> + '_ {
+        self.steps
+            .iter()
+            .flat_map(|s| [s.rel, s.cube])
+            .chain(self.residual)
+    }
+}
+
 /// A transition relation over a [`SymbolicModel`]'s variable space:
-/// per-register partitions `next_r ↔ f_r` plus the quantification bookkeeping
-/// for early-quantified image computation.
+/// per-register partitions `next_r ↔ f_r`, their clustered form, and the
+/// precomputed quantification schedules for early-quantified image
+/// computation. Everything order-dependent is computed once at construction
+/// — image calls only replay the schedule.
 #[derive(Clone, Debug)]
 pub struct TransitionRelation {
     parts: Vec<Bdd>,
     /// Input variables this relation's functions mention.
     input_vars: Vec<VarId>,
+    /// Clustered partitions (conjunctions of `parts` up to the model's
+    /// cluster limit), in original register order.
+    clusters: Vec<Bdd>,
+    /// Post-image schedule (∃ current-state ∪ input variables).
+    post: ImageSchedule,
+    /// Pre-image schedule (∃ next-state variables).
+    pre: ImageSchedule,
+    /// Cube of all input variables, for the plain pre-image.
+    input_cube: Bdd,
 }
 
 impl TransitionRelation {
@@ -71,9 +135,33 @@ impl TransitionRelation {
         &self.parts
     }
 
-    /// Roots to keep alive across garbage collection.
+    /// The clustered partitions the image schedules conjoin, in original
+    /// register order (equal to [`TransitionRelation::parts`] when
+    /// clustering is disabled).
+    pub fn clusters(&self) -> &[Bdd] {
+        &self.clusters
+    }
+
+    /// Number of clusters in the image schedules.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Input variables this relation's functions mention.
+    pub fn input_vars(&self) -> &[VarId] {
+        &self.input_vars
+    }
+
+    /// Roots to keep alive across garbage collection: partitions, clusters,
+    /// and every precomputed quantification cube.
     pub fn roots(&self) -> impl Iterator<Item = Bdd> + '_ {
-        self.parts.iter().copied()
+        self.parts
+            .iter()
+            .chain(self.clusters.iter())
+            .copied()
+            .chain(self.post.roots())
+            .chain(self.pre.roots())
+            .chain(std::iter::once(self.input_cube))
     }
 }
 
@@ -110,6 +198,8 @@ pub struct SymbolicModel<'n> {
     trans: TransitionRelation,
     /// Cache of main-spec signal functions (over current-state + input vars).
     signal_cache: HashMap<SignalId, Bdd>,
+    /// Cluster node threshold applied when building transition relations.
+    cluster_limit: usize,
 }
 
 impl<'n> SymbolicModel<'n> {
@@ -129,7 +219,17 @@ impl<'n> SymbolicModel<'n> {
     pub fn with_manager(
         netlist: &'n Netlist,
         spec: ModelSpec,
+        mgr: BddManager,
+    ) -> Result<Self, McError> {
+        Self::with_options(netlist, spec, mgr, ModelOptions::default())
+    }
+
+    /// Like [`SymbolicModel::with_manager`] with explicit model options.
+    pub fn with_options(
+        netlist: &'n Netlist,
+        spec: ModelSpec,
         mut mgr: BddManager,
+        options: ModelOptions,
     ) -> Result<Self, McError> {
         let mut cur = HashMap::new();
         let mut nxt = HashMap::new();
@@ -141,6 +241,7 @@ impl<'n> SymbolicModel<'n> {
             signal_of_var.push((r, VarKind::Current));
             signal_of_var.push((r, VarKind::Next));
         }
+        let one = mgr.one();
         let mut model = SymbolicModel {
             netlist,
             spec: spec.clone(),
@@ -152,8 +253,13 @@ impl<'n> SymbolicModel<'n> {
             trans: TransitionRelation {
                 parts: Vec::new(),
                 input_vars: Vec::new(),
+                clusters: Vec::new(),
+                post: ImageSchedule::default(),
+                pre: ImageSchedule::default(),
+                input_cube: one,
             },
             signal_cache: HashMap::new(),
+            cluster_limit: options.cluster_limit,
         };
         // One gate evaluation serves both the transition relation and the
         // signal cache used for target construction.
@@ -332,7 +438,140 @@ impl<'n> SymbolicModel<'n> {
             parts.push(part);
         }
         let input_vars: Vec<VarId> = spec.inputs.iter().map(|s| self.inp[s]).collect();
-        Ok(TransitionRelation { parts, input_vars })
+        self.finish_transition(parts, input_vars)
+    }
+
+    /// Clusters the partitions, precomputes both image schedules and the
+    /// input cube, and assembles the finished relation.
+    fn finish_transition(
+        &mut self,
+        parts: Vec<Bdd>,
+        input_vars: Vec<VarId>,
+    ) -> Result<TransitionRelation, McError> {
+        let clusters = self.cluster_parts(&parts, self.cluster_limit)?;
+        let mut post_quant: BTreeSet<VarId> = self.cur.values().copied().collect();
+        post_quant.extend(input_vars.iter().copied());
+        let pre_quant: BTreeSet<VarId> = self.nxt.values().copied().collect();
+        let post = self.schedule(&clusters, &post_quant);
+        let pre = self.schedule(&clusters, &pre_quant);
+        let input_cube = self.mgr.var_cube(input_vars.iter().copied());
+        Ok(TransitionRelation {
+            parts,
+            input_vars,
+            clusters,
+            post,
+            pre,
+            input_cube,
+        })
+    }
+
+    /// Greedily conjoins adjacent per-register partitions while the
+    /// conjunction stays at or below `limit` nodes (IWLS95-style
+    /// clustering). `limit == 0` disables clustering.
+    fn cluster_parts(&mut self, parts: &[Bdd], limit: usize) -> Result<Vec<Bdd>, McError> {
+        if limit == 0 || parts.len() <= 1 {
+            return Ok(parts.to_vec());
+        }
+        // Finished clusters and the unconsumed partition tail are held
+        // across `and` calls where they are not operands; protect them from
+        // the automatic collector.
+        for &p in parts {
+            self.mgr.protect(p);
+        }
+        let mut clusters: Vec<Bdd> = Vec::new();
+        let result = (|| -> BddResult {
+            let mut acc = parts[0];
+            for &p in &parts[1..] {
+                let joined = self.mgr.and(acc, p)?;
+                if self.mgr.size(joined) <= limit {
+                    acc = joined;
+                } else {
+                    self.mgr.protect(acc);
+                    clusters.push(acc);
+                    acc = p;
+                }
+            }
+            self.mgr.protect(acc);
+            clusters.push(acc);
+            Ok(acc)
+        })();
+        for &p in parts {
+            self.mgr.unprotect(p);
+        }
+        for &c in &clusters {
+            self.mgr.unprotect(c);
+        }
+        result?;
+        Ok(clusters)
+    }
+
+    /// Orders clusters by the IWLS95 benefit heuristic — a cluster scores by
+    /// how many quantifiable variables it would release right now (it is
+    /// their last unscheduled mention), tie-broken toward smaller supports —
+    /// and precomputes the per-step quantification cubes.
+    fn schedule(&mut self, clusters: &[Bdd], quant: &BTreeSet<VarId>) -> ImageSchedule {
+        let supports: Vec<BTreeSet<VarId>> = clusters
+            .iter()
+            .map(|&c| self.mgr.support(c).into_iter().collect())
+            .collect();
+        // How many unscheduled clusters still mention each quantifiable var.
+        let mut uses: HashMap<VarId, usize> = HashMap::new();
+        for s in &supports {
+            for &v in s {
+                if quant.contains(&v) {
+                    *uses.entry(v).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut remaining: Vec<usize> = (0..clusters.len()).collect();
+        let mut unquantified: BTreeSet<VarId> = quant.clone();
+        let mut steps = Vec::with_capacity(clusters.len());
+        while !remaining.is_empty() {
+            let mut best_k = 0;
+            let mut best_key = (isize::MIN, isize::MIN, std::cmp::Reverse(usize::MAX));
+            for (k, &i) in remaining.iter().enumerate() {
+                let released = supports[i]
+                    .iter()
+                    .filter(|v| uses.get(v) == Some(&1))
+                    .count() as isize;
+                let key = (
+                    released,
+                    -(supports[i].len() as isize),
+                    std::cmp::Reverse(i),
+                );
+                if key > best_key {
+                    best_key = key;
+                    best_k = k;
+                }
+            }
+            let i = remaining.remove(best_k);
+            for v in &supports[i] {
+                if let Some(n) = uses.get_mut(v) {
+                    *n -= 1;
+                }
+            }
+            // Quantify everything whose last mention was just scheduled —
+            // plus, on the first step, variables no cluster mentions at all.
+            let now: Vec<VarId> = unquantified
+                .iter()
+                .copied()
+                .filter(|v| uses.get(v).is_none_or(|&n| n == 0))
+                .collect();
+            for v in &now {
+                unquantified.remove(v);
+            }
+            let cube = self.mgr.var_cube(now);
+            steps.push(ImageStep {
+                rel: clusters[i],
+                cube,
+            });
+        }
+        let residual = if unquantified.is_empty() {
+            None
+        } else {
+            Some(self.mgr.var_cube(unquantified))
+        };
+        ImageSchedule { steps, residual }
     }
 
     /// The function of a main-spec signal over current-state and input
@@ -422,27 +661,30 @@ impl<'n> SymbolicModel<'n> {
     }
 
     /// Post-image under the model's main transition relation: the states
-    /// reachable in one step from `q`.
+    /// reachable in one step from `q`. Replays the precomputed post
+    /// schedule — no per-call cloning or support analysis.
     pub fn post_image(&mut self, q: Bdd) -> BddResult {
-        let trans = self.trans.clone();
-        self.post_image_with(&trans, q)
+        let sched = std::mem::take(&mut self.trans.post);
+        let img = self.image(&sched, q);
+        self.trans.post = sched;
+        self.nxt_to_cur(img?)
     }
 
     /// Post-image under an explicit transition relation.
     pub fn post_image_with(&mut self, trans: &TransitionRelation, q: Bdd) -> BddResult {
-        let mut quant: BTreeSet<VarId> = self.cur.values().copied().collect();
-        quant.extend(trans.input_vars.iter().copied());
-        let img = self.relational_product(&trans.parts, q, &quant)?;
+        let img = self.image(&trans.post, q)?;
         self.nxt_to_cur(img)
     }
 
     /// Pre-image under the model's main transition relation: the states that
     /// reach `q` in one step. Input variables are quantified away.
     pub fn pre_image(&mut self, q: Bdd) -> BddResult {
-        let trans = self.trans.clone();
-        let with_inputs = self.pre_image_with_inputs(&trans, q)?;
-        let input_cube = self.mgr.var_cube(trans.input_vars.iter().copied());
-        self.mgr.exists(with_inputs, input_cube)
+        let sched = std::mem::take(&mut self.trans.pre);
+        let q_next = self.cur_to_nxt(q);
+        let with_inputs = q_next.and_then(|qn| self.image(&sched, qn));
+        self.trans.pre = sched;
+        let input_cube = self.trans.input_cube;
+        self.mgr.exists(with_inputs?, input_cube)
     }
 
     /// Pre-image that *keeps input variables alive*: the result ranges over
@@ -452,55 +694,32 @@ impl<'n> SymbolicModel<'n> {
     /// content (Figure 1).
     pub fn pre_image_with_inputs(&mut self, trans: &TransitionRelation, q: Bdd) -> BddResult {
         let q_next = self.cur_to_nxt(q)?;
-        let quant: BTreeSet<VarId> = self.nxt.values().copied().collect();
-        self.relational_product(&trans.parts, q_next, &quant)
+        self.image(&trans.pre, q_next)
     }
 
-    /// Early-quantified linear relational product: conjoin partitions one at
-    /// a time, quantifying each variable as soon as no later partition
-    /// mentions it.
-    fn relational_product(&mut self, parts: &[Bdd], q: Bdd, quant: &BTreeSet<VarId>) -> BddResult {
-        if parts.is_empty() {
-            let cube = self.mgr.var_cube(quant.iter().copied());
-            return self.mgr.exists(q, cube);
-        }
-        // Pending partitions are held across earlier `and_exists` calls where
-        // they are not operands; protect them from the automatic collector.
-        // (The accumulator and each quantification cube are always operands
-        // of the very next call, so they need no protection.)
-        for &p in parts {
-            self.mgr.protect(p);
+    /// Replays a precomputed early-quantification schedule: conjoin each
+    /// cluster in benefit order with the fused `and_exists`, quantifying its
+    /// cube immediately, then quantify the residual variables no cluster
+    /// mentions.
+    fn image(&mut self, sched: &ImageSchedule, q: Bdd) -> BddResult {
+        // Pending clusters and cubes are held across earlier `and_exists`
+        // calls where they are not operands; protect them from the automatic
+        // collector. (The accumulator is always an operand of the next call.)
+        for root in sched.roots() {
+            self.mgr.protect(root);
         }
         let result = (|| -> BddResult {
-            // Suffix supports: vars mentioned by parts[i+1..].
-            let mut suffix: Vec<BTreeSet<VarId>> = vec![BTreeSet::new(); parts.len() + 1];
-            for i in (0..parts.len()).rev() {
-                let mut s = suffix[i + 1].clone();
-                s.extend(self.mgr.support(parts[i]));
-                suffix[i] = s;
-            }
             let mut acc = q;
-            let mut remaining: BTreeSet<VarId> = quant.clone();
-            for (i, &part) in parts.iter().enumerate() {
-                let now: Vec<VarId> = remaining
-                    .iter()
-                    .copied()
-                    .filter(|v| !suffix[i + 1].contains(v))
-                    .collect();
-                for v in &now {
-                    remaining.remove(v);
-                }
-                let cube = self.mgr.var_cube(now);
-                acc = self.mgr.and_exists(acc, part, cube)?;
+            for s in &sched.steps {
+                acc = self.mgr.and_exists(acc, s.rel, s.cube)?;
             }
-            if !remaining.is_empty() {
-                let cube = self.mgr.var_cube(remaining);
-                acc = self.mgr.exists(acc, cube)?;
+            match sched.residual {
+                Some(cube) => self.mgr.exists(acc, cube),
+                None => Ok(acc),
             }
-            Ok(acc)
         })();
-        for &p in parts {
-            self.mgr.unprotect(p);
+        for root in sched.roots() {
+            self.mgr.unprotect(root);
         }
         result
     }
@@ -529,9 +748,10 @@ impl<'n> SymbolicModel<'n> {
     }
 
     /// Roots that must survive garbage collection for the model to remain
-    /// usable: transition partitions and cached signal functions.
+    /// usable: transition partitions, clusters, precomputed quantification
+    /// cubes, and cached signal functions.
     pub fn persistent_roots(&self) -> Vec<Bdd> {
-        let mut roots: Vec<Bdd> = self.trans.parts.clone();
+        let mut roots: Vec<Bdd> = self.trans.roots().collect();
         roots.extend(self.signal_cache.values().copied());
         roots
     }
@@ -721,5 +941,42 @@ mod tests {
         let rb = m.manager().var(rv);
         let expect = m.manager().xor(rb, cb).unwrap();
         assert_eq!(pre, expect);
+    }
+
+    #[test]
+    fn clustered_and_linear_images_agree() {
+        let (n, _, _, carry) = counter();
+        let regs: Vec<SignalId> = n.registers().to_vec();
+        let view = Abstraction::from_registers(regs).view(&n, [carry]).unwrap();
+        let spec = ModelSpec::from_view(&view);
+        let mut lin = SymbolicModel::with_options(
+            &n,
+            spec.clone(),
+            rfn_bdd::BddManager::new(),
+            ModelOptions { cluster_limit: 0 },
+        )
+        .unwrap();
+        let mut clu = SymbolicModel::new(&n, spec).unwrap();
+        assert_eq!(lin.transition().num_clusters(), 2);
+        assert_eq!(clu.transition().num_clusters(), 1);
+        // Both models allocate variables in the same order, so sat counts
+        // over the full variable space are directly comparable.
+        let nv = lin.manager_ref().num_vars();
+        let mut fl = lin.init_states().unwrap();
+        let mut fc = clu.init_states().unwrap();
+        for _ in 0..4 {
+            fl = lin.post_image(fl).unwrap();
+            fc = clu.post_image(fc).unwrap();
+            assert_eq!(
+                lin.manager().sat_count(fl, nv),
+                clu.manager().sat_count(fc, nv)
+            );
+            let pl = lin.pre_image(fl).unwrap();
+            let pc = clu.pre_image(fc).unwrap();
+            assert_eq!(
+                lin.manager().sat_count(pl, nv),
+                clu.manager().sat_count(pc, nv)
+            );
+        }
     }
 }

@@ -55,6 +55,9 @@ pub enum PlainVerdict {
 pub struct PlainReport {
     /// Final verdict.
     pub verdict: PlainVerdict,
+    /// Why the run aborted when the verdict is
+    /// [`PlainVerdict::OutOfCapacity`] (`None` otherwise).
+    pub abort: Option<crate::AbortReason>,
     /// Registers in the property's cone of influence.
     pub coi_registers: usize,
     /// Gates in the property's cone of influence.
@@ -98,6 +101,9 @@ pub fn verify_plain(
         if let PlainVerdict::Falsified { depth } = report.verdict {
             span.record("depth", depth);
         }
+        if let Some(reason) = report.abort {
+            span.record("abort_reason", reason.as_str());
+        }
         span.record("coi_registers", report.coi_registers);
         span.record("coi_gates", report.coi_gates);
         span.record("steps", report.steps);
@@ -121,13 +127,17 @@ fn verify_plain_inner(
     reach_opts.time_limit = options.time_limit;
     reach_opts.trace = options.trace.clone();
 
-    let build = SymbolicModel::with_manager(netlist, ModelSpec::from_view(&view), mgr);
+    let model_opts = crate::ModelOptions {
+        cluster_limit: reach_opts.cluster_limit,
+    };
+    let build = SymbolicModel::with_options(netlist, ModelSpec::from_view(&view), mgr, model_opts);
     let mut model = match build {
         Ok(m) => m,
         Err(McError::Bdd(_)) => {
             // Could not even build the transition relation.
             return Ok(PlainReport {
                 verdict: PlainVerdict::OutOfCapacity,
+                abort: Some(crate::AbortReason::NodeLimit),
                 coi_registers: coi.num_registers(),
                 coi_gates: coi.num_gates(),
                 steps: 0,
@@ -151,6 +161,7 @@ fn verify_plain_inner(
         Err(McError::Bdd(_)) => {
             return Ok(PlainReport {
                 verdict: PlainVerdict::OutOfCapacity,
+                abort: Some(crate::AbortReason::NodeLimit),
                 coi_registers: coi.num_registers(),
                 coi_gates: coi.num_gates(),
                 steps: 0,
@@ -169,6 +180,7 @@ fn verify_plain_inner(
     };
     Ok(PlainReport {
         verdict,
+        abort: result.abort,
         coi_registers: coi.num_registers(),
         coi_gates: coi.num_gates(),
         steps: result.steps,

@@ -1,5 +1,6 @@
 //! Forward reachability with onion rings.
 
+use std::fmt;
 use std::time::{Duration, Instant};
 
 use rfn_bdd::{Bdd, BddError, BddStats};
@@ -25,9 +26,20 @@ pub struct ReachOptions {
     /// persistent roots are protected; image intermediates become
     /// collectible as soon as each step completes.
     pub auto_gc: bool,
+    /// Node-count threshold for clustering the transition partitions.
+    /// Consumers pass this to [`ModelOptions`](crate::ModelOptions) when
+    /// building the [`SymbolicModel`]; `0` keeps the linear per-register
+    /// schedule.
+    pub cluster_limit: usize,
+    /// Minimize the frontier against the reached set (as don't-cares) with
+    /// the sibling-substitution restrict operator before each image. The
+    /// frontier may be replaced by any set between itself and `reached`,
+    /// which leaves every ring and the verdict unchanged while shrinking the
+    /// BDD fed to the image.
+    pub frontier_simplify: bool,
     /// Structured-event context; each `forward_reach` call wraps itself in a
-    /// `reach` span carrying the verdict, step count and BDD peak-node
-    /// counter. Disabled by default.
+    /// `reach` span carrying the verdict, step count, cluster count and BDD
+    /// peak-node counter. Disabled by default.
     pub trace: TraceCtx,
 }
 
@@ -40,6 +52,8 @@ impl Default for ReachOptions {
             max_growth: 1.5,
             time_limit: None,
             auto_gc: true,
+            cluster_limit: crate::DEFAULT_CLUSTER_LIMIT,
+            frontier_simplify: true,
             trace: TraceCtx::disabled(),
         }
     }
@@ -74,6 +88,20 @@ impl ReachOptions {
         self
     }
 
+    /// Sets the transition-cluster node threshold (`0` disables clustering).
+    #[must_use]
+    pub fn with_cluster_limit(mut self, limit: usize) -> Self {
+        self.cluster_limit = limit;
+        self
+    }
+
+    /// Enables or disables don't-care frontier minimization.
+    #[must_use]
+    pub fn with_frontier_simplify(mut self, simplify: bool) -> Self {
+        self.frontier_simplify = simplify;
+        self
+    }
+
     /// Attaches a structured-event context.
     #[must_use]
     pub fn with_trace(mut self, trace: TraceCtx) -> Self {
@@ -98,11 +126,60 @@ pub enum ReachVerdict {
     Aborted,
 }
 
+/// Why a reachability run gave up. Carried next to
+/// [`ReachVerdict::Aborted`] in [`ReachResult::abort`] so callers can tell
+/// a time-out from capacity exhaustion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AbortReason {
+    /// The wall-clock budget ran out.
+    TimeLimit,
+    /// The image-step cap was reached before the fixpoint.
+    MaxSteps,
+    /// The BDD manager's node limit was exceeded.
+    NodeLimit,
+    /// Another kernel error.
+    Bdd,
+}
+
+impl AbortReason {
+    fn of(e: &BddError) -> AbortReason {
+        match e {
+            BddError::NodeLimit => AbortReason::NodeLimit,
+            _ => AbortReason::Bdd,
+        }
+    }
+
+    /// Stable lowercase token used in trace records and CLI breakdowns.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AbortReason::TimeLimit => "time_limit",
+            AbortReason::MaxSteps => "max_steps",
+            AbortReason::NodeLimit => "node_limit",
+            AbortReason::Bdd => "bdd_error",
+        }
+    }
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AbortReason::TimeLimit => "time limit",
+            AbortReason::MaxSteps => "step limit",
+            AbortReason::NodeLimit => "node limit",
+            AbortReason::Bdd => "BDD error",
+        })
+    }
+}
+
 /// Result of [`forward_reach`].
 #[derive(Clone, Debug)]
 pub struct ReachResult {
     /// How the run ended.
     pub verdict: ReachVerdict,
+    /// Why the run aborted; `None` unless the verdict is
+    /// [`ReachVerdict::Aborted`].
+    pub abort: Option<AbortReason>,
     /// Onion rings: `rings[k]` holds the states first reached after exactly
     /// `k` steps (`rings[0]` is the initial set). On
     /// [`ReachVerdict::TargetHit`] the last ring intersects the targets.
@@ -169,8 +246,12 @@ pub fn forward_reach(
         if let ReachVerdict::TargetHit { step } = r.verdict {
             span.record("hit_step", step);
         }
+        if let Some(reason) = r.abort {
+            span.record("abort_reason", reason.as_str());
+        }
         span.record("steps", r.steps);
         span.record("rings", r.rings.len());
+        span.record("clusters", model.transition().num_clusters());
         span.record("peak_nodes", r.peak_nodes);
         options
             .trace
@@ -189,7 +270,7 @@ fn reach_loop(
     let mut threshold = options.reorder_threshold;
     let init = match model.init_states() {
         Ok(b) => b,
-        Err(_) => return Ok(aborted(model, vec![], 0)),
+        Err(e) => return Ok(aborted(model, vec![], 0, AbortReason::of(&e))),
     };
     model.manager().protect(init);
     protect_log.push(init);
@@ -207,6 +288,7 @@ fn reach_loop(
         Ok(true) => {
             return Ok(ReachResult {
                 verdict: ReachVerdict::TargetHit { step: 0 },
+                abort: None,
                 rings,
                 reached,
                 steps,
@@ -215,22 +297,57 @@ fn reach_loop(
             })
         }
         Ok(false) => {}
-        Err(_) => return Ok(aborted(model, rings, steps)),
+        Err(e) => return Ok(aborted(model, rings, steps, AbortReason::of(&e))),
     }
 
     loop {
         if steps >= options.max_steps {
-            return Ok(aborted_with(model, rings, reached, steps, peak));
+            return Ok(aborted_with(
+                model,
+                rings,
+                reached,
+                steps,
+                peak,
+                AbortReason::MaxSteps,
+            ));
         }
         if let Some(d) = deadline {
             if Instant::now() > d {
-                return Ok(aborted_with(model, rings, reached, steps, peak));
+                return Ok(aborted_with(
+                    model,
+                    rings,
+                    reached,
+                    steps,
+                    peak,
+                    AbortReason::TimeLimit,
+                ));
             }
         }
+        // Minimize the frontier against the reached set before imaging: any
+        // set between the frontier and `reached` yields the same new states,
+        // so the restrict operator may fill `reached ∖ frontier` freely.
+        // Keep the minimized version only when it is actually smaller.
+        let src = if options.frontier_simplify {
+            match simplify_frontier(model, frontier, reached) {
+                Ok(f) => f,
+                Err(e) => {
+                    return Ok(aborted_with(
+                        model,
+                        rings,
+                        reached,
+                        steps,
+                        peak,
+                        AbortReason::of(&e),
+                    ))
+                }
+            }
+        } else {
+            frontier
+        };
         // `img` is held across the `not`, where it is not an operand, so it
         // needs transient protection from the collector.
         let step_result = {
-            match model.post_image(frontier) {
+            match model.post_image(src) {
                 Ok(img) => {
                     model.manager().protect(img);
                     let new = model
@@ -245,12 +362,25 @@ fn reach_loop(
         };
         let new = match step_result {
             Ok(new) => new,
-            Err(_) => return Ok(aborted_with(model, rings, reached, steps, peak)),
+            Err(e) => {
+                return Ok(aborted_with(
+                    model,
+                    rings,
+                    reached,
+                    steps,
+                    peak,
+                    AbortReason::of(&e),
+                ))
+            }
         };
         steps += 1;
+        options
+            .trace
+            .counter("reach.image_nodes", model.manager_ref().num_nodes() as u64);
         if new == model.manager_ref().zero() {
             return Ok(ReachResult {
                 verdict: ReachVerdict::FixpointProved,
+                abort: None,
                 rings,
                 reached,
                 steps,
@@ -262,7 +392,16 @@ fn reach_loop(
         protect_log.push(new);
         reached = match model.manager().or(reached, new) {
             Ok(b) => b,
-            Err(_) => return Ok(aborted_with(model, rings, reached, steps, peak)),
+            Err(e) => {
+                return Ok(aborted_with(
+                    model,
+                    rings,
+                    reached,
+                    steps,
+                    peak,
+                    AbortReason::of(&e),
+                ))
+            }
         };
         model.manager().protect(reached);
         protect_log.push(reached);
@@ -272,6 +411,7 @@ fn reach_loop(
             Ok(true) => {
                 return Ok(ReachResult {
                     verdict: ReachVerdict::TargetHit { step: steps },
+                    abort: None,
                     rings,
                     reached,
                     steps,
@@ -280,7 +420,16 @@ fn reach_loop(
                 })
             }
             Ok(false) => {}
-            Err(_) => return Ok(aborted_with(model, rings, reached, steps, peak)),
+            Err(e) => {
+                return Ok(aborted_with(
+                    model,
+                    rings,
+                    reached,
+                    steps,
+                    peak,
+                    AbortReason::of(&e),
+                ))
+            }
         }
         frontier = new;
         if options.reorder && model.manager_ref().num_nodes() > threshold {
@@ -295,10 +444,38 @@ fn reach_loop(
     }
 }
 
-fn aborted(model: &SymbolicModel<'_>, rings: Vec<Bdd>, steps: usize) -> ReachResult {
+/// Shrinks the frontier by treating already-reached states as don't-cares:
+/// the care set is `frontier ∨ ¬reached`, so the restrict operator may map
+/// `reached ∖ frontier` to anything. Because `frontier ⊆ reached`, the
+/// result always lies between the frontier and the reached set, which makes
+/// its image produce exactly the same new states. Returns the smaller of the
+/// minimized and original frontiers.
+fn simplify_frontier(
+    model: &mut SymbolicModel<'_>,
+    frontier: Bdd,
+    reached: Bdd,
+) -> Result<Bdd, BddError> {
+    // `nr` is an operand of the `or` immediately after; no protection needed.
+    let nr = model.manager().not(reached)?;
+    let care = model.manager().or(frontier, nr)?;
+    let min = model.manager().gc_restrict(frontier, care)?;
+    if model.manager_ref().size(min) < model.manager_ref().size(frontier) {
+        Ok(min)
+    } else {
+        Ok(frontier)
+    }
+}
+
+fn aborted(
+    model: &SymbolicModel<'_>,
+    rings: Vec<Bdd>,
+    steps: usize,
+    reason: AbortReason,
+) -> ReachResult {
     let zero = model.manager_ref().zero();
     ReachResult {
         verdict: ReachVerdict::Aborted,
+        abort: Some(reason),
         reached: rings.first().copied().unwrap_or(zero),
         rings,
         steps,
@@ -313,9 +490,11 @@ fn aborted_with(
     reached: Bdd,
     steps: usize,
     peak: usize,
+    reason: AbortReason,
 ) -> ReachResult {
     ReachResult {
         verdict: ReachVerdict::Aborted,
+        abort: Some(reason),
         rings,
         reached,
         steps,
@@ -434,6 +613,7 @@ mod tests {
         };
         let r = forward_reach(&mut m, target, &ReachOptions::default()).unwrap();
         assert_eq!(r.verdict, ReachVerdict::Aborted);
+        assert_eq!(r.abort, Some(AbortReason::NodeLimit));
     }
 
     #[test]
@@ -450,7 +630,59 @@ mod tests {
         };
         let r = forward_reach(&mut m, target, &opts).unwrap();
         assert_eq!(r.verdict, ReachVerdict::Aborted);
+        assert_eq!(r.abort, Some(AbortReason::MaxSteps));
         assert_eq!(r.steps, 2);
+    }
+
+    #[test]
+    fn time_limit_abort_reports_its_reason() {
+        let (n, b) = counter3();
+        let mut m = model(&n);
+        let c: Cube = [(b[0], true), (b[1], false), (b[2], true)]
+            .into_iter()
+            .collect();
+        let target = m.cube_to_bdd(&c).unwrap();
+        let opts = ReachOptions::default().with_time_limit(Duration::ZERO);
+        let r = forward_reach(&mut m, target, &opts).unwrap();
+        assert_eq!(r.verdict, ReachVerdict::Aborted);
+        assert_eq!(r.abort, Some(AbortReason::TimeLimit));
+    }
+
+    /// Frontier minimization must be invisible in the result: same rings,
+    /// same reached set, same verdict — only the image inputs change.
+    #[test]
+    fn frontier_simplification_preserves_rings_and_verdict() {
+        let (n, b) = counter3();
+        let mut m_on = model(&n);
+        let mut m_off = model(&n);
+        let c: Cube = [(b[0], true), (b[1], true), (b[2], true)]
+            .into_iter()
+            .collect();
+        let t_on = m_on.cube_to_bdd(&c).unwrap();
+        let t_off = m_off.cube_to_bdd(&c).unwrap();
+        let on = forward_reach(&mut m_on, t_on, &ReachOptions::default()).unwrap();
+        let off = forward_reach(
+            &mut m_off,
+            t_off,
+            &ReachOptions::default().with_frontier_simplify(false),
+        )
+        .unwrap();
+        assert_eq!(on.verdict, off.verdict);
+        assert_eq!(on.steps, off.steps);
+        assert_eq!(on.rings.len(), off.rings.len());
+        // Both models allocate variables identically, so ring sat counts are
+        // directly comparable across the two managers.
+        let nv = m_on.manager_ref().num_vars();
+        for (&ra, &rb) in on.rings.iter().zip(off.rings.iter()) {
+            assert_eq!(
+                m_on.manager().sat_count(ra, nv),
+                m_off.manager().sat_count(rb, nv)
+            );
+        }
+        assert!(
+            m_on.manager_ref().stats().restrict_misses > 0,
+            "restrict operator never ran"
+        );
     }
 
     /// With a threshold of one node the collector fires at every public

@@ -3,7 +3,7 @@
 use std::collections::HashSet;
 
 use proptest::prelude::*;
-use rfn_mc::{forward_reach, ModelSpec, ReachOptions, ReachVerdict, SymbolicModel};
+use rfn_mc::{forward_reach, ModelOptions, ModelSpec, ReachOptions, ReachVerdict, SymbolicModel};
 use rfn_netlist::{Abstraction, Cube, GateOp, Netlist, SignalId};
 use rfn_sim::Simulator;
 
@@ -171,5 +171,49 @@ proptest! {
         let tb = model.cube_to_bdd(&cube).unwrap();
         let result = forward_reach(&mut model, tb, &ReachOptions::default()).unwrap();
         prop_assert_eq!(result.verdict, ReachVerdict::TargetHit { step: expected_depth });
+    }
+
+    /// Clustered and linear relational products — with frontier minimization
+    /// on and off — must produce identical reached sets and verdicts on
+    /// random designs. Exercises the full cross-product of the new knobs.
+    #[test]
+    fn clustered_and_linear_reach_agree(n in arb_netlist(2, 4, 12)) {
+        let view = Abstraction::from_registers(n.registers().to_vec())
+            .view(&n, [])
+            .unwrap();
+        let spec = ModelSpec::from_view(&view);
+        let configs = [
+            (0usize, false),       // seed behavior: linear, no minimization
+            (0, true),             // linear + frontier minimization
+            (usize::MAX, false),   // one monolithic cluster
+            (2500, true),          // defaults
+        ];
+        let mut baseline: Option<(ReachVerdict, Vec<f64>)> = None;
+        for (limit, simplify) in configs {
+            let mut model = SymbolicModel::with_options(
+                &n,
+                spec.clone(),
+                rfn_bdd::BddManager::new(),
+                ModelOptions { cluster_limit: limit },
+            )
+            .unwrap();
+            let zero = model.manager_ref().zero();
+            let opts = ReachOptions::default()
+                .with_cluster_limit(limit)
+                .with_frontier_simplify(simplify);
+            let result = forward_reach(&mut model, zero, &opts).unwrap();
+            let nv = model.manager_ref().num_vars();
+            let mut counts = vec![model.manager().sat_count(result.reached, nv)];
+            for &ring in &result.rings {
+                counts.push(model.manager().sat_count(ring, nv));
+            }
+            match &baseline {
+                None => baseline = Some((result.verdict, counts)),
+                Some((v, c)) => {
+                    prop_assert_eq!(&result.verdict, v, "limit={} simplify={}", limit, simplify);
+                    prop_assert_eq!(&counts, c, "limit={} simplify={}", limit, simplify);
+                }
+            }
+        }
     }
 }

@@ -5,11 +5,16 @@
 //! rfn info <netlist>
 //! rfn verify <netlist> --watch <signal>[=0|1] [--watch ...] [--name <p>]
 //!            [--time-limit <s>] [--threads <n>] [--sim-batches <n>]
-//!            [--sim-seed <n>] [--trace-out <file>] [--breakdown] [-v]
+//!            [--sim-seed <n>] [--cluster-limit <nodes>]
+//!            [--no-frontier-simplify] [--trace-out <file>] [--breakdown] [-v]
 //! rfn coverage <netlist> --signals <a,b,c> [--bfs <k>] [--time-limit <s>]
-//!              [--sim-batches <n>] [--sim-seed <n>] [--trace-out <file>]
-//!              [--breakdown]
+//!              [--sim-batches <n>] [--sim-seed <n>] [--cluster-limit <nodes>]
+//!              [--no-frontier-simplify] [--trace-out <file>] [--breakdown]
 //! ```
+//!
+//! `--cluster-limit` bounds the node count of each clustered transition
+//! partition used by image computation (0 keeps one partition per register);
+//! `--no-frontier-simplify` disables don't-care frontier minimization.
 //!
 //! `--sim-batches` sets how many 64-pattern batches the random-simulation
 //! concretization engine tries before falling back to sequential ATPG (0
@@ -58,14 +63,18 @@ usage:
   rfn info <netlist>
   rfn verify <netlist> --watch <signal>[=0|1] [--watch ...] [--name <p>]
              [--time-limit <s>] [--threads <n>] [--sim-batches <n>]
-             [--sim-seed <n>] [--trace-out <file>] [--breakdown] [-v]
+             [--sim-seed <n>] [--cluster-limit <nodes>]
+             [--no-frontier-simplify] [--trace-out <file>] [--breakdown] [-v]
   rfn coverage <netlist> --signals <a,b,c> [--bfs <k>] [--time-limit <s>]
-               [--sim-batches <n>] [--sim-seed <n>] [--trace-out <file>]
-               [--breakdown]
+               [--sim-batches <n>] [--sim-seed <n>] [--cluster-limit <nodes>]
+               [--no-frontier-simplify] [--trace-out <file>] [--breakdown]
 
 `--watch` may repeat; the portfolio runs in parallel on --threads workers.
 `--sim-batches`/`--sim-seed` configure the random-simulation concretization
 engine (64 patterns per batch; 0 batches disables it).
+`--cluster-limit` bounds the clustered transition partitions of image
+computation (0 = one partition per register); `--no-frontier-simplify`
+turns off don't-care frontier minimization.
 `--trace-out` writes the structured event stream as JSONL; `--breakdown`
 prints a per-phase time table.
 exit codes: 0 all properties proved / analysis done, 1 some property
@@ -157,6 +166,19 @@ fn sim_flags(rest: &[&String]) -> Result<(Option<usize>, Option<u64>), String> {
         ),
     };
     Ok((batches, seed))
+}
+
+/// Parses `--cluster-limit` / `--no-frontier-simplify` into overrides.
+fn image_flags(rest: &[&String]) -> Result<(Option<usize>, bool), String> {
+    let cluster_limit = match flag_value(rest, "--cluster-limit") {
+        None => None,
+        Some(s) => Some(
+            s.parse::<usize>()
+                .map_err(|_| format!("bad --cluster-limit `{s}`"))?,
+        ),
+    };
+    let frontier_simplify = !rest.iter().any(|a| a.as_str() == "--no-frontier-simplify");
+    Ok((cluster_limit, frontier_simplify))
 }
 
 fn time_limit(rest: &[&String]) -> Result<Option<Duration>, String> {
@@ -253,12 +275,16 @@ fn verify(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
     // session runs the portfolio in parallel and reports in command-line
     // order, with the event streams merged deterministically.
     let (sim_batches, sim_seed) = sim_flags(rest)?;
-    let mut rfn_opts = RfnOptions::default();
+    let (cluster_limit, frontier_simplify) = image_flags(rest)?;
+    let mut rfn_opts = RfnOptions::default().with_frontier_simplify(frontier_simplify);
     if let Some(batches) = sim_batches {
         rfn_opts = rfn_opts.with_sim_batches(batches);
     }
     if let Some(seed) = sim_seed {
         rfn_opts = rfn_opts.with_sim_seed(seed);
+    }
+    if let Some(limit) = cluster_limit {
+        rfn_opts = rfn_opts.with_cluster_limit(limit);
     }
     let mut session = VerifySession::new(n)
         .rfn_options(rfn_opts)
@@ -315,12 +341,16 @@ fn coverage(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
     let set = CoverageSet::new("cli", sigs?);
     let obs = observers(rest)?;
     let (sim_batches, sim_seed) = sim_flags(rest)?;
-    let mut cov_opts = CoverageOptions::default();
+    let (cluster_limit, frontier_simplify) = image_flags(rest)?;
+    let mut cov_opts = CoverageOptions::default().with_frontier_simplify(frontier_simplify);
     if let Some(batches) = sim_batches {
         cov_opts.concretize_sim.batches = batches;
     }
     if let Some(seed) = sim_seed {
         cov_opts.concretize_sim.seed = seed;
+    }
+    if let Some(limit) = cluster_limit {
+        cov_opts = cov_opts.with_cluster_limit(limit);
     }
     let mut session = VerifySession::new(n)
         .coverage_options(cov_opts)
@@ -345,8 +375,11 @@ fn coverage(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
     );
     if let Some(k) = flag_value(rest, "--bfs") {
         let k: usize = k.parse().map_err(|_| format!("bad --bfs `{k}`"))?;
-        let bfs = bfs_coverage(n, &set, k, 4_000_000, &ReachOptions::default())
-            .map_err(|e| e.to_string())?;
+        let mut bfs_reach = ReachOptions::default().with_frontier_simplify(frontier_simplify);
+        if let Some(limit) = cluster_limit {
+            bfs_reach = bfs_reach.with_cluster_limit(limit);
+        }
+        let bfs = bfs_coverage(n, &set, k, 4_000_000, &bfs_reach).map_err(|e| e.to_string())?;
         println!(
             "BFS({k}):  {} unreachable | abstraction {} regs | {:.2?}",
             bfs.unreachable, bfs.abstract_registers, bfs.elapsed
