@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
+use rfn_govern::{Budget, GovPhase};
 use rfn_netlist::{AbstractView, Cube, NetKind, Netlist, NetlistError, SignalId, Trace, TraceStep};
 use rfn_sim::Tv;
 use rfn_trace::TraceCtx;
@@ -11,14 +12,30 @@ use crate::scoap::Scoap;
 use crate::scope::{Role, Scope};
 
 /// Resource limits and search configuration for the ATPG engines.
+///
+/// The legacy `time_limit` knob is a view over the shared [`Budget`]: set
+/// it with [`AtpgOptions::with_time_limit`] (or install a whole budget with
+/// [`AtpgOptions::with_budget`]) and read it back through
+/// [`AtpgOptions::time_limit`]. Besides the deadline, the budget supplies
+/// cooperative cancellation (polled at every backtrack point and decision
+/// batch) and an optional cross-call backtrack allowance drained by every
+/// `justify` run sharing the budget.
 #[derive(Clone, Debug)]
 pub struct AtpgOptions {
-    /// Maximum number of backtracks before aborting.
+    /// Maximum number of backtracks before aborting (per `justify` call; the
+    /// budget's backtrack allowance additionally bounds the total across
+    /// calls).
     pub max_backtracks: u64,
     /// Maximum number of decisions before aborting.
     pub max_decisions: u64,
-    /// Wall-clock budget for one `justify` call.
-    pub time_limit: Option<Duration>,
+    /// Shared resource budget: wall-clock deadline (with the quota of
+    /// [`AtpgOptions::phase`]), cancellation and backtrack allowance.
+    pub budget: Budget,
+    /// Governance phase this engine invocation is charged to; selects which
+    /// soft quota of the budget applies. Defaults to
+    /// [`GovPhase::Concretize`] (sequential concretization); the hybrid
+    /// engine's combinational calls use [`GovPhase::Hybrid`].
+    pub phase: GovPhase,
     /// If `true`, initial register values are decision variables instead of
     /// being anchored to the reset state (used by combinational justification
     /// on abstract models).
@@ -41,11 +58,77 @@ impl Default for AtpgOptions {
         AtpgOptions {
             max_backtracks: 50_000,
             max_decisions: 2_000_000,
-            time_limit: None,
+            budget: Budget::unlimited(),
+            phase: GovPhase::Concretize,
             free_initial_state: false,
             frame_priority: Vec::new(),
             trace: TraceCtx::disabled(),
         }
+    }
+}
+
+impl AtpgOptions {
+    /// Sets the per-call backtrack cap.
+    #[must_use]
+    pub fn with_max_backtracks(mut self, backtracks: u64) -> Self {
+        self.max_backtracks = backtracks;
+        self
+    }
+
+    /// Sets the per-call decision cap.
+    #[must_use]
+    pub fn with_max_decisions(mut self, decisions: u64) -> Self {
+        self.max_decisions = decisions;
+        self
+    }
+
+    /// Sets the wall-clock limit (a view over [`AtpgOptions::budget`]; the
+    /// deadline is re-anchored at this call).
+    #[must_use]
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.budget = self.budget.restarted().with_wall_clock(limit);
+        self
+    }
+
+    /// Installs a shared resource budget (replacing any previous one).
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the governance phase this invocation is charged to.
+    #[must_use]
+    pub fn with_phase(mut self, phase: GovPhase) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Frees or anchors initial register values.
+    #[must_use]
+    pub fn with_free_initial_state(mut self, free: bool) -> Self {
+        self.free_initial_state = free;
+        self
+    }
+
+    /// Sets the per-time-frame objective priorities.
+    #[must_use]
+    pub fn with_frame_priority(mut self, priority: Vec<u64>) -> Self {
+        self.frame_priority = priority;
+        self
+    }
+
+    /// Attaches a structured-event context.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceCtx) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The wall-clock limit of the governing budget, if any (the legacy
+    /// `time_limit` field as a view).
+    pub fn time_limit(&self) -> Option<Duration> {
+        self.budget.wall_clock()
     }
 }
 
@@ -146,16 +229,25 @@ impl<'n> AtpgEngine<'n> {
                 AtpgOutcome::Unsatisfiable => "unsat",
                 AtpgOutcome::Aborted => "aborted",
             };
-            self.options.trace.point(
-                "atpg.justify",
-                vec![
-                    ("frames".to_owned(), frames.into()),
-                    ("outcome".to_owned(), label.into()),
-                    ("decisions".to_owned(), stats.decisions.into()),
-                    ("backtracks".to_owned(), stats.backtracks.into()),
-                    ("implications".to_owned(), stats.implications.into()),
-                ],
-            );
+            let mut fields = vec![
+                ("frames".to_owned(), frames.into()),
+                ("outcome".to_owned(), label.into()),
+                ("decisions".to_owned(), stats.decisions.into()),
+                ("backtracks".to_owned(), stats.backtracks.into()),
+                ("implications".to_owned(), stats.implications.into()),
+            ];
+            // `budget.*` governance fields: only emitted when the relevant
+            // dimension is bounded, so unbudgeted traces stay deterministic.
+            if let Some(remaining) = self.options.budget.remaining() {
+                fields.push((
+                    "budget.remaining_ms".to_owned(),
+                    (remaining.as_millis() as u64).into(),
+                ));
+            }
+            if let Some(left) = self.options.budget.backtracks_remaining() {
+                fields.push(("budget.backtracks_remaining".to_owned(), left.into()));
+            }
+            self.options.trace.point("atpg.justify", fields);
         }
         (outcome, stats)
     }
@@ -316,6 +408,9 @@ struct Search<'a, 'n> {
     satisfied: usize,
     stats: AtpgStats,
     deadline: Option<Instant>,
+    /// Set when the shared budget is exhausted (cancellation or a drained
+    /// backtrack allowance); the main loop reports `Aborted`.
+    exhausted: bool,
 }
 
 impl<'a, 'n> Search<'a, 'n> {
@@ -333,7 +428,8 @@ impl<'a, 'n> Search<'a, 'n> {
             objective_list: Vec::new(),
             satisfied: 0,
             stats: AtpgStats::default(),
-            deadline: eng.options.time_limit.map(|d| Instant::now() + d),
+            deadline: eng.options.budget.deadline_for(eng.options.phase),
+            exhausted: false,
         }
     }
 
@@ -497,9 +593,13 @@ impl<'a, 'n> Search<'a, 'n> {
             if self.satisfied == self.objective_list.len() {
                 return AtpgOutcome::Satisfiable(self.extract_witness());
             }
-            if self.stats.decisions >= self.eng.options.max_decisions
+            if self.exhausted
+                || self.stats.decisions >= self.eng.options.max_decisions
                 || self.stats.backtracks >= self.eng.options.max_backtracks
             {
+                return AtpgOutcome::Aborted;
+            }
+            if self.eng.options.budget.is_cancelled() {
                 return AtpgOutcome::Aborted;
             }
             if let Some(deadline) = self.deadline {
@@ -557,6 +657,15 @@ impl<'a, 'n> Search<'a, 'n> {
             self.stats.backtracks += 1;
             if self.stats.backtracks >= self.eng.options.max_backtracks {
                 // Let the main loop report Aborted.
+                return true;
+            }
+            // Backtrack points are the search's natural governance
+            // checkpoints: poll cancellation and draw from the budget's
+            // shared backtrack allowance.
+            if self.eng.options.budget.is_cancelled()
+                || self.eng.options.budget.charge_backtracks(1).is_err()
+            {
+                self.exhausted = true;
                 return true;
             }
             let Some(d) = self.decisions.last_mut() else {
@@ -943,10 +1052,7 @@ mod limit_tests {
     #[test]
     fn time_limit_aborts_search() {
         let (n, all) = hard_unsat();
-        let opts = AtpgOptions {
-            time_limit: Some(std::time::Duration::ZERO),
-            ..AtpgOptions::default()
-        };
+        let opts = AtpgOptions::default().with_time_limit(std::time::Duration::ZERO);
         let atpg = CombinationalAtpg::new(&n, opts).unwrap();
         let out = atpg.justify_cube(&[(all, true)].into_iter().collect());
         assert!(matches!(out, AtpgOutcome::Aborted));

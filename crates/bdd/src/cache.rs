@@ -74,6 +74,11 @@ impl Cache3 {
         self.inserts = 0;
     }
 
+    /// Current allocated slot count (for memory accounting).
+    pub(crate) fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
     #[inline]
     pub(crate) fn get(&self, a: u32, b: u32, c: u32) -> Option<u32> {
         if self.slots.is_empty() {
@@ -167,6 +172,11 @@ impl Cache2 {
         self.max_slots = max_slots;
         self.slots = Vec::new();
         self.inserts = 0;
+    }
+
+    /// Current allocated slot count (for memory accounting).
+    pub(crate) fn slot_count(&self) -> usize {
+        self.slots.len()
     }
 
     #[inline]

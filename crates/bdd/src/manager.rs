@@ -23,6 +23,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use rfn_govern::{Budget, Exhaustion};
+
 use crate::cache::{Cache2, Cache3};
 use crate::stats::BddStats;
 use crate::unique::{Probe, UniqueTable};
@@ -85,17 +87,29 @@ impl fmt::Debug for Bdd {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum BddError {
-    /// The manager's live-node limit was exceeded.
+    /// The manager's live-node limit (or a governing budget's node ceiling)
+    /// was exceeded.
     ///
     /// This is how the plain symbolic model checker "fails" on designs beyond
     /// its capacity, mirroring the memory limits of the paper's experiments.
     NodeLimit,
+    /// The governing budget's [`CancelToken`](rfn_govern::CancelToken) was
+    /// triggered; the in-flight operation unwound cooperatively.
+    Cancelled,
+    /// The governing budget's wall-clock deadline passed mid-operation.
+    TimeLimit,
+    /// The governing budget's memory ceiling was exceeded by the manager's
+    /// approximate footprint (see [`BddManager::approx_bytes`]).
+    MemoryLimit,
 }
 
 impl fmt::Display for BddError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BddError::NodeLimit => f.write_str("BDD node limit exceeded"),
+            BddError::Cancelled => f.write_str("BDD operation cancelled"),
+            BddError::TimeLimit => f.write_str("BDD time budget exceeded"),
+            BddError::MemoryLimit => f.write_str("BDD memory budget exceeded"),
         }
     }
 }
@@ -126,6 +140,12 @@ const CARE_OP_CONSTRAIN: u32 = 0;
 
 /// Care-cache operator tag of [`BddManager::gc_restrict`].
 const CARE_OP_RESTRICT: u32 = 1;
+
+/// Allocations between two deadline/memory polls of the governing budget
+/// (cancellation is polled on every allocation; it is one relaxed atomic
+/// load). 64 allocations take microseconds, so a deadline overshoot is
+/// bounded far below the 500 ms the RFN acceptance contract allows.
+const BUDGET_POLL_INTERVAL: u32 = 64;
 
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct Node {
@@ -168,6 +188,11 @@ pub struct BddManager {
     /// fresh allocation on every traversal).
     scratch_cache: HashMap<u32, u32>,
     node_limit: usize,
+    /// Governing budget: ceilings, deadline and cancellation polled on the
+    /// allocation path (see [`BddManager::set_budget`]).
+    budget: Option<Budget>,
+    /// Allocations since the last deadline/memory poll.
+    budget_poll: u32,
     pub(crate) reorder_in_progress: bool,
     /// Protected root set: node index → protection count.
     protected: HashMap<u32, u32>,
@@ -231,6 +256,8 @@ impl BddManager {
             care_cache: Cache3::new(DEFAULT_CACHE_SLOTS),
             scratch_cache: HashMap::new(),
             node_limit: usize::MAX,
+            budget: None,
+            budget_poll: 0,
             reorder_in_progress: false,
             protected: HashMap::new(),
             auto_gc_enabled: false,
@@ -245,6 +272,51 @@ impl BddManager {
     /// limit fail with [`BddError::NodeLimit`].
     pub fn set_node_limit(&mut self, limit: usize) {
         self.node_limit = limit;
+    }
+
+    /// Installs a governing [`Budget`]. The allocation path then polls the
+    /// budget's cancellation token on every unique-table insert and its
+    /// wall-clock deadline and memory ceiling every few dozen inserts;
+    /// the budget's node ceiling tightens the live-node limit. Exhaustion
+    /// surfaces as [`BddError::Cancelled`], [`BddError::TimeLimit`],
+    /// [`BddError::MemoryLimit`] or [`BddError::NodeLimit`] from whatever
+    /// operation was in flight, leaving the manager fully consistent (the
+    /// partially built operation result is simply unreferenced garbage).
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = Some(budget);
+    }
+
+    /// Removes the governing budget installed by [`BddManager::set_budget`].
+    pub fn clear_budget(&mut self) {
+        self.budget = None;
+    }
+
+    /// The governing budget, if one is installed.
+    pub fn budget(&self) -> Option<&Budget> {
+        self.budget.as_ref()
+    }
+
+    /// Approximate resident bytes of the node store, unique table and
+    /// operation caches. This is the footprint checked against a governing
+    /// budget's memory ceiling; it is exact for the dominant arrays and
+    /// ignores small fixed overheads.
+    pub fn approx_bytes(&self) -> usize {
+        // Node store: 12-byte nodes plus two 4-byte intrusive links each.
+        let nodes = self.nodes.capacity() * (std::mem::size_of::<Node>() + 8);
+        // Unique table: one u32 slot per entry (open addressing).
+        let unique = self.unique.slot_count() * 4;
+        // Operation caches: 16-byte 3-key entries, 12-byte 2-key entries.
+        let caches = (self.ite_cache.slot_count()
+            + self.and_exists_cache.slot_count()
+            + self.care_cache.slot_count())
+            * 16
+            + self.exists_cache.slot_count() * 12;
+        nodes + unique + caches
+    }
+
+    /// Number of distinct protected roots (see [`BddManager::protect`]).
+    pub fn num_protected(&self) -> usize {
+        self.protected.len()
     }
 
     /// Sets the maximum slot count of each operation cache (ITE, exists,
@@ -404,8 +476,29 @@ impl BddManager {
                 Probe::Found(n) => return Ok(n),
                 Probe::Vacant(slot) => slot,
             };
-        if !self.reorder_in_progress && self.num_nodes() >= self.node_limit {
-            return Err(BddError::NodeLimit);
+        if !self.reorder_in_progress {
+            let limit = match &self.budget {
+                Some(b) => self.node_limit.min(b.node_ceiling()),
+                None => self.node_limit,
+            };
+            if self.num_nodes() >= limit {
+                return Err(BddError::NodeLimit);
+            }
+            if let Some(b) = &self.budget {
+                if b.is_cancelled() {
+                    return Err(BddError::Cancelled);
+                }
+                self.budget_poll = self.budget_poll.wrapping_add(1);
+                if self.budget_poll.is_multiple_of(BUDGET_POLL_INTERVAL) {
+                    if let Err(e) = b.check().and_then(|()| b.check_memory(self.approx_bytes())) {
+                        return Err(match e {
+                            Exhaustion::Cancelled => BddError::Cancelled,
+                            Exhaustion::MemoryLimit => BddError::MemoryLimit,
+                            _ => BddError::TimeLimit,
+                        });
+                    }
+                }
+            }
         }
         let idx = if let Some(idx) = self.free.pop() {
             self.nodes[idx as usize] = Node { var, lo, hi };
@@ -594,12 +687,18 @@ impl BddManager {
         let mut vs: Vec<VarId> = vars.into_iter().collect();
         // Build bottom-up (deepest level first) so each mk is O(1).
         vs.sort_by_key(|v| std::cmp::Reverse(self.var2level[v.index()]));
+        // Cube construction allocates at most one node per variable — too
+        // small to be a useful cancellation point, and callers treat it as
+        // infallible. Suspend budget governance for its duration; the next
+        // governed operation still aborts promptly.
+        let budget = self.budget.take();
         let mut acc = TRUE;
         for v in vs {
             acc = self
                 .mk(v.0, FALSE, acc)
                 .expect("cube construction allocates at most one node per var");
         }
+        self.budget = budget;
         Bdd(acc)
     }
 
@@ -607,6 +706,8 @@ impl BddManager {
     pub fn cube(&mut self, lits: impl IntoIterator<Item = (VarId, bool)>) -> Bdd {
         let mut ls: Vec<(VarId, bool)> = lits.into_iter().collect();
         ls.sort_by_key(|(v, _)| std::cmp::Reverse(self.var2level[v.index()]));
+        // See `var_cube`: one node per literal, exempt from the budget.
+        let budget = self.budget.take();
         let mut acc = TRUE;
         for (v, pos) in ls {
             acc = if pos {
@@ -616,6 +717,7 @@ impl BddManager {
             }
             .expect("cube construction allocates at most one node per literal");
         }
+        self.budget = budget;
         Bdd(acc)
     }
 
@@ -1350,6 +1452,7 @@ mod tests {
                     failed = true;
                     break;
                 }
+                Err(e) => panic!("expected NodeLimit, got {e}"),
             }
         }
         assert!(failed);

@@ -116,9 +116,20 @@ impl BddManager {
         let was = self.reorder_in_progress;
         self.reorder_in_progress = true;
         for gid in self.sift_candidates() {
+            if self.reorder_budget_expired() {
+                break;
+            }
             self.sift_group(gid, max_growth);
         }
         self.reorder_in_progress = was;
+    }
+
+    /// Whether the governing budget ran out. Sifting stops improving the
+    /// order at the next consistent point (a parked group) — the order is
+    /// valid at every such point, so giving up early costs quality, not
+    /// correctness — and the next governed operation reports the exhaustion.
+    fn reorder_budget_expired(&self) -> bool {
+        self.budget().is_some_and(|b| b.check().is_err())
     }
 
     /// Like [`BddManager::sift`], but garbage-collects with the given roots
@@ -128,6 +139,9 @@ impl BddManager {
         let was = self.reorder_in_progress;
         self.reorder_in_progress = true;
         for gid in self.sift_candidates() {
+            if self.reorder_budget_expired() {
+                break;
+            }
             // Collect garbage before each group so the size metric stays
             // exact; candidates are capped, so this stays affordable.
             self.gc(roots);
@@ -187,9 +201,16 @@ impl BddManager {
 
         // Explore the shorter side first (plain Rudell heuristic).
         let down_first = start_pos >= nblocks / 2;
-        for phase in 0..2 {
+        'explore: for phase in 0..2 {
             let go_down = down_first == (phase == 0);
             loop {
+                // Block swaps are the unit of work here; polling the budget
+                // per swap keeps even a single huge group's sift from
+                // overshooting a deadline. Parking below still runs, so the
+                // group always lands on the best position seen so far.
+                if self.reorder_budget_expired() {
+                    break 'explore;
+                }
                 if go_down {
                     if pos + 1 >= nblocks {
                         break;

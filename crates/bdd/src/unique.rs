@@ -58,6 +58,12 @@ impl UniqueTable {
         self.len
     }
 
+    /// Current allocated slot count (for memory accounting).
+    #[inline]
+    pub(crate) fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
     #[inline]
     fn index(&self, var: u32, lo: u32, hi: u32) -> usize {
         (hash(var, lo, hi) >> (64 - self.slots.len().trailing_zeros())) as usize

@@ -124,12 +124,11 @@ fn run_case(design: &Design, property: &Property, scale: Scale, ctx: TraceCtx) -
     };
 
     // Plain symbolic model checking baseline on the same property.
-    let plain_opts = PlainOptions {
-        node_limit: plain_node_limit(scale),
-        time_limit: Some(plain_time_limit(scale)),
-        trace: ctx,
-        reach: reach_for_plain,
-    };
+    let plain_opts = PlainOptions::default()
+        .with_node_limit(plain_node_limit(scale))
+        .with_time_limit(plain_time_limit(scale))
+        .with_trace(ctx)
+        .with_reach(reach_for_plain);
     let plain = verify_plain(&design.netlist, property, &plain_opts).expect("plain mc runs");
     let plain_cell = match plain.verdict {
         PlainVerdict::Proved => format!("T in {}s", secs(plain.elapsed)),

@@ -19,7 +19,6 @@ use std::time::Instant;
 use rfn_bdd::BddStats;
 use rfn_bench::{row, rule, secs, threads_from_args, BenchTrace, Scale};
 use rfn_core::prelude::*;
-use rfn_mc::ReachOptions;
 
 /// The paper fixed the BFS abstraction at 60 registers.
 const BFS_K: usize = 60;
@@ -117,10 +116,7 @@ fn run_case(netlist: &Netlist, set: &CoverageSet, scale: Scale, ctx: TraceCtx) -
         options = options.with_cluster_limit(limit);
     }
     let rfn = analyze_coverage(netlist, set, &options).expect("coverage analysis runs");
-    let bfs_reach = ReachOptions {
-        time_limit: Some(scale.time_limit()),
-        ..options.reach.clone()
-    };
+    let bfs_reach = options.reach.clone().with_time_limit(scale.time_limit());
     let bfs = bfs_coverage(netlist, set, BFS_K, 4_000_000, &bfs_reach).expect("bfs baseline runs");
     CaseResult {
         name: set.name.clone(),

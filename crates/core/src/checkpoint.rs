@@ -1,0 +1,536 @@
+//! Checkpoint/resume support for the refinement loop.
+//!
+//! After every refinement iteration the loop can serialize its state — the
+//! abstract register set, the saved BDD variable order, iteration counters,
+//! the random-simulation seed and the remaining budget — to a small
+//! versioned JSON snapshot. A later run started with
+//! [`RfnOptions::with_resume`](crate::RfnOptions::with_resume) picks the
+//! snapshot up and continues from the last completed iteration, reproducing
+//! the verdict the uninterrupted run would have reached.
+//!
+//! The format is deliberately tiny and hand-rolled (the workspace has no
+//! serialization dependency): one flat JSON object whose `schema` field
+//! gates forward compatibility. Writes are atomic (temp file + rename) so a
+//! run killed mid-write never leaves a truncated snapshot behind.
+#![deny(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The snapshot schema version written by this build.
+pub const CHECKPOINT_SCHEMA: u32 = 1;
+
+/// Serialized state of the refinement loop after a completed iteration.
+///
+/// Signals are stored by *name*, not index, so a snapshot survives
+/// re-parsing the netlist (signal ids are assigned in file order and names
+/// are validated unique).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoopCheckpoint {
+    /// Snapshot schema version ([`CHECKPOINT_SCHEMA`]).
+    pub schema: u32,
+    /// Name of the design the snapshot belongs to.
+    pub design: String,
+    /// Name of the property being verified.
+    pub property_name: String,
+    /// Name of the property's target signal.
+    pub property_signal: String,
+    /// The property's target value.
+    pub property_value: bool,
+    /// The iteration the resumed loop starts at (one past the last
+    /// completed refinement).
+    pub next_iteration: usize,
+    /// Names of the registers in the abstract model.
+    pub registers: Vec<String>,
+    /// The saved BDD variable order: `(signal name, kind)` where kind is
+    /// one of `"current"`, `"next"`, `"input"`.
+    pub saved_order: Vec<(String, String)>,
+    /// Registers added per completed refinement round.
+    pub refinement_sizes: Vec<usize>,
+    /// Wall-clock milliseconds the interrupted run had spent.
+    pub elapsed_ms: u64,
+    /// Milliseconds the interrupted run's budget had left, if bounded.
+    pub budget_remaining_ms: Option<u64>,
+    /// Seed of the random-simulation concretization engine.
+    pub sim_seed: u64,
+}
+
+impl LoopCheckpoint {
+    /// The snapshot path for one property inside a checkpoint directory
+    /// (`<dir>/<property>.ckpt.json`, with path separators sanitized out of
+    /// the property name).
+    pub fn path_for(dir: &Path, property_name: &str) -> PathBuf {
+        let safe: String = property_name
+            .chars()
+            .map(|c| if c == '/' || c == '\\' { '_' } else { c })
+            .collect();
+        dir.join(format!("{safe}.ckpt.json"))
+    }
+
+    /// Serializes the snapshot as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        let _ = write!(s, "\"schema\":{}", self.schema);
+        let _ = write!(s, ",\"design\":{}", json_string(&self.design));
+        let _ = write!(s, ",\"property_name\":{}", json_string(&self.property_name));
+        let _ = write!(
+            s,
+            ",\"property_signal\":{}",
+            json_string(&self.property_signal)
+        );
+        let _ = write!(s, ",\"property_value\":{}", self.property_value);
+        let _ = write!(s, ",\"next_iteration\":{}", self.next_iteration);
+        s.push_str(",\"registers\":[");
+        for (i, r) in self.registers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&json_string(r));
+        }
+        s.push(']');
+        s.push_str(",\"saved_order\":[");
+        for (i, (name, kind)) in self.saved_order.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{},{}]", json_string(name), json_string(kind));
+        }
+        s.push(']');
+        s.push_str(",\"refinement_sizes\":[");
+        for (i, n) in self.refinement_sizes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{n}");
+        }
+        s.push(']');
+        let _ = write!(s, ",\"elapsed_ms\":{}", self.elapsed_ms);
+        match self.budget_remaining_ms {
+            Some(ms) => {
+                let _ = write!(s, ",\"budget_remaining_ms\":{ms}");
+            }
+            None => s.push_str(",\"budget_remaining_ms\":null"),
+        }
+        let _ = write!(s, ",\"sim_seed\":{}", self.sim_seed);
+        s.push('}');
+        s
+    }
+
+    /// Parses a snapshot from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed or missing field, or an
+    /// unsupported schema version.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = parse_json(text)?;
+        let obj = value.as_object().ok_or("checkpoint is not a JSON object")?;
+        let schema = get_u64(obj, "schema")? as u32;
+        if schema != CHECKPOINT_SCHEMA {
+            return Err(format!(
+                "unsupported checkpoint schema {schema} (this build reads {CHECKPOINT_SCHEMA})"
+            ));
+        }
+        let saved_order = get(obj, "saved_order")?
+            .as_array()
+            .ok_or("`saved_order` is not an array")?
+            .iter()
+            .map(|pair| {
+                let pair = pair
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or("`saved_order` entry is not a 2-element array")?;
+                let name = pair[0]
+                    .as_str()
+                    .ok_or("`saved_order` signal name is not a string")?;
+                let kind = pair[1]
+                    .as_str()
+                    .ok_or("`saved_order` kind is not a string")?;
+                Ok((name.to_owned(), kind.to_owned()))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(LoopCheckpoint {
+            schema,
+            design: get_string(obj, "design")?,
+            property_name: get_string(obj, "property_name")?,
+            property_signal: get_string(obj, "property_signal")?,
+            property_value: get(obj, "property_value")?
+                .as_bool()
+                .ok_or("`property_value` is not a boolean")?,
+            next_iteration: get_u64(obj, "next_iteration")? as usize,
+            registers: get_string_array(obj, "registers")?,
+            saved_order,
+            refinement_sizes: get(obj, "refinement_sizes")?
+                .as_array()
+                .ok_or("`refinement_sizes` is not an array")?
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .map(|n| n as usize)
+                        .ok_or_else(|| "`refinement_sizes` entry is not a number".to_owned())
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            elapsed_ms: get_u64(obj, "elapsed_ms")?,
+            budget_remaining_ms: match get(obj, "budget_remaining_ms")? {
+                Json::Null => None,
+                v => Some(
+                    v.as_u64()
+                        .ok_or("`budget_remaining_ms` is not a number or null")?,
+                ),
+            },
+            sim_seed: get_u64(obj, "sim_seed")?,
+        })
+    }
+
+    /// Writes the snapshot atomically: the JSON goes to a `.tmp` sibling
+    /// first and is renamed into place, so readers never observe a torn
+    /// file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (the checkpoint directory must exist or
+    /// be creatable).
+    pub fn write_atomic(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Reads and parses a snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for I/O failures and malformed snapshots alike.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Self::from_json(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// --- A minimal JSON reader, just enough for the flat snapshot format. ---
+
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn get_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+    get(obj, key)?
+        .as_u64()
+        .ok_or_else(|| format!("`{key}` is not a non-negative integer"))
+}
+
+fn get_string(obj: &[(String, Json)], key: &str) -> Result<String, String> {
+    Ok(get(obj, key)?
+        .as_str()
+        .ok_or_else(|| format!("`{key}` is not a string"))?
+        .to_owned())
+}
+
+fn get_string_array(obj: &[(String, Json)], key: &str) -> Result<Vec<String>, String> {
+    get(obj, key)?
+        .as_array()
+        .ok_or_else(|| format!("`{key}` is not an array"))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("`{key}` entry is not a string"))
+        })
+        .collect()
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number `{text}` at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_owned()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_owned())?;
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input came from &str, so
+                // boundaries are valid).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && bytes[*pos] & 0xC0 == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LoopCheckpoint {
+        LoopCheckpoint {
+            schema: CHECKPOINT_SCHEMA,
+            design: "proc \"v2\"".to_owned(),
+            property_name: "mutex".to_owned(),
+            property_signal: "err_flag".to_owned(),
+            property_value: true,
+            next_iteration: 3,
+            registers: vec!["r0".to_owned(), "r\\1".to_owned()],
+            saved_order: vec![
+                ("r0".to_owned(), "current".to_owned()),
+                ("r0".to_owned(), "next".to_owned()),
+                ("in".to_owned(), "input".to_owned()),
+            ],
+            refinement_sizes: vec![2, 5],
+            elapsed_ms: 1234,
+            budget_remaining_ms: Some(766),
+            sim_seed: 42,
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let ckpt = sample();
+        let json = ckpt.to_json();
+        assert_eq!(LoopCheckpoint::from_json(&json).unwrap(), ckpt);
+        let mut unbounded = ckpt;
+        unbounded.budget_remaining_ms = None;
+        assert_eq!(
+            LoopCheckpoint::from_json(&unbounded.to_json()).unwrap(),
+            unbounded
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let json = sample().to_json().replace("\"schema\":1", "\"schema\":99");
+        let err = LoopCheckpoint::from_json(&json).unwrap_err();
+        assert!(err.contains("schema 99"), "got: {err}");
+    }
+
+    #[test]
+    fn rejects_missing_fields_and_garbage() {
+        assert!(LoopCheckpoint::from_json("{}")
+            .unwrap_err()
+            .contains("schema"));
+        assert!(LoopCheckpoint::from_json("not json").is_err());
+        assert!(LoopCheckpoint::from_json("{\"schema\":1}  x").is_err());
+    }
+
+    #[test]
+    fn atomic_write_then_load() {
+        let dir = std::env::temp_dir().join("rfn-ckpt-test");
+        let path = LoopCheckpoint::path_for(&dir, "a/b");
+        assert!(path.ends_with("a_b.ckpt.json"));
+        let ckpt = sample();
+        ckpt.write_atomic(&path).unwrap();
+        assert_eq!(LoopCheckpoint::load(&path).unwrap(), ckpt);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -18,6 +18,7 @@ use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use rfn_atpg::AtpgOptions;
+use rfn_govern::{Budget, GovPhase};
 use rfn_mc::{forward_reach, ModelSpec, ReachOptions, ReachResult, ReachVerdict, SymbolicModel};
 use rfn_netlist::{transitive_fanin, Abstraction, Coi, CoverageSet, Cube, Netlist, SignalId};
 use rfn_sim::{RandomSimOptions, Simulator};
@@ -31,8 +32,10 @@ use crate::{
 /// Configuration for [`analyze_coverage`].
 #[derive(Clone, Debug)]
 pub struct CoverageOptions {
-    /// Wall-clock budget (the paper used 1,800 s per RFN experiment).
-    pub time_limit: Option<Duration>,
+    /// Shared resource budget for the whole analysis: wall clock, phase
+    /// quotas, ceilings and the cooperative cancellation token (the paper
+    /// used 1,800 s per RFN experiment).
+    pub budget: Budget,
     /// Maximum refinement iterations.
     pub max_iterations: usize,
     /// BDD node limit per iteration.
@@ -58,7 +61,7 @@ pub struct CoverageOptions {
 impl Default for CoverageOptions {
     fn default() -> Self {
         CoverageOptions {
-            time_limit: None,
+            budget: Budget::unlimited(),
             max_iterations: 32,
             mc_node_limit: 4_000_000,
             reach: ReachOptions::default(),
@@ -75,11 +78,25 @@ impl Default for CoverageOptions {
 }
 
 impl CoverageOptions {
-    /// Sets the wall-clock budget for the analysis.
+    /// Sets the wall-clock budget for the analysis. The clock starts now:
+    /// this is shorthand for re-anchoring [`CoverageOptions::budget`] with a
+    /// wall-clock limit.
     #[must_use]
     pub fn with_time_limit(mut self, limit: Duration) -> Self {
-        self.time_limit = Some(limit);
+        self.budget = self.budget.restarted().with_wall_clock(limit);
         self
+    }
+
+    /// Replaces the analysis' shared resource budget wholesale.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The wall-clock limit of the analysis' budget, if bounded.
+    pub fn time_limit(&self) -> Option<Duration> {
+        self.budget.wall_clock()
     }
 
     /// Sets the maximum number of refinement iterations.
@@ -196,7 +213,7 @@ fn analyze_coverage_inner(
     ctx: &TraceCtx,
 ) -> Result<CoverageReport, RfnError> {
     let start = Instant::now();
-    let deadline = options.time_limit.map(|d| start + d);
+    let budget = &options.budget;
     validate_coverage_set(netlist, set)?;
     let coi = Coi::of(netlist, set.signals.iter().copied());
     let n_sig = set.signals.len();
@@ -221,12 +238,13 @@ fn analyze_coverage_inner(
                 ("abstract_registers".to_owned(), abstraction.len().into()),
             ],
         );
-        if deadline.is_some_and(|d| Instant::now() > d) {
+        if budget.check().is_err() {
             break;
         }
         let view = abstraction.view(netlist, set.signals.iter().copied())?;
         let mut mgr = rfn_bdd::BddManager::new();
         mgr.set_node_limit(options.mc_node_limit);
+        mgr.set_budget(budget.clone());
         let model_opts = rfn_mc::ModelOptions {
             cluster_limit: options.reach.cluster_limit,
         };
@@ -243,9 +261,7 @@ fn analyze_coverage_inner(
         // Full fixpoint (no early target stop: the projection needs it all).
         let mut reach_opts = options.reach.clone();
         reach_opts.trace = ctx.clone();
-        if let Some(d) = deadline {
-            reach_opts.time_limit = Some(d.saturating_duration_since(Instant::now()));
-        }
+        reach_opts.budget = budget.clone();
         let zero = model.manager_ref().zero();
         let reach = forward_reach(&mut model, zero, &reach_opts)?;
         bdd_stats.merge(&reach.stats);
@@ -291,7 +307,7 @@ fn analyze_coverage_inner(
             if classes[bits as usize] != Class::Unknown {
                 continue; // an earlier replay covered it
             }
-            if deadline.is_some_and(|d| Instant::now() > d) {
+            if budget.check().is_err() {
                 break 'outer;
             }
             let target_cube: Cube = set
@@ -330,6 +346,8 @@ fn analyze_coverage_inner(
             };
             let mut hybrid_atpg = options.hybrid_atpg.clone();
             hybrid_atpg.trace = ctx.clone();
+            hybrid_atpg.budget = budget.clone();
+            hybrid_atpg.phase = GovPhase::Hybrid;
             let abstract_trace = {
                 let _hspan = ctx.span("hybrid");
                 match hybrid_trace(netlist, &view, &mut model, &synth, target_bdd, &hybrid_atpg)? {
@@ -352,9 +370,8 @@ fn analyze_coverage_inner(
                 };
                 conc_opts.atpg.trace = ctx.clone();
                 conc_opts.sim.trace = ctx.clone();
-                if let Some(d) = deadline {
-                    conc_opts.atpg.time_limit = Some(d.saturating_duration_since(Instant::now()));
-                }
+                conc_opts.atpg.budget = budget.clone();
+                conc_opts.sim.budget = budget.clone();
                 let _cspan = ctx.span("concretize");
                 match concretize_cube(netlist, &target_cube, &abstract_trace, &conc_opts)? {
                     ConcretizeOutcome::Falsified(t) => Some(t),
@@ -380,6 +397,8 @@ fn analyze_coverage_inner(
                     // with a fixpoint on the refined abstraction.
                     let mut refine_opts = options.refine.clone();
                     refine_opts.atpg.trace = ctx.clone();
+                    refine_opts.atpg.budget = budget.clone();
+                    refine_opts.atpg.phase = GovPhase::Refine;
                     let report = {
                         let mut rspan = ctx.span("refine");
                         let report = refine_with_roots(

@@ -72,6 +72,9 @@ pub enum Error {
     },
     /// The property's target signal is not part of the design.
     BadProperty(String),
+    /// A checkpoint snapshot could not be written, read, or applied (e.g. it
+    /// was taken on a different design or property).
+    Checkpoint(String),
 }
 
 /// Historical name of [`Error`], kept so `RfnError::BadProperty(_)` patterns
@@ -84,7 +87,7 @@ impl Error {
     pub fn with_phase(mut self, phase: Phase) -> Self {
         match &mut self {
             Error::Netlist { phase: p, .. } | Error::Mc { phase: p, .. } => *p = phase,
-            Error::BadProperty(_) => {}
+            Error::BadProperty(_) | Error::Checkpoint(_) => {}
         }
         self
     }
@@ -98,7 +101,7 @@ impl Error {
     pub fn phase(&self) -> Option<Phase> {
         match self {
             Error::Netlist { phase, .. } | Error::Mc { phase, .. } => Some(*phase),
-            Error::BadProperty(_) => None,
+            Error::BadProperty(_) | Error::Checkpoint(_) => None,
         }
     }
 }
@@ -113,6 +116,7 @@ impl fmt::Display for Error {
                 write!(f, "model-checking failure during {phase}: {source}")
             }
             Error::BadProperty(m) => write!(f, "bad property: {m}"),
+            Error::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
         }
     }
 }
@@ -122,7 +126,7 @@ impl std::error::Error for Error {
         match self {
             Error::Netlist { source, .. } => Some(source),
             Error::Mc { source, .. } => Some(source),
-            Error::BadProperty(_) => None,
+            Error::BadProperty(_) | Error::Checkpoint(_) => None,
         }
     }
 }

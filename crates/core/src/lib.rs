@@ -57,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod concretize;
 mod coverage;
 mod error;
@@ -66,6 +67,7 @@ mod refine;
 mod rfn;
 mod session;
 
+pub use checkpoint::{LoopCheckpoint, CHECKPOINT_SCHEMA};
 pub use concretize::{
     concretize, concretize_cube, concretize_cube_with_stats, concretize_with_stats, validate_trace,
     validate_trace_cube, ConcretizeOptions, ConcretizeOutcome, ConcretizeStats,
@@ -88,14 +90,16 @@ pub mod prelude {
 
     pub use crate::{
         analyze_coverage, bfs_coverage, default_threads, parallel_map, verify_plain,
-        CoverageOptions, CoverageReport, Engine, Error, Phase, PlainOptions, PlainReport,
-        PlainVerdict, PropertyResult, Rfn, RfnError, RfnOptions, RfnOutcome, RfnStats,
+        CoverageOptions, CoverageReport, Engine, Error, LoopCheckpoint, Phase, PlainOptions,
+        PlainReport, PlainVerdict, PropertyResult, Rfn, RfnError, RfnOptions, RfnOutcome, RfnStats,
         SessionReport, Verdict, VerifySession,
     };
+    pub use rfn_govern::{Budget, CancelToken, Exhaustion, GovPhase};
     pub use rfn_netlist::{CoverageSet, Netlist, NetlistError, Property, Trace};
     pub use rfn_trace::{
         FanoutSink, JsonlSink, MemorySink, StderrSink, TimeBreakdown, TraceCtx, TraceSink,
     };
 }
 
+pub use rfn_govern::{Budget, CancelToken, Exhaustion, GovPhase};
 pub use rfn_mc::{verify_plain, McError, PlainOptions, PlainReport, PlainVerdict};

@@ -1,9 +1,11 @@
 //! The RFN abstraction-refinement loop.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rfn_atpg::AtpgOptions;
+use rfn_govern::{Budget, GovPhase};
 use rfn_mc::{forward_reach, ModelSpec, ReachOptions, ReachVerdict, SymbolicModel, VarKind};
 use rfn_netlist::{Abstraction, Coi, Netlist, Property, SignalId, Trace};
 use rfn_trace::{Span, StderrSink, TraceCtx};
@@ -12,7 +14,7 @@ use rfn_sim::RandomSimOptions;
 
 use crate::{
     concretize_with_stats, hybrid_traces, refine, ConcretizeOptions, ConcretizeOutcome,
-    ConcretizeStats, HybridStats, Phase, RefineOptions, RfnError,
+    ConcretizeStats, HybridStats, LoopCheckpoint, Phase, RefineOptions, RfnError,
 };
 
 /// Configuration of the RFN loop.
@@ -20,8 +22,11 @@ use crate::{
 pub struct RfnOptions {
     /// Maximum refinement iterations.
     pub max_iterations: usize,
-    /// Wall-clock budget for the whole run.
-    pub time_limit: Option<Duration>,
+    /// Shared resource budget for the whole run: wall clock, per-phase
+    /// quotas, node/memory ceilings, backtrack allowance and the cooperative
+    /// cancellation token. Every engine the loop drives polls this same
+    /// budget at its natural checkpoints.
+    pub budget: Budget,
     /// BDD node limit per iteration's symbolic model.
     pub mc_node_limit: usize,
     /// Reachability options (reordering, step limits).
@@ -50,13 +55,22 @@ pub struct RfnOptions {
     /// `rfn` → `iteration` → `reach`/`hybrid`/`concretize`/`refine`).
     /// Disabled by default.
     pub trace: TraceCtx,
+    /// Directory for refinement-loop checkpoints. When set, the loop writes
+    /// a versioned snapshot (`<dir>/<property>.ckpt.json`) after every
+    /// completed refinement iteration.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// When `true` and a snapshot for this property exists in
+    /// [`RfnOptions::checkpoint_dir`], the loop restores it — abstract
+    /// register set, saved variable order, iteration counter, simulation
+    /// seed — and continues from the last completed iteration.
+    pub resume: bool,
 }
 
 impl Default for RfnOptions {
     fn default() -> Self {
         RfnOptions {
             max_iterations: 64,
-            time_limit: None,
+            budget: Budget::unlimited(),
             mc_node_limit: 4_000_000,
             reach: ReachOptions::default(),
             concretize_atpg: AtpgOptions::default(),
@@ -69,16 +83,47 @@ impl Default for RfnOptions {
             max_abstract_traces: 1,
             verbosity: 0,
             trace: TraceCtx::disabled(),
+            checkpoint_dir: None,
+            resume: false,
         }
     }
 }
 
 impl RfnOptions {
-    /// Sets the wall-clock budget for the whole run.
+    /// Sets the wall-clock budget for the whole run. The clock starts now:
+    /// this is shorthand for re-anchoring [`RfnOptions::budget`] with a
+    /// wall-clock limit.
     #[must_use]
     pub fn with_time_limit(mut self, limit: Duration) -> Self {
-        self.time_limit = Some(limit);
+        self.budget = self.budget.restarted().with_wall_clock(limit);
         self
+    }
+
+    /// Replaces the run's shared resource budget wholesale.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the checkpoint directory (see [`RfnOptions::checkpoint_dir`]).
+    #[must_use]
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables or disables resuming from an existing snapshot (see
+    /// [`RfnOptions::resume`]).
+    #[must_use]
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// The wall-clock limit of the run's budget, if bounded.
+    pub fn time_limit(&self) -> Option<Duration> {
+        self.budget.wall_clock()
     }
 
     /// Sets the maximum number of refinement iterations.
@@ -294,7 +339,7 @@ impl<'n> Rfn<'n> {
 
     fn run_inner(&self, ctx: &TraceCtx) -> Result<RfnOutcome, RfnError> {
         let start = Instant::now();
-        let deadline = self.options.time_limit.map(|d| start + d);
+        let budget = &self.options.budget;
         let mut stats = RfnStats::default();
         let coi = Coi::of(self.netlist, [self.property.signal]);
         stats.coi_registers = coi.num_registers();
@@ -308,8 +353,41 @@ impl<'n> Rfn<'n> {
         }
         // Saved BDD variable order across iterations (paper, end of §2.2).
         let mut saved_order: Vec<(SignalId, VarKind)> = Vec::new();
+        let mut sim_seed = self.options.concretize_sim.seed;
+        let mut start_iteration = 0;
 
-        for iteration in 0..self.options.max_iterations {
+        let ckpt_path = self
+            .options
+            .checkpoint_dir
+            .as_ref()
+            .map(|dir| LoopCheckpoint::path_for(dir, &self.property.name));
+        if self.options.resume {
+            if let Some(path) = ckpt_path.as_ref().filter(|p| p.exists()) {
+                let ckpt = LoopCheckpoint::load(path).map_err(RfnError::Checkpoint)?;
+                self.apply_checkpoint(&ckpt, &mut abstraction, &mut saved_order)?;
+                start_iteration = ckpt.next_iteration;
+                sim_seed = ckpt.sim_seed;
+                stats.refinement_sizes = ckpt.refinement_sizes.clone();
+                ctx.point(
+                    "checkpoint.load",
+                    vec![
+                        ("property".to_owned(), self.property.name.as_str().into()),
+                        ("next_iteration".to_owned(), ckpt.next_iteration.into()),
+                        ("registers".to_owned(), abstraction.len().into()),
+                    ],
+                );
+                self.log(
+                    ctx,
+                    &format!(
+                        "resumed from checkpoint: iteration {}, {} registers",
+                        ckpt.next_iteration,
+                        abstraction.len()
+                    ),
+                );
+            }
+        }
+
+        for iteration in start_iteration..self.options.max_iterations {
             stats.iterations = iteration + 1;
             stats.abstract_registers = abstraction.len();
             let _it_span = ctx.span_with(
@@ -319,17 +397,17 @@ impl<'n> Rfn<'n> {
                     ("abstract_registers".to_owned(), abstraction.len().into()),
                 ],
             );
-            if let Some(d) = deadline {
-                if Instant::now() > d {
-                    return Ok(self.inconclusive(ctx, "time limit exceeded", stats, start));
-                }
+            if let Err(e) = budget.check() {
+                return Ok(self.inconclusive(ctx, e.as_str(), stats, start));
             }
             let view = abstraction.view(self.netlist, [self.property.signal])?;
             let exact = view.pseudo_inputs().is_empty();
 
-            // Step 2: prove or find an abstract error trace.
+            // Step 2: prove or find an abstract error trace. The shared
+            // budget governs the manager from model construction on.
             let mut mgr = rfn_bdd::BddManager::new();
             mgr.set_node_limit(self.options.mc_node_limit);
+            mgr.set_budget(budget.clone());
             let model_opts = rfn_mc::ModelOptions {
                 cluster_limit: self.options.reach.cluster_limit,
             };
@@ -371,9 +449,7 @@ impl<'n> Rfn<'n> {
             };
             let mut reach_opts = self.options.reach.clone();
             reach_opts.trace = ctx.clone();
-            if let Some(d) = deadline {
-                reach_opts.time_limit = Some(d.saturating_duration_since(Instant::now()));
-            }
+            reach_opts.budget = budget.clone();
             let reach = forward_reach(&mut model, targets, &reach_opts)
                 .map_err(|e| RfnError::at(Phase::Reach, e))?;
             stats.bdd.merge(&reach.stats);
@@ -406,6 +482,8 @@ impl<'n> Rfn<'n> {
             // Hybrid engine: reconstruct one or more abstract error traces.
             let mut hybrid_atpg = self.options.hybrid_atpg.clone();
             hybrid_atpg.trace = ctx.clone();
+            hybrid_atpg.budget = budget.clone();
+            hybrid_atpg.phase = GovPhase::Hybrid;
             let traces: Vec<rfn_netlist::Trace> = {
                 let mut hspan = ctx.span("hybrid");
                 let reconstructed = hybrid_traces(
@@ -489,9 +567,9 @@ impl<'n> Rfn<'n> {
             };
             conc_opts.atpg.trace = ctx.clone();
             conc_opts.sim.trace = ctx.clone();
-            if let Some(d) = deadline {
-                conc_opts.atpg.time_limit = Some(d.saturating_duration_since(Instant::now()));
-            }
+            conc_opts.atpg.budget = budget.clone();
+            conc_opts.sim.budget = budget.clone();
+            conc_opts.sim.seed = sim_seed;
             for abstract_trace in &traces {
                 let found = {
                     let mut cspan = ctx.span_with(
@@ -527,6 +605,14 @@ impl<'n> Rfn<'n> {
                     cspan.record("random_hits", cstats.random_hits);
                     cspan.record("atpg_backtracks", cstats.atpg_backtracks);
                     cspan.record("atpg_decisions", cstats.atpg_decisions);
+                    // Budget telemetry only when the dimension is bounded,
+                    // so unbudgeted runs keep a deterministic event stream.
+                    if let Some(remaining) = budget.remaining() {
+                        cspan.record("budget.remaining_ms", remaining.as_millis() as u64);
+                    }
+                    if let Some(backtracks) = budget.backtracks_remaining() {
+                        cspan.record("budget.backtracks_remaining", backtracks);
+                    }
                     match outcome {
                         ConcretizeOutcome::Falsified(t) => Some(t),
                         ConcretizeOutcome::Spurious | ConcretizeOutcome::Unknown => None,
@@ -549,6 +635,8 @@ impl<'n> Rfn<'n> {
             // Step 4: refine against the first (fattest-seed) trace.
             let mut refine_opts = self.options.refine.clone();
             refine_opts.atpg.trace = ctx.clone();
+            refine_opts.atpg.budget = budget.clone();
+            refine_opts.atpg.phase = GovPhase::Refine;
             let report = {
                 let mut rspan = ctx.span("refine");
                 let report = refine(
@@ -583,8 +671,120 @@ impl<'n> Rfn<'n> {
                 ));
             }
             stats.refinement_sizes.push(report.added.len());
+
+            // Snapshot the loop state so a killed or exhausted run can
+            // continue from here with `resume`.
+            if let Some(path) = &ckpt_path {
+                let ckpt = LoopCheckpoint {
+                    schema: crate::CHECKPOINT_SCHEMA,
+                    design: self.netlist.name().to_owned(),
+                    property_name: self.property.name.clone(),
+                    property_signal: self.netlist.signal_name(self.property.signal).to_owned(),
+                    property_value: self.property.value,
+                    next_iteration: iteration + 1,
+                    registers: abstraction.iter().map(|r| self.signal_ref(r)).collect(),
+                    saved_order: saved_order
+                        .iter()
+                        .map(|&(s, kind)| (self.signal_ref(s), kind_name(kind).to_owned()))
+                        .collect(),
+                    refinement_sizes: stats.refinement_sizes.clone(),
+                    elapsed_ms: start.elapsed().as_millis() as u64,
+                    budget_remaining_ms: budget.remaining().map(|d| d.as_millis() as u64),
+                    sim_seed,
+                };
+                ckpt.write_atomic(path).map_err(|e| {
+                    RfnError::Checkpoint(format!("writing {}: {e}", path.display()))
+                })?;
+                ctx.point(
+                    "checkpoint.write",
+                    vec![
+                        ("property".to_owned(), self.property.name.as_str().into()),
+                        ("next_iteration".to_owned(), (iteration + 1).into()),
+                        ("registers".to_owned(), abstraction.len().into()),
+                    ],
+                );
+            }
         }
         Ok(self.inconclusive(ctx, "iteration limit exceeded", stats, start))
+    }
+
+    /// Restores abstraction and variable order from a snapshot, after
+    /// validating that it belongs to this design and property.
+    fn apply_checkpoint(
+        &self,
+        ckpt: &LoopCheckpoint,
+        abstraction: &mut Abstraction,
+        saved_order: &mut Vec<(SignalId, VarKind)>,
+    ) -> Result<(), RfnError> {
+        if ckpt.design != self.netlist.name() {
+            return Err(RfnError::Checkpoint(format!(
+                "snapshot was taken on design `{}`, not `{}`",
+                ckpt.design,
+                self.netlist.name()
+            )));
+        }
+        let signal_name = self.netlist.signal_name(self.property.signal);
+        if ckpt.property_name != self.property.name
+            || ckpt.property_signal != signal_name
+            || ckpt.property_value != self.property.value
+        {
+            return Err(RfnError::Checkpoint(format!(
+                "snapshot is for property `{}` on `{}`={}, not `{}` on `{}`={}",
+                ckpt.property_name,
+                ckpt.property_signal,
+                u8::from(ckpt.property_value),
+                self.property.name,
+                signal_name,
+                u8::from(self.property.value),
+            )));
+        }
+        let find = |name: &str| self.resolve_signal(name);
+        for name in &ckpt.registers {
+            abstraction.insert(find(name)?);
+        }
+        saved_order.clear();
+        for (name, kind) in &ckpt.saved_order {
+            let kind = match kind.as_str() {
+                "current" => VarKind::Current,
+                "next" => VarKind::Next,
+                "input" => VarKind::Input,
+                other => {
+                    return Err(RfnError::Checkpoint(format!(
+                        "snapshot has unknown variable kind `{other}`"
+                    )))
+                }
+            };
+            saved_order.push((find(name)?, kind));
+        }
+        Ok(())
+    }
+
+    /// A stable textual reference for a signal: its name, or `#<index>` for
+    /// anonymous nets (positions are deterministic for a given design
+    /// generator, and snapshots are already design-checked before use).
+    fn signal_ref(&self, s: SignalId) -> String {
+        let name = self.netlist.signal_name(s);
+        if name.is_empty() {
+            format!("#{}", s.index())
+        } else {
+            name.to_owned()
+        }
+    }
+
+    /// Resolves a [`Self::signal_ref`] back to a signal id.
+    fn resolve_signal(&self, name: &str) -> Result<SignalId, RfnError> {
+        if let Some(idx) = name.strip_prefix('#') {
+            return idx
+                .parse::<usize>()
+                .ok()
+                .and_then(|i| self.netlist.signals().nth(i))
+                .ok_or_else(|| {
+                    RfnError::Checkpoint(format!("snapshot names unknown signal `{name}`"))
+                });
+        }
+        self.netlist
+            .find(name)
+            .ok_or_else(|| RfnError::Checkpoint(format!("snapshot names unknown signal `{name}`")))
     }
 
     fn inconclusive(
@@ -647,6 +847,14 @@ impl<'n> Rfn<'n> {
             }
         }
         model.manager().set_order(&order);
+    }
+}
+
+fn kind_name(kind: VarKind) -> &'static str {
+    match kind {
+        VarKind::Current => "current",
+        VarKind::Next => "next",
+        VarKind::Input => "input",
     }
 }
 

@@ -32,9 +32,11 @@
 //! flushes the buffers **in job order** after all jobs finish — the merged
 //! stream (modulo timestamps) is byte-identical at any thread count.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
+use rfn_govern::Budget;
 use rfn_mc::{verify_plain, PlainOptions, PlainReport, PlainVerdict};
 use rfn_netlist::{CoverageSet, Netlist, Property, Trace};
 use rfn_trace::{merge_streams, Event, FanoutSink, MemorySink, StderrSink, TraceCtx, TraceSink};
@@ -138,6 +140,8 @@ pub struct VerifySession<'n> {
     options: RfnOptions,
     plain_options: PlainOptions,
     coverage_options: CoverageOptions,
+    budget: Option<Budget>,
+    anchor_at_run: bool,
     threads: usize,
     sink: Option<Arc<dyn TraceSink>>,
 }
@@ -167,6 +171,8 @@ impl<'n> VerifySession<'n> {
             options: RfnOptions::default(),
             plain_options: PlainOptions::default(),
             coverage_options: CoverageOptions::default(),
+            budget: None,
+            anchor_at_run: false,
             threads: 1,
             sink: None,
         }
@@ -201,12 +207,47 @@ impl<'n> VerifySession<'n> {
         self
     }
 
-    /// Sets the wall-clock budget of every job (RFN, plain and coverage).
+    /// Sets one wall-clock budget **shared by every job** (RFN, plain and
+    /// coverage): the clock starts when [`VerifySession::run`] is called and
+    /// all jobs race the same deadline, regardless of when the pool gets to
+    /// them. (Each job used to restart the clock for itself, so a portfolio
+    /// could spend `jobs × limit` in total.)
     #[must_use]
     pub fn time_limit(mut self, limit: Duration) -> Self {
-        self.options.time_limit = Some(limit);
-        self.plain_options.time_limit = Some(limit);
-        self.coverage_options.time_limit = Some(limit);
+        self.budget = Some(
+            self.budget
+                .take()
+                .unwrap_or_default()
+                .with_wall_clock(limit),
+        );
+        self.anchor_at_run = true;
+        self
+    }
+
+    /// Sets the shared resource budget of every job. The budget keeps its
+    /// own anchor (its clock is **not** restarted at [`VerifySession::run`]);
+    /// its cancellation token, ceilings and quotas are shared by all jobs.
+    #[must_use]
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self.anchor_at_run = false;
+        self
+    }
+
+    /// Sets the checkpoint directory for the RFN jobs: each property
+    /// snapshots its refinement loop to `<dir>/<property>.ckpt.json` after
+    /// every completed iteration.
+    #[must_use]
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.options.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// When `true`, RFN jobs resume from their snapshots (if present) in the
+    /// checkpoint directory instead of starting from scratch.
+    #[must_use]
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.options.resume = resume;
         self
     }
 
@@ -263,7 +304,24 @@ impl<'n> VerifySession<'n> {
     ///
     /// Returns the first structural error in job order; capacity exhaustion
     /// is reported through verdicts, never as an `Err`.
-    pub fn run(self) -> Result<SessionReport, RfnError> {
+    pub fn run(mut self) -> Result<SessionReport, RfnError> {
+        // One budget for the whole portfolio: every job clones the same
+        // deadline, ceilings and cancellation token.
+        if let Some(budget) = self.budget.take() {
+            let shared = if self.anchor_at_run {
+                budget.restarted()
+            } else {
+                budget
+            };
+            self.options.budget = shared.clone();
+            // Keep the plain engine's configured node ceiling; share the
+            // deadline, memory ceiling and cancellation token.
+            let plain_ceiling = self.plain_options.node_limit();
+            self.plain_options = self
+                .plain_options
+                .with_budget(shared.clone().with_node_ceiling(plain_ceiling));
+            self.coverage_options.budget = shared;
+        }
         let n_props = self.properties.len();
         let n_jobs = n_props + self.coverage_sets.len();
         let buffering = self.sink.is_some();

@@ -1,0 +1,453 @@
+//! Shared resource-governance primitives for every RFN engine.
+//!
+//! The DAC 2001 RFN flow hands each engine — BDD reachability, hybrid trace
+//! extraction, sequential ATPG, packed simulation — a bounded slice of
+//! effort, and the refinement loop degrades gracefully when a slice runs
+//! out. This crate centralizes that contract in one [`Budget`] value that is
+//! cloned (cheaply; interior state is shared) into every engine:
+//!
+//! * a **wall-clock deadline** anchored when the budget is created,
+//! * optional **per-phase soft quotas** ([`GovPhase`]) that cap a single
+//!   phase invocation below the global deadline,
+//! * live **BDD-node and memory ceilings** enforced by the BDD manager's
+//!   allocator,
+//! * a shared **ATPG backtrack allowance** drained across all ATPG calls
+//!   made under the same budget, and
+//! * a cooperative [`CancelToken`] (an `Arc`'d atomic flag) that engines
+//!   poll at their natural checkpoints: unique-table insert batches, reach
+//!   fixpoint steps, ATPG backtrack points and packed-sim batch boundaries.
+//!
+//! Exhaustion is reported as an [`Exhaustion`] value which the engines map
+//! onto their existing abort machinery (`AbortReason` in `rfn-mc`,
+//! `Inconclusive` in `rfn-core`), so a budget that runs out anywhere in the
+//! stack surfaces as one structured, user-visible reason.
+//!
+//! The crate is dependency-free and `no_std`-adjacent (it uses only
+//! `std::time` and `std::sync::atomic`), so every engine crate can depend
+//! on it without cycles.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cooperative cancellation flag shared between a controller and any
+/// number of running engines.
+///
+/// Cloning the token shares the underlying flag: cancelling any clone
+/// cancels them all. Engines poll [`CancelToken::is_cancelled`] (a relaxed
+/// atomic load, cheap enough for inner loops) at their natural checkpoints
+/// and unwind with [`Exhaustion::Cancelled`].
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// The phases of the RFN loop that can carry a soft time quota.
+///
+/// A quota bounds one *invocation* of that phase (measured from the moment
+/// the engine asks for its deadline), never extending past the budget's
+/// global wall-clock deadline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GovPhase {
+    /// Symbolic (BDD) reachability on the abstract model.
+    Reach,
+    /// Hybrid abstract-trace extraction (pre-image sweep).
+    Hybrid,
+    /// Concretization: random simulation plus sequential ATPG.
+    Concretize,
+    /// Refinement-candidate selection.
+    Refine,
+}
+
+impl GovPhase {
+    const COUNT: usize = 4;
+
+    fn index(self) -> usize {
+        match self {
+            GovPhase::Reach => 0,
+            GovPhase::Hybrid => 1,
+            GovPhase::Concretize => 2,
+            GovPhase::Refine => 3,
+        }
+    }
+
+    /// Stable lower-case name (used in trace fields and checkpoints).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GovPhase::Reach => "reach",
+            GovPhase::Hybrid => "hybrid",
+            GovPhase::Concretize => "concretize",
+            GovPhase::Refine => "refine",
+        }
+    }
+}
+
+impl fmt::Display for GovPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Why a governed engine stopped before reaching a verdict.
+///
+/// Engines translate this into their local abort enums; the strings from
+/// [`Exhaustion::as_str`] are stable and surface verbatim in
+/// `Inconclusive { reason }` outcomes and trace events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Exhaustion {
+    /// The [`CancelToken`] was triggered.
+    Cancelled,
+    /// The wall-clock deadline (or a phase quota) passed.
+    TimeLimit,
+    /// The memory ceiling was exceeded.
+    MemoryLimit,
+    /// The BDD-node ceiling was exceeded.
+    NodeLimit,
+    /// The shared ATPG backtrack allowance was drained.
+    Backtracks,
+}
+
+impl Exhaustion {
+    /// Stable snake-case identifier (used in trace events and exit reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Exhaustion::Cancelled => "cancelled",
+            Exhaustion::TimeLimit => "time limit exceeded",
+            Exhaustion::MemoryLimit => "memory limit exceeded",
+            Exhaustion::NodeLimit => "node limit exceeded",
+            Exhaustion::Backtracks => "backtrack allowance exhausted",
+        }
+    }
+}
+
+impl fmt::Display for Exhaustion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A shared effort budget governing one verification run end to end.
+///
+/// A `Budget` is created once (by the CLI, a [`VerifySession`], or a test)
+/// and cloned into every engine the run touches. Clones share the
+/// cancellation flag and the backtrack allowance, so the budget behaves as
+/// *one* pool no matter how many engines or worker threads draw from it.
+/// The wall-clock deadline is anchored at construction
+/// ([`Budget::restarted`] re-anchors it, e.g. after resuming from a
+/// checkpoint).
+///
+/// The default budget is unlimited in every dimension; builders narrow it:
+///
+/// ```
+/// use std::time::Duration;
+/// use rfn_govern::{Budget, GovPhase};
+///
+/// let budget = Budget::unlimited()
+///     .with_wall_clock(Duration::from_secs(300))
+///     .with_phase_quota(GovPhase::Reach, Duration::from_secs(60))
+///     .with_node_ceiling(8_000_000)
+///     .with_backtrack_allowance(500_000);
+/// assert!(budget.check().is_ok());
+/// ```
+///
+/// [`VerifySession`]: https://docs.rs/rfn-core
+#[derive(Clone, Debug)]
+pub struct Budget {
+    start: Instant,
+    wall_limit: Option<Duration>,
+    quotas: [Option<Duration>; GovPhase::COUNT],
+    node_ceiling: usize,
+    memory_ceiling: usize,
+    backtracks: Option<Arc<AtomicU64>>,
+    cancel: CancelToken,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget with no limits: every check passes until a clone is
+    /// cancelled.
+    pub fn unlimited() -> Budget {
+        Budget {
+            start: Instant::now(),
+            wall_limit: None,
+            quotas: [None; GovPhase::COUNT],
+            node_ceiling: usize::MAX,
+            memory_ceiling: usize::MAX,
+            backtracks: None,
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// Sets the global wall-clock limit, measured from the budget's anchor
+    /// instant (construction, or the last [`Budget::restarted`] call).
+    pub fn with_wall_clock(mut self, limit: Duration) -> Budget {
+        self.wall_limit = Some(limit);
+        self
+    }
+
+    /// Sets a soft quota for one phase. A phase invocation's deadline is
+    /// `min(global deadline, phase entry + quota)`.
+    pub fn with_phase_quota(mut self, phase: GovPhase, quota: Duration) -> Budget {
+        self.quotas[phase.index()] = Some(quota);
+        self
+    }
+
+    /// Caps the number of live BDD nodes a manager governed by this budget
+    /// may hold.
+    pub fn with_node_ceiling(mut self, nodes: usize) -> Budget {
+        self.node_ceiling = nodes;
+        self
+    }
+
+    /// Caps the approximate bytes of BDD storage (unique tables, caches and
+    /// node pool) a governed manager may hold.
+    pub fn with_memory_ceiling(mut self, bytes: usize) -> Budget {
+        self.memory_ceiling = bytes;
+        self
+    }
+
+    /// Grants a shared pool of ATPG backtracks, drained across every ATPG
+    /// call made under this budget (and all its clones).
+    pub fn with_backtrack_allowance(mut self, backtracks: u64) -> Budget {
+        self.backtracks = Some(Arc::new(AtomicU64::new(backtracks)));
+        self
+    }
+
+    /// Replaces the cancellation token, sharing an externally owned flag.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Budget {
+        self.cancel = token;
+        self
+    }
+
+    /// Re-anchors the wall clock at "now" (used when resuming a checkpoint
+    /// with the remaining time carried over as the new wall limit).
+    pub fn restarted(mut self) -> Budget {
+        self.start = Instant::now();
+        self
+    }
+
+    /// The configured wall-clock limit, if any.
+    pub fn wall_clock(&self) -> Option<Duration> {
+        self.wall_limit
+    }
+
+    /// The BDD-node ceiling (`usize::MAX` when unlimited).
+    pub fn node_ceiling(&self) -> usize {
+        self.node_ceiling
+    }
+
+    /// The memory ceiling in bytes (`usize::MAX` when unlimited).
+    pub fn memory_ceiling(&self) -> usize {
+        self.memory_ceiling
+    }
+
+    /// The soft quota configured for `phase`, if any.
+    pub fn phase_quota(&self, phase: GovPhase) -> Option<Duration> {
+        self.quotas[phase.index()]
+    }
+
+    /// Remaining backtracks in the shared allowance (`None` = unlimited).
+    pub fn backtracks_remaining(&self) -> Option<u64> {
+        self.backtracks.as_ref().map(|b| b.load(Ordering::Relaxed))
+    }
+
+    /// Time elapsed since the budget's anchor instant.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// The absolute global deadline, if a wall-clock limit is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.wall_limit.map(|l| self.start + l)
+    }
+
+    /// The deadline for a phase invocation entered *now*: the phase quota
+    /// (if configured) measured from this call, clamped to the global
+    /// deadline.
+    pub fn deadline_for(&self, phase: GovPhase) -> Option<Instant> {
+        let global = self.deadline();
+        let quota = self.quotas[phase.index()].map(|q| Instant::now() + q);
+        match (global, quota) {
+            (Some(g), Some(q)) => Some(g.min(q)),
+            (d, None) | (None, d) => d,
+        }
+    }
+
+    /// Wall-clock time remaining before the global deadline (`None` when no
+    /// limit is set; zero once the deadline has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline()
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Whether every dimension is unlimited (quotas, ceilings, allowance
+    /// and wall clock all unset).
+    pub fn is_unlimited(&self) -> bool {
+        self.wall_limit.is_none()
+            && self.quotas.iter().all(Option::is_none)
+            && self.node_ceiling == usize::MAX
+            && self.memory_ceiling == usize::MAX
+            && self.backtracks.is_none()
+    }
+
+    /// A clone of the cancellation token for external controllers.
+    pub fn token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Requests cancellation of every engine sharing this budget.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
+    /// The cheap cooperative check engines poll at their checkpoints:
+    /// cancellation first, then the global wall-clock deadline.
+    pub fn check(&self) -> Result<(), Exhaustion> {
+        if self.cancel.is_cancelled() {
+            return Err(Exhaustion::Cancelled);
+        }
+        if let Some(deadline) = self.deadline() {
+            if Instant::now() >= deadline {
+                return Err(Exhaustion::TimeLimit);
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks an engine-reported memory footprint against the ceiling.
+    pub fn check_memory(&self, bytes: usize) -> Result<(), Exhaustion> {
+        if bytes > self.memory_ceiling {
+            Err(Exhaustion::MemoryLimit)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Draws `n` backtracks from the shared allowance; fails with
+    /// [`Exhaustion::Backtracks`] once the pool is empty. Unlimited budgets
+    /// always succeed.
+    pub fn charge_backtracks(&self, n: u64) -> Result<(), Exhaustion> {
+        let Some(pool) = &self.backtracks else {
+            return Ok(());
+        };
+        let drawn = pool.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+            if cur >= n {
+                Some(cur - n)
+            } else {
+                None
+            }
+        });
+        match drawn {
+            Ok(_) => Ok(()),
+            Err(_) => Err(Exhaustion::Backtracks),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_always_passes() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        assert!(b.check().is_ok());
+        assert!(b.check_memory(usize::MAX - 1).is_ok());
+        assert!(b.charge_backtracks(u64::MAX).is_ok());
+        assert_eq!(b.deadline(), None);
+        assert_eq!(b.remaining(), None);
+        assert_eq!(b.deadline_for(GovPhase::Reach), None);
+    }
+
+    #[test]
+    fn cancellation_is_shared_across_clones() {
+        let b = Budget::unlimited();
+        let clone = b.clone();
+        assert!(clone.check().is_ok());
+        b.cancel();
+        assert_eq!(clone.check(), Err(Exhaustion::Cancelled));
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn expired_wall_clock_reports_time_limit() {
+        let b = Budget::unlimited().with_wall_clock(Duration::ZERO);
+        assert_eq!(b.check(), Err(Exhaustion::TimeLimit));
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn phase_quota_clamps_to_global_deadline() {
+        let b = Budget::unlimited()
+            .with_wall_clock(Duration::from_secs(1))
+            .with_phase_quota(GovPhase::Reach, Duration::from_secs(3600));
+        let global = b.deadline().unwrap();
+        let phase = b.deadline_for(GovPhase::Reach).unwrap();
+        assert!(phase <= global);
+        // A phase with a tight quota ends before the global deadline.
+        let tight = Budget::unlimited()
+            .with_wall_clock(Duration::from_secs(3600))
+            .with_phase_quota(GovPhase::Concretize, Duration::ZERO);
+        let phase = tight.deadline_for(GovPhase::Concretize).unwrap();
+        assert!(phase < tight.deadline().unwrap());
+    }
+
+    #[test]
+    fn backtrack_allowance_is_a_shared_pool() {
+        let b = Budget::unlimited().with_backtrack_allowance(10);
+        let clone = b.clone();
+        assert!(b.charge_backtracks(6).is_ok());
+        assert!(clone.charge_backtracks(4).is_ok());
+        assert_eq!(clone.charge_backtracks(1), Err(Exhaustion::Backtracks));
+        assert_eq!(b.backtracks_remaining(), Some(0));
+    }
+
+    #[test]
+    fn memory_ceiling_checks_reported_footprint() {
+        let b = Budget::unlimited().with_memory_ceiling(1024);
+        assert!(b.check_memory(1024).is_ok());
+        assert_eq!(b.check_memory(1025), Err(Exhaustion::MemoryLimit));
+    }
+
+    #[test]
+    fn restarted_reanchors_the_clock() {
+        let b = Budget::unlimited().with_wall_clock(Duration::from_millis(50));
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(b.check(), Err(Exhaustion::TimeLimit));
+        let b = b.restarted();
+        assert!(b.check().is_ok());
+    }
+}

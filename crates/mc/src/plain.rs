@@ -4,19 +4,30 @@
 use std::time::{Duration, Instant};
 
 use rfn_bdd::BddStats;
+use rfn_govern::Budget;
 use rfn_netlist::{Abstraction, Coi, Netlist, Property};
 use rfn_trace::TraceCtx;
 
 use crate::{forward_reach, McError, ModelSpec, ReachOptions, ReachVerdict, SymbolicModel};
 
+/// Default live-node ceiling of the plain engine; exceeding it is the
+/// baseline's failure mode in Table 1.
+const DEFAULT_PLAIN_NODE_CEILING: usize = 2_000_000;
+
 /// Configuration for the plain symbolic model checker.
+///
+/// The legacy `node_limit` / `time_limit` fields are now views over the
+/// shared [`Budget`]: use [`PlainOptions::with_node_limit`] /
+/// [`PlainOptions::with_time_limit`] (or install a whole budget with
+/// [`PlainOptions::with_budget`]) and read them back through
+/// [`PlainOptions::node_limit`] / [`PlainOptions::time_limit`].
 #[derive(Clone, Debug)]
 pub struct PlainOptions {
-    /// BDD node limit; exceeding it is the baseline's failure mode.
-    pub node_limit: usize,
-    /// Wall-clock budget.
-    pub time_limit: Option<Duration>,
-    /// Reachability options (reordering etc.).
+    /// Shared resource budget: node ceiling (the baseline's failure mode),
+    /// wall-clock deadline, memory ceiling and cancellation.
+    pub budget: Budget,
+    /// Reachability options (reordering etc.). Its own budget field is
+    /// overwritten with [`PlainOptions::budget`] for the run.
     pub reach: ReachOptions,
     /// Structured-event context; each `verify_plain` call wraps itself in a
     /// `plain_mc` span and forwards the context to the inner reachability
@@ -27,11 +38,60 @@ pub struct PlainOptions {
 impl Default for PlainOptions {
     fn default() -> Self {
         PlainOptions {
-            node_limit: 2_000_000,
-            time_limit: None,
+            budget: Budget::unlimited().with_node_ceiling(DEFAULT_PLAIN_NODE_CEILING),
             reach: ReachOptions::default(),
             trace: TraceCtx::disabled(),
         }
+    }
+}
+
+impl PlainOptions {
+    /// Sets the BDD node ceiling (a view over [`PlainOptions::budget`]).
+    #[must_use]
+    pub fn with_node_limit(mut self, nodes: usize) -> Self {
+        self.budget = self.budget.with_node_ceiling(nodes);
+        self
+    }
+
+    /// Sets the wall-clock limit (a view over [`PlainOptions::budget`]; the
+    /// deadline is re-anchored at this call).
+    #[must_use]
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.budget = self.budget.restarted().with_wall_clock(limit);
+        self
+    }
+
+    /// Installs a shared resource budget (replacing any previous one,
+    /// including the default node ceiling).
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replaces the inner reachability options.
+    #[must_use]
+    pub fn with_reach(mut self, reach: ReachOptions) -> Self {
+        self.reach = reach;
+        self
+    }
+
+    /// Attaches a structured-event context.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceCtx) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The BDD node ceiling (the legacy `node_limit` field as a view).
+    pub fn node_limit(&self) -> usize {
+        self.budget.node_ceiling()
+    }
+
+    /// The wall-clock limit, if any (the legacy `time_limit` field as a
+    /// view).
+    pub fn time_limit(&self) -> Option<Duration> {
+        self.budget.wall_clock()
     }
 }
 
@@ -122,9 +182,11 @@ fn verify_plain_inner(
     let abstraction = Abstraction::from_registers(coi.registers().iter().copied());
     let view = abstraction.view(netlist, [property.signal])?;
     let mut mgr = rfn_bdd::BddManager::new();
-    mgr.set_node_limit(options.node_limit);
+    // The budget's node ceiling is the baseline's capacity bound; install
+    // the budget itself so the model build is governed too.
+    mgr.set_budget(options.budget.clone());
     let mut reach_opts = options.reach.clone();
-    reach_opts.time_limit = options.time_limit;
+    reach_opts.budget = options.budget.clone();
     reach_opts.trace = options.trace.clone();
 
     let model_opts = crate::ModelOptions {
@@ -133,15 +195,15 @@ fn verify_plain_inner(
     let build = SymbolicModel::with_options(netlist, ModelSpec::from_view(&view), mgr, model_opts);
     let mut model = match build {
         Ok(m) => m,
-        Err(McError::Bdd(_)) => {
+        Err(McError::Bdd(e)) => {
             // Could not even build the transition relation.
             return Ok(PlainReport {
                 verdict: PlainVerdict::OutOfCapacity,
-                abort: Some(crate::AbortReason::NodeLimit),
+                abort: Some(crate::AbortReason::of(&e)),
                 coi_registers: coi.num_registers(),
                 coi_gates: coi.num_gates(),
                 steps: 0,
-                peak_nodes: options.node_limit,
+                peak_nodes: options.node_limit(),
                 elapsed: start.elapsed(),
                 stats: BddStats::default(),
             });
@@ -158,14 +220,14 @@ fn verify_plain_inner(
     })();
     let target = match target {
         Ok(t) => t,
-        Err(McError::Bdd(_)) => {
+        Err(McError::Bdd(e)) => {
             return Ok(PlainReport {
                 verdict: PlainVerdict::OutOfCapacity,
-                abort: Some(crate::AbortReason::NodeLimit),
+                abort: Some(crate::AbortReason::of(&e)),
                 coi_registers: coi.num_registers(),
                 coi_gates: coi.num_gates(),
                 steps: 0,
-                peak_nodes: options.node_limit,
+                peak_nodes: options.node_limit(),
                 elapsed: start.elapsed(),
                 stats: model.manager_ref().stats(),
             });
@@ -258,10 +320,7 @@ mod tests {
     #[test]
     fn node_limit_reports_out_of_capacity() {
         let (n, p) = safe_design();
-        let opts = PlainOptions {
-            node_limit: 4,
-            ..PlainOptions::default()
-        };
+        let opts = PlainOptions::default().with_node_limit(4);
         let r = verify_plain(&n, &p, &opts).unwrap();
         assert_eq!(r.verdict, PlainVerdict::OutOfCapacity);
     }

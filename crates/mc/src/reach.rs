@@ -4,6 +4,7 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use rfn_bdd::{Bdd, BddError, BddStats};
+use rfn_govern::{Budget, Exhaustion, GovPhase};
 use rfn_trace::TraceCtx;
 
 use crate::{McError, SymbolicModel};
@@ -19,8 +20,15 @@ pub struct ReachOptions {
     pub reorder_threshold: usize,
     /// Sifting growth bound.
     pub max_growth: f64,
-    /// Wall-clock budget.
-    pub time_limit: Option<Duration>,
+    /// Shared resource budget governing the fixpoint: wall-clock deadline
+    /// (plus an optional [`GovPhase::Reach`] quota), cancellation, node and
+    /// memory ceilings. The budget is also installed on the model's BDD
+    /// manager for the duration of the call, so exhaustion is detected
+    /// *inside* long-running image operations, not just between steps.
+    ///
+    /// The legacy `time_limit` knob is a view over this budget: see
+    /// [`ReachOptions::with_time_limit`] / [`ReachOptions::time_limit`].
+    pub budget: Budget,
     /// Enable the kernel's automatic garbage collector for the duration of
     /// the fixpoint. Rings, the reached set, the targets and the model's
     /// persistent roots are protected; image intermediates become
@@ -50,7 +58,7 @@ impl Default for ReachOptions {
             reorder: true,
             reorder_threshold: 20_000,
             max_growth: 1.5,
-            time_limit: None,
+            budget: Budget::unlimited(),
             auto_gc: true,
             cluster_limit: crate::DEFAULT_CLUSTER_LIMIT,
             frontier_simplify: true,
@@ -74,11 +82,25 @@ impl ReachOptions {
         self
     }
 
-    /// Sets the wall-clock budget for the fixpoint.
+    /// Sets the wall-clock budget for the fixpoint (a view over
+    /// [`ReachOptions::budget`]: the deadline is re-anchored at this call).
     #[must_use]
     pub fn with_time_limit(mut self, limit: std::time::Duration) -> Self {
-        self.time_limit = Some(limit);
+        self.budget = self.budget.restarted().with_wall_clock(limit);
         self
+    }
+
+    /// Installs a shared resource budget (replacing any previous one).
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The wall-clock limit of the governing budget, if any (the legacy
+    /// `time_limit` field as a view).
+    pub fn time_limit(&self) -> Option<Duration> {
+        self.budget.wall_clock()
     }
 
     /// Enables or disables the automatic garbage collector.
@@ -136,16 +158,35 @@ pub enum AbortReason {
     TimeLimit,
     /// The image-step cap was reached before the fixpoint.
     MaxSteps,
-    /// The BDD manager's node limit was exceeded.
+    /// The BDD manager's node limit (or the budget's node ceiling) was
+    /// exceeded.
     NodeLimit,
+    /// The governing budget's cancellation token was triggered.
+    Cancelled,
+    /// The governing budget's memory ceiling was exceeded.
+    MemoryLimit,
     /// Another kernel error.
     Bdd,
 }
 
 impl AbortReason {
-    fn of(e: &BddError) -> AbortReason {
+    pub(crate) fn of(e: &BddError) -> AbortReason {
         match e {
             BddError::NodeLimit => AbortReason::NodeLimit,
+            BddError::Cancelled => AbortReason::Cancelled,
+            BddError::TimeLimit => AbortReason::TimeLimit,
+            BddError::MemoryLimit => AbortReason::MemoryLimit,
+            _ => AbortReason::Bdd,
+        }
+    }
+
+    /// Maps a budget exhaustion report onto the abort vocabulary.
+    pub fn of_exhaustion(e: Exhaustion) -> AbortReason {
+        match e {
+            Exhaustion::Cancelled => AbortReason::Cancelled,
+            Exhaustion::TimeLimit => AbortReason::TimeLimit,
+            Exhaustion::MemoryLimit => AbortReason::MemoryLimit,
+            Exhaustion::NodeLimit => AbortReason::NodeLimit,
             _ => AbortReason::Bdd,
         }
     }
@@ -156,6 +197,8 @@ impl AbortReason {
             AbortReason::TimeLimit => "time_limit",
             AbortReason::MaxSteps => "max_steps",
             AbortReason::NodeLimit => "node_limit",
+            AbortReason::Cancelled => "cancelled",
+            AbortReason::MemoryLimit => "memory_limit",
             AbortReason::Bdd => "bdd_error",
         }
     }
@@ -167,6 +210,8 @@ impl fmt::Display for AbortReason {
             AbortReason::TimeLimit => "time limit",
             AbortReason::MaxSteps => "step limit",
             AbortReason::NodeLimit => "node limit",
+            AbortReason::Cancelled => "cancelled",
+            AbortReason::MemoryLimit => "memory limit",
             AbortReason::Bdd => "BDD error",
         })
     }
@@ -219,6 +264,11 @@ pub fn forward_reach(
     // exactly reversible on every exit path, and the collector is switched
     // off again on return so callers may hold unprotected handles as before.
     let mut span = options.trace.span("reach");
+    // Install the governing budget on the kernel so exhaustion (cancel,
+    // deadline, memory, node ceiling) is detected inside image operations.
+    // The budget stays installed after the call: subsequent phases of the
+    // same run (hybrid trace extraction) share it by design.
+    model.manager().set_budget(options.budget.clone());
     let mut protect_log: Vec<Bdd> = model.persistent_roots();
     protect_log.push(targets);
     for &b in &protect_log {
@@ -253,11 +303,27 @@ pub fn forward_reach(
         span.record("rings", r.rings.len());
         span.record("clusters", model.transition().num_clusters());
         span.record("peak_nodes", r.peak_nodes);
+        record_budget(&mut span, &options.budget, r.peak_nodes);
         options
             .trace
             .counter("bdd.peak_nodes", r.stats.peak_nodes as u64);
     }
     result
+}
+
+/// Records `budget.*` fields on an engine span: the wall-clock remaining
+/// (only when a deadline is configured, keeping traces deterministic for
+/// unbudgeted runs) and the node headroom left under the ceiling.
+pub(crate) fn record_budget(span: &mut rfn_trace::Span, budget: &Budget, peak_nodes: usize) {
+    if let Some(remaining) = budget.remaining() {
+        span.record("budget.remaining_ms", remaining.as_millis() as u64);
+    }
+    if budget.node_ceiling() != usize::MAX {
+        span.record(
+            "budget.node_headroom",
+            budget.node_ceiling().saturating_sub(peak_nodes),
+        );
+    }
 }
 
 fn reach_loop(
@@ -266,7 +332,7 @@ fn reach_loop(
     options: &ReachOptions,
     protect_log: &mut Vec<Bdd>,
 ) -> Result<ReachResult, McError> {
-    let deadline = options.time_limit.map(|d| Instant::now() + d);
+    let deadline = options.budget.deadline_for(GovPhase::Reach);
     let mut threshold = options.reorder_threshold;
     let init = match model.init_states() {
         Ok(b) => b,
@@ -311,6 +377,16 @@ fn reach_loop(
                 AbortReason::MaxSteps,
             ));
         }
+        if options.budget.is_cancelled() {
+            return Ok(aborted_with(
+                model,
+                rings,
+                reached,
+                steps,
+                peak,
+                AbortReason::Cancelled,
+            ));
+        }
         if let Some(d) = deadline {
             if Instant::now() > d {
                 return Ok(aborted_with(
@@ -322,6 +398,19 @@ fn reach_loop(
                     AbortReason::TimeLimit,
                 ));
             }
+        }
+        if let Err(e) = options
+            .budget
+            .check_memory(model.manager_ref().approx_bytes())
+        {
+            return Ok(aborted_with(
+                model,
+                rings,
+                reached,
+                steps,
+                peak,
+                AbortReason::of_exhaustion(e),
+            ));
         }
         // Minimize the frontier against the reached set before imaging: any
         // set between the frontier and `reached` yields the same new states,

@@ -217,3 +217,39 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Cancelling the shared budget mid-fixpoint must leave the manager
+    /// consistent: the protect log unwinds completely, garbage collection
+    /// still works, and the *same* model re-runs the fixpoint to the correct
+    /// verdict once the budget is lifted.
+    #[test]
+    fn cancellation_leaves_manager_consistent(n in arb_netlist(2, 4, 12)) {
+        let view = Abstraction::from_registers(n.registers().to_vec())
+            .view(&n, [])
+            .unwrap();
+        let mut model = SymbolicModel::new(&n, ModelSpec::from_view(&view)).unwrap();
+        let zero = model.manager_ref().zero();
+        let protected_before = model.manager_ref().num_protected();
+
+        let budget = rfn_govern::Budget::unlimited();
+        budget.cancel();
+        let cancelled = ReachOptions::default().with_budget(budget);
+        let result = forward_reach(&mut model, zero, &cancelled).unwrap();
+        prop_assert_eq!(result.verdict, ReachVerdict::Aborted);
+        prop_assert_eq!(result.abort, Some(rfn_mc::AbortReason::Cancelled));
+        // Every protect the aborted run took was released again.
+        prop_assert_eq!(model.manager_ref().num_protected(), protected_before);
+
+        // The manager survives a collection (keeping the model's roots, as
+        // any later operation would) and a fresh ungoverned fixpoint on the
+        // same model succeeds.
+        model.manager().clear_budget();
+        let roots = model.persistent_roots();
+        model.manager().gc(&roots);
+        let rerun = forward_reach(&mut model, zero, &ReachOptions::default()).unwrap();
+        prop_assert_eq!(rerun.verdict, ReachVerdict::FixpointProved);
+    }
+}

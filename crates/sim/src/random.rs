@@ -10,6 +10,7 @@
 //! off the guidance corridor, which the ATPG uses to bias its decision
 //! ordering toward the hardest time frames.
 
+use rfn_govern::Budget;
 use rfn_netlist::{Cube, Netlist, NetlistError, SignalId, Trace, TraceStep};
 use rfn_trace::TraceCtx;
 
@@ -58,6 +59,9 @@ pub struct RandomSimOptions {
     pub batches: usize,
     /// Seed for the deterministic pattern generator.
     pub seed: u64,
+    /// Shared resource budget, polled at every packed batch boundary: a
+    /// cancelled or expired budget ends the attempt early with a miss.
+    pub budget: Budget,
     /// Trace context the `sim.random` span is emitted into.
     pub trace: TraceCtx,
 }
@@ -67,8 +71,39 @@ impl Default for RandomSimOptions {
         RandomSimOptions {
             batches: 64,
             seed: 0x5EED_0001,
+            budget: Budget::unlimited(),
             trace: TraceCtx::disabled(),
         }
+    }
+}
+
+impl RandomSimOptions {
+    /// Sets the batch count.
+    #[must_use]
+    pub fn with_batches(mut self, batches: usize) -> Self {
+        self.batches = batches;
+        self
+    }
+
+    /// Sets the pattern-generator seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Installs a shared resource budget (replacing any previous one).
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a structured-event context.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceCtx) -> Self {
+        self.trace = trace;
+        self
     }
 }
 
@@ -154,6 +189,13 @@ fn random_concretize_inner(
         .collect();
 
     for _ in 0..options.batches {
+        // Batch boundaries are the packed engine's natural governance
+        // checkpoint: an exhausted budget turns the attempt into a miss
+        // (the concretization ladder then falls through to its next stage
+        // or the loop reports the exhaustion).
+        if options.budget.check().is_err() {
+            break;
+        }
         stats.batches += 1;
         stats.patterns += 64;
         sim.reset();

@@ -6,6 +6,7 @@
 //! rfn verify <netlist> --watch <signal>[=0|1] [--watch ...] [--name <p>]
 //!            [--time-limit <s>] [--threads <n>] [--sim-batches <n>]
 //!            [--sim-seed <n>] [--cluster-limit <nodes>]
+//!            [--checkpoint-dir <dir>] [--resume]
 //!            [--no-frontier-simplify] [--trace-out <file>] [--breakdown] [-v]
 //! rfn coverage <netlist> --signals <a,b,c> [--bfs <k>] [--time-limit <s>]
 //!              [--sim-batches <n>] [--sim-seed <n>] [--cluster-limit <nodes>]
@@ -26,6 +27,12 @@
 //! parallel (one BDD manager per property, `--threads` workers) with results
 //! printed in command-line order. The exit code is the worst verdict: any
 //! falsification wins over any inconclusive result.
+//!
+//! `--time-limit` is one budget *shared by the whole portfolio* — all
+//! properties race the same deadline. `--checkpoint-dir` makes each RFN job
+//! snapshot its refinement loop after every iteration; `--resume` continues
+//! from those snapshots, so a killed or budget-exhausted run picks up where
+//! it stopped and reaches the same verdict the uninterrupted run would have.
 //!
 //! `--trace-out <file>` streams the run's structured events as JSONL (schema:
 //! `rfn_trace` crate docs); `--breakdown` prints a per-phase time table after
@@ -64,6 +71,7 @@ usage:
   rfn verify <netlist> --watch <signal>[=0|1] [--watch ...] [--name <p>]
              [--time-limit <s>] [--threads <n>] [--sim-batches <n>]
              [--sim-seed <n>] [--cluster-limit <nodes>]
+             [--checkpoint-dir <dir>] [--resume]
              [--no-frontier-simplify] [--trace-out <file>] [--breakdown] [-v]
   rfn coverage <netlist> --signals <a,b,c> [--bfs <k>] [--time-limit <s>]
                [--sim-batches <n>] [--sim-seed <n>] [--cluster-limit <nodes>]
@@ -75,6 +83,10 @@ engine (64 patterns per batch; 0 batches disables it).
 `--cluster-limit` bounds the clustered transition partitions of image
 computation (0 = one partition per register); `--no-frontier-simplify`
 turns off don't-care frontier minimization.
+`--time-limit` is one budget shared by the whole portfolio (all properties
+race the same deadline). `--checkpoint-dir` snapshots each RFN job's
+refinement loop after every iteration; `--resume` continues from the
+snapshots.
 `--trace-out` writes the structured event stream as JSONL; `--breakdown`
 prints a per-phase time table.
 exit codes: 0 all properties proved / analysis done, 1 some property
@@ -285,6 +297,12 @@ fn verify(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
     }
     if let Some(limit) = cluster_limit {
         rfn_opts = rfn_opts.with_cluster_limit(limit);
+    }
+    if let Some(dir) = flag_value(rest, "--checkpoint-dir") {
+        rfn_opts = rfn_opts.with_checkpoint_dir(dir);
+    }
+    if rest.iter().any(|a| a.as_str() == "--resume") {
+        rfn_opts = rfn_opts.with_resume(true);
     }
     let mut session = VerifySession::new(n)
         .rfn_options(rfn_opts)

@@ -1,0 +1,267 @@
+//! Checkpoint/resume roundtrip: an interrupted run continued from its
+//! snapshot must reproduce the uninterrupted run exactly — same verdict,
+//! same total iteration count, same refinement history, same error-trace
+//! depth — on quick-scale versions of all four benchmark designs.
+
+use std::path::{Path, PathBuf};
+
+use rfn::core::{LoopCheckpoint, Rfn, RfnOptions, RfnOutcome};
+use rfn::designs::{
+    fifo_controller, integer_unit, processor_module, usb_controller, Design, FifoParams,
+    IntegerUnitParams, ProcessorParams, UsbParams,
+};
+use rfn::netlist::Property;
+
+fn quick_processor() -> Design {
+    processor_module(&ProcessorParams {
+        width: 16,
+        regfile_words: 8,
+        store_entries: 4,
+        cache_lines: 4,
+        pipe_stages: 2,
+        multipliers: 2,
+        stall_threshold: 27,
+    })
+}
+
+fn quick_fifo() -> Design {
+    fifo_controller(&FifoParams {
+        depth: 16,
+        data_width: 8,
+        data_stages: 3,
+        inject_half_flag_bug: false,
+    })
+}
+
+fn quick_integer_unit() -> Design {
+    integer_unit(&IntegerUnitParams {
+        stages: 5,
+        counters_per_stage: 1,
+        counter_width: 5,
+        data_width: 4,
+    })
+}
+
+fn quick_usb() -> Design {
+    usb_controller(&UsbParams {
+        endpoints: 3,
+        nak_width: 6,
+    })
+}
+
+/// A watchdog property for the coverage-oriented designs, which ship
+/// without Table 1 properties: watch the first coverage register.
+fn watchdog(design: &Design) -> Property {
+    let sig = design.coverage_sets[0].signals[0];
+    Property::never(&design.netlist, "ckpt_watch", sig)
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rfn-resume-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Key facts of one outcome, for equality across the interruption.
+#[derive(Debug, PartialEq, Eq)]
+struct Summary {
+    verdict: &'static str,
+    iterations: usize,
+    abstract_registers: usize,
+    refinement_sizes: Vec<usize>,
+    trace_depth: Option<usize>,
+}
+
+fn summarize(outcome: &RfnOutcome) -> Summary {
+    let (verdict, trace_depth) = match outcome {
+        RfnOutcome::Proved { .. } => ("proved", None),
+        RfnOutcome::Falsified { trace, .. } => ("falsified", Some(trace.num_cycles())),
+        RfnOutcome::Inconclusive { .. } => ("inconclusive", None),
+    };
+    let stats = outcome.stats();
+    Summary {
+        verdict,
+        iterations: stats.iterations,
+        abstract_registers: stats.abstract_registers,
+        refinement_sizes: stats.refinement_sizes.clone(),
+        trace_depth,
+    }
+}
+
+/// Runs uninterrupted, then interrupted-at-one-iteration + resumed, and
+/// asserts both paths reach the identical outcome.
+fn roundtrip(design: &Design, property: &Property, max_iterations: usize, dir: &Path) {
+    let opts = || RfnOptions::default().with_max_iterations(max_iterations);
+
+    let full = Rfn::new(&design.netlist, property, opts())
+        .unwrap()
+        .run()
+        .unwrap();
+
+    let interrupted = Rfn::new(
+        &design.netlist,
+        property,
+        opts().with_max_iterations(1).with_checkpoint_dir(dir),
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+
+    let ckpt_path = LoopCheckpoint::path_for(dir, &property.name);
+    if matches!(interrupted, RfnOutcome::Inconclusive { .. }) && full.stats().iterations > 1 {
+        // The interrupted run completed its first refinement, so a snapshot
+        // must be on disk — and it must parse and name this design.
+        let ckpt = LoopCheckpoint::load(&ckpt_path).expect("snapshot written and readable");
+        assert_eq!(ckpt.design, design.netlist.name());
+        assert_eq!(ckpt.next_iteration, 1);
+    }
+
+    let resumed = Rfn::new(
+        &design.netlist,
+        property,
+        opts().with_checkpoint_dir(dir).with_resume(true),
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+
+    assert_eq!(
+        summarize(&full),
+        summarize(&resumed),
+        "resumed run diverged on {}/{}",
+        design.netlist.name(),
+        property.name
+    );
+}
+
+#[test]
+fn processor_roundtrips_both_properties() {
+    let design = quick_processor();
+    for name in ["mutex", "error_flag"] {
+        let dir = scratch_dir(&format!("proc-{name}"));
+        let property = design.property(name).unwrap().clone();
+        roundtrip(&design, &property, 64, &dir);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn fifo_roundtrips() {
+    let design = quick_fifo();
+    let dir = scratch_dir("fifo");
+    let property = design.property("psh_hf").unwrap().clone();
+    roundtrip(&design, &property, 64, &dir);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn integer_unit_roundtrips() {
+    let design = quick_integer_unit();
+    let dir = scratch_dir("iu");
+    let property = watchdog(&design);
+    roundtrip(&design, &property, 6, &dir);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn usb_roundtrips() {
+    let design = quick_usb();
+    let dir = scratch_dir("usb");
+    let property = watchdog(&design);
+    roundtrip(&design, &property, 6, &dir);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A budget that is already exhausted (cancelled) must come back as a
+/// structured `Inconclusive` within the cooperative-cancellation latency
+/// bound on every design — no engine may run away.
+#[test]
+fn cancelled_budget_returns_promptly_on_all_designs() {
+    use rfn::core::Budget;
+    use std::time::{Duration, Instant};
+
+    let designs = [
+        quick_processor(),
+        quick_fifo(),
+        quick_integer_unit(),
+        quick_usb(),
+    ];
+    for design in &designs {
+        let property = match design.properties.first() {
+            Some(p) => p.clone(),
+            None => watchdog(design),
+        };
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let start = Instant::now();
+        let outcome = Rfn::new(
+            &design.netlist,
+            &property,
+            RfnOptions::default().with_budget(budget),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let wall = start.elapsed();
+        let RfnOutcome::Inconclusive { reason, .. } = &outcome else {
+            panic!(
+                "{}: expected Inconclusive on a cancelled budget, got {outcome:?}",
+                design.netlist.name()
+            );
+        };
+        assert!(
+            reason.contains("cancelled"),
+            "{}: reason does not name cancellation: {reason}",
+            design.netlist.name()
+        );
+        assert!(
+            wall <= Duration::from_millis(500),
+            "{}: cancelled run took {}ms",
+            design.netlist.name(),
+            wall.as_millis()
+        );
+    }
+}
+
+#[test]
+fn resume_rejects_foreign_snapshots() {
+    let proc_design = quick_processor();
+    let fifo_design = quick_fifo();
+    let dir = scratch_dir("foreign");
+
+    // Interrupt a processor run so a snapshot exists under this name...
+    let property = proc_design.property("error_flag").unwrap().clone();
+    Rfn::new(
+        &proc_design.netlist,
+        &property,
+        RfnOptions::default()
+            .with_max_iterations(1)
+            .with_checkpoint_dir(&dir),
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    assert!(LoopCheckpoint::path_for(&dir, "error_flag").exists());
+
+    // ...then try to resume it on a different design.
+    let foreign = Property::never(
+        &fifo_design.netlist,
+        "error_flag",
+        fifo_design.netlist.registers()[0],
+    );
+    let err = Rfn::new(
+        &fifo_design.netlist,
+        &foreign,
+        RfnOptions::default()
+            .with_checkpoint_dir(&dir)
+            .with_resume(true),
+    )
+    .unwrap()
+    .run()
+    .unwrap_err();
+    assert!(
+        err.to_string().contains("checkpoint"),
+        "expected a checkpoint error, got: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

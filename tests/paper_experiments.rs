@@ -35,10 +35,7 @@ fn quick_fifo() -> FifoParams {
 }
 
 fn rfn_options() -> RfnOptions {
-    RfnOptions {
-        time_limit: Some(Duration::from_secs(120)),
-        ..RfnOptions::default()
-    }
+    RfnOptions::default().with_time_limit(Duration::from_secs(120))
 }
 
 /// Table 1, rows 1–2: `mutex` proved, `error_flag` falsified with a
@@ -117,11 +114,9 @@ fn table1_fifo_rows() {
 fn table1_plain_mc_fails_all_five() {
     let processor = processor_module(&quick_processor());
     let fifo = fifo_controller(&quick_fifo());
-    let opts = PlainOptions {
-        node_limit: 50_000,
-        time_limit: Some(Duration::from_secs(30)),
-        ..PlainOptions::default()
-    };
+    let opts = PlainOptions::default()
+        .with_node_limit(50_000)
+        .with_time_limit(Duration::from_secs(30));
     for (design, name) in [
         (&processor, "mutex"),
         (&processor, "error_flag"),
@@ -153,10 +148,7 @@ fn table2_rfn_beats_or_matches_bfs() {
         endpoints: 3,
         nak_width: 6,
     });
-    let options = CoverageOptions {
-        time_limit: Some(Duration::from_secs(120)),
-        ..CoverageOptions::default()
-    };
+    let options = CoverageOptions::default().with_time_limit(Duration::from_secs(120));
     for (design, sets) in [(&iu, &iu.coverage_sets), (&usb, &usb.coverage_sets)] {
         for set in sets {
             if set.signals.len() > 12 {
@@ -207,10 +199,7 @@ fn table2_bfs_budget_starvation() {
         data_width: 4,
     });
     let set = iu.coverage_set("IU1").unwrap();
-    let options = CoverageOptions {
-        time_limit: Some(Duration::from_secs(120)),
-        ..CoverageOptions::default()
-    };
+    let options = CoverageOptions::default().with_time_limit(Duration::from_secs(120));
     let rfn = analyze_coverage(&iu.netlist, set, &options).unwrap();
     let bfs = bfs_coverage(&iu.netlist, set, 60, 4_000_000, &ReachOptions::default()).unwrap();
     assert!(
