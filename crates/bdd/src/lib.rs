@@ -19,11 +19,16 @@
 //! * mark-and-sweep garbage collection with explicit roots, a protected
 //!   root set ([`BddManager::protect`]) and an opt-in automatic collector
 //!   ([`BddManager::set_auto_gc`]),
-//! * kernel performance counters ([`BddStats`]), and
+//! * kernel performance counters ([`BddStats`]),
 //! * **dynamic variable reordering by group sifting**: in-place adjacent
 //!   level swaps that preserve node identity, so every externally held
 //!   [`Bdd`] handle stays valid across reordering. Current/next-state
-//!   variable pairs are kept adjacent by registering them as a group.
+//!   variable pairs are kept adjacent by registering them as a group, and
+//! * a **shard-safe concurrent kernel** ([`SharedBddManager`]) whose
+//!   operations take `&self`, so scoped worker threads can apply against one
+//!   shared manager — the engine behind intra-property parallel image
+//!   computation (see the [`shared`] module docs for the concurrency
+//!   model).
 //!
 //! Handles are plain indices: a [`Bdd`] is only meaningful together with the
 //! manager that created it, and survives both reordering (node identity is
@@ -55,9 +60,11 @@ mod analysis;
 mod cache;
 mod manager;
 mod reorder;
+pub mod shared;
 mod stats;
 mod unique;
 
 pub use manager::{Bdd, BddError, BddManager, BddResult, VarId};
 pub use reorder::{SIFT_MAX_GROUPS, SIFT_MIN_GROUP_SIZE};
+pub use shared::SharedBddManager;
 pub use stats::BddStats;

@@ -1186,6 +1186,27 @@ impl BddManager {
         vars.into_iter().collect()
     }
 
+    /// The variable and cofactors of an internal node (`None` for the
+    /// terminals). Together with [`BddManager::make_node`] this supports
+    /// structural transfer of BDDs between managers — in particular to and
+    /// from the concurrent [`SharedBddManager`](crate::SharedBddManager)
+    /// used by parallel image computation.
+    pub fn node_info(&self, f: Bdd) -> Option<(VarId, Bdd, Bdd)> {
+        let n = self.nodes[f.0 as usize];
+        (n.var != TERMINAL_VAR).then_some((VarId(n.var), Bdd(n.lo), Bdd(n.hi)))
+    }
+
+    /// Finds or creates the internal node `v ? hi : lo` from existing
+    /// handles (hash-consed: returns the canonical node, or `lo` when
+    /// `lo == hi`). `lo` and `hi` must already be ordered strictly below
+    /// `v`'s level — guaranteed when copying a BDD bottom-up from a manager
+    /// with the same variable order. Unlike the boolean operations this
+    /// never triggers the automatic collector, so a multi-call import cannot
+    /// have its earlier nodes reclaimed mid-copy.
+    pub fn make_node(&mut self, v: VarId, lo: Bdd, hi: Bdd) -> BddResult {
+        self.mk(v.0, lo.0, hi.0).map(Bdd)
+    }
+
     /// Low child accessor used by the analysis module.
     pub(crate) fn node(&self, n: u32) -> Node {
         self.nodes[n as usize]

@@ -1,0 +1,1223 @@
+//! A shard-safe BDD kernel for intra-property parallelism.
+//!
+//! [`SharedBddManager`] is a second, concurrent implementation of the ROBDD
+//! kernel: every operation takes `&self`, so any number of scoped worker
+//! threads can `mk`/apply against one shared manager at once. It exists next
+//! to — not instead of — the serial [`BddManager`]: the
+//! serial kernel keeps its zero-synchronization hot path (and its golden
+//! traces), while parallel image computation exports operands into a shared
+//! manager, fans the work across threads, and imports the canonical result
+//! back. Hash-consing on both sides makes the round trip exact: the imported
+//! result is the *same node* the serial computation would have produced.
+//!
+//! # Shard layout
+//!
+//! * **Node arena** — an append-only table of fixed-size chunks, each
+//!   allocated once behind a [`OnceLock`]. A slot is written before its index
+//!   is published (through a shard lock or an operation-cache entry), so
+//!   readers never observe a half-written node and existing chunks are never
+//!   moved by growth.
+//! * **Unique table** — the PR-1 open-addressing table, sharded by the low
+//!   bits of the node hash into a fixed power-of-two number of
+//!   [`Mutex`]-guarded shards (64). The in-shard probe sequence
+//!   uses the *high* hash bits, so sharding does not degrade probe quality.
+//!   Each shard owns a free list of reusable arena slots; `mk` takes exactly
+//!   one shard lock.
+//! * **Operation caches** — the lossy direct-mapped memos become seqlock
+//!   slots: a writer flips a version counter odd, stores the full key and
+//!   result, and flips it back even; a reader validates the version before
+//!   and after reading. A torn read is discarded (the memo is lossy — losing
+//!   an entry can never change a result — same contract as the serial
+//!   kernel's lossy caches), and the full
+//!   key comparison means a stale entry can never be mistaken for a match.
+//!
+//! # Garbage collection
+//!
+//! Collection is a stop-the-world phase: [`SharedBddManager::gc`] takes
+//! `&mut self`, so the borrow checker itself enforces that no worker is in
+//! flight (workers borrow the manager through `std::thread::scope`, which
+//! joins before the coordinator regains `&mut` access). The coordinator
+//! marks from the roots, rebuilds each shard's table from the survivors,
+//! spreads the dead slots across the shard free lists and clears the memos.
+//!
+//! # Cancellation
+//!
+//! A governing [`Budget`] installed with [`SharedBddManager::set_budget`] is
+//! polled on the allocation path of *every* worker thread — cancellation on
+//! each allocation, deadline and memory every few dozen — so a cancelled
+//! budget unwinds all workers within the same bound as the serial kernel.
+//! A worker that fails for any reason may also [`SharedBddManager::poison`]
+//! the manager, which makes every other worker's next allocation return
+//! [`BddError::Cancelled`] instead of burning the rest of its slice.
+
+use std::cell::Cell;
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use rfn_govern::{Budget, Exhaustion};
+
+use crate::manager::TERMINAL_VAR;
+use crate::stats::BddStats;
+use crate::{Bdd, BddError, BddManager, BddResult, VarId};
+
+/// Number of unique-table shards (power of two). 64 shards keep the
+/// collision probability of two workers needing the same lock at the same
+/// time low for any realistic thread count, while the per-shard tables stay
+/// large enough to amortize their `Vec` headers.
+const NUM_SHARDS: usize = 64;
+
+/// log2 of the arena chunk size.
+const CHUNK_BITS: usize = 16;
+
+/// Arena chunk size in slots.
+const CHUNK_SLOTS: usize = 1 << CHUNK_BITS;
+
+/// Maximum number of arena chunks (caps the manager at 2^28 nodes, far above
+/// anything the governing budgets allow).
+const MAX_CHUNKS: usize = 1 << 12;
+
+/// Initial slot count of each unique-table shard (power of two).
+const SHARD_INITIAL_SLOTS: usize = 1 << 8;
+
+/// Vacant unique-table slot.
+const EMPTY: u32 = u32::MAX;
+
+/// Default slot count of each seqlock operation cache.
+const DEFAULT_PAR_CACHE_SLOTS: usize = 1 << 18;
+
+/// Allocations between two deadline/memory polls of the governing budget,
+/// per worker thread (cancellation is polled on every allocation). Matches
+/// the serial kernel's interval, so the cooperative-cancellation latency
+/// bound is the same on every worker.
+const BUDGET_POLL_INTERVAL: u32 = 64;
+
+const FALSE: u32 = 0;
+const TRUE: u32 = 1;
+
+/// Same node hash as the serial unique table: shard selection takes the low
+/// bits, the in-shard probe start the high bits, so the two are independent.
+#[inline]
+fn hash(var: u32, lo: u32, hi: u32) -> u64 {
+    let k = (u64::from(lo) | (u64::from(hi) << 32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    k ^ u64::from(var).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+}
+
+#[inline]
+fn mix(a: u32, b: u32, c: u32) -> u64 {
+    let k = (u64::from(a) | (u64::from(b) << 32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    k ^ u64::from(c).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+}
+
+/// One arena slot. `var` and `lohi` are written exactly once before the
+/// slot's index is published (or rewritten only while the slot is free and
+/// unreachable), so relaxed loads paired with the publishing edge — a shard
+/// mutex, a seqlock version, or a scope join — always see a complete node.
+struct Slot {
+    var: AtomicU32,
+    lohi: AtomicU64,
+}
+
+/// Append-only chunked node store. Chunks are allocated on demand behind a
+/// [`OnceLock`] and never move, so `&self` readers are safe while another
+/// thread extends the arena.
+struct Arena {
+    chunks: Vec<OnceLock<Box<[Slot]>>>,
+    /// Next fresh slot index; only grows (freed slots are recycled through
+    /// the shard free lists, never returned here).
+    cursor: AtomicU32,
+}
+
+impl Arena {
+    fn new() -> Self {
+        let mut chunks = Vec::with_capacity(MAX_CHUNKS);
+        chunks.resize_with(MAX_CHUNKS, OnceLock::new);
+        Arena {
+            chunks,
+            cursor: AtomicU32::new(0),
+        }
+    }
+
+    fn chunk(&self, c: usize) -> &[Slot] {
+        self.chunks[c].get_or_init(|| {
+            let mut v = Vec::with_capacity(CHUNK_SLOTS);
+            v.resize_with(CHUNK_SLOTS, || Slot {
+                var: AtomicU32::new(TERMINAL_VAR),
+                lohi: AtomicU64::new(0),
+            });
+            v.into_boxed_slice()
+        })
+    }
+
+    /// Reserves a fresh slot index (the caller writes and publishes it).
+    fn alloc(&self) -> Result<u32, BddError> {
+        let idx = self.cursor.fetch_add(1, Ordering::Relaxed);
+        if idx as usize >= MAX_CHUNKS * CHUNK_SLOTS {
+            return Err(BddError::NodeLimit);
+        }
+        self.chunk(idx as usize >> CHUNK_BITS);
+        Ok(idx)
+    }
+
+    #[inline]
+    fn slot(&self, idx: u32) -> &Slot {
+        let chunk = self.chunks[idx as usize >> CHUNK_BITS]
+            .get()
+            .expect("arena slot read before its chunk was allocated");
+        &chunk[idx as usize & (CHUNK_SLOTS - 1)]
+    }
+
+    #[inline]
+    fn write(&self, idx: u32, var: u32, lo: u32, hi: u32) {
+        let s = self.slot(idx);
+        s.var.store(var, Ordering::Relaxed);
+        s.lohi
+            .store(u64::from(lo) | (u64::from(hi) << 32), Ordering::Release);
+    }
+
+    #[inline]
+    fn read(&self, idx: u32) -> (u32, u32, u32) {
+        let s = self.slot(idx);
+        let lohi = s.lohi.load(Ordering::Acquire);
+        let var = s.var.load(Ordering::Relaxed);
+        (var, lohi as u32, (lohi >> 32) as u32)
+    }
+}
+
+/// One unique-table shard: an open-addressing slot array (high hash bits
+/// index it, exactly like the serial table) plus this shard's share of the
+/// reusable arena slots.
+struct ShardTable {
+    slots: Vec<u32>,
+    len: usize,
+    free: Vec<u32>,
+    /// High-water mark of `len` (per-shard peak occupancy).
+    peak: usize,
+}
+
+impl ShardTable {
+    fn new() -> Self {
+        ShardTable {
+            slots: vec![EMPTY; SHARD_INITIAL_SLOTS],
+            len: 0,
+            free: Vec::new(),
+            peak: 0,
+        }
+    }
+
+    #[inline]
+    fn index(&self, h: u64) -> usize {
+        (h >> (64 - self.slots.len().trailing_zeros())) as usize
+    }
+
+    fn grow(&mut self, arena: &Arena) {
+        let doubled = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; doubled]);
+        let mask = self.slots.len() - 1;
+        for idx in old {
+            if idx == EMPTY {
+                continue;
+            }
+            let (var, lo, hi) = arena.read(idx);
+            let mut i = self.index(hash(var, lo, hi));
+            while self.slots[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = idx;
+        }
+    }
+}
+
+/// Seqlock entry of a lossy operation memo: `v` is the version (odd while a
+/// writer is mid-store), `w1` packs the first two key operands, `w2` the
+/// third operand and the result.
+struct SeqEntry {
+    v: AtomicU32,
+    w1: AtomicU64,
+    w2: AtomicU64,
+}
+
+/// Direct-mapped lossy memo safe for concurrent readers and writers. Writers
+/// that lose the version CAS simply skip the store; readers that observe a
+/// version change discard the entry. Both are sound because the memo is
+/// lossy (see [`crate::cache`]); the full key is stored and compared, so a
+/// validated read can never return another operation's result.
+struct SeqCache {
+    slots: OnceLock<Box<[SeqEntry]>>,
+    num_slots: usize,
+}
+
+impl SeqCache {
+    fn new(num_slots: usize) -> Self {
+        SeqCache {
+            slots: OnceLock::new(),
+            num_slots: num_slots.next_power_of_two(),
+        }
+    }
+
+    fn slots(&self) -> &[SeqEntry] {
+        self.slots.get_or_init(|| {
+            let mut v = Vec::with_capacity(self.num_slots);
+            v.resize_with(self.num_slots, || SeqEntry {
+                v: AtomicU32::new(0),
+                // A vacant key: `a == u32::MAX` can never be a real operand.
+                w1: AtomicU64::new(u64::from(u32::MAX)),
+                w2: AtomicU64::new(0),
+            });
+            v.into_boxed_slice()
+        })
+    }
+
+    #[inline]
+    fn get(&self, a: u32, b: u32, c: u32) -> Option<u32> {
+        let slots = self.slots.get()?;
+        let e = &slots[(mix(a, b, c) >> (64 - slots.len().trailing_zeros())) as usize];
+        let v1 = e.v.load(Ordering::Acquire);
+        if v1 & 1 != 0 {
+            return None;
+        }
+        let w1 = e.w1.load(Ordering::Relaxed);
+        let w2 = e.w2.load(Ordering::Relaxed);
+        fence(Ordering::Acquire);
+        if e.v.load(Ordering::Relaxed) != v1 {
+            return None;
+        }
+        let (ea, eb) = (w1 as u32, (w1 >> 32) as u32);
+        let (ec, r) = (w2 as u32, (w2 >> 32) as u32);
+        (ea == a && eb == b && ec == c).then_some(r)
+    }
+
+    #[inline]
+    fn put(&self, a: u32, b: u32, c: u32, r: u32) {
+        if self.num_slots == 0 {
+            return;
+        }
+        let slots = self.slots();
+        let e = &slots[(mix(a, b, c) >> (64 - slots.len().trailing_zeros())) as usize];
+        let v = e.v.load(Ordering::Relaxed);
+        if v & 1 != 0 {
+            return; // another writer is mid-store: the memo is lossy, skip
+        }
+        if e.v
+            .compare_exchange(v, v.wrapping_add(1), Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        e.w1.store(u64::from(a) | (u64::from(b) << 32), Ordering::Relaxed);
+        e.w2.store(u64::from(c) | (u64::from(r) << 32), Ordering::Relaxed);
+        e.v.store(v.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Stop-the-world clear; `&mut self` proves no reader is in flight.
+    fn clear(&mut self) {
+        if let Some(slots) = self.slots.get_mut() {
+            for e in slots.iter_mut() {
+                *e.v.get_mut() = 0;
+                *e.w1.get_mut() = u64::from(u32::MAX);
+                *e.w2.get_mut() = 0;
+            }
+        }
+    }
+}
+
+/// Always-on concurrent counters, mirrored into [`BddStats`] on
+/// [`SharedBddManager::stats`].
+#[derive(Default)]
+struct SharedStats {
+    unique_probes: AtomicU64,
+    unique_collisions: AtomicU64,
+    shard_locks: AtomicU64,
+    shard_contended: AtomicU64,
+    ite_hits: AtomicU64,
+    ite_misses: AtomicU64,
+    exists_hits: AtomicU64,
+    exists_misses: AtomicU64,
+    and_exists_hits: AtomicU64,
+    and_exists_misses: AtomicU64,
+    gc_runs: AtomicU64,
+    gc_nodes_freed: AtomicU64,
+    peak_nodes: AtomicUsize,
+}
+
+/// Per-thread operation context: counters batched in thread-local cells and
+/// flushed into the shared atomics once per top-level operation, so the hot
+/// recursion never touches a contended cache line.
+#[derive(Default)]
+struct OpCtx {
+    probes: Cell<u64>,
+    collisions: Cell<u64>,
+    locks: Cell<u64>,
+    contended: Cell<u64>,
+    ite_hits: Cell<u64>,
+    ite_misses: Cell<u64>,
+    exists_hits: Cell<u64>,
+    exists_misses: Cell<u64>,
+    and_exists_hits: Cell<u64>,
+    and_exists_misses: Cell<u64>,
+    /// Allocations since this thread's last deadline/memory poll.
+    poll: Cell<u32>,
+}
+
+/// The shard-safe BDD manager: every operation takes `&self` and may be
+/// called from any number of threads concurrently. See the [module
+/// docs](self) for the concurrency model and the intended serial↔shared
+/// transfer workflow ([`SharedBddManager::make_node`] /
+/// [`SharedBddManager::node_info`] on this side,
+/// [`BddManager::make_node`] / [`BddManager::node_info`] on the serial
+/// side).
+pub struct SharedBddManager {
+    arena: Arena,
+    shards: Box<[Mutex<ShardTable>]>,
+    ite_cache: SeqCache,
+    exists_cache: SeqCache,
+    and_exists_cache: SeqCache,
+    var2level: Vec<u32>,
+    level2var: Vec<u32>,
+    /// Live node count (terminals excluded), kept exact under the shard
+    /// locks' increments and GC's recount.
+    live: AtomicUsize,
+    /// Total allocated unique-table slots across shards (memory accounting).
+    table_slots: AtomicUsize,
+    node_limit: usize,
+    budget: Option<Budget>,
+    poisoned: AtomicBool,
+    stats: SharedStats,
+}
+
+impl std::fmt::Debug for SharedBddManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SharedBddManager({} vars, {} live nodes)",
+            self.num_vars(),
+            self.num_nodes()
+        )
+    }
+}
+
+impl SharedBddManager {
+    /// Creates a shared manager over `num_vars` variables in identity order.
+    pub fn new(num_vars: usize) -> Self {
+        Self::with_order((0..num_vars as u32).collect())
+    }
+
+    /// Creates a shared manager whose variable order mirrors the given
+    /// `var → level` map (a permutation of `0..n`), e.g. a snapshot of a
+    /// serial manager's order so exported nodes keep their structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var2level` is not a permutation.
+    pub fn with_order(var2level: Vec<u32>) -> Self {
+        let n = var2level.len();
+        let mut level2var = vec![u32::MAX; n];
+        for (v, &l) in var2level.iter().enumerate() {
+            assert!(
+                (l as usize) < n && level2var[l as usize] == u32::MAX,
+                "var2level must be a permutation of 0..{n}"
+            );
+            level2var[l as usize] = v as u32;
+        }
+        let arena = Arena::new();
+        // Terminals occupy indices 0 and 1, exactly like the serial manager.
+        arena.alloc().expect("arena has room for terminals");
+        arena.alloc().expect("arena has room for terminals");
+        arena.write(FALSE, TERMINAL_VAR, FALSE, FALSE);
+        arena.write(TRUE, TERMINAL_VAR, TRUE, TRUE);
+        let mut shards = Vec::with_capacity(NUM_SHARDS);
+        shards.resize_with(NUM_SHARDS, || Mutex::new(ShardTable::new()));
+        SharedBddManager {
+            arena,
+            shards: shards.into_boxed_slice(),
+            ite_cache: SeqCache::new(DEFAULT_PAR_CACHE_SLOTS),
+            exists_cache: SeqCache::new(DEFAULT_PAR_CACHE_SLOTS),
+            and_exists_cache: SeqCache::new(DEFAULT_PAR_CACHE_SLOTS),
+            var2level,
+            level2var,
+            live: AtomicUsize::new(0),
+            table_slots: AtomicUsize::new(NUM_SHARDS * SHARD_INITIAL_SLOTS),
+            node_limit: usize::MAX,
+            budget: None,
+            poisoned: AtomicBool::new(false),
+            stats: SharedStats::default(),
+        }
+    }
+
+    /// Creates a shared manager mirroring a serial manager's current
+    /// variable order.
+    pub fn mirroring(mgr: &BddManager) -> Self {
+        Self::with_order(mgr.var2level.clone())
+    }
+
+    /// Sets the live-node limit (default: unlimited).
+    pub fn set_node_limit(&mut self, limit: usize) {
+        self.node_limit = limit;
+    }
+
+    /// Installs a governing [`Budget`], polled on every worker thread's
+    /// allocation path exactly like the serial kernel's
+    /// [`BddManager::set_budget`].
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = Some(budget);
+    }
+
+    /// Marks the manager poisoned: every subsequent allocation on any thread
+    /// fails with [`BddError::Cancelled`]. A worker that hits an error calls
+    /// this so its siblings unwind instead of finishing doomed slices; the
+    /// coordinator reports the first *real* error, not the poison echoes.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Relaxed);
+    }
+
+    /// Clears the poison flag (between independent parallel sections).
+    pub fn clear_poison(&mut self) {
+        *self.poisoned.get_mut() = false;
+    }
+
+    /// The constant false.
+    pub fn zero(&self) -> Bdd {
+        Bdd(FALSE)
+    }
+
+    /// The constant true.
+    pub fn one(&self) -> Bdd {
+        Bdd(TRUE)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.var2level.len()
+    }
+
+    /// Number of live internal nodes (terminals excluded).
+    pub fn num_nodes(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Approximate resident bytes of the arena, shard tables and caches.
+    pub fn approx_bytes(&self) -> usize {
+        let arena = (self.arena.cursor.load(Ordering::Relaxed) as usize)
+            .min(MAX_CHUNKS * CHUNK_SLOTS)
+            * std::mem::size_of::<Slot>();
+        let tables = self.table_slots.load(Ordering::Relaxed) * std::mem::size_of::<u32>();
+        let cache_entries = [&self.ite_cache, &self.exists_cache, &self.and_exists_cache]
+            .iter()
+            .map(|c| c.slots.get().map_or(0, |s| s.len()))
+            .sum::<usize>();
+        arena + tables + cache_entries * std::mem::size_of::<SeqEntry>()
+    }
+
+    /// Snapshot of the kernel counters. Shard counters land in the
+    /// `shard_*` fields of [`BddStats`]; cache counters land in the fields
+    /// of the corresponding serial caches.
+    pub fn stats(&self) -> BddStats {
+        let shard_peak = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned").peak)
+            .max()
+            .unwrap_or(0);
+        BddStats {
+            unique_probes: self.stats.unique_probes.load(Ordering::Relaxed),
+            unique_collisions: self.stats.unique_collisions.load(Ordering::Relaxed),
+            ite_hits: self.stats.ite_hits.load(Ordering::Relaxed),
+            ite_misses: self.stats.ite_misses.load(Ordering::Relaxed),
+            exists_hits: self.stats.exists_hits.load(Ordering::Relaxed),
+            exists_misses: self.stats.exists_misses.load(Ordering::Relaxed),
+            and_exists_hits: self.stats.and_exists_hits.load(Ordering::Relaxed),
+            and_exists_misses: self.stats.and_exists_misses.load(Ordering::Relaxed),
+            gc_runs: self.stats.gc_runs.load(Ordering::Relaxed),
+            gc_nodes_freed: self.stats.gc_nodes_freed.load(Ordering::Relaxed),
+            peak_nodes: self.stats.peak_nodes.load(Ordering::Relaxed),
+            shard_locks: self.stats.shard_locks.load(Ordering::Relaxed),
+            shard_contended: self.stats.shard_contended.load(Ordering::Relaxed),
+            shard_peak_occupancy: shard_peak,
+            ..BddStats::default()
+        }
+    }
+
+    #[inline]
+    fn level(&self, n: u32) -> u32 {
+        let (var, _, _) = self.arena.read(n);
+        if var == TERMINAL_VAR {
+            u32::MAX
+        } else {
+            self.var2level[var as usize]
+        }
+    }
+
+    #[inline]
+    fn cofactor(&self, n: u32, level: u32) -> (u32, u32) {
+        let (var, lo, hi) = self.arena.read(n);
+        if var != TERMINAL_VAR && self.var2level[var as usize] == level {
+            (lo, hi)
+        } else {
+            (n, n)
+        }
+    }
+
+    /// Finds or creates the node `(var, lo, hi)`: the concurrent twin of the
+    /// serial `mk`, taking exactly one shard lock.
+    fn mk(&self, ctx: &OpCtx, var: u32, lo: u32, hi: u32) -> Result<u32, BddError> {
+        if lo == hi {
+            return Ok(lo);
+        }
+        debug_assert!(
+            self.level(lo) > self.var2level[var as usize]
+                && self.level(hi) > self.var2level[var as usize],
+            "mk: children must be below the node's level"
+        );
+        ctx.probes.set(ctx.probes.get() + 1);
+        let h = hash(var, lo, hi);
+        let shard = &self.shards[(h as usize) & (NUM_SHARDS - 1)];
+        let mut t: MutexGuard<'_, ShardTable> = match shard.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                ctx.contended.set(ctx.contended.get() + 1);
+                shard.lock().expect("shard lock poisoned")
+            }
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("shard lock poisoned"),
+        };
+        ctx.locks.set(ctx.locks.get() + 1);
+        if (t.len + 1) * 4 > t.slots.len() * 3 {
+            let before = t.slots.len();
+            t.grow(&self.arena);
+            self.table_slots
+                .fetch_add(t.slots.len() - before, Ordering::Relaxed);
+        }
+        let mask = t.slots.len() - 1;
+        let mut i = t.index(h);
+        loop {
+            let s = t.slots[i];
+            if s == EMPTY {
+                break;
+            }
+            let (nvar, nlo, nhi) = self.arena.read(s);
+            if nvar == var && nlo == lo && nhi == hi {
+                return Ok(s);
+            }
+            ctx.collisions.set(ctx.collisions.get() + 1);
+            i = (i + 1) & mask;
+        }
+        // Vacant: allocate. Governance first, exactly like the serial path.
+        if self.poisoned.load(Ordering::Relaxed) {
+            return Err(BddError::Cancelled);
+        }
+        let limit = match &self.budget {
+            Some(b) => self.node_limit.min(b.node_ceiling()),
+            None => self.node_limit,
+        };
+        if self.live.load(Ordering::Relaxed) >= limit {
+            return Err(BddError::NodeLimit);
+        }
+        if let Some(b) = &self.budget {
+            if b.is_cancelled() {
+                return Err(BddError::Cancelled);
+            }
+            ctx.poll.set(ctx.poll.get().wrapping_add(1));
+            if ctx.poll.get().is_multiple_of(BUDGET_POLL_INTERVAL) {
+                if let Err(e) = b.check().and_then(|()| b.check_memory(self.approx_bytes())) {
+                    return Err(match e {
+                        Exhaustion::Cancelled => BddError::Cancelled,
+                        Exhaustion::MemoryLimit => BddError::MemoryLimit,
+                        _ => BddError::TimeLimit,
+                    });
+                }
+            }
+        }
+        let idx = match t.free.pop() {
+            Some(idx) => idx,
+            None => self.arena.alloc()?,
+        };
+        self.arena.write(idx, var, lo, hi);
+        t.slots[i] = idx;
+        t.len += 1;
+        if t.len > t.peak {
+            t.peak = t.len;
+        }
+        let live = self.live.fetch_add(1, Ordering::Relaxed) + 1;
+        self.stats.peak_nodes.fetch_max(live, Ordering::Relaxed);
+        Ok(idx)
+    }
+
+    fn flush(&self, ctx: &OpCtx) {
+        let s = &self.stats;
+        s.unique_probes
+            .fetch_add(ctx.probes.get(), Ordering::Relaxed);
+        s.unique_collisions
+            .fetch_add(ctx.collisions.get(), Ordering::Relaxed);
+        s.shard_locks.fetch_add(ctx.locks.get(), Ordering::Relaxed);
+        s.shard_contended
+            .fetch_add(ctx.contended.get(), Ordering::Relaxed);
+        s.ite_hits.fetch_add(ctx.ite_hits.get(), Ordering::Relaxed);
+        s.ite_misses
+            .fetch_add(ctx.ite_misses.get(), Ordering::Relaxed);
+        s.exists_hits
+            .fetch_add(ctx.exists_hits.get(), Ordering::Relaxed);
+        s.exists_misses
+            .fetch_add(ctx.exists_misses.get(), Ordering::Relaxed);
+        s.and_exists_hits
+            .fetch_add(ctx.and_exists_hits.get(), Ordering::Relaxed);
+        s.and_exists_misses
+            .fetch_add(ctx.and_exists_misses.get(), Ordering::Relaxed);
+    }
+
+    /// The BDD of a single positive literal.
+    pub fn var(&self, v: VarId) -> BddResult {
+        let ctx = OpCtx::default();
+        let r = self.mk(&ctx, v.0, FALSE, TRUE).map(Bdd);
+        self.flush(&ctx);
+        r
+    }
+
+    /// Finds or creates the internal node `v ? hi : lo` from existing
+    /// handles. This is the hash-consing entry point used to import BDDs
+    /// node by node; `lo` and `hi` must already be ordered strictly below
+    /// `v`'s level (guaranteed when copying a BDD bottom-up from a manager
+    /// with the same variable order).
+    pub fn make_node(&self, v: VarId, lo: Bdd, hi: Bdd) -> BddResult {
+        let ctx = OpCtx::default();
+        let r = self.mk(&ctx, v.0, lo.0, hi.0).map(Bdd);
+        self.flush(&ctx);
+        r
+    }
+
+    /// The variable and cofactors of an internal node (`None` for the
+    /// terminals). Inverse of [`SharedBddManager::make_node`], used to
+    /// export a BDD out of the shared manager.
+    pub fn node_info(&self, f: Bdd) -> Option<(VarId, Bdd, Bdd)> {
+        let (var, lo, hi) = self.arena.read(f.0);
+        (var != TERMINAL_VAR).then_some((VarId(var), Bdd(lo), Bdd(hi)))
+    }
+
+    /// Negation.
+    pub fn not(&self, f: Bdd) -> BddResult {
+        self.ite(f, self.zero(), self.one())
+    }
+
+    /// Conjunction.
+    pub fn and(&self, f: Bdd, g: Bdd) -> BddResult {
+        self.ite(f, g, self.zero())
+    }
+
+    /// Disjunction.
+    pub fn or(&self, f: Bdd, g: Bdd) -> BddResult {
+        self.ite(f, self.one(), g)
+    }
+
+    /// If-then-else `f ? g : h`.
+    pub fn ite(&self, f: Bdd, g: Bdd, h: Bdd) -> BddResult {
+        let ctx = OpCtx::default();
+        let r = self.ite_rec(&ctx, f.0, g.0, h.0).map(Bdd);
+        self.flush(&ctx);
+        r
+    }
+
+    fn ite_rec(&self, ctx: &OpCtx, f: u32, g: u32, h: u32) -> Result<u32, BddError> {
+        if f == TRUE {
+            return Ok(g);
+        }
+        if f == FALSE {
+            return Ok(h);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g == TRUE && h == FALSE {
+            return Ok(f);
+        }
+        if let Some(r) = self.ite_cache.get(f, g, h) {
+            ctx.ite_hits.set(ctx.ite_hits.get() + 1);
+            return Ok(r);
+        }
+        ctx.ite_misses.set(ctx.ite_misses.get() + 1);
+        let top = self.level(f).min(self.level(g)).min(self.level(h));
+        let v = self.level2var[top as usize];
+        let (f0, f1) = self.cofactor(f, top);
+        let (g0, g1) = self.cofactor(g, top);
+        let (h0, h1) = self.cofactor(h, top);
+        let lo = self.ite_rec(ctx, f0, g0, h0)?;
+        let hi = self.ite_rec(ctx, f1, g1, h1)?;
+        let r = self.mk(ctx, v, lo, hi)?;
+        self.ite_cache.put(f, g, h, r);
+        Ok(r)
+    }
+
+    /// Existential quantification `∃ vars . f` (`vars` is a positive cube).
+    pub fn exists(&self, f: Bdd, vars: Bdd) -> BddResult {
+        let ctx = OpCtx::default();
+        let r = self.exists_rec(&ctx, f.0, vars.0).map(Bdd);
+        self.flush(&ctx);
+        r
+    }
+
+    fn exists_rec(&self, ctx: &OpCtx, f: u32, mut cube: u32) -> Result<u32, BddError> {
+        while cube != TRUE && self.level(cube) < self.level(f) {
+            let (_, _, hi) = self.arena.read(cube);
+            cube = hi;
+        }
+        if f <= TRUE || cube == TRUE {
+            return Ok(f);
+        }
+        if let Some(r) = self.exists_cache.get(f, cube, 0) {
+            ctx.exists_hits.set(ctx.exists_hits.get() + 1);
+            return Ok(r);
+        }
+        ctx.exists_misses.set(ctx.exists_misses.get() + 1);
+        let flevel = self.level(f);
+        let (_, flo, fhi) = self.arena.read(f);
+        let r = if self.level(cube) == flevel {
+            let (_, _, cube_rest) = self.arena.read(cube);
+            let lo = self.exists_rec(ctx, flo, cube_rest)?;
+            if lo == TRUE {
+                TRUE
+            } else {
+                let hi = self.exists_rec(ctx, fhi, cube_rest)?;
+                self.ite_rec(ctx, lo, TRUE, hi)?
+            }
+        } else {
+            let v = self.level2var[flevel as usize];
+            let lo = self.exists_rec(ctx, flo, cube)?;
+            let hi = self.exists_rec(ctx, fhi, cube)?;
+            self.mk(ctx, v, lo, hi)?
+        };
+        self.exists_cache.put(f, cube, 0, r);
+        Ok(r)
+    }
+
+    /// The fused relational product `∃ vars . f ∧ g`.
+    pub fn and_exists(&self, f: Bdd, g: Bdd, vars: Bdd) -> BddResult {
+        let ctx = OpCtx::default();
+        let r = self.and_exists_rec(&ctx, f.0, g.0, vars.0).map(Bdd);
+        self.flush(&ctx);
+        r
+    }
+
+    fn and_exists_rec(&self, ctx: &OpCtx, f: u32, g: u32, mut cube: u32) -> Result<u32, BddError> {
+        if f == FALSE || g == FALSE {
+            return Ok(FALSE);
+        }
+        if f == TRUE && g == TRUE {
+            return Ok(TRUE);
+        }
+        let top = self.level(f).min(self.level(g));
+        while cube != TRUE && self.level(cube) < top {
+            let (_, _, hi) = self.arena.read(cube);
+            cube = hi;
+        }
+        if cube == TRUE {
+            return self.ite_rec(ctx, f, g, FALSE);
+        }
+        let (f, g) = if f <= g { (f, g) } else { (g, f) };
+        if let Some(r) = self.and_exists_cache.get(f, g, cube) {
+            ctx.and_exists_hits.set(ctx.and_exists_hits.get() + 1);
+            return Ok(r);
+        }
+        ctx.and_exists_misses.set(ctx.and_exists_misses.get() + 1);
+        let (f0, f1) = self.cofactor(f, top);
+        let (g0, g1) = self.cofactor(g, top);
+        let r = if self.level(cube) == top {
+            let (_, _, cube_rest) = self.arena.read(cube);
+            let lo = self.and_exists_rec(ctx, f0, g0, cube_rest)?;
+            if lo == TRUE {
+                TRUE
+            } else {
+                let hi = self.and_exists_rec(ctx, f1, g1, cube_rest)?;
+                self.ite_rec(ctx, lo, TRUE, hi)?
+            }
+        } else {
+            let v = self.level2var[top as usize];
+            let lo = self.and_exists_rec(ctx, f0, g0, cube)?;
+            let hi = self.and_exists_rec(ctx, f1, g1, cube)?;
+            self.mk(ctx, v, lo, hi)?
+        };
+        self.and_exists_cache.put(f, g, cube, r);
+        Ok(r)
+    }
+
+    /// The positive cube of the given variables.
+    pub fn var_cube(&self, vars: impl IntoIterator<Item = VarId>) -> BddResult {
+        let mut vs: Vec<VarId> = vars.into_iter().collect();
+        vs.sort_by_key(|v| std::cmp::Reverse(self.var2level[v.0 as usize]));
+        let ctx = OpCtx::default();
+        let mut acc = TRUE;
+        let mut result = Ok(());
+        for v in vs {
+            match self.mk(&ctx, v.0, FALSE, acc) {
+                Ok(n) => acc = n,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        self.flush(&ctx);
+        result.map(|()| Bdd(acc))
+    }
+
+    /// Disjunction of many operands in a parallel reduction tree: pairs are
+    /// combined concurrently on scoped threads until one result remains.
+    /// With `threads <= 1` or fewer than two operands this is a plain serial
+    /// fold.
+    pub fn or_many_parallel(&self, fs: &[Bdd], threads: usize) -> BddResult {
+        let mut layer: Vec<Bdd> = fs.to_vec();
+        if layer.is_empty() {
+            return Ok(self.zero());
+        }
+        while layer.len() > 1 {
+            if threads <= 1 || layer.len() < 4 {
+                let mut acc = layer[0];
+                for &f in &layer[1..] {
+                    acc = self.or(acc, f)?;
+                }
+                return Ok(acc);
+            }
+            let pairs: Vec<(Bdd, Option<Bdd>)> =
+                layer.chunks(2).map(|c| (c[0], c.get(1).copied())).collect();
+            let results = std::thread::scope(|s| {
+                let handles: Vec<_> = pairs
+                    .iter()
+                    .map(|&(a, b)| {
+                        s.spawn(move || match b {
+                            Some(b) => self.or(a, b),
+                            None => Ok(a),
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("or_many_parallel worker panicked"))
+                    .collect::<Vec<BddResult>>()
+            });
+            layer = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+        }
+        Ok(layer[0])
+    }
+
+    /// Number of nodes in the BDD rooted at `f` (terminals included).
+    pub fn size(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f.0];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            let (var, lo, hi) = self.arena.read(n);
+            if var != TERMINAL_VAR {
+                stack.push(lo);
+                stack.push(hi);
+            }
+        }
+        seen.len()
+    }
+
+    /// Evaluates `f` under a total assignment (`assign[var index]`).
+    pub fn eval(&self, f: Bdd, assign: &[bool]) -> bool {
+        let mut n = f.0;
+        loop {
+            let (var, lo, hi) = self.arena.read(n);
+            if var == TERMINAL_VAR {
+                return n == TRUE;
+            }
+            n = if assign[var as usize] { hi } else { lo };
+        }
+    }
+
+    /// Stop-the-world mark-and-sweep: keeps exactly the nodes reachable from
+    /// `roots`, returns the number reclaimed. `&mut self` guarantees no
+    /// worker thread is in flight — scoped workers must have been joined
+    /// before the coordinator can call this. Clears the operation caches
+    /// (their entries may reference dead nodes).
+    pub fn gc(&mut self, roots: &[Bdd]) -> usize {
+        let total = self.arena.cursor.load(Ordering::Relaxed) as usize;
+        let mut marked = vec![false; total];
+        marked[FALSE as usize] = true;
+        marked[TRUE as usize] = true;
+        let mut stack: Vec<u32> = roots.iter().map(|b| b.0).collect();
+        while let Some(n) = stack.pop() {
+            if marked[n as usize] {
+                continue;
+            }
+            marked[n as usize] = true;
+            let (var, lo, hi) = self.arena.read(n);
+            debug_assert_ne!(var, TERMINAL_VAR, "terminals are pre-marked");
+            if !marked[lo as usize] {
+                stack.push(lo);
+            }
+            if !marked[hi as usize] {
+                stack.push(hi);
+            }
+        }
+        let mut dead: Vec<u32> = Vec::new();
+        let mut live = 0usize;
+        let mut table_slots = 0usize;
+        for shard in self.shards.iter_mut() {
+            let t = shard.get_mut().expect("shard lock poisoned");
+            let old: Vec<u32> = t.slots.iter().copied().filter(|&s| s != EMPTY).collect();
+            t.len = 0;
+            for s in &mut t.slots {
+                *s = EMPTY;
+            }
+            for idx in old {
+                if marked[idx as usize] {
+                    if (t.len + 1) * 4 > t.slots.len() * 3 {
+                        t.grow(&self.arena);
+                    }
+                    let (var, lo, hi) = self.arena.read(idx);
+                    let mask = t.slots.len() - 1;
+                    let mut i = t.index(hash(var, lo, hi));
+                    while t.slots[i] != EMPTY {
+                        i = (i + 1) & mask;
+                    }
+                    t.slots[i] = idx;
+                    t.len += 1;
+                } else {
+                    dead.push(idx);
+                }
+            }
+            live += t.len;
+            table_slots += t.slots.len();
+        }
+        // Dead arena slots are spare capacity for *any* future node: spread
+        // them evenly so every shard can recycle without a global free list.
+        let freed = dead.len();
+        for (k, idx) in dead.into_iter().enumerate() {
+            self.shards[k % NUM_SHARDS]
+                .get_mut()
+                .expect("shard lock poisoned")
+                .free
+                .push(idx);
+        }
+        self.live.store(live, Ordering::Relaxed);
+        self.table_slots.store(table_slots, Ordering::Relaxed);
+        self.ite_cache.clear();
+        self.exists_cache.clear();
+        self.and_exists_cache.clear();
+        self.stats.gc_runs.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .gc_nodes_freed
+            .fetch_add(freed as u64, Ordering::Relaxed);
+        freed
+    }
+
+    /// Structural invariant check for tests: every unique-table entry is a
+    /// well-formed, canonical, findable node and the live count is exact.
+    /// Returns a description of the first violation.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let mut counted = 0usize;
+        let mut seen = std::collections::HashSet::new();
+        for (si, shard) in self.shards.iter().enumerate() {
+            let t = shard.lock().expect("shard lock poisoned");
+            let mut len = 0usize;
+            for &s in &t.slots {
+                if s == EMPTY {
+                    continue;
+                }
+                len += 1;
+                let (var, lo, hi) = self.arena.read(s);
+                if var == TERMINAL_VAR {
+                    return Err(format!("terminal node {s} in shard {si}"));
+                }
+                if lo == hi {
+                    return Err(format!("redundant node {s}: lo == hi == {lo}"));
+                }
+                if self.level(lo) <= self.var2level[var as usize]
+                    || self.level(hi) <= self.var2level[var as usize]
+                {
+                    return Err(format!("node {s} violates the variable order"));
+                }
+                if (hash(var, lo, hi) as usize) & (NUM_SHARDS - 1) != si {
+                    return Err(format!("node {s} hashed into the wrong shard"));
+                }
+                if !seen.insert((var, lo, hi)) {
+                    return Err(format!("duplicate triple ({var}, {lo}, {hi})"));
+                }
+            }
+            if len != t.len {
+                return Err(format!("shard {si} len {} != occupied {len}", t.len));
+            }
+            counted += len;
+        }
+        if counted != self.num_nodes() {
+            return Err(format!(
+                "live count {} != table occupancy {counted}",
+                self.num_nodes()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_ops_match_truth_tables() {
+        let m = SharedBddManager::new(3);
+        let a = m.var(VarId(0)).unwrap();
+        let b = m.var(VarId(1)).unwrap();
+        let c = m.var(VarId(2)).unwrap();
+        let ab = m.and(a, b).unwrap();
+        let f = m.or(ab, c).unwrap();
+        for bits in 0..8u32 {
+            let assign = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            let expect = (assign[0] && assign[1]) || assign[2];
+            assert_eq!(m.eval(f, &assign), expect, "bits {bits:03b}");
+        }
+        m.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn shared_exists_and_and_exists_agree() {
+        let m = SharedBddManager::new(4);
+        let a = m.var(VarId(0)).unwrap();
+        let b = m.var(VarId(1)).unwrap();
+        let c = m.var(VarId(2)).unwrap();
+        let f = m.ite(a, b, c).unwrap();
+        let g = m.or(b, c).unwrap();
+        let cube = m.var_cube([VarId(1), VarId(2)]).unwrap();
+        let fused = m.and_exists(f, g, cube).unwrap();
+        let plain = {
+            let fg = m.and(f, g).unwrap();
+            m.exists(fg, cube).unwrap()
+        };
+        assert_eq!(fused, plain);
+    }
+
+    #[test]
+    fn concurrent_construction_is_canonical() {
+        let m = SharedBddManager::new(8);
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let m = &m;
+                    s.spawn(move || {
+                        // Every thread builds the same parity function in a
+                        // different association order.
+                        let mut acc = m.zero();
+                        for k in 0..8 {
+                            let v = m.var(VarId(((k + 2 * t) % 8) as u32)).unwrap();
+                            acc = m.ite(acc, m.not(v).unwrap(), v).unwrap();
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1], "hash-consing must canonicalize across threads");
+        }
+        m.check_consistency().unwrap();
+        assert!(m.stats().shard_locks > 0);
+    }
+
+    #[test]
+    fn gc_keeps_roots_and_recycles_slots() {
+        let mut m = SharedBddManager::new(24);
+        let keep = {
+            let a = m.var(VarId(0)).unwrap();
+            let b = m.var(VarId(3)).unwrap();
+            m.and(a, b).unwrap()
+        };
+        // Plenty of garbage, so after collection every shard's free list has
+        // spare arena slots (the dead set is spread round-robin).
+        for i in 0..24u32 {
+            for j in 0..24u32 {
+                if i == j {
+                    continue;
+                }
+                let a = m.var(VarId(i)).unwrap();
+                let b = m.var(VarId(j)).unwrap();
+                let t = m.ite(a, b, m.one()).unwrap();
+                let _ = m.or(t, b).unwrap();
+            }
+        }
+        let before = m.num_nodes();
+        let freed = m.gc(&[keep]);
+        assert!(freed > 2 * NUM_SHARDS, "not enough garbage to spread");
+        assert_eq!(m.num_nodes(), before - freed);
+        m.check_consistency().unwrap();
+        // The kept function still evaluates correctly...
+        let mut assign = [false; 24];
+        assign[0] = true;
+        assign[3] = true;
+        assert!(m.eval(keep, &assign));
+        // ...and rebuilding nodes reuses freed arena slots instead of only
+        // extending the arena.
+        let cursor_before = m.arena.cursor.load(Ordering::Relaxed);
+        let mut rebuilt = 0u32;
+        for i in 0..24u32 {
+            for j in 0..24u32 {
+                if i == j {
+                    continue;
+                }
+                let a = m.var(VarId(i)).unwrap();
+                let b = m.var(VarId(j)).unwrap();
+                let _ = m.and(a, b).unwrap();
+                rebuilt += 1;
+            }
+        }
+        let grown = m.arena.cursor.load(Ordering::Relaxed) - cursor_before;
+        assert!(
+            grown < rebuilt,
+            "no freed slot was recycled ({grown} fresh for {rebuilt} nodes)"
+        );
+        m.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn poison_fails_allocations() {
+        let m = SharedBddManager::new(2);
+        let a = m.var(VarId(0)).unwrap();
+        m.poison();
+        let b = m.var(VarId(1));
+        assert_eq!(b, Err(BddError::Cancelled));
+        // Cache/terminal paths that allocate nothing still work.
+        assert_eq!(m.not(m.zero()).unwrap(), m.one());
+        let _ = a;
+    }
+
+    #[test]
+    fn cancelled_budget_unwinds_mk() {
+        let mut m = SharedBddManager::new(2);
+        let budget = Budget::unlimited();
+        budget.cancel();
+        m.set_budget(budget);
+        assert_eq!(m.var(VarId(0)), Err(BddError::Cancelled));
+    }
+
+    #[test]
+    fn or_many_parallel_matches_serial_fold() {
+        let m = SharedBddManager::new(10);
+        let cubes: Vec<Bdd> = (0..10)
+            .map(|k| {
+                let a = m.var(VarId(k)).unwrap();
+                let b = m.var(VarId((k + 3) % 10)).unwrap();
+                m.and(a, b).unwrap()
+            })
+            .collect();
+        let par = m.or_many_parallel(&cubes, 4).unwrap();
+        let mut acc = m.zero();
+        for &c in &cubes {
+            acc = m.or(acc, c).unwrap();
+        }
+        assert_eq!(par, acc);
+    }
+
+    #[test]
+    fn with_order_mirrors_levels() {
+        // Reversed order: variable 0 at the bottom.
+        let m = SharedBddManager::with_order(vec![2, 1, 0]);
+        let a = m.var(VarId(0)).unwrap();
+        let c = m.var(VarId(2)).unwrap();
+        // ite(c, a, 0) must put variable 2 at the top.
+        let f = m.and(c, a).unwrap();
+        let (top, _, _) = m.node_info(f).unwrap();
+        assert_eq!(top, VarId(2));
+    }
+}

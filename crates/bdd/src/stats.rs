@@ -44,6 +44,15 @@ pub struct BddStats {
     pub auto_gc_runs: u64,
     /// High-water mark of live nodes.
     pub peak_nodes: usize,
+    /// Unique-table shard lock acquisitions
+    /// ([`SharedBddManager`](crate::SharedBddManager) only; the serial
+    /// kernel takes no locks and leaves this 0).
+    pub shard_locks: u64,
+    /// Shard lock acquisitions that found the lock already held by another
+    /// worker and had to wait (contention).
+    pub shard_contended: u64,
+    /// High-water mark of live nodes in the fullest unique-table shard.
+    pub shard_peak_occupancy: usize,
 }
 
 impl BddStats {
@@ -67,6 +76,9 @@ impl BddStats {
         self.gc_nodes_freed += other.gc_nodes_freed;
         self.auto_gc_runs += other.auto_gc_runs;
         self.peak_nodes = self.peak_nodes.max(other.peak_nodes);
+        self.shard_locks += other.shard_locks;
+        self.shard_contended += other.shard_contended;
+        self.shard_peak_occupancy = self.shard_peak_occupancy.max(other.shard_peak_occupancy);
     }
 
     /// Combined hit rate over all operation caches, in `[0, 1]`.
@@ -127,7 +139,17 @@ impl fmt::Display for BddStats {
             self.auto_gc_runs,
             self.gc_nodes_freed,
             self.peak_nodes,
-        )
+        )?;
+        // Shard counters exist only for the shared (parallel) kernel; keep
+        // serial output byte-identical by appending them only when present.
+        if self.shard_locks > 0 {
+            write!(
+                f,
+                ", shard locks {} ({} contended), shard peak {}",
+                self.shard_locks, self.shard_contended, self.shard_peak_occupancy,
+            )?;
+        }
+        Ok(())
     }
 }
 

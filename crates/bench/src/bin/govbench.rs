@@ -19,6 +19,12 @@
 //!    then `resume` from the snapshot with the budget lifted. The resumed
 //!    run must reach the conclusive verdict (`error_flag` is falsifiable at
 //!    every scale) instead of starting over.
+//! 3. **Parallel cancellation** — the same verification at `bdd_threads: 4`,
+//!    cancelled from a sidecar thread shortly after it starts. The run must
+//!    come back as a structured `Inconclusive` naming the cancellation
+//!    within the same 500 ms grace the serial gate gets: the budget is
+//!    polled from every worker thread of the shared BDD kernel, so fanning
+//!    an image across threads must not widen the cancellation latency.
 //!
 //! `--smoke` runs phase 1 against the paper-sized processor (where two
 //! seconds can never complete the proof, so exhaustion is guaranteed) but
@@ -182,6 +188,69 @@ fn main() -> ExitCode {
     }
     std::fs::remove_dir_all(&dir).ok();
     std::fs::remove_dir_all(&p2_dir).ok();
+    println!();
+
+    // Phase 3: cancellation must unwind a multi-threaded image computation
+    // as promptly as a serial one.
+    let p3_design = if quick || smoke {
+        quick_processor()
+    } else {
+        processor_module(&ProcessorParams::default())
+    };
+    let property = p3_design.property("error_flag").expect("property exists");
+    let cancel_after = Duration::from_millis(250);
+    println!(
+        "phase 3: cancel error_flag on {} at bdd_threads 4, {}ms in",
+        p3_design.netlist.name(),
+        cancel_after.as_millis()
+    );
+    let token = CancelToken::new();
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(cancel_after);
+            token.cancel();
+        })
+    };
+    let start = Instant::now();
+    let outcome = Rfn::new(
+        &p3_design.netlist,
+        property,
+        RfnOptions::default()
+            .with_budget(Budget::unlimited().with_cancel_token(token))
+            .with_bdd_threads(4),
+    )
+    .expect("valid property")
+    .run()
+    .expect("structural soundness");
+    let wall = start.elapsed();
+    canceller.join().expect("canceller thread");
+    match &outcome {
+        RfnOutcome::Inconclusive { reason, .. } => {
+            println!("  inconclusive after {}ms: {reason}", wall.as_millis());
+            if !reason.contains("cancelled") {
+                println!("  FAIL: reason does not name the cancellation");
+                failures += 1;
+            }
+            if wall > cancel_after + GRACE {
+                println!(
+                    "  FAIL: returned {}ms past the cancel (allowed: {}ms)",
+                    (wall - cancel_after).as_millis(),
+                    GRACE.as_millis()
+                );
+                failures += 1;
+            }
+        }
+        _ => {
+            // The quick design can occasionally finish in under the cancel
+            // delay on a fast machine; that leaves the gate unexercised but
+            // is not a governance failure.
+            println!(
+                "  note: run finished conclusively in {}ms — cancel never fired",
+                wall.as_millis()
+            );
+        }
+    }
 
     println!();
     if failures == 0 {

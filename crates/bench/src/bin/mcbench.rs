@@ -23,6 +23,15 @@
 //! 3. **Property verdicts** — the same two configurations must return
 //!    identical verdicts (and hit depths) for the bundled property and
 //!    coverage targets.
+//! 4. **Parallel image sweep** — the overhauled configuration at
+//!    `--bdd-threads` 1/2/4/8 (1/2 under `--smoke`). The serial run is the
+//!    reference: every thread count must reproduce its verdict, step count,
+//!    reached-set and per-ring node counts exactly — parallel image
+//!    computation imports canonical results back into the master manager, so
+//!    any divergence is a kernel bug and exits nonzero. Wall-clock speedups
+//!    and shard-lock contention are reported as measured (on a single-core
+//!    host speedups hover near or below 1.0×; the equivalence gate, not the
+//!    speedup, is the CI criterion).
 //!
 //! The models are bounded abstractions — the BFS-nearest registers of each
 //! target, as the coverage engine's initial abstraction would pick — since
@@ -70,6 +79,8 @@ struct Run {
     verdict: ReachVerdict,
     reached_nodes: usize,
     ring_nodes: Vec<usize>,
+    shard_locks: u64,
+    shard_contended: u64,
 }
 
 /// A throughput-comparison row (section 2).
@@ -98,6 +109,22 @@ struct VerdictRow {
     verdict: ReachVerdict,
     linear_ms: f64,
     clustered_ms: f64,
+}
+
+/// A parallel-sweep row (section 4): the same fixpoint at several
+/// `bdd_threads` settings. `runs[0]` is the 1-thread reference.
+struct ParRow {
+    design: &'static str,
+    target: String,
+    registers: usize,
+    runs: Vec<(usize, Run)>,
+}
+
+impl ParRow {
+    /// Wall-clock speedup of the given run over the serial reference.
+    fn speedup(&self, k: usize) -> f64 {
+        self.runs[0].1.reach_ms / self.runs[k].1.reach_ms.max(1e-9)
+    }
 }
 
 fn main() -> ExitCode {
@@ -192,8 +219,45 @@ fn main() -> ExitCode {
             clustered_ms: clustered.reach_ms,
         });
     }
+    println!();
 
-    let json = render_json(&reach_rows, &verdict_rows, smoke);
+    // Section 4: intra-image parallelism. Every thread count must reproduce
+    // the serial run bit-for-bit (verdict, steps, reached set, rings); the
+    // speedup column is informational — the equivalence gate is the CI
+    // criterion.
+    let sweep: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let mut par_rows = Vec::new();
+    for case in &cases {
+        let runs: Vec<(usize, Run)> = sweep
+            .iter()
+            .map(|&t| (t, run_reach_at(case, Some((case.target, case.value)), t)))
+            .collect();
+        for (t, run) in &runs[1..] {
+            if let Err(msg) = check_agreement(&runs[0].1, run) {
+                eprintln!(
+                    "mcbench: parallel DISAGREEMENT on {}/{} at {t} threads: {msg}",
+                    case.name, case.target_name
+                );
+                return ExitCode::from(1);
+            }
+        }
+        let row = ParRow {
+            design: case.name,
+            target: case.target_name.clone(),
+            registers: case.spec.registers.len(),
+            runs,
+        };
+        let cols: Vec<String> = row
+            .runs
+            .iter()
+            .enumerate()
+            .map(|(k, (t, r))| format!("{t}t {:>7.1} ms ({:.2}x)", r.reach_ms, row.speedup(k)))
+            .collect();
+        println!("parallel ok: {:<14} {}", row.design, cols.join("  "));
+        par_rows.push(row);
+    }
+
+    let json = render_json(&reach_rows, &verdict_rows, &par_rows, smoke);
     if let Err(e) = std::fs::write("BENCH_mc.json", &json) {
         eprintln!("mcbench: writing BENCH_mc.json: {e}");
         return ExitCode::from(1);
@@ -515,6 +579,8 @@ fn run_seed_reach(case: &Case, target: Option<(SignalId, bool)>) -> Run {
         verdict,
         reached_nodes: model.manager_ref().size(reached),
         ring_nodes: rings.iter().map(|&r| model.manager_ref().size(r)).collect(),
+        shard_locks: 0,
+        shard_contended: 0,
     }
 }
 
@@ -523,6 +589,11 @@ fn run_seed_reach(case: &Case, target: Option<(SignalId, bool)>) -> Run {
 /// `--no-frontier-simplify` override). `target` of `None` runs a pure
 /// reachability sweep (target never hit).
 fn run_reach(case: &Case, target: Option<(SignalId, bool)>) -> Run {
+    run_reach_at(case, target, 1)
+}
+
+/// [`run_reach`] at an explicit `bdd_threads` setting (section 4's sweep).
+fn run_reach_at(case: &Case, target: Option<(SignalId, bool)>, bdd_threads: usize) -> Run {
     let cluster_limit =
         rfn_bench::cluster_limit_from_args().unwrap_or(rfn_mc::DEFAULT_CLUSTER_LIMIT);
     let frontier_simplify = rfn_bench::frontier_simplify_from_args();
@@ -531,7 +602,8 @@ fn run_reach(case: &Case, target: Option<(SignalId, bool)>) -> Run {
         .with_max_steps(case.steps)
         .with_reorder(false)
         .with_cluster_limit(cluster_limit)
-        .with_frontier_simplify(frontier_simplify);
+        .with_frontier_simplify(frontier_simplify)
+        .with_bdd_threads(bdd_threads);
     // Snapshot the counters so the probe delta covers the fixpoint only,
     // not the transition-relation build (whose cost `build_ms` reports).
     let before = model.manager_ref().stats();
@@ -557,6 +629,8 @@ fn run_reach(case: &Case, target: Option<(SignalId, bool)>) -> Run {
             .iter()
             .map(|&r| model.manager_ref().size(r))
             .collect(),
+        shard_locks: stats.shard_locks,
+        shard_contended: stats.shard_contended,
     }
 }
 
@@ -609,7 +683,12 @@ fn render_run(run: &Run) -> String {
     )
 }
 
-fn render_json(reach: &[ReachRow], verdicts: &[VerdictRow], smoke: bool) -> String {
+fn render_json(
+    reach: &[ReachRow],
+    verdicts: &[VerdictRow],
+    parallel: &[ParRow],
+    smoke: bool,
+) -> String {
     let mut s = String::from("{\n  \"bench\": \"mc\",\n");
     let _ = writeln!(s, "  \"smoke\": {smoke},");
     s.push_str("  \"reach\": [\n");
@@ -642,6 +721,33 @@ fn render_json(reach: &[ReachRow], verdicts: &[VerdictRow], smoke: bool) -> Stri
             v.design, v.target, v.linear_ms, v.clustered_ms
         );
         s.push_str(if k + 1 < verdicts.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"parallel\": [\n");
+    for (k, p) in parallel.iter().enumerate() {
+        let runs: Vec<String> = p
+            .runs
+            .iter()
+            .enumerate()
+            .map(|(j, (t, r))| {
+                format!(
+                    "{{\"threads\": {t}, \"reach_ms\": {:.1}, \"speedup\": {:.2}, \
+                     \"shard_locks\": {}, \"shard_contended\": {}, \"agree\": true}}",
+                    r.reach_ms,
+                    p.speedup(j),
+                    r.shard_locks,
+                    r.shard_contended
+                )
+            })
+            .collect();
+        let _ = write!(
+            s,
+            "    {{\"design\": \"{}\", \"target\": \"{}\", \"registers\": {}, \"runs\": [{}]}}",
+            p.design,
+            p.target,
+            p.registers,
+            runs.join(", ")
+        );
+        s.push_str(if k + 1 < parallel.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");
     s

@@ -41,6 +41,7 @@
 
 mod error;
 mod model;
+mod par;
 mod plain;
 mod reach;
 
@@ -49,6 +50,7 @@ pub use model::{
     ModelOptions, ModelSpec, StateCube, SymbolicModel, TransitionRelation, VarKind,
     DEFAULT_CLUSTER_LIMIT,
 };
+pub use par::ParImage;
 pub use plain::{verify_plain, PlainOptions, PlainReport, PlainVerdict};
 pub use reach::{forward_reach, AbortReason, ReachOptions, ReachResult, ReachVerdict};
 pub use rfn_bdd::BddStats;

@@ -1,0 +1,641 @@
+//! Intra-property parallel image computation.
+//!
+//! [`ParImage`] fans one `post_image`/`pre_image` across worker threads on a
+//! [`SharedBddManager`]: the precomputed cluster schedule is exported into
+//! the shared manager once, each frontier is split into disjoint slices by
+//! top-variable decomposition (`q = ¬v·q|v=0 ∨ v·q|v=1`, applied repeatedly
+//! to the largest slice), every worker replays the full benefit-ordered
+//! `and_exists` chain on its slices, the partial images are OR-combined in a
+//! parallel reduction tree, and the result is imported back into the serial
+//! master manager. Because `Img(A ∪ B) = Img(A) ∪ Img(B)` and both managers
+//! hash-cons over the *same variable order*, the imported result is exactly
+//! the node the serial computation would have produced — verdicts, rings and
+//! fixpoint step counts are bit-identical for every thread count.
+//!
+//! The shared manager is a sidecar: the master's serial hot path is
+//! untouched, and everything here is driven between master operations, so
+//! the golden traces of `bdd_threads: 1` runs cannot change.
+//!
+//! # Schedule export and per-cluster quantification
+//!
+//! Exporting the schedule also performs the independent per-cluster
+//! quantifications concurrently: an input variable mentioned by exactly one
+//! cluster can be quantified into that cluster once at export time
+//! (`∃v (A ∧ R) = A ∧ ∃v R` when `v` is not in `A`'s support — frontiers
+//! range over current-state variables only, so inputs never occur in `A`).
+//! Every slice of every subsequent image then replays a strictly smaller
+//! chain.
+//!
+//! # Lifetimes and invalidation
+//!
+//! Exported handles stay valid as long as neither side collects or reorders:
+//!
+//! * a master collection (manual or automatic) can recycle node indices, so
+//!   the master→shared memo is rebuilt whenever the master's `gc_runs`
+//!   counter moved;
+//! * a shared collection (run stop-the-world between images once the shared
+//!   arena passes an adaptive threshold) keeps the schedule alive as GC
+//!   roots but drops everything else, so the memo is cleared as well;
+//! * reordering the master (sifting) changes the variable order itself —
+//!   [`ParImage::invalidate`] drops the whole shared manager, and the next
+//!   image rebuilds it under the new order.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Mutex;
+
+use rfn_bdd::{Bdd, BddError, BddManager, BddResult, BddStats, SharedBddManager, VarId};
+use rfn_govern::Budget;
+
+use crate::model::ImageSchedule;
+use crate::SymbolicModel;
+
+/// Shared-manager live-node count that arms the first stop-the-world
+/// collection between images; doubles to track the live set afterwards.
+const SHARED_GC_THRESHOLD: usize = 1 << 16;
+
+/// Target slices per worker thread: more slices than workers smooths load
+/// imbalance between cheap and expensive slices.
+const SLICES_PER_THREAD: usize = 4;
+
+/// An exported image schedule: shared-manager handles for each step's
+/// cluster and quantification cube.
+struct ParSchedule {
+    steps: Vec<(Bdd, Bdd)>,
+    residual: Option<Bdd>,
+}
+
+impl ParSchedule {
+    fn roots(&self) -> Vec<Bdd> {
+        self.steps
+            .iter()
+            .flat_map(|&(r, c)| [r, c])
+            .chain(self.residual)
+            .collect()
+    }
+}
+
+/// Reusable parallel-image context for one [`SymbolicModel`]. Created when
+/// [`ReachOptions::bdd_threads`](crate::ReachOptions::bdd_threads) exceeds
+/// one; owns the sidecar [`SharedBddManager`] and the export state.
+pub struct ParImage {
+    threads: usize,
+    budget: Budget,
+    shared: Option<SharedBddManager>,
+    post: Option<ParSchedule>,
+    pre: Option<ParSchedule>,
+    /// Master node index → shared handle memo. Valid only while the
+    /// master's `gc_runs` counter equals `master_gc_runs` and the shared
+    /// side has not collected.
+    export_memo: HashMap<Bdd, Bdd>,
+    master_gc_runs: u64,
+    shared_gc_threshold: usize,
+    /// Counters already harvested from dropped shared managers (after
+    /// [`ParImage::invalidate`]).
+    retired_stats: BddStats,
+}
+
+impl ParImage {
+    /// Creates a context that will fan images across `threads` workers,
+    /// governed by `budget` (polled from every worker).
+    pub fn new(threads: usize, budget: Budget) -> Self {
+        ParImage {
+            threads: threads.max(1),
+            budget,
+            shared: None,
+            post: None,
+            pre: None,
+            export_memo: HashMap::new(),
+            master_gc_runs: 0,
+            shared_gc_threshold: SHARED_GC_THRESHOLD,
+            retired_stats: BddStats::default(),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Drops the shared manager and every exported handle. Must be called
+    /// after the master manager reorders (the variable order no longer
+    /// matches); the next image rebuilds everything under the new order.
+    pub fn invalidate(&mut self) {
+        if let Some(shared) = self.shared.take() {
+            self.retired_stats.merge(&shared.stats());
+        }
+        self.post = None;
+        self.pre = None;
+        self.export_memo.clear();
+    }
+
+    /// Cumulative shared-kernel counters across every shared manager this
+    /// context has owned (live and retired).
+    pub fn stats(&self) -> BddStats {
+        let mut s = self.retired_stats;
+        if let Some(shared) = &self.shared {
+            s.merge(&shared.stats());
+        }
+        s
+    }
+
+    /// Parallel post-image: same contract (and bit-identical result) as
+    /// [`SymbolicModel::post_image`].
+    pub fn post_image(&mut self, model: &mut SymbolicModel<'_>, q: Bdd) -> BddResult {
+        self.ensure_exported(model)?;
+        let img = self.image(model, true, q)?;
+        model.nxt_to_cur(img)
+    }
+
+    /// Parallel pre-image: same contract (and bit-identical result) as
+    /// [`SymbolicModel::pre_image`].
+    pub fn pre_image(&mut self, model: &mut SymbolicModel<'_>, q: Bdd) -> BddResult {
+        self.ensure_exported(model)?;
+        let q_next = model.cur_to_nxt(q)?;
+        let with_inputs = self.image(model, false, q_next)?;
+        let input_cube = model.transition().input_cube();
+        model.manager().exists(with_inputs, input_cube)
+    }
+
+    /// Builds the shared manager and exports both schedules if needed;
+    /// refreshes the export memo when the master has collected since.
+    fn ensure_exported(&mut self, model: &mut SymbolicModel<'_>) -> Result<(), BddError> {
+        if self.shared.is_some() {
+            return Ok(());
+        }
+        let mut shared = SharedBddManager::mirroring(model.manager_ref());
+        shared.set_budget(self.budget.clone());
+        self.shared = Some(shared);
+        self.export_memo.clear();
+        self.master_gc_runs = model.manager_ref().stats().gc_runs;
+        let post = model.transition().post_sched().clone();
+        let pre = model.transition().pre_sched().clone();
+        let post = self.export_schedule(model, &post, true)?;
+        let pre = self.export_schedule(model, &pre, false)?;
+        self.post = Some(post);
+        self.pre = Some(pre);
+        Ok(())
+    }
+
+    /// Exports one schedule into the shared manager. For the post schedule,
+    /// single-cluster input variables are quantified into their cluster
+    /// concurrently (one scoped worker per affected cluster).
+    fn export_schedule(
+        &mut self,
+        model: &SymbolicModel<'_>,
+        sched: &ImageSchedule,
+        quantify_local_inputs: bool,
+    ) -> Result<ParSchedule, BddError> {
+        let mgr = model.manager_ref();
+        let mut steps = Vec::with_capacity(sched.steps.len());
+        for s in &sched.steps {
+            let rel = self.export(mgr, s.rel)?;
+            let cube = self.export(mgr, s.cube)?;
+            steps.push((rel, cube));
+        }
+        let residual = match sched.residual {
+            Some(r) => Some(self.export(mgr, r)?),
+            None => None,
+        };
+        let mut out = ParSchedule { steps, residual };
+        if quantify_local_inputs {
+            self.quantify_local_inputs(model, sched, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// The independent per-cluster quantifications: an input variable
+    /// mentioned by exactly one cluster is existentially quantified into
+    /// that cluster on the shared side, one worker per affected cluster.
+    /// Sound because frontiers never mention inputs, so
+    /// `∃v (q ∧ R_i) = q ∧ ∃v R_i` whenever no other cluster mentions `v`.
+    fn quantify_local_inputs(
+        &mut self,
+        model: &SymbolicModel<'_>,
+        sched: &ImageSchedule,
+        out: &mut ParSchedule,
+    ) -> Result<(), BddError> {
+        let mgr = model.manager_ref();
+        let inputs: BTreeSet<VarId> = model.transition().input_vars().iter().copied().collect();
+        let supports: Vec<BTreeSet<VarId>> = sched
+            .steps
+            .iter()
+            .map(|s| mgr.support(s.rel).into_iter().collect())
+            .collect();
+        let mut mentions: HashMap<VarId, usize> = HashMap::new();
+        for sup in &supports {
+            for &v in sup {
+                *mentions.entry(v).or_insert(0) += 1;
+            }
+        }
+        // For each step: the local input vars to push in, and the remaining
+        // quantification cube.
+        let mut jobs: Vec<(usize, Vec<VarId>, Vec<VarId>)> = Vec::new();
+        for (i, s) in sched.steps.iter().enumerate() {
+            let cube_vars: Vec<VarId> = mgr.support(s.cube);
+            let (local, rest): (Vec<VarId>, Vec<VarId>) = cube_vars.into_iter().partition(|v| {
+                inputs.contains(v) && supports[i].contains(v) && mentions.get(v) == Some(&1)
+            });
+            if !local.is_empty() {
+                jobs.push((i, local, rest));
+            }
+        }
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        let shared = self.shared.as_ref().expect("shared manager exists");
+        let results: Vec<(usize, BddResult, BddResult)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .iter()
+                .map(|(i, local, rest)| {
+                    let (rel, _) = out.steps[*i];
+                    scope.spawn(move || {
+                        let lcube = shared.var_cube(local.iter().copied());
+                        let rel2 = lcube.and_then(|c| shared.exists(rel, c));
+                        let cube2 = shared.var_cube(rest.iter().copied());
+                        (*i, rel2, cube2)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("quantification worker panicked"))
+                .collect()
+        });
+        for (i, rel2, cube2) in results {
+            out.steps[i] = (rel2?, cube2?);
+        }
+        Ok(())
+    }
+
+    /// Copies a master BDD into the shared manager (bottom-up structural
+    /// copy; hash-consing keeps it canonical). Memoized across calls via
+    /// `export_memo`.
+    fn export(&mut self, mgr: &BddManager, f: Bdd) -> BddResult {
+        let shared = self.shared.as_ref().expect("shared manager exists");
+        if f == mgr.zero() {
+            return Ok(shared.zero());
+        }
+        if f == mgr.one() {
+            return Ok(shared.one());
+        }
+        let mut stack = vec![f];
+        while let Some(&n) = stack.last() {
+            if self.export_memo.contains_key(&n) || n == mgr.zero() || n == mgr.one() {
+                stack.pop();
+                continue;
+            }
+            let (v, lo, hi) = mgr.node_info(n).expect("internal node");
+            let lo_done = lo == mgr.zero() || lo == mgr.one() || self.export_memo.contains_key(&lo);
+            let hi_done = hi == mgr.zero() || hi == mgr.one() || self.export_memo.contains_key(&hi);
+            if lo_done && hi_done {
+                let slo = self.exported(mgr, shared, lo);
+                let shi = self.exported(mgr, shared, hi);
+                let s = shared.make_node(v, slo, shi)?;
+                self.export_memo.insert(n, s);
+                stack.pop();
+            } else {
+                if !hi_done {
+                    stack.push(hi);
+                }
+                if !lo_done {
+                    stack.push(lo);
+                }
+            }
+        }
+        Ok(self.export_memo[&f])
+    }
+
+    #[inline]
+    fn exported(&self, mgr: &BddManager, shared: &SharedBddManager, n: Bdd) -> Bdd {
+        if n == mgr.zero() {
+            shared.zero()
+        } else if n == mgr.one() {
+            shared.one()
+        } else {
+            self.export_memo[&n]
+        }
+    }
+
+    /// Copies a shared BDD back into the master manager. The master's
+    /// hash-consing makes the result canonical: it is the same node a serial
+    /// computation of the same function would return.
+    fn import(&self, model: &mut SymbolicModel<'_>, f: Bdd) -> BddResult {
+        let shared = self.shared.as_ref().expect("shared manager exists");
+        let mgr = model.manager();
+        if f == shared.zero() {
+            return Ok(mgr.zero());
+        }
+        if f == shared.one() {
+            return Ok(mgr.one());
+        }
+        let mut memo: HashMap<Bdd, Bdd> = HashMap::new();
+        let mut stack = vec![f];
+        while let Some(&n) = stack.last() {
+            if memo.contains_key(&n) || n == shared.zero() || n == shared.one() {
+                stack.pop();
+                continue;
+            }
+            let (v, lo, hi) = shared.node_info(n).expect("internal node");
+            let lo_done = lo == shared.zero() || lo == shared.one() || memo.contains_key(&lo);
+            let hi_done = hi == shared.zero() || hi == shared.one() || memo.contains_key(&hi);
+            if lo_done && hi_done {
+                let mlo = Self::imported(shared, mgr, &memo, lo);
+                let mhi = Self::imported(shared, mgr, &memo, hi);
+                let m = mgr.make_node(v, mlo, mhi)?;
+                memo.insert(n, m);
+                stack.pop();
+            } else {
+                if !hi_done {
+                    stack.push(hi);
+                }
+                if !lo_done {
+                    stack.push(lo);
+                }
+            }
+        }
+        Ok(memo[&f])
+    }
+
+    #[inline]
+    fn imported(
+        shared: &SharedBddManager,
+        mgr: &BddManager,
+        memo: &HashMap<Bdd, Bdd>,
+        n: Bdd,
+    ) -> Bdd {
+        if n == shared.zero() {
+            mgr.zero()
+        } else if n == shared.one() {
+            mgr.one()
+        } else {
+            memo[&n]
+        }
+    }
+
+    /// Splits `f` into up to `want` pairwise-disjoint slices whose union is
+    /// `f`, by repeatedly decomposing the largest slice on a variable of its
+    /// support.
+    fn split_disjoint(
+        shared: &SharedBddManager,
+        f: Bdd,
+        want: usize,
+    ) -> Result<Vec<Bdd>, BddError> {
+        let mut parts: Vec<(Bdd, bool)> = vec![(f, true)]; // (slice, splittable)
+        while parts.len() < want && parts.iter().any(|&(_, s)| s) {
+            // Largest still-splittable slice.
+            let k = parts
+                .iter()
+                .enumerate()
+                .filter(|(_, &(_, s))| s)
+                .max_by_key(|(_, &(b, _))| shared.size(b))
+                .map(|(k, _)| k)
+                .expect("a splittable slice exists");
+            let (b, _) = parts[k];
+            match Self::split_one(shared, b)? {
+                Some((p0, p1)) => {
+                    parts[k] = (p0, true);
+                    parts.push((p1, true));
+                }
+                None => parts[k].1 = false,
+            }
+        }
+        Ok(parts.into_iter().map(|(b, _)| b).collect())
+    }
+
+    /// Splits one slice into two nonempty disjoint halves on the first
+    /// support variable giving a nontrivial split, or `None` when every
+    /// cofactor is empty (the slice is a single cube path).
+    fn split_one(shared: &SharedBddManager, f: Bdd) -> Result<Option<(Bdd, Bdd)>, BddError> {
+        let mut n = f;
+        while let Some((v, lo, hi)) = shared.node_info(n) {
+            if lo != shared.zero() && hi != shared.zero() {
+                if n == f {
+                    // Top-variable split is free: ¬v·lo ∨ v·hi.
+                    let p0 = shared.make_node(v, lo, shared.zero())?;
+                    let p1 = shared.make_node(v, shared.zero(), hi)?;
+                    return Ok(Some((p0, p1)));
+                }
+                // Deeper variable: split globally with a literal.
+                let pos = shared.make_node(v, shared.zero(), shared.one())?;
+                let neg = shared.make_node(v, shared.one(), shared.zero())?;
+                let p0 = shared.and(f, neg)?;
+                let p1 = shared.and(f, pos)?;
+                if p0 != shared.zero() && p1 != shared.zero() {
+                    return Ok(Some((p0, p1)));
+                }
+                return Ok(None);
+            }
+            // One cofactor is ⊥: descend the live branch.
+            n = if lo == shared.zero() { hi } else { lo };
+        }
+        Ok(None)
+    }
+
+    /// Drops master→shared memo entries when the master has collected since
+    /// they were recorded: a collection can recycle master node indices, so
+    /// every key is suspect. Checked immediately before each export (the
+    /// master may auto-collect between any two master operations, e.g.
+    /// during the `cur_to_nxt` rename inside a pre-image). The shared-side
+    /// schedule handles are unaffected.
+    fn refresh_master_memo(&mut self, mgr: &BddManager) {
+        let gc_runs = mgr.stats().gc_runs;
+        if gc_runs != self.master_gc_runs {
+            self.export_memo.clear();
+            self.master_gc_runs = gc_runs;
+        }
+    }
+
+    /// The parallel image proper: split, fan out, combine, import.
+    fn image(&mut self, model: &mut SymbolicModel<'_>, post: bool, q: Bdd) -> BddResult {
+        self.maybe_shared_gc();
+        self.refresh_master_memo(model.manager_ref());
+        let sq = self.export(model.manager_ref(), q)?;
+        let shared = self.shared.as_mut().expect("shared manager exists");
+        shared.clear_poison();
+        let shared = self.shared.as_ref().expect("shared manager exists");
+        let sched = if post {
+            self.post.as_ref().expect("schedule exported")
+        } else {
+            self.pre.as_ref().expect("schedule exported")
+        };
+        let slices = Self::split_disjoint(shared, sq, self.threads * SLICES_PER_THREAD)?;
+        let queue: Mutex<Vec<Bdd>> = Mutex::new(slices);
+        let partials: Mutex<Vec<Bdd>> = Mutex::new(Vec::new());
+        let first_error: Mutex<Option<BddError>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads {
+                scope.spawn(|| {
+                    let mut acc = shared.zero();
+                    loop {
+                        let slice = queue.lock().expect("queue lock").pop();
+                        let Some(slice) = slice else { break };
+                        match Self::slice_image(shared, sched, slice) {
+                            Ok(img) => match shared.or(acc, img) {
+                                Ok(u) => acc = u,
+                                Err(e) => {
+                                    Self::record_error(shared, &first_error, e);
+                                    return;
+                                }
+                            },
+                            Err(e) => {
+                                Self::record_error(shared, &first_error, e);
+                                return;
+                            }
+                        }
+                    }
+                    partials.lock().expect("partials lock").push(acc);
+                });
+            }
+        });
+        if let Some(e) = first_error.into_inner().expect("error lock") {
+            return Err(e);
+        }
+        let partials = partials.into_inner().expect("partials lock");
+        let combined = shared.or_many_parallel(&partials, self.threads)?;
+        self.import(model, combined)
+    }
+
+    /// One slice through the whole early-quantified chain.
+    fn slice_image(shared: &SharedBddManager, sched: &ParSchedule, slice: Bdd) -> BddResult {
+        let mut acc = slice;
+        for &(rel, cube) in &sched.steps {
+            if acc == shared.zero() {
+                return Ok(acc);
+            }
+            acc = shared.and_exists(acc, rel, cube)?;
+        }
+        if let Some(residual) = sched.residual {
+            acc = shared.exists(acc, residual)?;
+        }
+        Ok(acc)
+    }
+
+    /// Stores the first real error and poisons the manager so sibling
+    /// workers unwind promptly; poison echoes (`Cancelled` caused by the
+    /// poison flag, not the budget) never overwrite a real error.
+    fn record_error(shared: &SharedBddManager, slot: &Mutex<Option<BddError>>, e: BddError) {
+        let mut guard = slot.lock().expect("error lock");
+        match &*guard {
+            None => *guard = Some(e),
+            Some(BddError::Cancelled) if e != BddError::Cancelled => *guard = Some(e),
+            _ => {}
+        }
+        drop(guard);
+        shared.poison();
+    }
+
+    /// Stop-the-world shared-side collection between images, keeping only
+    /// the exported schedules. The export memo is cleared: its values may
+    /// reference reclaimed shared nodes.
+    fn maybe_shared_gc(&mut self) {
+        let Some(shared) = self.shared.as_mut() else {
+            return;
+        };
+        if shared.num_nodes() < self.shared_gc_threshold {
+            return;
+        }
+        let mut roots: Vec<Bdd> = Vec::new();
+        if let Some(p) = &self.post {
+            roots.extend(p.roots());
+        }
+        if let Some(p) = &self.pre {
+            roots.extend(p.roots());
+        }
+        shared.gc(&roots);
+        self.export_memo.clear();
+        self.shared_gc_threshold = (shared.num_nodes() * 2).max(SHARED_GC_THRESHOLD);
+    }
+}
+
+impl std::fmt::Debug for ParImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ParImage({} threads, exported: {})",
+            self.threads,
+            self.shared.is_some()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelSpec;
+    use rfn_netlist::{Abstraction, GateOp, Netlist, SignalId};
+
+    /// 3-bit LFSR-ish design with a couple of inputs, so the post schedule
+    /// has input variables to pre-quantify.
+    fn design() -> Netlist {
+        let mut n = Netlist::new("par");
+        let i0 = n.add_input("i0");
+        let i1 = n.add_input("i1");
+        let b: Vec<SignalId> = (0..3)
+            .map(|k| n.add_register(&format!("b{k}"), Some(k == 0)))
+            .collect();
+        let x0 = n.add_gate("x0", GateOp::Xor, &[b[2], i0]);
+        let x1 = n.add_gate("x1", GateOp::And, &[b[0], i1]);
+        let x2 = n.add_gate("x2", GateOp::Xor, &[b[1], b[0]]);
+        n.set_register_next(b[0], x0).unwrap();
+        n.set_register_next(b[1], x1).unwrap();
+        n.set_register_next(b[2], x2).unwrap();
+        n.validate().unwrap();
+        n
+    }
+
+    fn model(n: &Netlist) -> SymbolicModel<'_> {
+        let view = Abstraction::from_registers(n.registers().to_vec())
+            .view(n, [])
+            .unwrap();
+        SymbolicModel::new(n, ModelSpec::from_view(&view)).unwrap()
+    }
+
+    #[test]
+    fn parallel_images_match_serial_exactly() {
+        let n = design();
+        let mut m = model(&n);
+        let mut par = ParImage::new(3, Budget::unlimited());
+        let mut frontier = m.init_states().unwrap();
+        for step in 0..6 {
+            let serial = m.post_image(frontier).unwrap();
+            let parallel = par.post_image(&mut m, frontier).unwrap();
+            assert_eq!(serial, parallel, "post image diverged at step {step}");
+            let pre_serial = m.pre_image(frontier).unwrap();
+            let pre_parallel = par.pre_image(&mut m, frontier).unwrap();
+            assert_eq!(
+                pre_serial, pre_parallel,
+                "pre image diverged at step {step}"
+            );
+            frontier = serial;
+        }
+        assert!(par.stats().unique_probes > 0);
+    }
+
+    #[test]
+    fn invalidate_then_reuse_is_sound() {
+        let n = design();
+        let mut m = model(&n);
+        let mut par = ParImage::new(2, Budget::unlimited());
+        let init = m.init_states().unwrap();
+        let a = par.post_image(&mut m, init).unwrap();
+        par.invalidate();
+        let b = par.post_image(&mut m, init).unwrap();
+        assert_eq!(a, b);
+        let serial = m.post_image(init).unwrap();
+        assert_eq!(a, serial);
+        // Retired stats survive the invalidation.
+        assert!(par.stats().unique_probes > 0);
+    }
+
+    #[test]
+    fn cancelled_budget_fails_parallel_image() {
+        let n = design();
+        let mut m = model(&n);
+        let budget = Budget::unlimited();
+        let mut par = ParImage::new(2, budget.clone());
+        let init = m.init_states().unwrap();
+        budget.cancel();
+        let r = par.post_image(&mut m, init);
+        assert_eq!(r, Err(BddError::Cancelled));
+    }
+}

@@ -45,6 +45,13 @@ pub struct ReachOptions {
     /// which leaves every ring and the verdict unchanged while shrinking the
     /// BDD fed to the image.
     pub frontier_simplify: bool,
+    /// Worker threads for image computation. `1` (the default) keeps the
+    /// serial engine untouched; above one, every post/pre-image is fanned
+    /// across this many scoped worker threads on a sidecar
+    /// [`SharedBddManager`](rfn_bdd::SharedBddManager) via [`ParImage`](crate::ParImage).
+    /// Verdicts, rings, step counts and the reached set are bit-identical
+    /// for every thread count (see the [`par`](crate::ParImage) docs).
+    pub bdd_threads: usize,
     /// Structured-event context; each `forward_reach` call wraps itself in a
     /// `reach` span carrying the verdict, step count, cluster count and BDD
     /// peak-node counter. Disabled by default.
@@ -62,6 +69,7 @@ impl Default for ReachOptions {
             auto_gc: true,
             cluster_limit: crate::DEFAULT_CLUSTER_LIMIT,
             frontier_simplify: true,
+            bdd_threads: 1,
             trace: TraceCtx::disabled(),
         }
     }
@@ -121,6 +129,14 @@ impl ReachOptions {
     #[must_use]
     pub fn with_frontier_simplify(mut self, simplify: bool) -> Self {
         self.frontier_simplify = simplify;
+        self
+    }
+
+    /// Sets the number of image-computation worker threads (`1` = serial;
+    /// values below one are treated as `1`).
+    #[must_use]
+    pub fn with_bdd_threads(mut self, threads: usize) -> Self {
+        self.bdd_threads = threads.max(1);
         self
     }
 
@@ -277,13 +293,23 @@ pub fn forward_reach(
     if options.auto_gc {
         model.manager().set_auto_gc(true);
     }
-    let result = reach_loop(model, targets, options, &mut protect_log);
+    // Above one thread, images run on a sidecar shared manager; results are
+    // imported back, so everything downstream of this dispatch is identical.
+    let mut par = (options.bdd_threads > 1)
+        .then(|| crate::ParImage::new(options.bdd_threads, options.budget.clone()));
+    let result = reach_loop(model, targets, options, &mut protect_log, &mut par);
     model.manager().set_auto_gc(false);
     for &b in &protect_log {
         model.manager().unprotect(b);
     }
     let result = result.map(|mut r| {
         r.stats = model.manager_ref().stats();
+        if let Some(p) = &par {
+            // Fold the shared kernel's counters (including the shard/lock
+            // contention counters the serial kernel leaves at zero) into the
+            // reported stats.
+            r.stats.merge(&p.stats());
+        }
         r
     });
     if let Ok(r) = &result {
@@ -303,6 +329,15 @@ pub fn forward_reach(
         span.record("rings", r.rings.len());
         span.record("clusters", model.transition().num_clusters());
         span.record("peak_nodes", r.peak_nodes);
+        // Parallel-engine fields only when the parallel path ran, keeping
+        // serial (`bdd_threads: 1`) traces byte-identical.
+        if let Some(p) = &par {
+            let ps = p.stats();
+            span.record("par.threads", p.threads());
+            span.record("par.shard_locks", ps.shard_locks);
+            span.record("par.shard_contended", ps.shard_contended);
+            span.record("par.shard_peak_occupancy", ps.shard_peak_occupancy);
+        }
         record_budget(&mut span, &options.budget, r.peak_nodes);
         options
             .trace
@@ -331,6 +366,7 @@ fn reach_loop(
     targets: Bdd,
     options: &ReachOptions,
     protect_log: &mut Vec<Bdd>,
+    par: &mut Option<crate::ParImage>,
 ) -> Result<ReachResult, McError> {
     let deadline = options.budget.deadline_for(GovPhase::Reach);
     let mut threshold = options.reorder_threshold;
@@ -436,7 +472,11 @@ fn reach_loop(
         // `img` is held across the `not`, where it is not an operand, so it
         // needs transient protection from the collector.
         let step_result = {
-            match model.post_image(src) {
+            let img = match par.as_mut() {
+                Some(p) => p.post_image(model, src),
+                None => model.post_image(src),
+            };
+            match img {
                 Ok(img) => {
                     model.manager().protect(img);
                     let new = model
@@ -528,6 +568,12 @@ fn reach_loop(
             roots.push(targets);
             roots.push(frontier);
             model.manager().sift_with_roots(&roots, options.max_growth);
+            // The shared manager's variable order no longer matches: drop it
+            // and every exported handle. The next image rebuilds both under
+            // the new order.
+            if let Some(p) = par.as_mut() {
+                p.invalidate();
+            }
             threshold = (model.manager_ref().num_nodes() * 2).max(threshold);
         }
     }

@@ -5,17 +5,25 @@
 //! rfn info <netlist>
 //! rfn verify <netlist> --watch <signal>[=0|1] [--watch ...] [--name <p>]
 //!            [--time-limit <s>] [--threads <n>] [--sim-batches <n>]
-//!            [--sim-seed <n>] [--cluster-limit <nodes>]
+//!            [--sim-seed <n>] [--cluster-limit <nodes>] [--bdd-threads <n>]
 //!            [--checkpoint-dir <dir>] [--resume]
 //!            [--no-frontier-simplify] [--trace-out <file>] [--breakdown] [-v]
 //! rfn coverage <netlist> --signals <a,b,c> [--bfs <k>] [--time-limit <s>]
 //!              [--sim-batches <n>] [--sim-seed <n>] [--cluster-limit <nodes>]
-//!              [--no-frontier-simplify] [--trace-out <file>] [--breakdown]
+//!              [--bdd-threads <n>] [--no-frontier-simplify]
+//!              [--trace-out <file>] [--breakdown]
 //! ```
 //!
 //! `--cluster-limit` bounds the node count of each clustered transition
 //! partition used by image computation (0 keeps one partition per register);
 //! `--no-frontier-simplify` disables don't-care frontier minimization.
+//!
+//! `--bdd-threads` fans every image computation across that many worker
+//! threads on a shared BDD manager (1 = the serial engine). Verdicts, error
+//! traces and coverage counts are identical for any thread count; only the
+//! wall-clock changes. This is *intra*-property parallelism and composes
+//! with the `--threads` portfolio: each property job gets its own worker
+//! pool.
 //!
 //! `--sim-batches` sets how many 64-pattern batches the random-simulation
 //! concretization engine tries before falling back to sequential ATPG (0
@@ -70,19 +78,21 @@ usage:
   rfn info <netlist>
   rfn verify <netlist> --watch <signal>[=0|1] [--watch ...] [--name <p>]
              [--time-limit <s>] [--threads <n>] [--sim-batches <n>]
-             [--sim-seed <n>] [--cluster-limit <nodes>]
+             [--sim-seed <n>] [--cluster-limit <nodes>] [--bdd-threads <n>]
              [--checkpoint-dir <dir>] [--resume]
              [--no-frontier-simplify] [--trace-out <file>] [--breakdown] [-v]
   rfn coverage <netlist> --signals <a,b,c> [--bfs <k>] [--time-limit <s>]
                [--sim-batches <n>] [--sim-seed <n>] [--cluster-limit <nodes>]
-               [--no-frontier-simplify] [--trace-out <file>] [--breakdown]
+               [--bdd-threads <n>] [--no-frontier-simplify]
+               [--trace-out <file>] [--breakdown]
 
 `--watch` may repeat; the portfolio runs in parallel on --threads workers.
 `--sim-batches`/`--sim-seed` configure the random-simulation concretization
 engine (64 patterns per batch; 0 batches disables it).
 `--cluster-limit` bounds the clustered transition partitions of image
 computation (0 = one partition per register); `--no-frontier-simplify`
-turns off don't-care frontier minimization.
+turns off don't-care frontier minimization. `--bdd-threads` parallelizes
+each image computation itself (1 = serial; identical results either way).
 `--time-limit` is one budget shared by the whole portfolio (all properties
 race the same deadline). `--checkpoint-dir` snapshots each RFN job's
 refinement loop after every iteration; `--resume` continues from the
@@ -180,8 +190,9 @@ fn sim_flags(rest: &[&String]) -> Result<(Option<usize>, Option<u64>), String> {
     Ok((batches, seed))
 }
 
-/// Parses `--cluster-limit` / `--no-frontier-simplify` into overrides.
-fn image_flags(rest: &[&String]) -> Result<(Option<usize>, bool), String> {
+/// Parses `--cluster-limit` / `--no-frontier-simplify` / `--bdd-threads`
+/// into overrides.
+fn image_flags(rest: &[&String]) -> Result<(Option<usize>, bool, usize), String> {
     let cluster_limit = match flag_value(rest, "--cluster-limit") {
         None => None,
         Some(s) => Some(
@@ -190,7 +201,14 @@ fn image_flags(rest: &[&String]) -> Result<(Option<usize>, bool), String> {
         ),
     };
     let frontier_simplify = !rest.iter().any(|a| a.as_str() == "--no-frontier-simplify");
-    Ok((cluster_limit, frontier_simplify))
+    let bdd_threads = match flag_value(rest, "--bdd-threads") {
+        None => 1,
+        Some(s) => s
+            .parse::<usize>()
+            .map(|n| n.max(1))
+            .map_err(|_| format!("bad --bdd-threads `{s}`"))?,
+    };
+    Ok((cluster_limit, frontier_simplify, bdd_threads))
 }
 
 fn time_limit(rest: &[&String]) -> Result<Option<Duration>, String> {
@@ -287,8 +305,10 @@ fn verify(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
     // session runs the portfolio in parallel and reports in command-line
     // order, with the event streams merged deterministically.
     let (sim_batches, sim_seed) = sim_flags(rest)?;
-    let (cluster_limit, frontier_simplify) = image_flags(rest)?;
-    let mut rfn_opts = RfnOptions::default().with_frontier_simplify(frontier_simplify);
+    let (cluster_limit, frontier_simplify, bdd_threads) = image_flags(rest)?;
+    let mut rfn_opts = RfnOptions::default()
+        .with_frontier_simplify(frontier_simplify)
+        .with_bdd_threads(bdd_threads);
     if let Some(batches) = sim_batches {
         rfn_opts = rfn_opts.with_sim_batches(batches);
     }
@@ -359,8 +379,10 @@ fn coverage(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
     let set = CoverageSet::new("cli", sigs?);
     let obs = observers(rest)?;
     let (sim_batches, sim_seed) = sim_flags(rest)?;
-    let (cluster_limit, frontier_simplify) = image_flags(rest)?;
-    let mut cov_opts = CoverageOptions::default().with_frontier_simplify(frontier_simplify);
+    let (cluster_limit, frontier_simplify, bdd_threads) = image_flags(rest)?;
+    let mut cov_opts = CoverageOptions::default()
+        .with_frontier_simplify(frontier_simplify)
+        .with_bdd_threads(bdd_threads);
     if let Some(batches) = sim_batches {
         cov_opts.concretize_sim.batches = batches;
     }
@@ -393,7 +415,9 @@ fn coverage(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
     );
     if let Some(k) = flag_value(rest, "--bfs") {
         let k: usize = k.parse().map_err(|_| format!("bad --bfs `{k}`"))?;
-        let mut bfs_reach = ReachOptions::default().with_frontier_simplify(frontier_simplify);
+        let mut bfs_reach = ReachOptions::default()
+            .with_frontier_simplify(frontier_simplify)
+            .with_bdd_threads(bdd_threads);
         if let Some(limit) = cluster_limit {
             bfs_reach = bfs_reach.with_cluster_limit(limit);
         }
