@@ -524,16 +524,26 @@ impl BddManager {
 
     /// The BDD of a single positive literal.
     pub fn var(&mut self, v: VarId) -> Bdd {
-        Bdd(self
+        // One node at most — exempt from budget governance (see `var_cube`),
+        // so a cancelled budget cannot turn this infallible helper into a
+        // panic; the next governed operation still aborts promptly.
+        let budget = self.budget.take();
+        let n = self
             .mk(v.0, FALSE, TRUE)
-            .expect("single literal never exceeds the node limit meaningfully"))
+            .expect("single literal never exceeds the node limit meaningfully");
+        self.budget = budget;
+        Bdd(n)
     }
 
     /// The BDD of a single negative literal.
     pub fn nvar(&mut self, v: VarId) -> Bdd {
-        Bdd(self
+        // See `var`: one node, exempt from the budget.
+        let budget = self.budget.take();
+        let n = self
             .mk(v.0, TRUE, FALSE)
-            .expect("single literal never exceeds the node limit meaningfully"))
+            .expect("single literal never exceeds the node limit meaningfully");
+        self.budget = budget;
+        Bdd(n)
     }
 
     /// The literal `v` with the given polarity.

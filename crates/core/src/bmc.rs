@@ -1,0 +1,552 @@
+//! SAT-based bounded model checking with UNSAT-core abstraction refinement.
+//!
+//! The third engine class of the portfolio, complementing the BDD-bound
+//! formal lanes: the property's cone of influence is time-frame unrolled
+//! into one incremental [`Solver`](rfn_sat::Solver) and the bad state is
+//! checked at depth `k = 0, 1, 2, …`. Following the single-instance
+//! incremental formulation of proof-based abstraction (Een, Mishchenko &
+//! Amla, arXiv:1008.2021), every register's reset and transition clauses
+//! are guarded by a per-register *activation literal*, so an abstraction —
+//! a register subset — is selected per solver call purely through
+//! assumptions:
+//!
+//! 1. solve depth `k` under the **abstract** model (only the refined
+//!    registers activated; the rest are free cut points). UNSAT proves
+//!    depth `k` safe outright, because freeing registers only adds
+//!    behaviour.
+//! 2. on abstract SAT, re-solve under the **concrete** model (every
+//!    activation assumed). SAT yields a counterexample, which is replayed
+//!    through [`validate_trace`] before being reported — a mismatch is an
+//!    engine bug and fails loudly as [`Error::Witness`](crate::Error).
+//!    UNSAT proves depth `k` safe, and the failed-assumption core names
+//!    the activation literals — the registers — whose behaviour refuted
+//!    the abstract counterexample; they join the abstraction before the
+//!    loop advances to `k + 1`.
+//!
+//! The solver polls the shared [`Budget`] at propagation and restart
+//! boundaries, so a portfolio controller can cancel the lane
+//! cooperatively; the loop itself re-checks the budget (including an
+//! optional [`GovPhase::Bmc`] quota) between depths.
+
+use std::time::{Duration, Instant};
+
+use rfn_govern::{Budget, Exhaustion, GovPhase};
+use rfn_mc::CommonOptions;
+use rfn_netlist::{Netlist, Property, SignalId, Trace, TraceStep};
+use rfn_sat::{Lit, SolveResult, Solver, SolverStats, Term, Unroller};
+use rfn_trace::TraceCtx;
+
+use crate::{validate_trace, Phase, RfnError};
+
+/// Default depth bound of the BMC loop: 30× the deepest bundled bug
+/// (the processor's ≈30-cycle stall violation), while keeping a
+/// standalone run on a safe design down to seconds even under an
+/// unlimited budget — solver effort per frame grows with the clause
+/// database, so total work is superlinear in the bound. Raise it with
+/// [`BmcOptions::with_max_depth`] for deeper hunts.
+pub const DEFAULT_BMC_MAX_DEPTH: usize = 1 << 10;
+
+/// Configuration for [`verify_bmc`].
+#[derive(Clone, Debug)]
+pub struct BmcOptions {
+    /// The budget and trace context shared with every other engine (see
+    /// [`CommonOptions`]). The solver polls the budget at propagation and
+    /// restart boundaries; the depth loop additionally honours a
+    /// [`GovPhase::Bmc`] quota. The trace context wraps each run in a
+    /// `bmc` span with per-depth `bmc.frame` and per-refinement
+    /// `bmc.refine` points.
+    pub common: CommonOptions,
+    /// Deepest time frame to check before giving up
+    /// ([`DEFAULT_BMC_MAX_DEPTH`] by default).
+    pub max_depth: usize,
+}
+
+impl Default for BmcOptions {
+    fn default() -> Self {
+        BmcOptions {
+            common: CommonOptions::default(),
+            max_depth: DEFAULT_BMC_MAX_DEPTH,
+        }
+    }
+}
+
+impl BmcOptions {
+    /// Installs a shared resource budget (replacing any previous one).
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.common = self.common.with_budget(budget);
+        self
+    }
+
+    /// Sets the wall-clock limit (a view over the shared budget; the
+    /// deadline is re-anchored at this call).
+    #[must_use]
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.common = self.common.with_time_limit(limit);
+        self
+    }
+
+    /// Attaches a structured-event context.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceCtx) -> Self {
+        self.common = self.common.with_trace(trace);
+        self
+    }
+
+    /// Sets the depth bound.
+    #[must_use]
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth;
+        self
+    }
+}
+
+/// How a BMC run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BmcVerdict {
+    /// The property fails: a validated counterexample reaches the bad
+    /// state at time frame `depth` (the trace has `depth + 1` cycles).
+    Falsified {
+        /// First failing time frame.
+        depth: usize,
+    },
+    /// Every depth up to the configured bound is safe. This is *not* a
+    /// proof of the property — only that no counterexample of length
+    /// `max_depth` or shorter exists.
+    BoundedSafe {
+        /// Deepest frame proved free of counterexamples.
+        depth: usize,
+    },
+    /// The budget ran out (or the lane was cancelled) before the bound.
+    OutOfBudget {
+        /// Deepest frame fully proved safe before exhaustion (`None` if
+        /// not even frame 0 completed).
+        depth: Option<usize>,
+        /// Which resource was exhausted.
+        reason: Exhaustion,
+    },
+}
+
+/// Statistics of one BMC run.
+#[derive(Clone, Debug, Default)]
+pub struct BmcStats {
+    /// Registers in the property's cone of influence.
+    pub coi_registers: usize,
+    /// Gates in the property's cone of influence.
+    pub coi_gates: usize,
+    /// Registers in the final abstraction (activated in abstract solves).
+    pub abstract_registers: usize,
+    /// UNSAT-core refinement rounds (rounds that grew the abstraction).
+    pub refinements: usize,
+    /// Solver variables allocated over the whole run.
+    pub vars: usize,
+    /// Clauses added over the whole run.
+    pub clauses: usize,
+    /// CDCL solver counters (conflicts, decisions, propagations, learned
+    /// clauses, restarts) accumulated over every solve call.
+    pub solver: SolverStats,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+/// Report of a BMC run.
+#[derive(Clone, Debug)]
+pub struct BmcReport {
+    /// How the run ended.
+    pub verdict: BmcVerdict,
+    /// The validated counterexample when the verdict is
+    /// [`BmcVerdict::Falsified`] (`None` otherwise).
+    pub trace: Option<Trace>,
+    /// Run statistics.
+    pub stats: BmcStats,
+}
+
+/// Runs SAT-based bounded model checking on the property's cone of
+/// influence, refining a register-subset abstraction from UNSAT cores.
+///
+/// # Errors
+///
+/// Returns structural netlist errors, [`RfnError::BadProperty`] if the
+/// property's signal is not in the design, and
+/// [`Error::Witness`](crate::Error::Witness) if a counterexample fails
+/// concrete replay (an engine bug, reported loudly rather than folded
+/// into the verdict).
+pub fn verify_bmc(
+    netlist: &Netlist,
+    property: &Property,
+    options: &BmcOptions,
+) -> Result<BmcReport, RfnError> {
+    let mut span = options.common.trace.span_with(
+        "bmc",
+        vec![("property".to_owned(), property.name.as_str().into())],
+    );
+    let result = verify_bmc_inner(netlist, property, options);
+    if let Ok(report) = &result {
+        let (verdict, depth) = match &report.verdict {
+            BmcVerdict::Falsified { depth } => ("falsified", Some(*depth)),
+            BmcVerdict::BoundedSafe { depth } => ("bounded_safe", Some(*depth)),
+            BmcVerdict::OutOfBudget { depth, reason } => {
+                span.record("abort_reason", reason.as_str());
+                ("out_of_budget", *depth)
+            }
+        };
+        span.record("verdict", verdict);
+        if let Some(depth) = depth {
+            span.record("depth", depth);
+        }
+        span.record("coi_registers", report.stats.coi_registers);
+        span.record("abstract_registers", report.stats.abstract_registers);
+        span.record("refinements", report.stats.refinements);
+        span.record("conflicts", report.stats.solver.conflicts);
+        span.record("propagations", report.stats.solver.propagations);
+    }
+    result
+}
+
+fn verify_bmc_inner(
+    netlist: &Netlist,
+    property: &Property,
+    options: &BmcOptions,
+) -> Result<BmcReport, RfnError> {
+    let start = Instant::now();
+    if property.signal.index() >= netlist.num_signals() {
+        return Err(RfnError::BadProperty(format!(
+            "signal of property '{}' is not in design '{}'",
+            property.name,
+            netlist.name()
+        )));
+    }
+    let budget = &options.common.budget;
+    let ctx = &options.common.trace;
+    let mut solver = Solver::new();
+    solver.set_budget(budget.clone());
+    let mut unroller = Unroller::new(netlist, &mut solver, [property.signal])?;
+    let registers: Vec<SignalId> = unroller.coi().registers().to_vec();
+    let mut stats = BmcStats {
+        coi_registers: registers.len(),
+        coi_gates: unroller.coi().gates().len(),
+        ..BmcStats::default()
+    };
+    // The abstraction: registers whose activation literal is assumed in
+    // abstract solves. Grown from failed-assumption cores.
+    let mut active = vec![false; netlist.num_signals()];
+    let mut num_active = 0usize;
+    let phase_deadline = budget.deadline_for(GovPhase::Bmc);
+    let mut safe_depth: Option<usize> = None;
+
+    let finish = |verdict: BmcVerdict,
+                  trace: Option<Trace>,
+                  mut stats: BmcStats,
+                  solver: &Solver,
+                  num_active: usize| {
+        stats.abstract_registers = num_active;
+        stats.vars = solver.num_vars();
+        stats.clauses = solver.num_clauses();
+        stats.solver = solver.stats();
+        stats.elapsed = start.elapsed();
+        Ok(BmcReport {
+            verdict,
+            trace,
+            stats,
+        })
+    };
+
+    for k in 0..=options.max_depth {
+        if let Err(reason) = budget.check() {
+            return finish(
+                BmcVerdict::OutOfBudget {
+                    depth: safe_depth,
+                    reason,
+                },
+                None,
+                stats,
+                &solver,
+                num_active,
+            );
+        }
+        if phase_deadline.is_some_and(|d| Instant::now() >= d) {
+            return finish(
+                BmcVerdict::OutOfBudget {
+                    depth: safe_depth,
+                    reason: Exhaustion::TimeLimit,
+                },
+                None,
+                stats,
+                &solver,
+                num_active,
+            );
+        }
+        unroller.ensure_frame(&mut solver, k);
+        let bad = match unroller.term(k, property.signal) {
+            Term::Const(b) if b == property.value => None,
+            Term::Const(_) => {
+                // The bad value is structurally impossible at this frame.
+                safe_depth = Some(k);
+                continue;
+            }
+            Term::Lit(l) => Some(if property.value { l } else { !l }),
+        };
+        // Abstract solve: only the refined registers are activated.
+        let abstract_sat = if num_active == registers.len() && bad.is_some() {
+            // Abstraction is complete: the concrete solve below is the
+            // abstract solve.
+            true
+        } else {
+            let mut assumptions: Vec<Lit> = registers
+                .iter()
+                .filter(|r| active[r.index()])
+                .map(|&r| unroller.activation(r))
+                .collect();
+            assumptions.extend(bad);
+            match solver.solve(&assumptions) {
+                SolveResult::Sat => true,
+                SolveResult::Unsat => false,
+                SolveResult::Unknown(reason) => {
+                    return finish(
+                        BmcVerdict::OutOfBudget {
+                            depth: safe_depth,
+                            reason,
+                        },
+                        None,
+                        stats,
+                        &solver,
+                        num_active,
+                    );
+                }
+            }
+        };
+        if abstract_sat {
+            // Concrete solve: every register activated.
+            let mut assumptions: Vec<Lit> = unroller.activations().collect();
+            assumptions.extend(bad);
+            match solver.solve(&assumptions) {
+                SolveResult::Sat => {
+                    let trace = extract_trace(&solver, &unroller, &registers, k);
+                    emit_frame_point(ctx, k, &solver, num_active);
+                    if !validate_trace(netlist, property, &trace)? {
+                        return Err(RfnError::Witness {
+                            phase: Phase::Concretize,
+                            detail: format!(
+                                "BMC counterexample of property '{}' at depth {k} \
+                                 failed concrete replay",
+                                property.name
+                            ),
+                        });
+                    }
+                    return finish(
+                        BmcVerdict::Falsified { depth: k },
+                        Some(trace),
+                        stats,
+                        &solver,
+                        num_active,
+                    );
+                }
+                SolveResult::Unsat => {
+                    // The concrete model refutes the abstract counterexample
+                    // at this depth, so depth k is safe; the failed
+                    // assumptions name the registers to refine with.
+                    let core_regs: Vec<SignalId> = registers
+                        .iter()
+                        .copied()
+                        .filter(|&r| {
+                            !active[r.index()] && solver.core().contains(&unroller.activation(r))
+                        })
+                        .collect();
+                    if !core_regs.is_empty() {
+                        stats.refinements += 1;
+                        ctx.point(
+                            "bmc.refine",
+                            vec![
+                                ("depth".to_owned(), k.into()),
+                                ("core_registers".to_owned(), core_regs.len().into()),
+                                (
+                                    "abstract_registers".to_owned(),
+                                    (num_active + core_regs.len()).into(),
+                                ),
+                            ],
+                        );
+                        for r in core_regs {
+                            active[r.index()] = true;
+                            num_active += 1;
+                        }
+                    }
+                }
+                SolveResult::Unknown(reason) => {
+                    return finish(
+                        BmcVerdict::OutOfBudget {
+                            depth: safe_depth,
+                            reason,
+                        },
+                        None,
+                        stats,
+                        &solver,
+                        num_active,
+                    );
+                }
+            }
+        }
+        safe_depth = Some(k);
+        emit_frame_point(ctx, k, &solver, num_active);
+    }
+    finish(
+        BmcVerdict::BoundedSafe {
+            depth: options.max_depth,
+        },
+        None,
+        stats,
+        &solver,
+        num_active,
+    )
+}
+
+fn emit_frame_point(ctx: &TraceCtx, k: usize, solver: &Solver, num_active: usize) {
+    if !ctx.is_enabled() {
+        return;
+    }
+    let s = solver.stats();
+    ctx.point(
+        "bmc.frame",
+        vec![
+            ("depth".to_owned(), k.into()),
+            ("conflicts".to_owned(), s.conflicts.into()),
+            ("propagations".to_owned(), s.propagations.into()),
+            ("abstract_registers".to_owned(), num_active.into()),
+        ],
+    );
+}
+
+/// Reads a counterexample out of the solver model: one step per frame,
+/// with the COI register values as the state cube and the COI input values
+/// as the input cube. Unassigned variables (irrelevant to the conflict
+/// set) default to `false`, matching `validate_trace`'s convention for
+/// undriven inputs.
+fn extract_trace(
+    solver: &Solver,
+    unroller: &Unroller<'_>,
+    registers: &[SignalId],
+    depth: usize,
+) -> Trace {
+    let term_value = |t: usize, sig: SignalId| match unroller.term(t, sig) {
+        Term::Const(b) => b,
+        Term::Lit(l) => {
+            let v = solver.value(l.var()).unwrap_or(false);
+            if l.is_positive() {
+                v
+            } else {
+                !v
+            }
+        }
+    };
+    let mut trace = Trace::new();
+    for t in 0..=depth {
+        let mut step = TraceStep::default();
+        for &r in registers {
+            let _ = step.state.insert(r, term_value(t, r));
+        }
+        for &i in unroller.coi().inputs() {
+            let _ = step.inputs.insert(i, term_value(t, i));
+        }
+        trace.push(step);
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfn_netlist::GateOp;
+
+    /// A wrapping 3-bit counter with a watchdog on value `target`.
+    fn counter3(target: u8) -> (Netlist, Property) {
+        let mut n = Netlist::new("counter3");
+        let b0 = n.add_register("b0", Some(false));
+        let b1 = n.add_register("b1", Some(false));
+        let b2 = n.add_register("b2", Some(false));
+        let n0 = n.add_gate("n0", GateOp::Not, &[b0]);
+        let n1 = n.add_gate("n1", GateOp::Xor, &[b1, b0]);
+        let c01 = n.add_gate("c01", GateOp::And, &[b0, b1]);
+        let n2 = n.add_gate("n2", GateOp::Xor, &[b2, c01]);
+        n.set_register_next(b0, n0).unwrap();
+        n.set_register_next(b1, n1).unwrap();
+        n.set_register_next(b2, n2).unwrap();
+        let bits = [b0, b1, b2];
+        let fanins: Vec<_> = (0..3)
+            .map(|i| {
+                if target >> i & 1 == 1 {
+                    bits[i]
+                } else {
+                    n.add_gate(&format!("inv{i}"), GateOp::Not, &[bits[i]])
+                }
+            })
+            .collect();
+        let bad = n.add_gate("bad", GateOp::And, &fanins);
+        n.validate().unwrap();
+        let p = Property::never(&n, "no_target", bad);
+        (n, p)
+    }
+
+    #[test]
+    fn finds_shortest_counterexample_with_validated_trace() {
+        let (n, p) = counter3(5);
+        let report = verify_bmc(&n, &p, &BmcOptions::default()).unwrap();
+        assert_eq!(report.verdict, BmcVerdict::Falsified { depth: 5 });
+        let trace = report.trace.expect("falsification carries a trace");
+        assert_eq!(trace.num_cycles(), 6);
+        assert_eq!(validate_trace(&n, &p, &trace), Ok(true));
+    }
+
+    #[test]
+    fn safe_design_is_bounded_safe_with_small_abstraction() {
+        // A saturating 2-bit counter plus a watchdog that never fires.
+        let mut n = Netlist::new("safe");
+        let flag = n.add_register("flag", Some(false));
+        n.set_register_next(flag, flag).unwrap();
+        n.validate().unwrap();
+        let p = Property::never(&n, "flag_low", flag);
+        let opts = BmcOptions::default().with_max_depth(32);
+        let report = verify_bmc(&n, &p, &opts).unwrap();
+        assert_eq!(report.verdict, BmcVerdict::BoundedSafe { depth: 32 });
+        assert!(report.trace.is_none());
+        assert_eq!(report.stats.coi_registers, 1);
+    }
+
+    #[test]
+    fn refinement_grows_the_abstraction_from_cores() {
+        let (n, p) = counter3(5);
+        let report = verify_bmc(&n, &p, &BmcOptions::default()).unwrap();
+        // The free-register abstraction hits the watchdog at frame 0, so at
+        // least one refinement round must have fired before depth 5.
+        assert!(report.stats.refinements > 0);
+        assert!(report.stats.abstract_registers > 0);
+        assert!(report.stats.abstract_registers <= report.stats.coi_registers);
+    }
+
+    #[test]
+    fn cancelled_budget_reports_out_of_budget() {
+        let (n, p) = counter3(5);
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let opts = BmcOptions::default().with_budget(budget);
+        let report = verify_bmc(&n, &p, &opts).unwrap();
+        assert!(matches!(
+            report.verdict,
+            BmcVerdict::OutOfBudget {
+                reason: Exhaustion::Cancelled,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn depth_counts_match_the_plain_engine() {
+        for target in 1..8u8 {
+            let (n, p) = counter3(target);
+            let report = verify_bmc(&n, &p, &BmcOptions::default()).unwrap();
+            let plain = rfn_mc::verify_plain(&n, &p, &rfn_mc::PlainOptions::default()).unwrap();
+            let rfn_mc::PlainVerdict::Falsified { depth } = plain.verdict else {
+                panic!("plain engine must falsify target {target}");
+            };
+            assert_eq!(report.verdict, BmcVerdict::Falsified { depth });
+        }
+    }
+}

@@ -19,7 +19,9 @@ use std::time::{Duration, Instant};
 
 use rfn_atpg::AtpgOptions;
 use rfn_govern::{Budget, GovPhase};
-use rfn_mc::{forward_reach, ModelSpec, ReachOptions, ReachResult, ReachVerdict, SymbolicModel};
+use rfn_mc::{
+    forward_reach, CommonOptions, ModelSpec, ReachOptions, ReachResult, ReachVerdict, SymbolicModel,
+};
 use rfn_netlist::{transitive_fanin, Abstraction, Coi, CoverageSet, Cube, Netlist, SignalId};
 use rfn_sim::{RandomSimOptions, Simulator};
 use rfn_trace::TraceCtx;
@@ -32,10 +34,13 @@ use crate::{
 /// Configuration for [`analyze_coverage`].
 #[derive(Clone, Debug)]
 pub struct CoverageOptions {
-    /// Shared resource budget for the whole analysis: wall clock, phase
-    /// quotas, ceilings and the cooperative cancellation token (the paper
-    /// used 1,800 s per RFN experiment).
-    pub budget: Budget,
+    /// The budget and trace context shared with every other engine (see
+    /// [`CommonOptions`]). The budget governs the whole analysis — wall
+    /// clock, phase quotas, ceilings and the cooperative cancellation token
+    /// (the paper used 1,800 s per RFN experiment); the trace context wraps
+    /// each `analyze_coverage` call in a `coverage` span with per-iteration
+    /// child spans.
+    pub common: CommonOptions,
     /// Maximum refinement iterations.
     pub max_iterations: usize,
     /// BDD node limit per iteration.
@@ -52,16 +57,12 @@ pub struct CoverageOptions {
     pub hybrid_atpg: AtpgOptions,
     /// Refinement configuration.
     pub refine: RefineOptions,
-    /// Structured-event context; each `analyze_coverage` call wraps itself
-    /// in a `coverage` span with per-iteration child spans. Disabled by
-    /// default.
-    pub trace: TraceCtx,
 }
 
 impl Default for CoverageOptions {
     fn default() -> Self {
         CoverageOptions {
-            budget: Budget::unlimited(),
+            common: CommonOptions::default(),
             max_iterations: 32,
             mc_node_limit: 4_000_000,
             reach: ReachOptions::default(),
@@ -72,31 +73,30 @@ impl Default for CoverageOptions {
             concretize_sim: RandomSimOptions::default(),
             hybrid_atpg: AtpgOptions::default(),
             refine: RefineOptions::default(),
-            trace: TraceCtx::disabled(),
         }
     }
 }
 
 impl CoverageOptions {
     /// Sets the wall-clock budget for the analysis. The clock starts now:
-    /// this is shorthand for re-anchoring [`CoverageOptions::budget`] with a
+    /// this is shorthand for re-anchoring the shared budget with a
     /// wall-clock limit.
     #[must_use]
     pub fn with_time_limit(mut self, limit: Duration) -> Self {
-        self.budget = self.budget.restarted().with_wall_clock(limit);
+        self.common = self.common.with_time_limit(limit);
         self
     }
 
     /// Replaces the analysis' shared resource budget wholesale.
     #[must_use]
     pub fn with_budget(mut self, budget: Budget) -> Self {
-        self.budget = budget;
+        self.common = self.common.with_budget(budget);
         self
     }
 
     /// The wall-clock limit of the analysis' budget, if bounded.
     pub fn time_limit(&self) -> Option<Duration> {
-        self.budget.wall_clock()
+        self.common.time_limit()
     }
 
     /// Sets the maximum number of refinement iterations.
@@ -141,7 +141,7 @@ impl CoverageOptions {
     /// Attaches a structured-event context.
     #[must_use]
     pub fn with_trace(mut self, trace: TraceCtx) -> Self {
-        self.trace = trace;
+        self.common = self.common.with_trace(trace);
         self
     }
 }
@@ -192,7 +192,7 @@ pub fn analyze_coverage(
     set: &CoverageSet,
     options: &CoverageOptions,
 ) -> Result<CoverageReport, RfnError> {
-    let ctx = options.trace.clone();
+    let ctx = options.common.trace.clone();
     let mut span = ctx.span_with(
         "coverage",
         vec![
@@ -222,7 +222,7 @@ fn analyze_coverage_inner(
     ctx: &TraceCtx,
 ) -> Result<CoverageReport, RfnError> {
     let start = Instant::now();
-    let budget = &options.budget;
+    let budget = &options.common.budget;
     validate_coverage_set(netlist, set)?;
     let coi = Coi::of(netlist, set.signals.iter().copied());
     let n_sig = set.signals.len();
@@ -269,8 +269,8 @@ fn analyze_coverage_inner(
         };
         // Full fixpoint (no early target stop: the projection needs it all).
         let mut reach_opts = options.reach.clone();
-        reach_opts.trace = ctx.clone();
-        reach_opts.budget = budget.clone();
+        reach_opts.common.trace = ctx.clone();
+        reach_opts.common.budget = budget.clone();
         let zero = model.manager_ref().zero();
         let reach = forward_reach(&mut model, zero, &reach_opts)?;
         bdd_stats.merge(&reach.stats);

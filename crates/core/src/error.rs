@@ -75,6 +75,16 @@ pub enum Error {
     /// A checkpoint snapshot could not be written, read, or applied (e.g. it
     /// was taken on a different design or property).
     Checkpoint(String),
+    /// An engine produced a counterexample that failed concrete replay
+    /// (`validate_trace`). This is always an engine bug, never a property
+    /// of the design, so it is reported loudly instead of being folded into
+    /// a verdict.
+    Witness {
+        /// The phase that validated (and rejected) the witness.
+        phase: Phase,
+        /// What was wrong with the witness.
+        detail: String,
+    },
 }
 
 /// Historical name of [`Error`], kept so `RfnError::BadProperty(_)` patterns
@@ -86,7 +96,9 @@ impl Error {
     #[must_use]
     pub fn with_phase(mut self, phase: Phase) -> Self {
         match &mut self {
-            Error::Netlist { phase: p, .. } | Error::Mc { phase: p, .. } => *p = phase,
+            Error::Netlist { phase: p, .. }
+            | Error::Mc { phase: p, .. }
+            | Error::Witness { phase: p, .. } => *p = phase,
             Error::BadProperty(_) | Error::Checkpoint(_) => {}
         }
         self
@@ -100,7 +112,9 @@ impl Error {
     /// The phase the error originated from, if it carries one.
     pub fn phase(&self) -> Option<Phase> {
         match self {
-            Error::Netlist { phase, .. } | Error::Mc { phase, .. } => Some(*phase),
+            Error::Netlist { phase, .. }
+            | Error::Mc { phase, .. }
+            | Error::Witness { phase, .. } => Some(*phase),
             Error::BadProperty(_) | Error::Checkpoint(_) => None,
         }
     }
@@ -117,6 +131,9 @@ impl fmt::Display for Error {
             }
             Error::BadProperty(m) => write!(f, "bad property: {m}"),
             Error::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            Error::Witness { phase, detail } => {
+                write!(f, "invalid witness rejected during {phase}: {detail}")
+            }
         }
     }
 }
@@ -126,7 +143,7 @@ impl std::error::Error for Error {
         match self {
             Error::Netlist { source, .. } => Some(source),
             Error::Mc { source, .. } => Some(source),
-            Error::BadProperty(_) | Error::Checkpoint(_) => None,
+            Error::BadProperty(_) | Error::Checkpoint(_) | Error::Witness { .. } => None,
         }
     }
 }

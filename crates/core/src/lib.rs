@@ -57,9 +57,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bmc;
 mod checkpoint;
 mod concretize;
 mod coverage;
+mod engine;
 mod error;
 mod hybrid;
 mod portfolio;
@@ -67,18 +69,23 @@ mod refine;
 mod rfn;
 mod session;
 
+pub use bmc::{verify_bmc, BmcOptions, BmcReport, BmcStats, BmcVerdict, DEFAULT_BMC_MAX_DEPTH};
 pub use checkpoint::{LoopCheckpoint, CHECKPOINT_SCHEMA};
 pub use concretize::{
     concretize, concretize_cube, concretize_cube_with_stats, concretize_with_stats, validate_trace,
     validate_trace_cube, ConcretizeOptions, ConcretizeOutcome, ConcretizeStats,
 };
 pub use coverage::{analyze_coverage, bfs_coverage, CoverageOptions, CoverageReport};
+pub use engine::{
+    build_engines, run_engines, BmcEngine, Engine, EngineKind, EngineOutcome, PlainMcEngine,
+    RfnEngine, Verdict,
+};
 pub use error::{Error, Phase, RfnError};
 pub use hybrid::{hybrid_trace, hybrid_traces, HybridOutcome, HybridStats};
 pub use portfolio::{default_threads, parallel_map};
 pub use refine::{refine, refine_with_roots, RefineOptions, RefineReport};
 pub use rfn::{Rfn, RfnOptions, RfnOutcome, RfnStats};
-pub use session::{Engine, PropertyResult, SessionReport, Verdict, VerifySession};
+pub use session::{PropertyResult, SessionReport, VerifySession};
 
 pub mod prelude {
     //! One-stop imports for driving the verifier.
@@ -89,9 +96,10 @@ pub mod prelude {
     //! this over enumerating a dozen paths.
 
     pub use crate::{
-        analyze_coverage, bfs_coverage, default_threads, parallel_map, verify_plain,
-        CoverageOptions, CoverageReport, Engine, Error, LoopCheckpoint, Phase, PlainOptions,
-        PlainReport, PlainVerdict, PropertyResult, Rfn, RfnError, RfnOptions, RfnOutcome, RfnStats,
+        analyze_coverage, bfs_coverage, default_threads, parallel_map, verify_bmc, verify_plain,
+        BmcOptions, BmcReport, BmcVerdict, CommonOptions, CoverageOptions, CoverageReport, Engine,
+        EngineKind, EngineOutcome, Error, LoopCheckpoint, Phase, PlainOptions, PlainReport,
+        PlainVerdict, PropertyResult, Rfn, RfnError, RfnOptions, RfnOutcome, RfnStats,
         SessionReport, Verdict, VerifySession,
     };
     pub use rfn_govern::{Budget, CancelToken, Exhaustion, GovPhase};
@@ -102,4 +110,4 @@ pub mod prelude {
 }
 
 pub use rfn_govern::{Budget, CancelToken, Exhaustion, GovPhase};
-pub use rfn_mc::{verify_plain, McError, PlainOptions, PlainReport, PlainVerdict};
+pub use rfn_mc::{verify_plain, CommonOptions, McError, PlainOptions, PlainReport, PlainVerdict};

@@ -6,7 +6,9 @@ use std::time::{Duration, Instant};
 
 use rfn_atpg::AtpgOptions;
 use rfn_govern::{Budget, GovPhase};
-use rfn_mc::{forward_reach, ModelSpec, ReachOptions, ReachVerdict, SymbolicModel, VarKind};
+use rfn_mc::{
+    forward_reach, CommonOptions, ModelSpec, ReachOptions, ReachVerdict, SymbolicModel, VarKind,
+};
 use rfn_netlist::{Abstraction, Coi, Netlist, Property, SignalId, Trace};
 use rfn_trace::{Span, StderrSink, TraceCtx};
 
@@ -22,11 +24,14 @@ use crate::{
 pub struct RfnOptions {
     /// Maximum refinement iterations.
     pub max_iterations: usize,
-    /// Shared resource budget for the whole run: wall clock, per-phase
-    /// quotas, node/memory ceilings, backtrack allowance and the cooperative
-    /// cancellation token. Every engine the loop drives polls this same
-    /// budget at its natural checkpoints.
-    pub budget: Budget,
+    /// The budget and trace context shared with every other engine (see
+    /// [`CommonOptions`]). The budget governs the whole run — wall clock,
+    /// per-phase quotas, node/memory ceilings, backtrack allowance and the
+    /// cooperative cancellation token; every engine the loop drives polls
+    /// this same budget at its natural checkpoints. The trace context
+    /// carries the span hierarchy
+    /// `rfn` → `iteration` → `reach`/`hybrid`/`concretize`/`refine`.
+    pub common: CommonOptions,
     /// BDD node limit per iteration's symbolic model.
     pub mc_node_limit: usize,
     /// Reachability options (reordering, step limits).
@@ -45,16 +50,12 @@ pub struct RfnOptions {
     /// falls back. 1 reproduces the paper's algorithm; larger values
     /// implement its first future-work extension (Section 5).
     pub max_abstract_traces: usize,
-    /// 0 = silent; 1 = progress on stderr. When [`RfnOptions::trace`] is
+    /// 0 = silent; 1 = progress on stderr. When the shared trace context is
     /// disabled, a nonzero verbosity routes the run's event stream through a
     /// [`StderrSink`] — the human log and the structured events are the same
-    /// stream, so they can never disagree. When `trace` is enabled it wins;
-    /// compose a [`rfn_trace::FanoutSink`] to get both.
+    /// stream, so they can never disagree. When the trace context is enabled
+    /// it wins; compose a [`rfn_trace::FanoutSink`] to get both.
     pub verbosity: u8,
-    /// Structured-event context for the run (span hierarchy
-    /// `rfn` → `iteration` → `reach`/`hybrid`/`concretize`/`refine`).
-    /// Disabled by default.
-    pub trace: TraceCtx,
     /// Directory for refinement-loop checkpoints. When set, the loop writes
     /// a versioned snapshot (`<dir>/<property>.ckpt.json`) after every
     /// completed refinement iteration.
@@ -70,7 +71,7 @@ impl Default for RfnOptions {
     fn default() -> Self {
         RfnOptions {
             max_iterations: 64,
-            budget: Budget::unlimited(),
+            common: CommonOptions::default(),
             mc_node_limit: 4_000_000,
             reach: ReachOptions::default(),
             concretize_atpg: AtpgOptions::default(),
@@ -82,7 +83,6 @@ impl Default for RfnOptions {
             refine: RefineOptions::default(),
             max_abstract_traces: 1,
             verbosity: 0,
-            trace: TraceCtx::disabled(),
             checkpoint_dir: None,
             resume: false,
         }
@@ -91,18 +91,18 @@ impl Default for RfnOptions {
 
 impl RfnOptions {
     /// Sets the wall-clock budget for the whole run. The clock starts now:
-    /// this is shorthand for re-anchoring [`RfnOptions::budget`] with a
+    /// this is shorthand for re-anchoring the shared budget with a
     /// wall-clock limit.
     #[must_use]
     pub fn with_time_limit(mut self, limit: Duration) -> Self {
-        self.budget = self.budget.restarted().with_wall_clock(limit);
+        self.common = self.common.with_time_limit(limit);
         self
     }
 
     /// Replaces the run's shared resource budget wholesale.
     #[must_use]
     pub fn with_budget(mut self, budget: Budget) -> Self {
-        self.budget = budget;
+        self.common = self.common.with_budget(budget);
         self
     }
 
@@ -123,7 +123,7 @@ impl RfnOptions {
 
     /// The wall-clock limit of the run's budget, if bounded.
     pub fn time_limit(&self) -> Option<Duration> {
-        self.budget.wall_clock()
+        self.common.time_limit()
     }
 
     /// Sets the maximum number of refinement iterations.
@@ -190,7 +190,7 @@ impl RfnOptions {
     }
 
     /// Sets the stderr verbosity (see the field docs for how this interacts
-    /// with [`RfnOptions::trace`]).
+    /// with the shared trace context).
     #[must_use]
     pub fn with_verbosity(mut self, verbosity: u8) -> Self {
         self.verbosity = verbosity;
@@ -200,7 +200,7 @@ impl RfnOptions {
     /// Attaches a structured-event context.
     #[must_use]
     pub fn with_trace(mut self, trace: TraceCtx) -> Self {
-        self.trace = trace;
+        self.common = self.common.with_trace(trace);
         self
     }
 }
@@ -333,12 +333,12 @@ impl<'n> Rfn<'n> {
         result
     }
 
-    /// The run's event context: an explicit [`RfnOptions::trace`] wins;
+    /// The run's event context: an explicitly attached trace context wins;
     /// otherwise a nonzero verbosity gets a stderr-rendering context, and a
     /// silent run gets the free disabled context.
     fn effective_ctx(&self) -> TraceCtx {
-        if self.options.trace.is_enabled() {
-            self.options.trace.clone()
+        if self.options.common.trace.is_enabled() {
+            self.options.common.trace.clone()
         } else if self.options.verbosity > 0 {
             TraceCtx::new(Arc::new(StderrSink::new()))
         } else {
@@ -348,7 +348,7 @@ impl<'n> Rfn<'n> {
 
     fn run_inner(&self, ctx: &TraceCtx) -> Result<RfnOutcome, RfnError> {
         let start = Instant::now();
-        let budget = &self.options.budget;
+        let budget = &self.options.common.budget;
         let mut stats = RfnStats::default();
         let coi = Coi::of(self.netlist, [self.property.signal]);
         stats.coi_registers = coi.num_registers();
@@ -457,8 +457,8 @@ impl<'n> Rfn<'n> {
                 }
             };
             let mut reach_opts = self.options.reach.clone();
-            reach_opts.trace = ctx.clone();
-            reach_opts.budget = budget.clone();
+            reach_opts.common.trace = ctx.clone();
+            reach_opts.common.budget = budget.clone();
             let reach = forward_reach(&mut model, targets, &reach_opts)
                 .map_err(|e| RfnError::at(Phase::Reach, e))?;
             stats.bdd.merge(&reach.stats);

@@ -1,10 +1,11 @@
-//! The session API: one fluent entry point for RFN, plain-MC and coverage
-//! runs.
+//! The session API: one fluent entry point for the engine portfolio and
+//! coverage runs.
 //!
-//! [`VerifySession`] unifies the three ways the tool is driven — the RFN
-//! abstraction-refinement loop, the plain symbolic model checker (the Table 1
-//! baseline) and unreachable-coverage-state analysis (Table 2) — behind one
-//! builder:
+//! [`VerifySession`] unifies the ways the tool is driven — the
+//! [`Engine`](crate::Engine) lanes selected by [`EngineKind`] (the RFN
+//! abstraction-refinement loop, the plain symbolic model checker, SAT
+//! bounded model checking, or a race of all three) and
+//! unreachable-coverage-state analysis (Table 2) — behind one builder:
 //!
 //! ```
 //! use rfn_core::prelude::*;
@@ -37,45 +38,15 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use rfn_govern::Budget;
-use rfn_mc::{verify_plain, PlainOptions, PlainReport, PlainVerdict};
-use rfn_netlist::{CoverageSet, Netlist, Property, Trace};
+use rfn_mc::{PlainOptions, PlainReport};
+use rfn_netlist::{CoverageSet, Netlist, Property};
 use rfn_trace::{merge_streams, Event, FanoutSink, MemorySink, StderrSink, TraceCtx, TraceSink};
 
+use crate::engine::{build_engines, run_engines};
 use crate::{
-    analyze_coverage, parallel_map, CoverageOptions, CoverageReport, Rfn, RfnError, RfnOptions,
-    RfnOutcome, RfnStats,
+    analyze_coverage, parallel_map, BmcOptions, BmcReport, CoverageOptions, CoverageReport,
+    EngineKind, RfnError, RfnOptions, RfnStats, Verdict,
 };
-
-/// Which engine verifies the session's properties.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum Engine {
-    /// The RFN abstraction-refinement loop (the paper's tool).
-    #[default]
-    Rfn,
-    /// Plain symbolic model checking on the whole cone of influence (the
-    /// Table 1 baseline).
-    PlainMc,
-}
-
-/// An engine-independent verdict for one property.
-#[derive(Clone, Debug)]
-pub enum Verdict {
-    /// The property holds.
-    Proved,
-    /// The property fails at the given depth. RFN provides a validated
-    /// counterexample trace; the plain engine reports the depth only.
-    Falsified {
-        /// The error trace, when the engine produces one.
-        trace: Option<Trace>,
-        /// Length of the shortest found error path, in cycles.
-        depth: usize,
-    },
-    /// Limits were exhausted without a verdict.
-    Inconclusive {
-        /// Human-readable reason.
-        reason: String,
-    },
-}
 
 /// The outcome of one property job.
 #[derive(Clone, Debug)]
@@ -84,10 +55,12 @@ pub struct PropertyResult {
     pub property: Property,
     /// The engine-independent verdict.
     pub verdict: Verdict,
-    /// RFN run statistics ([`Engine::Rfn`] only).
+    /// RFN run statistics, whenever the RFN lane ran.
     pub stats: Option<RfnStats>,
-    /// The baseline report ([`Engine::PlainMc`] only).
+    /// The baseline report, whenever the plain-MC lane ran.
     pub plain: Option<PlainReport>,
+    /// The bounded-model-checking report, whenever the BMC lane ran.
+    pub bmc: Option<BmcReport>,
 }
 
 /// Everything a session run produced, in submission order.
@@ -134,11 +107,12 @@ impl SessionReport {
 #[derive(Clone)]
 pub struct VerifySession<'n> {
     netlist: &'n Netlist,
-    engine: Engine,
+    engine: EngineKind,
     properties: Vec<Property>,
     coverage_sets: Vec<CoverageSet>,
     options: RfnOptions,
     plain_options: PlainOptions,
+    bmc_options: BmcOptions,
     coverage_options: CoverageOptions,
     budget: Option<Budget>,
     anchor_at_run: bool,
@@ -165,11 +139,12 @@ impl<'n> VerifySession<'n> {
     pub fn new(netlist: &'n Netlist) -> Self {
         VerifySession {
             netlist,
-            engine: Engine::Rfn,
+            engine: EngineKind::Rfn,
             properties: Vec::new(),
             coverage_sets: Vec::new(),
             options: RfnOptions::default(),
             plain_options: PlainOptions::default(),
+            bmc_options: BmcOptions::default(),
             coverage_options: CoverageOptions::default(),
             budget: None,
             anchor_at_run: false,
@@ -199,10 +174,10 @@ impl<'n> VerifySession<'n> {
         self
     }
 
-    /// Selects the engine for the property jobs (coverage jobs always use
-    /// the RFN-style analysis).
+    /// Selects the engine lane(s) for the property jobs (coverage jobs
+    /// always use the RFN-style analysis).
     #[must_use]
-    pub fn engine(mut self, engine: Engine) -> Self {
+    pub fn engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
         self
     }
@@ -291,6 +266,13 @@ impl<'n> VerifySession<'n> {
         self
     }
 
+    /// Replaces the BMC options wholesale.
+    #[must_use]
+    pub fn bmc_options(mut self, options: BmcOptions) -> Self {
+        self.bmc_options = options;
+        self
+    }
+
     /// Replaces the coverage options wholesale.
     #[must_use]
     pub fn coverage_options(mut self, options: CoverageOptions) -> Self {
@@ -313,14 +295,15 @@ impl<'n> VerifySession<'n> {
             } else {
                 budget
             };
-            self.options.budget = shared.clone();
+            self.options.common.budget = shared.clone();
             // Keep the plain engine's configured node ceiling; share the
             // deadline, memory ceiling and cancellation token.
             let plain_ceiling = self.plain_options.node_limit();
             self.plain_options = self
                 .plain_options
                 .with_budget(shared.clone().with_node_ceiling(plain_ceiling));
-            self.coverage_options.budget = shared;
+            self.bmc_options.common.budget = shared.clone();
+            self.coverage_options.common.budget = shared;
         }
         let n_props = self.properties.len();
         let n_jobs = n_props + self.coverage_sets.len();
@@ -340,7 +323,7 @@ impl<'n> VerifySession<'n> {
                         .map(|r| JobOut::Prop(Box::new(r)))
                 } else {
                     let mut opts = self.coverage_options.clone();
-                    opts.trace = ctx;
+                    opts.common.trace = ctx;
                     analyze_coverage(self.netlist, &self.coverage_sets[i - n_props], &opts)
                         .map(|r| JobOut::Cov(Box::new(r)))
                 };
@@ -390,53 +373,22 @@ impl<'n> VerifySession<'n> {
     }
 
     fn run_property(&self, property: &Property, ctx: TraceCtx) -> Result<PropertyResult, RfnError> {
-        match self.engine {
-            Engine::Rfn => {
-                let mut opts = self.options.clone();
-                opts.trace = ctx;
-                let outcome = Rfn::new(self.netlist, property, opts)?.run()?;
-                let (verdict, stats) = match outcome {
-                    RfnOutcome::Proved { stats } => (Verdict::Proved, stats),
-                    RfnOutcome::Falsified { trace, stats } => {
-                        let depth = trace.num_cycles();
-                        (
-                            Verdict::Falsified {
-                                trace: Some(trace),
-                                depth,
-                            },
-                            stats,
-                        )
-                    }
-                    RfnOutcome::Inconclusive { reason, stats } => {
-                        (Verdict::Inconclusive { reason }, stats)
-                    }
-                };
-                Ok(PropertyResult {
-                    property: property.clone(),
-                    verdict,
-                    stats: Some(stats),
-                    plain: None,
-                })
-            }
-            Engine::PlainMc => {
-                let mut opts = self.plain_options.clone();
-                opts.trace = ctx;
-                let report = verify_plain(self.netlist, property, &opts)?;
-                let verdict = match report.verdict {
-                    PlainVerdict::Proved => Verdict::Proved,
-                    PlainVerdict::Falsified { depth } => Verdict::Falsified { trace: None, depth },
-                    PlainVerdict::OutOfCapacity => Verdict::Inconclusive {
-                        reason: "plain model checking out of capacity".to_owned(),
-                    },
-                };
-                Ok(PropertyResult {
-                    property: property.clone(),
-                    verdict,
-                    stats: None,
-                    plain: Some(report),
-                })
-            }
-        }
+        let mut lanes = build_engines(
+            self.engine,
+            self.netlist,
+            property,
+            &self.options,
+            &self.plain_options,
+            &self.bmc_options,
+        );
+        let outcome = run_engines(&mut lanes, &ctx)?;
+        Ok(PropertyResult {
+            property: property.clone(),
+            verdict: outcome.verdict,
+            stats: outcome.stats,
+            plain: outcome.plain,
+            bmc: outcome.bmc,
+        })
     }
 }
 
@@ -487,7 +439,7 @@ mod tests {
         let (n, p_safe, p_unsafe) = two_property_design();
         let report = VerifySession::new(&n)
             .properties([p_safe, p_unsafe])
-            .engine(Engine::PlainMc)
+            .engine(EngineKind::PlainMc)
             .run()
             .unwrap();
         assert!(matches!(report.results[0].verdict, Verdict::Proved));
@@ -499,6 +451,45 @@ mod tests {
             }
         ));
         assert!(report.results[1].plain.is_some());
+    }
+
+    #[test]
+    fn bmc_engine_agrees_with_plain_depths() {
+        let (n, p_safe, p_unsafe) = two_property_design();
+        let report = VerifySession::new(&n)
+            .properties([p_safe, p_unsafe])
+            .engine(EngineKind::Bmc)
+            .run()
+            .unwrap();
+        // The safe property is only *bounded*-safe to BMC: inconclusive.
+        assert!(matches!(
+            report.results[0].verdict,
+            Verdict::Inconclusive { .. }
+        ));
+        assert!(matches!(
+            report.results[1].verdict,
+            Verdict::Falsified {
+                trace: Some(_),
+                depth: 2
+            }
+        ));
+        assert!(report.results[1].bmc.is_some());
+    }
+
+    #[test]
+    fn race_takes_the_first_conclusive_lane() {
+        let (n, p_safe, p_unsafe) = two_property_design();
+        let report = VerifySession::new(&n)
+            .properties([p_safe, p_unsafe])
+            .engine(EngineKind::Race)
+            .run()
+            .unwrap();
+        assert!(matches!(report.results[0].verdict, Verdict::Proved));
+        assert!(matches!(
+            report.results[1].verdict,
+            Verdict::Falsified { .. }
+        ));
+        assert_eq!(report.worst_exit_code(), 1);
     }
 
     #[test]

@@ -44,6 +44,7 @@ use std::time::{Duration, Instant};
 #[derive(Clone, Debug, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    parent: Option<Box<CancelToken>>,
 }
 
 impl CancelToken {
@@ -53,13 +54,36 @@ impl CancelToken {
     }
 
     /// Requests cancellation. Idempotent; never blocks.
+    ///
+    /// Cancelling a [child](CancelToken::child) token never propagates to
+    /// its parent — only downwards, to clones of the child itself.
     pub fn cancel(&self) {
         self.flag.store(true, Ordering::Relaxed);
     }
 
-    /// Whether cancellation has been requested.
+    /// Whether cancellation has been requested, here or on any ancestor.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed)
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        match &self.parent {
+            Some(parent) => parent.is_cancelled(),
+            None => false,
+        }
+    }
+
+    /// Creates a linked child token.
+    ///
+    /// The child observes cancellation of `self` (and transitively of any
+    /// ancestor), but cancelling the child leaves `self` untouched. A
+    /// portfolio controller hands each racing lane a child token: the first
+    /// conclusive lane cancels its siblings' children while the shared
+    /// parent — and with it every other verification job — keeps running.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            parent: Some(Box::new(self.clone())),
+        }
     }
 }
 
@@ -78,10 +102,12 @@ pub enum GovPhase {
     Concretize,
     /// Refinement-candidate selection.
     Refine,
+    /// SAT-based bounded model checking (time-frame unrolling).
+    Bmc,
 }
 
 impl GovPhase {
-    const COUNT: usize = 4;
+    const COUNT: usize = 5;
 
     fn index(self) -> usize {
         match self {
@@ -89,6 +115,7 @@ impl GovPhase {
             GovPhase::Hybrid => 1,
             GovPhase::Concretize => 2,
             GovPhase::Refine => 3,
+            GovPhase::Bmc => 4,
         }
     }
 
@@ -99,6 +126,7 @@ impl GovPhase {
             GovPhase::Hybrid => "hybrid",
             GovPhase::Concretize => "concretize",
             GovPhase::Refine => "refine",
+            GovPhase::Bmc => "bmc",
         }
     }
 }
@@ -400,6 +428,35 @@ mod tests {
         b.cancel();
         assert_eq!(clone.check(), Err(Exhaustion::Cancelled));
         assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn child_tokens_cancel_downwards_only() {
+        let parent = CancelToken::new();
+        let a = parent.child();
+        let b = parent.child();
+        let grandchild = a.child();
+        // Cancelling one child leaves its siblings and the parent running.
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(grandchild.is_cancelled());
+        assert!(!b.is_cancelled());
+        assert!(!parent.is_cancelled());
+        // Cancelling the parent reaches every descendant.
+        parent.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn budget_with_child_token_sees_parent_cancel() {
+        let shared = Budget::unlimited();
+        let lane = shared.clone().with_cancel_token(shared.token().child());
+        assert!(lane.check().is_ok());
+        lane.cancel();
+        assert!(shared.check().is_ok(), "lane cancel must not leak upwards");
+        let lane2 = shared.clone().with_cancel_token(shared.token().child());
+        shared.cancel();
+        assert_eq!(lane2.check(), Err(Exhaustion::Cancelled));
     }
 
     #[test]

@@ -41,6 +41,7 @@
 
 mod error;
 mod model;
+mod options;
 mod par;
 mod plain;
 mod reach;
@@ -50,6 +51,7 @@ pub use model::{
     ModelOptions, ModelSpec, StateCube, SymbolicModel, TransitionRelation, VarKind,
     DEFAULT_CLUSTER_LIMIT,
 };
+pub use options::CommonOptions;
 pub use par::ParImage;
 pub use plain::{verify_plain, PlainOptions, PlainReport, PlainVerdict};
 pub use reach::{forward_reach, AbortReason, ReachOptions, ReachResult, ReachVerdict};

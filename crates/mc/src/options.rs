@@ -1,0 +1,64 @@
+//! Options shared by every engine configuration.
+//!
+//! Each engine option struct (`ReachOptions`, `PlainOptions` here;
+//! `RfnOptions`, `CoverageOptions` in `rfn-core`) embeds a
+//! [`CommonOptions`] and exposes delegating builders, so a knob that every
+//! engine needs — the governing [`Budget`], the structured-event
+//! [`TraceCtx`] — is added in exactly one place.
+
+use std::time::Duration;
+
+use rfn_govern::Budget;
+use rfn_trace::TraceCtx;
+
+/// The configuration every engine shares: a resource [`Budget`] and a
+/// structured-event [`TraceCtx`].
+///
+/// Engine option structs embed this as a `common` field; their
+/// `with_budget` / `with_time_limit` / `with_trace` builders delegate here.
+#[derive(Clone, Debug)]
+pub struct CommonOptions {
+    /// Shared resource budget: wall-clock deadline, per-phase quotas,
+    /// cancellation token, node and memory ceilings.
+    pub budget: Budget,
+    /// Structured-event context; disabled by default.
+    pub trace: TraceCtx,
+}
+
+impl Default for CommonOptions {
+    fn default() -> Self {
+        CommonOptions {
+            budget: Budget::unlimited(),
+            trace: TraceCtx::disabled(),
+        }
+    }
+}
+
+impl CommonOptions {
+    /// Installs a shared resource budget (replacing any previous one).
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the wall-clock limit (a view over [`CommonOptions::budget`];
+    /// the deadline is re-anchored at this call).
+    #[must_use]
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.budget = self.budget.restarted().with_wall_clock(limit);
+        self
+    }
+
+    /// The wall-clock limit of the governing budget, if any.
+    pub fn time_limit(&self) -> Option<Duration> {
+        self.budget.wall_clock()
+    }
+
+    /// Attaches a structured-event context.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceCtx) -> Self {
+        self.trace = trace;
+        self
+    }
+}

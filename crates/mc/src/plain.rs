@@ -8,7 +8,9 @@ use rfn_govern::Budget;
 use rfn_netlist::{Abstraction, Coi, Netlist, Property};
 use rfn_trace::TraceCtx;
 
-use crate::{forward_reach, McError, ModelSpec, ReachOptions, ReachVerdict, SymbolicModel};
+use crate::{
+    forward_reach, CommonOptions, McError, ModelSpec, ReachOptions, ReachVerdict, SymbolicModel,
+};
 
 /// Default live-node ceiling of the plain engine; exceeding it is the
 /// baseline's failure mode in Table 1.
@@ -23,41 +25,39 @@ const DEFAULT_PLAIN_NODE_CEILING: usize = 2_000_000;
 /// [`PlainOptions::node_limit`] / [`PlainOptions::time_limit`].
 #[derive(Clone, Debug)]
 pub struct PlainOptions {
-    /// Shared resource budget: node ceiling (the baseline's failure mode),
-    /// wall-clock deadline, memory ceiling and cancellation.
-    pub budget: Budget,
-    /// Reachability options (reordering etc.). Its own budget field is
-    /// overwritten with [`PlainOptions::budget`] for the run.
+    /// The budget and trace context shared with every other engine (see
+    /// [`CommonOptions`]). The budget's node ceiling is the baseline's
+    /// failure mode; the trace context wraps each `verify_plain` call in a
+    /// `plain_mc` span and is forwarded to the inner reachability fixpoint.
+    pub common: CommonOptions,
+    /// Reachability options (reordering etc.). Its own budget and trace are
+    /// overwritten with [`PlainOptions::common`]'s for the run.
     pub reach: ReachOptions,
-    /// Structured-event context; each `verify_plain` call wraps itself in a
-    /// `plain_mc` span and forwards the context to the inner reachability
-    /// fixpoint. Disabled by default.
-    pub trace: TraceCtx,
 }
 
 impl Default for PlainOptions {
     fn default() -> Self {
         PlainOptions {
-            budget: Budget::unlimited().with_node_ceiling(DEFAULT_PLAIN_NODE_CEILING),
+            common: CommonOptions::default()
+                .with_budget(Budget::unlimited().with_node_ceiling(DEFAULT_PLAIN_NODE_CEILING)),
             reach: ReachOptions::default(),
-            trace: TraceCtx::disabled(),
         }
     }
 }
 
 impl PlainOptions {
-    /// Sets the BDD node ceiling (a view over [`PlainOptions::budget`]).
+    /// Sets the BDD node ceiling (a view over the shared budget).
     #[must_use]
     pub fn with_node_limit(mut self, nodes: usize) -> Self {
-        self.budget = self.budget.with_node_ceiling(nodes);
+        self.common.budget = self.common.budget.clone().with_node_ceiling(nodes);
         self
     }
 
-    /// Sets the wall-clock limit (a view over [`PlainOptions::budget`]; the
+    /// Sets the wall-clock limit (a view over the shared budget; the
     /// deadline is re-anchored at this call).
     #[must_use]
     pub fn with_time_limit(mut self, limit: Duration) -> Self {
-        self.budget = self.budget.restarted().with_wall_clock(limit);
+        self.common = self.common.with_time_limit(limit);
         self
     }
 
@@ -65,7 +65,7 @@ impl PlainOptions {
     /// including the default node ceiling).
     #[must_use]
     pub fn with_budget(mut self, budget: Budget) -> Self {
-        self.budget = budget;
+        self.common = self.common.with_budget(budget);
         self
     }
 
@@ -79,19 +79,19 @@ impl PlainOptions {
     /// Attaches a structured-event context.
     #[must_use]
     pub fn with_trace(mut self, trace: TraceCtx) -> Self {
-        self.trace = trace;
+        self.common = self.common.with_trace(trace);
         self
     }
 
     /// The BDD node ceiling (the legacy `node_limit` field as a view).
     pub fn node_limit(&self) -> usize {
-        self.budget.node_ceiling()
+        self.common.budget.node_ceiling()
     }
 
     /// The wall-clock limit, if any (the legacy `time_limit` field as a
     /// view).
     pub fn time_limit(&self) -> Option<Duration> {
-        self.budget.wall_clock()
+        self.common.time_limit()
     }
 }
 
@@ -146,7 +146,7 @@ pub fn verify_plain(
     property: &Property,
     options: &PlainOptions,
 ) -> Result<PlainReport, McError> {
-    let mut span = options.trace.span_with(
+    let mut span = options.common.trace.span_with(
         "plain_mc",
         vec![("property".to_owned(), property.name.as_str().into())],
     );
@@ -184,10 +184,9 @@ fn verify_plain_inner(
     let mut mgr = rfn_bdd::BddManager::new();
     // The budget's node ceiling is the baseline's capacity bound; install
     // the budget itself so the model build is governed too.
-    mgr.set_budget(options.budget.clone());
+    mgr.set_budget(options.common.budget.clone());
     let mut reach_opts = options.reach.clone();
-    reach_opts.budget = options.budget.clone();
-    reach_opts.trace = options.trace.clone();
+    reach_opts.common = options.common.clone();
 
     let model_opts = crate::ModelOptions {
         cluster_limit: reach_opts.cluster_limit,

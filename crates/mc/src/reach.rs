@@ -7,7 +7,7 @@ use rfn_bdd::{Bdd, BddError, BddStats};
 use rfn_govern::{Budget, Exhaustion, GovPhase};
 use rfn_trace::TraceCtx;
 
-use crate::{McError, SymbolicModel};
+use crate::{CommonOptions, McError, SymbolicModel};
 
 /// Configuration for [`forward_reach`].
 #[derive(Clone, Debug)]
@@ -20,15 +20,16 @@ pub struct ReachOptions {
     pub reorder_threshold: usize,
     /// Sifting growth bound.
     pub max_growth: f64,
-    /// Shared resource budget governing the fixpoint: wall-clock deadline
-    /// (plus an optional [`GovPhase::Reach`] quota), cancellation, node and
-    /// memory ceilings. The budget is also installed on the model's BDD
+    /// The budget and trace context shared with every other engine (see
+    /// [`CommonOptions`]). The budget governs the fixpoint — wall-clock
+    /// deadline (plus an optional [`GovPhase::Reach`] quota), cancellation,
+    /// node and memory ceilings — and is also installed on the model's BDD
     /// manager for the duration of the call, so exhaustion is detected
     /// *inside* long-running image operations, not just between steps.
     ///
-    /// The legacy `time_limit` knob is a view over this budget: see
+    /// The legacy `time_limit` knob is a view over the budget: see
     /// [`ReachOptions::with_time_limit`] / [`ReachOptions::time_limit`].
-    pub budget: Budget,
+    pub common: CommonOptions,
     /// Enable the kernel's automatic garbage collector for the duration of
     /// the fixpoint. Rings, the reached set, the targets and the model's
     /// persistent roots are protected; image intermediates become
@@ -52,10 +53,6 @@ pub struct ReachOptions {
     /// Verdicts, rings, step counts and the reached set are bit-identical
     /// for every thread count (see the [`par`](crate::ParImage) docs).
     pub bdd_threads: usize,
-    /// Structured-event context; each `forward_reach` call wraps itself in a
-    /// `reach` span carrying the verdict, step count, cluster count and BDD
-    /// peak-node counter. Disabled by default.
-    pub trace: TraceCtx,
 }
 
 impl Default for ReachOptions {
@@ -65,12 +62,11 @@ impl Default for ReachOptions {
             reorder: true,
             reorder_threshold: 20_000,
             max_growth: 1.5,
-            budget: Budget::unlimited(),
+            common: CommonOptions::default(),
             auto_gc: true,
             cluster_limit: crate::DEFAULT_CLUSTER_LIMIT,
             frontier_simplify: true,
             bdd_threads: 1,
-            trace: TraceCtx::disabled(),
         }
     }
 }
@@ -90,25 +86,25 @@ impl ReachOptions {
         self
     }
 
-    /// Sets the wall-clock budget for the fixpoint (a view over
-    /// [`ReachOptions::budget`]: the deadline is re-anchored at this call).
+    /// Sets the wall-clock budget for the fixpoint (a view over the shared
+    /// budget: the deadline is re-anchored at this call).
     #[must_use]
     pub fn with_time_limit(mut self, limit: std::time::Duration) -> Self {
-        self.budget = self.budget.restarted().with_wall_clock(limit);
+        self.common = self.common.with_time_limit(limit);
         self
     }
 
     /// Installs a shared resource budget (replacing any previous one).
     #[must_use]
     pub fn with_budget(mut self, budget: Budget) -> Self {
-        self.budget = budget;
+        self.common = self.common.with_budget(budget);
         self
     }
 
     /// The wall-clock limit of the governing budget, if any (the legacy
     /// `time_limit` field as a view).
     pub fn time_limit(&self) -> Option<Duration> {
-        self.budget.wall_clock()
+        self.common.time_limit()
     }
 
     /// Enables or disables the automatic garbage collector.
@@ -140,10 +136,12 @@ impl ReachOptions {
         self
     }
 
-    /// Attaches a structured-event context.
+    /// Attaches a structured-event context; each `forward_reach` call wraps
+    /// itself in a `reach` span carrying the verdict, step count, cluster
+    /// count and BDD peak-node counter. Disabled by default.
     #[must_use]
     pub fn with_trace(mut self, trace: TraceCtx) -> Self {
-        self.trace = trace;
+        self.common = self.common.with_trace(trace);
         self
     }
 }
@@ -279,12 +277,12 @@ pub fn forward_reach(
     // automatic collector cannot reclaim it. The log makes the protection
     // exactly reversible on every exit path, and the collector is switched
     // off again on return so callers may hold unprotected handles as before.
-    let mut span = options.trace.span("reach");
+    let mut span = options.common.trace.span("reach");
     // Install the governing budget on the kernel so exhaustion (cancel,
     // deadline, memory, node ceiling) is detected inside image operations.
     // The budget stays installed after the call: subsequent phases of the
     // same run (hybrid trace extraction) share it by design.
-    model.manager().set_budget(options.budget.clone());
+    model.manager().set_budget(options.common.budget.clone());
     let mut protect_log: Vec<Bdd> = model.persistent_roots();
     protect_log.push(targets);
     for &b in &protect_log {
@@ -296,7 +294,7 @@ pub fn forward_reach(
     // Above one thread, images run on a sidecar shared manager; results are
     // imported back, so everything downstream of this dispatch is identical.
     let mut par = (options.bdd_threads > 1)
-        .then(|| crate::ParImage::new(options.bdd_threads, options.budget.clone()));
+        .then(|| crate::ParImage::new(options.bdd_threads, options.common.budget.clone()));
     let result = reach_loop(model, targets, options, &mut protect_log, &mut par);
     model.manager().set_auto_gc(false);
     for &b in &protect_log {
@@ -338,8 +336,9 @@ pub fn forward_reach(
             span.record("par.shard_contended", ps.shard_contended);
             span.record("par.shard_peak_occupancy", ps.shard_peak_occupancy);
         }
-        record_budget(&mut span, &options.budget, r.peak_nodes);
+        record_budget(&mut span, &options.common.budget, r.peak_nodes);
         options
+            .common
             .trace
             .counter("bdd.peak_nodes", r.stats.peak_nodes as u64);
     }
@@ -368,7 +367,7 @@ fn reach_loop(
     protect_log: &mut Vec<Bdd>,
     par: &mut Option<crate::ParImage>,
 ) -> Result<ReachResult, McError> {
-    let deadline = options.budget.deadline_for(GovPhase::Reach);
+    let deadline = options.common.budget.deadline_for(GovPhase::Reach);
     let mut threshold = options.reorder_threshold;
     let init = match model.init_states() {
         Ok(b) => b,
@@ -413,7 +412,7 @@ fn reach_loop(
                 AbortReason::MaxSteps,
             ));
         }
-        if options.budget.is_cancelled() {
+        if options.common.budget.is_cancelled() {
             return Ok(aborted_with(
                 model,
                 rings,
@@ -436,6 +435,7 @@ fn reach_loop(
             }
         }
         if let Err(e) = options
+            .common
             .budget
             .check_memory(model.manager_ref().approx_bytes())
         {
@@ -504,6 +504,7 @@ fn reach_loop(
         };
         steps += 1;
         options
+            .common
             .trace
             .counter("reach.image_nodes", model.manager_ref().num_nodes() as u64);
         if new == model.manager_ref().zero() {

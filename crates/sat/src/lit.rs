@@ -1,0 +1,143 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, identified by a dense index.
+///
+/// Variables are created by [`Solver::new_var`](crate::Solver::new_var) and
+/// are only meaningful relative to the solver that produced them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// The dense index of this variable, usable as a `Vec` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// Encoded as `2 * var + sign` with `sign = 1` for the negated literal, so a
+/// literal doubles as a dense index into watch lists.
+///
+/// # Example
+///
+/// ```
+/// use rfn_sat::Solver;
+///
+/// let mut s = Solver::new();
+/// let v = s.new_var();
+/// let l = v.positive();
+/// assert_eq!(!l, v.negative());
+/// assert_eq!((!l).var(), v);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub(crate) u32);
+
+impl Var {
+    /// The positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+
+    /// The literal of this variable with the given polarity.
+    #[inline]
+    pub fn lit(self, positive: bool) -> Lit {
+        Lit(self.0 << 1 | u32::from(!positive))
+    }
+}
+
+impl Lit {
+    /// The literal's variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this is the positive (unnegated) literal.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense index of the literal (`2 * var + sign`), for watch lists.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "x{}", self.0 >> 1)
+        } else {
+            write!(f, "!x{}", self.0 >> 1)
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_round_trips() {
+        let v = Var(7);
+        assert_eq!(v.positive().var(), v);
+        assert_eq!(v.negative().var(), v);
+        assert!(v.positive().is_positive());
+        assert!(!v.negative().is_positive());
+        assert_eq!(!v.positive(), v.negative());
+        assert_eq!(!!v.positive(), v.positive());
+        assert_eq!(v.lit(true), v.positive());
+        assert_eq!(v.lit(false), v.negative());
+        assert_eq!(v.positive().code(), 14);
+        assert_eq!(v.negative().code(), 15);
+    }
+
+    #[test]
+    fn display_shows_polarity() {
+        let v = Var(3);
+        assert_eq!(format!("{}", v.positive()), "x3");
+        assert_eq!(format!("{}", v.negative()), "!x3");
+        assert_eq!(format!("{v}"), "x3");
+    }
+}

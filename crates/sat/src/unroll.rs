@@ -1,0 +1,331 @@
+//! Time-frame CNF unrolling of a gate-level netlist.
+//!
+//! The [`Unroller`] replicates the combinational logic of a
+//! [`Netlist`](rfn_netlist::Netlist) once per clock cycle ("time frame"),
+//! Tseitin-encoding each gate into an incremental [`Solver`]. Frames are
+//! appended one at a time, so a BMC loop deepens the unrolling without
+//! re-encoding anything.
+//!
+//! Three standard reductions keep the CNF small:
+//!
+//! * **cone-of-influence restriction** — only signals in the COI of the
+//!   roots given to [`Unroller::new`] are encoded;
+//! * **constant folding** — gates over constant fanins collapse without
+//!   allocating variables, and the folding is propagated across frames;
+//! * **structural simplification** — single-fanin gates alias their fanin,
+//!   duplicate and complementary fanins collapse (`x AND !x = 0`,
+//!   `x XOR x = 0`), and degenerate muxes reduce to their select or data
+//!   term.
+//!
+//! Every COI register carries an **activation literal** created up front:
+//! its reset clause (frame 0) and transition clauses (frame `t` to `t+1`)
+//! are all guarded by it. Solving under a subset of the activation literals
+//! checks an *abstraction* in which the unassumed registers are free cut
+//! points — the counterexample-based abstraction loop of the BMC engine
+//! grows that subset from UNSAT cores.
+
+use rfn_netlist::{Coi, GateOp, NetKind, Netlist, NetlistError, SignalId};
+
+use crate::lit::Lit;
+use crate::solver::Solver;
+
+/// A signal's encoding at one time frame: a constant or a solver literal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Term {
+    /// The signal is constant at this frame.
+    Const(bool),
+    /// The signal is represented by this literal.
+    Lit(Lit),
+}
+
+impl Term {
+    /// The negated term.
+    #[inline]
+    pub fn negate(self) -> Term {
+        match self {
+            Term::Const(b) => Term::Const(!b),
+            Term::Lit(l) => Term::Lit(!l),
+        }
+    }
+
+    /// The literal, if the term is not constant.
+    #[inline]
+    pub fn lit(self) -> Option<Lit> {
+        match self {
+            Term::Const(_) => None,
+            Term::Lit(l) => Some(l),
+        }
+    }
+}
+
+/// An incremental time-frame unroller over a validated netlist.
+///
+/// # Example
+///
+/// ```
+/// use rfn_netlist::{GateOp, Netlist};
+/// use rfn_sat::{SolveResult, Solver, Term, Unroller};
+///
+/// # fn main() -> Result<(), rfn_netlist::NetlistError> {
+/// // A register that toggles every cycle from 0.
+/// let mut n = Netlist::new("toggle");
+/// let q = n.add_register("q", Some(false));
+/// let nq = n.add_gate("nq", GateOp::Not, &[q]);
+/// n.set_register_next(q, nq)?;
+/// n.validate()?;
+///
+/// let mut solver = Solver::new();
+/// let mut unroller = Unroller::new(&n, &mut solver, [q])?;
+/// unroller.ensure_frame(&mut solver, 1);
+/// let acts: Vec<_> = unroller.activations().collect();
+/// // With all registers activated, q is 1 exactly at odd frames.
+/// let q1 = unroller.term(1, q).lit().unwrap();
+/// let mut assumptions = acts.clone();
+/// assumptions.push(q1);
+/// assert_eq!(solver.solve(&assumptions), SolveResult::Sat);
+/// let q0 = unroller.term(0, q).lit().unwrap();
+/// assumptions.push(q0);
+/// assert_eq!(solver.solve(&assumptions), SolveResult::Unsat);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Unroller<'n> {
+    netlist: &'n Netlist,
+    coi: Coi,
+    order: Vec<SignalId>,
+    activations: Vec<Option<Lit>>,
+    frames: Vec<Vec<Option<Term>>>,
+}
+
+impl<'n> Unroller<'n> {
+    /// Creates an unroller for the cone of influence of `roots`, allocating
+    /// one activation literal per COI register in `solver`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the netlist's
+    /// combinational logic is cyclic.
+    pub fn new(
+        netlist: &'n Netlist,
+        solver: &mut Solver,
+        roots: impl IntoIterator<Item = SignalId>,
+    ) -> Result<Self, NetlistError> {
+        let coi = Coi::of(netlist, roots);
+        let mut in_coi = vec![false; netlist.num_signals()];
+        for &g in coi.gates() {
+            in_coi[g.index()] = true;
+        }
+        let order = netlist
+            .topo_order()?
+            .into_iter()
+            .filter(|g| in_coi[g.index()])
+            .collect();
+        let mut activations = vec![None; netlist.num_signals()];
+        for &r in coi.registers() {
+            activations[r.index()] = Some(solver.new_var().positive());
+        }
+        Ok(Unroller {
+            netlist,
+            coi,
+            order,
+            activations,
+            frames: Vec::new(),
+        })
+    }
+
+    /// The cone of influence being unrolled.
+    pub fn coi(&self) -> &Coi {
+        &self.coi
+    }
+
+    /// Number of frames encoded so far.
+    pub fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The activation literal of a COI register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is not a register in the cone of influence.
+    pub fn activation(&self, reg: SignalId) -> Lit {
+        self.activations[reg.index()].expect("activation literals exist for every COI register")
+    }
+
+    /// All activation literals, in ascending register order (the order of
+    /// [`Coi::registers`]).
+    pub fn activations(&self) -> impl Iterator<Item = Lit> + '_ {
+        self.coi.registers().iter().map(|&r| self.activation(r))
+    }
+
+    /// Encodes frames `0..=t` (idempotent for frames already present).
+    pub fn ensure_frame(&mut self, solver: &mut Solver, t: usize) {
+        while self.frames.len() <= t {
+            self.encode_next_frame(solver);
+        }
+    }
+
+    /// The encoding of `sig` at frame `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if frame `t` has not been encoded or `sig` is outside the
+    /// cone of influence.
+    pub fn term(&self, t: usize, sig: SignalId) -> Term {
+        frame_term(self.netlist, &self.frames[t], sig)
+    }
+
+    fn encode_next_frame(&mut self, solver: &mut Solver) {
+        let t = self.frames.len();
+        let mut frame: Vec<Option<Term>> = vec![None; self.netlist.num_signals()];
+        // Registers and inputs are the sources of the combinational frame.
+        for &r in self.coi.registers() {
+            let v = solver.new_var().positive();
+            let act = self.activation(r);
+            if t == 0 {
+                if let Some(init) = self.netlist.register_init(r) {
+                    solver.add_clause([!act, if init { v } else { !v }]);
+                }
+            } else {
+                let next = frame_term(
+                    self.netlist,
+                    &self.frames[t - 1],
+                    self.netlist.register_next(r),
+                );
+                encode_guarded_eq(solver, !act, v, next);
+            }
+            frame[r.index()] = Some(Term::Lit(v));
+        }
+        for &i in self.coi.inputs() {
+            frame[i.index()] = Some(Term::Lit(solver.new_var().positive()));
+        }
+        for &g in &self.order {
+            let NetKind::Gate { op, fanins } = self.netlist.kind(g) else {
+                unreachable!("topological order contains only gates");
+            };
+            let terms: Vec<Term> = fanins
+                .iter()
+                .map(|&f| frame_term(self.netlist, &frame, f))
+                .collect();
+            frame[g.index()] = Some(encode_gate(solver, *op, &terms));
+        }
+        self.frames.push(frame);
+    }
+}
+
+/// Looks a signal's term up in a frame, synthesizing constants on the fly
+/// (constant drivers are not part of the COI bookkeeping).
+fn frame_term(netlist: &Netlist, frame: &[Option<Term>], sig: SignalId) -> Term {
+    if let NetKind::Const(b) = netlist.kind(sig) {
+        return Term::Const(*b);
+    }
+    frame[sig.index()].expect("signal not encoded in this frame (outside the COI?)")
+}
+
+/// Adds clauses for `guard ∨ (out ↔ t)`.
+fn encode_guarded_eq(solver: &mut Solver, guard: Lit, out: Lit, t: Term) {
+    match t {
+        Term::Const(b) => solver.add_clause([guard, if b { out } else { !out }]),
+        Term::Lit(l) => {
+            solver.add_clause([guard, !out, l]);
+            solver.add_clause([guard, out, !l]);
+        }
+    }
+}
+
+fn encode_gate(solver: &mut Solver, op: GateOp, fanins: &[Term]) -> Term {
+    match op {
+        GateOp::Buf => fanins[0],
+        GateOp::Not => fanins[0].negate(),
+        GateOp::And => encode_and(solver, fanins.iter().copied()),
+        GateOp::Nand => encode_and(solver, fanins.iter().copied()).negate(),
+        GateOp::Or => encode_and(solver, fanins.iter().map(|t| t.negate())).negate(),
+        GateOp::Nor => encode_and(solver, fanins.iter().map(|t| t.negate())),
+        GateOp::Xor => fanins[1..]
+            .iter()
+            .fold(fanins[0], |a, &b| encode_xor2(solver, a, b)),
+        GateOp::Xnor => fanins[1..]
+            .iter()
+            .fold(fanins[0], |a, &b| encode_xor2(solver, a, b))
+            .negate(),
+        GateOp::Mux => encode_mux(solver, fanins[0], fanins[1], fanins[2]),
+    }
+}
+
+fn encode_and(solver: &mut Solver, terms: impl Iterator<Item = Term>) -> Term {
+    let mut lits: Vec<Lit> = Vec::new();
+    for t in terms {
+        match t {
+            Term::Const(false) => return Term::Const(false),
+            Term::Const(true) => {}
+            Term::Lit(l) => lits.push(l),
+        }
+    }
+    lits.sort_unstable();
+    lits.dedup();
+    // After sorting, complementary literals are adjacent.
+    if lits.windows(2).any(|w| w[1] == !w[0]) {
+        return Term::Const(false);
+    }
+    match lits.len() {
+        0 => Term::Const(true),
+        1 => Term::Lit(lits[0]),
+        _ => {
+            let g = solver.new_var().positive();
+            let mut long: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+            for &l in &lits {
+                solver.add_clause([!g, l]);
+            }
+            long.push(g);
+            solver.add_clause(long);
+            Term::Lit(g)
+        }
+    }
+}
+
+fn encode_xor2(solver: &mut Solver, a: Term, b: Term) -> Term {
+    match (a, b) {
+        (Term::Const(x), t) | (t, Term::Const(x)) => {
+            if x {
+                t.negate()
+            } else {
+                t
+            }
+        }
+        (Term::Lit(la), Term::Lit(lb)) => {
+            if la == lb {
+                return Term::Const(false);
+            }
+            if la == !lb {
+                return Term::Const(true);
+            }
+            let g = solver.new_var().positive();
+            solver.add_clause([!g, la, lb]);
+            solver.add_clause([!g, !la, !lb]);
+            solver.add_clause([g, !la, lb]);
+            solver.add_clause([g, la, !lb]);
+            Term::Lit(g)
+        }
+    }
+}
+
+fn encode_mux(solver: &mut Solver, sel: Term, d0: Term, d1: Term) -> Term {
+    let s = match sel {
+        Term::Const(true) => return d1,
+        Term::Const(false) => return d0,
+        Term::Lit(s) => s,
+    };
+    if d0 == d1 {
+        return d0;
+    }
+    match (d0, d1) {
+        (Term::Const(false), Term::Const(true)) => Term::Lit(s),
+        (Term::Const(true), Term::Const(false)) => Term::Lit(!s),
+        _ => {
+            let g = solver.new_var().positive();
+            encode_guarded_eq(solver, !s, g, d1); // sel true: g ↔ d1
+            encode_guarded_eq(solver, s, g, d0); // sel false: g ↔ d0
+            Term::Lit(g)
+        }
+    }
+}

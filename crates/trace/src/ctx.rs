@@ -145,6 +145,60 @@ impl TraceCtx {
             });
         }
     }
+
+    /// Re-emits a buffered event stream into this context.
+    ///
+    /// The events (typically collected by a [`MemorySink`]-backed child
+    /// context on a worker thread) are renumbered into this context's
+    /// sequence, their span ids are relocated into a freshly allocated id
+    /// block, and their root spans are re-parented under the span currently
+    /// open here. Timestamps are re-stamped at absorption time; the
+    /// `elapsed_us` recorded on exit events is preserved. A portfolio race
+    /// absorbs each lane's buffer in a fixed lane order so the merged
+    /// stream stays deterministic in structure.
+    ///
+    /// [`MemorySink`]: crate::MemorySink
+    pub fn absorb(&self, events: Vec<Event>) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        if events.is_empty() {
+            return;
+        }
+        let parent_span = self.current_span();
+        let mut max_id = 0u64;
+        for e in &events {
+            match &e.kind {
+                EventKind::Enter { id, .. } | EventKind::Exit { id, .. } => {
+                    max_id = max_id.max(*id);
+                }
+                _ => {}
+            }
+        }
+        // Claim a contiguous id block; absorbed id `i` maps to `base + i`.
+        let base = inner.next_span.fetch_add(max_id, Ordering::Relaxed) - 1;
+        for mut e in events {
+            match &mut e.kind {
+                EventKind::Enter { id, parent, .. } => {
+                    *id += base;
+                    *parent = if *parent == 0 {
+                        parent_span
+                    } else {
+                        *parent + base
+                    };
+                }
+                EventKind::Exit { id, .. } => *id += base,
+                EventKind::Point { span, .. } | EventKind::Counter { span, .. } => {
+                    *span = if *span == 0 {
+                        parent_span
+                    } else {
+                        *span + base
+                    };
+                }
+            }
+            self.emit(e.kind);
+        }
+    }
 }
 
 /// An open span; dropping it emits the exit event with elapsed time and any
@@ -209,6 +263,50 @@ mod tests {
         ctx.point("p", vec![]);
         drop(span);
         // Nothing to assert beyond "does not panic / allocate events".
+    }
+
+    #[test]
+    fn absorb_relocates_and_reparents_buffered_events() {
+        // A child context records a little span tree on its own sink.
+        let child_sink = Arc::new(MemorySink::new());
+        let child = TraceCtx::new(child_sink.clone());
+        {
+            let mut lane = child.span("lane");
+            lane.record("verdict", "proved");
+            child.point("tick", vec![]);
+        }
+        let buffered = child_sink.take();
+
+        // The parent absorbs it inside an open span.
+        let sink = Arc::new(MemorySink::new());
+        let ctx = TraceCtx::new(sink.clone());
+        let outer = ctx.span("race");
+        let outer_id = outer.id();
+        ctx.absorb(buffered);
+        drop(outer);
+        let events = sink.take();
+        assert_eq!(events.len(), 5); // race enter, lane enter, tick, lane exit, race exit
+        let EventKind::Enter {
+            id: lane_id,
+            parent,
+            ..
+        } = &events[1].kind
+        else {
+            panic!("expected lane enter, got {:?}", events[1]);
+        };
+        assert_eq!(*parent, outer_id, "absorbed root re-parents under race");
+        assert_ne!(*lane_id, outer_id, "absorbed ids relocate out of the way");
+        let EventKind::Point { span, .. } = &events[2].kind else {
+            panic!("expected point");
+        };
+        assert_eq!(span, lane_id);
+        let EventKind::Exit { id, .. } = &events[3].kind else {
+            panic!("expected exit");
+        };
+        assert_eq!(id, lane_id);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "absorbed events renumber densely");
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! ```text
 //! rfn info <netlist>
 //! rfn verify <netlist> --watch <signal>[=0|1] [--watch ...] [--name <p>]
+//!            [--engine <rfn|plain|bmc|race>]
 //!            [--time-limit <s>] [--threads <n>] [--sim-batches <n>]
 //!            [--sim-seed <n>] [--cluster-limit <nodes>] [--bdd-threads <n>]
 //!            [--checkpoint-dir <dir>] [--resume]
@@ -13,6 +14,12 @@
 //!              [--bdd-threads <n>] [--no-frontier-simplify]
 //!              [--trace-out <file>] [--breakdown]
 //! ```
+//!
+//! `--engine` picks the verification lane: `rfn` (the default
+//! abstraction-refinement loop), `plain` (whole-COI symbolic model
+//! checking), `bmc` (SAT-based bounded model checking with UNSAT-core
+//! abstraction), or `race` (all three race under the shared budget; the
+//! first conclusive lane wins and cancels the others).
 //!
 //! `--cluster-limit` bounds the node count of each clustered transition
 //! partition used by image computation (0 keeps one partition per register);
@@ -77,6 +84,7 @@ const USAGE: &str = "\
 usage:
   rfn info <netlist>
   rfn verify <netlist> --watch <signal>[=0|1] [--watch ...] [--name <p>]
+             [--engine <rfn|plain|bmc|race>]
              [--time-limit <s>] [--threads <n>] [--sim-batches <n>]
              [--sim-seed <n>] [--cluster-limit <nodes>] [--bdd-threads <n>]
              [--checkpoint-dir <dir>] [--resume]
@@ -87,6 +95,9 @@ usage:
                [--trace-out <file>] [--breakdown]
 
 `--watch` may repeat; the portfolio runs in parallel on --threads workers.
+`--engine` picks the lane: rfn (default), plain (whole-COI symbolic MC),
+bmc (SAT bounded model checking), or race (all three; first conclusive
+lane wins and cancels the rest).
 `--sim-batches`/`--sim-seed` configure the random-simulation concretization
 engine (64 patterns per batch; 0 batches disables it).
 `--cluster-limit` bounds the clustered transition partitions of image
@@ -211,6 +222,17 @@ fn image_flags(rest: &[&String]) -> Result<(Option<usize>, bool, usize), String>
     Ok((cluster_limit, frontier_simplify, bdd_threads))
 }
 
+/// Parses `--engine` into the session's lane selection.
+fn engine_kind(rest: &[&String]) -> Result<EngineKind, String> {
+    match flag_value(rest, "--engine") {
+        None | Some("rfn") => Ok(EngineKind::Rfn),
+        Some("plain") => Ok(EngineKind::PlainMc),
+        Some("bmc") => Ok(EngineKind::Bmc),
+        Some("race") => Ok(EngineKind::Race),
+        Some(other) => Err(format!("bad --engine `{other}` (rfn|plain|bmc|race)")),
+    }
+}
+
 fn time_limit(rest: &[&String]) -> Result<Option<Duration>, String> {
     match flag_value(rest, "--time-limit") {
         None => Ok(None),
@@ -326,6 +348,7 @@ fn verify(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
     }
     let mut session = VerifySession::new(n)
         .rfn_options(rfn_opts)
+        .engine(engine_kind(rest)?)
         .properties(properties)
         .threads(thread_count(rest)?)
         .verbosity(u8::from(rest.iter().any(|a| a.as_str() == "-v")));
@@ -343,25 +366,35 @@ fn verify(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
     Ok(ExitCode::from(report.worst_exit_code()))
 }
 
-/// Prints one property's verdict.
+/// Prints one property's verdict. RFN statistics are appended when the RFN
+/// lane produced the verdict; the plain and BMC lanes print without them.
 fn report_result(n: &Netlist, result: &PropertyResult) {
-    let stats = result.stats.clone().unwrap_or_default();
     match &result.verdict {
-        Verdict::Proved => {
-            println!(
+        Verdict::Proved => match &result.stats {
+            Some(stats) => println!(
                 "PROVED `{}`: abstraction {} of {} COI registers, {} iterations, {:.2?}",
                 result.property.name,
                 stats.abstract_registers,
                 stats.coi_registers,
                 stats.iterations,
                 stats.elapsed
-            );
-        }
+            ),
+            None => println!("PROVED `{}`", result.property.name),
+        },
         Verdict::Falsified { trace, depth } => {
-            println!(
-                "FALSIFIED `{}`: {depth}-cycle error trace ({} iterations, {:.2?})",
-                result.property.name, stats.iterations, stats.elapsed
-            );
+            // The plain/BMC lanes report the step index of the violation;
+            // when a concrete trace exists, its cycle count is the length.
+            let shape = match trace {
+                Some(t) => format!("{}-cycle error trace", t.num_cycles()),
+                None => format!("target hit at depth {depth}"),
+            };
+            match &result.stats {
+                Some(stats) => println!(
+                    "FALSIFIED `{}`: {shape} ({} iterations, {:.2?})",
+                    result.property.name, stats.iterations, stats.elapsed
+                ),
+                None => println!("FALSIFIED `{}`: {shape}", result.property.name),
+            }
             if let Some(trace) = trace {
                 print!("{}", trace.display(n));
             }
