@@ -23,7 +23,13 @@
 //! * **dynamic variable reordering by group sifting**: in-place adjacent
 //!   level swaps that preserve node identity, so every externally held
 //!   [`Bdd`] handle stays valid across reordering. Current/next-state
-//!   variable pairs are kept adjacent by registering them as a group, and
+//!   variable pairs are kept adjacent by registering them as a group,
+//! * **adaptive reorder scheduling** ([`DvoPolicy`], [`DvoSchedule`]):
+//!   growth-ratio, wall-clock and exponential-backoff policies decide when
+//!   the model checker sifts, with per-pass profitability in [`BddStats`],
+//! * a **persistent order/BDD store** ([`store`]): a versioned DDDMP-style
+//!   text format that saves a converged variable order and named root BDDs
+//!   (e.g. reached-set rings) so repeat runs warm-start, and
 //! * a **shard-safe concurrent kernel** ([`SharedBddManager`]) whose
 //!   operations take `&self`, so scoped worker threads can apply against one
 //!   shared manager — the engine behind intra-property parallel image
@@ -62,9 +68,11 @@ mod manager;
 mod reorder;
 pub mod shared;
 mod stats;
+pub mod store;
 mod unique;
 
 pub use manager::{Bdd, BddError, BddManager, BddResult, VarId};
-pub use reorder::{SIFT_MAX_GROUPS, SIFT_MIN_GROUP_SIZE};
+pub use reorder::{DvoPolicy, DvoSchedule, SIFT_MAX_GROUPS, SIFT_MIN_GROUP_SIZE};
 pub use shared::SharedBddManager;
 pub use stats::BddStats;
+pub use store::{BddStore, StoreBuilder, StoreError, STORE_SCHEMA};

@@ -204,7 +204,7 @@ pub struct BddManager {
     gc_threshold: usize,
     /// Configured lower bound for `gc_threshold`.
     gc_threshold_floor: usize,
-    stats: BddStats,
+    pub(crate) stats: BddStats,
 }
 
 impl fmt::Debug for BddManager {

@@ -18,6 +18,8 @@
 //! itself. Call [`BddManager::gc`](crate::BddManager::gc) before
 //! [`BddManager::sift`](crate::BddManager::sift) so the metric starts exact.
 
+use std::time::{Duration, Instant};
+
 use crate::manager::BddManager;
 use crate::VarId;
 
@@ -25,6 +27,218 @@ use crate::VarId;
 pub const SIFT_MIN_GROUP_SIZE: usize = 4;
 /// At most this many groups are sifted per pass (largest first).
 pub const SIFT_MAX_GROUPS: usize = 128;
+
+/// Decides *when* dynamic variable reordering runs.
+///
+/// The model checker polls [`should_sift`](DvoSchedule::should_sift) with
+/// the live node count at its natural checkpoints (after each image step)
+/// and, when a sift was triggered, reports the outcome through
+/// [`record_sift`](DvoSchedule::record_sift) so adaptive policies can
+/// learn from profitability. Schedules are stateful; build a fresh one per
+/// run from a [`DvoPolicy`].
+pub trait DvoSchedule {
+    /// Whether a sift pass should run now, given the current live node
+    /// count of the manager.
+    fn should_sift(&mut self, live_nodes: usize) -> bool;
+
+    /// Records the outcome of a sift pass this schedule triggered:
+    /// live node counts immediately before and after the pass.
+    fn record_sift(&mut self, before: usize, after: usize);
+}
+
+/// A declarative, copyable description of a reorder schedule, carried in
+/// option structs and on the CLI (`--dvo-schedule`); [`build`](DvoPolicy::build)
+/// turns it into the stateful [`DvoSchedule`] the reach loop polls.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum DvoPolicy {
+    /// Never reorder.
+    Never,
+    /// Sift when live nodes exceed a threshold; after each sift the
+    /// threshold becomes twice the post-sift size (never smaller than it
+    /// was). This reproduces the fixed trigger the reach loop used before
+    /// schedules existed and is the default.
+    #[default]
+    Doubling,
+    /// Sift when the table has grown past `ratio` × its size after the
+    /// previous sift (the baseline starts at the trigger floor).
+    GrowthRatio {
+        /// Growth factor over the post-sift baseline that triggers the
+        /// next sift (e.g. 2.0 = table doubled since last sift).
+        ratio: f64,
+    },
+    /// Sift at most once per `interval_ms` milliseconds once the table
+    /// exceeds the trigger floor.
+    TimeSince {
+        /// Minimum wall-clock gap between sift passes.
+        interval_ms: u64,
+    },
+    /// [`GrowthRatio`](DvoPolicy::GrowthRatio) with exponential backoff:
+    /// each unprofitable sift (table barely shrank) doubles the effective
+    /// ratio, a profitable one resets it.
+    Backoff {
+        /// Base growth factor; the effective factor is `ratio × scale`
+        /// where `scale` doubles on unprofitable sifts (capped at 16).
+        ratio: f64,
+    },
+}
+
+impl DvoPolicy {
+    /// Builds the stateful schedule. `floor` is the live-node count below
+    /// which no policy triggers (the reach loop passes its
+    /// `reorder_threshold`).
+    pub fn build(self, floor: usize) -> Box<dyn DvoSchedule + Send> {
+        match self {
+            DvoPolicy::Never => Box::new(NeverSchedule),
+            DvoPolicy::Doubling => Box::new(DoublingSchedule { threshold: floor }),
+            DvoPolicy::GrowthRatio { ratio } => Box::new(GrowthRatioSchedule {
+                ratio,
+                floor,
+                baseline: floor.max(1),
+            }),
+            DvoPolicy::TimeSince { interval_ms } => Box::new(TimeSinceSchedule {
+                interval: Duration::from_millis(interval_ms),
+                floor,
+                last: Instant::now(),
+            }),
+            DvoPolicy::Backoff { ratio } => Box::new(BackoffSchedule {
+                ratio,
+                floor,
+                baseline: floor.max(1),
+                scale: 1.0,
+            }),
+        }
+    }
+
+    /// Parses a CLI spelling: `never`, `doubling`, `growth[:RATIO]`,
+    /// `time[:MILLIS]`, `backoff[:RATIO]`.
+    pub fn parse(s: &str) -> Result<DvoPolicy, String> {
+        let (name, param) = match s.split_once(':') {
+            Some((n, p)) => (n, Some(p)),
+            None => (s, None),
+        };
+        let ratio = |default: f64| -> Result<f64, String> {
+            match param {
+                None => Ok(default),
+                Some(p) => p
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| r.is_finite() && *r > 1.0)
+                    .ok_or_else(|| format!("invalid ratio {p:?} (want a number > 1)")),
+            }
+        };
+        match name {
+            "never" => Ok(DvoPolicy::Never),
+            "doubling" => Ok(DvoPolicy::Doubling),
+            "growth" => Ok(DvoPolicy::GrowthRatio { ratio: ratio(2.0)? }),
+            "backoff" => Ok(DvoPolicy::Backoff { ratio: ratio(2.0)? }),
+            "time" => {
+                let interval_ms = match param {
+                    None => 1000,
+                    Some(p) => p
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|ms| *ms > 0)
+                        .ok_or_else(|| format!("invalid interval {p:?} (want millis > 0)"))?,
+                };
+                Ok(DvoPolicy::TimeSince { interval_ms })
+            }
+            _ => Err(format!(
+                "unknown dvo schedule {name:?} (want never|doubling|growth[:R]|time[:MS]|backoff[:R])"
+            )),
+        }
+    }
+
+    /// The canonical CLI spelling, for traces and error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            DvoPolicy::Never => "never".into(),
+            DvoPolicy::Doubling => "doubling".into(),
+            DvoPolicy::GrowthRatio { ratio } => format!("growth:{ratio}"),
+            DvoPolicy::TimeSince { interval_ms } => format!("time:{interval_ms}"),
+            DvoPolicy::Backoff { ratio } => format!("backoff:{ratio}"),
+        }
+    }
+}
+
+struct NeverSchedule;
+
+impl DvoSchedule for NeverSchedule {
+    fn should_sift(&mut self, _live_nodes: usize) -> bool {
+        false
+    }
+    fn record_sift(&mut self, _before: usize, _after: usize) {}
+}
+
+struct DoublingSchedule {
+    threshold: usize,
+}
+
+impl DvoSchedule for DoublingSchedule {
+    fn should_sift(&mut self, live_nodes: usize) -> bool {
+        live_nodes > self.threshold
+    }
+    fn record_sift(&mut self, _before: usize, after: usize) {
+        // Matches the pre-schedule reach loop exactly: the next trigger is
+        // double the post-sift size, and the threshold never shrinks.
+        self.threshold = (after * 2).max(self.threshold);
+    }
+}
+
+struct GrowthRatioSchedule {
+    ratio: f64,
+    floor: usize,
+    baseline: usize,
+}
+
+impl DvoSchedule for GrowthRatioSchedule {
+    fn should_sift(&mut self, live_nodes: usize) -> bool {
+        live_nodes > self.floor && live_nodes as f64 > self.baseline as f64 * self.ratio
+    }
+    fn record_sift(&mut self, _before: usize, after: usize) {
+        self.baseline = after.max(1);
+    }
+}
+
+struct TimeSinceSchedule {
+    interval: Duration,
+    floor: usize,
+    last: Instant,
+}
+
+impl DvoSchedule for TimeSinceSchedule {
+    fn should_sift(&mut self, live_nodes: usize) -> bool {
+        live_nodes > self.floor && self.last.elapsed() >= self.interval
+    }
+    fn record_sift(&mut self, _before: usize, _after: usize) {
+        self.last = Instant::now();
+    }
+}
+
+/// A sift counts as unprofitable for backoff purposes when it failed to
+/// shrink the table by more than 1/16 (~6%) — the pass cost real time and
+/// bought nothing, so the next trigger moves further out.
+struct BackoffSchedule {
+    ratio: f64,
+    floor: usize,
+    baseline: usize,
+    scale: f64,
+}
+
+impl DvoSchedule for BackoffSchedule {
+    fn should_sift(&mut self, live_nodes: usize) -> bool {
+        live_nodes > self.floor
+            && live_nodes as f64 > self.baseline as f64 * self.ratio * self.scale
+    }
+    fn record_sift(&mut self, before: usize, after: usize) {
+        let profitable = after < before.saturating_sub(before / 16);
+        self.scale = if profitable {
+            1.0
+        } else {
+            (self.scale * 2.0).min(16.0)
+        };
+        self.baseline = after.max(1);
+    }
+}
 
 impl BddManager {
     /// Swaps the variables at levels `l` and `l + 1`, preserving the function
@@ -115,12 +329,15 @@ impl BddManager {
     pub fn sift(&mut self, max_growth: f64) {
         let was = self.reorder_in_progress;
         self.reorder_in_progress = true;
+        let t0 = Instant::now();
+        let before = self.table_size();
         for gid in self.sift_candidates() {
             if self.reorder_budget_expired() {
                 break;
             }
             self.sift_group(gid, max_growth);
         }
+        self.finish_sift_stats(before, t0);
         self.reorder_in_progress = was;
     }
 
@@ -138,6 +355,12 @@ impl BddManager {
     pub fn sift_with_roots(&mut self, roots: &[crate::Bdd], max_growth: f64) {
         let was = self.reorder_in_progress;
         self.reorder_in_progress = true;
+        let t0 = Instant::now();
+        // Collect up front so the profitability baseline counts live nodes
+        // only — dead nodes the sift will reclaim anyway must not be
+        // credited to it.
+        self.gc(roots);
+        let before = self.table_size();
         for gid in self.sift_candidates() {
             if self.reorder_budget_expired() {
                 break;
@@ -148,7 +371,22 @@ impl BddManager {
             self.sift_group(gid, max_growth);
         }
         self.gc(roots);
+        self.finish_sift_stats(before, t0);
         self.reorder_in_progress = was;
+    }
+
+    /// Books one finished sift pass into [`BddStats`](crate::BddStats):
+    /// profitability (table shrinkage vs. the pre-pass size) and elapsed
+    /// wall time. Adaptive schedules read these through the stats snapshot.
+    fn finish_sift_stats(&mut self, before: usize, t0: Instant) {
+        let after = self.table_size();
+        self.stats.sift_runs += 1;
+        if after < before {
+            self.stats.sift_nodes_shrunk += (before - after) as u64;
+        } else {
+            self.stats.unprofitable_sifts += 1;
+        }
+        self.stats.sift_us += t0.elapsed().as_micros() as u64;
     }
 
     /// Groups worth sifting, largest first. On small managers every group

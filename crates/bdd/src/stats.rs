@@ -53,6 +53,17 @@ pub struct BddStats {
     pub shard_contended: u64,
     /// High-water mark of live nodes in the fullest unique-table shard.
     pub shard_peak_occupancy: usize,
+    /// Sift passes run ([`sift`](crate::BddManager::sift) /
+    /// [`sift_with_roots`](crate::BddManager::sift_with_roots) calls).
+    pub sift_runs: u64,
+    /// Total unique-table entries removed by profitable sift passes
+    /// (summed `before - after` over passes that shrank the table).
+    pub sift_nodes_shrunk: u64,
+    /// Sift passes that failed to shrink the table (the adaptive
+    /// backoff schedule keys off this).
+    pub unprofitable_sifts: u64,
+    /// Total wall-clock microseconds spent inside sift passes.
+    pub sift_us: u64,
 }
 
 impl BddStats {
@@ -79,6 +90,10 @@ impl BddStats {
         self.shard_locks += other.shard_locks;
         self.shard_contended += other.shard_contended;
         self.shard_peak_occupancy = self.shard_peak_occupancy.max(other.shard_peak_occupancy);
+        self.sift_runs += other.sift_runs;
+        self.sift_nodes_shrunk += other.sift_nodes_shrunk;
+        self.unprofitable_sifts += other.unprofitable_sifts;
+        self.sift_us += other.sift_us;
     }
 
     /// Combined hit rate over all operation caches, in `[0, 1]`.
@@ -147,6 +162,18 @@ impl fmt::Display for BddStats {
                 f,
                 ", shard locks {} ({} contended), shard peak {}",
                 self.shard_locks, self.shard_contended, self.shard_peak_occupancy,
+            )?;
+        }
+        // Likewise sift counters: only reordering runs print them, so
+        // reorder-free output stays byte-identical.
+        if self.sift_runs > 0 {
+            write!(
+                f,
+                ", sifts {} ({} unprofitable, {} shrunk, {:.1} ms)",
+                self.sift_runs,
+                self.unprofitable_sifts,
+                self.sift_nodes_shrunk,
+                self.sift_us as f64 / 1e3,
             )?;
         }
         Ok(())

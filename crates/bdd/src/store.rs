@@ -1,0 +1,705 @@
+//! Persistent variable-order / BDD serialization (DDDMP-style text).
+//!
+//! A [`BddStore`] captures a converged variable order plus any number of
+//! named root BDDs (typically the reached-set rings of a completed
+//! fixpoint) in a hand-rolled, dependency-free text format, so a repeat
+//! run of the same (design, property) can warm-start: load the order to
+//! skip sifting churn, load the rings to resume reachability from the
+//! saved frontier instead of from the initial states.
+//!
+//! The format follows the shape of CUDD's DDDMP text dumps — header
+//! directives, a shared node list with `id var lo hi` rows, named roots —
+//! but is versioned and validated like the checkpoint schema in
+//! `rfn-core`: a schema gate, a design hash, and a property key all have
+//! to match before anything is rebuilt, and every violation is a
+//! structured [`StoreError`], never a silent cold start. Files are
+//! written atomically (temp + rename), again mirroring the checkpoint
+//! code.
+//!
+//! Variables are identified by *label*, not by [`VarId`]: the managers of
+//! two runs allocate variables in whatever order their model construction
+//! chose, so the caller maps labels (e.g. `cur:req0` / `next:req0` /
+//! `in:grant`) to its own variables when rebuilding. Labels appear in the
+//! file top level first — the saved order itself.
+//!
+//! ```text
+//! .ver rfn-bdd-store-1
+//! .design 00f3a2b4c5d6e7f8
+//! .key fifo/psh_full
+//! .nvars 4
+//! .var 0 cur:full
+//! .var 1 next:full
+//! .var 2 cur:empty
+//! .var 3 next:empty
+//! .nnodes 2
+//! .node 2 3 0 1
+//! .node 3 1 2 1
+//! .root 3 ring0
+//! .end
+//! ```
+//!
+//! Node ids 0 and 1 are the constant-false and constant-true terminals;
+//! internal nodes are numbered consecutively from 2, children before
+//! parents, and reference variables by their index in the `.var` list.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::manager::{Bdd, BddManager, VarId};
+
+/// Version gate of the store text format. Bump on any incompatible
+/// change; loaders reject other versions with
+/// [`StoreError::SchemaMismatch`].
+pub const STORE_SCHEMA: u32 = 1;
+
+const VER_PREFIX: &str = ".ver rfn-bdd-store-";
+
+/// Everything that can go wrong saving, loading or rebuilding a store.
+///
+/// Loaders distinguish a *missing* file (a legitimate cold start —
+/// [`BddStore::load`] returns `Ok(None)`) from a *present but unusable*
+/// one (always an `Err`): a corrupt or stale cache must be surfaced, not
+/// silently recomputed over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// Filesystem error reading or writing the store file.
+    Io(String),
+    /// The file is not a well-formed store document.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        msg: String,
+    },
+    /// The file was written by an incompatible format version.
+    SchemaMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The file belongs to a different design (structural hash differs).
+    DesignMismatch {
+        /// Hash found in the file.
+        found: u64,
+        /// Hash of the design being verified.
+        expected: u64,
+    },
+    /// The file belongs to a different property key.
+    KeyMismatch {
+        /// Key found in the file.
+        found: String,
+        /// Key of the run being warm-started.
+        expected: String,
+    },
+    /// A saved label has no counterpart in the rebuilding model, or a
+    /// node row violates the ordering/acyclicity invariants.
+    Rebuild(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "order store i/o: {e}"),
+            StoreError::Parse { line, msg } => {
+                write!(f, "order store parse error at line {line}: {msg}")
+            }
+            StoreError::SchemaMismatch { found, expected } => write!(
+                f,
+                "order store schema v{found} is not the supported v{expected}"
+            ),
+            StoreError::DesignMismatch { found, expected } => write!(
+                f,
+                "order store was saved for design {found:016x}, not {expected:016x}"
+            ),
+            StoreError::KeyMismatch { found, expected } => {
+                write!(
+                    f,
+                    "order store was saved for key {found:?}, not {expected:?}"
+                )
+            }
+            StoreError::Rebuild(msg) => write!(f, "order store rebuild: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// An in-memory store document: a variable order (as labels, top level
+/// first) and a shared node list with named roots. Produced either by a
+/// [`StoreBuilder`] (to save) or by [`BddStore::parse`] (to warm-start).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BddStore {
+    /// Structural hash of the design the store was saved for.
+    pub design_hash: u64,
+    /// Property/target key the store was saved for.
+    pub key: String,
+    /// Variable labels, top level first — the saved order.
+    pub order: Vec<String>,
+    /// Internal nodes as `(var_index, lo, hi)`: `var_index` indexes
+    /// [`order`](BddStore::order); `lo`/`hi` are node ids where 0/1 are
+    /// the terminals and id `k >= 2` is `nodes[k - 2]`. Children always
+    /// precede parents.
+    nodes: Vec<(u32, u32, u32)>,
+    /// Named roots as `(node_id, name)`.
+    pub roots: Vec<(u32, String)>,
+}
+
+impl BddStore {
+    /// An order-only store (no serialized BDDs).
+    pub fn order_only(design_hash: u64, key: impl Into<String>, order: Vec<String>) -> Self {
+        BddStore {
+            design_hash,
+            key: key.into(),
+            order,
+            nodes: Vec::new(),
+            roots: Vec::new(),
+        }
+    }
+
+    /// Number of serialized internal nodes (shared across all roots).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Rejects the store unless it was saved for this design and key.
+    /// Schema is already checked at [`parse`](BddStore::parse) time.
+    pub fn validate(&self, design_hash: u64, key: &str) -> Result<(), StoreError> {
+        if self.design_hash != design_hash {
+            return Err(StoreError::DesignMismatch {
+                found: self.design_hash,
+                expected: design_hash,
+            });
+        }
+        if self.key != key {
+            return Err(StoreError::KeyMismatch {
+                found: self.key.clone(),
+                expected: key.to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Rebuilds every root in `mgr`, given the caller's variable for each
+    /// saved label: `vars[i]` is the variable labeled `order[i]`. The
+    /// manager's current order must already place those variables in the
+    /// saved order (call [`BddManager::set_order`] first) — each node row
+    /// is checked against the manager's level map so a mismatched or
+    /// corrupt file fails structurally instead of building garbage.
+    ///
+    /// Returns `(name, handle)` pairs in file order.
+    pub fn rebuild(
+        &self,
+        mgr: &mut BddManager,
+        vars: &[VarId],
+    ) -> Result<Vec<(String, Bdd)>, StoreError> {
+        if vars.len() != self.order.len() {
+            return Err(StoreError::Rebuild(format!(
+                "{} variables supplied for {} saved labels",
+                vars.len(),
+                self.order.len()
+            )));
+        }
+        let mut built: Vec<Bdd> = Vec::with_capacity(self.nodes.len() + 2);
+        built.push(mgr.zero());
+        built.push(mgr.one());
+        for (k, &(vi, lo, hi)) in self.nodes.iter().enumerate() {
+            let id = k + 2;
+            let v = *vars.get(vi as usize).ok_or_else(|| {
+                StoreError::Rebuild(format!("node {id} references variable index {vi}"))
+            })?;
+            let get = |child: u32| -> Result<Bdd, StoreError> {
+                built.get(child as usize).copied().ok_or_else(|| {
+                    StoreError::Rebuild(format!(
+                        "node {id} references child {child} before it was defined"
+                    ))
+                })
+            };
+            let (lo, hi) = (get(lo)?, get(hi)?);
+            // A child must sit strictly below its parent in the manager's
+            // current order, or the hash-consed node would be invalid.
+            for child in [lo, hi] {
+                if let Some((cv, _, _)) = mgr.node_info(child) {
+                    if mgr.level_of(cv) <= mgr.level_of(v) {
+                        return Err(StoreError::Rebuild(format!(
+                            "node {id} is not ordered above its children; \
+                             set the saved order on the manager before rebuilding"
+                        )));
+                    }
+                }
+            }
+            let f = mgr
+                .make_node(v, lo, hi)
+                .map_err(|e| StoreError::Rebuild(format!("node {id}: {e}")))?;
+            built.push(f);
+        }
+        self.roots
+            .iter()
+            .map(|&(id, ref name)| {
+                let f = built.get(id as usize).copied().ok_or_else(|| {
+                    StoreError::Rebuild(format!("root {name:?} references undefined node {id}"))
+                })?;
+                Ok((name.clone(), f))
+            })
+            .collect()
+    }
+
+    /// Renders the document in the versioned text format.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str(VER_PREFIX);
+        s.push_str(&STORE_SCHEMA.to_string());
+        s.push('\n');
+        s.push_str(&format!(".design {:016x}\n", self.design_hash));
+        s.push_str(&format!(".key {}\n", self.key));
+        s.push_str(&format!(".nvars {}\n", self.order.len()));
+        for (i, label) in self.order.iter().enumerate() {
+            s.push_str(&format!(".var {i} {label}\n"));
+        }
+        s.push_str(&format!(".nnodes {}\n", self.nodes.len()));
+        for (k, &(v, lo, hi)) in self.nodes.iter().enumerate() {
+            s.push_str(&format!(".node {} {v} {lo} {hi}\n", k + 2));
+        }
+        for &(id, ref name) in &self.roots {
+            s.push_str(&format!(".root {id} {name}\n"));
+        }
+        s.push_str(".end\n");
+        s
+    }
+
+    /// Parses a store document, enforcing the schema gate and the
+    /// structural invariants of the node list (consecutive ids, children
+    /// before parents, in-range variable indices).
+    pub fn parse(text: &str) -> Result<Self, StoreError> {
+        let fail = |line: usize, msg: String| StoreError::Parse { line, msg };
+        let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+
+        let (ln, first) = lines
+            .next()
+            .ok_or_else(|| fail(1, "empty file".to_owned()))?;
+        let ver = first
+            .strip_prefix(VER_PREFIX)
+            .ok_or_else(|| fail(ln, format!("expected `{VER_PREFIX}<n>` header")))?;
+        let schema: u32 = ver
+            .parse()
+            .map_err(|_| fail(ln, format!("bad schema number {ver:?}")))?;
+        if schema != STORE_SCHEMA {
+            return Err(StoreError::SchemaMismatch {
+                found: schema,
+                expected: STORE_SCHEMA,
+            });
+        }
+
+        let mut design_hash: Option<u64> = None;
+        let mut key: Option<String> = None;
+        let mut order: Vec<String> = Vec::new();
+        let mut nvars: Option<usize> = None;
+        let mut nnodes: Option<usize> = None;
+        let mut nodes: Vec<(u32, u32, u32)> = Vec::new();
+        let mut roots: Vec<(u32, String)> = Vec::new();
+        let mut ended = false;
+
+        for (ln, line) in lines {
+            if line.is_empty() {
+                continue;
+            }
+            if ended {
+                return Err(fail(ln, "content after .end".to_owned()));
+            }
+            let (dir, rest) = match line.split_once(' ') {
+                Some((d, r)) => (d, r.trim()),
+                None => (line, ""),
+            };
+            match dir {
+                ".design" => {
+                    let h = u64::from_str_radix(rest, 16)
+                        .map_err(|_| fail(ln, format!("bad design hash {rest:?}")))?;
+                    design_hash = Some(h);
+                }
+                ".key" => key = Some(rest.to_owned()),
+                ".nvars" => {
+                    nvars = Some(
+                        rest.parse()
+                            .map_err(|_| fail(ln, format!("bad variable count {rest:?}")))?,
+                    );
+                }
+                ".var" => {
+                    let (idx, label) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| fail(ln, "expected `.var <index> <label>`".to_owned()))?;
+                    let idx: usize = idx
+                        .parse()
+                        .map_err(|_| fail(ln, format!("bad variable index {idx:?}")))?;
+                    if idx != order.len() {
+                        return Err(fail(
+                            ln,
+                            format!(
+                                "variable index {idx} out of sequence (expected {})",
+                                order.len()
+                            ),
+                        ));
+                    }
+                    let label = label.trim();
+                    if label.is_empty() {
+                        return Err(fail(ln, "empty variable label".to_owned()));
+                    }
+                    order.push(label.to_owned());
+                }
+                ".nnodes" => {
+                    nnodes = Some(
+                        rest.parse()
+                            .map_err(|_| fail(ln, format!("bad node count {rest:?}")))?,
+                    );
+                }
+                ".node" => {
+                    let mut it = rest.split_whitespace();
+                    let mut num = |what: &str| -> Result<u32, StoreError> {
+                        it.next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| fail(ln, format!("bad or missing node {what}")))
+                    };
+                    let (id, v, lo, hi) = (num("id")?, num("var")?, num("lo")?, num("hi")?);
+                    if it.next().is_some() {
+                        return Err(fail(ln, "trailing tokens on .node line".to_owned()));
+                    }
+                    let expect = (nodes.len() + 2) as u32;
+                    if id != expect {
+                        return Err(fail(
+                            ln,
+                            format!("node id {id} out of sequence (expected {expect})"),
+                        ));
+                    }
+                    if (v as usize) >= order.len() {
+                        return Err(fail(ln, format!("node {id} references variable index {v}")));
+                    }
+                    if lo >= id || hi >= id {
+                        return Err(fail(
+                            ln,
+                            format!("node {id} references a child that is not yet defined"),
+                        ));
+                    }
+                    if lo == hi {
+                        return Err(fail(ln, format!("node {id} is redundant (lo == hi)")));
+                    }
+                    nodes.push((v, lo, hi));
+                }
+                ".root" => {
+                    let (id, name) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| fail(ln, "expected `.root <id> <name>`".to_owned()))?;
+                    let id: u32 = id
+                        .parse()
+                        .map_err(|_| fail(ln, format!("bad root node id {id:?}")))?;
+                    if id as usize >= nodes.len() + 2 {
+                        return Err(fail(ln, format!("root references undefined node {id}")));
+                    }
+                    let name = name.trim();
+                    if name.is_empty() {
+                        return Err(fail(ln, "empty root name".to_owned()));
+                    }
+                    roots.push((id, name.to_owned()));
+                }
+                ".end" => ended = true,
+                _ => return Err(fail(ln, format!("unknown directive {dir:?}"))),
+            }
+        }
+        if !ended {
+            return Err(fail(text.lines().count(), "missing .end".to_owned()));
+        }
+        let design_hash =
+            design_hash.ok_or_else(|| fail(0, "missing .design directive".to_owned()))?;
+        let key = key.ok_or_else(|| fail(0, "missing .key directive".to_owned()))?;
+        if nvars != Some(order.len()) {
+            return Err(fail(
+                0,
+                format!(".nvars {nvars:?} disagrees with {} .var lines", order.len()),
+            ));
+        }
+        if nnodes != Some(nodes.len()) {
+            return Err(fail(
+                0,
+                format!(
+                    ".nnodes {nnodes:?} disagrees with {} .node lines",
+                    nodes.len()
+                ),
+            ));
+        }
+        Ok(BddStore {
+            design_hash,
+            key,
+            order,
+            nodes,
+            roots,
+        })
+    }
+
+    /// Writes the document atomically (temp file + rename), creating the
+    /// directory if needed — a crash mid-write can never leave a torn
+    /// file behind, only the previous version or none.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), StoreError> {
+        let io = |e: std::io::Error| StoreError::Io(e.to_string());
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(io)?;
+        }
+        let tmp = path.with_extension("store.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(io)?;
+            f.write_all(self.to_text().as_bytes()).map_err(io)?;
+            f.sync_all().map_err(io)?;
+        }
+        std::fs::rename(&tmp, path).map_err(io)
+    }
+
+    /// Loads a document from disk. A missing file is a legitimate cold
+    /// start and returns `Ok(None)`; any other failure (unreadable,
+    /// corrupt, wrong schema) is a structured error.
+    pub fn load(path: &Path) -> Result<Option<Self>, StoreError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::Io(e.to_string())),
+        };
+        Self::parse(&text).map(Some)
+    }
+}
+
+/// Serializes roots out of a live manager into a [`BddStore`].
+///
+/// The builder snapshots the manager's *current* order: `labels[i]` must
+/// name the variable at level `i` (the caller derives labels from its
+/// signal map). Roots added later share the node list, so a ring sequence
+/// costs little more than its largest member.
+pub struct StoreBuilder<'a> {
+    mgr: &'a BddManager,
+    store: BddStore,
+    /// Manager node index -> file node id, shared across roots.
+    memo: HashMap<u32, u32>,
+}
+
+impl<'a> StoreBuilder<'a> {
+    /// Starts a store for `mgr`'s current order. `labels[i]` names the
+    /// variable at level `i`; the length must equal the variable count.
+    pub fn new(
+        mgr: &'a BddManager,
+        design_hash: u64,
+        key: impl Into<String>,
+        labels: Vec<String>,
+    ) -> Result<Self, StoreError> {
+        if labels.len() != mgr.num_vars() {
+            return Err(StoreError::Rebuild(format!(
+                "{} labels supplied for {} variables",
+                labels.len(),
+                mgr.num_vars()
+            )));
+        }
+        Ok(StoreBuilder {
+            mgr,
+            store: BddStore::order_only(design_hash, key, labels),
+            memo: HashMap::new(),
+        })
+    }
+
+    /// Serializes `f` (and everything it shares with earlier roots only
+    /// once) under `name`.
+    pub fn add_root(&mut self, name: impl Into<String>, f: Bdd) {
+        let id = self.serialize(f);
+        self.store.roots.push((id, name.into()));
+    }
+
+    /// Iterative post-order serialization: children get ids before their
+    /// parents, which is exactly the invariant the parser checks.
+    fn serialize(&mut self, f: Bdd) -> u32 {
+        if f == self.mgr.zero() {
+            return 0;
+        }
+        if f == self.mgr.one() {
+            return 1;
+        }
+        let mut stack = vec![(f, false)];
+        while let Some((n, expanded)) = stack.pop() {
+            if self.memo.contains_key(&n.0) {
+                continue;
+            }
+            let (v, lo, hi) = self.mgr.node_info(n).expect("terminals are memoized above");
+            if expanded {
+                let id = (self.store.nodes.len() + 2) as u32;
+                let var_idx = self.mgr.level_of(v) as u32;
+                let lo_id = self.file_id(lo);
+                let hi_id = self.file_id(hi);
+                self.store.nodes.push((var_idx, lo_id, hi_id));
+                self.memo.insert(n.0, id);
+            } else {
+                stack.push((n, true));
+                for child in [lo, hi] {
+                    if self.mgr.node_info(child).is_some() && !self.memo.contains_key(&child.0) {
+                        stack.push((child, false));
+                    }
+                }
+            }
+        }
+        self.memo[&f.0]
+    }
+
+    fn file_id(&self, f: Bdd) -> u32 {
+        if f == self.mgr.zero() {
+            0
+        } else if f == self.mgr.one() {
+            1
+        } else {
+            self.memo[&f.0]
+        }
+    }
+
+    /// Finishes the document.
+    pub fn finish(self) -> BddStore {
+        self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BddManager;
+
+    fn sample() -> (BddManager, Vec<VarId>, Bdd, Bdd) {
+        let mut m = BddManager::new();
+        let v: Vec<VarId> = (0..4).map(|_| m.new_var()).collect();
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let c = m.var(v[2]);
+        let d = m.var(v[3]);
+        let ab = m.and(a, b).unwrap();
+        let cd = m.and(c, d).unwrap();
+        let f = m.or(ab, cd).unwrap();
+        let g = m.xor(a, d).unwrap();
+        (m, v, f, g)
+    }
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("x{i}")).collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_roots_and_order() {
+        let (m, _, f, g) = sample();
+        let mut b = StoreBuilder::new(&m, 0xdead_beef, "k", labels(4)).unwrap();
+        b.add_root("f", f);
+        b.add_root("g", g);
+        let store = b.finish();
+        let text = store.to_text();
+        let parsed = BddStore::parse(&text).unwrap();
+        assert_eq!(parsed, store);
+
+        // Rebuild into a fresh manager allocating the same order.
+        let mut m2 = BddManager::new();
+        let v2: Vec<VarId> = (0..4).map(|_| m2.new_var()).collect();
+        let roots = parsed.rebuild(&mut m2, &v2).unwrap();
+        assert_eq!(roots.len(), 2);
+        assert_eq!(roots[0].0, "f");
+        // Same functions: spot-check all 16 assignments.
+        for bits in 0..16u32 {
+            let asg: Vec<bool> = (0..4).map(|i| bits & (1 << i) != 0).collect();
+            assert_eq!(m2.eval(roots[0].1, &asg), m.eval(f, &asg));
+            assert_eq!(m2.eval(roots[1].1, &asg), m.eval(g, &asg));
+        }
+    }
+
+    #[test]
+    fn shared_structure_is_serialized_once() {
+        let (m, _, f, _) = sample();
+        let mut b = StoreBuilder::new(&m, 1, "k", labels(4)).unwrap();
+        b.add_root("f", f);
+        let once = b.finish().num_nodes();
+        let mut b = StoreBuilder::new(&m, 1, "k", labels(4)).unwrap();
+        b.add_root("f", f);
+        b.add_root("f2", f);
+        assert_eq!(b.finish().num_nodes(), once, "second root added no nodes");
+    }
+
+    #[test]
+    fn validate_rejects_wrong_design_and_key() {
+        let store = BddStore::order_only(7, "p", labels(2));
+        assert!(store.validate(7, "p").is_ok());
+        assert!(matches!(
+            store.validate(8, "p"),
+            Err(StoreError::DesignMismatch {
+                found: 7,
+                expected: 8
+            })
+        ));
+        assert!(matches!(
+            store.validate(7, "q"),
+            Err(StoreError::KeyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_corruption() {
+        let (m, _, f, _) = sample();
+        let mut b = StoreBuilder::new(&m, 2, "k", labels(4)).unwrap();
+        b.add_root("f", f);
+        let good = b.finish().to_text();
+
+        // Wrong schema version.
+        let bad = good.replacen("store-1", "store-999", 1);
+        assert!(matches!(
+            BddStore::parse(&bad),
+            Err(StoreError::SchemaMismatch { found: 999, .. })
+        ));
+        // Truncated file (no .end).
+        let bad = good.replace(".end\n", "");
+        assert!(matches!(
+            BddStore::parse(&bad),
+            Err(StoreError::Parse { .. })
+        ));
+        // Forward-referencing node.
+        let bad = good.replacen(".node 2 ", ".node 7 ", 1);
+        assert!(matches!(
+            BddStore::parse(&bad),
+            Err(StoreError::Parse { .. })
+        ));
+        // Garbage directive.
+        let bad = format!("{good}.wat 1\n");
+        assert!(matches!(
+            BddStore::parse(&bad),
+            Err(StoreError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rebuild_rejects_wrong_manager_order() {
+        let (m, _, f, _) = sample();
+        let mut b = StoreBuilder::new(&m, 3, "k", labels(4)).unwrap();
+        b.add_root("f", f);
+        let store = b.finish();
+        let mut m2 = BddManager::new();
+        let mut v2: Vec<VarId> = (0..4).map(|_| m2.new_var()).collect();
+        // Supply the variables in reversed label positions: levels no
+        // longer match the saved order, so rebuild must refuse.
+        v2.reverse();
+        assert!(matches!(
+            store.rebuild(&mut m2, &v2),
+            Err(StoreError::Rebuild(_))
+        ));
+    }
+
+    #[test]
+    fn atomic_write_and_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("rfn-store-test-{}", std::process::id()));
+        let path = dir.join("sub").join("case.store");
+        let (m, _, f, _) = sample();
+        let mut b = StoreBuilder::new(&m, 4, "k", labels(4)).unwrap();
+        b.add_root("f", f);
+        let store = b.finish();
+        store.write_atomic(&path).unwrap();
+        let loaded = BddStore::load(&path).unwrap().expect("file exists");
+        assert_eq!(loaded, store);
+        assert!(BddStore::load(&dir.join("missing.store"))
+            .unwrap()
+            .is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

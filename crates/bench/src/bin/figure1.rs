@@ -120,6 +120,7 @@ fn demo_hybrid_classification(netlist: &Netlist, property: &Property, ctx: Trace
     }
     let model_opts = rfn_mc::ModelOptions {
         cluster_limit: reach_opts.cluster_limit,
+        static_order: reach_opts.static_order,
     };
     let mut model = SymbolicModel::with_options(
         netlist,

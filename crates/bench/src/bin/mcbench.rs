@@ -32,6 +32,15 @@
 //!    and shard-lock contention are reported as measured (on a single-core
 //!    host speedups hover near or below 1.0×; the equivalence gate, not the
 //!    speedup, is the CI criterion).
+//! 5. **Ordering** — the same fixpoint three ways: *cold* under the seed
+//!    declaration order, *cold* under the FORCE static pre-order, and
+//!    *warm* from the order/ring store the seed run persisted (the
+//!    repeat-run path behind `--order-cache-dir`). All three must agree on
+//!    the verdict, the step count and every ring's state-set *cardinality*
+//!    (node counts legitimately differ across variable orders, so the gate
+//!    is `sat_count`, not size). Wall-clock, peak nodes and sift counts
+//!    quantify the win; under `--smoke` the warm run must also sift no more
+//!    than the cold run it resumed from.
 //!
 //! The models are bounded abstractions — the BFS-nearest registers of each
 //! target, as the coverage engine's initial abstraction would pick — since
@@ -50,7 +59,8 @@ use rfn_bdd::{Bdd, BddManager, VarId};
 use rfn_bench::Scale;
 use rfn_designs::{fifo_controller, integer_unit, processor_module, usb_controller};
 use rfn_mc::{
-    forward_reach, ModelOptions, ModelSpec, ReachOptions, ReachResult, ReachVerdict, SymbolicModel,
+    forward_reach, forward_reach_warm, ModelOptions, ModelSpec, ReachOptions, ReachResult,
+    ReachVerdict, SymbolicModel,
 };
 use rfn_netlist::{transitive_fanin, Abstraction, Netlist, SignalId};
 
@@ -124,6 +134,49 @@ impl ParRow {
     /// Wall-clock speedup of the given run over the serial reference.
     fn speedup(&self, k: usize) -> f64 {
         self.runs[0].1.reach_ms / self.runs[k].1.reach_ms.max(1e-9)
+    }
+}
+
+/// One ordering configuration's measurements (section 5).
+struct OrderRun {
+    build_ms: f64,
+    reach_ms: f64,
+    steps: usize,
+    peak_nodes: usize,
+    sift_runs: u64,
+    verdict: ReachVerdict,
+}
+
+impl OrderRun {
+    fn total_ms(&self) -> f64 {
+        self.build_ms + self.reach_ms
+    }
+}
+
+/// An ordering-comparison row (section 5): cold seed order vs. FORCE
+/// pre-order vs. warm-start from the persisted store.
+struct OrderRow {
+    design: &'static str,
+    target: String,
+    registers: usize,
+    cold: OrderRun,
+    force: OrderRun,
+    warm: OrderRun,
+}
+
+impl OrderRow {
+    /// Reach wall-time speedup of the FORCE pre-order over the cold seed
+    /// run (`build_ms` reports FORCE's up-front arrangement cost
+    /// separately).
+    fn force_speedup(&self) -> f64 {
+        self.cold.reach_ms / self.force.reach_ms.max(1e-9)
+    }
+
+    /// Reach wall-time speedup of the warm-started repeat run over the
+    /// cold one (the store load and order rebuild are in the warm run's
+    /// `build_ms`).
+    fn warm_speedup(&self) -> f64 {
+        self.cold.reach_ms / self.warm.reach_ms.max(1e-9)
     }
 }
 
@@ -257,7 +310,43 @@ fn main() -> ExitCode {
         par_rows.push(row);
     }
 
-    let json = render_json(&reach_rows, &verdict_rows, &par_rows, smoke);
+    println!();
+
+    // Section 5: ordering. Cold seed order vs. FORCE pre-order vs. a warm
+    // start from the store the cold run saved. The gates are semantic
+    // (verdict, steps, per-ring cardinalities); the times are the payoff.
+    let cache_dir = std::env::temp_dir().join("rfn-mcbench-order");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let mut order_rows = Vec::new();
+    for case in &cases {
+        match ordering_case(case, &cache_dir, smoke) {
+            Ok(row) => {
+                println!(
+                    "ordering ok: {:<14} cold {:>8.1} ms  force {:>8.1} ms ({:.2}x)  \
+                     warm {:>8.1} ms ({:.2}x)  sifts {}:{}:{}",
+                    row.design,
+                    row.cold.reach_ms,
+                    row.force.reach_ms,
+                    row.force_speedup(),
+                    row.warm.reach_ms,
+                    row.warm_speedup(),
+                    row.cold.sift_runs,
+                    row.force.sift_runs,
+                    row.warm.sift_runs
+                );
+                order_rows.push(row);
+            }
+            Err(msg) => {
+                eprintln!(
+                    "mcbench: ordering FAILURE on {}/{}: {msg}",
+                    case.name, case.target_name
+                );
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    let json = render_json(&reach_rows, &verdict_rows, &par_rows, &order_rows, smoke);
     if let Err(e) = std::fs::write("BENCH_mc.json", &json) {
         eprintln!("mcbench: writing BENCH_mc.json: {e}");
         return ExitCode::from(1);
@@ -491,7 +580,10 @@ fn build_model<'n>(
         &case.netlist,
         case.spec.clone(),
         BddManager::new(),
-        ModelOptions { cluster_limit },
+        ModelOptions {
+            cluster_limit,
+            ..ModelOptions::default()
+        },
     )
     .expect("bundled designs validate");
     let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
@@ -634,6 +726,169 @@ fn run_reach_at(case: &Case, target: Option<(SignalId, bool)>, bdd_threads: usiz
     }
 }
 
+/// One ordering case (section 5), end to end: a cold seed run that
+/// persists its converged order and rings to `cache_dir`, a cold FORCE
+/// run, and a warm run that loads the store back from disk. Both
+/// challengers must agree with the cold run exactly; under `--smoke` the
+/// warm run must additionally sift no more than the cold run it resumed.
+fn ordering_case(
+    case: &Case,
+    cache_dir: &std::path::Path,
+    smoke: bool,
+) -> Result<OrderRow, String> {
+    // The cold model stays alive as the referee manager for the exact
+    // ring-equality checks below.
+    let (mut cold_model, cold_result, cold) =
+        run_order_reach(case, rfn_mc::StaticOrder::Seed, None, smoke);
+    let store = rfn_mc::store::snapshot_model(&cold_model, &case.target_name, &cold_result.rings)
+        .map_err(|e| format!("snapshotting cold run: {e}"))?;
+    rfn_mc::store::save_store(cache_dir, &store).map_err(|e| format!("saving store: {e}"))?;
+
+    let (force_model, force_result, force) =
+        run_order_reach(case, rfn_mc::StaticOrder::Force, None, smoke);
+    check_order_agreement(
+        "force",
+        &mut cold_model,
+        (&cold_result, &cold),
+        (&force_model, &force_result, &force),
+        &case.target_name,
+    )?;
+    drop(force_model);
+
+    let loaded =
+        rfn_mc::store::load_store(cache_dir, case.netlist.structural_hash(), &case.target_name)
+            .map_err(|e| format!("loading store: {e}"))?
+            .ok_or("order store vanished between save and load")?;
+    let (warm_model, warm_result, warm) =
+        run_order_reach(case, rfn_mc::StaticOrder::Seed, Some(&loaded), smoke);
+    check_order_agreement(
+        "warm",
+        &mut cold_model,
+        (&cold_result, &cold),
+        (&warm_model, &warm_result, &warm),
+        &case.target_name,
+    )?;
+    if smoke && warm.sift_runs > cold.sift_runs {
+        return Err(format!(
+            "warm start sifted MORE than cold ({} vs {})",
+            warm.sift_runs, cold.sift_runs
+        ));
+    }
+    Ok(OrderRow {
+        design: case.name,
+        target: case.target_name.clone(),
+        registers: case.spec.registers.len(),
+        cold,
+        force,
+        warm,
+    })
+}
+
+/// One ordering run (section 5): cold seed order, cold FORCE order, or —
+/// when `warm` carries the store a previous run saved — the warm-start
+/// repeat path. Reordering runs under the default doubling schedule at the
+/// default sift floor; only `--smoke`, whose shrunken designs would never
+/// cross that floor, lowers it so the DVO scheduler (and the sifts-less
+/// warm-start gate) is still exercised. The model and full reach result
+/// are returned so the caller can run exact cross-run equality checks.
+fn run_order_reach<'n>(
+    case: &'n Case,
+    order: rfn_mc::StaticOrder,
+    warm: Option<&rfn_bdd::BddStore>,
+    smoke: bool,
+) -> (SymbolicModel<'n>, ReachResult, OrderRun) {
+    let build_start = Instant::now();
+    let mut model = SymbolicModel::with_options(
+        &case.netlist,
+        case.spec.clone(),
+        BddManager::new(),
+        ModelOptions {
+            static_order: order,
+            ..ModelOptions::default()
+        },
+    )
+    .expect("bundled designs validate");
+    let rings = match warm {
+        Some(store) => rfn_mc::store::apply_store(&mut model, store, &case.target_name)
+            .expect("the store this bench just saved applies"),
+        None => Vec::new(),
+    };
+    // A pure reachability sweep (no target), like section 2: the early-hit
+    // properties would end after one or two images and turn the ordering
+    // comparison into sub-millisecond noise. Section 3 gates verdicts on
+    // the real targets; this section measures image throughput per order.
+    let target_bdd = model.manager_ref().zero();
+    let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+    let mut opts = ReachOptions::default()
+        .with_max_steps(case.steps)
+        .with_static_order(order);
+    if smoke {
+        opts.reorder_threshold = 1_000;
+    }
+    let before = model.manager_ref().stats();
+    let reach_start = Instant::now();
+    let result =
+        forward_reach_warm(&mut model, target_bdd, &opts, &rings).expect("no node limit set");
+    let reach_ms = reach_start.elapsed().as_secs_f64() * 1e3;
+    let run = OrderRun {
+        build_ms,
+        reach_ms,
+        steps: result.steps,
+        peak_nodes: result.peak_nodes,
+        sift_runs: result.stats.sift_runs - before.sift_runs,
+        verdict: result.verdict,
+    };
+    (model, result, run)
+}
+
+/// Exact semantic agreement between two ordering runs: identical verdicts
+/// and step counts, and every onion ring must denote the identical state
+/// set. Node counts are order-dependent and `sat_count` overflows past
+/// ~1000 variables, so the ring check is exact instead: the challenger's
+/// rings are serialized through the store (labels, not raw variable ids),
+/// rebuilt inside the *cold* run's manager, and compared handle-for-handle
+/// — ROBDD canonicity makes that a precise functional equality even though
+/// the two runs sifted to different orders.
+fn check_order_agreement(
+    label: &str,
+    referee: &mut SymbolicModel<'_>,
+    cold: (&ReachResult, &OrderRun),
+    other: (&SymbolicModel<'_>, &ReachResult, &OrderRun),
+    key: &str,
+) -> Result<(), String> {
+    let (cold_result, cold_run) = cold;
+    let (other_model, other_result, other_run) = other;
+    if cold_run.verdict != other_run.verdict {
+        return Err(format!(
+            "{label}: verdicts differ: cold {:?} vs {:?}",
+            cold_run.verdict, other_run.verdict
+        ));
+    }
+    if cold_run.steps != other_run.steps {
+        return Err(format!(
+            "{label}: step counts differ: cold {} vs {}",
+            cold_run.steps, other_run.steps
+        ));
+    }
+    let store = rfn_mc::store::snapshot_model(other_model, key, &other_result.rings)
+        .map_err(|e| format!("{label}: snapshotting challenger: {e}"))?;
+    let rebuilt = rfn_mc::store::apply_store(referee, &store, key)
+        .map_err(|e| format!("{label}: rebuilding challenger rings in referee: {e}"))?;
+    if rebuilt.len() != cold_result.rings.len() {
+        return Err(format!(
+            "{label}: ring counts differ: cold {} vs {}",
+            cold_result.rings.len(),
+            rebuilt.len()
+        ));
+    }
+    for (k, (&theirs, &ours)) in rebuilt.iter().zip(&cold_result.rings).enumerate() {
+        if theirs != ours {
+            return Err(format!("{label}: ring {k} denotes a different state set"));
+        }
+    }
+    Ok(())
+}
+
 /// Both configurations must agree on the verdict, the step count and the
 /// reached set. The managers differ so handles cannot be compared, but both
 /// models build the identical variable order (clustering happens after the
@@ -683,10 +938,24 @@ fn render_run(run: &Run) -> String {
     )
 }
 
+fn render_order_run(run: &OrderRun) -> String {
+    format!(
+        "{{\"build_ms\": {:.1}, \"reach_ms\": {:.1}, \"total_ms\": {:.1}, \"steps\": {}, \
+         \"peak_nodes\": {}, \"sift_runs\": {}}}",
+        run.build_ms,
+        run.reach_ms,
+        run.total_ms(),
+        run.steps,
+        run.peak_nodes,
+        run.sift_runs
+    )
+}
+
 fn render_json(
     reach: &[ReachRow],
     verdicts: &[VerdictRow],
     parallel: &[ParRow],
+    ordering: &[OrderRow],
     smoke: bool,
 ) -> String {
     let mut s = String::from("{\n  \"bench\": \"mc\",\n");
@@ -748,6 +1017,24 @@ fn render_json(
             runs.join(", ")
         );
         s.push_str(if k + 1 < parallel.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"ordering\": [\n");
+    for (k, o) in ordering.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"design\": \"{}\", \"target\": \"{}\", \"registers\": {}, \
+             \"cold\": {}, \"force\": {}, \"warm\": {}, \
+             \"force_speedup\": {:.2}, \"warm_speedup\": {:.2}, \"agree\": true}}",
+            o.design,
+            o.target,
+            o.registers,
+            render_order_run(&o.cold),
+            render_order_run(&o.force),
+            render_order_run(&o.warm),
+            o.force_speedup(),
+            o.warm_speedup()
+        );
+        s.push_str(if k + 1 < ordering.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");
     s

@@ -1,0 +1,145 @@
+//! Warm-start smoke: the same property verified twice through one
+//! `--order-cache-dir`, gating that the repeat run actually reuses the
+//! persisted variable order.
+//!
+//! ```text
+//! cargo run -p rfn-bench --bin warmbench --release [-- --quick]
+//! ```
+//!
+//! Run 1 proves the fifo `psh_full` property cold, converging its variable
+//! order through dynamic reordering and persisting it to the cache
+//! directory on the conclusive verdict. Run 2 repeats the identical job
+//! against the same cache. The gates, each a hard nonzero exit:
+//!
+//! 1. both runs reach the same conclusive verdict (and the same error
+//!    trace length when falsified);
+//! 2. the cold run demonstrably reordered — otherwise the smoke proves
+//!    nothing;
+//! 3. the warm run sifts strictly less: no more sift *passes* than cold,
+//!    and strictly fewer nodes moved by them. The pass count alone is
+//!    schedule-structural — the doubling trigger fires whenever a model
+//!    outgrows the floor, converged order or not — so the work those
+//!    passes find left to do is what measures how warm the start was.
+//!
+//! The sift floor is lowered to smoke scale so the cold run's reordering
+//! is exercised at all; verdict equality under that churn is part of the
+//! point. The whole job is deterministic (one property, one thread, seeded
+//! simulation), so the node counts gate exactly, not statistically.
+
+use std::process::ExitCode;
+
+use rfn_bench::Scale;
+use rfn_core::{Rfn, RfnOptions, RfnOutcome};
+use rfn_designs::fifo_controller;
+
+/// Verdict fingerprint plus the reordering bookkeeping of one run.
+struct RunSummary {
+    verdict: &'static str,
+    trace_cycles: usize,
+    iterations: usize,
+    sift_runs: u64,
+    sift_shrunk: u64,
+}
+
+fn run_once(
+    netlist: &rfn_netlist::Netlist,
+    property: &rfn_netlist::Property,
+    cache_dir: &std::path::Path,
+) -> Result<RunSummary, String> {
+    let mut options = RfnOptions::default().with_order_cache_dir(cache_dir);
+    // Smoke-scale sift floor: the fifo abstractions stay small, and the
+    // default floor would leave the reorder scheduler idle in both runs.
+    options.reach.reorder_threshold = 500;
+    let outcome = Rfn::new(netlist, property, options)
+        .map_err(|e| format!("building RFN loop: {e}"))?
+        .run()
+        .map_err(|e| format!("running RFN loop: {e}"))?;
+    Ok(match outcome {
+        RfnOutcome::Proved { stats } => RunSummary {
+            verdict: "proved",
+            trace_cycles: 0,
+            iterations: stats.iterations,
+            sift_runs: stats.bdd.sift_runs,
+            sift_shrunk: stats.bdd.sift_nodes_shrunk,
+        },
+        RfnOutcome::Falsified { trace, stats } => RunSummary {
+            verdict: "falsified",
+            trace_cycles: trace.num_cycles(),
+            iterations: stats.iterations,
+            sift_runs: stats.bdd.sift_runs,
+            sift_shrunk: stats.bdd.sift_nodes_shrunk,
+        },
+        RfnOutcome::Inconclusive { reason, .. } => {
+            return Err(format!("inconclusive: {reason}"));
+        }
+    })
+}
+
+fn main() -> ExitCode {
+    let scale = Scale::from_args();
+    let design = fifo_controller(&scale.fifo());
+    let property = design.property("psh_full").expect("bundled property");
+    println!(
+        "warmbench: {} ({} registers), property `{}` (scale: {scale:?})",
+        design.netlist.name(),
+        design.netlist.num_registers(),
+        property.name
+    );
+
+    let cache_dir = std::env::temp_dir().join(format!("rfn-warmbench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let cold = match run_once(&design.netlist, property, &cache_dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("warmbench: cold run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "cold: {} ({} cycles, {} iterations, {} sift runs moving {} nodes)",
+        cold.verdict, cold.trace_cycles, cold.iterations, cold.sift_runs, cold.sift_shrunk
+    );
+
+    let warm = match run_once(&design.netlist, property, &cache_dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("warmbench: warm run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "warm: {} ({} cycles, {} iterations, {} sift runs moving {} nodes)",
+        warm.verdict, warm.trace_cycles, warm.iterations, warm.sift_runs, warm.sift_shrunk
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    if warm.verdict != cold.verdict || warm.trace_cycles != cold.trace_cycles {
+        eprintln!(
+            "warmbench: FAILURE: warm verdict {} ({} cycles) != cold {} ({} cycles)",
+            warm.verdict, warm.trace_cycles, cold.verdict, cold.trace_cycles
+        );
+        return ExitCode::FAILURE;
+    }
+    if cold.sift_runs == 0 || cold.sift_shrunk == 0 {
+        eprintln!(
+            "warmbench: FAILURE: cold run never reordered productively \
+             ({} sift runs moving {} nodes); the smoke proves nothing",
+            cold.sift_runs, cold.sift_shrunk
+        );
+        return ExitCode::FAILURE;
+    }
+    if warm.sift_runs > cold.sift_runs || warm.sift_shrunk >= cold.sift_shrunk {
+        eprintln!(
+            "warmbench: FAILURE: warm run sifted {} times moving {} nodes vs cold \
+             {} times moving {} — the order cache did not reduce reordering work",
+            warm.sift_runs, warm.sift_shrunk, cold.sift_runs, cold.sift_shrunk
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "warmbench ok: warm start cut reordering work {} -> {} nodes ({} -> {} sift runs)",
+        cold.sift_shrunk, warm.sift_shrunk, cold.sift_runs, warm.sift_runs
+    );
+    ExitCode::SUCCESS
+}

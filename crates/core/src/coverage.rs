@@ -256,6 +256,7 @@ fn analyze_coverage_inner(
         mgr.set_budget(budget.clone());
         let model_opts = rfn_mc::ModelOptions {
             cluster_limit: options.reach.cluster_limit,
+            static_order: options.reach.static_order,
         };
         let mut model = match SymbolicModel::with_options(
             netlist,
@@ -486,6 +487,7 @@ pub fn bfs_coverage(
     let mut bdd_stats = rfn_bdd::BddStats::default();
     let model_opts = rfn_mc::ModelOptions {
         cluster_limit: reach.cluster_limit,
+        static_order: reach.static_order,
     };
     match SymbolicModel::with_options(netlist, ModelSpec::from_view(&view), mgr, model_opts) {
         Ok(mut model) => {

@@ -65,6 +65,14 @@ pub struct RfnOptions {
     /// register set, saved variable order, iteration counter, simulation
     /// seed — and continues from the last completed iteration.
     pub resume: bool,
+    /// Directory for the persistent order cache. When set, the loop seeds
+    /// its first iteration from a previously saved converged variable order
+    /// for this `(design, property)` pair (keyed by
+    /// [`Netlist::structural_hash`]) and writes the final order back on
+    /// every conclusive verdict. A missing cache entry is a normal cold
+    /// start; a corrupt or mismatched one is a hard error, never a silent
+    /// cold start.
+    pub order_cache_dir: Option<PathBuf>,
 }
 
 impl Default for RfnOptions {
@@ -85,6 +93,7 @@ impl Default for RfnOptions {
             verbosity: 0,
             checkpoint_dir: None,
             resume: false,
+            order_cache_dir: None,
         }
     }
 }
@@ -118,6 +127,32 @@ impl RfnOptions {
     #[must_use]
     pub fn with_resume(mut self, resume: bool) -> Self {
         self.resume = resume;
+        self
+    }
+
+    /// Sets the persistent order-cache directory (see
+    /// [`RfnOptions::order_cache_dir`]).
+    #[must_use]
+    pub fn with_order_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.order_cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Selects the initial variable-order strategy for every iteration's
+    /// symbolic model (see [`rfn_mc::StaticOrder`]). A saved order — from a
+    /// checkpoint, the order cache, or the previous iteration — still wins
+    /// over the static arrangement.
+    #[must_use]
+    pub fn with_static_order(mut self, order: rfn_mc::StaticOrder) -> Self {
+        self.reach.static_order = order;
+        self
+    }
+
+    /// Selects the dynamic-reordering schedule used by every forward
+    /// fixpoint (see [`rfn_mc::DvoPolicy`]).
+    #[must_use]
+    pub fn with_dvo(mut self, dvo: rfn_mc::DvoPolicy) -> Self {
+        self.reach.dvo = dvo;
         self
     }
 
@@ -396,6 +431,48 @@ impl<'n> Rfn<'n> {
             }
         }
 
+        // Warm-start: seed the first iteration's variable order from the
+        // persistent order cache. A checkpoint's saved order wins — it is
+        // newer than anything the cache holds.
+        if saved_order.is_empty() {
+            if let Some(dir) = &self.options.order_cache_dir {
+                let hash = self.netlist.structural_hash();
+                if let Some(store) = rfn_mc::store::load_store(dir, hash, &self.property.name)
+                    .map_err(|e| RfnError::at(Phase::Setup, e))?
+                {
+                    store
+                        .validate(hash, &self.property.name)
+                        .map_err(|e| RfnError::at(Phase::Setup, rfn_mc::McError::Store(e)))?;
+                    let mut order = Vec::with_capacity(store.order.len());
+                    for label in &store.order {
+                        match rfn_mc::store::label_signal(self.netlist, label) {
+                            Some(pair) => order.push(pair),
+                            None => {
+                                return Err(RfnError::Checkpoint(format!(
+                                    "order cache names unknown label `{label}`"
+                                )))
+                            }
+                        }
+                    }
+                    ctx.point(
+                        "order_cache.load",
+                        vec![
+                            ("property".to_owned(), self.property.name.as_str().into()),
+                            ("vars".to_owned(), order.len().into()),
+                        ],
+                    );
+                    self.log(
+                        ctx,
+                        &format!(
+                            "warm-started variable order from cache ({} vars)",
+                            order.len()
+                        ),
+                    );
+                    saved_order = order;
+                }
+            }
+        }
+
         for iteration in start_iteration..self.options.max_iterations {
             stats.iterations = iteration + 1;
             stats.abstract_registers = abstraction.len();
@@ -419,6 +496,7 @@ impl<'n> Rfn<'n> {
             mgr.set_budget(budget.clone());
             let model_opts = rfn_mc::ModelOptions {
                 cluster_limit: self.options.reach.cluster_limit,
+                static_order: self.options.reach.static_order,
             };
             let mut model = match SymbolicModel::with_options(
                 self.netlist,
@@ -471,6 +549,7 @@ impl<'n> Rfn<'n> {
                             abstraction.len()
                         ),
                     );
+                    self.save_order_cache(ctx, &self.save_order(&model));
                     stats.elapsed = start.elapsed();
                     return Ok(RfnOutcome::Proved { stats });
                 }
@@ -554,6 +633,7 @@ impl<'n> Rfn<'n> {
             if exact {
                 let trace = traces.into_iter().next().expect("non-empty");
                 if crate::validate_trace(self.netlist, &self.property, &trace)? {
+                    self.save_order_cache(ctx, &saved_order);
                     stats.trace_length = Some(trace.num_cycles());
                     stats.elapsed = start.elapsed();
                     return Ok(RfnOutcome::Falsified { trace, stats });
@@ -635,6 +715,7 @@ impl<'n> Rfn<'n> {
                             trace.num_cycles()
                         ),
                     );
+                    self.save_order_cache(ctx, &saved_order);
                     stats.trace_length = Some(trace.num_cycles());
                     stats.elapsed = start.elapsed();
                     return Ok(RfnOutcome::Falsified { trace, stats });
@@ -836,6 +917,44 @@ impl<'n> Rfn<'n> {
             .collect()
     }
 
+    /// Writes a converged variable order to the persistent cache as an
+    /// order-only store keyed by the design's structural hash and the
+    /// property name. A cache write failure downgrades to a trace point —
+    /// it must not destroy a conclusive verdict.
+    fn save_order_cache(&self, ctx: &TraceCtx, order: &[(SignalId, VarKind)]) {
+        let Some(dir) = &self.options.order_cache_dir else {
+            return;
+        };
+        if order.is_empty() {
+            return;
+        }
+        let labels = order
+            .iter()
+            .map(|&(s, kind)| rfn_mc::store::signal_label(self.netlist, s, kind))
+            .collect();
+        let store = rfn_bdd::BddStore::order_only(
+            self.netlist.structural_hash(),
+            self.property.name.clone(),
+            labels,
+        );
+        match rfn_mc::store::save_store(dir, &store) {
+            Ok(_) => ctx.point(
+                "order_cache.save",
+                vec![
+                    ("property".to_owned(), self.property.name.as_str().into()),
+                    ("vars".to_owned(), store.order.len().into()),
+                ],
+            ),
+            Err(e) => ctx.point(
+                "order_cache.save_error",
+                vec![
+                    ("property".to_owned(), self.property.name.as_str().into()),
+                    ("error".to_owned(), e.to_string().into()),
+                ],
+            ),
+        }
+    }
+
     /// Applies a variable order saved from the previous iteration: signals
     /// present in the new model keep their relative order, with each
     /// register's `(current, next)` pair kept together. New signals stay at
@@ -928,6 +1047,9 @@ fn record_outcome(span: &mut Span, outcome: &RfnOutcome) {
     span.record("bdd.gc_nodes_freed", stats.bdd.gc_nodes_freed);
     span.record("bdd.auto_gc_runs", stats.bdd.auto_gc_runs);
     span.record("bdd.peak_nodes", stats.bdd.peak_nodes);
+    span.record("bdd.sift_runs", stats.bdd.sift_runs);
+    span.record("bdd.unprofitable_sifts", stats.bdd.unprofitable_sifts);
+    span.record("bdd.sift_nodes_shrunk", stats.bdd.sift_nodes_shrunk);
 }
 
 #[cfg(test)]

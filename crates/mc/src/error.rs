@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use rfn_bdd::BddError;
+use rfn_bdd::{BddError, StoreError};
 use rfn_netlist::NetlistError;
 
 /// Error produced by symbolic model-checking operations.
@@ -15,6 +15,9 @@ pub enum McError {
     Netlist(NetlistError),
     /// The model specification references a signal it does not define.
     UnboundSignal(rfn_netlist::SignalId),
+    /// The persistent order/BDD store rejected a warm-start (corrupt file,
+    /// wrong schema, mismatched design hash or key, unresolvable label).
+    Store(StoreError),
 }
 
 impl fmt::Display for McError {
@@ -25,6 +28,7 @@ impl fmt::Display for McError {
             McError::UnboundSignal(s) => {
                 write!(f, "signal {s} is not defined by the model specification")
             }
+            McError::Store(e) => write!(f, "order store failure: {e}"),
         }
     }
 }
@@ -35,7 +39,14 @@ impl std::error::Error for McError {
             McError::Bdd(e) => Some(e),
             McError::Netlist(e) => Some(e),
             McError::UnboundSignal(_) => None,
+            McError::Store(e) => Some(e),
         }
+    }
+}
+
+impl From<StoreError> for McError {
+    fn from(e: StoreError) -> Self {
+        McError::Store(e)
     }
 }
 

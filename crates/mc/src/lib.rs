@@ -45,14 +45,17 @@ mod options;
 mod par;
 mod plain;
 mod reach;
+pub mod store;
 
 pub use error::McError;
 pub use model::{
-    ModelOptions, ModelSpec, StateCube, SymbolicModel, TransitionRelation, VarKind,
+    ModelOptions, ModelSpec, StateCube, StaticOrder, SymbolicModel, TransitionRelation, VarKind,
     DEFAULT_CLUSTER_LIMIT,
 };
 pub use options::CommonOptions;
 pub use par::ParImage;
 pub use plain::{verify_plain, PlainOptions, PlainReport, PlainVerdict};
-pub use reach::{forward_reach, AbortReason, ReachOptions, ReachResult, ReachVerdict};
-pub use rfn_bdd::BddStats;
+pub use reach::{
+    forward_reach, forward_reach_warm, AbortReason, ReachOptions, ReachResult, ReachVerdict,
+};
+pub use rfn_bdd::{BddStats, DvoPolicy, StoreError};

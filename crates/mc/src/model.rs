@@ -1,9 +1,9 @@
 //! Symbolic models: BDD encodings of abstract models and min-cut designs.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use rfn_bdd::{Bdd, BddManager, BddResult, VarId};
-use rfn_netlist::{AbstractView, Cube, MinCut, NetKind, Netlist, SignalId};
+use rfn_netlist::{force_order, AbstractView, Cube, MinCut, NetKind, Netlist, SignalId};
 
 use crate::McError;
 
@@ -59,6 +59,43 @@ impl ModelSpec {
 /// (IWLS95-style partitioned transition relations).
 pub const DEFAULT_CLUSTER_LIMIT: usize = 2500;
 
+/// How a [`SymbolicModel`] chooses its initial BDD variable order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StaticOrder {
+    /// Allocation order follows the specification: register `(current,
+    /// next)` pairs in spec order, then free inputs as the gate evaluation
+    /// encounters them. This reproduces the historical layout exactly.
+    #[default]
+    Seed,
+    /// FORCE / center-of-gravity pre-ordering
+    /// ([`rfn_netlist::force_order`]): registers and inputs are arranged by
+    /// hypergraph span minimization over the next-state cone supports before
+    /// any BDD node exists, so interacting variables start adjacent. Pairs
+    /// stay interleaved; inputs are woven between them per the arrangement.
+    Force,
+}
+
+impl StaticOrder {
+    /// Parses a CLI spelling: `seed` or `force`.
+    pub fn parse(s: &str) -> Result<StaticOrder, String> {
+        match s {
+            "seed" => Ok(StaticOrder::Seed),
+            "force" => Ok(StaticOrder::Force),
+            other => Err(format!(
+                "unknown static order '{other}' (expected seed|force)"
+            )),
+        }
+    }
+
+    /// Canonical CLI spelling.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            StaticOrder::Seed => "seed",
+            StaticOrder::Force => "force",
+        }
+    }
+}
+
 /// Construction-time tuning of a [`SymbolicModel`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ModelOptions {
@@ -67,12 +104,15 @@ pub struct ModelOptions {
     /// or below this many nodes. `0` keeps one partition per register (the
     /// linear schedule of the seed implementation).
     pub cluster_limit: usize,
+    /// Initial variable-order strategy.
+    pub static_order: StaticOrder,
 }
 
 impl Default for ModelOptions {
     fn default() -> Self {
         ModelOptions {
             cluster_limit: DEFAULT_CLUSTER_LIMIT,
+            static_order: StaticOrder::default(),
         }
     }
 }
@@ -249,13 +289,39 @@ impl<'n> SymbolicModel<'n> {
     ) -> Result<Self, McError> {
         let mut cur = HashMap::new();
         let mut nxt = HashMap::new();
+        let mut inp = HashMap::new();
         let mut signal_of_var: Vec<(SignalId, VarKind)> = Vec::new();
-        for &r in &spec.registers {
-            let pair = mgr.new_var_group(2);
-            cur.insert(r, pair[0]);
-            nxt.insert(r, pair[1]);
-            signal_of_var.push((r, VarKind::Current));
-            signal_of_var.push((r, VarKind::Next));
+        match options.static_order {
+            StaticOrder::Seed => {
+                for &r in &spec.registers {
+                    let pair = mgr.new_var_group(2);
+                    cur.insert(r, pair[0]);
+                    nxt.insert(r, pair[1]);
+                    signal_of_var.push((r, VarKind::Current));
+                    signal_of_var.push((r, VarKind::Next));
+                }
+            }
+            StaticOrder::Force => {
+                // Allocate every element — register pairs and inputs alike —
+                // in FORCE arrangement order, so the initial level order is
+                // the computed linear arrangement. `eval_spec_gates` then
+                // finds every input pre-allocated.
+                let arranged = force_order(netlist, &spec.registers, &spec.inputs, &[]);
+                let regs: HashSet<SignalId> = spec.registers.iter().copied().collect();
+                for &s in &arranged {
+                    if regs.contains(&s) {
+                        let pair = mgr.new_var_group(2);
+                        cur.insert(s, pair[0]);
+                        nxt.insert(s, pair[1]);
+                        signal_of_var.push((s, VarKind::Current));
+                        signal_of_var.push((s, VarKind::Next));
+                    } else {
+                        let v = mgr.new_var();
+                        inp.insert(s, v);
+                        signal_of_var.push((s, VarKind::Input));
+                    }
+                }
+            }
         }
         let one = mgr.one();
         let mut model = SymbolicModel {
@@ -264,7 +330,7 @@ impl<'n> SymbolicModel<'n> {
             mgr,
             cur,
             nxt,
-            inp: HashMap::new(),
+            inp,
             signal_of_var,
             trans: TransitionRelation {
                 parts: Vec::new(),
@@ -969,7 +1035,10 @@ mod tests {
             &n,
             spec.clone(),
             rfn_bdd::BddManager::new(),
-            ModelOptions { cluster_limit: 0 },
+            ModelOptions {
+                cluster_limit: 0,
+                ..ModelOptions::default()
+            },
         )
         .unwrap();
         let mut clu = SymbolicModel::new(&n, spec).unwrap();

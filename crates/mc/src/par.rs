@@ -57,6 +57,14 @@ const SHARED_GC_THRESHOLD: usize = 1 << 16;
 /// imbalance between cheap and expensive slices.
 const SLICES_PER_THREAD: usize = 4;
 
+/// Frontier node count below which fanning out costs more than it saves:
+/// export, split, per-worker replay and import all pay fixed overheads
+/// that a small serial `and_exists` chain beats easily. Frontiers under
+/// this size take the serial master path instead (same result — the
+/// parallel path is bit-identical to serial by construction, so choosing
+/// per-image is always sound).
+const PAR_FALLBACK_NODES: usize = 512;
+
 /// An exported image schedule: shared-manager handles for each step's
 /// cluster and quantification cube.
 struct ParSchedule {
@@ -92,6 +100,13 @@ pub struct ParImage {
     /// Counters already harvested from dropped shared managers (after
     /// [`ParImage::invalidate`]).
     retired_stats: BddStats,
+    /// Images that actually fanned out across workers.
+    parallel_images: u64,
+    /// Images routed to the serial master path because the frontier was
+    /// below `fallback_nodes`.
+    fallback_images: u64,
+    /// Frontier node count below which images stay serial.
+    fallback_nodes: usize,
 }
 
 impl ParImage {
@@ -108,12 +123,33 @@ impl ParImage {
             master_gc_runs: 0,
             shared_gc_threshold: SHARED_GC_THRESHOLD,
             retired_stats: BddStats::default(),
+            parallel_images: 0,
+            fallback_images: 0,
+            fallback_nodes: PAR_FALLBACK_NODES,
         }
+    }
+
+    /// Overrides the serial-fallback threshold (frontier node count below
+    /// which images stay serial). Zero disables the fallback entirely;
+    /// mainly for tests and benches that need to force the fan-out path.
+    pub fn set_fallback_nodes(&mut self, nodes: usize) {
+        self.fallback_nodes = nodes;
     }
 
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Images that fanned out across worker threads.
+    pub fn parallel_images(&self) -> u64 {
+        self.parallel_images
+    }
+
+    /// Images that fell back to the serial master path (frontier below the
+    /// fan-out threshold).
+    pub fn fallback_images(&self) -> u64 {
+        self.fallback_images
     }
 
     /// Drops the shared manager and every exported handle. Must be called
@@ -139,16 +175,28 @@ impl ParImage {
     }
 
     /// Parallel post-image: same contract (and bit-identical result) as
-    /// [`SymbolicModel::post_image`].
+    /// [`SymbolicModel::post_image`]. Frontiers below the fan-out threshold
+    /// take the serial master path directly.
     pub fn post_image(&mut self, model: &mut SymbolicModel<'_>, q: Bdd) -> BddResult {
+        if model.manager_ref().size(q) < self.fallback_nodes {
+            self.fallback_images += 1;
+            return model.post_image(q);
+        }
+        self.parallel_images += 1;
         self.ensure_exported(model)?;
         let img = self.image(model, true, q)?;
         model.nxt_to_cur(img)
     }
 
     /// Parallel pre-image: same contract (and bit-identical result) as
-    /// [`SymbolicModel::pre_image`].
+    /// [`SymbolicModel::pre_image`]. Frontiers below the fan-out threshold
+    /// take the serial master path directly.
     pub fn pre_image(&mut self, model: &mut SymbolicModel<'_>, q: Bdd) -> BddResult {
+        if model.manager_ref().size(q) < self.fallback_nodes {
+            self.fallback_images += 1;
+            return model.pre_image(q);
+        }
+        self.parallel_images += 1;
         self.ensure_exported(model)?;
         let q_next = model.cur_to_nxt(q)?;
         let with_inputs = self.image(model, false, q_next)?;
@@ -595,6 +643,7 @@ mod tests {
         let n = design();
         let mut m = model(&n);
         let mut par = ParImage::new(3, Budget::unlimited());
+        par.set_fallback_nodes(0);
         let mut frontier = m.init_states().unwrap();
         for step in 0..6 {
             let serial = m.post_image(frontier).unwrap();
@@ -609,6 +658,28 @@ mod tests {
             frontier = serial;
         }
         assert!(par.stats().unique_probes > 0);
+        assert!(par.parallel_images() > 0);
+        assert_eq!(par.fallback_images(), 0);
+    }
+
+    #[test]
+    fn small_frontiers_fall_back_to_serial() {
+        let n = design();
+        let mut m = model(&n);
+        // The whole design is far below the default threshold, so every
+        // image should take the serial path without ever building the
+        // shared sidecar — and still match serial exactly (trivially so).
+        let mut par = ParImage::new(3, Budget::unlimited());
+        let init = m.init_states().unwrap();
+        let a = par.post_image(&mut m, init).unwrap();
+        let serial = m.post_image(init).unwrap();
+        assert_eq!(a, serial);
+        let b = par.pre_image(&mut m, init).unwrap();
+        let pre_serial = m.pre_image(init).unwrap();
+        assert_eq!(b, pre_serial);
+        assert_eq!(par.fallback_images(), 2);
+        assert_eq!(par.parallel_images(), 0);
+        assert_eq!(par.stats().unique_probes, 0, "no shared manager built");
     }
 
     #[test]
@@ -616,6 +687,7 @@ mod tests {
         let n = design();
         let mut m = model(&n);
         let mut par = ParImage::new(2, Budget::unlimited());
+        par.set_fallback_nodes(0);
         let init = m.init_states().unwrap();
         let a = par.post_image(&mut m, init).unwrap();
         par.invalidate();
@@ -633,6 +705,7 @@ mod tests {
         let mut m = model(&n);
         let budget = Budget::unlimited();
         let mut par = ParImage::new(2, budget.clone());
+        par.set_fallback_nodes(0);
         let init = m.init_states().unwrap();
         budget.cancel();
         let r = par.post_image(&mut m, init);

@@ -190,6 +190,7 @@ fn verify_plain_inner(
 
     let model_opts = crate::ModelOptions {
         cluster_limit: reach_opts.cluster_limit,
+        static_order: reach_opts.static_order,
     };
     let build = SymbolicModel::with_options(netlist, ModelSpec::from_view(&view), mgr, model_opts);
     let mut model = match build {

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use rfn_bdd::{Bdd, BddError, BddStats};
+use rfn_bdd::{Bdd, BddError, BddStats, DvoPolicy};
 use rfn_govern::{Budget, Exhaustion, GovPhase};
 use rfn_trace::TraceCtx;
 
@@ -20,6 +20,12 @@ pub struct ReachOptions {
     pub reorder_threshold: usize,
     /// Sifting growth bound.
     pub max_growth: f64,
+    /// *When* reordering runs, once [`reorder`](ReachOptions::reorder) says
+    /// it may: a declarative schedule ([`DvoPolicy::Doubling`] reproduces
+    /// the historical fixed trigger exactly and is the default; growth-ratio,
+    /// wall-clock and backoff policies are available via `--dvo-schedule`).
+    /// The trigger floor is [`reorder_threshold`](ReachOptions::reorder_threshold).
+    pub dvo: DvoPolicy,
     /// The budget and trace context shared with every other engine (see
     /// [`CommonOptions`]). The budget governs the fixpoint — wall-clock
     /// deadline (plus an optional [`GovPhase::Reach`] quota), cancellation,
@@ -40,6 +46,12 @@ pub struct ReachOptions {
     /// building the [`SymbolicModel`]; `0` keeps the linear per-register
     /// schedule.
     pub cluster_limit: usize,
+    /// Initial variable-order strategy. Like
+    /// [`cluster_limit`](ReachOptions::cluster_limit), this is consumed at
+    /// model-construction time: consumers pass it to
+    /// [`ModelOptions`](crate::ModelOptions) when building the
+    /// [`SymbolicModel`] this fixpoint will run on.
+    pub static_order: crate::StaticOrder,
     /// Minimize the frontier against the reached set (as don't-cares) with
     /// the sibling-substitution restrict operator before each image. The
     /// frontier may be replaced by any set between itself and `reached`,
@@ -62,9 +74,11 @@ impl Default for ReachOptions {
             reorder: true,
             reorder_threshold: 20_000,
             max_growth: 1.5,
+            dvo: DvoPolicy::Doubling,
             common: CommonOptions::default(),
             auto_gc: true,
             cluster_limit: crate::DEFAULT_CLUSTER_LIMIT,
+            static_order: crate::StaticOrder::Seed,
             frontier_simplify: true,
             bdd_threads: 1,
         }
@@ -83,6 +97,13 @@ impl ReachOptions {
     #[must_use]
     pub fn with_reorder(mut self, reorder: bool) -> Self {
         self.reorder = reorder;
+        self
+    }
+
+    /// Selects the dynamic-reordering schedule (see [`DvoPolicy`]).
+    #[must_use]
+    pub fn with_dvo(mut self, dvo: DvoPolicy) -> Self {
+        self.dvo = dvo;
         self
     }
 
@@ -118,6 +139,14 @@ impl ReachOptions {
     #[must_use]
     pub fn with_cluster_limit(mut self, limit: usize) -> Self {
         self.cluster_limit = limit;
+        self
+    }
+
+    /// Selects the initial variable-order strategy (see
+    /// [`StaticOrder`](crate::StaticOrder)).
+    #[must_use]
+    pub fn with_static_order(mut self, order: crate::StaticOrder) -> Self {
+        self.static_order = order;
         self
     }
 
@@ -271,6 +300,28 @@ pub fn forward_reach(
     targets: Bdd,
     options: &ReachOptions,
 ) -> Result<ReachResult, McError> {
+    forward_reach_warm(model, targets, options, &[])
+}
+
+/// [`forward_reach`] warm-started from a previously saved ring sequence
+/// (see the [`store`](crate::store) module): instead of starting BFS at the
+/// initial states, the loop adopts `saved_rings` as its onion rings —
+/// `saved_rings[0]` must be the model's initial-state set — and resumes
+/// image computation from the last ring. A complete saved fixpoint
+/// re-proves in a single (empty) image; a partial one continues where it
+/// stopped. Verdicts and reached sets are identical to a cold run's.
+///
+/// # Errors
+///
+/// Returns [`McError::Store`] if `saved_rings[0]` is not the model's
+/// initial-state set — a stale or foreign warm-start must fail loudly, not
+/// corrupt the fixpoint.
+pub fn forward_reach_warm(
+    model: &mut SymbolicModel<'_>,
+    targets: Bdd,
+    options: &ReachOptions,
+    saved_rings: &[Bdd],
+) -> Result<ReachResult, McError> {
     // Everything held across kernel calls inside the loop — targets, the
     // model's transition partitions and signal cache, rings, the reached
     // set — is registered in the manager's protected root set so the
@@ -295,7 +346,14 @@ pub fn forward_reach(
     // imported back, so everything downstream of this dispatch is identical.
     let mut par = (options.bdd_threads > 1)
         .then(|| crate::ParImage::new(options.bdd_threads, options.common.budget.clone()));
-    let result = reach_loop(model, targets, options, &mut protect_log, &mut par);
+    let result = reach_loop(
+        model,
+        targets,
+        options,
+        &mut protect_log,
+        &mut par,
+        saved_rings,
+    );
     model.manager().set_auto_gc(false);
     for &b in &protect_log {
         model.manager().unprotect(b);
@@ -335,6 +393,21 @@ pub fn forward_reach(
             span.record("par.shard_locks", ps.shard_locks);
             span.record("par.shard_contended", ps.shard_contended);
             span.record("par.shard_peak_occupancy", ps.shard_peak_occupancy);
+            // The small-frontier fallback decision, per image: how many
+            // images ran on the worker pool vs. fell back to the serial
+            // path because the frontier was below the cost threshold.
+            span.record("par.parallel_images", p.parallel_images());
+            span.record("par.fallback_images", p.fallback_images());
+        }
+        // Sift bookkeeping and warm-start provenance appear only when the
+        // feature actually ran, keeping legacy traces byte-identical.
+        if r.stats.sift_runs > 0 {
+            span.record("sift.runs", r.stats.sift_runs);
+            span.record("sift.unprofitable", r.stats.unprofitable_sifts);
+            span.record("sift.nodes_shrunk", r.stats.sift_nodes_shrunk);
+        }
+        if !saved_rings.is_empty() {
+            span.record("warm.rings", saved_rings.len());
         }
         record_budget(&mut span, &options.common.budget, r.peak_nodes);
         options
@@ -366,39 +439,84 @@ fn reach_loop(
     options: &ReachOptions,
     protect_log: &mut Vec<Bdd>,
     par: &mut Option<crate::ParImage>,
+    saved_rings: &[Bdd],
 ) -> Result<ReachResult, McError> {
     let deadline = options.common.budget.deadline_for(GovPhase::Reach);
-    let mut threshold = options.reorder_threshold;
+    let mut dvo = if options.reorder {
+        options.dvo.build(options.reorder_threshold)
+    } else {
+        DvoPolicy::Never.build(usize::MAX)
+    };
     let init = match model.init_states() {
         Ok(b) => b,
         Err(e) => return Ok(aborted(model, vec![], 0, AbortReason::of(&e))),
     };
+    if let Some(&first) = saved_rings.first() {
+        // Canonicity makes this a handle comparison: a warm-start whose
+        // ring 0 is not this model's initial-state set is stale or foreign
+        // and must fail loudly instead of corrupting the fixpoint.
+        if first != init {
+            return Err(McError::Store(rfn_bdd::StoreError::Rebuild(
+                "saved rings do not start at this model's initial states".to_owned(),
+            )));
+        }
+    }
     model.manager().protect(init);
     protect_log.push(init);
-    let mut rings = vec![init];
+    let mut rings = if saved_rings.is_empty() {
+        vec![init]
+    } else {
+        saved_rings.to_vec()
+    };
+    // Protect every adopted ring *before* the first manager operation: the
+    // or-chain below can trigger the automatic collector, whose root set is
+    // the protected set plus that one call's operands — any ring not yet
+    // protected at that moment would be reclaimed and its handle recycled.
+    for &r in &rings[1..] {
+        model.manager().protect(r);
+        protect_log.push(r);
+    }
     let mut reached = init;
-    let mut frontier = init;
-    let mut steps = 0;
+    for &r in &rings[1..] {
+        reached = match model.manager().or(reached, r) {
+            Ok(b) => b,
+            Err(e) => return Ok(aborted(model, rings, 0, AbortReason::of(&e))),
+        };
+    }
+    model.manager().protect(reached);
+    protect_log.push(reached);
+    let mut frontier = *rings.last().expect("at least the initial ring");
+    let mut steps = rings.len() - 1;
     let mut peak = model.manager_ref().num_nodes();
 
     let hit = |model: &mut SymbolicModel<'_>, set: Bdd| -> Result<bool, BddError> {
         Ok(model.manager().and(set, targets)? != model.manager_ref().zero())
     };
 
-    match hit(model, init) {
-        Ok(true) => {
-            return Ok(ReachResult {
-                verdict: ReachVerdict::TargetHit { step: 0 },
-                abort: None,
-                rings,
-                reached,
-                steps,
-                peak_nodes: peak,
-                stats: BddStats::default(),
-            })
+    // On a cold start this is the classic step-0 check; on a warm start
+    // every adopted ring is re-checked in BFS order so the hit depth is
+    // identical to what the cold run would have reported.
+    for step in 0..rings.len() {
+        match hit(model, rings[step]) {
+            Ok(true) => {
+                rings.truncate(step + 1);
+                let reached = match or_all(model, &rings) {
+                    Ok(b) => b,
+                    Err(e) => return Ok(aborted(model, rings, step, AbortReason::of(&e))),
+                };
+                return Ok(ReachResult {
+                    verdict: ReachVerdict::TargetHit { step },
+                    abort: None,
+                    rings,
+                    reached,
+                    steps: step,
+                    peak_nodes: peak,
+                    stats: BddStats::default(),
+                });
+            }
+            Ok(false) => {}
+            Err(e) => return Ok(aborted(model, rings, steps, AbortReason::of(&e))),
         }
-        Ok(false) => {}
-        Err(e) => return Ok(aborted(model, rings, steps, AbortReason::of(&e))),
     }
 
     loop {
@@ -562,7 +680,8 @@ fn reach_loop(
             }
         }
         frontier = new;
-        if options.reorder && model.manager_ref().num_nodes() > threshold {
+        if dvo.should_sift(model.manager_ref().num_nodes()) {
+            let before = model.manager_ref().num_nodes();
             let mut roots = model.persistent_roots();
             roots.extend(rings.iter().copied());
             roots.push(reached);
@@ -575,9 +694,19 @@ fn reach_loop(
             if let Some(p) = par.as_mut() {
                 p.invalidate();
             }
-            threshold = (model.manager_ref().num_nodes() * 2).max(threshold);
+            dvo.record_sift(before, model.manager_ref().num_nodes());
         }
     }
+}
+
+/// Union of a ring sequence (used when a warm-start scan truncates the
+/// adopted rings at a target hit).
+fn or_all(model: &mut SymbolicModel<'_>, rings: &[Bdd]) -> Result<Bdd, BddError> {
+    let mut acc = model.manager_ref().zero();
+    for &r in rings {
+        acc = model.manager().or(acc, r)?;
+    }
+    Ok(acc)
 }
 
 /// Shrinks the frontier by treating already-reached states as don't-cares:
@@ -844,6 +973,62 @@ mod tests {
         let nv = m.manager_ref().num_vars();
         let total = m.manager().sat_count(r.reached, nv);
         assert_eq!(total / 8.0, 6.0);
+    }
+
+    /// Adopted warm-start rings must all be protected before the first
+    /// manager operation of the adoption loop: the or-chain folding them
+    /// into the reached set can trigger the collector, and any ring not yet
+    /// protected at that moment would be reclaimed and its handle recycled.
+    /// With a one-node threshold the collector fires on every call, so an
+    /// unprotected tail ring cannot survive by luck.
+    #[test]
+    fn aggressive_auto_gc_during_warm_start_is_sound() {
+        let (n, _) = counter3();
+        let view = Abstraction::from_registers(n.registers().to_vec())
+            .view(&n, [])
+            .unwrap();
+        let spec = ModelSpec::from_view(&view);
+
+        // Partial cold run: enough rings that the adoption or-chain runs
+        // several operations past the first collection.
+        let mut m = crate::SymbolicModel::new(&n, spec.clone()).unwrap();
+        let zero = m.manager_ref().zero();
+        let partial =
+            forward_reach(&mut m, zero, &ReachOptions::default().with_max_steps(4)).unwrap();
+        assert_eq!(partial.verdict, ReachVerdict::Aborted);
+        assert_eq!(partial.rings.len(), 5);
+        let store = crate::store::snapshot_model(&m, "k", &partial.rings).unwrap();
+
+        // Reference: the full cold fixpoint.
+        let mut m_ref = crate::SymbolicModel::new(&n, spec.clone()).unwrap();
+        let zero_ref = m_ref.manager_ref().zero();
+        let full = forward_reach(&mut m_ref, zero_ref, &ReachOptions::default()).unwrap();
+        assert_eq!(full.verdict, ReachVerdict::FixpointProved);
+
+        // Warm-start under an eager collector.
+        let mut mgr = rfn_bdd::BddManager::new();
+        mgr.set_auto_gc_threshold(1);
+        let mut m2 = crate::SymbolicModel::with_manager(&n, spec, mgr).unwrap();
+        let adopted = crate::store::apply_store(&mut m2, &store, "k").unwrap();
+        let zero2 = m2.manager_ref().zero();
+        let warm = forward_reach_warm(&mut m2, zero2, &ReachOptions::default(), &adopted).unwrap();
+        assert_eq!(warm.verdict, ReachVerdict::FixpointProved);
+        assert!(warm.stats.auto_gc_runs > 0, "collector never fired");
+        assert_eq!(warm.steps, full.steps);
+        assert_eq!(warm.rings.len(), full.rings.len());
+        let nv = m2.manager_ref().num_vars();
+        for (&wr, &fr) in warm.rings.iter().zip(full.rings.iter()) {
+            assert_eq!(
+                m2.manager().sat_count(wr, nv),
+                m_ref.manager().sat_count(fr, nv)
+            );
+        }
+        // The surviving handles serialize into a structurally valid store:
+        // rebuilding them in a fresh model must succeed.
+        let store2 = crate::store::snapshot_model(&m2, "k", &warm.rings).unwrap();
+        let mut m3 = crate::SymbolicModel::new(&n, ModelSpec::from_view(&view)).unwrap();
+        let rebuilt = crate::store::apply_store(&mut m3, &store2, "k").unwrap();
+        assert_eq!(rebuilt.len(), warm.rings.len());
     }
 
     /// Disabling the knob must keep the collector off even with an eager

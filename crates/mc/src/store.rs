@@ -1,0 +1,331 @@
+//! Model-level warm-start store: saving and re-applying variable orders
+//! and reached-set rings across runs.
+//!
+//! The kernel-level [`BddStore`] speaks *labels*; this module binds those
+//! labels to a [`SymbolicModel`]'s signals. A label is `cur:<ref>`,
+//! `next:<ref>` or `in:<ref>` where `<ref>` is the signal's netlist name
+//! (or `#<index>` for unnamed signals), so a store written by one process
+//! resolves in another as long as the design is structurally identical —
+//! which [`BddStore::validate`] checks against
+//! [`Netlist::structural_hash`] before anything is trusted.
+//!
+//! A store never silently degrades: every failure mode (corrupt file,
+//! schema or design mismatch, unresolvable label, mis-ordered node) is a
+//! structured [`StoreError`] surfaced as [`McError::Store`]. Only a
+//! genuinely missing file reads as a cold start.
+
+use std::path::{Path, PathBuf};
+
+use rfn_bdd::{Bdd, BddStore, StoreBuilder, StoreError, VarId};
+use rfn_netlist::{Netlist, SignalId};
+
+use crate::model::VarKind;
+use crate::{McError, SymbolicModel};
+
+/// File extension of on-disk stores.
+const STORE_EXT: &str = "store";
+
+/// The on-disk location of the store for `(design_hash, key)` under
+/// `dir`: `<dir>/<hash as 16 hex digits>-<sanitized key>.store`. The key
+/// (typically the property name) is sanitized to filename-safe
+/// characters; the hash keeps distinct designs from colliding even when
+/// keys sanitize identically.
+pub fn store_path(dir: &Path, design_hash: u64, key: &str) -> PathBuf {
+    let safe: String = key
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    dir.join(format!("{design_hash:016x}-{safe}.{STORE_EXT}"))
+}
+
+/// A stable reference for a signal: its name, or `#<index>` when unnamed.
+fn signal_ref(netlist: &Netlist, s: SignalId) -> String {
+    let name = netlist.signal_name(s);
+    if name.is_empty() {
+        format!("#{}", s.index())
+    } else {
+        name.to_owned()
+    }
+}
+
+fn resolve_signal(netlist: &Netlist, r: &str) -> Option<SignalId> {
+    if let Some(idx) = r.strip_prefix('#') {
+        return idx
+            .parse::<usize>()
+            .ok()
+            .and_then(|i| netlist.signals().nth(i));
+    }
+    netlist.find(r)
+}
+
+fn var_label(model: &SymbolicModel<'_>, v: VarId) -> String {
+    let (s, kind) = model.var_signal(v);
+    signal_label(model.netlist(), s, kind)
+}
+
+fn resolve_label(model: &SymbolicModel<'_>, label: &str) -> Result<VarId, StoreError> {
+    let missing = || StoreError::Rebuild(format!("label `{label}` does not resolve in this model"));
+    let (s, kind) = label_signal(model.netlist(), label).ok_or_else(missing)?;
+    match kind {
+        VarKind::Current => model.current_var(s),
+        VarKind::Next => model.next_var(s),
+        VarKind::Input => model.try_input_var(s),
+    }
+    .ok_or_else(missing)
+}
+
+/// Resolves a store label back to its signal and role within `netlist`,
+/// without needing a model. Callers applying a saved order across
+/// *differing* abstractions (the refinement loop: the saved model may hold
+/// registers the current one lacks, and vice versa) resolve labels this
+/// way and feed the survivors to
+/// [`BddManager::set_order`](rfn_bdd::BddManager::set_order) themselves.
+pub fn label_signal(netlist: &Netlist, label: &str) -> Option<(SignalId, VarKind)> {
+    let (kind, r) = label.split_once(':')?;
+    let kind = match kind {
+        "cur" => VarKind::Current,
+        "next" => VarKind::Next,
+        "in" => VarKind::Input,
+        _ => return None,
+    };
+    Some((resolve_signal(netlist, r)?, kind))
+}
+
+/// Renders a signal/role pair as a store label (the inverse of
+/// [`label_signal`]).
+pub fn signal_label(netlist: &Netlist, s: SignalId, kind: VarKind) -> String {
+    let r = signal_ref(netlist, s);
+    match kind {
+        VarKind::Current => format!("cur:{r}"),
+        VarKind::Next => format!("next:{r}"),
+        VarKind::Input => format!("in:{r}"),
+    }
+}
+
+/// The model's current variable order as store labels, top level first.
+pub fn order_labels(model: &SymbolicModel<'_>) -> Vec<String> {
+    let mgr = model.manager_ref();
+    (0..mgr.num_vars())
+        .map(|l| var_label(model, mgr.var_at_level(l)))
+        .collect()
+}
+
+/// Snapshots a model's current variable order — and optionally its
+/// reached-set rings — into a store document keyed by the design's
+/// structural hash and `key`.
+///
+/// # Errors
+///
+/// Fails only if the model's variable count changed mid-snapshot (it
+/// cannot for callers holding `&SymbolicModel`).
+pub fn snapshot_model(
+    model: &SymbolicModel<'_>,
+    key: &str,
+    rings: &[Bdd],
+) -> Result<BddStore, McError> {
+    let mgr = model.manager_ref();
+    let labels = order_labels(model);
+    let hash = model.netlist().structural_hash();
+    let mut builder = StoreBuilder::new(mgr, hash, key, labels).map_err(McError::Store)?;
+    for (i, &ring) in rings.iter().enumerate() {
+        builder.add_root(format!("ring{i}"), ring);
+    }
+    Ok(builder.finish())
+}
+
+/// Applies a loaded store to a freshly built model: validates the design
+/// hash and key, resolves every saved label, installs the saved variable
+/// order, and rebuilds the serialized rings (empty for an order-only
+/// store). Rings come back in BFS order `ring0, ring1, …`.
+///
+/// # Errors
+///
+/// [`McError::Store`] if the store was saved for a different design or
+/// key, a label does not resolve, the saved order does not cover this
+/// model's variables exactly, or the node list is structurally invalid.
+pub fn apply_store(
+    model: &mut SymbolicModel<'_>,
+    store: &BddStore,
+    key: &str,
+) -> Result<Vec<Bdd>, McError> {
+    store.validate(model.netlist().structural_hash(), key)?;
+    let num_vars = model.manager_ref().num_vars();
+    if store.order.len() != num_vars {
+        return Err(McError::Store(StoreError::Rebuild(format!(
+            "store orders {} variables but the model has {num_vars}",
+            store.order.len()
+        ))));
+    }
+    let vars: Vec<VarId> = store
+        .order
+        .iter()
+        .map(|label| resolve_label(model, label))
+        .collect::<Result<_, _>>()?;
+    model.manager().set_order(&vars);
+    let mut named = store.rebuild(model.manager(), &vars)?;
+    named.sort_by_key(|(name, _)| {
+        name.strip_prefix("ring")
+            .and_then(|i| i.parse::<usize>().ok())
+            .unwrap_or(usize::MAX)
+    });
+    for (i, (name, _)) in named.iter().enumerate() {
+        if *name != format!("ring{i}") {
+            return Err(McError::Store(StoreError::Rebuild(format!(
+                "expected contiguous ring roots, found `{name}` at position {i}"
+            ))));
+        }
+    }
+    Ok(named.into_iter().map(|(_, f)| f).collect())
+}
+
+/// Loads the store for `(design_hash, key)` from `dir`. A missing file is
+/// a legitimate cold start (`Ok(None)`); anything else that stops the
+/// warm-start — unreadable file, corrupt text, schema mismatch — is an
+/// error.
+pub fn load_store(dir: &Path, design_hash: u64, key: &str) -> Result<Option<BddStore>, McError> {
+    BddStore::load(&store_path(dir, design_hash, key)).map_err(McError::Store)
+}
+
+/// Atomically writes `store` under `dir` (creating it if needed),
+/// returning the path written.
+pub fn save_store(dir: &Path, store: &BddStore) -> Result<PathBuf, McError> {
+    let path = store_path(dir, store.design_hash, &store.key);
+    store.write_atomic(&path).map_err(McError::Store)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{forward_reach, forward_reach_warm, ModelSpec, ReachOptions, SymbolicModel};
+    use rfn_netlist::{Abstraction, GateOp, Property};
+
+    /// 3-bit counter with a watchdog register that never fires.
+    fn design() -> (Netlist, Property) {
+        let mut n = Netlist::new("store-test");
+        let b: Vec<SignalId> = (0..3)
+            .map(|k| n.add_register(&format!("b{k}"), Some(false)))
+            .collect();
+        let t0 = n.add_gate("t0", GateOp::Not, &[b[0]]);
+        let c0 = n.add_gate("c0", GateOp::And, &[b[0], b[1]]);
+        let t1 = n.add_gate("t1", GateOp::Xor, &[b[0], b[1]]);
+        let t2 = n.add_gate("t2", GateOp::Xor, &[b[2], c0]);
+        n.set_register_next(b[0], t0).unwrap();
+        n.set_register_next(b[1], t1).unwrap();
+        n.set_register_next(b[2], t2).unwrap();
+        let w = n.add_register("w", Some(false));
+        n.set_register_next(w, w).unwrap();
+        n.validate().unwrap();
+        let p = Property::never(&n, "no_w", w);
+        (n, p)
+    }
+
+    fn model<'a>(n: &'a Netlist, p: &Property) -> (SymbolicModel<'a>, Bdd) {
+        let coi = rfn_netlist::Coi::of(n, [p.signal]);
+        let view = Abstraction::from_registers(coi.registers().iter().copied())
+            .view(n, [p.signal])
+            .unwrap();
+        let mut m = SymbolicModel::new(n, ModelSpec::from_view(&view)).unwrap();
+        let t = m.signal_bdd(p.signal).unwrap();
+        (m, t)
+    }
+
+    #[test]
+    fn order_and_rings_roundtrip_through_disk() {
+        let (n, p) = design();
+        let (mut m, t) = model(&n, &p);
+        let opts = ReachOptions::default().with_reorder(false);
+        let cold = forward_reach(&mut m, t, &opts).unwrap();
+        let store = snapshot_model(&m, &p.name, &cold.rings).unwrap();
+        let dir = std::env::temp_dir().join(format!("rfn-mc-store-{}", std::process::id()));
+        let path = save_store(&dir, &store).unwrap();
+        assert!(path.exists());
+
+        let loaded = load_store(&dir, n.structural_hash(), &p.name)
+            .unwrap()
+            .expect("store exists");
+        let (mut m2, t2) = model(&n, &p);
+        let rings = apply_store(&mut m2, &loaded, &p.name).unwrap();
+        assert_eq!(rings.len(), cold.rings.len());
+        let warm = forward_reach_warm(&mut m2, t2, &opts, &rings).unwrap();
+        assert_eq!(warm.verdict, cold.verdict);
+        assert_eq!(warm.steps, cold.steps);
+        assert_eq!(
+            m2.manager_ref().size(warm.reached),
+            m.manager_ref().size(cold.reached)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_store_is_a_cold_start_but_mismatches_are_errors() {
+        let (n, p) = design();
+        let dir = std::env::temp_dir().join(format!("rfn-mc-store-miss-{}", std::process::id()));
+        assert!(load_store(&dir, n.structural_hash(), &p.name)
+            .unwrap()
+            .is_none());
+
+        // Save under the real hash, then try to apply it to a structurally
+        // different design: validation must reject it.
+        let (m, _) = model(&n, &p);
+        let store = snapshot_model(&m, &p.name, &[]).unwrap();
+        save_store(&dir, &store).unwrap();
+        let mut n2 = Netlist::new("store-test");
+        let b: Vec<SignalId> = (0..3)
+            .map(|k| n2.add_register(&format!("b{k}"), Some(false)))
+            .collect();
+        let g = n2.add_gate("t0", GateOp::And, &[b[0], b[1]]);
+        n2.set_register_next(b[0], g).unwrap();
+        n2.set_register_next(b[1], b[0]).unwrap();
+        n2.set_register_next(b[2], b[1]).unwrap();
+        let w = n2.add_register("w", Some(false));
+        n2.set_register_next(w, w).unwrap();
+        n2.validate().unwrap();
+        assert_ne!(n.structural_hash(), n2.structural_hash());
+        let p2 = Property::never(&n2, "no_w", w);
+        let loaded = load_store(&dir, n.structural_hash(), &p.name)
+            .unwrap()
+            .expect("store exists");
+        let (mut m2, _) = model(&n2, &p2);
+        let err = apply_store(&mut m2, &loaded, &p2.name).unwrap_err();
+        assert!(
+            matches!(err, McError::Store(StoreError::DesignMismatch { .. })),
+            "got {err:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_file_is_an_error_not_a_cold_start() {
+        let (n, p) = design();
+        let (m, _) = model(&n, &p);
+        let store = snapshot_model(&m, &p.name, &[]).unwrap();
+        let dir = std::env::temp_dir().join(format!("rfn-mc-store-corrupt-{}", std::process::id()));
+        let path = save_store(&dir, &store).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let err = load_store(&dir, n.structural_hash(), &p.name).unwrap_err();
+        assert!(matches!(err, McError::Store(_)), "got {err:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unresolvable_label_is_rejected() {
+        let (n, p) = design();
+        let (mut m, _) = model(&n, &p);
+        let num_vars = m.manager_ref().num_vars();
+        let order: Vec<String> = (0..num_vars).map(|i| format!("cur:ghost{i}")).collect();
+        let store = BddStore::order_only(n.structural_hash(), p.name.clone(), order);
+        let err = apply_store(&mut m, &store, &p.name).unwrap_err();
+        assert!(
+            matches!(err, McError::Store(StoreError::Rebuild(_))),
+            "got {err:?}"
+        );
+    }
+}

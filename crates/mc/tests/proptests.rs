@@ -194,7 +194,10 @@ proptest! {
                 &n,
                 spec.clone(),
                 rfn_bdd::BddManager::new(),
-                ModelOptions { cluster_limit: limit },
+                ModelOptions {
+                    cluster_limit: limit,
+                    ..ModelOptions::default()
+                },
             )
             .unwrap();
             let zero = model.manager_ref().zero();
@@ -212,6 +215,48 @@ proptest! {
                 Some((v, c)) => {
                     prop_assert_eq!(&result.verdict, v, "limit={} simplify={}", limit, simplify);
                     prop_assert_eq!(&counts, c, "limit={} simplify={}", limit, simplify);
+                }
+            }
+        }
+    }
+
+    /// The FORCE static pre-order is a pure performance knob: on random
+    /// designs the seed order and the FORCE order must reach the identical
+    /// verdict (including the hit step) and the identical reached-set and
+    /// per-ring cardinalities. Node counts may differ — state sets may not.
+    #[test]
+    fn seed_and_force_orders_agree(n in arb_netlist(2, 4, 12), pick in any::<u32>()) {
+        let view = Abstraction::from_registers(n.registers().to_vec())
+            .view(&n, [])
+            .unwrap();
+        let spec = ModelSpec::from_view(&view);
+        let regs = n.registers().to_vec();
+        let target_sig = regs[pick as usize % regs.len()];
+        let mut baseline: Option<(ReachVerdict, Vec<f64>)> = None;
+        for order in [rfn_mc::StaticOrder::Seed, rfn_mc::StaticOrder::Force] {
+            let mut model = SymbolicModel::with_options(
+                &n,
+                spec.clone(),
+                rfn_bdd::BddManager::new(),
+                ModelOptions {
+                    static_order: order,
+                    ..ModelOptions::default()
+                },
+            )
+            .unwrap();
+            let target = model.signal_bdd(target_sig).unwrap();
+            let opts = ReachOptions::default().with_static_order(order);
+            let result = forward_reach(&mut model, target, &opts).unwrap();
+            let nv = model.manager_ref().num_vars();
+            let mut counts = vec![model.manager().sat_count(result.reached, nv)];
+            for &ring in &result.rings {
+                counts.push(model.manager().sat_count(ring, nv));
+            }
+            match &baseline {
+                None => baseline = Some((result.verdict, counts)),
+                Some((v, c)) => {
+                    prop_assert_eq!(&result.verdict, v, "order={:?}", order);
+                    prop_assert_eq!(&counts, c, "order={:?}", order);
                 }
             }
         }

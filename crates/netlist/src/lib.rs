@@ -23,7 +23,10 @@
 //!   ([`FreeCut`], [`MinCut`], [`compute_min_cut`]), computed with a Dinic
 //!   max-flow on the node-split signal graph,
 //! * a small line-oriented text format for netlists ([`parse_netlist`],
-//!   [`write_netlist`]) so designs can be stored and diffed.
+//!   [`write_netlist`]) so designs can be stored and diffed,
+//! * FORCE / center-of-gravity static variable pre-ordering over netlist
+//!   topology ([`force_order`]) and a stable structural fingerprint
+//!   ([`Netlist::structural_hash`]) keying the persistent order store.
 //!
 //! # Example
 //!
@@ -65,6 +68,7 @@ mod cube;
 mod error;
 mod mincut;
 mod netlist;
+pub mod order;
 mod parse;
 mod property;
 mod signal;
@@ -75,6 +79,7 @@ pub use cube::{Cube, CubeConflict, Trace, TraceStep};
 pub use error::NetlistError;
 pub use mincut::{compute_free_cut, compute_min_cut, FreeCut, MinCut};
 pub use netlist::{Net, NetKind, Netlist};
+pub use order::{arrangement_span, force_order};
 pub use parse::{parse_netlist, write_netlist};
 pub use property::{CoverageSet, Property};
 pub use signal::{GateOp, SignalId};

@@ -401,6 +401,55 @@ impl Netlist {
         (0..self.nets.len() as u32).map(SignalId)
     }
 
+    /// A stable structural fingerprint of the design: FNV-1a over the
+    /// design name and every net's kind, name and connectivity, in signal
+    /// order. Two structurally identical netlists hash equal across
+    /// processes and builds (no pointer or `HashMap`-iteration input), so
+    /// the hash can key persistent caches — the order/BDD warm-start
+    /// store uses it to reject stale entries after a design edit.
+    pub fn structural_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+            h ^= 0xff; // field separator, so "ab","c" != "a","bc"
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        eat(self.name.as_bytes());
+        for net in &self.nets {
+            eat(net.name.as_bytes());
+            match &net.kind {
+                NetKind::Input => eat(b"i"),
+                NetKind::Const(v) => eat(if *v { b"c1" } else { b"c0" }),
+                NetKind::Gate { op, fanins } => {
+                    eat(op.mnemonic().as_bytes());
+                    for f in fanins {
+                        eat(&f.index().to_le_bytes());
+                    }
+                }
+                NetKind::Register { init, next } => {
+                    eat(match init {
+                        None => b"rx",
+                        Some(false) => b"r0",
+                        Some(true) => b"r1",
+                    });
+                    if let Some(n) = next {
+                        eat(&n.index().to_le_bytes());
+                    }
+                }
+            }
+        }
+        for (name, s) in &self.outputs {
+            eat(name.as_bytes());
+            eat(&s.index().to_le_bytes());
+        }
+        h
+    }
+
     /// Replaces a gate's operator and fanins. Parser internal use only: the
     /// two-pass text parser creates gates with placeholder fanins first.
     pub(crate) fn replace_gate_fanins(

@@ -1,0 +1,309 @@
+//! FORCE static variable pre-ordering.
+//!
+//! Sifting is powerful but reactive: it only runs once a BDD has already
+//! blown up under a bad order, and its cost scales with the damage. This
+//! module computes a good *initial* order before any BDD node exists,
+//! from netlist topology alone, using the FORCE / center-of-gravity
+//! heuristic (Aloul–Markov–Sakallah): model the ordering problem as
+//! one-dimensional hypergraph arrangement, where
+//!
+//! * **vertices** are the model's variable-bearing elements — registers
+//!   and free inputs — and
+//! * **hyperedges** are the support sets of each register's next-state
+//!   cone (the transition-partition supports, restricted to model
+//!   elements), plus one edge per property/target cone.
+//!
+//! Each round moves every hyperedge to the center of gravity of its
+//! vertices and every vertex to the mean of its edges' centers, then
+//! re-ranks vertices by position. Total edge span (Σ max−min over edges)
+//! decreases rapidly; the best arrangement over all rounds wins. The
+//! result is deterministic: ties break on the previous round's rank.
+//!
+//! The symbolic model allocates its BDD variables in the returned order
+//! (register current/next pairs stay interleaved as sift groups), so
+//! variables that interact in the transition relation start out adjacent
+//! instead of wherever the netlist generator happened to put them — the
+//! refinement loop seeds this per-abstraction from the current COI for
+//! free.
+
+use std::collections::HashMap;
+
+use crate::cone::transitive_fanin;
+use crate::netlist::Netlist;
+use crate::signal::SignalId;
+
+/// Upper bound on center-of-gravity rounds; FORCE converges in
+/// `O(log |V|)` rounds in practice, so this is generous.
+const MAX_ROUNDS: usize = 40;
+
+/// Computes a FORCE arrangement of the model elements `registers ∪
+/// inputs`, returning them best-span first (top of the variable order).
+///
+/// `targets` contributes one extra hyperedge per target over that
+/// target's fanin cone, pulling the property's support together near the
+/// top of the order. Elements that appear in no hyperedge keep their
+/// seed-relative position.
+///
+/// The seed arrangement is `registers` followed by `inputs` in the given
+/// order — exactly the allocation order the symbolic model would use
+/// without pre-ordering — so a degenerate hypergraph (no edges) returns
+/// the status quo.
+pub fn force_order(
+    netlist: &Netlist,
+    registers: &[SignalId],
+    inputs: &[SignalId],
+    targets: &[SignalId],
+) -> Vec<SignalId> {
+    let mut elements: Vec<SignalId> = Vec::with_capacity(registers.len() + inputs.len());
+    elements.extend_from_slice(registers);
+    elements.extend_from_slice(inputs);
+    if elements.len() <= 2 {
+        return elements;
+    }
+    let index: HashMap<SignalId, usize> =
+        elements.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+
+    // Hyperedges as element-index sets. One per register's next-state
+    // cone (the register itself plus every element its transition
+    // partition reads), one per target cone.
+    let mut edges: Vec<Vec<usize>> = Vec::new();
+    let mut push_edge = |mut edge: Vec<usize>| {
+        edge.sort_unstable();
+        edge.dedup();
+        if edge.len() >= 2 {
+            edges.push(edge);
+        }
+    };
+    for &r in registers {
+        let cone = transitive_fanin(netlist, [netlist.register_next(r)]);
+        let mut edge: Vec<usize> = vec![index[&r]];
+        for s in cone.register_leaves.iter().chain(cone.inputs.iter()) {
+            if let Some(&i) = index.get(s) {
+                edge.push(i);
+            }
+        }
+        push_edge(edge);
+    }
+    for &t in targets {
+        let cone = transitive_fanin(netlist, [t]);
+        let mut edge: Vec<usize> = Vec::new();
+        for s in cone.register_leaves.iter().chain(cone.inputs.iter()) {
+            if let Some(&i) = index.get(s) {
+                edge.push(i);
+            }
+        }
+        push_edge(edge);
+    }
+    if edges.is_empty() {
+        return elements;
+    }
+
+    // edges_of[v] = indices of the hyperedges containing element v.
+    let mut edges_of: Vec<Vec<usize>> = vec![Vec::new(); elements.len()];
+    for (e, edge) in edges.iter().enumerate() {
+        for &v in edge {
+            edges_of[v].push(e);
+        }
+    }
+
+    // pos[v] = current rank of element v. Seed = creation order.
+    let mut pos: Vec<usize> = (0..elements.len()).collect();
+    let span = |pos: &[usize]| -> usize {
+        edges
+            .iter()
+            .map(|edge| {
+                let (mut lo, mut hi) = (usize::MAX, 0usize);
+                for &v in edge {
+                    lo = lo.min(pos[v]);
+                    hi = hi.max(pos[v]);
+                }
+                hi - lo
+            })
+            .sum()
+    };
+    let mut best_pos = pos.clone();
+    let mut best_span = span(&pos);
+
+    for _ in 0..MAX_ROUNDS {
+        // Hyperedge centers of gravity under the current arrangement.
+        let cogs: Vec<f64> = edges
+            .iter()
+            .map(|edge| edge.iter().map(|&v| pos[v] as f64).sum::<f64>() / edge.len() as f64)
+            .collect();
+        // Each vertex moves to the mean of its edges' centers; isolated
+        // vertices keep their position.
+        let mut keyed: Vec<(f64, usize, usize)> = (0..elements.len())
+            .map(|v| {
+                let key = if edges_of[v].is_empty() {
+                    pos[v] as f64
+                } else {
+                    edges_of[v].iter().map(|&e| cogs[e]).sum::<f64>() / edges_of[v].len() as f64
+                };
+                // Tie-break on the previous rank keeps the pass
+                // deterministic and stable under symmetric structure.
+                (key, pos[v], v)
+            })
+            .collect();
+        keyed.sort_by(|a, b| a.partial_cmp(b).expect("keys are finite"));
+        let mut next = vec![0usize; elements.len()];
+        for (rank, &(_, _, v)) in keyed.iter().enumerate() {
+            next[v] = rank;
+        }
+        if next == pos {
+            break; // fixpoint
+        }
+        pos = next;
+        let s = span(&pos);
+        if s < best_span {
+            best_span = s;
+            best_pos = pos.clone();
+        }
+    }
+
+    let mut arranged: Vec<(usize, SignalId)> = elements
+        .iter()
+        .enumerate()
+        .map(|(v, &s)| (best_pos[v], s))
+        .collect();
+    arranged.sort_unstable_by_key(|&(rank, _)| rank);
+    arranged.into_iter().map(|(_, s)| s).collect()
+}
+
+/// Total hyperedge span of an arrangement — the quantity FORCE
+/// minimizes. Exposed so callers (benches, tests) can compare the seed
+/// arrangement against the computed one.
+pub fn arrangement_span(
+    netlist: &Netlist,
+    registers: &[SignalId],
+    arrangement: &[SignalId],
+) -> usize {
+    let pos: HashMap<SignalId, usize> = arrangement
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i))
+        .collect();
+    let mut total = 0usize;
+    for &r in registers {
+        let cone = transitive_fanin(netlist, [netlist.register_next(r)]);
+        let (mut lo, mut hi) = (usize::MAX, 0usize);
+        let mut seen = false;
+        for s in std::iter::once(&r)
+            .chain(cone.register_leaves.iter())
+            .chain(cone.inputs.iter())
+        {
+            if let Some(&p) = pos.get(s) {
+                lo = lo.min(p);
+                hi = hi.max(p);
+                seen = true;
+            }
+        }
+        if seen {
+            total += hi - lo;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateOp;
+
+    /// A chain of 2-bit shift stages where stage k feeds stage k+1:
+    /// a deliberately scrambled creation order should be unscrambled by
+    /// FORCE so chained stages end up adjacent.
+    fn chained_stages(stages: usize) -> (Netlist, Vec<SignalId>) {
+        let mut n = Netlist::new("chain");
+        let input = n.add_input("in");
+        let regs: Vec<SignalId> = (0..stages)
+            .map(|k| n.add_register(&format!("r{k}"), Some(false)))
+            .collect();
+        // Creation order r0..r{k}, but the data flow chains
+        // r0 <- in, r1 <- r0, ... through a gate each.
+        for k in 0..stages {
+            let src = if k == 0 { input } else { regs[k - 1] };
+            let g = n.add_gate(&format!("g{k}"), GateOp::Buf, &[src]);
+            n.set_register_next(regs[k], g).unwrap();
+        }
+        n.validate().unwrap();
+        (n, regs)
+    }
+
+    #[test]
+    fn force_is_deterministic_and_permutes() {
+        let (n, regs) = chained_stages(8);
+        let inputs = n.inputs().to_vec();
+        let a = force_order(&n, &regs, &inputs, &[]);
+        let b = force_order(&n, &regs, &inputs, &[]);
+        assert_eq!(a, b, "same inputs must give the same order");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        let mut want: Vec<SignalId> = regs.iter().chain(inputs.iter()).copied().collect();
+        want.sort_unstable();
+        assert_eq!(sorted, want, "result must be a permutation of the elements");
+    }
+
+    #[test]
+    fn force_does_not_worsen_span() {
+        let (n, regs) = chained_stages(12);
+        let inputs = n.inputs().to_vec();
+        let seed: Vec<SignalId> = regs.iter().chain(inputs.iter()).copied().collect();
+        let forced = force_order(&n, &regs, &inputs, &[]);
+        assert!(
+            arrangement_span(&n, &regs, &forced) <= arrangement_span(&n, &regs, &seed),
+            "FORCE must never return a worse arrangement than the seed"
+        );
+    }
+
+    #[test]
+    fn force_improves_scrambled_interleaving() {
+        // Two independent chains, created interleaved: a0 b0 a1 b1 …
+        // The seed order interleaves unrelated chains; FORCE should
+        // separate them and cut the span strictly.
+        let mut n = Netlist::new("two-chains");
+        let stages = 6;
+        let mut a_regs = Vec::new();
+        let mut b_regs = Vec::new();
+        for k in 0..stages {
+            a_regs.push(n.add_register(&format!("a{k}"), Some(false)));
+            b_regs.push(n.add_register(&format!("b{k}"), Some(false)));
+        }
+        for k in 0..stages {
+            let asrc = if k == 0 {
+                a_regs[stages - 1]
+            } else {
+                a_regs[k - 1]
+            };
+            let bsrc = if k == 0 {
+                b_regs[stages - 1]
+            } else {
+                b_regs[k - 1]
+            };
+            let ga = n.add_gate(&format!("ga{k}"), GateOp::Not, &[asrc]);
+            let gb = n.add_gate(&format!("gb{k}"), GateOp::Not, &[bsrc]);
+            n.set_register_next(a_regs[k], ga).unwrap();
+            n.set_register_next(b_regs[k], gb).unwrap();
+        }
+        n.validate().unwrap();
+        let regs: Vec<SignalId> = n.registers().to_vec();
+        let seed = regs.clone();
+        let forced = force_order(&n, &regs, &[], &[]);
+        let before = arrangement_span(&n, &regs, &seed);
+        let after = arrangement_span(&n, &regs, &forced);
+        assert!(
+            after < before,
+            "interleaved chains should improve: span {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn tiny_and_edgeless_models_return_seed_order() {
+        let mut n = Netlist::new("tiny");
+        let i = n.add_input("i");
+        let r = n.add_register("r", Some(false));
+        n.set_register_next(r, i).unwrap();
+        n.validate().unwrap();
+        assert_eq!(force_order(&n, &[r], &[i], &[]), vec![r, i]);
+        assert_eq!(force_order(&n, &[], &[], &[]), Vec::new());
+    }
+}

@@ -7,11 +7,14 @@
 //!            [--engine <rfn|plain|bmc|race>]
 //!            [--time-limit <s>] [--threads <n>] [--sim-batches <n>]
 //!            [--sim-seed <n>] [--cluster-limit <nodes>] [--bdd-threads <n>]
+//!            [--static-order <seed|force>] [--dvo-schedule <spec>]
+//!            [--order-cache-dir <dir>]
 //!            [--checkpoint-dir <dir>] [--resume]
 //!            [--no-frontier-simplify] [--trace-out <file>] [--breakdown] [-v]
 //! rfn coverage <netlist> --signals <a,b,c> [--bfs <k>] [--time-limit <s>]
 //!              [--sim-batches <n>] [--sim-seed <n>] [--cluster-limit <nodes>]
-//!              [--bdd-threads <n>] [--no-frontier-simplify]
+//!              [--bdd-threads <n>] [--static-order <seed|force>]
+//!              [--dvo-schedule <spec>] [--no-frontier-simplify]
 //!              [--trace-out <file>] [--breakdown]
 //! ```
 //!
@@ -31,6 +34,23 @@
 //! wall-clock changes. This is *intra*-property parallelism and composes
 //! with the `--threads` portfolio: each property job gets its own worker
 //! pool.
+//!
+//! `--static-order` picks the initial BDD variable order: `seed` interleaves
+//! register current/next pairs in declaration order (the default), `force`
+//! runs the FORCE center-of-gravity pre-ordering pass over the netlist
+//! topology before any BDD is built. Verdicts and reached-state sets are
+//! identical under either order; only node counts and wall-clock change.
+//!
+//! `--dvo-schedule` selects when dynamic variable reordering (sifting) runs:
+//! `never`, `doubling` (default: sift when live nodes double past a floor),
+//! `growth[:R]` (sift when live nodes grow by factor R since the last sift),
+//! `time[:MS]` (sift at most once per MS milliseconds), or `backoff[:R]`
+//! (growth-triggered, but the threshold backs off after unprofitable sifts).
+//!
+//! `--order-cache-dir <dir>` persists the converged variable order per
+//! (design, property) after a conclusive verdict and warm-starts repeat runs
+//! from it; the cache is keyed by a structural hash of the netlist, so a
+//! changed design never silently reuses a stale order.
 //!
 //! `--sim-batches` sets how many 64-pattern batches the random-simulation
 //! concretization engine tries before falling back to sequential ATPG (0
@@ -87,11 +107,14 @@ usage:
              [--engine <rfn|plain|bmc|race>]
              [--time-limit <s>] [--threads <n>] [--sim-batches <n>]
              [--sim-seed <n>] [--cluster-limit <nodes>] [--bdd-threads <n>]
+             [--static-order <seed|force>] [--dvo-schedule <spec>]
+             [--order-cache-dir <dir>]
              [--checkpoint-dir <dir>] [--resume]
              [--no-frontier-simplify] [--trace-out <file>] [--breakdown] [-v]
   rfn coverage <netlist> --signals <a,b,c> [--bfs <k>] [--time-limit <s>]
                [--sim-batches <n>] [--sim-seed <n>] [--cluster-limit <nodes>]
-               [--bdd-threads <n>] [--no-frontier-simplify]
+               [--bdd-threads <n>] [--static-order <seed|force>]
+               [--dvo-schedule <spec>] [--no-frontier-simplify]
                [--trace-out <file>] [--breakdown]
 
 `--watch` may repeat; the portfolio runs in parallel on --threads workers.
@@ -104,6 +127,11 @@ engine (64 patterns per batch; 0 batches disables it).
 computation (0 = one partition per register); `--no-frontier-simplify`
 turns off don't-care frontier minimization. `--bdd-threads` parallelizes
 each image computation itself (1 = serial; identical results either way).
+`--static-order` picks the initial BDD variable order (seed = declaration
+order, force = FORCE topological pre-ordering); `--dvo-schedule` picks the
+reorder trigger (never|doubling|growth[:R]|time[:MS]|backoff[:R]);
+`--order-cache-dir` warm-starts repeat runs from the converged order saved
+per (design, property). Verdicts are identical under every ordering knob.
 `--time-limit` is one budget shared by the whole portfolio (all properties
 race the same deadline). `--checkpoint-dir` snapshots each RFN job's
 refinement loop after every iteration; `--resume` continues from the
@@ -220,6 +248,25 @@ fn image_flags(rest: &[&String]) -> Result<(Option<usize>, bool, usize), String>
             .map_err(|_| format!("bad --bdd-threads `{s}`"))?,
     };
     Ok((cluster_limit, frontier_simplify, bdd_threads))
+}
+
+/// Parses `--static-order` / `--dvo-schedule` into ordering overrides.
+fn order_flags(
+    rest: &[&String],
+) -> Result<(Option<rfn::mc::StaticOrder>, Option<rfn::mc::DvoPolicy>), String> {
+    let static_order = match flag_value(rest, "--static-order") {
+        None => None,
+        Some(s) => {
+            Some(rfn::mc::StaticOrder::parse(s).map_err(|e| format!("bad --static-order: {e}"))?)
+        }
+    };
+    let dvo = match flag_value(rest, "--dvo-schedule") {
+        None => None,
+        Some(s) => {
+            Some(rfn::mc::DvoPolicy::parse(s).map_err(|e| format!("bad --dvo-schedule: {e}"))?)
+        }
+    };
+    Ok((static_order, dvo))
 }
 
 /// Parses `--engine` into the session's lane selection.
@@ -340,6 +387,16 @@ fn verify(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
     if let Some(limit) = cluster_limit {
         rfn_opts = rfn_opts.with_cluster_limit(limit);
     }
+    let (static_order, dvo) = order_flags(rest)?;
+    if let Some(order) = static_order {
+        rfn_opts = rfn_opts.with_static_order(order);
+    }
+    if let Some(policy) = dvo {
+        rfn_opts = rfn_opts.with_dvo(policy);
+    }
+    if let Some(dir) = flag_value(rest, "--order-cache-dir") {
+        rfn_opts = rfn_opts.with_order_cache_dir(dir);
+    }
     if let Some(dir) = flag_value(rest, "--checkpoint-dir") {
         rfn_opts = rfn_opts.with_checkpoint_dir(dir);
     }
@@ -425,6 +482,13 @@ fn coverage(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
     if let Some(limit) = cluster_limit {
         cov_opts = cov_opts.with_cluster_limit(limit);
     }
+    let (static_order, dvo) = order_flags(rest)?;
+    if let Some(order) = static_order {
+        cov_opts.reach.static_order = order;
+    }
+    if let Some(policy) = dvo {
+        cov_opts.reach.dvo = policy;
+    }
     let mut session = VerifySession::new(n)
         .coverage_options(cov_opts)
         .coverage_set(&set);
@@ -453,6 +517,12 @@ fn coverage(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
             .with_bdd_threads(bdd_threads);
         if let Some(limit) = cluster_limit {
             bfs_reach = bfs_reach.with_cluster_limit(limit);
+        }
+        if let Some(order) = static_order {
+            bfs_reach = bfs_reach.with_static_order(order);
+        }
+        if let Some(policy) = dvo {
+            bfs_reach.dvo = policy;
         }
         let bfs = bfs_coverage(n, &set, k, 4_000_000, &bfs_reach).map_err(|e| e.to_string())?;
         println!(
