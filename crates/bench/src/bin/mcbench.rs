@@ -41,6 +41,15 @@
 //!    is `sat_count`, not size). Wall-clock, peak nodes and sift counts
 //!    quantify the win; under `--smoke` the warm run must also sift no more
 //!    than the cold run it resumed from.
+//! 6. **Multi-property grouping** — two legs. Per design, a multi-target
+//!    `forward_reach_multi` over the case target plus register sub-targets
+//!    must reproduce every dedicated single-target run's verdict and hit
+//!    depth from one shared fixpoint. Then the many-property synthetic
+//!    (disjoint saturating counters, several properties each) runs through
+//!    `VerifySession` grouped and ungrouped at one thread: verdicts and
+//!    depths must match property-for-property, the clustering must recover
+//!    at least one non-singleton group, and — outside `--smoke` — the
+//!    grouped portfolio must be at least 2x faster in aggregate wall time.
 //!
 //! The models are bounded abstractions — the BFS-nearest registers of each
 //! target, as the coverage engine's initial abstraction would pick — since
@@ -50,31 +59,20 @@
 //! the register and step caps for CI; `--quick` selects the scaled-down
 //! designs (paper-sized otherwise).
 
-use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use rfn_bdd::{Bdd, BddManager, VarId};
+use rfn_bench::common::{build_model, grouped_synthetic, make_case, Case};
 use rfn_bench::Scale;
 use rfn_designs::{fifo_controller, integer_unit, processor_module, usb_controller};
 use rfn_mc::{
-    forward_reach, forward_reach_warm, ModelOptions, ModelSpec, ReachOptions, ReachResult,
-    ReachVerdict, SymbolicModel,
+    forward_reach, forward_reach_multi, forward_reach_warm, ModelOptions, ModelSpec, ReachOptions,
+    ReachResult, ReachVerdict, SymbolicModel,
 };
-use rfn_netlist::{transitive_fanin, Abstraction, Netlist, SignalId};
-
-/// One benchmark workload: a design, a target signal, and the bounded
-/// abstraction the models are built from.
-struct Case {
-    name: &'static str,
-    target_name: String,
-    netlist: Netlist,
-    target: SignalId,
-    value: bool,
-    spec: ModelSpec,
-    steps: usize,
-}
+use rfn_netlist::SignalId;
 
 /// One configuration's measurements for a reachability run.
 struct Run {
@@ -177,6 +175,37 @@ impl OrderRow {
     /// `build_ms`).
     fn warm_speedup(&self) -> f64 {
         self.cold.reach_ms / self.warm.reach_ms.max(1e-9)
+    }
+}
+
+/// A multi-target grouping row (section 6): the case target plus register
+/// sub-targets, resolved by one shared fixpoint vs dedicated runs.
+struct MultiRow {
+    design: &'static str,
+    targets: usize,
+    single_ms_total: f64,
+    multi_ms: f64,
+}
+
+impl MultiRow {
+    fn speedup(&self) -> f64 {
+        self.single_ms_total / self.multi_ms.max(1e-9)
+    }
+}
+
+/// The session-level synthetic comparison (section 6): one netlist of
+/// disjoint counters, verified grouped and ungrouped.
+struct SyntheticRow {
+    groups: usize,
+    props: usize,
+    non_singleton: usize,
+    ungrouped_ms: f64,
+    grouped_ms: f64,
+}
+
+impl SyntheticRow {
+    fn speedup(&self) -> f64 {
+        self.ungrouped_ms / self.grouped_ms.max(1e-9)
     }
 }
 
@@ -346,7 +375,70 @@ fn main() -> ExitCode {
         }
     }
 
-    let json = render_json(&reach_rows, &verdict_rows, &par_rows, &order_rows, smoke);
+    println!();
+
+    // Section 6: multi-property grouping. Per design, one shared fixpoint
+    // must resolve several targets with the depths dedicated runs find;
+    // then the synthetic portfolio gates the session-level speedup.
+    let mut multi_rows = Vec::new();
+    for case in &cases {
+        match multi_target_case(case) {
+            Ok(row) => {
+                println!(
+                    "multi ok: {:<14} {} targets  singles {:>8.1} ms  multi {:>8.1} ms ({:.2}x)",
+                    row.design,
+                    row.targets,
+                    row.single_ms_total,
+                    row.multi_ms,
+                    row.speedup()
+                );
+                multi_rows.push(row);
+            }
+            Err(msg) => {
+                eprintln!(
+                    "mcbench: multi-target DISAGREEMENT on {}/{}: {msg}",
+                    case.name, case.target_name
+                );
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let synthetic = match synthetic_sessions(smoke) {
+        Ok(row) => {
+            println!(
+                "synthetic ok: {} groups x {} props  ungrouped {:>8.1} ms  grouped {:>8.1} ms \
+                 ({:.2}x, {} non-singleton groups)",
+                row.groups,
+                row.props / row.groups,
+                row.ungrouped_ms,
+                row.grouped_ms,
+                row.speedup(),
+                row.non_singleton
+            );
+            row
+        }
+        Err(msg) => {
+            eprintln!("mcbench: synthetic grouping FAILURE: {msg}");
+            return ExitCode::from(1);
+        }
+    };
+    if !smoke && synthetic.speedup() < 2.0 {
+        eprintln!(
+            "mcbench: synthetic grouping speedup {:.2}x below the 2x gate",
+            synthetic.speedup()
+        );
+        return ExitCode::from(1);
+    }
+
+    let json = render_json(
+        &reach_rows,
+        &verdict_rows,
+        &par_rows,
+        &order_rows,
+        &multi_rows,
+        &synthetic,
+        smoke,
+    );
     if let Err(e) = std::fs::write("BENCH_mc.json", &json) {
         eprintln!("mcbench: writing BENCH_mc.json: {e}");
         return ExitCode::from(1);
@@ -434,58 +526,6 @@ fn build_cases(scale: Scale, reg_override: Option<usize>, steps: usize) -> Vec<C
     cases
 }
 
-fn make_case(
-    name: &'static str,
-    netlist: Netlist,
-    target_name: String,
-    target: SignalId,
-    value: bool,
-    cap: usize,
-    steps: usize,
-) -> Case {
-    eprintln!("mcbench: building {name}/{target_name} (cap {cap})");
-    let regs = closest_registers(&netlist, target, cap);
-    let view = Abstraction::from_registers(regs)
-        .view(&netlist, [target])
-        .expect("bundled designs validate");
-    let spec = ModelSpec::from_view(&view);
-    Case {
-        name,
-        target_name,
-        netlist,
-        target,
-        value,
-        spec,
-        steps,
-    }
-}
-
-/// The `k` registers closest to `target` by register-to-register BFS
-/// distance through next-state cones — the same shape of bounded
-/// abstraction the coverage engine seeds its refinement loop with.
-fn closest_registers(netlist: &Netlist, target: SignalId, k: usize) -> Vec<SignalId> {
-    let mut seen: HashSet<SignalId> = HashSet::new();
-    let mut queue: VecDeque<SignalId> = VecDeque::new();
-    for leaf in transitive_fanin(netlist, [target]).register_leaves {
-        if seen.insert(leaf) {
-            queue.push_back(leaf);
-        }
-    }
-    let mut picked = Vec::new();
-    while let Some(r) = queue.pop_front() {
-        if picked.len() >= k {
-            break;
-        }
-        picked.push(r);
-        for leaf in transitive_fanin(netlist, [netlist.register_next(r)]).register_leaves {
-            if seen.insert(leaf) {
-                queue.push_back(leaf);
-            }
-        }
-    }
-    picked
-}
-
 /// Runs a BFS where every step's new states are computed both by a
 /// seed-style linear relational product over the raw partitions and by the
 /// model's clustered schedule on a restrict-minimized frontier, on the SAME
@@ -566,39 +606,6 @@ fn linear_post_image(
         acc = mgr.exists(acc, cube)?;
     }
     model.nxt_to_cur(acc)
-}
-
-/// Builds the model for one configuration and the target BDD, timing the
-/// build (which includes partition clustering and schedule precomputation).
-fn build_model<'n>(
-    case: &'n Case,
-    target: Option<(SignalId, bool)>,
-    cluster_limit: usize,
-) -> (SymbolicModel<'n>, Bdd, f64) {
-    let build_start = Instant::now();
-    let mut model = SymbolicModel::with_options(
-        &case.netlist,
-        case.spec.clone(),
-        BddManager::new(),
-        ModelOptions {
-            cluster_limit,
-            ..ModelOptions::default()
-        },
-    )
-    .expect("bundled designs validate");
-    let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
-    let target_bdd = match target {
-        None => model.manager_ref().zero(),
-        Some((s, v)) => {
-            let sig = model.signal_bdd(s).expect("target is in the bounded cone");
-            if v {
-                sig
-            } else {
-                model.manager().not(sig).expect("no node limit set")
-            }
-        }
-    };
-    (model, target_bdd, build_ms)
 }
 
 /// The variables a post-image quantifies: current-state and input.
@@ -922,6 +929,107 @@ fn check_agreement(linear: &Run, clustered: &Run) -> Result<(), String> {
     Ok(())
 }
 
+/// The section-6 target list for a case: the real case target plus the
+/// first two bounded-abstraction registers as value-1 sub-targets, all on
+/// the given model's manager.
+fn group_targets(model: &mut SymbolicModel, case: &Case) -> Vec<Bdd> {
+    let sig = model
+        .signal_bdd(case.target)
+        .expect("target is in the bounded cone");
+    let first = if case.value {
+        sig
+    } else {
+        model.manager().not(sig).expect("no node limit set")
+    };
+    let mut targets = vec![first];
+    for &r in case.spec.registers.iter().take(2) {
+        targets.push(model.signal_bdd(r).expect("spec register has a variable"));
+    }
+    targets
+}
+
+/// One multi-target case (section 6): every target's verdict and hit depth
+/// from the shared `forward_reach_multi` fixpoint must equal its dedicated
+/// `forward_reach` run's.
+fn multi_target_case(case: &Case) -> Result<MultiRow, String> {
+    let opts = ReachOptions::default()
+        .with_max_steps(case.steps)
+        .with_reorder(false);
+
+    let (mut model, _, _) = build_model(case, None, rfn_mc::DEFAULT_CLUSTER_LIMIT);
+    let targets = group_targets(&mut model, case);
+    let n_targets = targets.len();
+    let multi_start = Instant::now();
+    let multi =
+        forward_reach_multi(&mut model, &targets, &opts).map_err(|e| format!("multi: {e}"))?;
+    let multi_ms = multi_start.elapsed().as_secs_f64() * 1e3;
+    drop(model);
+
+    let mut single_ms_total = 0.0;
+    for (k, verdict) in multi.verdicts.iter().enumerate() {
+        let (mut model, _, _) = build_model(case, None, rfn_mc::DEFAULT_CLUSTER_LIMIT);
+        let target = group_targets(&mut model, case)[k];
+        let start = Instant::now();
+        let single =
+            forward_reach(&mut model, target, &opts).map_err(|e| format!("single {k}: {e}"))?;
+        single_ms_total += start.elapsed().as_secs_f64() * 1e3;
+        if verdict.as_reach_verdict() != single.verdict {
+            return Err(format!(
+                "target {k}: multi {:?} vs dedicated {:?}",
+                verdict.as_reach_verdict(),
+                single.verdict
+            ));
+        }
+    }
+    Ok(MultiRow {
+        design: case.name,
+        targets: n_targets,
+        single_ms_total,
+        multi_ms,
+    })
+}
+
+/// The session-level synthetic comparison (section 6): the many-property
+/// synthetic verified grouped and ungrouped through `VerifySession` at one
+/// thread. Verdict/depth equality and at least one non-singleton group are
+/// hard gates here; the 2x speedup gate is applied by the caller outside
+/// `--smoke`.
+fn synthetic_sessions(smoke: bool) -> Result<SyntheticRow, String> {
+    let (groups, props_per_group) = if smoke { (2, 3) } else { (6, 12) };
+    let (netlist, props) = grouped_synthetic(groups, props_per_group);
+    let run = |grouping: bool| -> Result<(rfn_core::SessionReport, f64), String> {
+        let start = Instant::now();
+        let report = rfn_core::VerifySession::new(&netlist)
+            .properties(props.iter().cloned())
+            .engine(rfn_core::EngineKind::PlainMc)
+            .grouping(grouping)
+            .threads(1)
+            .run()
+            .map_err(|e| e.to_string())?;
+        Ok((report, start.elapsed().as_secs_f64() * 1e3))
+    };
+    let (grouped, grouped_ms) = run(true)?;
+    let (ungrouped, ungrouped_ms) = run(false)?;
+    for ((g, u), prop) in grouped.results.iter().zip(&ungrouped.results).zip(&props) {
+        let gv = format!("{:?}", g.verdict);
+        let uv = format!("{:?}", u.verdict);
+        if gv != uv {
+            return Err(format!("`{}`: grouped {gv} vs ungrouped {uv}", prop.name));
+        }
+    }
+    let non_singleton = grouped.groups.iter().filter(|g| g.len() > 1).count();
+    if non_singleton == 0 {
+        return Err("clustering produced no non-singleton group".to_owned());
+    }
+    Ok(SyntheticRow {
+        groups,
+        props: props.len(),
+        non_singleton,
+        ungrouped_ms,
+        grouped_ms,
+    })
+}
+
 fn render_run(run: &Run) -> String {
     format!(
         "{{\"build_ms\": {:.1}, \"reach_ms\": {:.1}, \"steps\": {}, \"clusters\": {}, \
@@ -956,6 +1064,8 @@ fn render_json(
     verdicts: &[VerdictRow],
     parallel: &[ParRow],
     ordering: &[OrderRow],
+    multi: &[MultiRow],
+    synthetic: &SyntheticRow,
     smoke: bool,
 ) -> String {
     let mut s = String::from("{\n  \"bench\": \"mc\",\n");
@@ -1036,6 +1146,32 @@ fn render_json(
         );
         s.push_str(if k + 1 < ordering.len() { ",\n" } else { "\n" });
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n  \"groups\": {\n    \"multi_target\": [\n");
+    for (k, m) in multi.iter().enumerate() {
+        let _ = write!(
+            s,
+            "      {{\"design\": \"{}\", \"targets\": {}, \"single_ms_total\": {:.1}, \
+             \"multi_ms\": {:.1}, \"speedup\": {:.2}, \"agree\": true}}",
+            m.design,
+            m.targets,
+            m.single_ms_total,
+            m.multi_ms,
+            m.speedup()
+        );
+        s.push_str(if k + 1 < multi.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(
+        s,
+        "    ],\n    \"synthetic\": {{\"groups\": {}, \"properties\": {}, \
+         \"non_singleton_groups\": {}, \"ungrouped_ms\": {:.1}, \"grouped_ms\": {:.1}, \
+         \"speedup\": {:.2}, \"agree\": true}}\n",
+        synthetic.groups,
+        synthetic.props,
+        synthetic.non_singleton,
+        synthetic.ungrouped_ms,
+        synthetic.grouped_ms,
+        synthetic.speedup()
+    );
+    s.push_str("  }\n}\n");
     s
 }

@@ -25,12 +25,30 @@
 //! is exercised at all; verdict equality under that churn is part of the
 //! point. The whole job is deterministic (one property, one thread, seeded
 //! simulation), so the node counts gate exactly, not statistically.
+//!
+//! Two grouped phases follow, exercising the *group* warm-start store
+//! behind `--group-threshold`:
+//!
+//! * all three fifo `psh_*` properties run as one grouped plain-MC session
+//!   against a fresh cache, twice. The fifo is scaled down further for this
+//!   phase: grouping feeds the *unabstracted* union COI to the plain
+//!   engine, and the phase-1 fifo's full data pipeline blows the plain
+//!   node ceiling (by design — that is what the RFN loop is for). The
+//!   clustering must produce a non-singleton group, the cache must hold
+//!   exactly one store entry per non-singleton group, both runs must agree
+//!   verdict-for-verdict, and the warm repeat must do strictly less sift
+//!   work than the cold run (same gates as phase 1);
+//! * the many-property synthetic (two disjoint counters) gates the
+//!   one-entry-per-group invariant with *several* groups: two clusters in,
+//!   exactly two store files out, identical verdicts on the repeat run.
 
 use std::process::ExitCode;
 
+use rfn_bench::common::grouped_synthetic;
 use rfn_bench::Scale;
-use rfn_core::{Rfn, RfnOptions, RfnOutcome};
+use rfn_core::{EngineKind, Rfn, RfnOptions, RfnOutcome, VerifySession};
 use rfn_designs::fifo_controller;
+use rfn_mc::PlainOptions;
 
 /// Verdict fingerprint plus the reordering bookkeeping of one run.
 struct RunSummary {
@@ -141,5 +159,172 @@ fn main() -> ExitCode {
         "warmbench ok: warm start cut reordering work {} -> {} nodes ({} -> {} sift runs)",
         cold.sift_shrunk, warm.sift_shrunk, cold.sift_runs, warm.sift_runs
     );
+
+    if let Err(e) = grouped_fifo_phase() {
+        eprintln!("warmbench: grouped fifo phase FAILURE: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = synthetic_store_phase() {
+        eprintln!("warmbench: synthetic store phase FAILURE: {e}");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
+}
+
+/// One grouped plain-MC session summary: portfolio verdicts plus the sift
+/// work of each scheduled group's shared manager.
+struct GroupRunSummary {
+    verdicts: Vec<String>,
+    non_singleton: usize,
+    sift_runs: u64,
+    sift_shrunk: u64,
+}
+
+/// Runs the properties as one grouped plain-MC session against the given
+/// order-cache directory (the group warm-start store lives there).
+fn run_grouped(
+    netlist: &rfn_netlist::Netlist,
+    properties: &[rfn_netlist::Property],
+    cache_dir: &std::path::Path,
+) -> Result<GroupRunSummary, String> {
+    let mut plain = PlainOptions::default();
+    // The same smoke-scale sift floor as phase 1, for the same reason.
+    plain.reach.reorder_threshold = 500;
+    let report = VerifySession::new(netlist)
+        .properties(properties.iter().cloned())
+        .engine(EngineKind::PlainMc)
+        .rfn_options(RfnOptions::default().with_order_cache_dir(cache_dir))
+        .plain_options(plain)
+        .threads(1)
+        .run()
+        .map_err(|e| format!("grouped session: {e}"))?;
+    let verdicts = report
+        .results
+        .iter()
+        .map(|r| format!("{:?}", r.verdict))
+        .collect();
+    // Group members share one manager, so read each group's stats once
+    // (through its leader) instead of once per member.
+    let mut sift_runs = 0u64;
+    let mut sift_shrunk = 0u64;
+    for group in &report.groups {
+        if let Some(plain) = &report.results[group[0]].plain {
+            sift_runs += plain.stats.sift_runs;
+            sift_shrunk += plain.stats.sift_nodes_shrunk;
+        }
+    }
+    Ok(GroupRunSummary {
+        verdicts,
+        non_singleton: report.groups.iter().filter(|g| g.len() > 1).count(),
+        sift_runs,
+        sift_shrunk,
+    })
+}
+
+/// Counts the `.store` entries the group warm-start saved under `dir`.
+fn store_entries(dir: &std::path::Path) -> usize {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter(|e| e.path().extension().is_some_and(|x| x == "store"))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+/// Grouped warm-start on the fifo's three `psh_*` properties: one shared
+/// model and fixpoint cold, then a warm repeat from the per-group store.
+///
+/// Uses a smaller fifo than phase 1: the grouped plain engine checks the
+/// full union COI without abstraction, so the model must fit the plain
+/// node ceiling outright.
+fn grouped_fifo_phase() -> Result<(), String> {
+    let design = fifo_controller(&rfn_designs::FifoParams {
+        depth: 8,
+        data_width: 4,
+        data_stages: 2,
+        inject_half_flag_bug: false,
+    });
+    let (netlist, properties) = (&design.netlist, &design.properties[..]);
+    let cache_dir = std::env::temp_dir().join(format!("rfn-warmbench-g-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cold = run_grouped(netlist, properties, &cache_dir)?;
+    let warm = run_grouped(netlist, properties, &cache_dir)?;
+    let entries = store_entries(&cache_dir);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    println!(
+        "grouped fifo: {} non-singleton groups, {} store entries, sift work {} -> {} nodes \
+         ({} -> {} runs)",
+        cold.non_singleton,
+        entries,
+        cold.sift_shrunk,
+        warm.sift_shrunk,
+        cold.sift_runs,
+        warm.sift_runs
+    );
+    if cold.non_singleton == 0 {
+        return Err("the fifo psh_* properties did not form a group".to_owned());
+    }
+    if entries != cold.non_singleton {
+        return Err(format!(
+            "expected one store entry per group ({}), found {entries}",
+            cold.non_singleton
+        ));
+    }
+    if warm.verdicts != cold.verdicts {
+        return Err(format!(
+            "warm verdicts {:?} != cold {:?}",
+            warm.verdicts, cold.verdicts
+        ));
+    }
+    if cold.sift_runs == 0 || cold.sift_shrunk == 0 {
+        return Err(format!(
+            "cold grouped run never reordered productively ({} sift runs moving {} nodes)",
+            cold.sift_runs, cold.sift_shrunk
+        ));
+    }
+    if warm.sift_runs > cold.sift_runs || warm.sift_shrunk >= cold.sift_shrunk {
+        return Err(format!(
+            "warm grouped run sifted {} times moving {} nodes vs cold {} moving {}",
+            warm.sift_runs, warm.sift_shrunk, cold.sift_runs, cold.sift_shrunk
+        ));
+    }
+    println!(
+        "grouped fifo ok: group store cut reordering work {} -> {} nodes",
+        cold.sift_shrunk, warm.sift_shrunk
+    );
+    Ok(())
+}
+
+/// One-entry-per-group with several groups: the synthetic's two disjoint
+/// counters must produce exactly two store entries, and the warm repeat the
+/// same verdicts.
+fn synthetic_store_phase() -> Result<(), String> {
+    let (netlist, properties) = grouped_synthetic(2, 3);
+    let cache_dir = std::env::temp_dir().join(format!("rfn-warmbench-s-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cold = run_grouped(&netlist, &properties, &cache_dir)?;
+    let warm = run_grouped(&netlist, &properties, &cache_dir)?;
+    let entries = store_entries(&cache_dir);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    if cold.non_singleton != 2 {
+        return Err(format!(
+            "expected 2 groups from 2 disjoint counters, got {}",
+            cold.non_singleton
+        ));
+    }
+    if entries != 2 {
+        return Err(format!(
+            "expected 2 store entries (one per group), found {entries}"
+        ));
+    }
+    if warm.verdicts != cold.verdicts {
+        return Err(format!(
+            "warm verdicts {:?} != cold {:?}",
+            warm.verdicts, cold.verdicts
+        ));
+    }
+    println!("synthetic store ok: 2 groups -> 2 store entries, verdicts stable");
+    Ok(())
 }

@@ -17,6 +17,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod common;
+
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 
 use rfn_govern::{Budget, Exhaustion, GovPhase};
 use rfn_mc::CommonOptions;
-use rfn_netlist::{Netlist, Property, SignalId, Trace, TraceStep};
+use rfn_netlist::{Coi, Netlist, Property, SignalId, Trace, TraceStep};
 use rfn_sat::{Lit, SolveResult, Solver, SolverStats, Term, Unroller};
 use rfn_trace::TraceCtx;
 
@@ -321,7 +321,8 @@ fn verify_bmc_inner(
             assumptions.extend(bad);
             match solver.solve(&assumptions) {
                 SolveResult::Sat => {
-                    let trace = extract_trace(&solver, &unroller, &registers, k);
+                    let trace =
+                        extract_trace(&solver, &unroller, &registers, unroller.coi().inputs(), k);
                     emit_frame_point(ctx, k, &solver, num_active);
                     if !validate_trace(netlist, property, &trace)? {
                         return Err(RfnError::Witness {
@@ -399,6 +400,297 @@ fn verify_bmc_inner(
     )
 }
 
+/// Runs the group BMC lane: one [`Unroller`] over the union cone of
+/// influence of a property group and one incremental solver in which each
+/// property's bad literal is a per-call assumption, so learned clauses and
+/// frame clauses transfer across properties as well as depths.
+///
+/// At every depth each still-pending property is checked in index order;
+/// falsified properties retire with a validated counterexample at that
+/// depth (the shortest, since depths ascend and every pending property is
+/// checked at every depth — identical to a dedicated [`verify_bmc`] run).
+/// The register-subset abstraction and its UNSAT-core refinements are
+/// shared by the whole group. Returns one [`BmcReport`] per property,
+/// indexed like the input slice: COI sizes are each property's own, while
+/// abstraction size, refinement count, solver counters and elapsed time
+/// describe the shared run.
+///
+/// `key` names the group in the wrapping `bmc_group` trace span.
+///
+/// # Errors
+///
+/// As [`verify_bmc`]: structural errors, [`RfnError::BadProperty`], and
+/// [`Error::Witness`](crate::Error::Witness) on failed concrete replay.
+pub fn verify_bmc_group(
+    netlist: &Netlist,
+    properties: &[Property],
+    key: &str,
+    options: &BmcOptions,
+) -> Result<Vec<BmcReport>, RfnError> {
+    let mut span = options.common.trace.span_with(
+        "bmc_group",
+        vec![
+            ("group".to_owned(), key.into()),
+            ("members".to_owned(), properties.len().into()),
+        ],
+    );
+    let result = verify_bmc_group_inner(netlist, properties, options);
+    if let Ok(reports) = &result {
+        let falsified = reports
+            .iter()
+            .filter(|r| matches!(r.verdict, BmcVerdict::Falsified { .. }))
+            .count();
+        span.record("falsified", falsified);
+        if let Some(r) = reports.first() {
+            span.record("abstract_registers", r.stats.abstract_registers);
+            span.record("refinements", r.stats.refinements);
+            span.record("conflicts", r.stats.solver.conflicts);
+        }
+        // Per-property spans carry the same fields as a dedicated
+        // `verify_bmc` run, so downstream consumers keep one span per
+        // property whether or not grouping is on.
+        for (p, report) in properties.iter().zip(reports) {
+            let mut ps = options
+                .common
+                .trace
+                .span_with("bmc", vec![("property".to_owned(), p.name.as_str().into())]);
+            let (verdict, depth) = match &report.verdict {
+                BmcVerdict::Falsified { depth } => ("falsified", Some(*depth)),
+                BmcVerdict::BoundedSafe { depth } => ("bounded_safe", Some(*depth)),
+                BmcVerdict::OutOfBudget { depth, reason } => {
+                    ps.record("abort_reason", reason.as_str());
+                    ("out_of_budget", *depth)
+                }
+            };
+            ps.record("verdict", verdict);
+            if let Some(depth) = depth {
+                ps.record("depth", depth);
+            }
+            ps.record("coi_registers", report.stats.coi_registers);
+            ps.record("abstract_registers", report.stats.abstract_registers);
+            ps.record("refinements", report.stats.refinements);
+            ps.record("conflicts", report.stats.solver.conflicts);
+            ps.record("propagations", report.stats.solver.propagations);
+        }
+    }
+    result
+}
+
+fn verify_bmc_group_inner(
+    netlist: &Netlist,
+    properties: &[Property],
+    options: &BmcOptions,
+) -> Result<Vec<BmcReport>, RfnError> {
+    let start = Instant::now();
+    for property in properties {
+        if property.signal.index() >= netlist.num_signals() {
+            return Err(RfnError::BadProperty(format!(
+                "signal of property '{}' is not in design '{}'",
+                property.name,
+                netlist.name()
+            )));
+        }
+    }
+    let budget = &options.common.budget;
+    let ctx = &options.common.trace;
+    let mut solver = Solver::new();
+    solver.set_budget(budget.clone());
+    // One unrolling over the union COI: multi-root construction gives the
+    // union for free, and every member's bad literal lives in the same
+    // clause database.
+    let mut unroller = Unroller::new(netlist, &mut solver, properties.iter().map(|p| p.signal))?;
+    let registers: Vec<SignalId> = unroller.coi().registers().to_vec();
+    let member_cois: Vec<Coi> = properties
+        .iter()
+        .map(|p| Coi::of(netlist, [p.signal]))
+        .collect();
+    // The shared abstraction: a register activated for one member stays
+    // activated for all. Soundness is per-solve — freeing registers only
+    // adds behaviour, and falsification is always decided by the concrete
+    // solve — so sharing refinements never changes a verdict, it only
+    // skips abstract counterexamples another member already refuted.
+    let mut active = vec![false; netlist.num_signals()];
+    let mut num_active = 0usize;
+    let phase_deadline = budget.deadline_for(GovPhase::Bmc);
+    let mut safe_depth: Vec<Option<usize>> = vec![None; properties.len()];
+    let mut outcomes: Vec<Option<(BmcVerdict, Option<Trace>)>> = vec![None; properties.len()];
+    let mut refinements = 0usize;
+
+    'depths: for k in 0..=options.max_depth {
+        let exhausted = match budget.check() {
+            Err(reason) => Some(reason),
+            Ok(()) if phase_deadline.is_some_and(|d| Instant::now() >= d) => {
+                Some(Exhaustion::TimeLimit)
+            }
+            Ok(()) => None,
+        };
+        if let Some(reason) = exhausted {
+            for (pi, o) in outcomes.iter_mut().enumerate() {
+                if o.is_none() {
+                    *o = Some((
+                        BmcVerdict::OutOfBudget {
+                            depth: safe_depth[pi],
+                            reason,
+                        },
+                        None,
+                    ));
+                }
+            }
+            break 'depths;
+        }
+        unroller.ensure_frame(&mut solver, k);
+        for pi in 0..properties.len() {
+            if outcomes[pi].is_some() {
+                continue;
+            }
+            let property = &properties[pi];
+            let bad = match unroller.term(k, property.signal) {
+                Term::Const(b) if b == property.value => None,
+                Term::Const(_) => {
+                    // The bad value is structurally impossible at this frame.
+                    safe_depth[pi] = Some(k);
+                    continue;
+                }
+                Term::Lit(l) => Some(if property.value { l } else { !l }),
+            };
+            let abstract_sat = if num_active == registers.len() && bad.is_some() {
+                true
+            } else {
+                let mut assumptions: Vec<Lit> = registers
+                    .iter()
+                    .filter(|r| active[r.index()])
+                    .map(|&r| unroller.activation(r))
+                    .collect();
+                assumptions.extend(bad);
+                match solver.solve(&assumptions) {
+                    SolveResult::Sat => true,
+                    SolveResult::Unsat => false,
+                    SolveResult::Unknown(reason) => {
+                        out_of_budget_rest(&mut outcomes, &safe_depth, reason);
+                        break 'depths;
+                    }
+                }
+            };
+            if abstract_sat {
+                let mut assumptions: Vec<Lit> = unroller.activations().collect();
+                assumptions.extend(bad);
+                match solver.solve(&assumptions) {
+                    SolveResult::Sat => {
+                        let trace = extract_trace(
+                            &solver,
+                            &unroller,
+                            member_cois[pi].registers(),
+                            member_cois[pi].inputs(),
+                            k,
+                        );
+                        if !validate_trace(netlist, property, &trace)? {
+                            return Err(RfnError::Witness {
+                                phase: Phase::Concretize,
+                                detail: format!(
+                                    "BMC counterexample of property '{}' at depth {k} \
+                                     failed concrete replay",
+                                    property.name
+                                ),
+                            });
+                        }
+                        outcomes[pi] = Some((BmcVerdict::Falsified { depth: k }, Some(trace)));
+                        continue;
+                    }
+                    SolveResult::Unsat => {
+                        let core_regs: Vec<SignalId> = registers
+                            .iter()
+                            .copied()
+                            .filter(|&r| {
+                                !active[r.index()]
+                                    && solver.core().contains(&unroller.activation(r))
+                            })
+                            .collect();
+                        if !core_regs.is_empty() {
+                            refinements += 1;
+                            ctx.point(
+                                "bmc.refine",
+                                vec![
+                                    ("depth".to_owned(), k.into()),
+                                    ("property".to_owned(), property.name.as_str().into()),
+                                    ("core_registers".to_owned(), core_regs.len().into()),
+                                    (
+                                        "abstract_registers".to_owned(),
+                                        (num_active + core_regs.len()).into(),
+                                    ),
+                                ],
+                            );
+                            for r in core_regs {
+                                active[r.index()] = true;
+                                num_active += 1;
+                            }
+                        }
+                    }
+                    SolveResult::Unknown(reason) => {
+                        out_of_budget_rest(&mut outcomes, &safe_depth, reason);
+                        break 'depths;
+                    }
+                }
+            }
+            safe_depth[pi] = Some(k);
+        }
+        emit_frame_point(ctx, k, &solver, num_active);
+        if outcomes.iter().all(|o| o.is_some()) {
+            break 'depths;
+        }
+    }
+
+    let elapsed = start.elapsed();
+    let solver_stats = solver.stats();
+    let vars = solver.num_vars();
+    let clauses = solver.num_clauses();
+    Ok(outcomes
+        .into_iter()
+        .enumerate()
+        .map(|(pi, o)| {
+            let (verdict, trace) = o.unwrap_or((
+                BmcVerdict::BoundedSafe {
+                    depth: options.max_depth,
+                },
+                None,
+            ));
+            BmcReport {
+                verdict,
+                trace,
+                stats: BmcStats {
+                    coi_registers: member_cois[pi].num_registers(),
+                    coi_gates: member_cois[pi].num_gates(),
+                    abstract_registers: num_active,
+                    refinements,
+                    vars,
+                    clauses,
+                    solver: solver_stats,
+                    elapsed,
+                },
+            }
+        })
+        .collect())
+}
+
+/// Marks every still-pending property out-of-budget with its own deepest
+/// completed frame.
+fn out_of_budget_rest(
+    outcomes: &mut [Option<(BmcVerdict, Option<Trace>)>],
+    safe_depth: &[Option<usize>],
+    reason: Exhaustion,
+) {
+    for (pi, o) in outcomes.iter_mut().enumerate() {
+        if o.is_none() {
+            *o = Some((
+                BmcVerdict::OutOfBudget {
+                    depth: safe_depth[pi],
+                    reason,
+                },
+                None,
+            ));
+        }
+    }
+}
+
 fn emit_frame_point(ctx: &TraceCtx, k: usize, solver: &Solver, num_active: usize) {
     if !ctx.is_enabled() {
         return;
@@ -424,6 +716,7 @@ fn extract_trace(
     solver: &Solver,
     unroller: &Unroller<'_>,
     registers: &[SignalId],
+    inputs: &[SignalId],
     depth: usize,
 ) -> Trace {
     let term_value = |t: usize, sig: SignalId| match unroller.term(t, sig) {
@@ -443,7 +736,7 @@ fn extract_trace(
         for &r in registers {
             let _ = step.state.insert(r, term_value(t, r));
         }
-        for &i in unroller.coi().inputs() {
+        for &i in inputs {
             let _ = step.inputs.insert(i, term_value(t, i));
         }
         trace.push(step);
@@ -547,6 +840,109 @@ mod tests {
                 panic!("plain engine must falsify target {target}");
             };
             assert_eq!(report.verdict, BmcVerdict::Falsified { depth });
+        }
+    }
+
+    /// A wrapping 3-bit counter with one watchdog detector per requested
+    /// value, plus a self-looping flag whose property is genuinely safe.
+    fn counter3_multi(targets: &[u8]) -> (Netlist, Vec<Property>) {
+        let mut n = Netlist::new("counter3_multi");
+        let b0 = n.add_register("b0", Some(false));
+        let b1 = n.add_register("b1", Some(false));
+        let b2 = n.add_register("b2", Some(false));
+        let n0 = n.add_gate("n0", GateOp::Not, &[b0]);
+        let n1 = n.add_gate("n1", GateOp::Xor, &[b1, b0]);
+        let c01 = n.add_gate("c01", GateOp::And, &[b0, b1]);
+        let n2 = n.add_gate("n2", GateOp::Xor, &[b2, c01]);
+        n.set_register_next(b0, n0).unwrap();
+        n.set_register_next(b1, n1).unwrap();
+        n.set_register_next(b2, n2).unwrap();
+        let bits = [b0, b1, b2];
+        let mut properties = Vec::new();
+        for &target in targets {
+            let fanins: Vec<_> = (0..3)
+                .map(|i| {
+                    if target >> i & 1 == 1 {
+                        bits[i]
+                    } else {
+                        n.add_gate(&format!("inv{target}_{i}"), GateOp::Not, &[bits[i]])
+                    }
+                })
+                .collect();
+            let bad = n.add_gate(&format!("bad{target}"), GateOp::And, &fanins);
+            properties.push((format!("no_{target}"), bad));
+        }
+        let flag = n.add_register("flag", Some(false));
+        n.set_register_next(flag, flag).unwrap();
+        properties.push(("flag_low".to_owned(), flag));
+        n.validate().unwrap();
+        let properties = properties
+            .into_iter()
+            .map(|(name, signal)| Property::never(&n, &name, signal))
+            .collect();
+        (n, properties)
+    }
+
+    #[test]
+    fn group_reports_match_dedicated_bmc_runs() {
+        let (n, properties) = counter3_multi(&[2, 5, 7]);
+        let opts = BmcOptions::default().with_max_depth(12);
+        let reports = verify_bmc_group(&n, &properties, "g0", &opts).unwrap();
+        assert_eq!(reports.len(), properties.len());
+        for (p, report) in properties.iter().zip(&reports) {
+            let solo = verify_bmc(&n, p, &opts).unwrap();
+            assert_eq!(report.verdict, solo.verdict, "property {}", p.name);
+            assert_eq!(
+                report.stats.coi_registers, solo.stats.coi_registers,
+                "property {}",
+                p.name
+            );
+            assert_eq!(report.trace.is_some(), solo.trace.is_some());
+        }
+        // Counterexample depths are the counter values; traces replay.
+        assert_eq!(reports[0].verdict, BmcVerdict::Falsified { depth: 2 });
+        assert_eq!(reports[1].verdict, BmcVerdict::Falsified { depth: 5 });
+        assert_eq!(reports[2].verdict, BmcVerdict::Falsified { depth: 7 });
+        assert_eq!(reports[3].verdict, BmcVerdict::BoundedSafe { depth: 12 });
+        for (p, report) in properties.iter().zip(&reports) {
+            if let Some(trace) = &report.trace {
+                assert_eq!(validate_trace(&n, p, trace), Ok(true));
+            }
+        }
+    }
+
+    #[test]
+    fn group_shares_one_solver_across_members() {
+        let (n, properties) = counter3_multi(&[6, 7]);
+        let opts = BmcOptions::default().with_max_depth(8);
+        let reports = verify_bmc_group(&n, &properties, "g0", &opts).unwrap();
+        // Shared-run statistics are identical across members; the solo runs
+        // together need more solver variables than the one shared unrolling
+        // because each re-unrolls the counter up to its own depth.
+        let shared_vars = reports[0].stats.vars;
+        assert!(reports.iter().all(|r| r.stats.vars == shared_vars));
+        let solo_vars: usize = properties
+            .iter()
+            .map(|p| verify_bmc(&n, p, &opts).unwrap().stats.vars)
+            .sum();
+        assert!(shared_vars < solo_vars);
+    }
+
+    #[test]
+    fn group_cancelled_budget_marks_all_pending_members() {
+        let (n, properties) = counter3_multi(&[5]);
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let opts = BmcOptions::default().with_budget(budget);
+        let reports = verify_bmc_group(&n, &properties, "g0", &opts).unwrap();
+        for report in &reports {
+            assert!(matches!(
+                report.verdict,
+                BmcVerdict::OutOfBudget {
+                    reason: Exhaustion::Cancelled,
+                    ..
+                }
+            ));
         }
     }
 }

@@ -69,7 +69,10 @@ mod refine;
 mod rfn;
 mod session;
 
-pub use bmc::{verify_bmc, BmcOptions, BmcReport, BmcStats, BmcVerdict, DEFAULT_BMC_MAX_DEPTH};
+pub use bmc::{
+    verify_bmc, verify_bmc_group, BmcOptions, BmcReport, BmcStats, BmcVerdict,
+    DEFAULT_BMC_MAX_DEPTH,
+};
 pub use checkpoint::{LoopCheckpoint, CHECKPOINT_SCHEMA};
 pub use concretize::{
     concretize, concretize_cube, concretize_cube_with_stats, concretize_with_stats, validate_trace,
@@ -85,7 +88,7 @@ pub use hybrid::{hybrid_trace, hybrid_traces, HybridOutcome, HybridStats};
 pub use portfolio::{default_threads, parallel_map};
 pub use refine::{refine, refine_with_roots, RefineOptions, RefineReport};
 pub use rfn::{Rfn, RfnOptions, RfnOutcome, RfnStats};
-pub use session::{PropertyResult, SessionReport, VerifySession};
+pub use session::{PropertyResult, SessionReport, VerifySession, DEFAULT_GROUP_THRESHOLD};
 
 pub mod prelude {
     //! One-stop imports for driving the verifier.

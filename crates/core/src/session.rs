@@ -38,15 +38,18 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use rfn_govern::Budget;
-use rfn_mc::{PlainOptions, PlainReport};
-use rfn_netlist::{CoverageSet, Netlist, Property};
+use rfn_mc::{verify_plain_group, GroupOptions, PlainOptions, PlainReport, PlainVerdict};
+use rfn_netlist::{CoverageSet, Netlist, Property, PropertyGroups};
 use rfn_trace::{merge_streams, Event, FanoutSink, MemorySink, StderrSink, TraceCtx, TraceSink};
 
 use crate::engine::{build_engines, run_engines};
 use crate::{
-    analyze_coverage, parallel_map, BmcOptions, BmcReport, CoverageOptions, CoverageReport,
-    EngineKind, RfnError, RfnOptions, RfnStats, Verdict,
+    analyze_coverage, parallel_map, verify_bmc_group, BmcOptions, BmcReport, BmcVerdict,
+    CoverageOptions, CoverageReport, EngineKind, RfnError, RfnOptions, RfnStats, Verdict,
 };
+
+/// Default Jaccard COI-overlap threshold for property grouping.
+pub const DEFAULT_GROUP_THRESHOLD: f64 = 0.5;
 
 /// The outcome of one property job.
 #[derive(Clone, Debug)]
@@ -70,6 +73,11 @@ pub struct SessionReport {
     pub results: Vec<PropertyResult>,
     /// One report per coverage set, in the order they were added.
     pub coverage: Vec<CoverageReport>,
+    /// The property groups the session scheduled, as indices into
+    /// [`SessionReport::results`], in group order. Every property appears in
+    /// exactly one group; with grouping disabled (or an engine lane that
+    /// does not group) every group is a singleton.
+    pub groups: Vec<Vec<usize>>,
 }
 
 impl SessionReport {
@@ -117,6 +125,8 @@ pub struct VerifySession<'n> {
     budget: Option<Budget>,
     anchor_at_run: bool,
     threads: usize,
+    grouping: bool,
+    group_threshold: f64,
     sink: Option<Arc<dyn TraceSink>>,
 }
 
@@ -149,6 +159,8 @@ impl<'n> VerifySession<'n> {
             budget: None,
             anchor_at_run: false,
             threads: 1,
+            grouping: true,
+            group_threshold: DEFAULT_GROUP_THRESHOLD,
             sink: None,
         }
     }
@@ -234,6 +246,32 @@ impl<'n> VerifySession<'n> {
         self
     }
 
+    /// Enables or disables COI-overlap property grouping (default on).
+    ///
+    /// When on and the engine lane is [`EngineKind::PlainMc`] or
+    /// [`EngineKind::Bmc`], properties whose register cones of influence
+    /// overlap (Jaccard at least [`VerifySession::group_threshold`]) share
+    /// one job: one model build, one reachability fixpoint (or one
+    /// incremental SAT unrolling), one warm-start store entry. Verdicts and
+    /// falsification depths are identical to ungrouped runs; singleton
+    /// groups take the exact per-property path. The RFN and race lanes
+    /// always run per property.
+    #[must_use]
+    pub fn grouping(mut self, grouping: bool) -> Self {
+        self.grouping = grouping;
+        self
+    }
+
+    /// Sets the Jaccard COI-overlap threshold for grouping (default
+    /// [`DEFAULT_GROUP_THRESHOLD`]). Properties join a group when their
+    /// register-COI Jaccard similarity with the group's leader reaches the
+    /// threshold; above `1.0` every property is a singleton.
+    #[must_use]
+    pub fn group_threshold(mut self, threshold: f64) -> Self {
+        self.group_threshold = threshold;
+        self
+    }
+
     /// Sets the stderr verbosity (routed through a [`StderrSink`], so the
     /// human log is the same event stream as the structured trace).
     #[must_use]
@@ -306,11 +344,31 @@ impl<'n> VerifySession<'n> {
             self.coverage_options.common.budget = shared;
         }
         let n_props = self.properties.len();
-        let n_jobs = n_props + self.coverage_sets.len();
         let buffering = self.sink.is_some();
 
+        // Group jobs: COI-overlap clusters for the lanes that can share a
+        // model, singletons everywhere else. Clustering is deterministic,
+        // so the job partition (and thus the merged event stream) does not
+        // depend on the thread count.
+        let use_groups = self.grouping
+            && n_props > 1
+            && matches!(self.engine, EngineKind::PlainMc | EngineKind::Bmc);
+        let groups: Vec<(Vec<usize>, String)> = if use_groups {
+            PropertyGroups::cluster(self.netlist, &self.properties, self.group_threshold)
+                .groups()
+                .iter()
+                .map(|g| (g.members().to_vec(), g.key(&self.properties)))
+                .collect()
+        } else {
+            (0..n_props)
+                .map(|i| (vec![i], self.properties[i].name.clone()))
+                .collect()
+        };
+        let n_groups = groups.len();
+        let n_jobs = n_groups + self.coverage_sets.len();
+
         enum JobOut {
-            Prop(Box<PropertyResult>),
+            Props(Vec<(usize, PropertyResult)>),
             Cov(Box<CoverageReport>),
         }
 
@@ -318,13 +376,19 @@ impl<'n> VerifySession<'n> {
             parallel_map(n_jobs, self.threads, |i| {
                 let mem = Arc::new(MemorySink::new());
                 let ctx = self.job_ctx(&mem, buffering);
-                let out = if i < n_props {
-                    self.run_property(&self.properties[i], ctx)
-                        .map(|r| JobOut::Prop(Box::new(r)))
+                let out = if i < n_groups {
+                    let (members, key) = &groups[i];
+                    if let [pi] = members[..] {
+                        // Singleton groups keep the exact per-property path.
+                        self.run_property(&self.properties[pi], ctx)
+                            .map(|r| JobOut::Props(vec![(pi, r)]))
+                    } else {
+                        self.run_group(members, key, ctx).map(JobOut::Props)
+                    }
                 } else {
                     let mut opts = self.coverage_options.clone();
                     opts.common.trace = ctx;
-                    analyze_coverage(self.netlist, &self.coverage_sets[i - n_props], &opts)
+                    analyze_coverage(self.netlist, &self.coverage_sets[i - n_groups], &opts)
                         .map(|r| JobOut::Cov(Box::new(r)))
                 };
                 let events = if buffering { mem.take() } else { Vec::new() };
@@ -345,13 +409,26 @@ impl<'n> VerifySession<'n> {
             }
         }
 
-        let mut report = SessionReport::default();
+        // Scatter per-property results back into submission order.
+        let mut slots: Vec<Option<PropertyResult>> = (0..n_props).map(|_| None).collect();
+        let mut report = SessionReport {
+            groups: groups.into_iter().map(|(members, _)| members).collect(),
+            ..SessionReport::default()
+        };
         for out in outs {
             match out? {
-                JobOut::Prop(r) => report.results.push(*r),
+                JobOut::Props(results) => {
+                    for (pi, r) in results {
+                        slots[pi] = Some(r);
+                    }
+                }
                 JobOut::Cov(r) => report.coverage.push(*r),
             }
         }
+        report.results = slots
+            .into_iter()
+            .map(|s| s.expect("every property is in exactly one group"))
+            .collect();
         Ok(report)
     }
 
@@ -369,6 +446,95 @@ impl<'n> VerifySession<'n> {
             ])))
         } else {
             TraceCtx::new(mem.clone() as Arc<dyn TraceSink>)
+        }
+    }
+
+    /// Runs one non-singleton group job: the group engines share a model,
+    /// reached set or SAT unrolling across all members and return one
+    /// per-property report each, which this maps onto the same
+    /// [`PropertyResult`]s (and verdicts) the per-property lanes produce.
+    fn run_group(
+        &self,
+        members: &[usize],
+        key: &str,
+        ctx: TraceCtx,
+    ) -> Result<Vec<(usize, PropertyResult)>, RfnError> {
+        let props: Vec<Property> = members
+            .iter()
+            .map(|&pi| self.properties[pi].clone())
+            .collect();
+        match self.engine {
+            EngineKind::PlainMc => {
+                let mut plain = self.plain_options.clone();
+                plain.common.trace = ctx;
+                let mut opts = GroupOptions::default().with_plain(plain);
+                if let Some(dir) = &self.options.order_cache_dir {
+                    opts = opts.with_store_dir(dir.clone());
+                }
+                let reports = verify_plain_group(self.netlist, &props, key, &opts)?;
+                Ok(members
+                    .iter()
+                    .zip(props.into_iter().zip(reports))
+                    .map(|(&pi, (property, report))| {
+                        let verdict = match report.verdict {
+                            PlainVerdict::Proved => Verdict::Proved,
+                            PlainVerdict::Falsified { depth } => {
+                                Verdict::Falsified { trace: None, depth }
+                            }
+                            PlainVerdict::OutOfCapacity => Verdict::Inconclusive {
+                                reason: "plain model checking out of capacity".to_owned(),
+                            },
+                        };
+                        let result = PropertyResult {
+                            property,
+                            verdict,
+                            stats: None,
+                            plain: Some(report),
+                            bmc: None,
+                        };
+                        (pi, result)
+                    })
+                    .collect())
+            }
+            EngineKind::Bmc => {
+                let mut opts = self.bmc_options.clone();
+                opts.common.trace = ctx;
+                let reports = verify_bmc_group(self.netlist, &props, key, &opts)?;
+                Ok(members
+                    .iter()
+                    .zip(props.into_iter().zip(reports))
+                    .map(|(&pi, (property, report))| {
+                        let verdict = match report.verdict {
+                            BmcVerdict::Falsified { depth } => Verdict::Falsified {
+                                trace: report.trace.clone(),
+                                depth,
+                            },
+                            BmcVerdict::BoundedSafe { depth } => Verdict::Inconclusive {
+                                reason: format!("no counterexample up to bounded depth {depth}"),
+                            },
+                            BmcVerdict::OutOfBudget { depth, ref reason } => {
+                                Verdict::Inconclusive {
+                                    reason: match depth {
+                                        Some(d) => format!("{reason} after completing depth {d}"),
+                                        None => format!("{reason} before completing any depth"),
+                                    },
+                                }
+                            }
+                        };
+                        let result = PropertyResult {
+                            property,
+                            verdict,
+                            stats: None,
+                            plain: None,
+                            bmc: Some(report),
+                        };
+                        (pi, result)
+                    })
+                    .collect())
+            }
+            EngineKind::Rfn | EngineKind::Race => {
+                unreachable!("grouping only schedules the plain-MC and BMC lanes")
+            }
         }
     }
 
@@ -510,6 +676,97 @@ mod tests {
         assert!(serial.contains("\"name\":\"rfn\""));
         assert_eq!(serial, run(2));
         assert_eq!(serial, run(4));
+    }
+
+    /// A 2-bit saturating counter with detectors on values 1 and 2: both
+    /// properties have the same register COI, so they group at any
+    /// threshold up to 1.0.
+    fn overlapping_design() -> (Netlist, Property, Property) {
+        let mut n = Netlist::new("overlap");
+        let b0 = n.add_register("b0", Some(false));
+        let b1 = n.add_register("b1", Some(false));
+        let full = n.add_gate("full", GateOp::And, &[b0, b1]);
+        let nb0 = n.add_gate("nb0", GateOp::Not, &[b0]);
+        let t0 = n.add_gate("t0", GateOp::Or, &[nb0, full]);
+        let inc1 = n.add_gate("inc1", GateOp::Xor, &[b1, b0]);
+        let t1 = n.add_gate("t1", GateOp::Or, &[inc1, full]);
+        n.set_register_next(b0, t0).unwrap();
+        n.set_register_next(b1, t1).unwrap();
+        let nb1 = n.add_gate("nb1", GateOp::Not, &[b1]);
+        let at1 = n.add_gate("at1", GateOp::And, &[b0, nb1]);
+        let at2 = n.add_gate("at2", GateOp::And, &[nb0, b1]);
+        n.validate().unwrap();
+        let p1 = Property::never(&n, "no_1", at1);
+        let p2 = Property::never(&n, "no_2", at2);
+        (n, p1, p2)
+    }
+
+    #[test]
+    fn grouped_plain_session_matches_ungrouped_verdicts() {
+        let (n, p1, p2) = overlapping_design();
+        let grouped = VerifySession::new(&n)
+            .properties([p1.clone(), p2.clone()])
+            .engine(EngineKind::PlainMc)
+            .run()
+            .unwrap();
+        assert_eq!(grouped.groups, vec![vec![0, 1]]);
+        let ungrouped = VerifySession::new(&n)
+            .properties([p1, p2])
+            .engine(EngineKind::PlainMc)
+            .grouping(false)
+            .run()
+            .unwrap();
+        assert_eq!(ungrouped.groups, vec![vec![0], vec![1]]);
+        for (g, u) in grouped.results.iter().zip(&ungrouped.results) {
+            assert_eq!(format!("{:?}", g.verdict), format!("{:?}", u.verdict));
+            assert!(g.plain.is_some());
+        }
+        assert!(matches!(
+            grouped.results[0].verdict,
+            Verdict::Falsified { depth: 1, .. }
+        ));
+        assert!(matches!(
+            grouped.results[1].verdict,
+            Verdict::Falsified { depth: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn grouped_bmc_session_carries_traces() {
+        let (n, p1, p2) = overlapping_design();
+        let report = VerifySession::new(&n)
+            .properties([p1, p2])
+            .engine(EngineKind::Bmc)
+            .run()
+            .unwrap();
+        assert_eq!(report.groups, vec![vec![0, 1]]);
+        assert!(matches!(
+            report.results[0].verdict,
+            Verdict::Falsified {
+                trace: Some(_),
+                depth: 1
+            }
+        ));
+        assert!(matches!(
+            report.results[1].verdict,
+            Verdict::Falsified {
+                trace: Some(_),
+                depth: 2
+            }
+        ));
+        assert!(report.results.iter().all(|r| r.bmc.is_some()));
+    }
+
+    #[test]
+    fn threshold_above_one_forces_singletons() {
+        let (n, p1, p2) = overlapping_design();
+        let report = VerifySession::new(&n)
+            .properties([p1, p2])
+            .engine(EngineKind::PlainMc)
+            .group_threshold(1.1)
+            .run()
+            .unwrap();
+        assert_eq!(report.groups, vec![vec![0], vec![1]]);
     }
 
     #[test]

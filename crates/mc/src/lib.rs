@@ -40,7 +40,9 @@
 #![warn(missing_docs)]
 
 mod error;
+mod group;
 mod model;
+mod multi;
 mod options;
 mod par;
 mod plain;
@@ -48,10 +50,12 @@ mod reach;
 pub mod store;
 
 pub use error::McError;
+pub use group::{verify_plain_group, GroupOptions};
 pub use model::{
     ModelOptions, ModelSpec, StateCube, StaticOrder, SymbolicModel, TransitionRelation, VarKind,
     DEFAULT_CLUSTER_LIMIT,
 };
+pub use multi::{forward_reach_multi, forward_reach_multi_warm, MultiReachResult, TargetVerdict};
 pub use options::CommonOptions;
 pub use par::ParImage;
 pub use plain::{verify_plain, PlainOptions, PlainReport, PlainVerdict};

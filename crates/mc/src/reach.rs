@@ -701,7 +701,7 @@ fn reach_loop(
 
 /// Union of a ring sequence (used when a warm-start scan truncates the
 /// adopted rings at a target hit).
-fn or_all(model: &mut SymbolicModel<'_>, rings: &[Bdd]) -> Result<Bdd, BddError> {
+pub(crate) fn or_all(model: &mut SymbolicModel<'_>, rings: &[Bdd]) -> Result<Bdd, BddError> {
     let mut acc = model.manager_ref().zero();
     for &r in rings {
         acc = model.manager().or(acc, r)?;
@@ -715,7 +715,7 @@ fn or_all(model: &mut SymbolicModel<'_>, rings: &[Bdd]) -> Result<Bdd, BddError>
 /// result always lies between the frontier and the reached set, which makes
 /// its image produce exactly the same new states. Returns the smaller of the
 /// minimized and original frontiers.
-fn simplify_frontier(
+pub(crate) fn simplify_frontier(
     model: &mut SymbolicModel<'_>,
     frontier: Bdd,
     reached: Bdd,

@@ -1,0 +1,478 @@
+//! COI bitsets and COI-overlap property grouping.
+//!
+//! Multi-property designs usually watch a handful of closely related cones:
+//! table-1 style watchdogs over one pipeline share almost all of their
+//! registers. Verifying each property in isolation rebuilds the same model,
+//! variable order and reached set once per property. This module provides the
+//! scheduling substrate for *group verification*: a dense register-bitset
+//! form of [`Coi`] with cheap union/intersection/Jaccard operations, and a
+//! deterministic greedy clustering of properties by COI overlap.
+
+use crate::{Coi, Netlist, Property, SignalId};
+
+/// Dense bitset over the signals of one [`Netlist`], used to represent the
+/// register cone of influence of a property.
+///
+/// Bit `i` corresponds to `SignalId::from_index(i)`; the capacity is the
+/// netlist's `num_signals()`, so sets from the same netlist can be combined
+/// directly.
+///
+/// # Example
+///
+/// ```
+/// use rfn_netlist::{Netlist, GateOp, Coi};
+///
+/// # fn main() -> Result<(), rfn_netlist::NetlistError> {
+/// let mut n = Netlist::new("d");
+/// let i = n.add_input("i");
+/// let r = n.add_register("r", Some(false));
+/// let g = n.add_gate("g", GateOp::And, &[i, r]);
+/// n.set_register_next(r, g)?;
+/// n.validate()?;
+/// let set = Coi::of(&n, [g]).register_set(&n);
+/// assert!(set.contains(r));
+/// assert_eq!(set.count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoiSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl CoiSet {
+    /// Creates an empty set with capacity for `num_signals` signals.
+    pub fn empty(num_signals: usize) -> Self {
+        CoiSet {
+            words: vec![0; num_signals.div_ceil(64)],
+            capacity: num_signals,
+        }
+    }
+
+    /// Creates a set containing exactly the given signals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any signal index is `>= num_signals`.
+    pub fn from_signals(num_signals: usize, signals: impl IntoIterator<Item = SignalId>) -> Self {
+        let mut set = CoiSet::empty(num_signals);
+        for s in signals {
+            set.insert(s);
+        }
+        set
+    }
+
+    /// Number of signals the set can hold (the netlist's `num_signals()`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal index is out of capacity.
+    pub fn insert(&mut self, signal: SignalId) {
+        let i = signal.index();
+        assert!(i < self.capacity, "signal {signal} out of CoiSet capacity");
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Tests membership. Out-of-capacity signals are never members.
+    pub fn contains(&self, signal: SignalId) -> bool {
+        let i = signal.index();
+        i < self.capacity && self.words[i / 64] >> (i % 64) & 1 != 0
+    }
+
+    /// Number of signals in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if the set holds no signals.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Set union, as a new set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ (sets from different netlists).
+    pub fn union(&self, other: &CoiSet) -> CoiSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Unions `other` into `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ (sets from different netlists).
+    pub fn union_with(&mut self, other: &CoiSet) {
+        assert_eq!(self.capacity, other.capacity, "CoiSet capacity mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Set intersection, as a new set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ (sets from different netlists).
+    pub fn intersect(&self, other: &CoiSet) -> CoiSet {
+        assert_eq!(self.capacity, other.capacity, "CoiSet capacity mismatch");
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        CoiSet {
+            words,
+            capacity: self.capacity,
+        }
+    }
+
+    /// Size of the intersection, without allocating.
+    pub fn intersection_count(&self, other: &CoiSet) -> usize {
+        assert_eq!(self.capacity, other.capacity, "CoiSet capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Jaccard similarity `|a ∩ b| / |a ∪ b|` in `[0, 1]`.
+    ///
+    /// Two empty sets are defined as identical (similarity `1.0`), so
+    /// register-free properties cluster together rather than each forming a
+    /// degenerate group.
+    pub fn jaccard(&self, other: &CoiSet) -> f64 {
+        assert_eq!(self.capacity, other.capacity, "CoiSet capacity mismatch");
+        let mut inter = 0usize;
+        let mut union = 0usize;
+        for (a, b) in self.words.iter().zip(&other.words) {
+            inter += (a & b).count_ones() as usize;
+            union += (a | b).count_ones() as usize;
+        }
+        if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// Iterates the member signals in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = SignalId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w >> b & 1 != 0)
+                .map(move |b| SignalId::from_index(wi * 64 + b))
+        })
+    }
+
+    /// Collects the member signals into a sorted `Vec`.
+    pub fn to_signals(&self) -> Vec<SignalId> {
+        self.iter().collect()
+    }
+}
+
+impl Coi {
+    /// Returns the register COI as a dense bitset over the netlist's signals.
+    ///
+    /// Agrees exactly with [`Coi::registers`]; the bitset form supports the
+    /// constant-time overlap tests used by [`PropertyGroups::cluster`].
+    pub fn register_set(&self, netlist: &Netlist) -> CoiSet {
+        CoiSet::from_signals(netlist.num_signals(), self.registers().iter().copied())
+    }
+}
+
+/// One cluster of properties produced by [`PropertyGroups::cluster`].
+#[derive(Clone, Debug)]
+pub struct PropertyGroup {
+    members: Vec<usize>,
+    coi: CoiSet,
+}
+
+impl PropertyGroup {
+    /// Indices into the clustered property slice, ascending.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Union register COI over all members.
+    pub fn coi(&self) -> &CoiSet {
+        &self.coi
+    }
+
+    /// True if the group holds a single property.
+    pub fn is_singleton(&self) -> bool {
+        self.members.len() == 1
+    }
+
+    /// Deterministic key naming this group, suitable for warm-start store
+    /// entries: member property names joined with `+`, truncated with a
+    /// stable hash suffix when over-long so file names stay bounded.
+    pub fn key(&self, properties: &[Property]) -> String {
+        let joined = self
+            .members
+            .iter()
+            .map(|&i| properties[i].name.as_str())
+            .collect::<Vec<_>>()
+            .join("+");
+        if joined.len() <= 64 {
+            return joined;
+        }
+        // FNV-1a over the full joined key keeps the truncated form unique
+        // enough for cache-entry naming while staying deterministic.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in joined.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let head: String = joined.chars().take(40).collect();
+        format!("{head}+{}more-{h:016x}", self.members.len() - 1)
+    }
+}
+
+/// A partition of a property list into COI-overlap clusters.
+///
+/// Produced by [`PropertyGroups::cluster`]; groups appear in the order their
+/// leader property appears in the input, and each group's members are in
+/// ascending input order, so the partition is deterministic for a given
+/// netlist, property list and threshold.
+///
+/// # Example
+///
+/// ```
+/// use rfn_netlist::{Netlist, GateOp, Property, PropertyGroups};
+///
+/// # fn main() -> Result<(), rfn_netlist::NetlistError> {
+/// let mut n = Netlist::new("d");
+/// let r = n.add_register("r", Some(false));
+/// let g = n.add_gate("g", GateOp::Not, &[r]);
+/// n.set_register_next(r, g)?;
+/// n.validate()?;
+/// let props = [Property::never(&n, "p", r), Property::never(&n, "q", g)];
+/// let groups = PropertyGroups::cluster(&n, &props, 0.5);
+/// assert_eq!(groups.len(), 1); // identical COIs cluster together
+/// assert_eq!(groups.groups()[0].members(), &[0, 1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct PropertyGroups {
+    groups: Vec<PropertyGroup>,
+}
+
+impl PropertyGroups {
+    /// Buckets properties by register-COI overlap.
+    ///
+    /// Greedy leader-based clustering: properties are scanned in input
+    /// order; each joins the existing group whose *leader* (first member) COI
+    /// has the highest Jaccard similarity, provided that similarity is
+    /// `>= threshold`; ties break to the lowest group index; otherwise the
+    /// property starts a new group. Each group tracks the union COI of its
+    /// members for model construction.
+    pub fn cluster(netlist: &Netlist, properties: &[Property], threshold: f64) -> Self {
+        let sets: Vec<CoiSet> = properties
+            .iter()
+            .map(|p| Coi::of(netlist, [p.signal]).register_set(netlist))
+            .collect();
+        let mut groups: Vec<PropertyGroup> = Vec::new();
+        let mut leaders: Vec<usize> = Vec::new();
+        for (i, set) in sets.iter().enumerate() {
+            let mut best: Option<(usize, f64)> = None;
+            for (gi, &leader) in leaders.iter().enumerate() {
+                let j = sets[leader].jaccard(set);
+                if j >= threshold && best.is_none_or(|(_, bj)| j > bj) {
+                    best = Some((gi, j));
+                }
+            }
+            match best {
+                Some((gi, _)) => {
+                    groups[gi].members.push(i);
+                    groups[gi].coi.union_with(set);
+                }
+                None => {
+                    leaders.push(i);
+                    groups.push(PropertyGroup {
+                        members: vec![i],
+                        coi: set.clone(),
+                    });
+                }
+            }
+        }
+        PropertyGroups { groups }
+    }
+
+    /// The trivial partition: one singleton group per property, in order.
+    ///
+    /// Used when grouping is disabled (`--no-group`); group COIs are still
+    /// computed so callers can treat both partitions uniformly.
+    pub fn singletons(netlist: &Netlist, properties: &[Property]) -> Self {
+        let groups = properties
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PropertyGroup {
+                members: vec![i],
+                coi: Coi::of(netlist, [p.signal]).register_set(netlist),
+            })
+            .collect();
+        PropertyGroups { groups }
+    }
+
+    /// The groups, in leader order.
+    pub fn groups(&self) -> &[PropertyGroup] {
+        &self.groups
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True if there are no groups (empty property list).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Number of groups holding more than one property.
+    pub fn num_non_singleton(&self) -> usize {
+        self.groups.iter().filter(|g| !g.is_singleton()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateOp;
+
+    /// Two independent 2-register chains plus one property bridging both.
+    fn two_chains() -> (Netlist, Vec<Property>) {
+        let mut n = Netlist::new("two_chains");
+        let mut regs = Vec::new();
+        for c in 0..2 {
+            let r1 = n.add_register(&format!("c{c}_r1"), Some(false));
+            let r2 = n.add_register(&format!("c{c}_r2"), Some(false));
+            let g = n.add_gate(&format!("c{c}_g"), GateOp::Not, &[r1]);
+            n.set_register_next(r1, r1).unwrap();
+            n.set_register_next(r2, g).unwrap();
+            regs.push((r1, r2));
+        }
+        let bridge = n.add_gate("bridge", GateOp::And, &[regs[0].1, regs[1].1]);
+        n.validate().unwrap();
+        let props = vec![
+            Property::never(&n, "a1", regs[0].1),
+            Property::never(&n, "a2", regs[0].0),
+            Property::never(&n, "b1", regs[1].1),
+            Property::never(&n, "bridge", bridge),
+        ];
+        (n, props)
+    }
+
+    #[test]
+    fn bitset_agrees_with_traversal() {
+        let (n, props) = two_chains();
+        for p in &props {
+            let coi = Coi::of(&n, [p.signal]);
+            let set = coi.register_set(&n);
+            assert_eq!(set.to_signals(), coi.registers());
+            assert_eq!(set.count(), coi.num_registers());
+            for &r in coi.registers() {
+                assert!(set.contains(r));
+            }
+        }
+    }
+
+    #[test]
+    fn union_intersect_jaccard() {
+        let (n, props) = two_chains();
+        let a = Coi::of(&n, [props[0].signal]).register_set(&n); // chain 0: r1, r2
+        let b = Coi::of(&n, [props[2].signal]).register_set(&n); // chain 1: r1, r2
+        let u = a.union(&b);
+        assert_eq!(u.count(), 4);
+        assert!(a.intersect(&b).is_empty());
+        assert_eq!(a.intersection_count(&b), 0);
+        assert_eq!(a.jaccard(&b), 0.0);
+        assert_eq!(a.jaccard(&a), 1.0);
+        // Sub-cone: property a2 watches only c0_r1.
+        let sub = Coi::of(&n, [props[1].signal]).register_set(&n);
+        assert_eq!(a.intersection_count(&sub), 1);
+        assert!((a.jaccard(&sub) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets_are_identical() {
+        let a = CoiSet::empty(10);
+        let b = CoiSet::empty(10);
+        assert_eq!(a.jaccard(&b), 1.0);
+        assert!(a.is_empty());
+        assert_eq!(a.count(), 0);
+    }
+
+    #[test]
+    fn cluster_buckets_by_overlap() {
+        let (n, props) = two_chains();
+        let groups = PropertyGroups::cluster(&n, &props, 0.5);
+        // a1 leads group 0; a2 (jaccard 0.5 with a1) joins it; b1 starts
+        // group 1; bridge (jaccard 0.5 with both leaders, tie) joins the
+        // lowest-index group.
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups.groups()[0].members(), &[0, 1, 3]);
+        assert_eq!(groups.groups()[1].members(), &[2]);
+        assert_eq!(groups.num_non_singleton(), 1);
+        // Group 0's union COI covers all four registers (bridge spans both).
+        assert_eq!(groups.groups()[0].coi().count(), 4);
+    }
+
+    #[test]
+    fn threshold_one_groups_only_identical_cones() {
+        let (n, props) = two_chains();
+        let groups = PropertyGroups::cluster(&n, &props, 1.0);
+        assert_eq!(groups.len(), 4);
+        assert_eq!(groups.num_non_singleton(), 0);
+    }
+
+    #[test]
+    fn singletons_partition() {
+        let (n, props) = two_chains();
+        let groups = PropertyGroups::singletons(&n, &props);
+        assert_eq!(groups.len(), props.len());
+        for (i, g) in groups.groups().iter().enumerate() {
+            assert_eq!(g.members(), &[i]);
+            assert!(g.is_singleton());
+        }
+    }
+
+    #[test]
+    fn group_keys_are_joined_names() {
+        let (n, props) = two_chains();
+        let groups = PropertyGroups::cluster(&n, &props, 0.5);
+        assert_eq!(groups.groups()[0].key(&props), "a1+a2+bridge");
+        assert_eq!(groups.groups()[1].key(&props), "b1");
+    }
+
+    #[test]
+    fn long_group_keys_truncate_deterministically() {
+        let mut n = Netlist::new("long");
+        let r = n.add_register("r", Some(false));
+        n.set_register_next(r, r).unwrap();
+        n.validate().unwrap();
+        let props: Vec<Property> = (0..12)
+            .map(|k| Property::never(&n, format!("very_long_property_name_{k}"), r))
+            .collect();
+        let groups = PropertyGroups::cluster(&n, &props, 0.5);
+        assert_eq!(groups.len(), 1);
+        let key = groups.groups()[0].key(&props);
+        let again = groups.groups()[0].key(&props);
+        assert_eq!(key, again);
+        assert!(key.len() < 80, "key stays bounded: {key}");
+        assert!(key.contains("more-"));
+    }
+}

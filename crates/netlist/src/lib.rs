@@ -16,6 +16,8 @@
 //!   engines,
 //! * cone-of-influence and transitive-fanin computations ([`Coi`],
 //!   [`transitive_fanin`]) used to size designs and seed abstractions,
+//! * COI bitsets and COI-overlap property clustering ([`CoiSet`],
+//!   [`PropertyGroups`]) scheduling multi-property group verification,
 //! * *abstract models*: subcircuits induced by a set of registers
 //!   ([`Abstraction`], [`AbstractView`]) where excluded registers become free
 //!   pseudo-inputs,
@@ -66,6 +68,7 @@ mod abstraction;
 mod cone;
 mod cube;
 mod error;
+mod group;
 mod mincut;
 mod netlist;
 pub mod order;
@@ -77,6 +80,7 @@ pub use abstraction::{AbstractView, Abstraction};
 pub use cone::{transitive_fanin, transitive_fanout_gates, Coi};
 pub use cube::{Cube, CubeConflict, Trace, TraceStep};
 pub use error::NetlistError;
+pub use group::{CoiSet, PropertyGroup, PropertyGroups};
 pub use mincut::{compute_free_cut, compute_min_cut, FreeCut, MinCut};
 pub use netlist::{Net, NetKind, Netlist};
 pub use order::{arrangement_span, force_order};

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use rfn_netlist::{
     compute_free_cut, compute_min_cut, parse_netlist, transitive_fanin, write_netlist, Abstraction,
-    Coi, Cube, GateOp, Netlist, SignalId,
+    Coi, Cube, GateOp, Netlist, Property, PropertyGroups, SignalId,
 };
 
 /// Generates a random layered sequential netlist: `n_inputs` inputs,
@@ -166,6 +166,78 @@ proptest! {
         let mut ba = b.clone();
         ba.merge(&a).unwrap();
         prop_assert_eq!(ab, ba);
+    }
+
+    /// The COI bitset agrees signal-for-signal with the traversal-based COI.
+    #[test]
+    fn coi_bitset_matches_traversal(n in arb_netlist(3, 5, 15), pick in any::<u8>()) {
+        let regs = n.registers();
+        let r = regs[pick as usize % regs.len()];
+        let coi = Coi::of(&n, [r]);
+        let set = coi.register_set(&n);
+        prop_assert_eq!(set.to_signals(), coi.registers().to_vec());
+        prop_assert_eq!(set.count(), coi.num_registers());
+        for s in n.registers() {
+            prop_assert_eq!(set.contains(*s), coi.registers().contains(s));
+        }
+    }
+
+    /// Bitset union of single-root COIs equals the multi-root COI (COI is a
+    /// closure, so the traversal from both roots is the union of traversals).
+    #[test]
+    fn coi_bitset_union_matches_multi_root(n in arb_netlist(3, 5, 15), pick in any::<u8>()) {
+        let regs = n.registers();
+        let a = regs[pick as usize % regs.len()];
+        let b = regs[(pick as usize / 7 + 3) % regs.len()];
+        let sa = Coi::of(&n, [a]).register_set(&n);
+        let sb = Coi::of(&n, [b]).register_set(&n);
+        let both = Coi::of(&n, [a, b]).register_set(&n);
+        prop_assert_eq!(&sa.union(&sb), &both);
+        // Intersection is contained in each operand, and Jaccard is a
+        // symmetric similarity in [0, 1] that is 1 on identical sets.
+        let inter = sa.intersect(&sb);
+        for s in inter.iter() {
+            prop_assert!(sa.contains(s) && sb.contains(s));
+        }
+        prop_assert_eq!(inter.count(), sa.intersection_count(&sb));
+        let j = sa.jaccard(&sb);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert_eq!(sb.jaccard(&sa), j);
+        prop_assert_eq!(sa.jaccard(&sa), 1.0);
+    }
+
+    /// Clustering yields a deterministic partition whose group COIs are the
+    /// unions of their members' COIs; a threshold above 1 forces singletons.
+    #[test]
+    fn clustering_partitions_properties(n in arb_netlist(3, 5, 15), t in 0u8..11) {
+        let props: Vec<Property> = n
+            .registers()
+            .iter()
+            .enumerate()
+            .map(|(k, &r)| Property::never(&n, format!("p{k}"), r))
+            .collect();
+        let threshold = f64::from(t) / 10.0;
+        let groups = PropertyGroups::cluster(&n, &props, threshold);
+        let again = PropertyGroups::cluster(&n, &props, threshold);
+        prop_assert_eq!(groups.len(), again.len());
+        let mut seen = vec![false; props.len()];
+        for (g, g2) in groups.groups().iter().zip(again.groups()) {
+            prop_assert_eq!(g.members(), g2.members());
+            let mut expect = rfn_netlist::CoiSet::empty(n.num_signals());
+            for &m in g.members() {
+                prop_assert!(!seen[m], "property in two groups");
+                seen[m] = true;
+                expect.union_with(&Coi::of(&n, [props[m].signal]).register_set(&n));
+            }
+            prop_assert_eq!(g.coi(), &expect);
+            let mut sorted = g.members().to_vec();
+            sorted.sort_unstable();
+            prop_assert_eq!(g.members(), &sorted[..]);
+        }
+        prop_assert!(seen.iter().all(|&s| s), "property missing from partition");
+        let singletons = PropertyGroups::cluster(&n, &props, 1.1);
+        prop_assert_eq!(singletons.len(), props.len());
+        prop_assert_eq!(singletons.num_non_singleton(), 0);
     }
 
     /// `implies` is reflexive and transitive over random cubes.

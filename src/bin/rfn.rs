@@ -8,7 +8,7 @@
 //!            [--time-limit <s>] [--threads <n>] [--sim-batches <n>]
 //!            [--sim-seed <n>] [--cluster-limit <nodes>] [--bdd-threads <n>]
 //!            [--static-order <seed|force>] [--dvo-schedule <spec>]
-//!            [--order-cache-dir <dir>]
+//!            [--order-cache-dir <dir>] [--group-threshold <t>] [--no-group]
 //!            [--checkpoint-dir <dir>] [--resume]
 //!            [--no-frontier-simplify] [--trace-out <file>] [--breakdown] [-v]
 //! rfn coverage <netlist> --signals <a,b,c> [--bfs <k>] [--time-limit <s>]
@@ -63,6 +63,13 @@
 //! printed in command-line order. The exit code is the worst verdict: any
 //! falsification wins over any inconclusive result.
 //!
+//! With the `plain` and `bmc` engines, properties whose register cones of
+//! influence overlap are *grouped*: each group shares one model build and
+//! one reachability fixpoint (or one incremental SAT unrolling), which is
+//! faster while producing verdicts and depths identical to ungrouped runs.
+//! `--group-threshold <t>` sets the Jaccard COI-overlap needed to join a
+//! group (default 0.5); `--no-group` disables grouping entirely.
+//!
 //! `--time-limit` is one budget *shared by the whole portfolio* — all
 //! properties race the same deadline. `--checkpoint-dir` makes each RFN job
 //! snapshot its refinement loop after every iteration; `--resume` continues
@@ -108,7 +115,7 @@ usage:
              [--time-limit <s>] [--threads <n>] [--sim-batches <n>]
              [--sim-seed <n>] [--cluster-limit <nodes>] [--bdd-threads <n>]
              [--static-order <seed|force>] [--dvo-schedule <spec>]
-             [--order-cache-dir <dir>]
+             [--order-cache-dir <dir>] [--group-threshold <t>] [--no-group]
              [--checkpoint-dir <dir>] [--resume]
              [--no-frontier-simplify] [--trace-out <file>] [--breakdown] [-v]
   rfn coverage <netlist> --signals <a,b,c> [--bfs <k>] [--time-limit <s>]
@@ -132,6 +139,10 @@ order, force = FORCE topological pre-ordering); `--dvo-schedule` picks the
 reorder trigger (never|doubling|growth[:R]|time[:MS]|backoff[:R]);
 `--order-cache-dir` warm-starts repeat runs from the converged order saved
 per (design, property). Verdicts are identical under every ordering knob.
+With --engine plain/bmc, properties with overlapping register COIs share
+one model and fixpoint (or SAT unrolling) per group; `--group-threshold`
+sets the Jaccard overlap to join a group (default 0.5), `--no-group`
+disables grouping. Verdicts and depths match ungrouped runs exactly.
 `--time-limit` is one budget shared by the whole portfolio (all properties
 race the same deadline). `--checkpoint-dir` snapshots each RFN job's
 refinement loop after every iteration; `--resume` continues from the
@@ -409,6 +420,15 @@ fn verify(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
         .properties(properties)
         .threads(thread_count(rest)?)
         .verbosity(u8::from(rest.iter().any(|a| a.as_str() == "-v")));
+    if rest.iter().any(|a| a.as_str() == "--no-group") {
+        session = session.grouping(false);
+    }
+    if let Some(s) = flag_value(rest, "--group-threshold") {
+        let t = s
+            .parse::<f64>()
+            .map_err(|_| format!("bad --group-threshold `{s}`"))?;
+        session = session.group_threshold(t);
+    }
     if let Some(limit) = time_limit(rest)? {
         session = session.time_limit(limit);
     }
