@@ -93,7 +93,7 @@ struct Run {
 
 /// A throughput-comparison row (section 2).
 struct ReachRow {
-    design: &'static str,
+    design: String,
     target: String,
     registers: usize,
     linear: Run,
@@ -112,7 +112,7 @@ impl ReachRow {
 
 /// A verdict-comparison row (section 3).
 struct VerdictRow {
-    design: &'static str,
+    design: String,
     target: String,
     verdict: ReachVerdict,
     linear_ms: f64,
@@ -122,7 +122,7 @@ struct VerdictRow {
 /// A parallel-sweep row (section 4): the same fixpoint at several
 /// `bdd_threads` settings. `runs[0]` is the 1-thread reference.
 struct ParRow {
-    design: &'static str,
+    design: String,
     target: String,
     registers: usize,
     runs: Vec<(usize, Run)>,
@@ -154,7 +154,7 @@ impl OrderRun {
 /// An ordering-comparison row (section 5): cold seed order vs. FORCE
 /// pre-order vs. warm-start from the persisted store.
 struct OrderRow {
-    design: &'static str,
+    design: String,
     target: String,
     registers: usize,
     cold: OrderRun,
@@ -181,7 +181,7 @@ impl OrderRow {
 /// A multi-target grouping row (section 6): the case target plus register
 /// sub-targets, resolved by one shared fixpoint vs dedicated runs.
 struct MultiRow {
-    design: &'static str,
+    design: String,
     targets: usize,
     single_ms_total: f64,
     multi_ms: f64,
@@ -218,9 +218,27 @@ fn main() -> ExitCode {
     println!("mcbench: image computation (scale: {scale:?}, smoke: {smoke})");
     println!();
 
-    let mut cases = build_cases(scale, reg_override, step_cap);
+    // `--design <spec>` (repeatable) replaces the builtin case list with
+    // designs loaded through `DesignSource` — any spec form works
+    // (`builtin:<name>`, `fuzz:<seed>`, `.aag`/`.aig`/`.cnf` paths).
+    let design_specs = string_flags("--design");
+    let mut cases = if design_specs.is_empty() {
+        build_cases(scale, reg_override, step_cap)
+    } else {
+        let mut cases = Vec::new();
+        for spec in &design_specs {
+            match rfn_bench::common::design_case(spec, reg_override.unwrap_or(32), step_cap) {
+                Ok(case) => cases.push(case),
+                Err(e) => {
+                    eprintln!("mcbench: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        cases
+    };
     if let Some(only) = &only {
-        cases.retain(|c| c.name == only);
+        cases.retain(|c| c.name == *only);
     }
 
     // Section 1: lockstep equivalence on a shared manager.
@@ -258,7 +276,7 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
         let row = ReachRow {
-            design: case.name,
+            design: case.name.clone(),
             target: case.target_name.clone(),
             registers: case.spec.registers.len(),
             linear,
@@ -294,7 +312,7 @@ fn main() -> ExitCode {
             case.name, case.target_name, clustered.verdict, linear.reach_ms, clustered.reach_ms
         );
         verdict_rows.push(VerdictRow {
-            design: case.name,
+            design: case.name.clone(),
             target: case.target_name.clone(),
             verdict: clustered.verdict,
             linear_ms: linear.reach_ms,
@@ -324,7 +342,7 @@ fn main() -> ExitCode {
             }
         }
         let row = ParRow {
-            design: case.name,
+            design: case.name.clone(),
             target: case.target_name.clone(),
             registers: case.spec.registers.len(),
             runs,
@@ -464,6 +482,15 @@ fn string_flag(flag: &str) -> Option<String> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// All values of a repeatable `--flag <value>`, in command-line order.
+fn string_flags(flag: &str) -> Vec<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .filter(|w| w[0] == flag)
+        .map(|w| w[1].clone())
+        .collect()
 }
 
 /// Assembles the benchmark cases: the Table 1 property designs plus the
@@ -782,7 +809,7 @@ fn ordering_case(
         ));
     }
     Ok(OrderRow {
-        design: case.name,
+        design: case.name.clone(),
         target: case.target_name.clone(),
         registers: case.spec.registers.len(),
         cold,
@@ -982,7 +1009,7 @@ fn multi_target_case(case: &Case) -> Result<MultiRow, String> {
         }
     }
     Ok(MultiRow {
-        design: case.name,
+        design: case.name.clone(),
         targets: n_targets,
         single_ms_total,
         multi_ms,

@@ -21,6 +21,9 @@
 //! Results are written to `BENCH_sat.json` (hand-rolled JSON, no
 //! dependencies). `--smoke` shrinks depth bounds and time limits for CI;
 //! `--quick` selects the scaled-down designs (paper-sized otherwise).
+//! `--design <spec>` (repeatable) replaces the builtin depth-sweep list
+//! with designs loaded through `DesignSource` — any spec form works — and
+//! sweeps every property each design carries.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -32,7 +35,7 @@ use rfn_designs::{fifo_controller, processor_module, FifoParams};
 use rfn_netlist::{Netlist, Property};
 
 struct Row {
-    design: &'static str,
+    design: String,
     property: String,
     verdict: &'static str,
     depth: usize,
@@ -63,28 +66,64 @@ fn main() -> ExitCode {
     });
     let processor = processor_module(&scale.processor());
 
+    // `--design <spec>` (repeatable) swaps in DesignSource-loaded designs;
+    // their bug expectations are unknown, so only verdict plumbing is gated.
+    let design_specs: Vec<String> = {
+        let args: Vec<String> = std::env::args().collect();
+        args.windows(2)
+            .filter(|w| w[0] == "--design")
+            .map(|w| w[1].clone())
+            .collect()
+    };
+    let mut loaded_designs = Vec::new();
+    for spec in &design_specs {
+        match rfn_bench::common::load_source(spec) {
+            Ok(l) => loaded_designs.push(l),
+            Err(e) => {
+                eprintln!("satbench: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     // Section 1: depth sweep. `expect_bug` is the smoke gate: those
     // properties must be falsified within the depth bound.
-    let cases: Vec<(&'static str, &Netlist, &Property, bool)> = vec![
-        (
-            "fifo",
-            &fifo.netlist,
-            fifo.property("psh_full").expect("bundled"),
-            false,
-        ),
-        (
-            "fifo_bug",
-            &fifo_bug.netlist,
-            fifo_bug.property("psh_hf").expect("bundled"),
-            true,
-        ),
-        (
-            "processor",
-            &processor.netlist,
-            processor.property("error_flag").expect("bundled"),
-            true,
-        ),
-    ];
+    let cases: Vec<(String, &Netlist, &Property, bool)> = if loaded_designs.is_empty() {
+        vec![
+            (
+                "fifo".to_owned(),
+                &fifo.netlist,
+                fifo.property("psh_full").expect("bundled"),
+                false,
+            ),
+            (
+                "fifo_bug".to_owned(),
+                &fifo_bug.netlist,
+                fifo_bug.property("psh_hf").expect("bundled"),
+                true,
+            ),
+            (
+                "processor".to_owned(),
+                &processor.netlist,
+                processor.property("error_flag").expect("bundled"),
+                true,
+            ),
+        ]
+    } else {
+        loaded_designs
+            .iter()
+            .flat_map(|l| {
+                l.design.properties.iter().map(|p| {
+                    (
+                        l.design.netlist.name().to_owned(),
+                        &l.design.netlist,
+                        p,
+                        false,
+                    )
+                })
+            })
+            .collect()
+    };
     let mut rows = Vec::new();
     for (design, netlist, property, expect_bug) in cases {
         let options = BmcOptions::default()

@@ -10,6 +10,7 @@ use std::collections::{HashSet, VecDeque};
 use std::time::Instant;
 
 use rfn_bdd::{Bdd, BddManager};
+use rfn_core::{DesignSource, LoadedDesign};
 use rfn_mc::{ModelOptions, ModelSpec, SymbolicModel};
 use rfn_netlist::{transitive_fanin, Abstraction, GateOp, Netlist, Property, SignalId};
 
@@ -17,7 +18,7 @@ use rfn_netlist::{transitive_fanin, Abstraction, GateOp, Netlist, Property, Sign
 /// abstraction the models are built from.
 pub struct Case {
     /// Short design name for table rows.
-    pub name: &'static str,
+    pub name: String,
     /// The watched signal's name (property or coverage target).
     pub target_name: String,
     /// The full design.
@@ -35,7 +36,7 @@ pub struct Case {
 /// Builds one [`Case`]: the `cap` BFS-nearest registers of the target, as
 /// the coverage engine's initial abstraction would pick.
 pub fn make_case(
-    name: &'static str,
+    name: impl Into<String>,
     netlist: Netlist,
     target_name: String,
     target: SignalId,
@@ -43,6 +44,7 @@ pub fn make_case(
     cap: usize,
     steps: usize,
 ) -> Case {
+    let name = name.into();
     eprintln!("bench: building {name}/{target_name} (cap {cap})");
     let regs = closest_registers(&netlist, target, cap);
     let view = Abstraction::from_registers(regs)
@@ -58,6 +60,47 @@ pub fn make_case(
         spec,
         steps,
     }
+}
+
+/// Resolves and loads a design spec (`builtin:<name>`, `fuzz:<seed>`, an
+/// AIGER/DIMACS/text path — see [`DesignSource`]) with a bench-friendly
+/// string error.
+///
+/// # Errors
+///
+/// The rendered parse/load error when the spec is invalid or the file is
+/// unreadable or malformed.
+pub fn load_source(spec: &str) -> Result<LoadedDesign, String> {
+    DesignSource::parse(spec)
+        .and_then(|source| source.load())
+        .map_err(|e| e.to_string())
+}
+
+/// Builds one [`Case`] from a design spec: loads it through
+/// [`DesignSource`] and bounds the abstraction around its first property's
+/// target. The case is named after the netlist.
+///
+/// # Errors
+///
+/// A load error, or a message naming the spec when the design carries no
+/// properties (text netlists need an explicit `--watch`-style target, which
+/// the bench harnesses do not take).
+pub fn design_case(spec: &str, cap: usize, steps: usize) -> Result<Case, String> {
+    let loaded = load_source(spec)?;
+    let p = loaded
+        .design
+        .properties
+        .first()
+        .ok_or_else(|| format!("design `{spec}` carries no properties to benchmark"))?;
+    Ok(make_case(
+        loaded.design.netlist.name().to_owned(),
+        loaded.design.netlist.clone(),
+        p.name.clone(),
+        p.signal,
+        p.value,
+        cap,
+        steps,
+    ))
 }
 
 /// The `k` registers closest to `target` by register-to-register BFS

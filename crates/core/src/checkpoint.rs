@@ -18,7 +18,10 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// The snapshot schema version written by this build.
-pub const CHECKPOINT_SCHEMA: u32 = 1;
+///
+/// History: 1 = the original format (design identity by name only);
+/// 2 = adds `design_hash`, the canonical design identity checked on resume.
+pub const CHECKPOINT_SCHEMA: u32 = 2;
 
 /// Serialized state of the refinement loop after a completed iteration.
 ///
@@ -29,8 +32,14 @@ pub const CHECKPOINT_SCHEMA: u32 = 1;
 pub struct LoopCheckpoint {
     /// Snapshot schema version ([`CHECKPOINT_SCHEMA`]).
     pub schema: u32,
-    /// Name of the design the snapshot belongs to.
+    /// Name of the design the snapshot belongs to (informational; identity
+    /// is validated through [`LoopCheckpoint::design_hash`]).
     pub design: String,
+    /// Canonical design identity hash: the `DesignSource` identity (file
+    /// content hash) when the design was loaded through one, else the
+    /// structural netlist hash. Stored as a hex string in the JSON so the
+    /// full 64 bits survive the float-based number grammar.
+    pub design_hash: u64,
     /// Name of the property being verified.
     pub property_name: String,
     /// Name of the property's target signal.
@@ -73,6 +82,7 @@ impl LoopCheckpoint {
         s.push('{');
         let _ = write!(s, "\"schema\":{}", self.schema);
         let _ = write!(s, ",\"design\":{}", json_string(&self.design));
+        let _ = write!(s, ",\"design_hash\":\"{:016x}\"", self.design_hash);
         let _ = write!(s, ",\"property_name\":{}", json_string(&self.property_name));
         let _ = write!(
             s,
@@ -150,9 +160,13 @@ impl LoopCheckpoint {
                 Ok((name.to_owned(), kind.to_owned()))
             })
             .collect::<Result<Vec<_>, String>>()?;
+        let design_hash = get_string(obj, "design_hash")?;
+        let design_hash = u64::from_str_radix(&design_hash, 16)
+            .map_err(|_| format!("`design_hash` is not a hex hash: `{design_hash}`"))?;
         Ok(LoopCheckpoint {
             schema,
             design: get_string(obj, "design")?,
+            design_hash,
             property_name: get_string(obj, "property_name")?,
             property_signal: get_string(obj, "property_signal")?,
             property_value: get(obj, "property_value")?
@@ -477,6 +491,7 @@ mod tests {
         LoopCheckpoint {
             schema: CHECKPOINT_SCHEMA,
             design: "proc \"v2\"".to_owned(),
+            design_hash: 0xdead_beef_0123_4567,
             property_name: "mutex".to_owned(),
             property_signal: "err_flag".to_owned(),
             property_value: true,
@@ -509,7 +524,7 @@ mod tests {
 
     #[test]
     fn rejects_wrong_schema() {
-        let json = sample().to_json().replace("\"schema\":1", "\"schema\":99");
+        let json = sample().to_json().replace("\"schema\":2", "\"schema\":99");
         let err = LoopCheckpoint::from_json(&json).unwrap_err();
         assert!(err.contains("schema 99"), "got: {err}");
     }

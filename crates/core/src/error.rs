@@ -70,6 +70,14 @@ pub enum Error {
         /// The underlying model-checking error.
         source: McError,
     },
+    /// A design input (AIGER, DIMACS, text netlist, or a `DesignSource`
+    /// spec string) could not be parsed.
+    Parse {
+        /// What was being parsed: a file path or the spec string itself.
+        input: String,
+        /// The underlying parse error with line/byte location.
+        source: rfn_netlist::ParseError,
+    },
     /// The property's target signal is not part of the design.
     BadProperty(String),
     /// A checkpoint snapshot could not be written, read, or applied (e.g. it
@@ -99,7 +107,7 @@ impl Error {
             Error::Netlist { phase: p, .. }
             | Error::Mc { phase: p, .. }
             | Error::Witness { phase: p, .. } => *p = phase,
-            Error::BadProperty(_) | Error::Checkpoint(_) => {}
+            Error::Parse { .. } | Error::BadProperty(_) | Error::Checkpoint(_) => {}
         }
         self
     }
@@ -115,7 +123,7 @@ impl Error {
             Error::Netlist { phase, .. }
             | Error::Mc { phase, .. }
             | Error::Witness { phase, .. } => Some(*phase),
-            Error::BadProperty(_) | Error::Checkpoint(_) => None,
+            Error::Parse { .. } | Error::BadProperty(_) | Error::Checkpoint(_) => None,
         }
     }
 }
@@ -128,6 +136,9 @@ impl fmt::Display for Error {
             }
             Error::Mc { phase, source } => {
                 write!(f, "model-checking failure during {phase}: {source}")
+            }
+            Error::Parse { input, source } => {
+                write!(f, "cannot parse `{input}`: {source}")
             }
             Error::BadProperty(m) => write!(f, "bad property: {m}"),
             Error::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
@@ -143,6 +154,7 @@ impl std::error::Error for Error {
         match self {
             Error::Netlist { source, .. } => Some(source),
             Error::Mc { source, .. } => Some(source),
+            Error::Parse { source, .. } => Some(source),
             Error::BadProperty(_) | Error::Checkpoint(_) | Error::Witness { .. } => None,
         }
     }

@@ -68,6 +68,7 @@ mod portfolio;
 mod refine;
 mod rfn;
 mod session;
+mod source;
 
 pub use bmc::{
     verify_bmc, verify_bmc_group, BmcOptions, BmcReport, BmcStats, BmcVerdict,
@@ -89,6 +90,7 @@ pub use portfolio::{default_threads, parallel_map};
 pub use refine::{refine, refine_with_roots, RefineOptions, RefineReport};
 pub use rfn::{Rfn, RfnOptions, RfnOutcome, RfnStats};
 pub use session::{PropertyResult, SessionReport, VerifySession, DEFAULT_GROUP_THRESHOLD};
+pub use source::{DesignIdentity, DesignSource, LoadedDesign, BUILTIN_DESIGNS};
 
 pub mod prelude {
     //! One-stop imports for driving the verifier.
@@ -100,10 +102,10 @@ pub mod prelude {
 
     pub use crate::{
         analyze_coverage, bfs_coverage, default_threads, parallel_map, verify_bmc, verify_plain,
-        BmcOptions, BmcReport, BmcVerdict, CommonOptions, CoverageOptions, CoverageReport, Engine,
-        EngineKind, EngineOutcome, Error, LoopCheckpoint, Phase, PlainOptions, PlainReport,
-        PlainVerdict, PropertyResult, Rfn, RfnError, RfnOptions, RfnOutcome, RfnStats,
-        SessionReport, Verdict, VerifySession,
+        BmcOptions, BmcReport, BmcVerdict, CommonOptions, CoverageOptions, CoverageReport,
+        DesignIdentity, DesignSource, Engine, EngineKind, EngineOutcome, Error, LoadedDesign,
+        LoopCheckpoint, Phase, PlainOptions, PlainReport, PlainVerdict, PropertyResult, Rfn,
+        RfnError, RfnOptions, RfnOutcome, RfnStats, SessionReport, Verdict, VerifySession,
     };
     pub use rfn_govern::{Budget, CancelToken, Exhaustion, GovPhase};
     pub use rfn_netlist::{CoverageSet, Netlist, NetlistError, Property, Trace};

@@ -73,6 +73,14 @@ pub struct RfnOptions {
     /// start; a corrupt or mismatched one is a hard error, never a silent
     /// cold start.
     pub order_cache_dir: Option<PathBuf>,
+    /// Canonical design identity hash overriding
+    /// [`Netlist::structural_hash`] as the key for order-cache stores and
+    /// checkpoint validation. Set by [`crate::VerifySession`] from a
+    /// [`crate::DesignIdentity`] (the content hash for file-loaded
+    /// designs), so the same file keeps its warm starts regardless of how
+    /// its netlist was named or renumbered in memory. `None` falls back to
+    /// the structural hash.
+    pub design_hash: Option<u64>,
 }
 
 impl Default for RfnOptions {
@@ -94,6 +102,7 @@ impl Default for RfnOptions {
             checkpoint_dir: None,
             resume: false,
             order_cache_dir: None,
+            design_hash: None,
         }
     }
 }
@@ -135,6 +144,14 @@ impl RfnOptions {
     #[must_use]
     pub fn with_order_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.order_cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the canonical design identity hash (see
+    /// [`RfnOptions::design_hash`]).
+    #[must_use]
+    pub fn with_design_hash(mut self, hash: u64) -> Self {
+        self.design_hash = Some(hash);
         self
     }
 
@@ -436,7 +453,7 @@ impl<'n> Rfn<'n> {
         // newer than anything the cache holds.
         if saved_order.is_empty() {
             if let Some(dir) = &self.options.order_cache_dir {
-                let hash = self.netlist.structural_hash();
+                let hash = self.design_key();
                 if let Some(store) = rfn_mc::store::load_store(dir, hash, &self.property.name)
                     .map_err(|e| RfnError::at(Phase::Setup, e))?
                 {
@@ -768,6 +785,7 @@ impl<'n> Rfn<'n> {
                 let ckpt = LoopCheckpoint {
                     schema: crate::CHECKPOINT_SCHEMA,
                     design: self.netlist.name().to_owned(),
+                    design_hash: self.design_key(),
                     property_name: self.property.name.clone(),
                     property_signal: self.netlist.signal_name(self.property.signal).to_owned(),
                     property_value: self.property.value,
@@ -806,11 +824,18 @@ impl<'n> Rfn<'n> {
         abstraction: &mut Abstraction,
         saved_order: &mut Vec<(SignalId, VarKind)>,
     ) -> Result<(), RfnError> {
-        if ckpt.design != self.netlist.name() {
+        // Design identity is validated by canonical hash, not by name: the
+        // hash is the content hash for file-loaded designs and the
+        // structural hash otherwise, so a renamed file still resumes and a
+        // changed one never does.
+        if ckpt.design_hash != self.design_key() {
             return Err(RfnError::Checkpoint(format!(
-                "snapshot was taken on design `{}`, not `{}`",
+                "snapshot was taken on design `{}` (identity {:016x}), \
+                 not `{}` (identity {:016x})",
                 ckpt.design,
-                self.netlist.name()
+                ckpt.design_hash,
+                self.netlist.name(),
+                self.design_key(),
             )));
         }
         let signal_name = self.netlist.signal_name(self.property.signal);
@@ -847,6 +872,15 @@ impl<'n> Rfn<'n> {
             saved_order.push((find(name)?, kind));
         }
         Ok(())
+    }
+
+    /// The design identity hash keying order caches and checkpoints: the
+    /// session-provided canonical identity when set, else the structural
+    /// netlist hash.
+    fn design_key(&self) -> u64 {
+        self.options
+            .design_hash
+            .unwrap_or_else(|| self.netlist.structural_hash())
     }
 
     /// A stable textual reference for a signal: its name, or `#<index>` for
@@ -932,11 +966,8 @@ impl<'n> Rfn<'n> {
             .iter()
             .map(|&(s, kind)| rfn_mc::store::signal_label(self.netlist, s, kind))
             .collect();
-        let store = rfn_bdd::BddStore::order_only(
-            self.netlist.structural_hash(),
-            self.property.name.clone(),
-            labels,
-        );
+        let store =
+            rfn_bdd::BddStore::order_only(self.design_key(), self.property.name.clone(), labels);
         match rfn_mc::store::save_store(dir, &store) {
             Ok(_) => ctx.point(
                 "order_cache.save",

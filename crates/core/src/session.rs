@@ -45,7 +45,8 @@ use rfn_trace::{merge_streams, Event, FanoutSink, MemorySink, StderrSink, TraceC
 use crate::engine::{build_engines, run_engines};
 use crate::{
     analyze_coverage, parallel_map, verify_bmc_group, BmcOptions, BmcReport, BmcVerdict,
-    CoverageOptions, CoverageReport, EngineKind, RfnError, RfnOptions, RfnStats, Verdict,
+    CoverageOptions, CoverageReport, DesignIdentity, EngineKind, RfnError, RfnOptions, RfnStats,
+    Verdict,
 };
 
 /// Default Jaccard COI-overlap threshold for property grouping.
@@ -235,6 +236,19 @@ impl<'n> VerifySession<'n> {
     #[must_use]
     pub fn resume(mut self, resume: bool) -> Self {
         self.options.resume = resume;
+        self
+    }
+
+    /// Keys warm-start store entries and checkpoint design validation by the
+    /// loaded design's canonical identity (a file content hash for designs
+    /// loaded from `.aag`/`.aig`/`.cnf` files) instead of the netlist's
+    /// structural hash. Drivers that load through
+    /// [`DesignSource::load`](crate::DesignSource::load) should always pass
+    /// the returned identity here, so a renamed file keeps its warm starts
+    /// and checkpoints while a changed file never inherits stale ones.
+    #[must_use]
+    pub fn design_identity(mut self, identity: &DesignIdentity) -> Self {
+        self.options.design_hash = Some(identity.hash);
         self
     }
 
@@ -470,6 +484,9 @@ impl<'n> VerifySession<'n> {
                 let mut opts = GroupOptions::default().with_plain(plain);
                 if let Some(dir) = &self.options.order_cache_dir {
                     opts = opts.with_store_dir(dir.clone());
+                }
+                if let Some(hash) = self.options.design_hash {
+                    opts = opts.with_design_hash(hash);
                 }
                 let reports = verify_plain_group(self.netlist, &props, key, &opts)?;
                 Ok(members

@@ -1,0 +1,372 @@
+//! Unified design loading: one resolver for every input form.
+//!
+//! Every binary in the workspace used to hard-code its design dispatch —
+//! builtin generator names in the bench harnesses, a text-netlist path in
+//! the CLI. [`DesignSource`] replaces all of that with one spec grammar:
+//!
+//! | Spec | Meaning |
+//! |------|---------|
+//! | `builtin:<name>` | A bundled generator (`fifo`, `integer_unit`, `usb`, `processor`) at default parameters |
+//! | `fuzz:<seed>` | The seeded random design `rfn_designs::fuzz_design(seed)` |
+//! | `<path>.aag` / `<path>.aig` | An AIGER file (ascii / binary) |
+//! | `<path>.cnf` | A DIMACS CNF formula (combinational encoding) |
+//! | `<path>` (anything else) | The line-oriented text netlist format |
+//!
+//! A bare name that matches a builtin (e.g. plain `fifo`) also resolves,
+//! so existing command lines keep working.
+//!
+//! [`DesignSource::load`] returns the design *and* a [`DesignIdentity`]:
+//! a canonical spec string plus a stable 64-bit hash (the raw file content
+//! hash for file-backed designs, the structural netlist hash otherwise).
+//! The identity keys warm-start order stores and checkpoint validation, so
+//! file-loaded designs get order caching and resume exactly like builtins
+//! — and a changed file invalidates both automatically.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+use rfn_designs::Design;
+use rfn_netlist::{parse_aiger, parse_netlist, NetlistError, ParseError};
+
+use crate::error::Error;
+
+/// The builtin generator names [`DesignSource::Builtin`] accepts.
+pub const BUILTIN_DESIGNS: [&str; 4] = ["fifo", "integer_unit", "usb", "processor"];
+
+/// Where a design comes from; parsed from a spec string, loaded uniformly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DesignSource {
+    /// A bundled synthetic generator at default parameters.
+    Builtin(String),
+    /// An AIGER file (`.aag` ascii or `.aig` binary, auto-detected).
+    Aiger(PathBuf),
+    /// A DIMACS CNF file, encoded as a combinational netlist with the
+    /// single property "the formula is never satisfied".
+    Dimacs(PathBuf),
+    /// A file in the line-oriented text netlist format.
+    Text(PathBuf),
+    /// A seeded random design from the fuzzer.
+    Fuzz(u64),
+}
+
+/// Canonical identity of a loaded design, keying warm-start stores and
+/// checkpoint validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DesignIdentity {
+    /// Canonical spec string (e.g. `builtin:fifo`, `fuzz:42`,
+    /// `file:1a2b3c4d5e6f7081`).
+    pub canonical: String,
+    /// Stable 64-bit identity hash: the FNV-1a hash of the raw file bytes
+    /// for file-backed sources, the structural netlist hash otherwise.
+    pub hash: u64,
+}
+
+/// A resolved design: what was asked for, what it produced, and who it is.
+#[derive(Clone, Debug)]
+pub struct LoadedDesign {
+    /// The source the design was loaded from.
+    pub source: DesignSource,
+    /// The design: netlist plus any properties the input format carries
+    /// (AIGER bad literals, the DIMACS `sat` property, fuzzer/builtin
+    /// properties; text netlists carry none).
+    pub design: Design,
+    /// Canonical identity for store keying and checkpoint validation.
+    pub identity: DesignIdentity,
+}
+
+impl fmt::Display for DesignSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignSource::Builtin(name) => write!(f, "builtin:{name}"),
+            DesignSource::Aiger(p) | DesignSource::Dimacs(p) | DesignSource::Text(p) => {
+                write!(f, "{}", p.display())
+            }
+            DesignSource::Fuzz(seed) => write!(f, "fuzz:{seed}"),
+        }
+    }
+}
+
+impl FromStr for DesignSource {
+    type Err = Error;
+
+    fn from_str(spec: &str) -> Result<Self, Error> {
+        DesignSource::parse(spec)
+    }
+}
+
+fn spec_error(spec: &str, message: impl Into<String>) -> Error {
+    Error::Parse {
+        input: spec.to_owned(),
+        source: ParseError::new(0, 0, message),
+    }
+}
+
+impl DesignSource {
+    /// Parses a design spec string (see the module docs for the grammar).
+    pub fn parse(spec: &str) -> Result<DesignSource, Error> {
+        if spec.is_empty() {
+            return Err(spec_error(spec, "empty design spec"));
+        }
+        if let Some(name) = spec.strip_prefix("builtin:") {
+            if BUILTIN_DESIGNS.contains(&name) {
+                return Ok(DesignSource::Builtin(name.to_owned()));
+            }
+            return Err(spec_error(
+                spec,
+                format!(
+                    "unknown builtin design `{name}` (available: {})",
+                    BUILTIN_DESIGNS.join(", ")
+                ),
+            ));
+        }
+        if let Some(seed) = spec.strip_prefix("fuzz:") {
+            let seed: u64 = seed
+                .parse()
+                .map_err(|_| spec_error(spec, format!("invalid fuzz seed `{seed}`")))?;
+            return Ok(DesignSource::Fuzz(seed));
+        }
+        if BUILTIN_DESIGNS.contains(&spec) {
+            return Ok(DesignSource::Builtin(spec.to_owned()));
+        }
+        let path = Path::new(spec);
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("aag") | Some("aig") => Ok(DesignSource::Aiger(path.to_owned())),
+            Some("cnf") => Ok(DesignSource::Dimacs(path.to_owned())),
+            _ => Ok(DesignSource::Text(path.to_owned())),
+        }
+    }
+
+    /// Loads the design and computes its canonical identity.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Parse`] for unreadable or malformed files (the message
+    /// carries line/byte offsets); never fails for builtin and fuzz
+    /// sources.
+    pub fn load(&self) -> Result<LoadedDesign, Error> {
+        let design = match self {
+            DesignSource::Builtin(name) => builtin_design(name)?,
+            DesignSource::Fuzz(seed) => rfn_designs::fuzz_design(*seed),
+            DesignSource::Aiger(path) => {
+                let bytes = read_file(path)?;
+                let parsed =
+                    parse_aiger(&bytes, &design_name(path)).map_err(|source| Error::Parse {
+                        input: path.display().to_string(),
+                        source,
+                    })?;
+                return Ok(LoadedDesign {
+                    source: self.clone(),
+                    design: Design {
+                        netlist: parsed.netlist,
+                        properties: parsed.properties,
+                        coverage_sets: Vec::new(),
+                    },
+                    identity: file_identity(&bytes),
+                });
+            }
+            DesignSource::Dimacs(path) => {
+                let bytes = read_file(path)?;
+                let text = String::from_utf8(bytes.clone()).map_err(|e| Error::Parse {
+                    input: path.display().to_string(),
+                    source: ParseError::new(0, e.utf8_error().valid_up_to(), "file is not UTF-8"),
+                })?;
+                let dimacs = rfn_sat::parse_dimacs(&text).map_err(|source| Error::Parse {
+                    input: path.display().to_string(),
+                    source,
+                })?;
+                let (netlist, property) = dimacs.to_netlist(&design_name(path));
+                return Ok(LoadedDesign {
+                    source: self.clone(),
+                    design: Design {
+                        netlist,
+                        properties: vec![property],
+                        coverage_sets: Vec::new(),
+                    },
+                    identity: file_identity(&bytes),
+                });
+            }
+            DesignSource::Text(path) => {
+                let bytes = read_file(path)?;
+                let text = String::from_utf8(bytes.clone()).map_err(|e| Error::Parse {
+                    input: path.display().to_string(),
+                    source: ParseError::new(0, e.utf8_error().valid_up_to(), "file is not UTF-8"),
+                })?;
+                let netlist = parse_netlist(&text).map_err(|e| {
+                    let source = match e {
+                        NetlistError::Parse { line, message } => ParseError::new(line, 0, message),
+                        other => ParseError::new(0, 0, other.to_string()),
+                    };
+                    Error::Parse {
+                        input: path.display().to_string(),
+                        source,
+                    }
+                })?;
+                return Ok(LoadedDesign {
+                    source: self.clone(),
+                    design: Design {
+                        netlist,
+                        properties: Vec::new(),
+                        coverage_sets: Vec::new(),
+                    },
+                    identity: file_identity(&bytes),
+                });
+            }
+        };
+        // Builtin and fuzz sources: identity is canonical spec + structural
+        // hash, so the identity changes exactly when the generator does.
+        let identity = DesignIdentity {
+            canonical: self.to_string(),
+            hash: design.netlist.structural_hash(),
+        };
+        Ok(LoadedDesign {
+            source: self.clone(),
+            design,
+            identity,
+        })
+    }
+}
+
+/// Loads a builtin generator at default parameters.
+fn builtin_design(name: &str) -> Result<Design, Error> {
+    Ok(match name {
+        "fifo" => rfn_designs::fifo_controller(&Default::default()),
+        "integer_unit" => rfn_designs::integer_unit(&Default::default()),
+        "usb" => rfn_designs::usb_controller(&Default::default()),
+        "processor" => rfn_designs::processor_module(&Default::default()),
+        other => {
+            return Err(spec_error(
+                other,
+                format!("unknown builtin design `{other}`"),
+            ))
+        }
+    })
+}
+
+fn read_file(path: &Path) -> Result<Vec<u8>, Error> {
+    std::fs::read(path).map_err(|e| Error::Parse {
+        input: path.display().to_string(),
+        source: ParseError::new(0, 0, format!("cannot read file: {e}")),
+    })
+}
+
+/// Design name for file-backed sources: the file stem.
+fn design_name(path: &Path) -> String {
+    path.file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("design")
+        .to_owned()
+}
+
+/// FNV-1a over the raw file bytes: the content-derived identity of
+/// file-backed designs.
+fn file_identity(bytes: &[u8]) -> DesignIdentity {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    DesignIdentity {
+        canonical: format!("file:{hash:016x}"),
+        hash,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_spec_forms() {
+        assert_eq!(
+            DesignSource::parse("builtin:fifo").unwrap(),
+            DesignSource::Builtin("fifo".into())
+        );
+        assert_eq!(
+            DesignSource::parse("usb").unwrap(),
+            DesignSource::Builtin("usb".into())
+        );
+        assert_eq!(
+            DesignSource::parse("fuzz:42").unwrap(),
+            DesignSource::Fuzz(42)
+        );
+        assert_eq!(
+            DesignSource::parse("designs/x.aag").unwrap(),
+            DesignSource::Aiger("designs/x.aag".into())
+        );
+        assert_eq!(
+            DesignSource::parse("x.aig").unwrap(),
+            DesignSource::Aiger("x.aig".into())
+        );
+        assert_eq!(
+            DesignSource::parse("f.cnf").unwrap(),
+            DesignSource::Dimacs("f.cnf".into())
+        );
+        assert_eq!(
+            DesignSource::parse("ring.rtl").unwrap(),
+            DesignSource::Text("ring.rtl".into())
+        );
+        assert!(DesignSource::parse("builtin:nope").is_err());
+        assert!(DesignSource::parse("fuzz:abc").is_err());
+        assert!(DesignSource::parse("").is_err());
+    }
+
+    #[test]
+    fn fuzz_loads_deterministically() {
+        let a = DesignSource::parse("fuzz:7").unwrap().load().unwrap();
+        let b = DesignSource::parse("fuzz:7").unwrap().load().unwrap();
+        assert_eq!(a.identity, b.identity);
+        assert_eq!(a.identity.canonical, "fuzz:7");
+        assert_eq!(
+            a.design.netlist.structural_hash(),
+            b.design.netlist.structural_hash()
+        );
+    }
+
+    #[test]
+    fn builtin_loads_with_properties() {
+        let d = DesignSource::parse("builtin:fifo").unwrap().load().unwrap();
+        assert!(!d.design.properties.is_empty());
+        assert_eq!(d.identity.canonical, "builtin:fifo");
+        assert_eq!(d.identity.hash, d.design.netlist.structural_hash());
+    }
+
+    #[test]
+    fn aiger_file_identity_is_content_derived() {
+        let dir = std::env::temp_dir().join(format!("rfn-src-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p1 = dir.join("a.aag");
+        let p2 = dir.join("b.aag");
+        let src = "aag 1 0 1 0 0 1\n2 3\n2\n";
+        std::fs::write(&p1, src).unwrap();
+        std::fs::write(&p2, src).unwrap();
+        let d1 = DesignSource::parse(p1.to_str().unwrap())
+            .unwrap()
+            .load()
+            .unwrap();
+        let d2 = DesignSource::parse(p2.to_str().unwrap())
+            .unwrap()
+            .load()
+            .unwrap();
+        // Same content, different path: same identity.
+        assert_eq!(d1.identity, d2.identity);
+        assert!(d1.identity.canonical.starts_with("file:"));
+        assert_eq!(d1.design.properties.len(), 1);
+        std::fs::write(&p2, "aag 1 0 1 0 0 1\n2 2\n2\n").unwrap();
+        let d3 = DesignSource::parse(p2.to_str().unwrap())
+            .unwrap()
+            .load()
+            .unwrap();
+        assert_ne!(d1.identity.hash, d3.identity.hash);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_reports_parse_error() {
+        let e = DesignSource::parse("/nonexistent/x.aag")
+            .unwrap()
+            .load()
+            .unwrap_err();
+        assert!(matches!(e, Error::Parse { .. }), "{e}");
+    }
+}

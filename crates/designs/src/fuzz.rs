@@ -1,0 +1,354 @@
+//! Seeded random design/property fuzzer.
+//!
+//! [`fuzz_design`] turns a 64-bit seed into a small sequential [`Design`]
+//! with one to three safety properties — deterministically, so a failing
+//! seed printed by the `fuzzbench` differential harness reproduces the
+//! exact netlist anywhere. The generated designs mix every [`GateOp`],
+//! registers with known and unknown reset values, sticky watchdog
+//! properties (falsified at a depth the design's random structure decides)
+//! and direct signal properties (including trivially-true and
+//! depth-0-falsified edge cases), so the RFN/plain-MC/BMC engines are
+//! exercised across their full verdict space.
+//!
+//! [`shrink_design`] reduces a disagreeing design while a caller-supplied
+//! predicate keeps failing: it first projects the netlist onto the
+//! property's sequential cone of influence, then greedily frees registers
+//! into primary inputs — the classic delta-debugging loop, sound because
+//! the predicate re-checks every candidate.
+
+use std::collections::{HashMap, HashSet};
+
+use rfn_netlist::{GateOp, NetKind, Netlist, Property, SignalId};
+
+use crate::Design;
+
+/// Deterministic xorshift64* generator; the fuzzer's only entropy source.
+#[derive(Clone, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a seed (any value, including 0).
+    pub fn new(seed: u64) -> Self {
+        // Scramble with splitmix64 so nearby seeds diverge and 0 is legal.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        XorShift64 {
+            state: (z ^ (z >> 31)) | 1,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// True with probability `num / den`.
+    pub fn chance(&mut self, num: usize, den: usize) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// Size envelope for generated designs.
+#[derive(Clone, Debug)]
+pub struct FuzzParams {
+    /// Seed driving every random choice.
+    pub seed: u64,
+    /// Maximum primary inputs (at least 1 is always generated).
+    pub max_inputs: usize,
+    /// Maximum registers (at least 2 are always generated).
+    pub max_registers: usize,
+    /// Maximum random gates (at least 4 are always generated).
+    pub max_gates: usize,
+    /// Maximum properties (at least 1 is always generated).
+    pub max_properties: usize,
+    /// Whether registers may get an unknown (`None`) reset value.
+    pub allow_unknown_init: bool,
+}
+
+impl Default for FuzzParams {
+    fn default() -> Self {
+        FuzzParams {
+            seed: 0,
+            max_inputs: 3,
+            max_registers: 8,
+            max_gates: 32,
+            max_properties: 3,
+            allow_unknown_init: true,
+        }
+    }
+}
+
+/// Generates the design for a seed with the default [`FuzzParams`] envelope.
+pub fn fuzz_design(seed: u64) -> Design {
+    fuzz_design_with(&FuzzParams {
+        seed,
+        ..FuzzParams::default()
+    })
+}
+
+/// Generates a random design within the given size envelope.
+///
+/// Deterministic: equal parameters always produce the identical netlist.
+pub fn fuzz_design_with(params: &FuzzParams) -> Design {
+    let mut rng = XorShift64::new(params.seed);
+    let mut n = Netlist::new(format!("fuzz{}", params.seed));
+
+    let n_inputs = 1 + rng.below(params.max_inputs.max(1));
+    let n_regs = 2 + rng.below(params.max_registers.saturating_sub(1).max(1));
+    let n_gates = 4 + rng.below(params.max_gates.saturating_sub(3).max(1));
+    let n_props = 1 + rng.below(params.max_properties.max(1));
+
+    // Signal pool the random structure draws fanins from.
+    let mut pool: Vec<SignalId> = Vec::new();
+    for k in 0..n_inputs {
+        pool.push(n.add_input(&format!("in{k}")));
+    }
+    let mut regs = Vec::new();
+    for k in 0..n_regs {
+        let init = if params.allow_unknown_init && rng.chance(1, 8) {
+            None
+        } else {
+            Some(rng.chance(1, 2))
+        };
+        let r = n.add_register(&format!("r{k}"), init);
+        regs.push(r);
+        pool.push(r);
+    }
+    if rng.chance(1, 4) {
+        pool.push(n.add_const("", rng.chance(1, 2)));
+    }
+    const OPS: [GateOp; 9] = [
+        GateOp::And,
+        GateOp::Or,
+        GateOp::Not,
+        GateOp::Xor,
+        GateOp::Nand,
+        GateOp::Nor,
+        GateOp::Xnor,
+        GateOp::Mux,
+        GateOp::Buf,
+    ];
+    for k in 0..n_gates {
+        let op = OPS[rng.below(OPS.len())];
+        let arity = match op {
+            GateOp::Not | GateOp::Buf => 1,
+            GateOp::Mux => 3,
+            _ => 2 + rng.below(2),
+        };
+        let fanins: Vec<SignalId> = (0..arity).map(|_| pool[rng.below(pool.len())]).collect();
+        pool.push(n.add_gate(&format!("g{k}"), op, &fanins));
+    }
+    for &r in &regs {
+        n.set_register_next(r, pool[rng.below(pool.len())])
+            .expect("nexts are assigned exactly once");
+    }
+    for k in 0..1 + rng.below(2) {
+        n.add_output(format!("out{k}"), pool[rng.below(pool.len())]);
+    }
+
+    let mut properties = Vec::new();
+    for k in 0..n_props {
+        let watch = pool[rng.below(pool.len())];
+        let value = rng.chance(1, 2);
+        if rng.chance(1, 2) {
+            // Sticky watchdog: latches once `watch == value` ever holds, so
+            // the property is falsified at (minimal reach depth of the
+            // condition) + 1, or proved if the condition is unreachable.
+            let eq = if value {
+                watch
+            } else {
+                n.add_gate(&format!("p{k}_eq"), GateOp::Not, &[watch])
+            };
+            let w = n.add_register(&format!("p{k}_w"), Some(false));
+            let hold = n.add_gate(&format!("p{k}_hold"), GateOp::Or, &[w, eq]);
+            n.set_register_next(w, hold)
+                .expect("watchdog next assigned once");
+            properties.push(Property::never_value(format!("p{k}_wd"), w, true));
+        } else {
+            // Direct property on an arbitrary signal: exercises depth-0
+            // falsification and combinational targets.
+            properties.push(Property::never_value(format!("p{k}"), watch, value));
+        }
+    }
+    n.validate()
+        .expect("generated designs are structurally valid");
+    Design {
+        netlist: n,
+        properties,
+        coverage_sets: Vec::new(),
+    }
+}
+
+/// Projects `design` onto the sequential cone of influence of one property,
+/// optionally freeing some registers into primary inputs.
+///
+/// Returns the reduced single-property design, or `None` if the property
+/// index is out of range.
+pub fn project_property(
+    design: &Design,
+    prop_index: usize,
+    freed: &HashSet<SignalId>,
+) -> Option<Design> {
+    let property = design.properties.get(prop_index)?;
+    let n = &design.netlist;
+    // Sequential COI closure: through gate fanins always, and through
+    // next-state functions only for registers that stay registers.
+    let mut in_coi: HashSet<SignalId> = HashSet::new();
+    let mut work = vec![property.signal];
+    while let Some(s) = work.pop() {
+        if !in_coi.insert(s) {
+            continue;
+        }
+        match n.kind(s) {
+            NetKind::Gate { fanins, .. } => work.extend(fanins.iter().copied()),
+            NetKind::Register { .. } if !freed.contains(&s) => work.push(n.register_next(s)),
+            _ => {}
+        }
+    }
+    // Rebuild in original index order: gate fanins always precede the gate,
+    // so they are mapped by the time the gate is copied.
+    let mut out = Netlist::new(n.name());
+    let mut map: HashMap<SignalId, SignalId> = HashMap::new();
+    let mut coi_sorted: Vec<SignalId> = in_coi.iter().copied().collect();
+    coi_sorted.sort_by_key(|s| s.index());
+    for &s in &coi_sorted {
+        let name = n.signal_name(s);
+        let new = match n.kind(s) {
+            NetKind::Input => out.add_input(name),
+            NetKind::Const(v) => out.add_const(name, *v),
+            NetKind::Register { init, .. } => {
+                if freed.contains(&s) {
+                    out.add_input(name)
+                } else {
+                    out.add_register(name, *init)
+                }
+            }
+            NetKind::Gate { op, fanins } => {
+                let mapped: Vec<SignalId> = fanins.iter().map(|f| map[f]).collect();
+                out.add_gate(name, *op, &mapped)
+            }
+        };
+        map.insert(s, new);
+    }
+    for &s in &coi_sorted {
+        if matches!(n.kind(s), NetKind::Register { .. }) && !freed.contains(&s) {
+            out.set_register_next(map[&s], map[&n.register_next(s)])
+                .expect("projected nexts are assigned exactly once");
+        }
+    }
+    out.validate().ok()?;
+    let property =
+        Property::never_value(property.name.clone(), map[&property.signal], property.value);
+    Some(Design {
+        netlist: out,
+        properties: vec![property],
+        coverage_sets: Vec::new(),
+    })
+}
+
+/// Shrinks a disagreeing design while `still_failing` keeps returning true.
+///
+/// The result always contains exactly the one property `prop_index` refers
+/// to. Every candidate handed to the predicate is a valid, self-contained
+/// design, so the caller can re-run its engines (or dump the candidate as
+/// an `.aag` repro) directly.
+pub fn shrink_design(
+    design: &Design,
+    prop_index: usize,
+    mut still_failing: impl FnMut(&Design) -> bool,
+) -> Design {
+    let no_free = HashSet::new();
+    let full = project_property(design, prop_index, &no_free)
+        .expect("the reported property projects onto its own COI");
+    let mut best = full.clone();
+    if !still_failing(&best) {
+        // The disagreement does not survive even the identity projection
+        // (e.g. it needs multiple properties): return the projection anyway
+        // as the smallest faithful repro container.
+        return best;
+    }
+    // Greedy register freeing to a fixpoint: each round tries every
+    // remaining register once.
+    loop {
+        let mut improved = false;
+        let regs: Vec<SignalId> = best.netlist.registers().to_vec();
+        for r in regs {
+            // Never free the watched signal itself.
+            if best.properties[0].signal == r {
+                continue;
+            }
+            let mut freed = HashSet::new();
+            freed.insert(r);
+            if let Some(candidate) = project_property(&best, 0, &freed) {
+                if candidate.netlist.num_registers() < best.netlist.num_registers()
+                    && still_failing(&candidate)
+                {
+                    best = candidate;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = fuzz_design(42);
+        let b = fuzz_design(42);
+        assert_eq!(a.netlist.structural_hash(), b.netlist.structural_hash());
+        assert_eq!(a.properties.len(), b.properties.len());
+        let c = fuzz_design(43);
+        assert_ne!(a.netlist.structural_hash(), c.netlist.structural_hash());
+    }
+
+    #[test]
+    fn designs_validate_across_seeds() {
+        for seed in 0..200 {
+            let d = fuzz_design(seed);
+            d.netlist.validate().expect("fuzzed designs validate");
+            assert!(!d.properties.is_empty());
+            assert!(d.netlist.num_registers() >= 2);
+        }
+    }
+
+    #[test]
+    fn projection_keeps_property_semantics_shape() {
+        let d = fuzz_design(7);
+        let p = project_property(&d, 0, &HashSet::new()).unwrap();
+        assert_eq!(p.properties.len(), 1);
+        assert!(p.netlist.num_signals() <= d.netlist.num_signals());
+        p.netlist.validate().unwrap();
+    }
+
+    #[test]
+    fn shrinking_reduces_registers_under_true_predicate() {
+        let d = fuzz_design(11);
+        let prop = d.properties.len() - 1;
+        let shrunk = shrink_design(&d, prop, |_| true);
+        assert_eq!(shrunk.properties.len(), 1);
+        // A constantly-failing predicate lets the shrinker free everything
+        // except a watched register.
+        assert!(shrunk.netlist.num_registers() <= d.netlist.num_registers());
+    }
+}

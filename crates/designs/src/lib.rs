@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod fifo;
+pub mod fuzz;
 mod integer_unit;
 mod processor;
 pub mod small;
@@ -44,6 +45,7 @@ mod usb;
 pub mod words;
 
 pub use fifo::{fifo_controller, FifoParams};
+pub use fuzz::{fuzz_design, fuzz_design_with, project_property, shrink_design, FuzzParams};
 pub use integer_unit::{integer_unit, IntegerUnitParams};
 pub use processor::{processor_module, ProcessorParams};
 pub use usb::{usb_controller, UsbParams};

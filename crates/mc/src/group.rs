@@ -30,10 +30,15 @@ pub struct GroupOptions {
     /// `plain_mc_group` span.
     pub plain: PlainOptions,
     /// Directory of the warm-start store. When set, the group loads the
-    /// entry keyed by `(structural_hash, group key)` before the fixpoint and
+    /// entry keyed by `(design hash, group key)` before the fixpoint and
     /// saves its variable order and rings back after a conclusive run — one
     /// entry per *group*, not per property.
     pub store_dir: Option<PathBuf>,
+    /// Canonical design identity used to key the warm-start store. Defaults
+    /// to the netlist's structural hash; callers loading designs from files
+    /// (via `DesignSource`) pass the content hash instead, so a renamed
+    /// file keeps its warm start and a changed file never steals one.
+    pub design_hash: Option<u64>,
 }
 
 impl GroupOptions {
@@ -48,6 +53,14 @@ impl GroupOptions {
     #[must_use]
     pub fn with_store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.store_dir = Some(dir.into());
+        self
+    }
+
+    /// Keys the warm-start store by an explicit canonical design hash
+    /// instead of the netlist's structural hash.
+    #[must_use]
+    pub fn with_design_hash(mut self, hash: u64) -> Self {
+        self.design_hash = Some(hash);
         self
     }
 }
@@ -212,10 +225,12 @@ fn verify_group_inner(
 
     // Warm start: one store entry per group. A missing entry is a cold
     // start; a corrupt or foreign one fails loudly.
-    let hash = netlist.structural_hash();
+    let hash = options
+        .design_hash
+        .unwrap_or_else(|| netlist.structural_hash());
     let saved = match &options.store_dir {
         Some(dir) => match crate::store::load_store(dir, hash, key)? {
-            Some(store) => crate::store::apply_store(&mut model, &store, key)?,
+            Some(store) => crate::store::apply_store_as(&mut model, &store, key, hash)?,
             None => Vec::new(),
         },
         None => Vec::new(),
@@ -229,6 +244,10 @@ fn verify_group_inner(
     if let Some(dir) = &options.store_dir {
         if result.abort.is_none() {
             match crate::store::snapshot_model(&model, key, &result.rings)
+                .map(|mut store| {
+                    store.design_hash = hash;
+                    store
+                })
                 .and_then(|store| crate::store::save_store(dir, &store))
             {
                 Ok(_) => {}

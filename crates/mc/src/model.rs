@@ -662,12 +662,19 @@ impl<'n> SymbolicModel<'n> {
     /// # Errors
     ///
     /// Fails with [`McError::UnboundSignal`] if the signal is not part of the
-    /// model.
+    /// model. Constants are always available — they appear in no spec
+    /// section (gate evaluation folds them into fanins), but a property may
+    /// watch one directly.
     pub fn signal_bdd(&mut self, s: SignalId) -> Result<Bdd, McError> {
-        self.signal_cache
-            .get(&s)
-            .copied()
-            .ok_or(McError::UnboundSignal(s))
+        if let Some(&b) = self.signal_cache.get(&s) {
+            return Ok(b);
+        }
+        if let NetKind::Const(v) = self.netlist.kind(s) {
+            let b = if *v { self.mgr.one() } else { self.mgr.zero() };
+            self.signal_cache.insert(s, b);
+            return Ok(b);
+        }
+        Err(McError::UnboundSignal(s))
     }
 
     /// The set of initial states: every register with a known reset value is

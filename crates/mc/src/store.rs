@@ -154,7 +154,25 @@ pub fn apply_store(
     store: &BddStore,
     key: &str,
 ) -> Result<Vec<Bdd>, McError> {
-    store.validate(model.netlist().structural_hash(), key)?;
+    let hash = model.netlist().structural_hash();
+    apply_store_as(model, store, key, hash)
+}
+
+/// Like [`apply_store`], but validates against an explicit design hash
+/// instead of the model netlist's structural hash. Used when the caller
+/// keys stores by a canonical design identity (e.g. a file content hash
+/// from `DesignSource`) rather than the in-memory structure.
+///
+/// # Errors
+///
+/// Same failure modes as [`apply_store`].
+pub fn apply_store_as(
+    model: &mut SymbolicModel<'_>,
+    store: &BddStore,
+    key: &str,
+    design_hash: u64,
+) -> Result<Vec<Bdd>, McError> {
+    store.validate(design_hash, key)?;
     let num_vars = model.manager_ref().num_vars();
     if store.order.len() != num_vars {
         return Err(McError::Store(StoreError::Rebuild(format!(

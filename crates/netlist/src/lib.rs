@@ -26,6 +26,9 @@
 //!   max-flow on the node-split signal graph,
 //! * a small line-oriented text format for netlists ([`parse_netlist`],
 //!   [`write_netlist`]) so designs can be stored and diffed,
+//! * an AIGER reader/writer ([`parse_aiger`], [`write_aiger`]) covering the
+//!   ascii `.aag` and binary `.aig` exchange formats of the HWMCC
+//!   benchmark community, with bad-state literals mapped to [`Property`]s,
 //! * FORCE / center-of-gravity static variable pre-ordering over netlist
 //!   topology ([`force_order`]) and a stable structural fingerprint
 //!   ([`Netlist::structural_hash`]) keying the persistent order store.
@@ -65,6 +68,7 @@
 #![warn(missing_docs)]
 
 mod abstraction;
+mod aiger;
 mod cone;
 mod cube;
 mod error;
@@ -77,6 +81,9 @@ mod property;
 mod signal;
 
 pub use abstraction::{AbstractView, Abstraction};
+pub use aiger::{
+    parse_aiger, write_aiger, write_aiger_ascii, write_aiger_binary, AigerDesign, ParseError,
+};
 pub use cone::{transitive_fanin, transitive_fanout_gates, Coi};
 pub use cube::{Cube, CubeConflict, Trace, TraceStep};
 pub use error::NetlistError;

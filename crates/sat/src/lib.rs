@@ -29,10 +29,12 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod dimacs;
 mod lit;
 mod solver;
 mod unroll;
 
+pub use dimacs::{parse_dimacs, Dimacs};
 pub use lit::{Lit, Var};
 pub use solver::{SolveResult, Solver, SolverStats};
 pub use unroll::{Term, Unroller};

@@ -1,9 +1,9 @@
 //! The `rfn` command-line tool: verify properties and analyze coverage on
-//! netlists in the text format.
+//! designs from any supported input form.
 //!
 //! ```text
-//! rfn info <netlist>
-//! rfn verify <netlist> --watch <signal>[=0|1] [--watch ...] [--name <p>]
+//! rfn info <design>
+//! rfn verify <design> [--watch <signal>[=0|1]] [--watch ...] [--name <p>]
 //!            [--engine <rfn|plain|bmc|race>]
 //!            [--time-limit <s>] [--threads <n>] [--sim-batches <n>]
 //!            [--sim-seed <n>] [--cluster-limit <nodes>] [--bdd-threads <n>]
@@ -11,12 +11,25 @@
 //!            [--order-cache-dir <dir>] [--group-threshold <t>] [--no-group]
 //!            [--checkpoint-dir <dir>] [--resume]
 //!            [--no-frontier-simplify] [--trace-out <file>] [--breakdown] [-v]
-//! rfn coverage <netlist> --signals <a,b,c> [--bfs <k>] [--time-limit <s>]
+//! rfn coverage <design> --signals <a,b,c> [--bfs <k>] [--time-limit <s>]
 //!              [--sim-batches <n>] [--sim-seed <n>] [--cluster-limit <nodes>]
 //!              [--bdd-threads <n>] [--static-order <seed|force>]
 //!              [--dvo-schedule <spec>] [--no-frontier-simplify]
 //!              [--trace-out <file>] [--breakdown]
 //! ```
+//!
+//! `<design>` is a [`DesignSource`] spec, resolved uniformly for every
+//! subcommand: `builtin:<name>` (or a bare builtin name like `fifo`) for a
+//! bundled generator, `fuzz:<seed>` for a seeded random design, a
+//! `.aag`/`.aig` path for an AIGER file, a `.cnf` path for a DIMACS CNF
+//! formula, and any other path for the line-oriented text netlist format.
+//! When the input carries its own properties (AIGER bad literals, the
+//! DIMACS satisfiability property, builtin/fuzz properties), `verify` runs
+//! them without any `--watch`; `--watch` flags replace them.
+//!
+//! Warm-start order caches and checkpoints are keyed by the design's
+//! canonical identity — the file content hash for file-backed designs — so
+//! renaming a file keeps its warm starts while editing it invalidates them.
 //!
 //! `--engine` picks the verification lane: `rfn` (the default
 //! abstraction-refinement loop), `plain` (whole-COI symbolic model
@@ -81,7 +94,7 @@
 //! the results. Both observe the *same* event stream the engines emit — the
 //! table is computed from the events, so it can never disagree with the file.
 //!
-//! Netlists use the line-oriented format of
+//! Text netlists use the line-oriented format of
 //! [`rfn_netlist::parse_netlist`](rfn::netlist::parse_netlist); see
 //! `examples/custom_design.rs` for a complete design.
 
@@ -92,7 +105,7 @@ use std::time::Duration;
 
 use rfn::core::prelude::*;
 use rfn::mc::ReachOptions;
-use rfn::netlist::{parse_netlist, Coi, SignalId};
+use rfn::netlist::{Coi, SignalId};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -109,8 +122,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  rfn info <netlist>
-  rfn verify <netlist> --watch <signal>[=0|1] [--watch ...] [--name <p>]
+  rfn info <design>
+  rfn verify <design> [--watch <signal>[=0|1]] [--watch ...] [--name <p>]
              [--engine <rfn|plain|bmc|race>]
              [--time-limit <s>] [--threads <n>] [--sim-batches <n>]
              [--sim-seed <n>] [--cluster-limit <nodes>] [--bdd-threads <n>]
@@ -118,12 +131,17 @@ usage:
              [--order-cache-dir <dir>] [--group-threshold <t>] [--no-group]
              [--checkpoint-dir <dir>] [--resume]
              [--no-frontier-simplify] [--trace-out <file>] [--breakdown] [-v]
-  rfn coverage <netlist> --signals <a,b,c> [--bfs <k>] [--time-limit <s>]
+  rfn coverage <design> --signals <a,b,c> [--bfs <k>] [--time-limit <s>]
                [--sim-batches <n>] [--sim-seed <n>] [--cluster-limit <nodes>]
                [--bdd-threads <n>] [--static-order <seed|force>]
                [--dvo-schedule <spec>] [--no-frontier-simplify]
                [--trace-out <file>] [--breakdown]
 
+`<design>` is a design spec: builtin:<name> (fifo, integer_unit, usb,
+processor; bare names work too), fuzz:<seed> (seeded random design),
+<path>.aag/.aig (AIGER), <path>.cnf (DIMACS CNF), or any other path (text
+netlist). Inputs that carry their own properties (AIGER bad literals,
+DIMACS, builtin, fuzz) verify without --watch; --watch replaces them.
 `--watch` may repeat; the portfolio runs in parallel on --threads workers.
 `--engine` picks the lane: rfn (default), plain (whole-COI symbolic MC),
 bmc (SAT bounded model checking), or race (all three; first conclusive
@@ -155,27 +173,41 @@ exit codes: 0 all properties proved / analysis done, 1 some property
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut it = args.iter();
     let cmd = it.next().ok_or("missing subcommand")?;
-    let path = it.next().ok_or("missing netlist path")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let netlist = parse_netlist(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let spec = it.next().ok_or("missing design spec")?;
+    let loaded = DesignSource::parse(spec)
+        .and_then(|source| source.load())
+        .map_err(|e| e.to_string())?;
     let rest: Vec<&String> = it.collect();
     match cmd.as_str() {
         "info" => {
-            info(&netlist);
+            info(&loaded);
             Ok(ExitCode::SUCCESS)
         }
-        "verify" => verify(&netlist, &rest),
-        "coverage" => coverage(&netlist, &rest),
+        "verify" => verify(&loaded, &rest),
+        "coverage" => coverage(&loaded.design.netlist, &rest),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
 
-fn info(n: &Netlist) {
+fn info(loaded: &LoadedDesign) {
+    let n = &loaded.design.netlist;
+    println!("source: {} ({})", loaded.source, loaded.identity.canonical);
     println!("{n}");
     for (name, sig) in n.outputs() {
         let coi = Coi::of(n, [*sig]);
         println!(
             "  output {name}: COI {} registers, {} gates",
+            coi.num_registers(),
+            coi.num_gates()
+        );
+    }
+    for p in &loaded.design.properties {
+        let coi = Coi::of(n, [p.signal]);
+        println!(
+            "  property {}: never {}={} | COI {} registers, {} gates",
+            p.name,
+            n.signal_name(p.signal),
+            u8::from(p.value),
             coi.num_registers(),
             coi.num_gates()
         );
@@ -358,28 +390,40 @@ fn finish_observers(obs: &Observers) -> Result<(), String> {
     Ok(())
 }
 
-fn verify(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
+fn verify(loaded: &LoadedDesign, rest: &[&String]) -> Result<ExitCode, String> {
+    let n = &loaded.design.netlist;
     let watches = flag_values(rest, "--watch");
-    if watches.is_empty() {
-        return Err("verify needs --watch <signal>[=0|1]".to_owned());
-    }
-    let mut properties = Vec::with_capacity(watches.len());
-    for watch in &watches {
-        let (sig_name, value) = match watch.split_once('=') {
-            Some((s, "0")) => (s, false),
-            Some((s, "1")) => (s, true),
-            Some((_, v)) => return Err(format!("bad watch value `{v}` (use 0 or 1)")),
-            None => (*watch, true),
-        };
-        let signal = lookup(n, sig_name)?;
-        // `--name` renames a single property; portfolios use signal names.
-        let name = if watches.len() == 1 {
-            flag_value(rest, "--name").unwrap_or(sig_name).to_owned()
-        } else {
-            sig_name.to_owned()
-        };
-        properties.push(Property::never_value(name, signal, value));
-    }
+    // Explicit `--watch` flags replace whatever the input format carries;
+    // without them the design's own properties (AIGER bad literals, the
+    // DIMACS `sat` property, builtin/fuzz properties) form the portfolio.
+    let properties = if watches.is_empty() {
+        if loaded.design.properties.is_empty() {
+            return Err(format!(
+                "design `{}` carries no properties; verify needs --watch <signal>[=0|1]",
+                loaded.source
+            ));
+        }
+        loaded.design.properties.clone()
+    } else {
+        let mut properties = Vec::with_capacity(watches.len());
+        for watch in &watches {
+            let (sig_name, value) = match watch.split_once('=') {
+                Some((s, "0")) => (s, false),
+                Some((s, "1")) => (s, true),
+                Some((_, v)) => return Err(format!("bad watch value `{v}` (use 0 or 1)")),
+                None => (*watch, true),
+            };
+            let signal = lookup(n, sig_name)?;
+            // `--name` renames a single property; portfolios use signal names.
+            let name = if watches.len() == 1 {
+                flag_value(rest, "--name").unwrap_or(sig_name).to_owned()
+            } else {
+                sig_name.to_owned()
+            };
+            properties.push(Property::never_value(name, signal, value));
+        }
+        properties
+    };
     let obs = observers(rest)?;
     // Each property is an independent job with its own BDD managers; the
     // session runs the portfolio in parallel and reports in command-line
@@ -416,6 +460,7 @@ fn verify(n: &Netlist, rest: &[&String]) -> Result<ExitCode, String> {
     }
     let mut session = VerifySession::new(n)
         .rfn_options(rfn_opts)
+        .design_identity(&loaded.identity)
         .engine(engine_kind(rest)?)
         .properties(properties)
         .threads(thread_count(rest)?)
